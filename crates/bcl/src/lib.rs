@@ -1,0 +1,339 @@
+//! # bcl — the BCL baseline (Brock, Buluç, Yelick, ICPP 2019)
+//!
+//! BCL is a cross-platform distributed data-structures library. Its
+//! distributed array maps every remote access **directly to an RMA
+//! operation** — there is no cache, so a remote 8-byte read costs a full
+//! network round trip (~2 µs, Figure 1) and a remote write a posted PUT
+//! plus remote completion. Local accesses are nearly native.
+//!
+//! The paper also observes (§6.2, citing Hjelm et al.) that BCL's
+//! multi-threaded throughput "is hindered by issues with RMA operations in
+//! MPI": concurrent threads serialize inside the MPI RMA layer. We model
+//! that with a per-node injection lock held for the duration of each RMA
+//! operation, which is what flattens BCL's thread-scaling curve in
+//! Figure 12.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use darray::Layout;
+use dsim::{Ctx, JoinHandle, SimBarrier, VirtualLock};
+use rdma_fabric::{CostModel, Fabric, MemoryRegion, NetConfig, Nic, NodeId};
+
+/// Environment handed to each application thread by [`BclCluster::run`].
+pub struct BclEnv {
+    pub node: NodeId,
+    pub thread: usize,
+    pub nodes: usize,
+    pub threads_per_node: usize,
+    barrier: SimBarrier,
+}
+
+impl BclEnv {
+    /// Global barrier over all application threads of this `run`.
+    pub fn barrier(&self, ctx: &mut Ctx) {
+        self.barrier.wait(ctx);
+    }
+}
+
+struct ClusterInner {
+    nics: Vec<Arc<Nic<()>>>,
+    /// Per-node MPI-RMA injection serialization.
+    rma_locks: Vec<VirtualLock>,
+    cost: CostModel,
+    nodes: usize,
+    /// One-way latency of the flush acknowledgment leg.
+    ack_leg_ns: u64,
+}
+
+/// A BCL "cluster": just the fabric — BCL has no runtime threads and no
+/// coherence traffic.
+pub struct BclCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl BclCluster {
+    /// Create a cluster over the default (paper-calibrated) network.
+    pub fn new(nodes: usize) -> Self {
+        Self::with_net(nodes, NetConfig::default())
+    }
+
+    /// Create with an explicit network model.
+    pub fn with_net(nodes: usize, net: NetConfig) -> Self {
+        let ack_leg_ns = net.prop_latency_ns;
+        let fabric: Fabric<()> = Fabric::new(nodes, net);
+        let nics = (0..nodes).map(|i| fabric.nic(i)).collect();
+        Self {
+            inner: Arc::new(ClusterInner {
+                nics,
+                rma_locks: (0..nodes).map(|_| VirtualLock::new()).collect(),
+                cost: CostModel::default(),
+                nodes,
+                ack_leg_ns,
+            }),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.inner.nodes
+    }
+
+    /// Allocate a zeroed distributed array, evenly partitioned.
+    pub fn alloc<T: darray::Element>(&self, len: usize) -> BclGlobalArray<T> {
+        self.alloc_with(len, |_| T::from_bits(0))
+    }
+
+    /// Allocate with an initializer (written locally, no traffic).
+    #[allow(clippy::needless_range_loop)]
+    pub fn alloc_with<T: darray::Element>(
+        &self,
+        len: usize,
+        init: impl Fn(usize) -> T,
+    ) -> BclGlobalArray<T> {
+        // BCL's array is flat per node; chunking is irrelevant without a
+        // cache, so use a 1-element "chunk" granularity for the partition.
+        let layout = Layout::even(len, self.inner.nodes, 512);
+        let regions: Vec<MemoryRegion> = (0..self.inner.nodes)
+            .map(|n| MemoryRegion::new(layout.subarray_words(n)))
+            .collect();
+        for n in 0..self.inner.nodes {
+            for i in layout.node_elems(n) {
+                let w = layout.chunk_home_offset(layout.chunk_of(i)) + i % layout.chunk_size();
+                regions[n].store(w, init(i).to_bits());
+            }
+        }
+        BclGlobalArray {
+            cluster: self.inner.clone(),
+            layout: Arc::new(layout),
+            regions: Arc::new(regions),
+            _pd: PhantomData,
+        }
+    }
+
+    /// Run application threads and join them.
+    pub fn run<F>(&self, ctx: &mut Ctx, threads_per_node: usize, f: F)
+    where
+        F: Fn(&mut Ctx, BclEnv) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let nodes = self.inner.nodes;
+        let barrier = SimBarrier::new(nodes * threads_per_node);
+        let mut handles: Vec<JoinHandle> = Vec::new();
+        for node in 0..nodes {
+            for t in 0..threads_per_node {
+                let env = BclEnv {
+                    node,
+                    thread: t,
+                    nodes,
+                    threads_per_node,
+                    barrier: barrier.clone(),
+                };
+                let f2 = f.clone();
+                handles.push(ctx.spawn(&format!("bcl-{node}-{t}"), move |c| f2(c, env)));
+            }
+        }
+        for h in handles {
+            h.join(ctx);
+        }
+    }
+}
+
+/// Unbound handle to a BCL distributed array.
+pub struct BclGlobalArray<T> {
+    cluster: Arc<ClusterInner>,
+    layout: Arc<Layout>,
+    regions: Arc<Vec<MemoryRegion>>,
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for BclGlobalArray<T> {
+    fn clone(&self) -> Self {
+        Self {
+            cluster: self.cluster.clone(),
+            layout: self.layout.clone(),
+            regions: self.regions.clone(),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T: darray::Element> BclGlobalArray<T> {
+    /// Node-local view.
+    pub fn on(&self, node: NodeId) -> BclArray<T> {
+        BclArray {
+            global: self.clone(),
+            node,
+        }
+    }
+
+    /// Global length.
+    pub fn len(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.layout.is_empty()
+    }
+}
+
+/// Node-local view of a BCL array.
+pub struct BclArray<T> {
+    global: BclGlobalArray<T>,
+    node: NodeId,
+}
+
+impl<T: darray::Element> BclArray<T> {
+    /// Global length.
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// Home node of `index`.
+    pub fn home_of(&self, index: usize) -> NodeId {
+        self.global.layout.home_of(index)
+    }
+
+    #[inline]
+    fn word_of(&self, index: usize) -> usize {
+        let l = &self.global.layout;
+        l.chunk_home_offset(l.chunk_of(index)) + index % l.chunk_size()
+    }
+
+    /// Read element `index`: direct load if local, one-sided RMA READ
+    /// (full round trip) if remote.
+    pub fn read(&self, ctx: &mut Ctx, index: usize) -> T {
+        assert!(index < self.len());
+        let cl = &self.global.cluster;
+        let home = self.home_of(index);
+        let w = self.word_of(index);
+        if home == self.node {
+            ctx.charge(cl.cost.bcl_local_path());
+            return T::from_bits(self.global.regions[home].load(w));
+        }
+        // MPI RMA injection serialization: one in-flight RMA per node.
+        cl.rma_locks[self.node].lock(ctx, cl.cost.mutex_pair_ns / 2);
+        let v = cl.nics[self.node].rdma_read(ctx, home, &self.global.regions[home], w, 1);
+        cl.rma_locks[self.node].unlock(ctx);
+        T::from_bits(v[0])
+    }
+
+    /// Write element `index`: direct store if local, RMA PUT + remote
+    /// completion (flush) if remote.
+    pub fn write(&self, ctx: &mut Ctx, index: usize, value: T) {
+        assert!(index < self.len());
+        let cl = &self.global.cluster;
+        let home = self.home_of(index);
+        let w = self.word_of(index);
+        if home == self.node {
+            ctx.charge(cl.cost.bcl_local_path());
+            self.global.regions[home].store(w, value.to_bits());
+            return;
+        }
+        cl.rma_locks[self.node].lock(ctx, cl.cost.mutex_pair_ns / 2);
+        let arrive = cl.nics[self.node].rdma_write(
+            ctx,
+            home,
+            &self.global.regions[home],
+            w,
+            vec![value.to_bits()],
+        );
+        // BCL flushes the PUT before returning: the flush completes only
+        // after the remote-completion acknowledgment travels back, so a
+        // remote write costs a full round trip like a read.
+        ctx.sleep_until(arrive + 1);
+        ctx.sleep(self.global.cluster.ack_leg_ns);
+        cl.rma_locks[self.node].unlock(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsim::{Sim, SimConfig, VTime};
+
+    #[test]
+    fn local_and_remote_roundtrip() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let c = BclCluster::with_net(2, NetConfig::instant());
+            let arr = c.alloc_with::<u64>(2048, |i| i as u64);
+            c.run(ctx, 1, move |ctx, env| {
+                let a = arr.on(env.node);
+                // Read everything (half is remote).
+                for i in (0..a.len()).step_by(33) {
+                    assert_eq!(a.read(ctx, i), i as u64);
+                }
+                // Write the other node's half.
+                let start = if env.node == 0 { 1024 } else { 0 };
+                for i in start..start + 32 {
+                    a.write(ctx, i, 5_000 + i as u64);
+                }
+                env.barrier(ctx);
+                for i in 0..32 {
+                    assert_eq!(a.read(ctx, i), 5_000 + i as u64);
+                    assert_eq!(a.read(ctx, 1024 + i), 5_000 + 1024 + i as u64);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn remote_read_costs_a_round_trip() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let c = BclCluster::new(2); // default net: ~2 µs RTT
+            let arr = c.alloc_with::<u64>(2048, |i| i as u64);
+            c.run(ctx, 1, move |ctx, env| {
+                if env.node != 0 {
+                    return;
+                }
+                let a = arr.on(0);
+                let t0 = ctx.now();
+                let _ = a.read(ctx, 2000); // node 1's element
+                let dt = ctx.now() - t0;
+                assert!((1_500..3_000).contains(&dt), "remote read = {dt} ns");
+                let t0 = ctx.now();
+                let _ = a.read(ctx, 3); // local
+                assert!(ctx.now() - t0 < 50, "local read must be cheap");
+            });
+        });
+    }
+
+    #[test]
+    fn threads_serialize_on_the_rma_lock() {
+        // Figure 12: BCL throughput does not scale with threads.
+        fn run(threads: usize) -> VTime {
+            Sim::new(SimConfig::default()).run(move |ctx| {
+                let c = BclCluster::new(2);
+                let arr = c.alloc::<u64>(4096);
+                let out = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+                let o2 = out.clone();
+                c.run(ctx, threads, move |ctx, env| {
+                    if env.node != 0 {
+                        return;
+                    }
+                    let a = arr.on(0);
+                    let per = 64 / env.threads_per_node;
+                    for i in 0..per {
+                        let _ = a.read(ctx, 2048 + env.thread * per + i);
+                    }
+                    o2.fetch_max(ctx.now(), std::sync::atomic::Ordering::Relaxed);
+                });
+                out.load(std::sync::atomic::Ordering::Relaxed)
+            })
+        }
+        let t1 = run(1);
+        let t4 = run(4);
+        // 64 remote reads total in both cases; with perfect scaling t4
+        // would be ~t1/4, but the injection lock keeps it near t1.
+        assert!(
+            t4 * 2 > t1,
+            "BCL threads should not scale: t1={t1} t4={t4}"
+        );
+    }
+}

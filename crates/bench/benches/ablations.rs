@@ -1,0 +1,97 @@
+//! Criterion versions of the key design-choice ablations (virtual time;
+//! the full tables come from the `ablations` binary).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darray::{AccessPath, ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig};
+
+/// Virtual time of a 2-node remote sequential scan under `cfg`.
+fn scan_elapsed(cfg: ClusterConfig, ops: u64) -> u64 {
+    let nodes = cfg.nodes;
+    let len = 8192 * nodes;
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
+        let el = Arc::new(AtomicU64::new(0));
+        let e2 = el.clone();
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            let start = (env.node * 2048) % len;
+            env.barrier(ctx);
+            let t0 = ctx.now();
+            for k in 0..ops {
+                std::hint::black_box(a.get(ctx, (start + k as usize) % len));
+            }
+            e2.fetch_max(ctx.now() - t0, Ordering::Relaxed);
+        });
+        let t = el.load(Ordering::Relaxed);
+        cluster.shutdown(ctx);
+        t
+    })
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for (name, path) in [
+        ("access_path/lock_free", AccessPath::LockFree),
+        ("access_path/lock_based", AccessPath::LockBased),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut cfg = ClusterConfig::with_nodes(2);
+                    cfg.access_path = path;
+                    total += Duration::from_nanos(scan_elapsed(cfg, 4096));
+                }
+                total
+            })
+        });
+    }
+
+    for (name, prefetch) in [("prefetch/off", 0usize), ("prefetch/depth2", 2), ("prefetch/depth8", 8)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut cfg = ClusterConfig::with_nodes(2);
+                    cfg.cache.prefetch_lines = prefetch;
+                    total += Duration::from_nanos(scan_elapsed(cfg, 4096));
+                }
+                total
+            })
+        });
+    }
+
+    for (name, tx) in [("tx_threads/inline", false), ("tx_threads/dedicated", true)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut cfg = ClusterConfig::with_nodes(2);
+                    cfg.tx_threads = tx;
+                    total += Duration::from_nanos(scan_elapsed(cfg, 4096));
+                }
+                total
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic virtual-time samples have zero variance, which breaks
+    // criterion's plot generation; disable plots.
+    config = Criterion::default().without_plots();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches, one per evaluation figure/table, at reduced scale.
+//!
+//! Each iteration runs the deterministic simulation and reports the
+//! *virtual* duration via `iter_custom`, so `cargo bench` tracks the same
+//! quantity the figure binaries print (host time is irrelevant and the
+//! variance is zero by construction). The full paper-scale tables come
+//! from the `fig*` binaries.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darray_bench::graphs::{graph_cell, Algo, GraphSys};
+use darray_bench::kvsbench::{kvs_ycsb, KvSys};
+use darray_bench::micro::{micro, Op, Pattern, System};
+use darray_bench::operate::zipf_update;
+
+fn virtual_bench(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    mut f: impl FnMut() -> u64,
+) {
+    g.bench_function(name, |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += Duration::from_nanos(f());
+            }
+            total
+        })
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // Figure 1: sequential-read latency comparison (distributed).
+    virtual_bench(&mut g, "fig01/darray_seq_read_3n", || {
+        micro(System::DArray, Op::Read, Pattern::Sequential, 3, 1, 4096, 8192).elapsed
+    });
+    virtual_bench(&mut g, "fig01/gam_seq_read_3n", || {
+        micro(System::Gam, Op::Read, Pattern::Sequential, 3, 1, 4096, 8192).elapsed
+    });
+    virtual_bench(&mut g, "fig01/bcl_seq_read_3n", || {
+        micro(System::Bcl, Op::Read, Pattern::Sequential, 3, 1, 4096, 512).elapsed
+    });
+
+    // Figure 12: intra-node thread scaling (4 threads, 3 nodes).
+    virtual_bench(&mut g, "fig12/darray_read_4t", || {
+        micro(System::DArray, Op::Read, Pattern::Sequential, 3, 4, 4096, 4096).elapsed
+    });
+    virtual_bench(&mut g, "fig12/gam_read_4t", || {
+        micro(System::Gam, Op::Read, Pattern::Sequential, 3, 4, 4096, 4096).elapsed
+    });
+
+    // Figure 13: inter-node scaling (4 nodes, weak-scaled array).
+    virtual_bench(&mut g, "fig13/darray_write_4n", || {
+        micro(System::DArray, Op::Write, Pattern::Sequential, 4, 1, 4096, 4096).elapsed
+    });
+    virtual_bench(&mut g, "fig13/darray_operate_4n", || {
+        micro(System::DArray, Op::Operate, Pattern::Sequential, 4, 1, 4096, 4096).elapsed
+    });
+
+    // Figure 14: Operate vs WLock+Read+Write under Zipf contention.
+    virtual_bench(&mut g, "fig14/operate_3n", || zipf_update(3, 8192, 2000, true).elapsed);
+    virtual_bench(&mut g, "fig14/lock_3n", || zipf_update(3, 8192, 500, false).elapsed);
+
+    // Figure 15: the Pin interface.
+    virtual_bench(&mut g, "fig15/pin_seq_read_3n", || {
+        micro(System::DArrayPin, Op::Read, Pattern::Sequential, 3, 1, 4096, 8192).elapsed
+    });
+
+    // Figure 16: graph engines on a small R-MAT graph.
+    virtual_bench(&mut g, "fig16/pr_darray_2n", || {
+        graph_cell(GraphSys::DArray, Algo::PageRank, 2, 11, 4, 2)
+    });
+    virtual_bench(&mut g, "fig16/pr_gemini_2n", || {
+        graph_cell(GraphSys::Gemini, Algo::PageRank, 2, 11, 4, 2)
+    });
+    virtual_bench(&mut g, "fig16/cc_darraypin_2n", || {
+        graph_cell(GraphSys::DArrayPin, Algo::Cc, 2, 11, 4, 2)
+    });
+
+    // Figure 17: KVS under YCSB.
+    virtual_bench(&mut g, "fig17/kvs_darray_get100", || {
+        kvs_ycsb(KvSys::DArray, 2, 1, 1.0, 256, 300).elapsed
+    });
+    virtual_bench(&mut g, "fig17/kvs_gam_get100", || {
+        kvs_ycsb(KvSys::Gam, 2, 1, 1.0, 256, 300).elapsed
+    });
+
+    // Figure 18: random access under cache thrash.
+    virtual_bench(&mut g, "fig18/darray_rand_read_3n", || {
+        micro(System::DArray, Op::Read, Pattern::Random, 3, 1, 65_536, 1_500).elapsed
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic virtual-time samples have zero variance, which breaks
+    // criterion's plot generation; disable plots.
+    config = Criterion::default().without_plots();
+    targets = bench_figures
+}
+criterion_main!(benches);

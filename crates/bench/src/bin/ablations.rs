@@ -1,0 +1,164 @@
+//! Ablations of DArray's design choices (DESIGN.md §5): each table flips
+//! one mechanism and reruns a focused workload.
+//!
+//! 1. lock-free vs lock-based data access path (§4.1's strawman);
+//! 2. sequential prefetch on/off (§4.2);
+//! 3. dedicated Tx threads vs inline posting (§4.5);
+//! 4. selective signaling interval (§4.5);
+//! 5. runtime threads per node (§3.1's parallel runtime layer);
+//! 6. eviction watermark settings under cache thrash (§4.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use darray::{
+    AccessPath, ArrayOptions, CacheConfig, Cluster, ClusterConfig, Sim, SimConfig, VTime,
+};
+use darray_bench::report::{fmt, print_table};
+use workloads::Rng;
+
+/// Sequential scan throughput (Mops/s) under an arbitrary configuration.
+fn scan(cfg: ClusterConfig, threads: usize, elems_per_node: usize, ops: u64, random: bool) -> f64 {
+    let nodes = cfg.nodes;
+    let len = elems_per_node * nodes;
+    let elapsed: VTime = Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
+        let el = Arc::new(AtomicU64::new(0));
+        let e2 = el.clone();
+        cluster.run(ctx, threads, move |ctx, env| {
+            let a = arr.on(env.node);
+            let mut rng = Rng::new((env.node * 64 + env.thread) as u64 + 1);
+            env.barrier(ctx);
+            let t0 = ctx.now();
+            for k in 0..ops {
+                let i = if random {
+                    rng.next_below(len as u64) as usize
+                } else {
+                    (k as usize) % len
+                };
+                std::hint::black_box(a.get(ctx, i));
+            }
+            e2.fetch_max(ctx.now() - t0, Ordering::Relaxed);
+        });
+        let t = el.load(Ordering::Relaxed);
+        cluster.shutdown(ctx);
+        t
+    });
+    (ops * (nodes * threads) as u64) as f64 / (elapsed as f64 / 1e9) / 1e6
+}
+
+fn main() {
+    let fast = darray_bench::fast_mode();
+    let ops: u64 = if fast { 4_096 } else { 30_000 };
+
+    // 1. Access path (the §4.1 strawman): local scans with rising thread
+    // counts — the lock serializes threads within a chunk.
+    {
+        let mut rows = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let mut free = ClusterConfig::with_nodes(1);
+            free.access_path = AccessPath::LockFree;
+            let mut lock = ClusterConfig::with_nodes(1);
+            lock.access_path = AccessPath::LockBased;
+            let f = scan(free, threads, 16_384, ops, false);
+            let l = scan(lock, threads, 16_384, ops, false);
+            rows.push(vec![threads.to_string(), fmt(f), fmt(l), fmt(f / l)]);
+        }
+        print_table(
+            "Ablation 1 — lock-free vs lock-based access path (1 node, seq read, Mops/s)",
+            &["threads", "lock-free", "lock-based", "speedup"],
+            &rows,
+        );
+    }
+
+    // 2. Prefetch: remote sequential scan with and without it.
+    {
+        let mut rows = Vec::new();
+        for prefetch in [0usize, 1, 2, 4, 8] {
+            let mut cfg = ClusterConfig::with_nodes(2);
+            cfg.cache.prefetch_lines = prefetch;
+            let t = scan(cfg, 1, 16_384, ops, false);
+            rows.push(vec![prefetch.to_string(), fmt(t)]);
+        }
+        print_table(
+            "Ablation 2 — prefetch depth (2 nodes, remote seq read, Mops/s)",
+            &["prefetch lines", "throughput"],
+            &rows,
+        );
+    }
+
+    // 3. Dedicated Tx threads vs inline posting.
+    {
+        let mut rows = Vec::new();
+        for tx in [false, true] {
+            let mut cfg = ClusterConfig::with_nodes(4);
+            cfg.tx_threads = tx;
+            let t = scan(cfg, 1, 8_192, ops, false);
+            rows.push(vec![
+                if tx { "dedicated Tx threads" } else { "inline posting" }.to_string(),
+                fmt(t),
+            ]);
+        }
+        print_table(
+            "Ablation 3 — Tx thread offload (4 nodes, seq read, Mops/s)",
+            &["comm layer", "throughput"],
+            &rows,
+        );
+    }
+
+    // 4. Selective signaling interval.
+    {
+        let mut rows = Vec::new();
+        for r in [1u64, 4, 16, 64, 256] {
+            let mut cfg = ClusterConfig::with_nodes(2);
+            cfg.net.signal_interval = r;
+            let t = scan(cfg, 1, 8_192, ops, false);
+            rows.push(vec![r.to_string(), fmt(t)]);
+        }
+        print_table(
+            "Ablation 4 — selective signaling interval (2 nodes, seq read, Mops/s)",
+            &["signal every r requests", "throughput"],
+            &rows,
+        );
+    }
+
+    // 5. Runtime threads: chunks (and protocol work) partition across
+    // them, so coherence-heavy workloads gain from a second runtime thread.
+    {
+        let mut rows = Vec::new();
+        for rts in [1usize, 2, 4] {
+            let mut cfg = ClusterConfig::with_nodes(4);
+            cfg.runtime_threads = rts;
+            let t = scan(cfg, 2, 8_192, ops, false);
+            rows.push(vec![rts.to_string(), fmt(t)]);
+        }
+        print_table(
+            "Ablation 5 — runtime threads per node (4 nodes, 2 app threads, seq read, Mops/s)",
+            &["runtime threads", "throughput"],
+            &rows,
+        );
+    }
+
+    // 6. Eviction watermarks under random-access thrash.
+    {
+        let mut rows = Vec::new();
+        for (lo, hi) in [(0.05, 0.10), (0.30, 0.50), (0.60, 0.80)] {
+            let mut cfg = ClusterConfig::with_nodes(2);
+            cfg.cache = CacheConfig {
+                capacity_lines: 64,
+                low_watermark: lo,
+                high_watermark: hi,
+                prefetch_lines: 0,
+                ..CacheConfig::default()
+            };
+            let t = scan(cfg, 1, 131_072, ops / 4, true);
+            rows.push(vec![format!("{lo:.2}/{hi:.2}"), fmt(t)]);
+        }
+        print_table(
+            "Ablation 6 — eviction watermarks (2 nodes, random read, thrashing cache, Mops/s)",
+            &["low/high watermark", "throughput"],
+            &rows,
+        );
+    }
+}

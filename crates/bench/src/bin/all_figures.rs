@@ -1,0 +1,20 @@
+//! Run every figure and table in sequence (the full evaluation). Set
+//! `FIG_FAST=1` for a quick smoke pass. Individual binaries exist per
+//! figure (`fig01` … `fig18`, `table1`, `ablations`).
+
+use std::process::Command;
+
+fn main() {
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in [
+        "table1", "fig01", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "ablations",
+    ] {
+        println!("\n========================= {bin} =========================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 12: sequential Read / Write / Operate throughput (Mops/s) with
+//! increasing thread counts on three nodes. DArray vs GAM vs BCL (Operate:
+//! DArray's Operate vs GAM's Atomic; BCL has no Operate).
+
+use darray_bench::micro::{micro, Op, Pattern, System};
+use darray_bench::report::{fmt, print_table};
+
+fn main() {
+    let fast = darray_bench::fast_mode();
+    let nodes = 3;
+    let elems_per_node = if fast { 4_096 } else { 16_384 };
+    let ops: u64 = if fast { 4_096 } else { 30_000 };
+    let bcl_ops: u64 = if fast { 512 } else { 2_500 };
+    let threads: &[usize] = if fast { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    for op in [Op::Read, Op::Write, Op::Operate] {
+        let mut rows = Vec::new();
+        for &t in threads {
+            let d = micro(System::DArray, op, Pattern::Sequential, nodes, t, elems_per_node, ops);
+            let g = micro(System::Gam, op, Pattern::Sequential, nodes, t, elems_per_node, ops);
+            let b = if op == Op::Operate {
+                None
+            } else {
+                Some(micro(System::Bcl, op, Pattern::Sequential, nodes, t, elems_per_node, bcl_ops))
+            };
+            rows.push(vec![
+                t.to_string(),
+                fmt(d.mops()),
+                fmt(g.mops()),
+                b.map(|x| fmt(x.mops())).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        print_table(
+            &format!("Figure 12{} — sequential {} throughput on 3 nodes (Mops/s)",
+                match op { Op::Read => "a", Op::Write => "b", Op::Operate => "c" },
+                op.label()),
+            &["threads/node", "DArray", "GAM", "BCL"],
+            &rows,
+        );
+    }
+    println!("\npaper: DArray consistently above GAM and BCL; the gap grows with threads; BCL flat (MPI RMA serialization).");
+}

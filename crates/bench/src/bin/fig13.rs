@@ -1,0 +1,64 @@
+//! Figure 13: sequential Read / Write / Operate throughput (Mops/s) with
+//! increasing node counts (one thread per node, array weak-scaled with the
+//! node count), plus the scalability ratios the paper quotes (§6.2:
+//! DArray 0.82/0.76/0.87, GAM 0.72/0.68/0.73, BCL 0.52/0.52).
+
+use darray_bench::micro::{micro, Op, Pattern, System};
+use darray_bench::report::{fmt, print_table, scalability};
+
+fn main() {
+    let fast = darray_bench::fast_mode();
+    let elems_per_node = if fast { 4_096 } else { 8_192 };
+    let ops: u64 = if fast { 4_096 } else { 40_000 };
+    let bcl_ops: u64 = if fast { 512 } else { 2_500 };
+    let node_counts: &[usize] = if fast { &[1, 3] } else { &[1, 2, 3, 4, 6, 8, 10, 12] };
+
+    for op in [Op::Read, Op::Write, Op::Operate] {
+        let mut rows = Vec::new();
+        let mut pts: [Vec<(usize, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for &n in node_counts {
+            let d = micro(System::DArray, op, Pattern::Sequential, n, 1, elems_per_node, ops);
+            let g = micro(System::Gam, op, Pattern::Sequential, n, 1, elems_per_node, ops);
+            let b = if op == Op::Operate {
+                None
+            } else {
+                Some(micro(System::Bcl, op, Pattern::Sequential, n, 1, elems_per_node, bcl_ops))
+            };
+            pts[0].push((n, d.mops()));
+            pts[1].push((n, g.mops()));
+            if let Some(bb) = b {
+                pts[2].push((n, bb.mops()));
+            }
+            rows.push(vec![
+                n.to_string(),
+                fmt(d.mops()),
+                fmt(g.mops()),
+                b.map(|x| fmt(x.mops())).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        let ratios = vec![vec![
+            "scalability".to_string(),
+            fmt(scalability(&pts[0])),
+            fmt(scalability(&pts[1])),
+            // BCL's single-node run is all-local (no RMA at all), so its
+            // scalability is measured from the first distributed point.
+            if pts[2].len() < 3 {
+                "-".to_string()
+            } else {
+                fmt(scalability(&pts[2][1..]))
+            },
+        ]];
+        let mut all = rows;
+        all.extend(ratios);
+        print_table(
+            &format!(
+                "Figure 13{} — sequential {} throughput vs nodes (Mops/s), 1 thread/node",
+                match op { Op::Read => "a", Op::Write => "b", Op::Operate => "c" },
+                op.label()
+            ),
+            &["nodes", "DArray", "GAM", "BCL"],
+            &all,
+        );
+    }
+    println!("\npaper scalability ratios: DArray 0.82/0.76/0.87, GAM 0.72/0.68/0.73, BCL 0.52/0.52.");
+}

@@ -1,0 +1,46 @@
+//! Figure 18 (limitations): uniform-random Read / Write / Operate latency
+//! (ns) with increasing node counts, one thread per node. With poor
+//! locality the coherence protocol's fills/evictions dominate DArray and
+//! GAM, while cache-less BCL stays flat at the RDMA round trip.
+
+use darray_bench::micro::{micro, Op, Pattern, System};
+use darray_bench::report::{fmt, print_table};
+
+fn main() {
+    let fast = darray_bench::fast_mode();
+    // Working set far beyond the cache so random access thrashes (§6.6).
+    let elems_per_node = if fast { 65_536 } else { 262_144 };
+    let ops: u64 = if fast { 2_000 } else { 8_000 };
+    let bcl_ops: u64 = if fast { 500 } else { 2_000 };
+    let node_counts: &[usize] = if fast { &[1, 3] } else { &[1, 2, 4, 6, 8] };
+
+    for op in [Op::Read, Op::Write, Op::Operate] {
+        let mut rows = Vec::new();
+        for &n in node_counts {
+            let d = micro(System::DArray, op, Pattern::Random, n, 1, elems_per_node, ops);
+            let g = micro(System::Gam, op, Pattern::Random, n, 1, elems_per_node, ops);
+            let b = if op == Op::Operate {
+                None
+            } else {
+                Some(micro(System::Bcl, op, Pattern::Random, n, 1, elems_per_node, bcl_ops))
+            };
+            rows.push(vec![
+                n.to_string(),
+                fmt(d.avg_latency_ns(ops)),
+                fmt(g.avg_latency_ns(ops)),
+                b.map(|x| fmt(x.avg_latency_ns(bcl_ops)))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 18{} — uniform random {} latency (ns)",
+                match op { Op::Read => "a", Op::Write => "b", Op::Operate => "c" },
+                op.label()
+            ),
+            &["nodes", "DArray", "GAM", "BCL"],
+            &rows,
+        );
+    }
+    println!("\npaper: DArray/GAM latency grows with nodes (coherence + eviction overhead); BCL stays ≈2 µs; random writes cost more than reads (contention).");
+}

@@ -1,0 +1,21 @@
+//! # darray-bench — the evaluation harness
+//!
+//! One module per experiment family; every figure binary (`fig01` …
+//! `fig18`, `table1`, `ablations`) and the criterion benches call into
+//! these functions. All numbers are **virtual time** from the
+//! deterministic simulation, so every run of a binary reproduces the same
+//! table bit-for-bit.
+//!
+//! See `DESIGN.md` §5 for the experiment ↔ figure mapping and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+pub mod graphs;
+pub mod kvsbench;
+pub mod micro;
+pub mod operate;
+pub mod report;
+
+/// True when `FIG_FAST=1`: figure binaries shrink workloads for smoke runs.
+pub fn fast_mode() -> bool {
+    std::env::var("FIG_FAST").map(|v| v == "1").unwrap_or(false)
+}

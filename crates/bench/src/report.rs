@@ -1,0 +1,58 @@
+//! Table formatting and scalability helpers for the figure binaries.
+
+/// Print a markdown table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for r in rows {
+        println!("| {} |", r.join(" | "));
+    }
+}
+
+/// The paper's scalability ratio: `T(n_max) / (T(n_min) * n_max / n_min)`,
+/// i.e. the fraction of perfect scaling retained at the largest node count.
+pub fn scalability(points: &[(usize, f64)]) -> f64 {
+    assert!(points.len() >= 2);
+    let (n0, t0) = points[0];
+    let (n1, t1) = *points.last().unwrap();
+    (t1 / t0) / (n1 as f64 / n0 as f64)
+}
+
+/// Format a float to 3 significant-ish digits.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalability_of_perfect_scaling_is_one() {
+        let pts = [(1, 10.0), (2, 20.0), (4, 40.0)];
+        assert!((scalability(&pts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalability_of_flat_throughput_decays() {
+        let pts = [(1, 10.0), (4, 10.0)];
+        assert!((scalability(&pts) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(123.4), "123");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(0.1234), "0.1234");
+    }
+}

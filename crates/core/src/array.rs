@@ -1,0 +1,338 @@
+//! The `DArray` public API (Figure 3): `get`/`set`, `apply` (Operate),
+//! distributed `rlock`/`wlock`/`unlock`, and `pin`.
+//!
+//! `get`/`set`/`apply` follow the lock-free data access path of Figure 4:
+//! check `delay_flag`, take a reference, check rights, touch the data,
+//! release. A miss submits a request to the runtime through the
+//! local-request queue and blocks (in virtual time) until filled, then
+//! retries.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use dsim::{Ctx, WaitCell};
+use rdma_fabric::NodeId;
+
+use crate::config::AccessPath;
+use crate::dentry::{Acquire, Dentry, Want};
+use crate::element::Element;
+use crate::msg::{ChunkId, LocalKind, LocalReq, LockKind, RtMsg};
+use crate::op::OpId;
+use crate::shared::{data_location, ArrayShared, ClusterShared};
+use crate::stats::NodeStats;
+
+/// A node-local view of a distributed array of `T`. Cheap to clone; one per
+/// application thread is typical.
+pub struct DArray<T: Element> {
+    pub(crate) shared: Arc<ClusterShared>,
+    pub(crate) arr: Arc<ArrayShared>,
+    pub(crate) node: NodeId,
+    pub(crate) _pd: PhantomData<fn() -> T>,
+}
+
+impl<T: Element> Clone for DArray<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+            arr: self.arr.clone(),
+            node: self.node,
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T: Element> DArray<T> {
+    /// Number of elements in the global array.
+    pub fn len(&self) -> usize {
+        self.arr.layout.len()
+    }
+
+    /// True for an empty array.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements per chunk (directory granularity).
+    pub fn chunk_size(&self) -> usize {
+        self.arr.layout.chunk_size()
+    }
+
+    /// The node this view is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes the array spans.
+    pub fn nodes(&self) -> usize {
+        self.arr.layout.nodes()
+    }
+
+    /// Home node of element `index`.
+    pub fn home_of(&self, index: usize) -> NodeId {
+        self.arr.layout.home_of(index)
+    }
+
+    /// Elements whose home is this node (useful for owner-computes loops).
+    pub fn local_range(&self) -> std::ops::Range<usize> {
+        self.arr.layout.node_elems(self.node)
+    }
+
+    #[inline]
+    pub(crate) fn dentry(&self, chunk: usize) -> &Dentry {
+        &self.arr.per_node[self.node].dentries[chunk]
+    }
+
+    /// Submit a request to the runtime and wait for completion (the slow
+    /// path of Figure 4, lines 10-12).
+    pub(crate) fn slow_request(&self, ctx: &mut Ctx, kind: LocalKind) {
+        NodeStats::bump(&self.shared.stats[self.node].slow_misses);
+        let waiter = WaitCell::new();
+        let chunk = kind.route_chunk(self.arr.layout.chunk_size());
+        self.shared.rt_mailbox(self.node, chunk).send(
+            ctx,
+            RtMsg::Local(LocalReq {
+                array: self.arr.id,
+                kind,
+                waiter: waiter.clone(),
+            }),
+            0,
+        );
+        waiter.wait(ctx);
+    }
+
+    /// Fast-path access skeleton: acquire rights for `want`, run `body` on
+    /// the data word, release. Retries through the slow path on a miss.
+    #[inline]
+    fn access<R>(
+        &self,
+        ctx: &mut Ctx,
+        index: usize,
+        want: Want,
+        miss: impl Fn() -> LocalKind,
+        body: impl Fn(&rdma_fabric::MemoryRegion, usize, &Self, &mut Ctx) -> R,
+    ) -> R {
+        assert!(index < self.len(), "index {index} out of bounds");
+        let layout = &self.arr.layout;
+        let chunk = layout.chunk_of(index);
+        let off = layout.offset_in_chunk(index);
+        let d = self.dentry(chunk);
+        let cost = &self.shared.cfg.cost;
+        let path_cost = self
+            .shared
+            .cfg
+            .fast_path_cost_ns
+            .unwrap_or_else(|| cost.darray_fast_path());
+        let lock_based = self.shared.cfg.access_path == AccessPath::LockBased;
+        loop {
+            if lock_based {
+                // §4.1 strawman: a per-chunk lock on every access. Large
+                // overhead and chunk-serialized concurrency.
+                d.chunk_lock.lock(ctx, cost.mutex_pair_ns);
+            }
+            ctx.charge(path_cost);
+            match d.acquire(want) {
+                Acquire::Ok(line) => {
+                    let (region, word) =
+                        data_location(&self.shared, &self.arr, self.node, line, chunk, off);
+                    let r = body(region, word, self, ctx);
+                    d.release();
+                    if lock_based {
+                        d.chunk_lock.unlock(ctx);
+                    }
+                    NodeStats::bump(&self.shared.stats[self.node].fast_hits);
+                    return r;
+                }
+                Acquire::Delayed => {
+                    if lock_based {
+                        d.chunk_lock.unlock(ctx);
+                    }
+                    ctx.spin_hint(20);
+                }
+                Acquire::NoRights(st) => {
+                    if lock_based {
+                        d.chunk_lock.unlock(ctx);
+                    }
+                    if crate::trace::array_matches(self.arr.id) {
+                        crate::trace::trace_chunk!(chunk, "t={} node{} APP-MISS want={:?} state={:?}", ctx.now(), self.node, want, st);
+                    }
+                    self.slow_request(ctx, miss());
+                }
+            }
+        }
+    }
+
+    /// Read element `index` (Figure 3 line 3).
+    pub fn get(&self, ctx: &mut Ctx, index: usize) -> T {
+        let chunk = self.arr.layout.chunk_of(index) as ChunkId;
+        let bits = self.access(
+            ctx,
+            index,
+            Want::Read,
+            || LocalKind::Read { chunk },
+            |region, word, _, _| region.load(word),
+        );
+        T::from_bits(bits)
+    }
+
+    /// Write element `index` (Figure 3 line 4).
+    pub fn set(&self, ctx: &mut Ctx, index: usize, value: T) {
+        let chunk = self.arr.layout.chunk_of(index) as ChunkId;
+        let bits = value.to_bits();
+        self.access(
+            ctx,
+            index,
+            Want::Write,
+            || LocalKind::Write { chunk },
+            move |region, word, _, _| region.store(word, bits),
+        );
+    }
+
+    /// Apply a registered operator to element `index` (Figure 3 line 9, the
+    /// Operate interface). Under the Operated state the operand is combined
+    /// into the local operand buffer; under Exclusive rights it is applied
+    /// to the value directly — both are the same commutative combine.
+    ///
+    /// ```
+    /// use darray::{ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig};
+    /// Sim::new(SimConfig::default()).run(|ctx| {
+    ///     let cluster = Cluster::new(ctx, ClusterConfig::test_config(3));
+    ///     let min = cluster.ops().register_min_u64();
+    ///     let arr = cluster.alloc_with::<u64>(1024, ArrayOptions::default(), |_| u64::MAX);
+    ///     cluster.run(ctx, 1, move |ctx, env| {
+    ///         let a = arr.on(env.node);
+    ///         // All three nodes concurrently propose a minimum.
+    ///         a.apply(ctx, 42, min, 100 + env.node as u64);
+    ///         env.barrier(ctx);
+    ///         assert_eq!(a.get(ctx, 42), 100);
+    ///     });
+    ///     cluster.shutdown(ctx);
+    /// });
+    /// ```
+    pub fn apply(&self, ctx: &mut Ctx, index: usize, op: OpId, operand: T) {
+        let chunk = self.arr.layout.chunk_of(index) as ChunkId;
+        let bits = operand.to_bits();
+        let registry = self.shared.registry.clone();
+        let op_cost = self.shared.cfg.cost.op_apply_ns;
+        self.access(
+            ctx,
+            index,
+            Want::Operate(op.0),
+            || LocalKind::Operate { chunk, op: op.0 },
+            move |region, word, this, ctx| {
+                loop {
+                    let cur = region.load(word);
+                    let new = registry.combine(op, cur, bits);
+                    if region.compare_exchange(word, cur, new).is_ok() {
+                        break;
+                    }
+                }
+                ctx.charge(op_cost);
+                NodeStats::bump(&this.shared.stats[this.node].local_combines);
+            },
+        );
+    }
+
+    /// Atomic read-modify-write under exclusive (Write) ownership: acquires
+    /// the chunk once and CAS-updates the element. This is how systems
+    /// *without* the Operate interface (e.g. the GAM baseline's Atomic
+    /// verbs) implement read-then-write — the chunk's ownership must
+    /// migrate to the caller, serializing concurrent updaters.
+    pub fn update(&self, ctx: &mut Ctx, index: usize, f: impl Fn(T) -> T) {
+        let chunk = self.arr.layout.chunk_of(index) as ChunkId;
+        self.access(
+            ctx,
+            index,
+            Want::Write,
+            || LocalKind::Write { chunk },
+            move |region, word, _, _| loop {
+                let cur = region.load(word);
+                let new = f(T::from_bits(cur)).to_bits();
+                if region.compare_exchange(word, cur, new).is_ok() {
+                    break;
+                }
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed locks (Figure 3 lines 5-7)
+    // ------------------------------------------------------------------
+
+    /// Acquire the distributed reader lock of element `index`.
+    pub fn rlock(&self, ctx: &mut Ctx, index: usize) {
+        assert!(index < self.len());
+        self.slow_request(
+            ctx,
+            LocalKind::LockAcquire {
+                index: index as u64,
+                kind: LockKind::Read,
+            },
+        );
+        self.note_held(index, LockKind::Read);
+    }
+
+    /// Acquire the distributed writer lock of element `index`.
+    ///
+    /// ```
+    /// use darray::{ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig};
+    /// Sim::new(SimConfig::default()).run(|ctx| {
+    ///     let cluster = Cluster::new(ctx, ClusterConfig::test_config(2));
+    ///     let arr = cluster.alloc::<u64>(512, ArrayOptions::default());
+    ///     cluster.run(ctx, 1, move |ctx, env| {
+    ///         let a = arr.on(env.node);
+    ///         for _ in 0..5 {
+    ///             a.wlock(ctx, 7);
+    ///             let v = a.get(ctx, 7);
+    ///             a.set(ctx, 7, v + 1); // read-modify-write under the lock
+    ///             a.unlock(ctx, 7);
+    ///         }
+    ///         env.barrier(ctx);
+    ///         assert_eq!(a.get(ctx, 7), 10);
+    ///     });
+    ///     cluster.shutdown(ctx);
+    /// });
+    /// ```
+    pub fn wlock(&self, ctx: &mut Ctx, index: usize) {
+        assert!(index < self.len());
+        self.slow_request(
+            ctx,
+            LocalKind::LockAcquire {
+                index: index as u64,
+                kind: LockKind::Write,
+            },
+        );
+        self.note_held(index, LockKind::Write);
+    }
+
+    /// Release the lock this node holds on element `index`.
+    pub fn unlock(&self, ctx: &mut Ctx, index: usize) {
+        let kind = self.take_held(index);
+        self.slow_request(
+            ctx,
+            LocalKind::LockRelease {
+                index: index as u64,
+                kind,
+            },
+        );
+    }
+
+    fn note_held(&self, index: usize, kind: LockKind) {
+        let mut held = self.arr.per_node[self.node].held.lock();
+        let e = held.entry(index as u64).or_insert((kind, 0));
+        debug_assert_eq!(e.0, kind, "mixed lock kinds held on index {index}");
+        e.1 += 1;
+    }
+
+    fn take_held(&self, index: usize) -> LockKind {
+        let mut held = self.arr.per_node[self.node].held.lock();
+        let e = held
+            .get_mut(&(index as u64))
+            .unwrap_or_else(|| panic!("unlock({index}) without a held lock"));
+        let kind = e.0;
+        e.1 -= 1;
+        if e.1 == 0 {
+            held.remove(&(index as u64));
+        }
+        kind
+    }
+}

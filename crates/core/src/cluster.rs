@@ -1,0 +1,313 @@
+//! Cluster bootstrap: spawn runtime/Rx/Tx threads per node, allocate
+//! distributed arrays, run application code on every node, and tear down.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use dsim::{Ctx, JoinHandle, Mailbox, SimBarrier};
+use parking_lot::RwLock;
+use rdma_fabric::{Fabric, NicStatsSnapshot, NodeId};
+
+use crate::array::DArray;
+use crate::cache::CacheRegion;
+use crate::comm::{rx_thread_main, tx_thread_main, CommHandle, TxReq};
+use crate::config::{ArrayOptions, ClusterConfig, DEFAULT_CHUNK_SIZE};
+use crate::element::Element;
+use crate::layout::Layout;
+use crate::msg::{NetMsg, RtMsg};
+use crate::op::{OpId, OpRegistry};
+use crate::runtime::RuntimeThread;
+use crate::shared::{ArrayShared, ClusterShared};
+use crate::stats::NodeStatsSnapshot;
+
+/// Environment handed to each application thread by [`Cluster::run`].
+pub struct NodeEnv {
+    /// This thread's node.
+    pub node: NodeId,
+    /// Thread index within the node.
+    pub thread: usize,
+    /// Number of nodes in the cluster.
+    pub nodes: usize,
+    /// Application threads per node in this `run`.
+    pub threads_per_node: usize,
+    barrier: SimBarrier,
+}
+
+impl NodeEnv {
+    /// Global barrier over every application thread of this `run`.
+    pub fn barrier(&self, ctx: &mut Ctx) {
+        self.barrier.wait(ctx);
+    }
+}
+
+/// A handle to a distributed array that is not yet bound to a node; hand it
+/// to application threads and call [`GlobalArray::on`].
+pub struct GlobalArray<T: Element> {
+    shared: Arc<ClusterShared>,
+    arr: Arc<ArrayShared>,
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T: Element> Clone for GlobalArray<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+            arr: self.arr.clone(),
+            _pd: PhantomData,
+        }
+    }
+}
+
+impl<T: Element> GlobalArray<T> {
+    /// The node-local view for `node`.
+    pub fn on(&self, node: NodeId) -> DArray<T> {
+        assert!(node < self.shared.cfg.nodes);
+        DArray {
+            shared: self.shared.clone(),
+            arr: self.arr.clone(),
+            node,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Global length.
+    pub fn len(&self) -> usize {
+        self.arr.layout.len()
+    }
+
+    /// True for an empty array.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A running DArray cluster inside a `dsim` simulation.
+pub struct Cluster {
+    shared: Arc<ClusterShared>,
+    tx_queues: Vec<Option<Mailbox<TxReq>>>,
+    service_handles: Vec<JoinHandle>,
+}
+
+impl Cluster {
+    /// Boot a cluster: builds the fabric and spawns, per node, one Rx
+    /// thread, the configured runtime threads, and (optionally) a Tx thread.
+    pub fn new(ctx: &mut Ctx, cfg: ClusterConfig) -> Self {
+        cfg.validate();
+        let nodes = cfg.nodes;
+        let rts = cfg.runtime_threads;
+        let fabric: Fabric<NetMsg> = Fabric::new(nodes, cfg.net.clone());
+        let nics = (0..nodes).map(|i| fabric.nic(i)).collect::<Vec<_>>();
+        let lines_per_rt = (cfg.cache.capacity_lines / rts).max(1) as u32;
+        let cache_regions = (0..nodes)
+            .map(|_| {
+                rdma_fabric::MemoryRegion::new(lines_per_rt as usize * rts * cfg.cache.line_words)
+            })
+            .collect::<Vec<_>>();
+        let cache_pools = (0..nodes)
+            .map(|_| {
+                (0..rts)
+                    .map(|r| {
+                        Arc::new(CacheRegion::new(
+                            r as u32 * lines_per_rt,
+                            lines_per_rt,
+                            cfg.cache.low_watermark,
+                            cfg.cache.high_watermark,
+                        ))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        let rt_mailboxes = (0..nodes)
+            .map(|n| {
+                (0..rts)
+                    .map(|r| Mailbox::new(&format!("rt-{n}-{r}")))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        let stats = (0..nodes)
+            .map(|_| Arc::new(crate::stats::NodeStats::default()))
+            .collect();
+        let shared = Arc::new(ClusterShared {
+            cfg: cfg.clone(),
+            registry: Arc::new(OpRegistry::new()),
+            nics,
+            arrays: RwLock::new(Vec::new()),
+            cache_regions,
+            cache_pools,
+            rt_mailboxes,
+            stats,
+        });
+
+        let mut service_handles = Vec::new();
+        let mut tx_queues = Vec::new();
+        for node in 0..nodes {
+            // Rx thread (always present; §3.1 communication layer).
+            let sh = shared.clone();
+            service_handles.push(ctx.spawn(&format!("rx-{node}"), move |c| {
+                rx_thread_main(c, sh, node);
+            }));
+            // Optional Tx thread.
+            let tx_q = if cfg.tx_threads {
+                let q: Mailbox<TxReq> = Mailbox::new(&format!("tx-{node}"));
+                let nic = shared.nics[node].clone();
+                let q2 = q.clone();
+                service_handles.push(ctx.spawn(&format!("tx-{node}"), move |c| {
+                    tx_thread_main(c, nic, q2);
+                }));
+                Some(q)
+            } else {
+                None
+            };
+            // Runtime threads.
+            for r in 0..rts {
+                let comm = CommHandle {
+                    nic: shared.nics[node].clone(),
+                    tx: tx_q.clone(),
+                };
+                let rt = RuntimeThread::new(
+                    node,
+                    r,
+                    shared.clone(),
+                    comm,
+                    shared.cache_pools[node][r].clone(),
+                    shared.rt_mailboxes[node][r].clone(),
+                );
+                service_handles.push(ctx.spawn(&format!("rt-{node}-{r}"), move |c| rt.run(c)));
+            }
+            tx_queues.push(tx_q);
+        }
+        Self {
+            shared,
+            tx_queues,
+            service_handles,
+        }
+    }
+
+    /// The cluster-wide operator registry (the paper's `registerOp` lives
+    /// here).
+    pub fn ops(&self) -> &OpRegistry {
+        &self.shared.registry
+    }
+
+    /// Register an associative+commutative operator (Figure 3 line 8).
+    pub fn register_op<T, F>(&self, name: &str, identity: T, combine: F) -> OpId
+    where
+        T: Element,
+        F: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        self.shared.registry.register(name, identity, combine)
+    }
+
+    /// Allocate a zero-initialized distributed array of `len` elements
+    /// (Figure 3 line 2's constructor).
+    pub fn alloc<T: Element>(&self, len: usize, opts: ArrayOptions) -> GlobalArray<T> {
+        self.alloc_with(len, opts, |_| T::from_bits(0))
+    }
+
+    /// Allocate and initialize a distributed array; `init(i)` produces the
+    /// initial value of element `i`, written directly into each home
+    /// node's subarray (no network traffic).
+    pub fn alloc_with<T: Element>(
+        &self,
+        len: usize,
+        opts: ArrayOptions,
+        init: impl Fn(usize) -> T,
+    ) -> GlobalArray<T> {
+        let chunk_size = opts.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE);
+        assert!(
+            chunk_size <= self.shared.cfg.cache.line_words,
+            "array chunk_size {chunk_size} exceeds cacheline capacity {}",
+            self.shared.cfg.cache.line_words
+        );
+        let nodes = self.shared.cfg.nodes;
+        let layout = match &opts.partition_offset {
+            Some(offs) => Layout::custom(len, nodes, chunk_size, offs),
+            None => Layout::even(len, nodes, chunk_size),
+        };
+        let mut arrays = self.shared.arrays.write();
+        let id = arrays.len() as u32;
+        let arr = Arc::new(ArrayShared::new(id, layout));
+        for n in 0..nodes {
+            let elems = arr.layout.node_elems(n);
+            let base_chunk = arr.layout.node_chunks(n).start;
+            for i in elems {
+                let c = arr.layout.chunk_of(i);
+                let w = (c - base_chunk) * chunk_size + arr.layout.offset_in_chunk(i);
+                arr.subarrays[n].store(w, init(i).to_bits());
+            }
+        }
+        arrays.push(arr.clone());
+        drop(arrays);
+        GlobalArray {
+            shared: self.shared.clone(),
+            arr,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Run `f` once per (node, thread) as simulated application threads and
+    /// join them all. May be called repeatedly (e.g. warm-up then measured
+    /// phase).
+    pub fn run<F>(&self, ctx: &mut Ctx, threads_per_node: usize, f: F)
+    where
+        F: Fn(&mut Ctx, NodeEnv) + Send + Sync + 'static,
+    {
+        assert!(threads_per_node > 0);
+        let nodes = self.shared.cfg.nodes;
+        let f = Arc::new(f);
+        let barrier = SimBarrier::new(nodes * threads_per_node);
+        let mut handles = Vec::new();
+        for node in 0..nodes {
+            for t in 0..threads_per_node {
+                let env = NodeEnv {
+                    node,
+                    thread: t,
+                    nodes,
+                    threads_per_node,
+                    barrier: barrier.clone(),
+                };
+                let f2 = f.clone();
+                handles.push(ctx.spawn(&format!("app-{node}-{t}"), move |c| f2(c, env)));
+            }
+        }
+        for h in handles {
+            h.join(ctx);
+        }
+    }
+
+    /// Statistics of one node's runtime.
+    pub fn stats(&self, node: NodeId) -> NodeStatsSnapshot {
+        self.shared.stats[node].snapshot()
+    }
+
+    /// Verb counters of one node's NIC.
+    pub fn nic_stats(&self, node: NodeId) -> NicStatsSnapshot {
+        self.shared.nic_stats(node)
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.shared.cfg
+    }
+
+    /// Stop all service threads and join them. Call after application work
+    /// has quiesced (outstanding protocol traffic is drained first because
+    /// mailbox sends are FIFO per sender and the runtime processes its
+    /// backlog before the shutdown message).
+    pub fn shutdown(self, ctx: &mut Ctx) {
+        let nodes = self.shared.cfg.nodes;
+        for node in 0..nodes {
+            for rt in &self.shared.rt_mailboxes[node] {
+                rt.send(ctx, RtMsg::Shutdown, 0);
+            }
+            if let Some(tx) = &self.tx_queues[node] {
+                tx.send(ctx, TxReq::Shutdown, 0);
+            }
+            // Rx threads stop on a Halt self-send through the fabric.
+            self.shared.nics[node].send(ctx, node, NetMsg::Halt, 0);
+        }
+        for h in self.service_handles {
+            h.join(ctx);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Communication layer (§3.1, §4.5): the adapter between runtime threads
+//! and the simulated RNIC.
+//!
+//! An **Rx thread** per node polls the NIC's receive queue and routes each
+//! protocol message to the runtime thread owning the message's chunk. **Tx
+//! threads** are optional (`ClusterConfig::tx_threads`): when enabled,
+//! runtime threads enqueue RDMA requests on the RDMA-request queue and a
+//! dedicated Tx thread posts them (the paper's design, which reduces queue
+//! pairs from n²·t to n²·c); when disabled, the runtime posts inline and
+//! pays the posting cost itself.
+
+use std::sync::Arc;
+
+use dsim::{Ctx, Mailbox};
+use rdma_fabric::{MemoryRegion, Nic, NodeId};
+
+use crate::msg::{ArrayId, NetMsg, Rpc, RtMsg};
+use crate::shared::ClusterShared;
+
+/// A work request on the RDMA-request queue (runtime → Tx thread).
+pub(crate) enum TxReq {
+    Send {
+        dst: NodeId,
+        array: ArrayId,
+        rpc: Rpc,
+    },
+    WriteSend {
+        dst: NodeId,
+        region: MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+        array: ArrayId,
+        rpc: Rpc,
+    },
+    Shutdown,
+}
+
+/// Handle the runtime uses to emit network traffic, hiding whether a Tx
+/// thread is in between.
+pub(crate) struct CommHandle {
+    pub nic: Arc<Nic<NetMsg>>,
+    pub tx: Option<Mailbox<TxReq>>,
+}
+
+impl CommHandle {
+    /// Two-sided protocol message.
+    pub(crate) fn send(&self, ctx: &mut Ctx, dst: NodeId, array: ArrayId, rpc: Rpc) {
+        match &self.tx {
+            Some(tx) => tx.send(ctx, TxReq::Send { dst, array, rpc }, 0),
+            None => {
+                let bytes = rpc.payload_bytes();
+                self.nic.send(ctx, dst, NetMsg::Rpc { array, rpc }, bytes);
+            }
+        }
+    }
+
+    /// One-sided data WRITE followed by a notification message (RC FIFO
+    /// guarantees the data lands first).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn write_send(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+        array: ArrayId,
+        rpc: Rpc,
+    ) {
+        match &self.tx {
+            Some(tx) => tx.send(
+                ctx,
+                TxReq::WriteSend {
+                    dst,
+                    region: region.clone(),
+                    offset,
+                    data,
+                    array,
+                    rpc,
+                },
+                0,
+            ),
+            None => {
+                let bytes = rpc.payload_bytes();
+                self.nic
+                    .rdma_write_send(ctx, dst, region, offset, data, NetMsg::Rpc { array, rpc }, bytes);
+            }
+        }
+    }
+}
+
+/// Body of a Tx thread: drain the RDMA-request queue and post verbs.
+pub(crate) fn tx_thread_main(ctx: &mut Ctx, nic: Arc<Nic<NetMsg>>, queue: Mailbox<TxReq>) {
+    loop {
+        match queue.recv(ctx) {
+            TxReq::Send { dst, array, rpc } => {
+                let bytes = rpc.payload_bytes();
+                nic.send(ctx, dst, NetMsg::Rpc { array, rpc }, bytes);
+            }
+            TxReq::WriteSend {
+                dst,
+                region,
+                offset,
+                data,
+                array,
+                rpc,
+            } => {
+                let bytes = rpc.payload_bytes();
+                nic.rdma_write_send(ctx, dst, &region, offset, data, NetMsg::Rpc { array, rpc }, bytes);
+            }
+            TxReq::Shutdown => break,
+        }
+    }
+}
+
+/// Body of the per-node Rx thread: poll the NIC and deliver RPCs to the
+/// runtime thread that owns each message's chunk.
+pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: NodeId) {
+    let nic = shared.nics[node].clone();
+    let rx = nic.rx();
+    let poll_cost = shared.cfg.net.cq_poll_ns;
+    loop {
+        let (src, msg) = rx.recv(ctx);
+        ctx.charge(poll_cost);
+        match msg {
+            NetMsg::Halt => break,
+            NetMsg::Rpc { array, rpc } => {
+                let chunk = rpc.route_chunk();
+                shared
+                    .rt_mailbox(node, chunk)
+                    .send(ctx, RtMsg::Net { src, array, rpc }, 0);
+            }
+        }
+    }
+}

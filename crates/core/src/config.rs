@@ -1,0 +1,189 @@
+//! Configuration of a DArray cluster.
+
+use rdma_fabric::{CostModel, NetConfig};
+
+/// Default chunk granularity: "the directory tracks the state of data ... at
+/// the chunk granularity (512 elements by default)" (§3.1).
+pub const DEFAULT_CHUNK_SIZE: usize = 512;
+
+/// Cache layer configuration (§4.2).
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total cachelines per node (split evenly among runtime threads, each
+    /// of which owns an independent cache region with its own scanning
+    /// pointer, Figure 7).
+    pub capacity_lines: usize,
+    /// Reclamation starts when the fraction of free cachelines in a region
+    /// drops below this (paper default 30 %).
+    pub low_watermark: f64,
+    /// Reclamation stops once the free fraction exceeds this (paper default
+    /// 50 %).
+    pub high_watermark: f64,
+    /// Cachelines to prefetch ahead of a sequential read miss, issued from
+    /// the slow path only (§4.2 "Cache prefetch"). 0 disables.
+    pub prefetch_lines: usize,
+    /// Words (8-byte slots) per cacheline. Every array's `chunk_size` must
+    /// be ≤ this; defaults to [`DEFAULT_CHUNK_SIZE`].
+    pub line_words: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_lines: 1024,
+            low_watermark: 0.30,
+            high_watermark: 0.50,
+            prefetch_lines: 2,
+            line_words: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+/// Which application-thread data access path to use; the lock-based path is
+/// the strawman of §4.1, kept for the ablation benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Reference-counted lock-free path (the paper's design, Figure 4).
+    LockFree,
+    /// Per-chunk mutex on every access (the strawman).
+    LockBased,
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Runtime threads per node. Chunks (and their cache regions) are
+    /// statically partitioned among them, so each chunk's protocol state is
+    /// handled by exactly one runtime thread.
+    pub runtime_threads: usize,
+    /// Spawn dedicated Tx threads that post verbs on behalf of the runtime
+    /// (§4.5 "Dedicated networking threads"). When false, the runtime posts
+    /// inline and the posting cost is charged to it directly; an Rx thread
+    /// per node always exists.
+    pub tx_threads: bool,
+    /// Application-thread access path.
+    pub access_path: AccessPath,
+    /// Override the CPU cost charged per fast-path access (ns). `None`
+    /// charges [`rdma_fabric::CostModel::darray_fast_path`]. The GAM
+    /// baseline sets this to its hash-probe cost (its per-chunk lock is
+    /// charged separately by the lock itself).
+    pub fast_path_cost_ns: Option<dsim::VTime>,
+    /// Network model parameters.
+    pub net: NetConfig,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Cache layer parameters.
+    pub cache: CacheConfig,
+    /// Minimum hold (grace) window, ns: after the directory grants a chunk,
+    /// requests that would revoke the grantee's rights wait this long.
+    /// Without it, back-to-back contenders can recall a chunk before the
+    /// grantee's application thread performs even one access (grant
+    /// starvation / livelock — a classic directory-protocol hazard).
+    pub grant_grace_ns: dsim::VTime,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1,
+            runtime_threads: 1,
+            tx_threads: false,
+            access_path: AccessPath::LockFree,
+            fast_path_cost_ns: None,
+            net: NetConfig::default(),
+            cost: CostModel::default(),
+            cache: CacheConfig::default(),
+            grant_grace_ns: 1_000,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Convenience: `n` nodes, defaults otherwise.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            nodes: n,
+            ..Default::default()
+        }
+    }
+
+    /// Fast-test configuration: near-zero network latency.
+    pub fn test_config(n: usize) -> Self {
+        Self {
+            nodes: n,
+            net: NetConfig::instant(),
+            ..Default::default()
+        }
+    }
+
+    /// Sanity-check invariants; called by `Cluster::new`.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "cluster needs at least one node");
+        assert!(self.runtime_threads > 0, "need at least one runtime thread");
+        assert!(
+            self.cache.capacity_lines >= self.runtime_threads,
+            "each runtime thread needs at least one cacheline"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.cache.low_watermark)
+                && (0.0..=1.0).contains(&self.cache.high_watermark),
+            "watermarks are fractions"
+        );
+        assert!(
+            self.cache.low_watermark <= self.cache.high_watermark,
+            "low watermark must not exceed high watermark"
+        );
+    }
+}
+
+/// Per-array options passed at construction (Figure 3's constructor).
+#[derive(Debug, Clone, Default)]
+pub struct ArrayOptions {
+    /// Elements per chunk; defaults to [`DEFAULT_CHUNK_SIZE`].
+    pub chunk_size: Option<usize>,
+    /// Custom partition: `partition_offset[i]` is the first element owned by
+    /// node `i` (must be non-decreasing, start at 0, and will be rounded up
+    /// to chunk boundaries). `None` means an even partition.
+    pub partition_offset: Option<Vec<usize>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        ClusterConfig::default().validate();
+        ClusterConfig::with_nodes(12).validate();
+        ClusterConfig::test_config(3).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        ClusterConfig {
+            nodes: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark")]
+    fn inverted_watermarks_rejected() {
+        let mut c = ClusterConfig::default();
+        c.cache.low_watermark = 0.9;
+        c.cache.high_watermark = 0.2;
+        c.validate();
+    }
+
+    #[test]
+    fn paper_defaults_are_encoded() {
+        let c = CacheConfig::default();
+        assert_eq!(c.low_watermark, 0.30);
+        assert_eq!(c.high_watermark, 0.50);
+        assert_eq!(DEFAULT_CHUNK_SIZE, 512);
+    }
+}

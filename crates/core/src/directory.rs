@@ -1,0 +1,186 @@
+//! Home-side directory entries: the global protocol state of each chunk,
+//! the transient phases of multi-message transitions, and the queue of
+//! requests waiting for the chunk to stabilize.
+
+use std::collections::VecDeque;
+
+use dsim::WaitCell;
+use rdma_fabric::NodeId;
+
+use crate::state::DirState;
+
+/// Where a directory request came from.
+pub(crate) enum Source {
+    /// An application thread on the home node, waiting on this cell.
+    Local(WaitCell),
+    /// A remote node; fills are RDMA-written to `dst_off` in its cache
+    /// region.
+    Remote { node: NodeId, dst_off: u64 },
+}
+
+/// What the requester wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqKind {
+    Read,
+    Write,
+    Operate(u32),
+}
+
+/// A queued directory request.
+pub(crate) struct DirReq {
+    pub source: Source,
+    pub kind: ReqKind,
+}
+
+/// Transient phase of a transition that is waiting for remote replies or a
+/// local reference drain. While a transient is pending, new requests queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Transient {
+    None,
+    /// Waiting for `InvalidateAck`s (or crossing `EvictNotice`s) from these
+    /// nodes.
+    AwaitInvAcks { waiting: Vec<NodeId> },
+    /// Waiting for a Dirty writeback from `from`.
+    AwaitWriteback { from: NodeId },
+    /// Waiting for operand flushes (of operator `op`) from these nodes.
+    AwaitFlushes { op: u32, waiting: Vec<NodeId> },
+    /// Waiting for the home dentry's references to drain.
+    HomeDrain,
+    /// Waiting out the minimum-hold grace window of a fresh grant; a
+    /// `RtMsg::Retry` clears it.
+    GraceWait,
+}
+
+impl Transient {
+    pub(crate) fn is_none(&self) -> bool {
+        matches!(self, Transient::None)
+    }
+}
+
+/// Directory entry of one chunk at its home node. Each chunk is serviced by
+/// exactly one runtime thread, so the mutex wrapping this entry is
+/// uncontended; it exists for interior mutability.
+pub(crate) struct DirEntry {
+    pub state: DirState,
+    pub transient: Transient,
+    /// Virtual time of the most recent grant (fill, Operated grant, or
+    /// local completion) — the start of the grace window.
+    pub granted_at: dsim::VTime,
+    /// The request being serviced by the pending transient, to resume once
+    /// the transient completes.
+    pub current: Option<DirReq>,
+    /// Requests waiting for the chunk to become stable.
+    pub pending: VecDeque<DirReq>,
+}
+
+impl DirEntry {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: DirState::Unshared,
+            transient: Transient::None,
+            granted_at: 0,
+            current: None,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Remove `node` from a transient waiting set; returns true if the set
+    /// became empty (the transient completed).
+    pub(crate) fn transient_remove(&mut self, node: NodeId) -> bool {
+        let set = match &mut self.transient {
+            Transient::AwaitInvAcks { waiting } | Transient::AwaitFlushes { waiting, .. } => {
+                waiting
+            }
+            _ => return false,
+        };
+        if let Some(pos) = set.iter().position(|&n| n == node) {
+            set.remove(pos);
+        }
+        set.is_empty()
+    }
+
+    /// Add a remote sharer (idempotent).
+    pub(crate) fn add_sharer(&mut self, node: NodeId) {
+        match &mut self.state {
+            DirState::Shared { sharers } | DirState::Operated { sharers, .. } => {
+                if !sharers.contains(&node) {
+                    sharers.push(node);
+                }
+            }
+            s => panic!("add_sharer in state {s:?}"),
+        }
+    }
+
+    /// Remove a remote sharer if present; returns true if it was the last.
+    pub(crate) fn remove_sharer(&mut self, node: NodeId) -> bool {
+        match &mut self.state {
+            DirState::Shared { sharers } | DirState::Operated { sharers, .. } => {
+                if let Some(pos) = sharers.iter().position(|&n| n == node) {
+                    sharers.remove(pos);
+                }
+                sharers.is_empty()
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpId;
+
+    #[test]
+    fn new_entry_is_unshared_and_stable() {
+        let e = DirEntry::new();
+        assert_eq!(e.state, DirState::Unshared);
+        assert!(e.transient.is_none());
+        assert!(e.pending.is_empty());
+        assert!(e.current.is_none());
+    }
+
+    #[test]
+    fn sharer_bookkeeping() {
+        let mut e = DirEntry::new();
+        e.state = DirState::Shared { sharers: vec![] };
+        e.add_sharer(2);
+        e.add_sharer(5);
+        e.add_sharer(2); // idempotent
+        assert_eq!(e.state, DirState::Shared { sharers: vec![2, 5] });
+        assert!(!e.remove_sharer(2));
+        assert!(e.remove_sharer(5));
+        assert!(e.remove_sharer(7), "removing from empty set reports empty");
+    }
+
+    #[test]
+    fn operated_sharers_work_too() {
+        let mut e = DirEntry::new();
+        e.state = DirState::Operated {
+            op: OpId(3),
+            sharers: vec![1],
+        };
+        e.add_sharer(4);
+        assert!(!e.remove_sharer(1));
+        assert!(e.remove_sharer(4));
+    }
+
+    #[test]
+    fn transient_sets_drain_to_completion() {
+        let mut e = DirEntry::new();
+        e.transient = Transient::AwaitFlushes {
+            op: 0,
+            waiting: vec![1, 2, 3],
+        };
+        assert!(!e.transient_remove(2));
+        assert!(!e.transient_remove(9)); // unknown node: no-op
+        assert!(!e.transient_remove(1));
+        assert!(e.transient_remove(3));
+    }
+
+    #[test]
+    fn transient_remove_ignores_wrong_kind() {
+        let mut e = DirEntry::new();
+        e.transient = Transient::AwaitWriteback { from: 1 };
+        assert!(!e.transient_remove(1));
+    }
+}

@@ -1,0 +1,154 @@
+//! The element trait: DArray stores fixed-size 8-byte objects, matching the
+//! paper's micro benchmarks ("each element of 8 bytes in size") and its two
+//! applications (vertex data, packed KVS entries).
+
+/// A value storable in a [`crate::DArray`]. Elements are encoded into a
+/// single 8-byte word; the distributed runtime moves raw words, so the
+/// encoding must be total and lossless.
+pub trait Element: Copy + Send + Sync + 'static {
+    /// Encode into a 64-bit word.
+    fn to_bits(self) -> u64;
+    /// Decode from a 64-bit word produced by [`Element::to_bits`].
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Element for u64 {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Element for i64 {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+impl Element for f64 {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        f64::to_bits(self)
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Element for u32 {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Element for i32 {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u32 as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32 as i32
+    }
+}
+
+impl Element for f32 {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        f32::to_bits(self) as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl Element for usize {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl Element for bool {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Element + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bits(v.to_bits()), v);
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(42u32);
+        roundtrip(u32::MAX);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(-123i32);
+        roundtrip(i32::MIN);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        roundtrip(0.0f64);
+        roundtrip(-3.75f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(1.5f32);
+        roundtrip(f32::NEG_INFINITY);
+        // NaN keeps its bit pattern.
+        let nan = f64::NAN;
+        assert!(f64::from_bits(Element::to_bits(nan)).is_nan());
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+        assert!(bool::from_bits(17)); // any nonzero decodes to true
+    }
+
+    #[test]
+    fn signed_narrow_types_do_not_sign_extend_into_garbage() {
+        let v = -5i32;
+        let bits = v.to_bits();
+        assert!(bits <= u32::MAX as u64, "i32 must encode in low 32 bits");
+        assert_eq!(i32::from_bits(bits), -5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Global array layout: chunking and the element→home-node partition.
+//!
+//! "By default, the global array is evenly partitioned among these nodes.
+//! However, users have the option to specify a custom partition scheme by
+//! providing the optional argument, partition_offset." (§3.2)
+//!
+//! Ownership is chunk-granular (the directory tracks chunks), so custom
+//! partition offsets are rounded up to chunk boundaries.
+
+use rdma_fabric::NodeId;
+
+/// Immutable layout of one distributed array.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    len: usize,
+    chunk_size: usize,
+    /// `chunk_start[i]` = first chunk owned by node `i`; one extra sentinel
+    /// entry equal to `num_chunks`.
+    chunk_start: Vec<usize>,
+}
+
+impl Layout {
+    /// Even partition of `len` elements over `nodes` nodes with the given
+    /// chunk size.
+    pub fn even(len: usize, nodes: usize, chunk_size: usize) -> Self {
+        assert!(nodes > 0 && chunk_size > 0);
+        let num_chunks = len.div_ceil(chunk_size).max(1);
+        let base = num_chunks / nodes;
+        let rem = num_chunks % nodes;
+        let mut chunk_start = Vec::with_capacity(nodes + 1);
+        let mut acc = 0;
+        for i in 0..nodes {
+            chunk_start.push(acc);
+            acc += base + usize::from(i < rem);
+        }
+        chunk_start.push(num_chunks);
+        debug_assert_eq!(acc, num_chunks);
+        Self {
+            len,
+            chunk_size,
+            chunk_start,
+        }
+    }
+
+    /// Custom partition: `offsets[i]` is the first element owned by node
+    /// `i` (rounded up to a chunk boundary). `offsets[0]` must be 0 and the
+    /// sequence non-decreasing.
+    pub fn custom(len: usize, nodes: usize, chunk_size: usize, offsets: &[usize]) -> Self {
+        assert_eq!(offsets.len(), nodes, "one offset per node");
+        assert_eq!(offsets[0], 0, "node 0 must start at element 0");
+        let num_chunks = len.div_ceil(chunk_size).max(1);
+        let mut chunk_start = Vec::with_capacity(nodes + 1);
+        let mut prev = 0;
+        for (i, &off) in offsets.iter().enumerate() {
+            assert!(off >= prev, "offsets must be non-decreasing");
+            assert!(off <= len, "offset beyond array length");
+            prev = off;
+            let c = off.div_ceil(chunk_size).min(num_chunks);
+            let c = if i == 0 { 0 } else { c.max(chunk_start[i - 1]) };
+            chunk_start.push(c);
+        }
+        chunk_start.push(num_chunks);
+        Self {
+            len,
+            chunk_size,
+            chunk_start,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length array.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Elements per chunk.
+    #[inline]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Number of nodes in the partition.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.chunk_start.len() - 1
+    }
+
+    /// Total number of chunks.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        *self.chunk_start.last().unwrap()
+    }
+
+    /// Chunk containing element `idx`.
+    #[inline]
+    pub fn chunk_of(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.len);
+        idx / self.chunk_size
+    }
+
+    /// Element offset within its chunk.
+    #[inline]
+    pub fn offset_in_chunk(&self, idx: usize) -> usize {
+        idx % self.chunk_size
+    }
+
+    /// Home node of chunk `c`.
+    #[inline]
+    pub fn home_of_chunk(&self, c: usize) -> NodeId {
+        debug_assert!(c < self.num_chunks());
+        // partition_point returns the first node whose start is > c; the
+        // owner is the node before it.
+        self.chunk_start.partition_point(|&s| s <= c) - 1
+    }
+
+    /// Home node of element `idx`.
+    #[inline]
+    pub fn home_of(&self, idx: usize) -> NodeId {
+        self.home_of_chunk(self.chunk_of(idx))
+    }
+
+    /// Chunks owned by `node`.
+    #[inline]
+    pub fn node_chunks(&self, node: NodeId) -> std::ops::Range<usize> {
+        self.chunk_start[node]..self.chunk_start[node + 1]
+    }
+
+    /// Elements owned by `node` (chunk-aligned except possibly the global
+    /// tail).
+    pub fn node_elems(&self, node: NodeId) -> std::ops::Range<usize> {
+        let r = self.node_chunks(node);
+        (r.start * self.chunk_size)..(r.end * self.chunk_size).min(self.len)
+    }
+
+    /// Words (8-byte slots) of subarray storage `node` must allocate; every
+    /// owned chunk is fully materialized (tail padding included).
+    #[inline]
+    pub fn subarray_words(&self, node: NodeId) -> usize {
+        self.node_chunks(node).len() * self.chunk_size
+    }
+
+    /// Word offset of chunk `c` within its home node's subarray region.
+    #[inline]
+    pub fn chunk_home_offset(&self, c: usize) -> usize {
+        let home = self.home_of_chunk(c);
+        (c - self.chunk_start[home]) * self.chunk_size
+    }
+
+    /// Number of *valid* elements in chunk `c` (the global tail chunk may be
+    /// partial).
+    #[inline]
+    pub fn chunk_len(&self, c: usize) -> usize {
+        (self.len - c * self.chunk_size).min(self.chunk_size)
+    }
+
+    /// First element of chunk `c`.
+    #[inline]
+    pub fn chunk_first_elem(&self, c: usize) -> usize {
+        c * self.chunk_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition_covers_all_chunks_disjointly() {
+        let l = Layout::even(10_000, 3, 512);
+        assert_eq!(l.num_chunks(), 20);
+        let mut total = 0;
+        for n in 0..3 {
+            total += l.node_chunks(n).len();
+        }
+        assert_eq!(total, 20);
+        for c in 0..l.num_chunks() {
+            let h = l.home_of_chunk(c);
+            assert!(l.node_chunks(h).contains(&c));
+        }
+    }
+
+    #[test]
+    fn even_partition_is_balanced() {
+        let l = Layout::even(512 * 12, 4, 512);
+        for n in 0..4 {
+            assert_eq!(l.node_chunks(n).len(), 3);
+        }
+    }
+
+    #[test]
+    fn home_of_element_matches_chunk_home() {
+        let l = Layout::even(5_000, 4, 128);
+        for idx in [0, 127, 128, 2_499, 4_999] {
+            assert_eq!(l.home_of(idx), l.home_of_chunk(l.chunk_of(idx)));
+        }
+    }
+
+    #[test]
+    fn tail_chunk_is_partial() {
+        let l = Layout::even(1_000, 2, 512);
+        assert_eq!(l.num_chunks(), 2);
+        assert_eq!(l.chunk_len(0), 512);
+        assert_eq!(l.chunk_len(1), 488);
+    }
+
+    #[test]
+    fn custom_partition_rounds_to_chunks() {
+        // Node 1 asked to start at element 600 -> rounded up to chunk 2
+        // (element 1024).
+        let l = Layout::custom(4_096, 2, 512, &[0, 600]);
+        assert_eq!(l.node_chunks(0), 0..2);
+        assert_eq!(l.node_chunks(1), 2..8);
+        assert_eq!(l.home_of(1023), 0);
+        assert_eq!(l.home_of(1024), 1);
+    }
+
+    #[test]
+    fn custom_partition_allows_empty_nodes() {
+        let l = Layout::custom(1_024, 3, 512, &[0, 0, 512]);
+        assert_eq!(l.node_chunks(0).len(), 0);
+        assert_eq!(l.node_chunks(1), 0..1);
+        assert_eq!(l.node_chunks(2), 1..2);
+    }
+
+    #[test]
+    fn subarray_words_pad_tail_chunk() {
+        let l = Layout::even(1_000, 2, 512);
+        assert_eq!(l.subarray_words(0), 512);
+        assert_eq!(l.subarray_words(1), 512); // padded to a full chunk
+        assert_eq!(l.node_elems(1), 512..1_000);
+    }
+
+    #[test]
+    fn chunk_home_offset_is_word_offset_in_subarray() {
+        let l = Layout::even(512 * 6, 3, 512);
+        for c in 0..6 {
+            let off = l.chunk_home_offset(c);
+            assert_eq!(off % 512, 0);
+            assert!(off < l.subarray_words(l.home_of_chunk(c)));
+        }
+        assert_eq!(l.chunk_home_offset(0), 0);
+        assert_eq!(l.chunk_home_offset(1), 512);
+        assert_eq!(l.chunk_home_offset(2), 0); // first chunk of node 1
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let l = Layout::even(100, 1, 512);
+        assert_eq!(l.num_chunks(), 1);
+        assert_eq!(l.home_of(99), 0);
+        assert_eq!(l.subarray_words(0), 512);
+    }
+
+    #[test]
+    fn more_nodes_than_chunks_leaves_some_nodes_empty() {
+        let l = Layout::even(512, 4, 512);
+        assert_eq!(l.num_chunks(), 1);
+        assert_eq!(l.home_of_chunk(0), 0);
+        assert_eq!(l.node_chunks(3).len(), 0);
+    }
+}

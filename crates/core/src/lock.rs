@@ -1,0 +1,199 @@
+//! Distributed reader/writer locks with element granularity (Figure 3's
+//! `RLock` / `WLock` / `UnLock`).
+//!
+//! Each element's lock is managed by the home node of the element's chunk;
+//! acquisitions and releases are routed there (one round trip for remote
+//! callers), with FIFO queuing of conflicting requests. The Figure 14
+//! baseline (`WLock+Read+Write`) exercises exactly this path.
+
+use std::collections::{HashMap, VecDeque};
+
+use dsim::WaitCell;
+use rdma_fabric::NodeId;
+
+use crate::msg::LockKind;
+
+/// Where a lock request came from.
+pub(crate) enum LockSource {
+    Local(WaitCell),
+    Remote(NodeId),
+}
+
+/// State of one element's distributed lock.
+#[derive(Default)]
+pub(crate) struct ElemLock {
+    readers: u32,
+    writer: bool,
+    queue: VecDeque<(LockSource, LockKind)>,
+}
+
+impl ElemLock {
+    fn grantable(&self, kind: LockKind) -> bool {
+        match kind {
+            // FIFO fairness: a new reader must also wait behind any queued
+            // (writer) request.
+            LockKind::Read => !self.writer && self.queue.is_empty(),
+            LockKind::Write => !self.writer && self.readers == 0 && self.queue.is_empty(),
+        }
+    }
+
+    fn grant(&mut self, kind: LockKind) {
+        match kind {
+            LockKind::Read => self.readers += 1,
+            LockKind::Write => self.writer = true,
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.readers == 0 && !self.writer && self.queue.is_empty()
+    }
+}
+
+/// The home node's table of element locks. Only elements with lock activity
+/// occupy table space.
+#[derive(Default)]
+pub(crate) struct LockTable {
+    locks: HashMap<u64, ElemLock>,
+}
+
+impl LockTable {
+    /// Try to acquire; on success the grant must be delivered to `source` by
+    /// the caller (returned as `Some(source)`), otherwise the request is
+    /// queued.
+    pub(crate) fn acquire(
+        &mut self,
+        id: u64,
+        kind: LockKind,
+        source: LockSource,
+    ) -> Option<LockSource> {
+        let e = self.locks.entry(id).or_default();
+        if e.grantable(kind) {
+            e.grant(kind);
+            Some(source)
+        } else {
+            e.queue.push_back((source, kind));
+            None
+        }
+    }
+
+    /// Release a held lock; returns the queued requests that become
+    /// grantable (already granted in the table — the caller delivers them).
+    pub(crate) fn release(&mut self, id: u64, kind: LockKind) -> Vec<(LockSource, LockKind)> {
+        let mut granted = Vec::new();
+        let Some(e) = self.locks.get_mut(&id) else {
+            debug_assert!(false, "release of unheld lock {id}");
+            return granted;
+        };
+        match kind {
+            LockKind::Read => {
+                debug_assert!(e.readers > 0);
+                e.readers = e.readers.saturating_sub(1);
+            }
+            LockKind::Write => {
+                debug_assert!(e.writer);
+                e.writer = false;
+            }
+        }
+        // Wake the FIFO prefix that is now grantable (one writer, or a batch
+        // of readers).
+        while let Some(&(_, k)) = e.queue.front() {
+            let can = match k {
+                LockKind::Read => !e.writer,
+                LockKind::Write => !e.writer && e.readers == 0,
+            };
+            if !can {
+                break;
+            }
+            let (src, k) = e.queue.pop_front().unwrap();
+            e.grant(k);
+            granted.push((src, k));
+            if k == LockKind::Write {
+                break;
+            }
+        }
+        if e.is_idle() {
+            self.locks.remove(&id);
+        }
+        granted
+    }
+
+    /// Number of elements with active lock state (diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn active(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local() -> LockSource {
+        LockSource::Local(WaitCell::new())
+    }
+
+    #[test]
+    fn uncontended_read_and_write_grant_immediately() {
+        let mut t = LockTable::default();
+        assert!(t.acquire(1, LockKind::Read, local()).is_some());
+        assert!(t.acquire(2, LockKind::Write, local()).is_some());
+        assert_eq!(t.active(), 2);
+        t.release(1, LockKind::Read);
+        t.release(2, LockKind::Write);
+        assert_eq!(t.active(), 0);
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut t = LockTable::default();
+        assert!(t.acquire(7, LockKind::Read, local()).is_some());
+        assert!(t.acquire(7, LockKind::Read, local()).is_some());
+        assert!(t.acquire(7, LockKind::Write, local()).is_none()); // queued
+        // A reader arriving behind the queued writer waits (fairness).
+        assert!(t.acquire(7, LockKind::Read, local()).is_none());
+        t.release(7, LockKind::Read);
+        let g = t.release(7, LockKind::Read);
+        // Writer granted first.
+        assert_eq!(g.len(), 1);
+        assert!(matches!(g[0].1, LockKind::Write));
+        let g = t.release(7, LockKind::Write);
+        // Then the queued reader.
+        assert_eq!(g.len(), 1);
+        assert!(matches!(g[0].1, LockKind::Read));
+        t.release(7, LockKind::Read);
+        assert_eq!(t.active(), 0);
+    }
+
+    #[test]
+    fn reader_batch_granted_together() {
+        let mut t = LockTable::default();
+        assert!(t.acquire(3, LockKind::Write, local()).is_some());
+        assert!(t.acquire(3, LockKind::Read, local()).is_none());
+        assert!(t.acquire(3, LockKind::Read, local()).is_none());
+        assert!(t.acquire(3, LockKind::Write, local()).is_none());
+        let g = t.release(3, LockKind::Write);
+        // Both readers wake; the writer behind them does not.
+        assert_eq!(g.len(), 2);
+        assert!(g.iter().all(|(_, k)| *k == LockKind::Read));
+        t.release(3, LockKind::Read);
+        let g = t.release(3, LockKind::Read);
+        assert_eq!(g.len(), 1);
+        assert!(matches!(g[0].1, LockKind::Write));
+        t.release(3, LockKind::Write);
+    }
+
+    #[test]
+    fn writer_chain_is_fifo() {
+        let mut t = LockTable::default();
+        assert!(t.acquire(9, LockKind::Write, LockSource::Remote(1)).is_some());
+        assert!(t.acquire(9, LockKind::Write, LockSource::Remote(2)).is_none());
+        assert!(t.acquire(9, LockKind::Write, LockSource::Remote(3)).is_none());
+        let g = t.release(9, LockKind::Write);
+        assert_eq!(g.len(), 1);
+        assert!(matches!(g[0].0, LockSource::Remote(2)));
+        let g = t.release(9, LockKind::Write);
+        assert!(matches!(g[0].0, LockSource::Remote(3)));
+        t.release(9, LockKind::Write);
+        assert_eq!(t.active(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Protocol messages: the RPCs of the extended cache coherence protocol and
+//! the queue entries between the interface, runtime and communication
+//! layers (Figure 2).
+
+use dsim::WaitCell;
+use rdma_fabric::NodeId;
+
+/// Index of an array in the cluster registry.
+pub(crate) type ArrayId = u32;
+/// Global chunk index within an array.
+pub(crate) type ChunkId = u32;
+
+/// Reader/writer lock flavor (Figure 3: `RLock` / `WLock`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    Read,
+    Write,
+}
+
+/// Coherence RPCs exchanged between runtimes. Application data itself
+/// travels by one-sided RDMA WRITE; these messages carry protocol control
+/// (and combined operands, which require CPU reduction at the receiver).
+#[derive(Debug, Clone)]
+pub(crate) enum Rpc {
+    /// Requester wants a Shared copy; home RDMA-writes the chunk into the
+    /// requester's cache region at `dst_off` then sends `FillShared`.
+    ReadReq { chunk: ChunkId, dst_off: u64 },
+    /// Requester wants exclusive (Dirty) ownership.
+    WriteReq { chunk: ChunkId, dst_off: u64 },
+    /// Requester wants to join the Operated set under operator `op`.
+    OperateReq { chunk: ChunkId, op: u32 },
+    /// Requester silently dropped its Shared copy.
+    EvictNotice { chunk: ChunkId },
+    /// Dirty data has been RDMA-written back to the home subarray; if
+    /// `downgrade`, the sender keeps a Shared copy.
+    WritebackNotice { chunk: ChunkId, downgrade: bool },
+    /// Combined operands for reduction at home (empty = nothing to flush).
+    OperandFlush {
+        chunk: ChunkId,
+        op: u32,
+        data: Vec<u64>,
+    },
+    /// Home completed a read fill (data already written one-sided).
+    FillShared { chunk: ChunkId },
+    /// Home granted exclusive ownership (data already written one-sided).
+    FillExclusive { chunk: ChunkId },
+    /// Home granted Operated access under `op` (no data transfer — the
+    /// requester initializes its operand buffer to the identity).
+    GrantOperated { chunk: ChunkId, op: u32 },
+    /// Drop your Shared copy and acknowledge.
+    InvalidateReq { chunk: ChunkId },
+    /// Acknowledgment of `InvalidateReq`.
+    InvalidateAck { chunk: ChunkId },
+    /// Write your Dirty data back and invalidate.
+    RecallDirty { chunk: ChunkId },
+    /// Write your Dirty data back but keep a Shared copy.
+    DowngradeDirty { chunk: ChunkId },
+    /// Flush your combined operands and invalidate.
+    RecallOperated { chunk: ChunkId, op: u32 },
+    /// Distributed lock protocol (home-managed, element granularity).
+    LockAcquire { chunk: ChunkId, id: u64, kind: LockKind },
+    LockGrant { chunk: ChunkId, id: u64, kind: LockKind },
+    LockRelease { chunk: ChunkId, id: u64, kind: LockKind },
+}
+
+impl Rpc {
+    /// The chunk this message concerns — used by the Rx thread to route to
+    /// the runtime thread owning the chunk.
+    pub(crate) fn route_chunk(&self) -> ChunkId {
+        match self {
+            Rpc::ReadReq { chunk, .. }
+            | Rpc::WriteReq { chunk, .. }
+            | Rpc::OperateReq { chunk, .. }
+            | Rpc::EvictNotice { chunk }
+            | Rpc::WritebackNotice { chunk, .. }
+            | Rpc::OperandFlush { chunk, .. }
+            | Rpc::FillShared { chunk }
+            | Rpc::FillExclusive { chunk }
+            | Rpc::GrantOperated { chunk, .. }
+            | Rpc::InvalidateReq { chunk }
+            | Rpc::InvalidateAck { chunk }
+            | Rpc::RecallDirty { chunk }
+            | Rpc::DowngradeDirty { chunk }
+            | Rpc::RecallOperated { chunk, .. }
+            | Rpc::LockAcquire { chunk, .. }
+            | Rpc::LockGrant { chunk, .. }
+            | Rpc::LockRelease { chunk, .. } => *chunk,
+        }
+    }
+
+    /// Wire payload size in bytes (the fabric adds a fixed header).
+    pub(crate) fn payload_bytes(&self) -> u64 {
+        match self {
+            Rpc::OperandFlush { data, .. } => 16 + data.len() as u64 * 8,
+            _ => 16,
+        }
+    }
+}
+
+/// A message on the wire.
+#[derive(Debug, Clone)]
+pub(crate) enum NetMsg {
+    Rpc { array: ArrayId, rpc: Rpc },
+    /// Tear down the Rx thread.
+    Halt,
+}
+
+/// Requests an application thread submits to its runtime via the
+/// local-request queue (Figure 2).
+#[derive(Debug, Clone)]
+pub(crate) enum LocalKind {
+    Read { chunk: ChunkId },
+    Write { chunk: ChunkId },
+    Operate { chunk: ChunkId, op: u32 },
+    LockAcquire { index: u64, kind: LockKind },
+    LockRelease { index: u64, kind: LockKind },
+}
+
+impl LocalKind {
+    /// Chunk used to route the request to a runtime thread.
+    pub(crate) fn route_chunk(&self, chunk_size: usize) -> ChunkId {
+        match self {
+            LocalKind::Read { chunk }
+            | LocalKind::Write { chunk }
+            | LocalKind::Operate { chunk, .. } => *chunk,
+            LocalKind::LockAcquire { index, .. } | LocalKind::LockRelease { index, .. } => {
+                (*index as usize / chunk_size) as ChunkId
+            }
+        }
+    }
+}
+
+/// A local request plus its completion token.
+pub(crate) struct LocalReq {
+    pub array: ArrayId,
+    pub kind: LocalKind,
+    pub waiter: WaitCell,
+}
+
+/// Everything a runtime thread can receive.
+pub(crate) enum RtMsg {
+    Local(LocalReq),
+    Net {
+        src: NodeId,
+        array: ArrayId,
+        rpc: Rpc,
+    },
+    /// Self-scheduled directory retry after a grace window expires.
+    Retry { array: ArrayId, chunk: ChunkId },
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_chunk_covers_all_variants() {
+        let msgs = [
+            Rpc::ReadReq { chunk: 3, dst_off: 0 },
+            Rpc::WriteReq { chunk: 3, dst_off: 0 },
+            Rpc::OperateReq { chunk: 3, op: 0 },
+            Rpc::EvictNotice { chunk: 3 },
+            Rpc::WritebackNotice { chunk: 3, downgrade: false },
+            Rpc::OperandFlush { chunk: 3, op: 0, data: vec![] },
+            Rpc::FillShared { chunk: 3 },
+            Rpc::FillExclusive { chunk: 3 },
+            Rpc::GrantOperated { chunk: 3, op: 0 },
+            Rpc::InvalidateReq { chunk: 3 },
+            Rpc::InvalidateAck { chunk: 3 },
+            Rpc::RecallDirty { chunk: 3 },
+            Rpc::DowngradeDirty { chunk: 3 },
+            Rpc::RecallOperated { chunk: 3, op: 0 },
+            Rpc::LockAcquire { chunk: 3, id: 9, kind: LockKind::Read },
+            Rpc::LockGrant { chunk: 3, id: 9, kind: LockKind::Write },
+            Rpc::LockRelease { chunk: 3, id: 9, kind: LockKind::Read },
+        ];
+        for m in msgs {
+            assert_eq!(m.route_chunk(), 3);
+        }
+    }
+
+    #[test]
+    fn operand_flush_payload_counts_data() {
+        let m = Rpc::OperandFlush {
+            chunk: 0,
+            op: 0,
+            data: vec![0; 512],
+        };
+        assert_eq!(m.payload_bytes(), 16 + 4096);
+        assert_eq!(Rpc::FillShared { chunk: 0 }.payload_bytes(), 16);
+    }
+
+    #[test]
+    fn lock_local_kind_routes_by_element_chunk() {
+        let k = LocalKind::LockAcquire {
+            index: 1_000,
+            kind: LockKind::Write,
+        };
+        assert_eq!(k.route_chunk(512), 1);
+        let k = LocalKind::Read { chunk: 7 };
+        assert_eq!(k.route_chunk(512), 7);
+    }
+}

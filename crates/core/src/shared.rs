@@ -1,0 +1,164 @@
+//! Shared state of a running cluster: the array registry, memory regions,
+//! runtime mailboxes and per-node bookkeeping that the interface layer,
+//! runtime layer and communication layer all reference.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dsim::{Mailbox, WaitCell};
+use parking_lot::{Mutex, RwLock};
+use rdma_fabric::{MemoryRegion, NicStatsSnapshot, NodeId};
+
+use crate::cache::CacheRegion;
+use crate::config::ClusterConfig;
+use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
+use crate::directory::DirEntry;
+use crate::layout::Layout;
+use crate::lock::LockTable;
+use crate::msg::{ArrayId, ChunkId, LockKind, NetMsg, RtMsg};
+use crate::op::OpRegistry;
+use crate::state::LocalState;
+use crate::stats::NodeStats;
+
+/// Per-(array, node) protocol state.
+pub(crate) struct ArrayNode {
+    /// One dentry per global chunk: the node's local rights + refcount.
+    pub dentries: Vec<Dentry>,
+    /// One directory entry per global chunk (only the home node's entry for
+    /// a chunk is ever used).
+    pub dir: Vec<Mutex<DirEntry>>,
+    /// Home lock table for elements this node owns.
+    pub lock_table: Mutex<LockTable>,
+    /// Local waiters for grants from remote lock tables, FIFO per (id, kind).
+    pub lock_waiters: Mutex<HashMap<(u64, LockKind), VecDeque<WaitCell>>>,
+    /// Locks held by application threads of this node, for `unlock(index)`
+    /// (kind + recursion count for multiple local readers).
+    pub held: Mutex<HashMap<u64, (LockKind, u32)>>,
+}
+
+/// Cluster-global state of one distributed array.
+pub(crate) struct ArrayShared {
+    pub id: ArrayId,
+    pub layout: Layout,
+    /// Each node's registered subarray region (its partition, chunk-padded).
+    pub subarrays: Vec<MemoryRegion>,
+    pub per_node: Vec<ArrayNode>,
+}
+
+impl ArrayShared {
+    pub(crate) fn new(id: ArrayId, layout: Layout) -> Self {
+        let nodes = layout.nodes();
+        let chunks = layout.num_chunks();
+        let subarrays: Vec<MemoryRegion> = (0..nodes)
+            .map(|n| MemoryRegion::new(layout.subarray_words(n)))
+            .collect();
+        let per_node = (0..nodes)
+            .map(|n| {
+                let dentries = (0..chunks)
+                    .map(|c| {
+                        if layout.home_of_chunk(c) == n {
+                            Dentry::new(LocalState::Exclusive, LINE_HOME)
+                        } else {
+                            Dentry::new(LocalState::Invalid, LINE_NONE)
+                        }
+                    })
+                    .collect();
+                let dir = (0..chunks).map(|_| Mutex::new(DirEntry::new())).collect();
+                ArrayNode {
+                    dentries,
+                    dir,
+                    lock_table: Mutex::new(LockTable::default()),
+                    lock_waiters: Mutex::new(HashMap::new()),
+                    held: Mutex::new(HashMap::new()),
+                }
+            })
+            .collect();
+        Self {
+            id,
+            layout,
+            subarrays,
+            per_node,
+        }
+    }
+}
+
+/// Everything shared across the cluster.
+pub(crate) struct ClusterShared {
+    pub cfg: ClusterConfig,
+    pub registry: Arc<OpRegistry>,
+    pub nics: Vec<Arc<rdma_fabric::Nic<NetMsg>>>,
+    pub arrays: RwLock<Vec<Arc<ArrayShared>>>,
+    /// Per-node cache data region (all runtime threads' lines).
+    pub cache_regions: Vec<MemoryRegion>,
+    /// Per-node, per-runtime-thread cacheline pools.
+    pub cache_pools: Vec<Vec<Arc<CacheRegion>>>,
+    /// Per-node, per-runtime-thread request mailboxes.
+    pub rt_mailboxes: Vec<Vec<Mailbox<RtMsg>>>,
+    pub stats: Vec<Arc<NodeStats>>,
+}
+
+impl ClusterShared {
+    pub(crate) fn array(&self, id: ArrayId) -> Arc<ArrayShared> {
+        self.arrays.read()[id as usize].clone()
+    }
+
+    /// Runtime thread responsible for `chunk` (same index on every node).
+    #[inline]
+    pub(crate) fn rt_index(&self, chunk: ChunkId) -> usize {
+        chunk as usize % self.cfg.runtime_threads
+    }
+
+    /// Mailbox of the runtime thread owning `chunk` on `node`.
+    pub(crate) fn rt_mailbox(&self, node: NodeId, chunk: ChunkId) -> &Mailbox<RtMsg> {
+        &self.rt_mailboxes[node][self.rt_index(chunk)]
+    }
+
+    /// NIC statistics of a node (re-exported for benchmarks).
+    pub(crate) fn nic_stats(&self, node: NodeId) -> NicStatsSnapshot {
+        self.nics[node].stats()
+    }
+}
+
+/// Resolve the (region, word offset) where element data lives.
+#[inline]
+pub(crate) fn data_location<'a>(
+    shared: &'a ClusterShared,
+    arr: &'a ArrayShared,
+    node: NodeId,
+    line: u32,
+    chunk: usize,
+    offset_in_chunk: usize,
+) -> (&'a MemoryRegion, usize) {
+    if line == LINE_HOME {
+        (
+            &arr.subarrays[node],
+            arr.layout.chunk_home_offset(chunk) + offset_in_chunk,
+        )
+    } else {
+        debug_assert_ne!(line, LINE_NONE);
+        (
+            &shared.cache_regions[node],
+            // Cachelines are spaced by the cluster-wide line size, which may
+            // exceed this array's chunk size.
+            line as usize * shared.cfg.cache.line_words + offset_in_chunk,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_shared_initializes_home_rights() {
+        let layout = Layout::even(2048, 2, 512);
+        let a = ArrayShared::new(0, layout);
+        // Node 0 owns chunks 0,1; node 1 owns 2,3.
+        assert_eq!(a.per_node[0].dentries[0].state(), LocalState::Exclusive);
+        assert_eq!(a.per_node[0].dentries[0].line(), LINE_HOME);
+        assert_eq!(a.per_node[0].dentries[2].state(), LocalState::Invalid);
+        assert_eq!(a.per_node[1].dentries[2].state(), LocalState::Exclusive);
+        assert_eq!(a.per_node[1].dentries[0].state(), LocalState::Invalid);
+        assert_eq!(a.subarrays[0].len(), 1024);
+    }
+}

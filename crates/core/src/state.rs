@@ -1,0 +1,289 @@
+//! Protocol states of the extended cache coherence protocol (§4.4).
+//!
+//! Two views exist of each chunk's state:
+//!
+//! * the **directory state** ([`DirState`]) at the home node — the global
+//!   truth of Table 1 / Figure 9;
+//! * the **local access rights** ([`LocalState`]) each node caches in its
+//!   dentry, which is what the lock-free fast path consults.
+
+use crate::op::OpId;
+use rdma_fabric::NodeId;
+
+/// Local access rights a node holds on a chunk, stored in the dentry as an
+/// atomic byte for the lock-free fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LocalState {
+    /// No rights; any access takes the slow path.
+    Invalid = 0,
+    /// Read-only copy (home side of `Shared`, or a remote shared copy).
+    Shared = 1,
+    /// Full Read/Write/Operate rights (home `Unshared`, or the remote owner
+    /// of a `Dirty` chunk).
+    Exclusive = 2,
+    /// Operate-only rights under a specific operator (the dentry's `op_tag`
+    /// names it).
+    Operated = 3,
+    /// Transient: a read fill is in flight.
+    FillingShared = 4,
+    /// Transient: an exclusive fill is in flight.
+    FillingExclusive = 5,
+    /// Transient: an Operated grant is in flight.
+    FillingOperated = 6,
+}
+
+impl LocalState {
+    /// Decode from the dentry's atomic byte.
+    #[inline]
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::Invalid,
+            1 => Self::Shared,
+            2 => Self::Exclusive,
+            3 => Self::Operated,
+            4 => Self::FillingShared,
+            5 => Self::FillingExclusive,
+            6 => Self::FillingOperated,
+            _ => unreachable!("invalid LocalState byte {v}"),
+        }
+    }
+
+    /// Reads permitted?
+    #[inline]
+    pub fn readable(self) -> bool {
+        matches!(self, Self::Shared | Self::Exclusive)
+    }
+
+    /// Writes permitted?
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, Self::Exclusive)
+    }
+
+    /// Operate permitted (under the dentry's current op tag, checked
+    /// separately)? Exclusive rights subsume Operate, since the holder can
+    /// perform the read-modify-write locally.
+    #[inline]
+    pub fn operable(self) -> bool {
+        matches!(self, Self::Operated | Self::Exclusive)
+    }
+
+    /// An intermediate (in-flight) state, which the eviction scan must skip
+    /// (§4.2: "a scanned cacheline ... not in an intermediate state").
+    #[inline]
+    pub fn in_flight(self) -> bool {
+        matches!(
+            self,
+            Self::FillingShared | Self::FillingExclusive | Self::FillingOperated
+        )
+    }
+}
+
+/// Directory (home-node) state of a chunk: the four stable states of
+/// Table 1. Transient phases during multi-message transitions are tracked
+/// separately by the directory entry (`directory::Transient`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// Exclusively owned by the home node (R/W/O at home, nothing
+    /// elsewhere).
+    Unshared,
+    /// Readable everywhere; `sharers` lists the remote nodes holding
+    /// copies.
+    Shared { sharers: Vec<NodeId> },
+    /// A single non-home node holds exclusive R/W rights.
+    Dirty { owner: NodeId },
+    /// All listed nodes (plus the home node) may apply operator `op`
+    /// concurrently; operands are combined locally and reduced at home.
+    Operated { op: OpId, sharers: Vec<NodeId> },
+}
+
+impl DirState {
+    /// Home-node rights row of Table 1.
+    pub fn home_rights(&self) -> Rights {
+        match self {
+            DirState::Unshared => Rights::RWO,
+            DirState::Shared { .. } => Rights::R,
+            DirState::Dirty { .. } => Rights::None,
+            DirState::Operated { .. } => Rights::O,
+        }
+    }
+
+    /// Other-node rights row of Table 1 (for nodes listed as holders).
+    pub fn other_rights(&self) -> Rights {
+        match self {
+            DirState::Unshared => Rights::None,
+            DirState::Shared { .. } => Rights::R,
+            DirState::Dirty { .. } => Rights::RW,
+            DirState::Operated { .. } => Rights::O,
+        }
+    }
+
+    /// Exclusivity column of Table 1.
+    pub fn exclusive(&self) -> bool {
+        matches!(self, DirState::Unshared | DirState::Dirty { .. })
+    }
+
+    /// Table-1 row name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirState::Unshared => "Unshared",
+            DirState::Shared { .. } => "Shared",
+            DirState::Dirty { .. } => "Dirty",
+            DirState::Operated { .. } => "Operated",
+        }
+    }
+
+    /// The [`LocalState`] the *home node's* dentry must hold under this
+    /// directory state.
+    pub fn home_local(&self) -> LocalState {
+        match self {
+            DirState::Unshared => LocalState::Exclusive,
+            DirState::Shared { .. } => LocalState::Shared,
+            DirState::Dirty { .. } => LocalState::Invalid,
+            DirState::Operated { .. } => LocalState::Operated,
+        }
+    }
+}
+
+/// Access-rights set (Table 1 cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rights {
+    None,
+    R,
+    RW,
+    O,
+    RWO,
+}
+
+impl Rights {
+    pub fn allows_read(self) -> bool {
+        matches!(self, Rights::R | Rights::RW | Rights::RWO)
+    }
+    pub fn allows_write(self) -> bool {
+        matches!(self, Rights::RW | Rights::RWO)
+    }
+    pub fn allows_operate(self) -> bool {
+        // RW holders can emulate Operate with a local read-modify-write.
+        matches!(self, Rights::O | Rights::RWO | Rights::RW)
+    }
+}
+
+impl std::fmt::Display for Rights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Rights::None => "None",
+            Rights::R => "R",
+            Rights::RW => "R/W",
+            Rights::O => "O",
+            Rights::RWO => "R/W/O",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub state: &'static str,
+    pub home: Rights,
+    pub others: Rights,
+    pub exclusive: bool,
+}
+
+/// Regenerate Table 1 from the protocol implementation (used by the
+/// `table1` bench binary and checked against the paper in tests).
+pub fn table1_rows() -> Vec<Table1Row> {
+    let states = [
+        DirState::Unshared,
+        DirState::Shared { sharers: vec![1] },
+        DirState::Dirty { owner: 1 },
+        DirState::Operated {
+            op: OpId(0),
+            sharers: vec![1],
+        },
+    ];
+    states
+        .iter()
+        .map(|s| Table1Row {
+            state: s.name(),
+            home: s.home_rights(),
+            others: s.other_rights(),
+            exclusive: s.exclusive(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_state_byte_roundtrip() {
+        for v in 0..=6u8 {
+            assert_eq!(LocalState::from_u8(v) as u8, v);
+        }
+    }
+
+    #[test]
+    fn readable_writable_operable_predicates() {
+        use LocalState::*;
+        assert!(Shared.readable() && !Shared.writable() && !Shared.operable());
+        assert!(Exclusive.readable() && Exclusive.writable() && Exclusive.operable());
+        assert!(!Operated.readable() && !Operated.writable() && Operated.operable());
+        assert!(!Invalid.readable() && !Invalid.writable() && !Invalid.operable());
+        for s in [FillingShared, FillingExclusive, FillingOperated] {
+            assert!(s.in_flight());
+            assert!(!s.readable() && !s.writable() && !s.operable());
+        }
+    }
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        // Unshared: home R/W/O, others None, exclusive Yes.
+        assert_eq!(rows[0].home, Rights::RWO);
+        assert_eq!(rows[0].others, Rights::None);
+        assert!(rows[0].exclusive);
+        // Shared: R / R / No.
+        assert_eq!(rows[1].home, Rights::R);
+        assert_eq!(rows[1].others, Rights::R);
+        assert!(!rows[1].exclusive);
+        // Dirty: None / R/W / Yes.
+        assert_eq!(rows[2].home, Rights::None);
+        assert_eq!(rows[2].others, Rights::RW);
+        assert!(rows[2].exclusive);
+        // Operated: O / O / No.
+        assert_eq!(rows[3].home, Rights::O);
+        assert_eq!(rows[3].others, Rights::O);
+        assert!(!rows[3].exclusive);
+    }
+
+    #[test]
+    fn home_local_state_tracks_directory() {
+        assert_eq!(DirState::Unshared.home_local(), LocalState::Exclusive);
+        assert_eq!(
+            DirState::Shared { sharers: vec![] }.home_local(),
+            LocalState::Shared
+        );
+        assert_eq!(DirState::Dirty { owner: 2 }.home_local(), LocalState::Invalid);
+        assert_eq!(
+            DirState::Operated {
+                op: OpId(1),
+                sharers: vec![]
+            }
+            .home_local(),
+            LocalState::Operated
+        );
+    }
+
+    #[test]
+    fn rights_predicates() {
+        assert!(Rights::RWO.allows_read() && Rights::RWO.allows_write() && Rights::RWO.allows_operate());
+        assert!(Rights::RW.allows_operate(), "RW can emulate Operate locally");
+        assert!(!Rights::R.allows_write());
+        assert!(!Rights::O.allows_read());
+        assert!(!Rights::None.allows_read());
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-node runtime statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing one node's DArray activity. All fields are
+/// cheap relaxed atomics; snapshot with [`NodeStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Fast-path accesses that succeeded immediately.
+    pub fast_hits: AtomicU64,
+    /// Slow-path requests submitted to the runtime.
+    pub slow_misses: AtomicU64,
+    /// Cache fills completed (read, write or operate grants).
+    pub fills: AtomicU64,
+    /// Cachelines evicted by the reclamation scan.
+    pub evictions: AtomicU64,
+    /// Dirty writebacks sent (voluntary or recalled).
+    pub writebacks: AtomicU64,
+    /// Operand flushes sent (voluntary or recalled).
+    pub operand_flushes: AtomicU64,
+    /// Invalidations performed on this node's copies.
+    pub invalidations: AtomicU64,
+    /// Protocol messages handled by runtime threads.
+    pub rpcs_handled: AtomicU64,
+    /// Local requests handled by runtime threads.
+    pub local_handled: AtomicU64,
+    /// Operator applications combined locally (Operated state).
+    pub local_combines: AtomicU64,
+    /// Lock acquisitions granted by this node's lock tables.
+    pub locks_granted: AtomicU64,
+    /// Prefetch fills issued.
+    pub prefetches: AtomicU64,
+}
+
+/// Point-in-time copy of [`NodeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    pub fast_hits: u64,
+    pub slow_misses: u64,
+    pub fills: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+    pub operand_flushes: u64,
+    pub invalidations: u64,
+    pub rpcs_handled: u64,
+    pub local_handled: u64,
+    pub local_combines: u64,
+    pub locks_granted: u64,
+    pub prefetches: u64,
+}
+
+impl NodeStats {
+    #[inline]
+    pub(crate) fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out all counters.
+    pub fn snapshot(&self) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            fast_hits: self.fast_hits.load(Ordering::Relaxed),
+            slow_misses: self.slow_misses.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            operand_flushes: self.operand_flushes.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            rpcs_handled: self.rpcs_handled.load(Ordering::Relaxed),
+            local_handled: self.local_handled.load(Ordering::Relaxed),
+            local_combines: self.local_combines.load(Ordering::Relaxed),
+            locks_granted: self.locks_granted.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_zero_and_bump() {
+        let s = NodeStats::default();
+        assert_eq!(s.snapshot(), NodeStatsSnapshot::default());
+        NodeStats::bump(&s.fast_hits);
+        NodeStats::bump(&s.fast_hits);
+        NodeStats::bump(&s.evictions);
+        let snap = s.snapshot();
+        assert_eq!(snap.fast_hits, 2);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.fills, 0);
+    }
+}

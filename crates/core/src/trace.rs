@@ -1,0 +1,42 @@
+//! Ad-hoc protocol tracing for debugging: set `DARRAY_TRACE_CHUNK=<n>` to
+//! print every protocol event touching that chunk to stderr.
+
+use std::sync::OnceLock;
+
+static TRACE_CHUNK: OnceLock<Option<u32>> = OnceLock::new();
+static TRACE_ARRAY: OnceLock<Option<u32>> = OnceLock::new();
+
+#[inline]
+pub(crate) fn traced_chunk() -> Option<u32> {
+    *TRACE_CHUNK.get_or_init(|| {
+        std::env::var("DARRAY_TRACE_CHUNK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// Optional additional filter: only trace this array id
+/// (`DARRAY_TRACE_ARRAY`).
+#[inline]
+pub(crate) fn array_matches(id: u32) -> bool {
+    TRACE_ARRAY
+        .get_or_init(|| {
+            std::env::var("DARRAY_TRACE_ARRAY")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .map(|a| a == id)
+        .unwrap_or(true)
+}
+
+macro_rules! trace_chunk {
+    ($chunk:expr, $($arg:tt)*) => {
+        if let Some(tc) = crate::trace::traced_chunk() {
+            if tc == $chunk as u32 {
+                eprintln!("[chunk {}] {}", $chunk, format!($($arg)*));
+            }
+        }
+    };
+}
+
+pub(crate) use trace_chunk;

@@ -1,0 +1,250 @@
+//! Property-based tests: the coherence protocol against a sequential
+//! reference model under randomized multi-node operation sequences, and
+//! structural properties of the layout.
+
+use darray::{ArrayOptions, Cluster, ClusterConfig, Layout, Sim, SimConfig};
+use proptest::prelude::*;
+
+/// One logical operation a node performs on the array.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `set(index, value)` — restricted to indices owned by this writer
+    /// (index % 3 == 0 and writer chosen by index), so the final value is
+    /// predictable.
+    Set(usize, u64),
+    /// `apply(index, add, value)` — index % 3 == 1.
+    Add(usize, u64),
+    /// `apply(index, min, value)` — index % 3 == 2.
+    Min(usize, u64),
+}
+
+fn op_strategy(len: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..len / 3), any::<u64>()).prop_map(|(i, v)| Op::Set(i * 3, v)),
+        ((0..len / 3), 0u64..1000).prop_map(|(i, v)| Op::Add(i * 3 + 1, v)),
+        ((0..len / 3), any::<u64>()).prop_map(|(i, v)| Op::Min(i * 3 + 2, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Every element's final value matches a sequential reference model:
+    /// last-write for set-elements (single writer), sum for add-elements,
+    /// min for min-elements — regardless of interleaving, caching,
+    /// eviction, or recall timing.
+    #[test]
+    fn protocol_matches_reference_model(
+        nodes in 2usize..5,
+        per_node_ops in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(6 * 512), 1..120),
+            4,
+        ),
+        tiny_cache in proptest::bool::ANY,
+    ) {
+        let len = 6 * 512;
+        let init = 1_000_000u64;
+        // Sequential reference: set-elements take the last write *of their
+        // single writer*; writers are per-index `index % nodes`, so filter
+        // each node's sets to its own indices.
+        let mut expected: Vec<u64> = vec![init; len];
+        let mut adds: Vec<u64> = vec![0; len];
+        let mut mins: Vec<u64> = vec![u64::MAX; len];
+        for (n, ops) in per_node_ops.iter().enumerate().take(nodes) {
+            for op in ops {
+                match *op {
+                    Op::Set(i, v) => {
+                        if i % nodes == n {
+                            expected[i] = v; // last write of the sole writer
+                        }
+                    }
+                    Op::Add(i, v) => adds[i] = adds[i].wrapping_add(v),
+                    Op::Min(i, v) => mins[i] = mins[i].min(v),
+                }
+            }
+        }
+        for i in 0..len {
+            match i % 3 {
+                1 => expected[i] = init.wrapping_add(adds[i]),
+                2 => expected[i] = expected[i].min(mins[i]),
+                _ => {}
+            }
+        }
+
+        let mut cfg = ClusterConfig::test_config(nodes);
+        if tiny_cache {
+            cfg.cache.capacity_lines = 4;
+            cfg.cache.prefetch_lines = 0;
+        }
+        let ops_arc = std::sync::Arc::new(per_node_ops);
+        let expected_arc = std::sync::Arc::new(expected);
+        Sim::new(SimConfig::default()).run(move |ctx| {
+            let cluster = Cluster::new(ctx, cfg);
+            let add = cluster.ops().register_add_u64();
+            let min = cluster.ops().register_min_u64();
+            let arr = cluster.alloc_with::<u64>(len, ArrayOptions::default(), |_| init);
+            let ops2 = ops_arc.clone();
+            let exp2 = expected_arc.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                let a = arr.on(env.node);
+                for op in &ops2[env.node] {
+                    match *op {
+                        Op::Set(i, v) => {
+                            if i % env.nodes == env.node {
+                                a.set(ctx, i, v);
+                            }
+                        }
+                        Op::Add(i, v) => a.apply(ctx, i, add, v),
+                        Op::Min(i, v) => a.apply(ctx, i, min, v),
+                    }
+                }
+                env.barrier(ctx);
+                if env.node == 0 {
+                    for i in 0..a.len() {
+                        let got = a.get(ctx, i);
+                        assert_eq!(got, exp2[i], "element {i} diverged");
+                    }
+                }
+            });
+            cluster.shutdown(ctx);
+        });
+    }
+
+    /// Layout invariants: every chunk has exactly one home; node element
+    /// ranges tile the array; home offsets stay within subarrays.
+    #[test]
+    fn layout_partitions_are_consistent(
+        len in 1usize..100_000,
+        nodes in 1usize..13,
+        chunk_pow in 4u32..10,
+    ) {
+        let chunk = 1usize << chunk_pow;
+        let l = Layout::even(len, nodes, chunk);
+        let mut covered = 0;
+        for n in 0..nodes {
+            let r = l.node_elems(n);
+            covered += r.len();
+            for c in l.node_chunks(n) {
+                prop_assert_eq!(l.home_of_chunk(c), n);
+                let off = l.chunk_home_offset(c);
+                prop_assert!(off + l.chunk_size() <= l.subarray_words(n));
+            }
+        }
+        prop_assert_eq!(covered, len);
+        // Element-level homes agree with chunk-level homes.
+        for i in [0, len / 2, len - 1] {
+            let h = l.home_of(i);
+            prop_assert!(l.node_elems(h).contains(&i));
+        }
+    }
+
+    /// Multi-threaded nodes: two app threads per node race on the same
+    /// dentries (refcnt contention, shared waiter lists). Threads of one
+    /// node split its op list; the same reference model applies.
+    #[test]
+    fn protocol_matches_reference_model_multithreaded(
+        nodes in 2usize..4,
+        per_node_ops in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(4 * 512), 2..80),
+            3,
+        ),
+    ) {
+        let len = 4 * 512;
+        let init = 77u64;
+        let mut expected: Vec<u64> = vec![init; len];
+        let mut adds: Vec<u64> = vec![0; len];
+        let mut mins: Vec<u64> = vec![u64::MAX; len];
+        for (n, ops) in per_node_ops.iter().enumerate().take(nodes) {
+            for op in ops {
+                match *op {
+                    Op::Set(i, v) => {
+                        if i % nodes == n {
+                            expected[i] = v;
+                        }
+                    }
+                    Op::Add(i, v) => adds[i] = adds[i].wrapping_add(v),
+                    Op::Min(i, v) => mins[i] = mins[i].min(v),
+                }
+            }
+        }
+        for i in 0..len {
+            match i % 3 {
+                1 => expected[i] = init.wrapping_add(adds[i]),
+                2 => expected[i] = expected[i].min(mins[i]),
+                _ => {}
+            }
+        }
+        let ops_arc = std::sync::Arc::new(per_node_ops);
+        let expected_arc = std::sync::Arc::new(expected);
+        Sim::new(SimConfig::default()).run(move |ctx| {
+            let cluster = Cluster::new(ctx, ClusterConfig::test_config(nodes));
+            let add = cluster.ops().register_add_u64();
+            let min = cluster.ops().register_min_u64();
+            let arr = cluster.alloc_with::<u64>(len, ArrayOptions::default(), |_| init);
+            let ops2 = ops_arc.clone();
+            let exp2 = expected_arc.clone();
+            cluster.run(ctx, 2, move |ctx, env| {
+                let a = arr.on(env.node);
+                // Thread 0 takes even-indexed ops, thread 1 odd-indexed.
+                // Sets remain single-writer because set-elements are
+                // writer-partitioned by node AND each (node, element) set
+                // sequence stays within one interleaved subsequence...
+                // To keep last-write semantics exact, thread-split by
+                // element parity instead: a set/add/min on element i is
+                // executed by thread (i / 3) % 2.
+                for op in &ops2[env.node] {
+                    let i = match *op {
+                        Op::Set(i, _) | Op::Add(i, _) | Op::Min(i, _) => i,
+                    };
+                    if (i / 3) % 2 != env.thread {
+                        continue;
+                    }
+                    match *op {
+                        Op::Set(i, v) => {
+                            if i % env.nodes == env.node {
+                                a.set(ctx, i, v);
+                            }
+                        }
+                        Op::Add(i, v) => a.apply(ctx, i, add, v),
+                        Op::Min(i, v) => a.apply(ctx, i, min, v),
+                    }
+                }
+                env.barrier(ctx);
+                if env.node == 0 && env.thread == 0 {
+                    for i in 0..a.len() {
+                        let got = a.get(ctx, i);
+                        assert_eq!(got, exp2[i], "element {i} diverged");
+                    }
+                }
+            });
+            cluster.shutdown(ctx);
+        });
+    }
+
+    /// Custom partitions: arbitrary non-decreasing offsets still produce a
+    /// consistent, total chunk assignment.
+    #[test]
+    fn custom_layout_is_total(
+        len in 512usize..50_000,
+        raw in proptest::collection::vec(0usize..50_000, 1..8),
+    ) {
+        let mut offs = raw;
+        offs.sort_unstable();
+        offs[0] = 0;
+        let offs: Vec<usize> = offs.into_iter().map(|o| o.min(len)).collect();
+        let nodes = offs.len();
+        let l = Layout::custom(len, nodes, 512, &offs);
+        let mut covered = 0;
+        for n in 0..nodes {
+            covered += l.node_chunks(n).len();
+        }
+        prop_assert_eq!(covered, l.num_chunks());
+        for c in 0..l.num_chunks() {
+            let h = l.home_of_chunk(c);
+            prop_assert!(l.node_chunks(h).contains(&c));
+        }
+    }
+}

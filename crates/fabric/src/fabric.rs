@@ -1,0 +1,463 @@
+//! The fabric itself: per-node NICs, directed links with FIFO (RC queue
+//! pair) ordering, verbs, and statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsim::{Ctx, Mailbox, VTime};
+use parking_lot::Mutex;
+
+use crate::net::NetConfig;
+use crate::region::MemoryRegion;
+use crate::NodeId;
+
+/// Per-NIC verb counters (all monotonically increasing).
+#[derive(Debug, Default)]
+pub struct NicStats {
+    /// Two-sided SEND verbs posted.
+    pub sends: AtomicU64,
+    /// Bytes carried by SEND verbs (header + payload).
+    pub send_bytes: AtomicU64,
+    /// One-sided WRITE verbs posted.
+    pub writes: AtomicU64,
+    /// Bytes carried by WRITE verbs.
+    pub write_bytes: AtomicU64,
+    /// One-sided READ verbs posted.
+    pub reads: AtomicU64,
+    /// Bytes returned by READ verbs.
+    pub read_bytes: AtomicU64,
+    /// Signaled completions polled (selective signaling reduces these).
+    pub signaled: AtomicU64,
+}
+
+/// Snapshot of [`NicStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStatsSnapshot {
+    pub sends: u64,
+    pub send_bytes: u64,
+    pub writes: u64,
+    pub write_bytes: u64,
+    pub reads: u64,
+    pub read_bytes: u64,
+    pub signaled: u64,
+}
+
+struct Link {
+    /// Virtual time at which the link is next free to begin a transmission.
+    /// Monotone, which gives per-link FIFO delivery (RC ordering).
+    next_free: Mutex<VTime>,
+}
+
+/// One simulated RNIC. `M` is the protocol-message payload type delivered
+/// through two-sided verbs into the node's receive mailbox.
+pub struct Nic<M> {
+    node: NodeId,
+    cfg: NetConfig,
+    /// Outgoing link state, indexed by destination node.
+    links: Vec<Link>,
+    /// Receive mailboxes of every node in the fabric (including our own).
+    rx_of: Vec<Mailbox<(NodeId, M)>>,
+    /// Work requests posted since the last signaled completion.
+    posted: AtomicU64,
+    stats: NicStats,
+}
+
+impl<M: Send + 'static> Nic<M> {
+    /// This NIC's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The receive mailbox protocol messages arrive on.
+    pub fn rx(&self) -> Mailbox<(NodeId, M)> {
+        self.rx_of[self.node].clone()
+    }
+
+    /// Snapshot the verb counters.
+    pub fn stats(&self) -> NicStatsSnapshot {
+        NicStatsSnapshot {
+            sends: self.stats.sends.load(Ordering::Relaxed),
+            send_bytes: self.stats.send_bytes.load(Ordering::Relaxed),
+            writes: self.stats.writes.load(Ordering::Relaxed),
+            write_bytes: self.stats.write_bytes.load(Ordering::Relaxed),
+            reads: self.stats.reads.load(Ordering::Relaxed),
+            read_bytes: self.stats.read_bytes.load(Ordering::Relaxed),
+            signaled: self.stats.signaled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Charge the posting cost and, per selective signaling, occasionally a
+    /// completion-poll cost. Returns nothing; time is charged to `ctx`.
+    fn charge_post(&self, ctx: &mut Ctx) {
+        ctx.charge(self.cfg.post_overhead_ns);
+        let n = self.posted.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.cfg.signal_interval) {
+            ctx.charge(self.cfg.cq_poll_ns);
+            self.stats.signaled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Claim the outgoing link to `dst` for a `bytes`-byte transmission
+    /// starting no earlier than the caller's current time; returns the
+    /// arrival (delivery) time at the destination.
+    fn claim_link(&self, ctx: &Ctx, dst: NodeId, bytes: u64) -> VTime {
+        let mut nf = self.links[dst].next_free.lock();
+        let start = (*nf).max(ctx.now());
+        let done = start + self.cfg.tx_time(bytes);
+        *nf = done;
+        done + self.cfg.prop_latency_ns
+    }
+
+    /// Two-sided SEND: deliver `msg` into `dst`'s receive mailbox.
+    /// `payload_bytes` is the message body size (a header is added).
+    pub fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: M, payload_bytes: u64) {
+        self.charge_post(ctx);
+        let bytes = self.cfg.header_bytes + payload_bytes;
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.stats.send_bytes.fetch_add(bytes, Ordering::Relaxed);
+        let arrive = self.claim_link(ctx, dst, bytes);
+        self.rx_of[dst].send_at(ctx, (self.node, msg), arrive);
+    }
+
+    /// One-sided RDMA WRITE of `data` into `region` at word `offset`. The
+    /// copy is performed by the destination NIC's DMA engine at the delivery
+    /// time; the remote CPU is not involved. Returns the delivery time.
+    pub fn rdma_write(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+    ) -> VTime {
+        self.charge_post(ctx);
+        let bytes = self.cfg.header_bytes + data.len() as u64 * 8;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        let arrive = self.claim_link(ctx, dst, bytes);
+        let region = region.clone();
+        ctx.schedule_fn(arrive, move || {
+            region.write_slice(offset, &data);
+        });
+        arrive
+    }
+
+    /// One-sided WRITE followed by a SEND on the same queue pair: RC FIFO
+    /// ordering guarantees the data lands before the notification is
+    /// processed (§4.5: application data via WRITE, protocol messages via
+    /// SEND/RECV).
+    #[allow(clippy::too_many_arguments)]
+    pub fn rdma_write_send(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+        msg: M,
+        msg_payload_bytes: u64,
+    ) {
+        self.rdma_write(ctx, dst, region, offset, data);
+        self.send(ctx, dst, msg, msg_payload_bytes);
+    }
+
+    /// One-sided RDMA FETCH_ADD on an 8-byte word of `region` (owned by
+    /// `dst`): atomically adds `delta` at the remote NIC and returns the
+    /// previous value after a full round trip. (DArray itself does not use
+    /// RDMA atomics — its Operate interface subsumes them — but they are
+    /// part of the verb surface and useful to alternative designs.)
+    pub fn rdma_fetch_add(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        delta: u64,
+    ) -> u64 {
+        self.charge_post(ctx);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let req_arrive = self.claim_link(ctx, dst, self.cfg.header_bytes + 8);
+        let done = req_arrive + self.cfg.tx_time(8) + self.cfg.prop_latency_ns;
+        let buf = Arc::new(Mutex::new(0u64));
+        let region = region.clone();
+        let b2 = buf.clone();
+        ctx.schedule_fn(req_arrive, move || {
+            // The remote NIC performs the atomic at request arrival.
+            loop {
+                let cur = region.load(offset);
+                if region
+                    .compare_exchange(offset, cur, cur.wrapping_add(delta))
+                    .is_ok()
+                {
+                    *b2.lock() = cur;
+                    break;
+                }
+            }
+        });
+        let oneshot: Mailbox<()> = Mailbox::new("rdma-fadd");
+        oneshot.send_at(ctx, (), done);
+        oneshot.recv(ctx);
+        let v = *buf.lock();
+        v
+    }
+
+    /// One-sided RDMA CMP_SWAP on an 8-byte word: atomically replaces the
+    /// value with `new` if it equals `expect`; returns the previous value
+    /// after a full round trip.
+    pub fn rdma_compare_swap(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        expect: u64,
+        new: u64,
+    ) -> u64 {
+        self.charge_post(ctx);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let req_arrive = self.claim_link(ctx, dst, self.cfg.header_bytes + 16);
+        let done = req_arrive + self.cfg.tx_time(8) + self.cfg.prop_latency_ns;
+        let buf = Arc::new(Mutex::new(0u64));
+        let region = region.clone();
+        let b2 = buf.clone();
+        ctx.schedule_fn(req_arrive, move || {
+            let prev = match region.compare_exchange(offset, expect, new) {
+                Ok(p) => p,
+                Err(p) => p,
+            };
+            *b2.lock() = prev;
+        });
+        let oneshot: Mailbox<()> = Mailbox::new("rdma-cas");
+        oneshot.send_at(ctx, (), done);
+        oneshot.recv(ctx);
+        let v = *buf.lock();
+        v
+    }
+
+    /// Blocking one-sided RDMA READ of `len` words from `region` (owned by
+    /// `dst`) at word `offset`. The memory snapshot is taken at the request's
+    /// arrival at the remote NIC; the caller resumes at the full round-trip
+    /// time (≈ 2 µs with default [`NetConfig`]). This is BCL's remote access
+    /// primitive.
+    pub fn rdma_read(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        len: usize,
+    ) -> Vec<u64> {
+        self.charge_post(ctx);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .read_bytes
+            .fetch_add(len as u64 * 8, Ordering::Relaxed);
+        // Request leg: header only.
+        let req_arrive = self.claim_link(ctx, dst, self.cfg.header_bytes);
+        // Reply leg: data payload. We do not model contention on the
+        // dst->src link for READ replies (the reply is NIC-generated and its
+        // serialization window is unknowable at post time); propagation and
+        // transmission time are charged.
+        let done = req_arrive + self.cfg.tx_time(len as u64 * 8) + self.cfg.prop_latency_ns;
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let region = region.clone();
+        let b2 = buf.clone();
+        ctx.schedule_fn(req_arrive, move || {
+            *b2.lock() = region.read_vec(offset, len);
+        });
+        let oneshot: Mailbox<()> = Mailbox::new("rdma-read");
+        oneshot.send_at(ctx, (), done);
+        oneshot.recv(ctx);
+        let v = std::mem::take(&mut *buf.lock());
+        debug_assert_eq!(v.len(), len);
+        v
+    }
+}
+
+/// The whole interconnect: `n` NICs with a full mesh of directed links.
+pub struct Fabric<M> {
+    nics: Vec<Arc<Nic<M>>>,
+    cfg: NetConfig,
+}
+
+impl<M: Send + 'static> Fabric<M> {
+    /// Build a fabric of `n` nodes.
+    pub fn new(n: usize, cfg: NetConfig) -> Self {
+        assert!(n > 0);
+        let rx_of: Vec<Mailbox<(NodeId, M)>> =
+            (0..n).map(|i| Mailbox::new(&format!("nic-rx-{i}"))).collect();
+        let nics = (0..n)
+            .map(|node| {
+                Arc::new(Nic {
+                    node,
+                    cfg: cfg.clone(),
+                    links: (0..n)
+                        .map(|_| Link {
+                            next_free: Mutex::new(0),
+                        })
+                        .collect(),
+                    rx_of: rx_of.clone(),
+                    posted: AtomicU64::new(0),
+                    stats: NicStats::default(),
+                })
+            })
+            .collect();
+        Self { nics, cfg }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// The NIC of `node`.
+    pub fn nic(&self, node: NodeId) -> Arc<Nic<M>> {
+        self.nics[node].clone()
+    }
+
+    /// The fabric's network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsim::{Sim, SimConfig};
+
+    fn sim() -> Sim {
+        Sim::new(SimConfig::default())
+    }
+
+    #[test]
+    fn send_delivers_with_latency() {
+        sim().run(|ctx| {
+            let fab: Fabric<u32> = Fabric::new(2, NetConfig::default());
+            let n0 = fab.nic(0);
+            let n1 = fab.nic(1);
+            n0.send(ctx, 1, 99, 8);
+            let (src, msg) = n1.rx().recv(ctx);
+            assert_eq!((src, msg), (0, 99));
+            // post + tx(40B) + prop
+            assert!(ctx.now() >= 850, "t = {}", ctx.now());
+            assert!(ctx.now() < 2_000, "t = {}", ctx.now());
+        });
+    }
+
+    #[test]
+    fn link_fifo_ordering_holds() {
+        sim().run(|ctx| {
+            let fab: Fabric<u32> = Fabric::new(2, NetConfig::default());
+            let n0 = fab.nic(0);
+            for i in 0..10 {
+                n0.send(ctx, 1, i, 256);
+            }
+            let rx = fab.nic(1).rx();
+            let mut last = 0;
+            for i in 0..10 {
+                let (_, m) = rx.recv(ctx);
+                assert_eq!(m, i);
+                assert!(ctx.now() >= last);
+                last = ctx.now();
+            }
+        });
+    }
+
+    #[test]
+    fn rdma_write_lands_before_notification() {
+        sim().run(|ctx| {
+            let fab: Fabric<&'static str> = Fabric::new(2, NetConfig::default());
+            let region = MemoryRegion::new(64);
+            let n0 = fab.nic(0);
+            n0.rdma_write_send(ctx, 1, &region, 8, vec![5, 6, 7], "filled", 8);
+            let (_, m) = fab.nic(1).rx().recv(ctx);
+            assert_eq!(m, "filled");
+            assert_eq!(region.read_vec(8, 3), vec![5, 6, 7]);
+        });
+    }
+
+    #[test]
+    fn rdma_read_round_trip_is_about_2us() {
+        sim().run(|ctx| {
+            let fab: Fabric<()> = Fabric::new(2, NetConfig::default());
+            let region = MemoryRegion::new(4);
+            region.store(2, 77);
+            let n0 = fab.nic(0);
+            let v = n0.rdma_read(ctx, 1, &region, 2, 1);
+            assert_eq!(v, vec![77]);
+            let t = ctx.now();
+            assert!((1_500..2_600).contains(&t), "READ rtt = {t} ns");
+        });
+    }
+
+    #[test]
+    fn bandwidth_serializes_large_transfers() {
+        sim().run(|ctx| {
+            let fab: Fabric<u8> = Fabric::new(2, NetConfig::default());
+            let region = MemoryRegion::new(1 << 16);
+            let n0 = fab.nic(0);
+            // 64 KiB at 12.5 GB/s is ~5.2 µs of serialization.
+            let data = vec![1u64; 1 << 13];
+            let t = n0.rdma_write(ctx, 1, &region, 0, data);
+            assert!(t > 5_000, "arrival = {t}");
+        });
+    }
+
+    #[test]
+    fn selective_signaling_counts_completions() {
+        sim().run(|ctx| {
+            let mut cfg = NetConfig::default();
+            cfg.signal_interval = 4;
+            let fab: Fabric<u8> = Fabric::new(2, cfg);
+            let n0 = fab.nic(0);
+            for _ in 0..8 {
+                n0.send(ctx, 1, 0, 0);
+            }
+            assert_eq!(n0.stats().signaled, 2);
+            assert_eq!(n0.stats().sends, 8);
+        });
+    }
+
+    #[test]
+    fn rdma_fetch_add_is_atomic_and_round_trip_priced() {
+        sim().run(|ctx| {
+            let fab: Fabric<()> = Fabric::new(2, NetConfig::default());
+            let region = MemoryRegion::new(4);
+            region.store(1, 10);
+            let n0 = fab.nic(0);
+            let t0 = ctx.now();
+            let prev = n0.rdma_fetch_add(ctx, 1, &region, 1, 5);
+            assert_eq!(prev, 10);
+            assert_eq!(region.load(1), 15);
+            assert!(ctx.now() - t0 >= 1_500, "rtt = {}", ctx.now() - t0);
+        });
+    }
+
+    #[test]
+    fn rdma_compare_swap_succeeds_and_fails() {
+        sim().run(|ctx| {
+            let fab: Fabric<()> = Fabric::new(2, NetConfig::default());
+            let region = MemoryRegion::new(1);
+            let n0 = fab.nic(0);
+            assert_eq!(n0.rdma_compare_swap(ctx, 1, &region, 0, 0, 42), 0);
+            assert_eq!(region.load(0), 42);
+            // Mismatched expect leaves the value unchanged.
+            assert_eq!(n0.rdma_compare_swap(ctx, 1, &region, 0, 0, 99), 42);
+            assert_eq!(region.load(0), 42);
+        });
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        sim().run(|ctx| {
+            let fab: Fabric<u8> = Fabric::new(2, NetConfig::default());
+            let region = MemoryRegion::new(8);
+            let n0 = fab.nic(0);
+            n0.rdma_write(ctx, 1, &region, 0, vec![1, 2]);
+            let s = n0.stats();
+            assert_eq!(s.writes, 1);
+            assert_eq!(s.write_bytes, 32 + 16);
+        });
+    }
+}

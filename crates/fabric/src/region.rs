@@ -1,0 +1,139 @@
+//! Registered memory regions addressable by one-sided verbs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A region of registered memory: a fixed-size array of 8-byte words that
+/// remote NICs may read and write without involving the owning node's CPU
+/// (the defining property of one-sided RDMA).
+///
+/// Words are `AtomicU64` so that the simulator's event closures (which model
+/// the remote NIC's DMA engine) can store into the region while simulated
+/// threads read it; the single-token scheduler serializes all accesses, the
+/// atomics merely make that explicit to the Rust memory model.
+#[derive(Clone)]
+pub struct MemoryRegion {
+    words: Arc<[AtomicU64]>,
+}
+
+impl MemoryRegion {
+    /// Allocate and register a zeroed region of `len` 8-byte words.
+    pub fn new(len: usize) -> Self {
+        let words: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            words: words.into(),
+        }
+    }
+
+    /// Number of 8-byte words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the region holds no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Load one word.
+    #[inline]
+    pub fn load(&self, idx: usize) -> u64 {
+        self.words[idx].load(Ordering::Acquire)
+    }
+
+    /// Store one word.
+    #[inline]
+    pub fn store(&self, idx: usize, val: u64) {
+        self.words[idx].store(val, Ordering::Release);
+    }
+
+    /// Atomic compare-and-swap on one word; returns the previous value.
+    #[inline]
+    pub fn compare_exchange(&self, idx: usize, current: u64, new: u64) -> Result<u64, u64> {
+        self.words[idx]
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Copy `dst.len()` words starting at `offset` into `dst`.
+    pub fn read_into(&self, offset: usize, dst: &mut [u64]) {
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self.words[offset + i].load(Ordering::Acquire);
+        }
+    }
+
+    /// Copy a word range out into a fresh vector.
+    pub fn read_vec(&self, offset: usize, len: usize) -> Vec<u64> {
+        let mut v = vec![0u64; len];
+        self.read_into(offset, &mut v);
+        v
+    }
+
+    /// Write `src` into the region starting at `offset`.
+    pub fn write_slice(&self, offset: usize, src: &[u64]) {
+        for (i, s) in src.iter().enumerate() {
+            self.words[offset + i].store(*s, Ordering::Release);
+        }
+    }
+
+    /// Fill a word range with `val`.
+    pub fn fill(&self, offset: usize, len: usize, val: u64) {
+        for i in 0..len {
+            self.words[offset + i].store(val, Ordering::Release);
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MemoryRegion({} words)", self.words.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_words() {
+        let r = MemoryRegion::new(8);
+        assert_eq!(r.len(), 8);
+        r.store(3, 0xdead_beef);
+        assert_eq!(r.load(3), 0xdead_beef);
+        assert_eq!(r.load(0), 0);
+    }
+
+    #[test]
+    fn slice_write_and_read() {
+        let r = MemoryRegion::new(16);
+        r.write_slice(4, &[1, 2, 3]);
+        assert_eq!(r.read_vec(4, 3), vec![1, 2, 3]);
+        assert_eq!(r.read_vec(3, 1), vec![0]);
+    }
+
+    #[test]
+    fn fill_covers_exact_range() {
+        let r = MemoryRegion::new(10);
+        r.fill(2, 5, 7);
+        assert_eq!(r.load(1), 0);
+        assert_eq!(r.load(2), 7);
+        assert_eq!(r.load(6), 7);
+        assert_eq!(r.load(7), 0);
+    }
+
+    #[test]
+    fn cas_succeeds_and_fails_correctly() {
+        let r = MemoryRegion::new(1);
+        assert!(r.compare_exchange(0, 0, 5).is_ok());
+        assert_eq!(r.compare_exchange(0, 0, 9), Err(5));
+        assert_eq!(r.load(0), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let r = MemoryRegion::new(2);
+        r.load(2);
+    }
+}

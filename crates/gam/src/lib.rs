@@ -1,0 +1,340 @@
+//! # gam — the GAM baseline (Cai et al., VLDB 2018)
+//!
+//! GAM is the state-of-the-art RDMA distributed memory the paper compares
+//! against: like DArray it keeps a per-node cache coherent with a
+//! directory protocol, but it differs in exactly the ways the paper's
+//! evaluation isolates:
+//!
+//! * **Lock-based data access path.** Every access probes a hash table to
+//!   locate the cache directory entry and takes a per-chunk lock — the
+//!   "large overhead / limited concurrency" strawman of §4.1. Figure 1
+//!   shows the consequence: GAM's *local* access latency is an order of
+//!   magnitude above a builtin array.
+//! * **No Operate interface.** GAM's Atomic verbs perform the
+//!   read-then-write under *exclusive ownership*, so concurrent updaters
+//!   ping-pong the chunk between nodes (Figures 12c, 14, 16).
+//! * **No sequential prefetch.**
+//! * Heavier protocol processing per message (GAM targets bulk
+//!   reads/writes; its per-message runtime cost is higher).
+//!
+//! This crate realizes GAM over the same simulated fabric and the same
+//! directory-protocol engine as `darray` (GAM's protocol is the
+//! Unshared/Shared/Dirty subset — the Operated state is simply never
+//! entered), configured with GAM's access path and cost structure. The
+//! public API mirrors GAM's: `read` / `write` / `atomic` / distributed
+//! locks.
+
+use darray::{
+    AccessPath, ArrayOptions, Cluster, ClusterConfig, CostModel, Ctx, DArray, Element,
+    GlobalArray, NetConfig, NodeEnv, NodeId,
+};
+
+/// Build the cluster configuration that realizes GAM's design on the shared
+/// protocol engine.
+pub fn gam_config(nodes: usize) -> ClusterConfig {
+    gam_config_with_net(nodes, NetConfig::default())
+}
+
+/// GAM configuration with a custom network model (tests use
+/// `NetConfig::instant()`).
+pub fn gam_config_with_net(nodes: usize, net: NetConfig) -> ClusterConfig {
+    let cost = CostModel::default();
+    let mut cfg = ClusterConfig::with_nodes(nodes);
+    cfg.net = net;
+    cfg.access_path = AccessPath::LockBased;
+    // Per access: hash probe to find the directory entry (the chunk lock
+    // itself is charged by the lock, and the data access by the body).
+    cfg.fast_path_cost_ns = Some(cost.hash_probe_ns + cost.dir_update_ns / 2);
+    // GAM's runtime processes protocol messages with more bookkeeping.
+    cfg.cost.rpc_handle_ns = cost.rpc_handle_ns * 2;
+    cfg.cost.local_req_handle_ns = cost.local_req_handle_ns * 2;
+    // No sequential prefetch.
+    cfg.cache.prefetch_lines = 0;
+    cfg
+}
+
+/// A running GAM cluster.
+pub struct GamCluster {
+    inner: Cluster,
+}
+
+impl GamCluster {
+    /// Boot a GAM cluster with the default (paper-calibrated) network.
+    pub fn new(ctx: &mut Ctx, nodes: usize) -> Self {
+        Self::with_config(ctx, gam_config(nodes))
+    }
+
+    /// Boot with an explicit configuration (must keep the GAM access path).
+    pub fn with_config(ctx: &mut Ctx, cfg: ClusterConfig) -> Self {
+        assert_eq!(
+            cfg.access_path,
+            AccessPath::LockBased,
+            "GAM uses the lock-based access path"
+        );
+        Self {
+            inner: Cluster::new(ctx, cfg),
+        }
+    }
+
+    /// Allocate a zeroed global array (GAM's `Malloc` + even distribution).
+    pub fn alloc<T: Element>(&self, len: usize) -> GamGlobalArray<T> {
+        GamGlobalArray {
+            inner: self.inner.alloc(len, ArrayOptions::default()),
+        }
+    }
+
+    /// Allocate with an initializer, written node-locally.
+    pub fn alloc_with<T: Element>(
+        &self,
+        len: usize,
+        init: impl Fn(usize) -> T,
+    ) -> GamGlobalArray<T> {
+        GamGlobalArray {
+            inner: self.inner.alloc_with(len, ArrayOptions::default(), init),
+        }
+    }
+
+    /// Allocate with a custom partition (GAM also lets callers place
+    /// memory; used to match the graph engines' edge-balanced partition).
+    pub fn alloc_partitioned<T: Element>(
+        &self,
+        len: usize,
+        offsets: Vec<usize>,
+        init: impl Fn(usize) -> T,
+    ) -> GamGlobalArray<T> {
+        GamGlobalArray {
+            inner: self.inner.alloc_with(
+                len,
+                ArrayOptions {
+                    chunk_size: None,
+                    partition_offset: Some(offsets),
+                },
+                init,
+            ),
+        }
+    }
+
+    /// Run application threads (same collective model as `darray`).
+    pub fn run<F>(&self, ctx: &mut Ctx, threads_per_node: usize, f: F)
+    where
+        F: Fn(&mut Ctx, NodeEnv) + Send + Sync + 'static,
+    {
+        self.inner.run(ctx, threads_per_node, f)
+    }
+
+    /// Runtime statistics of one node.
+    pub fn stats(&self, node: NodeId) -> darray::NodeStatsSnapshot {
+        self.inner.stats(node)
+    }
+
+    /// Tear down.
+    pub fn shutdown(self, ctx: &mut Ctx) {
+        self.inner.shutdown(ctx)
+    }
+}
+
+/// Unbound handle to a GAM global array.
+pub struct GamGlobalArray<T: Element> {
+    inner: GlobalArray<T>,
+}
+
+impl<T: Element> Clone for GamGlobalArray<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Element> GamGlobalArray<T> {
+    /// Node-local view.
+    pub fn on(&self, node: NodeId) -> GamArray<T> {
+        GamArray {
+            inner: self.inner.on(node),
+        }
+    }
+
+    /// Global length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Node-local view of a GAM array.
+pub struct GamArray<T: Element> {
+    inner: DArray<T>,
+}
+
+impl<T: Element> Clone for GamArray<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Element> GamArray<T> {
+    /// GAM `Read`.
+    pub fn read(&self, ctx: &mut Ctx, index: usize) -> T {
+        self.inner.get(ctx, index)
+    }
+
+    /// GAM `Write`.
+    pub fn write(&self, ctx: &mut Ctx, index: usize, value: T) {
+        self.inner.set(ctx, index, value)
+    }
+
+    /// GAM `Atomic`: read-modify-write under exclusive ownership. The
+    /// chunk's ownership migrates to the caller; concurrent updaters on
+    /// other nodes serialize through the home directory — the contention
+    /// the Operate interface was designed to avoid (§6.2).
+    pub fn atomic(&self, ctx: &mut Ctx, index: usize, f: impl Fn(T) -> T) {
+        self.inner.update(ctx, index, f)
+    }
+
+    /// Distributed reader lock.
+    pub fn rlock(&self, ctx: &mut Ctx, index: usize) {
+        self.inner.rlock(ctx, index)
+    }
+
+    /// Distributed writer lock.
+    pub fn wlock(&self, ctx: &mut Ctx, index: usize) {
+        self.inner.wlock(ctx, index)
+    }
+
+    /// Release a held lock.
+    pub fn unlock(&self, ctx: &mut Ctx, index: usize) {
+        self.inner.unlock(ctx, index)
+    }
+
+    /// Global length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Elements homed on this node.
+    pub fn local_range(&self) -> std::ops::Range<usize> {
+        self.inner.local_range()
+    }
+
+    /// Home node of an element.
+    pub fn home_of(&self, index: usize) -> NodeId {
+        self.inner.home_of(index)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.inner.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darray::{Sim, SimConfig};
+
+    fn instant(nodes: usize) -> ClusterConfig {
+        gam_config_with_net(nodes, NetConfig::instant())
+    }
+
+    #[test]
+    fn read_write_roundtrip_across_nodes() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let g = GamCluster::with_config(ctx, instant(3));
+            let arr = g.alloc_with::<u64>(3 * 512, |i| i as u64);
+            g.run(ctx, 1, move |ctx, env| {
+                let a = arr.on(env.node);
+                let i = (env.node + 1) % 3 * 512 + 5; // a remote element
+                assert_eq!(a.read(ctx, i), i as u64);
+                a.write(ctx, i, 999 + env.node as u64);
+                env.barrier(ctx);
+                let mine = env.node * 512 + 5;
+                assert_eq!(a.read(ctx, mine), 999 + ((env.node + 2) % 3) as u64);
+            });
+            g.shutdown(ctx);
+        });
+    }
+
+    #[test]
+    fn atomic_is_atomic_under_contention() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let g = GamCluster::with_config(ctx, instant(3));
+            let arr = g.alloc::<u64>(512);
+            g.run(ctx, 2, move |ctx, env| {
+                let a = arr.on(env.node);
+                for _ in 0..40 {
+                    a.atomic(ctx, 17, |v| v + 1);
+                }
+                env.barrier(ctx);
+                assert_eq!(a.read(ctx, 17), 3 * 2 * 40);
+            });
+            g.shutdown(ctx);
+        });
+    }
+
+    #[test]
+    fn locks_work() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let g = GamCluster::with_config(ctx, instant(2));
+            let arr = g.alloc::<u64>(512);
+            g.run(ctx, 1, move |ctx, env| {
+                let a = arr.on(env.node);
+                for _ in 0..10 {
+                    a.wlock(ctx, 3);
+                    let v = a.read(ctx, 3);
+                    a.write(ctx, 3, v + 1);
+                    a.unlock(ctx, 3);
+                }
+                env.barrier(ctx);
+                assert_eq!(a.read(ctx, 3), 20);
+            });
+            g.shutdown(ctx);
+        });
+    }
+
+    #[test]
+    fn gam_local_access_is_costlier_than_darray() {
+        // Figure 1's key motivation: GAM's access path is far more
+        // expensive than DArray's lock-free path even on purely local data.
+        let gam_time = Sim::new(SimConfig::default()).run(|ctx| {
+            let g = GamCluster::with_config(ctx, instant(1));
+            let arr = g.alloc::<u64>(4096);
+            g.run(ctx, 1, move |ctx, env| {
+                let a = arr.on(env.node);
+                for i in 0..4096 {
+                    let _ = a.read(ctx, i);
+                }
+            });
+            let t = ctx.now();
+            g.shutdown(ctx);
+            t
+        });
+        let darray_time = Sim::new(SimConfig::default()).run(|ctx| {
+            let c = Cluster::new(ctx, ClusterConfig::test_config(1));
+            let arr = c.alloc::<u64>(4096, ArrayOptions::default());
+            c.run(ctx, 1, move |ctx, env| {
+                let a = arr.on(env.node);
+                for i in 0..4096 {
+                    let _ = a.get(ctx, i);
+                }
+            });
+            let t = ctx.now();
+            c.shutdown(ctx);
+            t
+        });
+        assert!(
+            gam_time > darray_time * 3,
+            "gam {gam_time} should be several times darray {darray_time}"
+        );
+    }
+}

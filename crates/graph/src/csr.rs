@@ -1,0 +1,129 @@
+//! Edge lists and compressed-sparse-row graphs.
+
+/// A plain directed edge list.
+#[derive(Debug, Clone)]
+pub struct EdgeList {
+    /// Number of vertices (ids are `0..vertices`).
+    pub vertices: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    /// Add the reverse of every edge (used for Connected Components, which
+    /// needs undirected reachability).
+    pub fn symmetrized(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+        EdgeList {
+            vertices: self.vertices,
+            edges,
+        }
+    }
+}
+
+/// Compressed sparse row adjacency (out-edges).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list.
+    pub fn from_edges(el: &EdgeList) -> Self {
+        let n = el.vertices;
+        let mut deg = vec![0u64; n];
+        for &(u, _) in &el.edges {
+            deg[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; el.edges.len()];
+        for &(u, v) in &el.edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Out-neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EdgeList {
+        EdgeList {
+            vertices: 4,
+            edges: vec![(0, 1), (0, 2), (2, 3), (3, 0), (0, 3)],
+        }
+    }
+
+    #[test]
+    fn csr_preserves_adjacency() {
+        let g = Csr::from_edges(&tiny());
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edges(), 5);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 0);
+        let mut n0: Vec<u32> = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2, 3]);
+        assert_eq!(g.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn symmetrized_doubles_edges() {
+        let s = tiny().symmetrized();
+        assert_eq!(s.edges.len(), 10);
+        let g = Csr::from_edges(&s);
+        assert_eq!(g.degree(1), 1); // gains the reverse of (0,1)
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Csr::from_edges(&EdgeList {
+            vertices: 3,
+            edges: vec![],
+        });
+        assert_eq!(g.vertices(), 3);
+        assert_eq!(g.edges(), 0);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+}

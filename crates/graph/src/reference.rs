@@ -1,0 +1,129 @@
+//! Single-threaded reference implementations for correctness tests.
+
+use crate::csr::{Csr, EdgeList};
+
+/// PageRank with damping 0.85, uniform initialization `1/n`, and the same
+/// update rule as the distributed engines (dangling mass is dropped, as in
+/// the paper's Figure 8 sketch).
+#[allow(clippy::needless_range_loop)]
+pub fn pagerank_ref(el: &EdgeList, iters: usize) -> Vec<f64> {
+    let n = el.vertices;
+    let g = Csr::from_edges(el);
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let d = g.degree(u);
+            if d == 0 {
+                continue;
+            }
+            let c = rank[u] / d as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += c;
+            }
+        }
+        for v in 0..n {
+            next[v] = 0.15 / n as f64 + 0.85 * next[v];
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Connected components by label propagation on the symmetrized graph;
+/// each vertex ends with the minimum vertex id of its component.
+pub fn cc_ref(el: &EdgeList) -> Vec<u64> {
+    let n = el.vertices;
+    let g = Csr::from_edges(&el.symmetrized());
+    let mut label: Vec<u64> = (0..n as u64).collect();
+    loop {
+        let mut changed = false;
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                let lu = label[u];
+                let lv = label[v as usize];
+                if lu < lv {
+                    label[v as usize] = lu;
+                    changed = true;
+                } else if lv < lu {
+                    label[u] = lv;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return label;
+        }
+    }
+}
+
+/// BFS distances from `src` (directed edges); unreachable = `u64::MAX`.
+pub fn bfs_ref(el: &EdgeList, src: usize) -> Vec<u64> {
+    let g = Csr::from_edges(el);
+    let mut dist = vec![u64::MAX; el.vertices];
+    dist[src] = 0;
+    let mut frontier = vec![src];
+    let mut d = 0;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == u64::MAX {
+                    dist[v as usize] = d;
+                    next.push(v as usize);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> EdgeList {
+        // 0 -> 1 -> 2 -> 3, plus isolated 4.
+        EdgeList {
+            vertices: 5,
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+        }
+    }
+
+    #[test]
+    fn pagerank_mass_is_plausible() {
+        let r = pagerank_ref(&line(), 20);
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|&x| x > 0.0));
+        // Vertex 1 receives from 0; vertex 4 receives nothing but the base.
+        assert!(r[1] > r[4]);
+    }
+
+    #[test]
+    fn cc_labels_components() {
+        let l = cc_ref(&line());
+        assert_eq!(l[0], 0);
+        assert_eq!(l[3], 0);
+        assert_eq!(l[4], 4);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let d = bfs_ref(&line(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, u64::MAX]);
+    }
+
+    #[test]
+    fn cc_on_two_triangles() {
+        let el = EdgeList {
+            vertices: 6,
+            edges: vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        };
+        let l = cc_ref(&el);
+        assert_eq!(&l[..3], &[0, 0, 0]);
+        assert_eq!(&l[3..], &[3, 3, 3]);
+    }
+}

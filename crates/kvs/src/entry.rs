@@ -1,0 +1,86 @@
+//! The 8-byte hash-table entry: `[tag:8][size:16][offset:40]` (Figure 11).
+
+/// A packed entry. The all-zero word means "empty slot" — real entries
+/// always have a nonzero tag ([`crate::tag_of`] never returns 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry(pub u64);
+
+impl Entry {
+    /// The empty slot.
+    pub const EMPTY: Entry = Entry(0);
+
+    /// Pack tag / size / offset. `size` is the byte size of the key-value
+    /// pair (16 bits, so pairs are limited to 64 KiB); `offset` is the byte
+    /// offset of the pair within the byte array (40 bits = 1 TiB).
+    pub fn pack(tag: u8, size: u16, offset: u64) -> Self {
+        debug_assert!(tag != 0, "tag 0 is reserved for empty slots");
+        debug_assert!(offset < (1u64 << 40), "offset exceeds 40 bits");
+        Entry(((tag as u64) << 56) | ((size as u64) << 40) | offset)
+    }
+
+    /// The 8-bit tag distinguishing entries within a bucket.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        (self.0 >> 56) as u8
+    }
+
+    /// The byte size of the key-value pair.
+    #[inline]
+    pub fn size(self) -> u16 {
+        (self.0 >> 40) as u16
+    }
+
+    /// Byte offset of the pair within the byte array.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 & ((1u64 << 40) - 1)
+    }
+
+    /// True for the empty slot.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let e = Entry::pack(0xAB, 1234, 0x12_3456_789A);
+        assert_eq!(e.tag(), 0xAB);
+        assert_eq!(e.size(), 1234);
+        assert_eq!(e.offset(), 0x12_3456_789A);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn field_extremes() {
+        let e = Entry::pack(0xFF, u16::MAX, (1u64 << 40) - 1);
+        assert_eq!(e.tag(), 0xFF);
+        assert_eq!(e.size(), u16::MAX);
+        assert_eq!(e.offset(), (1u64 << 40) - 1);
+        let e = Entry::pack(1, 0, 0);
+        assert_eq!(e.tag(), 1);
+        assert_eq!(e.size(), 0);
+        assert_eq!(e.offset(), 0);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        assert!(Entry::EMPTY.is_empty());
+        assert_eq!(Entry::EMPTY.0, 0);
+        assert!(!Entry::pack(1, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn fields_do_not_bleed() {
+        let e = Entry::pack(0x01, 0xFFFF, 0);
+        assert_eq!(e.offset(), 0);
+        assert_eq!(e.tag(), 1);
+        let e = Entry::pack(0xFF, 0, (1 << 40) - 1);
+        assert_eq!(e.size(), 0);
+    }
+}

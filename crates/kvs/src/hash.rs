@@ -1,0 +1,77 @@
+//! Key hashing: FNV-1a, split into a bucket index and an in-bucket tag
+//! ("the hash function maps a key to a particular bucket; the tag
+//! distinguishes entries within a bucket", §5.2).
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over the key bytes.
+#[inline]
+pub fn hash_key(key: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Bucket index for a key.
+#[inline]
+pub fn bucket_of(key: &[u8], buckets: u64) -> u64 {
+    hash_key(key) % buckets
+}
+
+/// In-bucket tag (never 0 — 0 marks empty slots).
+#[inline]
+pub fn tag_of(key: &[u8]) -> u8 {
+    let t = (hash_key(key) >> 56) as u8;
+    if t == 0 {
+        1
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_key_sensitive() {
+        assert_eq!(hash_key(b"abc"), hash_key(b"abc"));
+        assert_ne!(hash_key(b"abc"), hash_key(b"abd"));
+        assert_ne!(hash_key(b""), hash_key(b"\0"));
+    }
+
+    #[test]
+    fn bucket_in_range() {
+        for k in 0..1000u64 {
+            assert!(bucket_of(&k.to_le_bytes(), 37) < 37);
+        }
+    }
+
+    #[test]
+    fn tag_never_zero() {
+        for k in 0..100_000u64 {
+            assert_ne!(tag_of(&k.to_le_bytes()), 0);
+        }
+    }
+
+    #[test]
+    fn buckets_are_reasonably_uniform() {
+        let buckets = 64u64;
+        let mut counts = vec![0u64; buckets as usize];
+        let n = 64_000u64;
+        for k in 0..n {
+            counts[bucket_of(&k.to_le_bytes(), buckets) as usize] += 1;
+        }
+        let expect = n / buckets;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "bucket {b} has {c}, expected ~{expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! A Memcached-style slab allocator over one node's partition of the byte
+//! array ("We port the SlabAllocator from Memcached to manage the byte
+//! array", §5.2).
+//!
+//! Size classes grow geometrically; each class carves fixed-size items out
+//! of slabs claimed from the node's byte range by a bump pointer, and
+//! freed items go to a per-class free list. All offsets are byte offsets
+//! into the *global* byte array and are 8-byte aligned.
+
+/// Growth factor between consecutive size classes (Memcached's default is
+/// 1.25; we use 2⁰·²⁵ steps rounded to 8 bytes).
+const GROWTH: f64 = 1.25;
+/// Smallest item size in bytes.
+const MIN_ITEM: usize = 64;
+/// Slab size in bytes (Memcached uses 1 MiB; scaled down to suit the
+/// simulation's smaller byte arrays).
+const SLAB_BYTES: usize = 64 * 1024;
+
+struct SizeClass {
+    item_size: usize,
+    free: Vec<u64>,
+}
+
+/// Allocator state for one node's byte range `[start, end)`.
+pub struct SlabAllocator {
+    classes: Vec<SizeClass>,
+    bump: u64,
+    end: u64,
+    allocated_items: u64,
+    freed_items: u64,
+}
+
+impl SlabAllocator {
+    /// Manage the byte range `[start, end)`; both must be 8-byte aligned.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end);
+        assert_eq!(start % 8, 0);
+        let mut classes = Vec::new();
+        let mut sz = MIN_ITEM;
+        while sz <= SLAB_BYTES {
+            classes.push(SizeClass {
+                item_size: sz,
+                free: Vec::new(),
+            });
+            let next = ((sz as f64 * GROWTH) as usize).div_ceil(8) * 8;
+            sz = next.max(sz + 8);
+        }
+        Self {
+            classes,
+            bump: start,
+            end,
+            allocated_items: 0,
+            freed_items: 0,
+        }
+    }
+
+    fn class_for(&self, size: usize) -> Option<usize> {
+        self.classes.iter().position(|c| c.item_size >= size)
+    }
+
+    /// The item size an allocation of `size` bytes actually occupies.
+    pub fn rounded_size(&self, size: usize) -> Option<usize> {
+        self.class_for(size).map(|c| self.classes[c].item_size)
+    }
+
+    /// Allocate space for `size` bytes; returns a global byte offset, or
+    /// `None` when the size exceeds the largest class or the range is
+    /// exhausted.
+    pub fn alloc(&mut self, size: usize) -> Option<u64> {
+        let ci = self.class_for(size)?;
+        if self.classes[ci].free.is_empty() {
+            // Carve a new slab for this class.
+            let slab_start = self.bump;
+            let slab_end = slab_start.checked_add(SLAB_BYTES as u64)?;
+            if slab_end > self.end {
+                // Not even a full slab left: carve what remains.
+                let item = self.classes[ci].item_size as u64;
+                let mut at = self.bump;
+                while at + item <= self.end {
+                    self.classes[ci].free.push(at);
+                    at += item;
+                }
+                self.bump = self.end;
+            } else {
+                let item = self.classes[ci].item_size as u64;
+                let mut at = slab_start;
+                while at + item <= slab_end {
+                    self.classes[ci].free.push(at);
+                    at += item;
+                }
+                self.bump = slab_end;
+            }
+            self.classes[ci].free.reverse(); // hand out low offsets first
+        }
+        let off = self.classes[ci].free.pop()?;
+        self.allocated_items += 1;
+        Some(off)
+    }
+
+    /// Return an allocation of `size` bytes at `offset` to its class.
+    pub fn free(&mut self, offset: u64, size: usize) {
+        let ci = self
+            .class_for(size)
+            .expect("freeing a size that was never allocatable");
+        self.freed_items += 1;
+        self.classes[ci].free.push(offset);
+    }
+
+    /// Live allocations (diagnostics).
+    pub fn live(&self) -> u64 {
+        self.allocated_items - self.freed_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn alloc_returns_aligned_disjoint_offsets() {
+        let mut s = SlabAllocator::new(0, 1 << 20);
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let off = s.alloc(100).unwrap();
+            assert_eq!(off % 8, 0);
+            assert!(seen.insert(off), "duplicate offset {off}");
+        }
+        assert_eq!(s.live(), 1000);
+    }
+
+    #[test]
+    fn different_sizes_use_different_classes() {
+        let s = SlabAllocator::new(0, 1 << 20);
+        let a = s.rounded_size(1).unwrap();
+        let b = s.rounded_size(100).unwrap();
+        let c = s.rounded_size(1000).unwrap();
+        assert!(a >= 1 && b >= 100 && c >= 1000);
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn free_recycles() {
+        let mut s = SlabAllocator::new(0, SLAB_BYTES as u64);
+        let a = s.alloc(64).unwrap();
+        s.free(a, 64);
+        let b = s.alloc(64).unwrap();
+        assert_eq!(a, b, "freed item should be reused");
+        assert_eq!(s.live(), 1);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_frees_revive() {
+        let mut s = SlabAllocator::new(0, 1024);
+        let mut got = Vec::new();
+        while let Some(off) = s.alloc(64) {
+            got.push(off);
+        }
+        assert_eq!(got.len(), 1024 / 64);
+        assert!(s.alloc(64).is_none());
+        s.free(got.pop().unwrap(), 64);
+        assert!(s.alloc(64).is_some());
+    }
+
+    #[test]
+    fn oversized_allocation_fails() {
+        let mut s = SlabAllocator::new(0, 1 << 20);
+        assert!(s.alloc(SLAB_BYTES + 1).is_none());
+    }
+
+    #[test]
+    fn allocations_stay_within_range() {
+        let start = 4096u64;
+        let end = start + 8192;
+        let mut s = SlabAllocator::new(start, end);
+        while let Some(off) = s.alloc(128) {
+            assert!(off >= start && off + 128 <= end, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn mixed_sizes_do_not_overlap() {
+        let mut s = SlabAllocator::new(0, 1 << 20);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (i, size) in [64usize, 100, 333, 1000, 64, 2048, 100].iter().cycle().take(300).enumerate() {
+            let rounded = s.rounded_size(*size).unwrap() as u64;
+            let off = s.alloc(*size).unwrap_or_else(|| panic!("alloc {i} failed"));
+            for &(a, b) in &ranges {
+                assert!(off + rounded <= a || off >= b, "overlap at {off}");
+            }
+            ranges.push((off, off + rounded));
+        }
+    }
+}

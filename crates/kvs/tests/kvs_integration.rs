@@ -1,0 +1,230 @@
+//! End-to-end KVS tests over both backends: correctness against a HashMap
+//! model, overflow chaining, updates, deletes, and multi-node visibility.
+
+use darray::{ArrayOptions, Cluster, ClusterConfig, Ctx, Sim, SimConfig};
+use darray_kvs::{DArrayBackend, GamBackend, Kvs, KvsConfig, KvsError, KvsView};
+use gam::{gam_config_with_net, GamCluster};
+use rdma_fabric::NetConfig;
+use workloads::{Rng, YcsbOp, YcsbSpec, YcsbStream};
+
+fn small_cfg(nodes: usize) -> KvsConfig {
+    KvsConfig {
+        buckets: 64,
+        overflow_per_node: 16,
+        value_capacity: 2 << 20,
+        nodes,
+    }
+}
+
+/// Build a DArray-backed KVS inside a fresh cluster and run `f` on every
+/// node's application thread.
+fn with_darray_kvs<F>(nodes: usize, cfg: KvsConfig, f: F)
+where
+    F: Fn(&mut Ctx, darray::NodeEnv, KvsView<DArrayBackend>) + Send + Sync + 'static,
+{
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, ClusterConfig::test_config(nodes));
+        let entries = cluster.alloc::<u64>(cfg.entry_array_len(), ArrayOptions::default());
+        let bytes = cluster.alloc::<u64>(cfg.byte_array_words(), ArrayOptions::default());
+        let kvs = Kvs::new(cfg);
+        cluster.run(ctx, 1, move |ctx, env| {
+            let view = kvs.view(
+                env.node,
+                DArrayBackend(entries.on(env.node)),
+                DArrayBackend(bytes.on(env.node)),
+            );
+            f(ctx, env, view);
+        });
+        cluster.shutdown(ctx);
+    });
+}
+
+#[test]
+fn put_get_roundtrip_single_node() {
+    with_darray_kvs(1, small_cfg(1), |ctx, _env, kv| {
+        kv.put(ctx, b"hello", b"world").unwrap();
+        kv.put(ctx, b"foo", b"bar").unwrap();
+        assert_eq!(kv.get(ctx, b"hello"), Some(b"world".to_vec()));
+        assert_eq!(kv.get(ctx, b"foo"), Some(b"bar".to_vec()));
+        assert_eq!(kv.get(ctx, b"missing"), None);
+    });
+}
+
+#[test]
+fn updates_replace_and_reclaim() {
+    with_darray_kvs(1, small_cfg(1), |ctx, _env, kv| {
+        kv.put(ctx, b"k", b"v1").unwrap();
+        kv.put(ctx, b"k", b"a-much-longer-second-value").unwrap();
+        assert_eq!(kv.get(ctx, b"k"), Some(b"a-much-longer-second-value".to_vec()));
+        kv.put(ctx, b"k", b"v3").unwrap();
+        assert_eq!(kv.get(ctx, b"k"), Some(b"v3".to_vec()));
+    });
+}
+
+#[test]
+fn delete_removes_and_slot_is_reusable() {
+    with_darray_kvs(1, small_cfg(1), |ctx, _env, kv| {
+        kv.put(ctx, b"gone", b"soon").unwrap();
+        assert!(kv.delete(ctx, b"gone"));
+        assert_eq!(kv.get(ctx, b"gone"), None);
+        assert!(!kv.delete(ctx, b"gone"));
+        kv.put(ctx, b"gone", b"back").unwrap();
+        assert_eq!(kv.get(ctx, b"gone"), Some(b"back".to_vec()));
+    });
+}
+
+#[test]
+fn overflow_buckets_chain() {
+    // 1 main bucket: everything collides; 15 slots force overflow chains.
+    let cfg = KvsConfig {
+        buckets: 1,
+        overflow_per_node: 8,
+        value_capacity: 1 << 20,
+        nodes: 1,
+    };
+    with_darray_kvs(1, cfg, |ctx, _env, kv| {
+        for i in 0..60u64 {
+            kv.put(ctx, &i.to_le_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        for i in 0..60u64 {
+            assert_eq!(
+                kv.get(ctx, &i.to_le_bytes()),
+                Some(format!("value-{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+    });
+}
+
+#[test]
+fn overflow_budget_exhaustion_reports_full() {
+    let cfg = KvsConfig {
+        buckets: 1,
+        overflow_per_node: 1,
+        value_capacity: 1 << 20,
+        nodes: 1,
+    };
+    with_darray_kvs(1, cfg, |ctx, _env, kv| {
+        let mut full = false;
+        for i in 0..100u64 {
+            match kv.put(ctx, &i.to_le_bytes(), b"v") {
+                Ok(()) => {}
+                Err(KvsError::Full) => {
+                    full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(full, "must eventually exhaust the single overflow bucket");
+    });
+}
+
+#[test]
+fn values_written_on_one_node_are_read_on_all() {
+    with_darray_kvs(3, small_cfg(3), |ctx, env, kv| {
+        let key = format!("key-from-{}", env.node);
+        let val = format!("val-from-{}", env.node);
+        kv.put(ctx, key.as_bytes(), val.as_bytes()).unwrap();
+        env.barrier(ctx);
+        for n in 0..env.nodes {
+            let key = format!("key-from-{n}");
+            let want = format!("val-from-{n}");
+            assert_eq!(kv.get(ctx, key.as_bytes()), Some(want.into_bytes()));
+        }
+    });
+}
+
+#[test]
+fn ycsb_stream_matches_hashmap_model() {
+    // Each node owns a disjoint key space (keys tagged with the node id) so
+    // the final state is deterministic; reads go everywhere after the
+    // barrier.
+    with_darray_kvs(2, small_cfg(2), |ctx, env, kv| {
+        let spec = YcsbSpec {
+            records: 50,
+            get_ratio: 0.5,
+            theta: 0.99,
+            value_size: 24,
+            distribution: workloads::RequestDistribution::Zipfian,
+        };
+        let mut stream = YcsbStream::new(spec, 77 + env.node as u64);
+        let mut model = std::collections::HashMap::new();
+        let mut version = 0u64;
+        for _ in 0..300 {
+            match stream.next_op() {
+                YcsbOp::Get(k) => {
+                    let key = format!("{}-{k}", env.node);
+                    let got = kv.get(ctx, key.as_bytes());
+                    assert_eq!(got, model.get(&k).cloned(), "key {key}");
+                }
+                YcsbOp::Put(k) => {
+                    version += 1;
+                    let key = format!("{}-{k}", env.node);
+                    let val = YcsbStream::value_for(k, version, 24);
+                    kv.put(ctx, key.as_bytes(), &val).unwrap();
+                    model.insert(k, val);
+                }
+            }
+        }
+        env.barrier(ctx);
+        // Cross-node verification of the other node's final state is
+        // covered by `values_written_on_one_node_are_read_on_all`; here we
+        // re-verify our own keys remotely-cached entries included.
+        for (k, v) in &model {
+            let key = format!("{}-{k}", env.node);
+            assert_eq!(kv.get(ctx, key.as_bytes()), Some(v.clone()));
+        }
+    });
+}
+
+#[test]
+fn gam_backend_behaves_identically() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let nodes = 2;
+        let cfg = small_cfg(nodes);
+        let g = GamCluster::with_config(ctx, gam_config_with_net(nodes, NetConfig::instant()));
+        let entries = g.alloc::<u64>(cfg.entry_array_len());
+        let bytes = g.alloc::<u64>(cfg.byte_array_words());
+        let kvs = Kvs::new(cfg);
+        g.run(ctx, 1, move |ctx, env| {
+            let kv = kvs.view(
+                env.node,
+                GamBackend(entries.on(env.node)),
+                GamBackend(bytes.on(env.node)),
+            );
+            let key = format!("gam-key-{}", env.node);
+            kv.put(ctx, key.as_bytes(), b"gam-value").unwrap();
+            env.barrier(ctx);
+            for n in 0..env.nodes {
+                let key = format!("gam-key-{n}");
+                assert_eq!(kv.get(ctx, key.as_bytes()), Some(b"gam-value".to_vec()));
+            }
+        });
+        g.shutdown(ctx);
+    });
+}
+
+#[test]
+fn concurrent_writers_to_same_bucket_serialize() {
+    // All threads hammer the same key set; the bucket write lock must keep
+    // the structure consistent.
+    with_darray_kvs(2, small_cfg(2), |ctx, env, kv| {
+        let mut rng = Rng::new(env.node as u64 * 13 + env.thread as u64);
+        for i in 0..40 {
+            let k = rng.next_below(8); // few keys -> heavy collisions
+            let val = format!("{}-{}-{}", env.node, env.thread, i);
+            kv.put(ctx, &k.to_le_bytes(), val.as_bytes()).unwrap();
+            // Every present key must be readable and well-formed.
+            let got = kv.get(ctx, &k.to_le_bytes()).expect("key must exist");
+            assert!(String::from_utf8(got).is_ok());
+        }
+        env.barrier(ctx);
+        for k in 0..8u64 {
+            if let Some(v) = kv.get(ctx, &k.to_le_bytes()) {
+                assert!(String::from_utf8(v).is_ok());
+            }
+        }
+    });
+}

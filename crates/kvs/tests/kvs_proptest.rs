@@ -1,0 +1,111 @@
+//! Property-based testing of the KVS against a `HashMap` model: random
+//! interleavings of put/get/delete with colliding keys, bucket overflow
+//! chains, and slab reuse must never diverge from the model.
+
+use darray::{ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig};
+use darray_kvs::{DArrayBackend, Kvs, KvsConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u8, u8),    // key id, value seed
+    Get(u8),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| KvOp::Put(k % 48, v)),
+        2 => any::<u8>().prop_map(|k| KvOp::Get(k % 48)),
+        1 => any::<u8>().prop_map(|k| KvOp::Delete(k % 48)),
+    ]
+}
+
+fn key_bytes(k: u8) -> Vec<u8> {
+    // Variable-length keys exercise the word-packing paths.
+    let len = 1 + (k as usize % 19);
+    (0..len).map(|i| k.wrapping_add(i as u8)).collect()
+}
+
+fn value_bytes(k: u8, v: u8) -> Vec<u8> {
+    let len = (k as usize * 7 + v as usize * 13) % 180 + 1;
+    (0..len).map(|i| v.wrapping_mul(31).wrapping_add(i as u8)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kvs_matches_hashmap_model(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        nodes in 1usize..4,
+        tiny_buckets in proptest::bool::ANY,
+    ) {
+        let cfg = KvsConfig {
+            // Tiny bucket counts force heavy collisions and overflow chains.
+            buckets: if tiny_buckets { 2 } else { 32 },
+            overflow_per_node: 32,
+            value_capacity: 1 << 20,
+            nodes,
+        };
+        Sim::new(SimConfig::default()).run(move |ctx| {
+            let cluster = Cluster::new(ctx, ClusterConfig::test_config(nodes));
+            let entries = cluster.alloc::<u64>(cfg.entry_array_len(), ArrayOptions::default());
+            let bytes = cluster.alloc::<u64>(cfg.byte_array_words(), ArrayOptions::default());
+            let kvs = Kvs::new(cfg);
+            let ops2 = ops.clone();
+            // Node 0 drives the random sequence (single mutator => the
+            // HashMap model is exact); other nodes read concurrently to
+            // exercise remote caching of entries and values.
+            cluster.run(ctx, 1, move |ctx, env| {
+                let kv = kvs.view(
+                    env.node,
+                    DArrayBackend(entries.on(env.node)),
+                    DArrayBackend(bytes.on(env.node)),
+                );
+                if env.node == 0 {
+                    let mut model: std::collections::HashMap<u8, Vec<u8>> =
+                        std::collections::HashMap::new();
+                    for op in &ops2 {
+                        match *op {
+                            KvOp::Put(k, v) => {
+                                let val = value_bytes(k, v);
+                                kv.put(ctx, &key_bytes(k), &val).expect("put");
+                                model.insert(k, val);
+                            }
+                            KvOp::Get(k) => {
+                                assert_eq!(
+                                    kv.get(ctx, &key_bytes(k)),
+                                    model.get(&k).cloned(),
+                                    "get({k}) diverged"
+                                );
+                            }
+                            KvOp::Delete(k) => {
+                                let was = kv.delete(ctx, &key_bytes(k));
+                                assert_eq!(was, model.remove(&k).is_some(), "delete({k})");
+                            }
+                        }
+                    }
+                    // Final sweep: every model key present, every other key
+                    // absent.
+                    for k in 0..48u8 {
+                        assert_eq!(kv.get(ctx, &key_bytes(k)), model.get(&k).cloned());
+                    }
+                } else {
+                    // Concurrent remote readers: results must always be
+                    // well-formed (either absent or a value the writer
+                    // could have produced for this key).
+                    for op in ops2.iter().take(60) {
+                        let k = match *op {
+                            KvOp::Put(k, _) | KvOp::Get(k) | KvOp::Delete(k) => k,
+                        };
+                        if let Some(v) = kv.get(ctx, &key_bytes(k)) {
+                            assert!(!v.is_empty() && v.len() <= 200);
+                        }
+                    }
+                }
+            });
+            cluster.shutdown(ctx);
+        });
+    }
+}

@@ -1,0 +1,407 @@
+//! Blocking synchronization primitives in virtual time: `WaitCell` (one-shot
+//! request-completion tokens, as used by the DArray slow path) and
+//! `SimBarrier` (cluster-wide barriers for collective operations).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+use crate::sched::ThreadId;
+use crate::time::VTime;
+
+struct WcState {
+    notified: bool,
+    time: VTime,
+    waiter: Option<ThreadId>,
+}
+
+/// A single-waiter notification cell. `wait` consumes one `notify`. Waiting
+/// resumes the waiter at (at least) the notifier's virtual time — this is
+/// how an application thread blocked on a cache-miss request observes the
+/// fill latency.
+pub struct WaitCell {
+    inner: Arc<Mutex<WcState>>,
+}
+
+impl Clone for WaitCell {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Default for WaitCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitCell {
+    /// Create an empty cell.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(WcState {
+                notified: false,
+                time: 0,
+                waiter: None,
+            })),
+        }
+    }
+
+    /// Block until notified; consumes the notification.
+    pub fn wait(&self, ctx: &mut Ctx) {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if st.notified {
+                    st.notified = false;
+                    let t = st.time;
+                    drop(st);
+                    ctx.bump(t);
+                    return;
+                }
+                debug_assert!(
+                    st.waiter.is_none() || st.waiter == Some(ctx.tid()),
+                    "WaitCell supports a single waiter"
+                );
+                st.waiter = Some(ctx.tid());
+            }
+            ctx.block();
+        }
+    }
+
+    /// Notify at the notifier's current virtual time.
+    pub fn notify(&self, ctx: &mut Ctx) {
+        self.notify_at(ctx, ctx.now());
+    }
+
+    /// Notify with an explicit virtual timestamp (e.g. a message delivery
+    /// time that is later than the notifier's own clock).
+    pub fn notify_at(&self, ctx: &Ctx, at: VTime) {
+        let mut st = self.inner.lock();
+        st.notified = true;
+        st.time = st.time.max(at);
+        if let Some(tid) = st.waiter.take() {
+            let mut s = ctx.inner.sched.lock();
+            s.wake(tid, at);
+        }
+    }
+
+    /// True if a notification is pending (unconsumed).
+    pub fn is_notified(&self) -> bool {
+        self.inner.lock().notified
+    }
+}
+
+struct BarState {
+    arrived: usize,
+    generation: u64,
+    max_t: VTime,
+    waiters: Vec<ThreadId>,
+}
+
+/// A reusable barrier over `n` simulated threads. All participants resume at
+/// the maximum arrival time (plus `cost` ns, modeling the barrier's own
+/// communication latency).
+pub struct SimBarrier {
+    inner: Arc<Mutex<BarState>>,
+    n: usize,
+    cost: VTime,
+}
+
+impl Clone for SimBarrier {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            n: self.n,
+            cost: self.cost,
+        }
+    }
+}
+
+impl SimBarrier {
+    /// Barrier over `n` participants with zero additional latency.
+    pub fn new(n: usize) -> Self {
+        Self::with_cost(n, 0)
+    }
+
+    /// Barrier over `n` participants; releasing it charges `cost` ns to
+    /// every participant (models the synchronization round-trip).
+    pub fn with_cost(n: usize, cost: VTime) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Self {
+            inner: Arc::new(Mutex::new(BarState {
+                arrived: 0,
+                generation: 0,
+                max_t: 0,
+                waiters: Vec::new(),
+            })),
+            n,
+            cost,
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Wait for all `n` participants; returns the release time.
+    pub fn wait(&self, ctx: &mut Ctx) -> VTime {
+        let my_gen;
+        {
+            let mut st = self.inner.lock();
+            st.max_t = st.max_t.max(ctx.now());
+            st.arrived += 1;
+            my_gen = st.generation;
+            if st.arrived == self.n {
+                let release = st.max_t + self.cost;
+                st.arrived = 0;
+                st.max_t = 0;
+                st.generation += 1;
+                let waiters = std::mem::take(&mut st.waiters);
+                drop(st);
+                {
+                    let mut s = ctx.inner.sched.lock();
+                    for tid in waiters {
+                        s.wake(tid, release);
+                    }
+                }
+                ctx.bump(release);
+                return release;
+            }
+            st.waiters.push(ctx.tid());
+        }
+        loop {
+            ctx.block();
+            let st = self.inner.lock();
+            if st.generation != my_gen {
+                break;
+            }
+        }
+        ctx.now()
+    }
+}
+
+/// A spinlock whose *contention happens in virtual time*.
+///
+/// Under the single-token scheduler a host `Mutex` can never be observed
+/// contended, so systems that serialize on locks (GAM's per-chunk access
+/// lock, the §4.1 lock-based strawman, distributed lock holders) use this
+/// instead: acquisition CASes a sentinel into the word; waiters spin with
+/// [`Ctx::spin_hint`], accumulating the virtual wait that a real contended
+/// lock would impose.
+pub struct VirtualLock {
+    /// Sentinel `u64::MAX` while held; otherwise the virtual time at which
+    /// the lock was last released.
+    state: Arc<std::sync::atomic::AtomicU64>,
+}
+
+const VLOCK_HELD: u64 = u64::MAX;
+
+impl Clone for VirtualLock {
+    fn clone(&self) -> Self {
+        Self {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl Default for VirtualLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualLock {
+    /// Create an unlocked lock.
+    pub fn new() -> Self {
+        Self {
+            state: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Acquire, spinning in virtual time while held by another thread.
+    /// `acquire_cost` ns is charged for the successful acquisition itself.
+    pub fn lock(&self, ctx: &mut Ctx, acquire_cost: VTime) {
+        use std::sync::atomic::Ordering;
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            if cur != VLOCK_HELD {
+                if self
+                    .state
+                    .compare_exchange(cur, VLOCK_HELD, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // A release that happened "later" in virtual time than
+                    // our current clock still delays us.
+                    ctx.bump(cur);
+                    ctx.charge(acquire_cost);
+                    return;
+                }
+            } else {
+                ctx.spin_hint(acquire_cost.max(10));
+            }
+        }
+    }
+
+    /// Try to acquire without spinning; returns false if held.
+    pub fn try_lock(&self, ctx: &mut Ctx, acquire_cost: VTime) -> bool {
+        use std::sync::atomic::Ordering;
+        let cur = self.state.load(Ordering::Acquire);
+        if cur == VLOCK_HELD {
+            return false;
+        }
+        if self
+            .state
+            .compare_exchange(cur, VLOCK_HELD, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            ctx.bump(cur);
+            ctx.charge(acquire_cost);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release at the caller's current virtual time.
+    pub fn unlock(&self, ctx: &Ctx) {
+        use std::sync::atomic::Ordering;
+        debug_assert_eq!(self.state.load(Ordering::Acquire), VLOCK_HELD);
+        self.state.store(ctx.now(), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimConfig};
+
+    #[test]
+    fn virtual_lock_serializes_in_virtual_time() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let lk = VirtualLock::new();
+            let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let mut hs = Vec::new();
+            for i in 0..4u64 {
+                let l = lk.clone();
+                let t = total.clone();
+                hs.push(ctx.spawn(&format!("w{i}"), move |c| {
+                    l.lock(c, 5);
+                    // Hold for 100 virtual ns.
+                    let v = t.load(std::sync::atomic::Ordering::Relaxed);
+                    c.charge(100);
+                    t.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                    l.unlock(c);
+                }));
+            }
+            let mut end = 0;
+            for h in hs {
+                h.join(ctx);
+                end = end.max(ctx.now());
+            }
+            assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 4);
+            // Four holders serialized: at least 4 * (100 + 5) ns elapsed.
+            assert!(end >= 420, "end = {end}");
+        });
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let lk = VirtualLock::new();
+            assert!(lk.try_lock(ctx, 1));
+            assert!(!lk.try_lock(ctx, 1));
+            lk.unlock(ctx);
+            assert!(lk.try_lock(ctx, 1));
+            lk.unlock(ctx);
+        });
+    }
+
+    #[test]
+    fn waitcell_roundtrip() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let cell = WaitCell::new();
+            let c2 = cell.clone();
+            let h = ctx.spawn("n", move |c| {
+                c.charge(3_000);
+                c2.notify(c);
+            });
+            cell.wait(ctx);
+            assert_eq!(ctx.now(), 3_000);
+            h.join(ctx);
+        });
+    }
+
+    #[test]
+    fn waitcell_notify_before_wait() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let cell = WaitCell::new();
+            let c2 = cell.clone();
+            let h = ctx.spawn("n", move |c| {
+                c.charge(10);
+                c2.notify(c);
+            });
+            ctx.sleep(1_000);
+            assert!(cell.is_notified());
+            cell.wait(ctx);
+            assert!(!cell.is_notified());
+            assert_eq!(ctx.now(), 1_000);
+            h.join(ctx);
+        });
+    }
+
+    #[test]
+    fn barrier_releases_all_at_max_time() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let bar = SimBarrier::new(3);
+            let mut hs = Vec::new();
+            for i in 0..2u64 {
+                let b = bar.clone();
+                hs.push(ctx.spawn(&format!("p{i}"), move |c| {
+                    c.charge(100 * (i + 1));
+                    let t = b.wait(c);
+                    assert_eq!(t, 500);
+                }));
+            }
+            ctx.charge(500);
+            let t = bar.wait(ctx);
+            assert_eq!(t, 500);
+            for h in hs {
+                h.join(ctx);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let bar = SimBarrier::new(2);
+            let b = bar.clone();
+            let h = ctx.spawn("p", move |c| {
+                for _ in 0..5 {
+                    c.charge(10);
+                    b.wait(c);
+                }
+            });
+            for _ in 0..5 {
+                ctx.charge(7);
+                bar.wait(ctx);
+            }
+            h.join(ctx);
+        });
+    }
+
+    #[test]
+    fn barrier_cost_is_charged() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let bar = SimBarrier::with_cost(1, 2_000);
+            let t = bar.wait(ctx);
+            assert_eq!(t, 2_000);
+            assert_eq!(ctx.now(), 2_000);
+        });
+    }
+}

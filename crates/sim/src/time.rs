@@ -1,0 +1,35 @@
+//! Virtual time: plain nanoseconds in a `u64`.
+
+/// Virtual time in nanoseconds since simulation start.
+pub type VTime = u64;
+
+/// One microsecond of virtual time.
+pub const MICROSECOND: VTime = 1_000;
+/// One millisecond of virtual time.
+pub const MILLISECOND: VTime = 1_000_000;
+/// One second of virtual time.
+pub const SECOND: VTime = 1_000_000_000;
+
+/// Convert a virtual duration (ns) to seconds as `f64`.
+#[inline]
+pub fn to_secs(ns: VTime) -> f64 {
+    ns as f64 / SECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(MICROSECOND * 1_000, MILLISECOND);
+        assert_eq!(MILLISECOND * 1_000, SECOND);
+    }
+
+    #[test]
+    fn to_secs_converts() {
+        assert_eq!(to_secs(SECOND), 1.0);
+        assert_eq!(to_secs(MILLISECOND), 1e-3);
+        assert_eq!(to_secs(0), 0.0);
+    }
+}

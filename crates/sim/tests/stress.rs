@@ -1,0 +1,216 @@
+//! Stress and edge-case tests for the simulator: large thread counts,
+//! nested spawns, barrier storms, mailbox fan-in, virtual-lock convoys,
+//! and determinism under load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsim::{Mailbox, Sim, SimBarrier, SimConfig, VirtualLock, WaitCell};
+
+#[test]
+fn hundred_threads_with_mixed_blocking() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let total = Arc::new(AtomicU64::new(0));
+        let mb: Mailbox<u64> = Mailbox::new("sink");
+        let mut handles = Vec::new();
+        for i in 0..100u64 {
+            let t = total.clone();
+            let tx = mb.clone();
+            handles.push(ctx.spawn(&format!("w{i}"), move |c| {
+                c.charge(i * 13 % 97);
+                c.sleep(i % 7 * 100);
+                t.fetch_add(i, Ordering::Relaxed);
+                tx.send(c, i, 50);
+            }));
+        }
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += mb.recv(ctx);
+        }
+        for h in handles {
+            h.join(ctx);
+        }
+        assert_eq!(sum, (0..100).sum::<u64>());
+        assert_eq!(total.load(Ordering::Relaxed), sum);
+    });
+}
+
+#[test]
+fn deeply_nested_spawns() {
+    fn nest(c: &mut dsim::Ctx, depth: u32) -> u64 {
+        if depth == 0 {
+            c.charge(10);
+            return 1;
+        }
+        let out = Arc::new(AtomicU64::new(0));
+        let o = out.clone();
+        let h = c.spawn(&format!("d{depth}"), move |c2| {
+            let v = nest(c2, depth - 1);
+            o.store(v + 1, Ordering::Relaxed);
+        });
+        h.join(c);
+        out.load(Ordering::Relaxed)
+    }
+    Sim::new(SimConfig::default()).run(|ctx| {
+        assert_eq!(nest(ctx, 20), 21);
+        assert_eq!(ctx.now(), 10); // only the leaf charged
+    });
+}
+
+#[test]
+fn barrier_storm_many_rounds() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let n = 16;
+        let rounds = 50;
+        let bar = SimBarrier::new(n);
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for i in 0..n - 1 {
+            let b = bar.clone();
+            let h = hits.clone();
+            handles.push(ctx.spawn(&format!("p{i}"), move |c| {
+                for r in 0..rounds {
+                    c.charge((i as u64 * 7 + r as u64) % 23 + 1);
+                    b.wait(c);
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for _ in 0..rounds {
+            ctx.charge(5);
+            bar.wait(ctx);
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        for h in handles {
+            h.join(ctx);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), (n * rounds) as u64);
+    });
+}
+
+#[test]
+fn mailbox_fan_in_preserves_per_sender_order() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let mb: Mailbox<(u64, u64)> = Mailbox::new("fan");
+        let senders = 8u64;
+        let per = 40u64;
+        let mut handles = Vec::new();
+        for s in 0..senders {
+            let tx = mb.clone();
+            handles.push(ctx.spawn(&format!("s{s}"), move |c| {
+                for k in 0..per {
+                    c.charge(s * 3 + 5);
+                    tx.send(c, (s, k), 500);
+                }
+            }));
+        }
+        let mut last = vec![-1i64; senders as usize];
+        for _ in 0..senders * per {
+            let (s, k) = mb.recv(ctx);
+            assert!(last[s as usize] < k as i64, "sender {s} reordered");
+            last[s as usize] = k as i64;
+        }
+        for h in handles {
+            h.join(ctx);
+        }
+    });
+}
+
+#[test]
+fn virtual_lock_convoy_is_fair_enough() {
+    // N threads each take the lock M times; total hold time must be fully
+    // serialized and every thread must finish.
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let lk = VirtualLock::new();
+        let n = 10u64;
+        let m = 20u64;
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let l = lk.clone();
+            handles.push(ctx.spawn(&format!("t{i}"), move |c| {
+                for _ in 0..m {
+                    l.lock(c, 5);
+                    c.charge(100);
+                    l.unlock(c);
+                }
+            }));
+        }
+        let mut end = 0;
+        for h in handles {
+            h.join(ctx);
+            end = end.max(ctx.now());
+        }
+        assert!(end >= n * m * 100, "critical sections serialized: {end}");
+    });
+}
+
+#[test]
+fn waitcell_ping_pong() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let ping = WaitCell::new();
+        let pong = WaitCell::new();
+        let (p1, p2) = (ping.clone(), pong.clone());
+        let h = ctx.spawn("peer", move |c| {
+            for _ in 0..25 {
+                p1.wait(c);
+                c.charge(10);
+                p2.notify(c);
+            }
+        });
+        for _ in 0..25 {
+            ctx.charge(10);
+            ping.notify(ctx);
+            pong.wait(ctx);
+        }
+        h.join(ctx);
+        assert!(ctx.now() >= 25 * 20);
+    });
+}
+
+#[test]
+fn stress_run_is_deterministic() {
+    fn once() -> (u64, u64) {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let mb: Mailbox<u64> = Mailbox::new("d");
+            let bar = SimBarrier::new(9);
+            let mut handles = Vec::new();
+            for i in 0..8u64 {
+                let tx = mb.clone();
+                let b = bar.clone();
+                handles.push(ctx.spawn(&format!("x{i}"), move |c| {
+                    for k in 0..30 {
+                        c.charge((i * 31 + k) % 41 + 1);
+                        if k % 5 == 0 {
+                            c.sleep(i * 10);
+                        }
+                        tx.send(c, i * 1000 + k, (k % 3) * 200);
+                    }
+                    b.wait(c);
+                }));
+            }
+            let mut acc = 0u64;
+            for _ in 0..240 {
+                acc = acc.wrapping_mul(31).wrapping_add(mb.recv(ctx));
+            }
+            bar.wait(ctx);
+            for h in handles {
+                h.join(ctx);
+            }
+            (acc, ctx.now())
+        })
+    }
+    assert_eq!(once(), once());
+}
+
+#[test]
+#[should_panic(expected = "virtual time limit")]
+fn max_vtime_guard_fires() {
+    let cfg = SimConfig {
+        max_vtime: 1_000,
+        ..Default::default()
+    };
+    Sim::new(cfg).run(|ctx| {
+        ctx.sleep(10_000); // event beyond the limit poisons the sim
+        ctx.sleep(1);
+    });
+}

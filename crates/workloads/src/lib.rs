@@ -1,0 +1,18 @@
+//! # workloads — deterministic workload generators for the evaluation
+//!
+//! * [`rng`] — a from-scratch xoshiro256\*\* PRNG (bit-for-bit
+//!   reproducible across platforms and releases, which the deterministic
+//!   simulation depends on);
+//! * [`zipf`] — the YCSB-style Zipfian generator (default skew 0.99, as in
+//!   §6.3 and §6.5), plus a scrambled variant that spreads the hot keys
+//!   over the key space;
+//! * [`ycsb`] — a YCSB-like key-value operation stream with a configurable
+//!   get ratio (Figure 17 sweeps 100 % / 95 % / 50 %).
+
+pub mod rng;
+pub mod ycsb;
+pub mod zipf;
+
+pub use rng::Rng;
+pub use ycsb::{RequestDistribution, YcsbOp, YcsbSpec, YcsbStream};
+pub use zipf::Zipfian;

@@ -1,0 +1,127 @@
+//! xoshiro256** — a small, fast, high-quality PRNG (Blackman & Vigna),
+//! implemented from scratch so workload streams are bit-for-bit
+//! reproducible regardless of external crate versions.
+
+/// Deterministic PRNG. Seeding goes through SplitMix64 as recommended by
+/// the xoshiro authors, so any `u64` seed (including 0) works.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed from a single word.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next uniform `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, bound)` (Lemire's multiply-shift; slight modulo bias
+    /// is irrelevant for workload generation).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = Rng::new(0);
+        let mut seen_nonzero = false;
+        for _ in 0..10 {
+            seen_nonzero |= r.next_u64() != 0;
+        }
+        assert!(seen_nonzero);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Rng::new(7);
+        for bound in [1u64, 2, 10, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Rng::new(3);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((0.45..0.55).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Rng::new(9);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits = {hits}");
+    }
+}

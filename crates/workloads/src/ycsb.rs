@@ -1,0 +1,217 @@
+//! A YCSB-like operation stream for the distributed KVS evaluation
+//! (Figure 17: total throughput with varying thread count and get ratio).
+
+use crate::rng::Rng;
+use crate::zipf::Zipfian;
+
+/// Key request distribution (YCSB's `requestdistribution` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestDistribution {
+    /// Scrambled Zipfian (YCSB default; the paper's configuration).
+    Zipfian,
+    /// Uniform over all records.
+    Uniform,
+    /// "Latest": Zipfian skew toward the most recently inserted records.
+    Latest,
+}
+
+/// One key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Read the value of this key.
+    Get(u64),
+    /// Insert or update this key with a value of the spec's size.
+    Put(u64),
+}
+
+/// Workload specification.
+#[derive(Debug, Clone)]
+pub struct YcsbSpec {
+    /// Number of distinct keys (records).
+    pub records: u64,
+    /// Fraction of operations that are gets; the rest are puts
+    /// ("the proportion of get requests in relation to the total number of
+    /// get and put requests", Figure 17).
+    pub get_ratio: f64,
+    /// Zipfian skew (paper default 0.99).
+    pub theta: f64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Key request distribution.
+    pub distribution: RequestDistribution,
+}
+
+impl Default for YcsbSpec {
+    fn default() -> Self {
+        Self {
+            records: 10_000,
+            get_ratio: 0.95,
+            theta: 0.99,
+            value_size: 100,
+            distribution: RequestDistribution::Zipfian,
+        }
+    }
+}
+
+/// An infinite deterministic stream of operations.
+pub struct YcsbStream {
+    spec: YcsbSpec,
+    zipf: Zipfian,
+    rng: Rng,
+}
+
+impl YcsbStream {
+    /// Create a stream; equal `(spec, seed)` pairs yield equal streams.
+    pub fn new(spec: YcsbSpec, seed: u64) -> Self {
+        let zipf = Zipfian::with_theta(spec.records, spec.theta);
+        Self {
+            spec,
+            zipf,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The workload spec.
+    pub fn spec(&self) -> &YcsbSpec {
+        &self.spec
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let n = self.spec.records;
+        let key = match self.spec.distribution {
+            RequestDistribution::Zipfian => self.zipf.next_scrambled(&mut self.rng),
+            RequestDistribution::Uniform => self.rng.next_below(n),
+            // Latest: rank 0 maps to the highest key id, rank 1 to the next,
+            // and so on — hot traffic concentrates on recent inserts.
+            RequestDistribution::Latest => {
+                let rank = self.zipf.next(&mut self.rng);
+                n - 1 - rank
+            }
+        };
+        if self.rng.chance(self.spec.get_ratio) {
+            YcsbOp::Get(key)
+        } else {
+            YcsbOp::Put(key)
+        }
+    }
+
+    /// Deterministic value bytes for a key (for verification).
+    pub fn value_for(key: u64, version: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut x = key ^ version.rotate_left(32) ^ 0xABCD_EF01_2345_6789;
+        for _ in 0..len {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            out.push((x >> 56) as u8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let spec = YcsbSpec::default();
+        let mut a = YcsbStream::new(spec.clone(), 11);
+        let mut b = YcsbStream::new(spec, 11);
+        for _ in 0..500 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn get_ratio_is_respected() {
+        let spec = YcsbSpec {
+            get_ratio: 0.5,
+            ..Default::default()
+        };
+        let mut s = YcsbStream::new(spec, 1);
+        let n = 20_000;
+        let gets = (0..n)
+            .filter(|_| matches!(s.next_op(), YcsbOp::Get(_)))
+            .count();
+        assert!((45 * n / 100..55 * n / 100).contains(&gets), "gets = {gets}");
+    }
+
+    #[test]
+    fn pure_get_workload_has_no_puts() {
+        let spec = YcsbSpec {
+            get_ratio: 1.0,
+            ..Default::default()
+        };
+        let mut s = YcsbStream::new(spec, 2);
+        assert!((0..1_000).all(|_| matches!(s.next_op(), YcsbOp::Get(_))));
+    }
+
+    #[test]
+    fn keys_are_in_range_and_skewed() {
+        let spec = YcsbSpec {
+            records: 1_000,
+            ..Default::default()
+        };
+        let mut s = YcsbStream::new(spec, 3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            let k = match s.next_op() {
+                YcsbOp::Get(k) | YcsbOp::Put(k) => k,
+            };
+            assert!(k < 1_000);
+            *counts.entry(k).or_insert(0u64) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = 30_000 / counts.len() as u64;
+        assert!(max > avg * 5, "distribution should be skewed: max={max} avg={avg}");
+    }
+
+    #[test]
+    fn uniform_distribution_is_flat() {
+        let spec = YcsbSpec {
+            records: 100,
+            distribution: RequestDistribution::Uniform,
+            ..Default::default()
+        };
+        let mut s = YcsbStream::new(spec, 4);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            match s.next_op() {
+                YcsbOp::Get(k) | YcsbOp::Put(k) => counts[k as usize] += 1,
+            }
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max < &(min * 2), "uniform should be flat: {min}..{max}");
+    }
+
+    #[test]
+    fn latest_distribution_prefers_high_ids() {
+        let spec = YcsbSpec {
+            records: 1_000,
+            distribution: RequestDistribution::Latest,
+            ..Default::default()
+        };
+        let mut s = YcsbStream::new(spec, 5);
+        let mut high = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = match s.next_op() {
+                YcsbOp::Get(k) | YcsbOp::Put(k) => k,
+            };
+            if k >= 900 {
+                high += 1;
+            }
+        }
+        assert!(high > n / 2, "latest should hit the top decile: {high}/{n}");
+    }
+
+    #[test]
+    fn value_for_is_deterministic_and_sized() {
+        let a = YcsbStream::value_for(7, 1, 100);
+        let b = YcsbStream::value_for(7, 1, 100);
+        let c = YcsbStream::value_for(7, 2, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+    }
+}

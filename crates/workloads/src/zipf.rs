@@ -1,0 +1,165 @@
+//! YCSB-style Zipfian generator (Gray et al., "Quickly generating
+//! billion-record synthetic databases"), the distribution behind the
+//! paper's skewed workloads: "a Zipfian distribution of skewness 0.99"
+//! (§6.3) and "YCSB benchmarks ... with a Zipfian distribution parameter
+//! of 0.99, which is the default value" (§6.5).
+
+use crate::rng::Rng;
+
+/// Zipfian distribution over `[0, n)` with skew `theta`. Rank 0 is the
+/// hottest item; use [`Zipfian::next_scrambled`] to spread hot items over
+/// the key space (as YCSB's ScrambledZipfian does).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    eta: f64,
+    threshold1: f64,
+    threshold2: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// Zipfian over `n` items with the paper's default skew 0.99.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99)
+    }
+
+    /// Zipfian with an explicit skew parameter `theta` in (0, 1).
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            eta,
+            threshold1: 1.0 / zetan,
+            threshold2: (1.0 + 0.5f64.powf(theta)) / zetan,
+        }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample a rank in `[0, n)`; rank 0 is hottest.
+    pub fn next(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        if u < self.threshold1 {
+            return 0;
+        }
+        if self.n >= 2 && u < self.threshold2 {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Sample with the hot ranks scattered over `[0, n)` by a Fibonacci
+    /// hash (YCSB's ScrambledZipfian). Needed when the *location* of hot
+    /// items matters — e.g. so hot array elements do not all land in the
+    /// first chunk of the first node.
+    pub fn next_scrambled(&self, rng: &mut Rng) -> u64 {
+        let rank = self.next(rng);
+        // Offset before the multiply so rank 0 does not hash to 0.
+        (rank
+            .wrapping_add(0x1234_5678_9ABC_DEF0)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            >> 16)
+            % self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipfian::new(1000);
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut r) < 1000);
+            assert!(z.next_scrambled(&mut r) < 1000);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_at_high_skew() {
+        let z = Zipfian::with_theta(10_000, 0.99);
+        let mut r = Rng::new(2);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.next(&mut r) == 0).count();
+        // With theta=0.99 over 10k items, rank 0 gets roughly 1/zeta(n)
+        // ≈ 10 % of the mass.
+        assert!(
+            (5 * n / 100..20 * n / 100).contains(&hot),
+            "rank-0 frequency = {hot}/{n}"
+        );
+    }
+
+    #[test]
+    fn frequencies_are_monotone_in_rank() {
+        let z = Zipfian::new(50);
+        let mut r = Rng::new(3);
+        let mut counts = [0u64; 50];
+        for _ in 0..200_000 {
+            counts[z.next(&mut r) as usize] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[2] > counts[30]);
+    }
+
+    #[test]
+    fn low_skew_is_flatter_than_high_skew() {
+        let mut r = Rng::new(4);
+        let hi = Zipfian::with_theta(1000, 0.99);
+        let lo = Zipfian::with_theta(1000, 0.1);
+        let n = 50_000;
+        let hot_hi = (0..n).filter(|_| hi.next(&mut r) == 0).count();
+        let hot_lo = (0..n).filter(|_| lo.next(&mut r) == 0).count();
+        assert!(hot_hi > hot_lo * 5, "hi={hot_hi} lo={hot_lo}");
+    }
+
+    #[test]
+    fn scrambled_spreads_the_hot_key() {
+        let z = Zipfian::new(10_000);
+        let mut r = Rng::new(5);
+        // The hottest scrambled key should not be 0.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(z.next_scrambled(&mut r)).or_insert(0u64) += 1;
+        }
+        let hottest = counts.iter().max_by_key(|(_, c)| **c).map(|(k, _)| *k).unwrap();
+        assert_ne!(hottest, 0);
+    }
+
+    #[test]
+    fn single_item_distribution() {
+        let z = Zipfian::new(1);
+        let mut r = Rng::new(6);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut r), 0);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The distributed key-value store of §5.2 on a 4-node DArray cluster:
+//! puts/gets/deletes from every node, then a short YCSB burst with
+//! throughput reporting.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use darray::{ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig};
+use darray_kvs::{DArrayBackend, Kvs, KvsConfig};
+use workloads::{YcsbOp, YcsbSpec, YcsbStream};
+
+fn main() {
+    let nodes = 4;
+    let cfg = KvsConfig {
+        buckets: 256,
+        overflow_per_node: 32,
+        value_capacity: 8 << 20,
+        nodes,
+    };
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, ClusterConfig::with_nodes(nodes));
+        let entries = cluster.alloc::<u64>(cfg.entry_array_len(), ArrayOptions::default());
+        let bytes = cluster.alloc::<u64>(cfg.byte_array_words(), ArrayOptions::default());
+        let kvs = Kvs::new(cfg);
+        let total_ops = Arc::new(AtomicU64::new(0));
+        let window = Arc::new(AtomicU64::new(0));
+        let (t2, w2) = (total_ops.clone(), window.clone());
+        cluster.run(ctx, 2, move |ctx, env| {
+            let kv = kvs.view(
+                env.node,
+                DArrayBackend(entries.on(env.node)),
+                DArrayBackend(bytes.on(env.node)),
+            );
+            // Basic usage from every node.
+            if env.thread == 0 {
+                let key = format!("greeting-{}", env.node);
+                kv.put(ctx, key.as_bytes(), b"hello from afar").unwrap();
+            }
+            env.barrier(ctx);
+            if env.thread == 0 {
+                for n in 0..env.nodes {
+                    let key = format!("greeting-{n}");
+                    let v = kv.get(ctx, key.as_bytes()).expect("present");
+                    assert_eq!(v, b"hello from afar");
+                }
+            }
+            if env.node == 0 && env.thread == 0 {
+                // Updates and deletes work too.
+                kv.put(ctx, b"tmp", b"v1").unwrap();
+                kv.put(ctx, b"tmp", b"v2").unwrap();
+                assert_eq!(kv.get(ctx, b"tmp"), Some(b"v2".to_vec()));
+                assert!(kv.delete(ctx, b"tmp"));
+            }
+            env.barrier(ctx);
+
+            // A short YCSB burst (95 % gets, Zipf 0.99).
+            let spec = YcsbSpec {
+                records: 1_000,
+                get_ratio: 0.95,
+                theta: 0.99,
+                value_size: 100,
+                distribution: workloads::RequestDistribution::Zipfian,
+            };
+            for k in 0..spec.records {
+                if k as usize % env.nodes == env.node && env.thread == 0 {
+                    kv.put(ctx, &k.to_le_bytes(), &YcsbStream::value_for(k, 0, 100))
+                        .unwrap();
+                }
+            }
+            env.barrier(ctx);
+            let mut stream = YcsbStream::new(spec, (env.node * 8 + env.thread) as u64);
+            let t0 = ctx.now();
+            let ops = 2_000u64;
+            for v in 0..ops {
+                match stream.next_op() {
+                    YcsbOp::Get(k) => {
+                        std::hint::black_box(kv.get(ctx, &k.to_le_bytes()));
+                    }
+                    YcsbOp::Put(k) => {
+                        kv.put(ctx, &k.to_le_bytes(), &YcsbStream::value_for(k, v, 100))
+                            .unwrap();
+                    }
+                }
+            }
+            t2.fetch_add(ops, Ordering::Relaxed);
+            w2.fetch_max(ctx.now() - t0, Ordering::Relaxed);
+        });
+        let ops = total_ops.load(Ordering::Relaxed);
+        let ns = window.load(Ordering::Relaxed);
+        println!(
+            "YCSB (95% get, zipf 0.99): {ops} ops over {nodes} nodes x 2 threads in {:.3} ms \
+             (virtual) = {:.0} Kops/s",
+            ns as f64 / 1e6,
+            ops as f64 / (ns as f64 / 1e9) / 1e3
+        );
+        cluster.shutdown(ctx);
+        println!("kv_store OK");
+    });
+}

@@ -1,0 +1,1 @@
+//! Workspace umbrella crate: integration tests live in `tests/`, examples in `examples/`.

@@ -1,0 +1,158 @@
+//! Cross-system integration: the same logical workload produces identical
+//! data on DArray, GAM and BCL — the systems differ in performance, never
+//! in results.
+
+use darray::{ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig};
+use gam::{gam_config_with_net, GamCluster};
+use rdma_fabric::NetConfig;
+use workloads::Rng;
+
+const LEN: usize = 4 * 512;
+const WRITES: usize = 400;
+
+/// Deterministic write set: (index, value) pairs, partitioned by writer so
+/// the final array state is unambiguous.
+fn write_plan(node: usize, nodes: usize) -> Vec<(usize, u64)> {
+    let mut rng = Rng::new(500 + node as u64);
+    (0..WRITES)
+        .map(|_| {
+            let mut i = rng.next_below(LEN as u64) as usize;
+            // Steer each index to its designated writer.
+            i -= i % nodes;
+            i += node;
+            i %= LEN;
+            (i, rng.next_u64())
+        })
+        .collect()
+}
+
+/// The expected final array (last write per index, writer-partitioned).
+fn expected(nodes: usize) -> Vec<u64> {
+    let mut out = vec![0u64; LEN];
+    for n in 0..nodes {
+        for (i, v) in write_plan(n, nodes) {
+            out[i] = v;
+        }
+    }
+    out
+}
+
+#[test]
+fn darray_gam_bcl_agree_on_final_state() {
+    let nodes = 3;
+    let want = expected(nodes);
+
+    // DArray.
+    let w1 = want.clone();
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, ClusterConfig::test_config(nodes));
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        let wexp = std::sync::Arc::new(w1);
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            for (i, v) in write_plan(env.node, env.nodes) {
+                a.set(ctx, i, v);
+            }
+            env.barrier(ctx);
+            for i in 0..LEN {
+                assert_eq!(a.get(ctx, i), wexp[i], "darray idx {i}");
+            }
+        });
+        cluster.shutdown(ctx);
+    });
+
+    // GAM.
+    let w2 = want.clone();
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let g = GamCluster::with_config(ctx, gam_config_with_net(nodes, NetConfig::instant()));
+        let arr = g.alloc::<u64>(LEN);
+        let wexp = std::sync::Arc::new(w2);
+        g.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            for (i, v) in write_plan(env.node, env.nodes) {
+                a.write(ctx, i, v);
+            }
+            env.barrier(ctx);
+            for i in 0..LEN {
+                assert_eq!(a.read(ctx, i), wexp[i], "gam idx {i}");
+            }
+        });
+        g.shutdown(ctx);
+    });
+
+    // BCL.
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let c = bcl::BclCluster::with_net(nodes, NetConfig::instant());
+        let arr = c.alloc::<u64>(LEN);
+        let wexp = std::sync::Arc::new(want);
+        c.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            for (i, v) in write_plan(env.node, env.nodes) {
+                a.write(ctx, i, v);
+            }
+            env.barrier(ctx);
+            for i in 0..LEN {
+                assert_eq!(a.read(ctx, i), wexp[i], "bcl idx {i}");
+            }
+        });
+    });
+}
+
+#[test]
+fn gam_atomics_and_darray_operate_agree() {
+    let nodes = 3;
+    let per_node = 200u64;
+    // DArray via Operate.
+    let d = Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, ClusterConfig::test_config(nodes));
+        let add = cluster.ops().register_add_u64();
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        let out = std::sync::Arc::new(parking_lot_mutex());
+        let o2 = out.clone();
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            let mut rng = Rng::new(env.node as u64);
+            for _ in 0..per_node {
+                let i = rng.next_below(64) as usize;
+                a.apply(ctx, i, add, 1);
+            }
+            env.barrier(ctx);
+            if env.node == 0 {
+                let v: Vec<u64> = (0..64).map(|i| a.get(ctx, i)).collect();
+                *o2.lock().unwrap() = v;
+            }
+        });
+        cluster.shutdown(ctx);
+        let v = out.lock().unwrap().clone();
+        v
+    });
+    // GAM via Atomic.
+    let g = Sim::new(SimConfig::default()).run(move |ctx| {
+        let gam = GamCluster::with_config(ctx, gam_config_with_net(nodes, NetConfig::instant()));
+        let arr = gam.alloc::<u64>(LEN);
+        let out = std::sync::Arc::new(parking_lot_mutex());
+        let o2 = out.clone();
+        gam.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            let mut rng = Rng::new(env.node as u64);
+            for _ in 0..per_node {
+                let i = rng.next_below(64) as usize;
+                a.atomic(ctx, i, |x| x + 1);
+            }
+            env.barrier(ctx);
+            if env.node == 0 {
+                let v: Vec<u64> = (0..64).map(|i| a.read(ctx, i)).collect();
+                *o2.lock().unwrap() = v;
+            }
+        });
+        gam.shutdown(ctx);
+        let v = out.lock().unwrap().clone();
+        v
+    });
+    assert_eq!(d, g, "Operate and Atomic must produce identical sums");
+    assert_eq!(d.iter().sum::<u64>(), per_node * nodes as u64);
+}
+
+fn parking_lot_mutex() -> std::sync::Mutex<Vec<u64>> {
+    std::sync::Mutex::new(Vec::new())
+}
