@@ -331,9 +331,6 @@ mod tests {
         let t4 = run(4);
         // 64 remote reads total in both cases; with perfect scaling t4
         // would be ~t1/4, but the injection lock keeps it near t1.
-        assert!(
-            t4 * 2 > t1,
-            "BCL threads should not scale: t1={t1} t4={t4}"
-        );
+        assert!(t4 * 2 > t1, "BCL threads should not scale: t1={t1} t4={t4}");
     }
 }

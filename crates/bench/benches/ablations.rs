@@ -56,7 +56,11 @@ fn bench_ablations(c: &mut Criterion) {
         });
     }
 
-    for (name, prefetch) in [("prefetch/off", 0usize), ("prefetch/depth2", 2), ("prefetch/depth8", 8)] {
+    for (name, prefetch) in [
+        ("prefetch/off", 0usize),
+        ("prefetch/depth2", 2),
+        ("prefetch/depth8", 8),
+    ] {
         g.bench_function(name, |b| {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;

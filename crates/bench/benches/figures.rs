@@ -38,7 +38,16 @@ fn bench_figures(c: &mut Criterion) {
 
     // Figure 1: sequential-read latency comparison (distributed).
     virtual_bench(&mut g, "fig01/darray_seq_read_3n", || {
-        micro(System::DArray, Op::Read, Pattern::Sequential, 3, 1, 4096, 8192).elapsed
+        micro(
+            System::DArray,
+            Op::Read,
+            Pattern::Sequential,
+            3,
+            1,
+            4096,
+            8192,
+        )
+        .elapsed
     });
     virtual_bench(&mut g, "fig01/gam_seq_read_3n", || {
         micro(System::Gam, Op::Read, Pattern::Sequential, 3, 1, 4096, 8192).elapsed
@@ -49,7 +58,16 @@ fn bench_figures(c: &mut Criterion) {
 
     // Figure 12: intra-node thread scaling (4 threads, 3 nodes).
     virtual_bench(&mut g, "fig12/darray_read_4t", || {
-        micro(System::DArray, Op::Read, Pattern::Sequential, 3, 4, 4096, 4096).elapsed
+        micro(
+            System::DArray,
+            Op::Read,
+            Pattern::Sequential,
+            3,
+            4,
+            4096,
+            4096,
+        )
+        .elapsed
     });
     virtual_bench(&mut g, "fig12/gam_read_4t", || {
         micro(System::Gam, Op::Read, Pattern::Sequential, 3, 4, 4096, 4096).elapsed
@@ -57,19 +75,50 @@ fn bench_figures(c: &mut Criterion) {
 
     // Figure 13: inter-node scaling (4 nodes, weak-scaled array).
     virtual_bench(&mut g, "fig13/darray_write_4n", || {
-        micro(System::DArray, Op::Write, Pattern::Sequential, 4, 1, 4096, 4096).elapsed
+        micro(
+            System::DArray,
+            Op::Write,
+            Pattern::Sequential,
+            4,
+            1,
+            4096,
+            4096,
+        )
+        .elapsed
     });
     virtual_bench(&mut g, "fig13/darray_operate_4n", || {
-        micro(System::DArray, Op::Operate, Pattern::Sequential, 4, 1, 4096, 4096).elapsed
+        micro(
+            System::DArray,
+            Op::Operate,
+            Pattern::Sequential,
+            4,
+            1,
+            4096,
+            4096,
+        )
+        .elapsed
     });
 
     // Figure 14: Operate vs WLock+Read+Write under Zipf contention.
-    virtual_bench(&mut g, "fig14/operate_3n", || zipf_update(3, 8192, 2000, true).elapsed);
-    virtual_bench(&mut g, "fig14/lock_3n", || zipf_update(3, 8192, 500, false).elapsed);
+    virtual_bench(&mut g, "fig14/operate_3n", || {
+        zipf_update(3, 8192, 2000, true).elapsed
+    });
+    virtual_bench(&mut g, "fig14/lock_3n", || {
+        zipf_update(3, 8192, 500, false).elapsed
+    });
 
     // Figure 15: the Pin interface.
     virtual_bench(&mut g, "fig15/pin_seq_read_3n", || {
-        micro(System::DArrayPin, Op::Read, Pattern::Sequential, 3, 1, 4096, 8192).elapsed
+        micro(
+            System::DArrayPin,
+            Op::Read,
+            Pattern::Sequential,
+            3,
+            1,
+            4096,
+            8192,
+        )
+        .elapsed
     });
 
     // Figure 16: graph engines on a small R-MAT graph.
@@ -93,7 +142,16 @@ fn bench_figures(c: &mut Criterion) {
 
     // Figure 18: random access under cache thrash.
     virtual_bench(&mut g, "fig18/darray_rand_read_3n", || {
-        micro(System::DArray, Op::Read, Pattern::Random, 3, 1, 65_536, 1_500).elapsed
+        micro(
+            System::DArray,
+            Op::Read,
+            Pattern::Random,
+            3,
+            1,
+            65_536,
+            1_500,
+        )
+        .elapsed
     });
 
     g.finish();

@@ -96,7 +96,12 @@ fn main() {
             cfg.tx_threads = tx;
             let t = scan(cfg, 1, 8_192, ops, false);
             rows.push(vec![
-                if tx { "dedicated Tx threads" } else { "inline posting" }.to_string(),
+                if tx {
+                    "dedicated Tx threads"
+                } else {
+                    "inline posting"
+                }
+                .to_string(),
                 fmt(t),
             ]);
         }

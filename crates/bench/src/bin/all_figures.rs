@@ -8,7 +8,15 @@ fn main() {
     let me = std::env::current_exe().expect("current_exe");
     let dir = me.parent().expect("bin dir");
     for bin in [
-        "table1", "fig01", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "table1",
+        "fig01",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
         "ablations",
     ] {
         println!("\n========================= {bin} =========================");

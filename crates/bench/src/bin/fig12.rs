@@ -16,12 +16,36 @@ fn main() {
     for op in [Op::Read, Op::Write, Op::Operate] {
         let mut rows = Vec::new();
         for &t in threads {
-            let d = micro(System::DArray, op, Pattern::Sequential, nodes, t, elems_per_node, ops);
-            let g = micro(System::Gam, op, Pattern::Sequential, nodes, t, elems_per_node, ops);
+            let d = micro(
+                System::DArray,
+                op,
+                Pattern::Sequential,
+                nodes,
+                t,
+                elems_per_node,
+                ops,
+            );
+            let g = micro(
+                System::Gam,
+                op,
+                Pattern::Sequential,
+                nodes,
+                t,
+                elems_per_node,
+                ops,
+            );
             let b = if op == Op::Operate {
                 None
             } else {
-                Some(micro(System::Bcl, op, Pattern::Sequential, nodes, t, elems_per_node, bcl_ops))
+                Some(micro(
+                    System::Bcl,
+                    op,
+                    Pattern::Sequential,
+                    nodes,
+                    t,
+                    elems_per_node,
+                    bcl_ops,
+                ))
             };
             rows.push(vec![
                 t.to_string(),
@@ -31,9 +55,15 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 12{} — sequential {} throughput on 3 nodes (Mops/s)",
-                match op { Op::Read => "a", Op::Write => "b", Op::Operate => "c" },
-                op.label()),
+            &format!(
+                "Figure 12{} — sequential {} throughput on 3 nodes (Mops/s)",
+                match op {
+                    Op::Read => "a",
+                    Op::Write => "b",
+                    Op::Operate => "c",
+                },
+                op.label()
+            ),
             &["threads/node", "DArray", "GAM", "BCL"],
             &rows,
         );

@@ -11,18 +11,46 @@ fn main() {
     let elems_per_node = if fast { 4_096 } else { 8_192 };
     let ops: u64 = if fast { 4_096 } else { 40_000 };
     let bcl_ops: u64 = if fast { 512 } else { 2_500 };
-    let node_counts: &[usize] = if fast { &[1, 3] } else { &[1, 2, 3, 4, 6, 8, 10, 12] };
+    let node_counts: &[usize] = if fast {
+        &[1, 3]
+    } else {
+        &[1, 2, 3, 4, 6, 8, 10, 12]
+    };
 
     for op in [Op::Read, Op::Write, Op::Operate] {
         let mut rows = Vec::new();
         let mut pts: [Vec<(usize, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for &n in node_counts {
-            let d = micro(System::DArray, op, Pattern::Sequential, n, 1, elems_per_node, ops);
-            let g = micro(System::Gam, op, Pattern::Sequential, n, 1, elems_per_node, ops);
+            let d = micro(
+                System::DArray,
+                op,
+                Pattern::Sequential,
+                n,
+                1,
+                elems_per_node,
+                ops,
+            );
+            let g = micro(
+                System::Gam,
+                op,
+                Pattern::Sequential,
+                n,
+                1,
+                elems_per_node,
+                ops,
+            );
             let b = if op == Op::Operate {
                 None
             } else {
-                Some(micro(System::Bcl, op, Pattern::Sequential, n, 1, elems_per_node, bcl_ops))
+                Some(micro(
+                    System::Bcl,
+                    op,
+                    Pattern::Sequential,
+                    n,
+                    1,
+                    elems_per_node,
+                    bcl_ops,
+                ))
             };
             pts[0].push((n, d.mops()));
             pts[1].push((n, g.mops()));
@@ -53,12 +81,18 @@ fn main() {
         print_table(
             &format!(
                 "Figure 13{} — sequential {} throughput vs nodes (Mops/s), 1 thread/node",
-                match op { Op::Read => "a", Op::Write => "b", Op::Operate => "c" },
+                match op {
+                    Op::Read => "a",
+                    Op::Write => "b",
+                    Op::Operate => "c",
+                },
                 op.label()
             ),
             &["nodes", "DArray", "GAM", "BCL"],
             &all,
         );
     }
-    println!("\npaper scalability ratios: DArray 0.82/0.76/0.87, GAM 0.72/0.68/0.73, BCL 0.52/0.52.");
+    println!(
+        "\npaper scalability ratios: DArray 0.82/0.76/0.87, GAM 0.72/0.68/0.73, BCL 0.52/0.52."
+    );
 }

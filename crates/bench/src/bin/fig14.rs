@@ -16,11 +16,7 @@ fn main() {
     for &n in node_counts {
         let o = zipf_update(n, len, op_ops, true);
         let l = zipf_update(n, len, lk_ops, false);
-        thr.push(vec![
-            n.to_string(),
-            fmt(o.mops()),
-            fmt(l.mops()),
-        ]);
+        thr.push(vec![n.to_string(), fmt(o.mops()), fmt(l.mops())]);
         lat.push(vec![
             n.to_string(),
             fmt(o.avg_latency_ns(op_ops)),

@@ -8,12 +8,32 @@ fn main() {
     let fast = darray_bench::fast_mode();
     let elems_per_node = if fast { 4_096 } else { 8_192 };
     let ops: u64 = if fast { 8_192 } else { 50_000 };
-    let node_counts: &[usize] = if fast { &[1, 3] } else { &[1, 2, 4, 6, 8, 10, 12] };
+    let node_counts: &[usize] = if fast {
+        &[1, 3]
+    } else {
+        &[1, 2, 4, 6, 8, 10, 12]
+    };
 
     let mut rows = Vec::new();
     for &n in node_counts {
-        let plain = micro(System::DArray, Op::Read, Pattern::Sequential, n, 1, elems_per_node, ops);
-        let pin = micro(System::DArrayPin, Op::Read, Pattern::Sequential, n, 1, elems_per_node, ops);
+        let plain = micro(
+            System::DArray,
+            Op::Read,
+            Pattern::Sequential,
+            n,
+            1,
+            elems_per_node,
+            ops,
+        );
+        let pin = micro(
+            System::DArrayPin,
+            Op::Read,
+            Pattern::Sequential,
+            n,
+            1,
+            elems_per_node,
+            ops,
+        );
         rows.push(vec![
             n.to_string(),
             fmt(plain.mops()),

@@ -17,12 +17,28 @@ fn main() {
     for op in [Op::Read, Op::Write, Op::Operate] {
         let mut rows = Vec::new();
         for &n in node_counts {
-            let d = micro(System::DArray, op, Pattern::Random, n, 1, elems_per_node, ops);
+            let d = micro(
+                System::DArray,
+                op,
+                Pattern::Random,
+                n,
+                1,
+                elems_per_node,
+                ops,
+            );
             let g = micro(System::Gam, op, Pattern::Random, n, 1, elems_per_node, ops);
             let b = if op == Op::Operate {
                 None
             } else {
-                Some(micro(System::Bcl, op, Pattern::Random, n, 1, elems_per_node, bcl_ops))
+                Some(micro(
+                    System::Bcl,
+                    op,
+                    Pattern::Random,
+                    n,
+                    1,
+                    elems_per_node,
+                    bcl_ops,
+                ))
             };
             rows.push(vec![
                 n.to_string(),
@@ -35,7 +51,11 @@ fn main() {
         print_table(
             &format!(
                 "Figure 18{} — uniform random {} latency (ns)",
-                match op { Op::Read => "a", Op::Write => "b", Op::Operate => "c" },
+                match op {
+                    Op::Read => "a",
+                    Op::Write => "b",
+                    Op::Operate => "c",
+                },
                 op.label()
             ),
             &["nodes", "DArray", "GAM", "BCL"],

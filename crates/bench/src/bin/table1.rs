@@ -22,5 +22,7 @@ fn main() {
         &["State", "Home node", "Other nodes", "Exclusive"],
         &rows,
     );
-    println!("\npaper: Unshared R/W/O|None|Yes; Shared R|R|No; Dirty None|R/W|Yes; Operated O|O|No.");
+    println!(
+        "\npaper: Unshared R/W/O|None|Yes; Shared R|R|No; Dirty None|R/W|Yes; Operated O|O|No."
+    );
 }

@@ -57,10 +57,7 @@ fn drive<B: KvBackend>(
         }
     }
     env.barrier(ctx);
-    let mut stream = YcsbStream::new(
-        spec.clone(),
-        (env.node * 64 + env.thread) as u64 + 1000,
-    );
+    let mut stream = YcsbStream::new(spec.clone(), (env.node * 64 + env.thread) as u64 + 1000);
     let mut version = 1u64;
     env.barrier(ctx);
     let t0 = ctx.now();

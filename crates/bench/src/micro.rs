@@ -332,9 +332,33 @@ mod tests {
         // Single machine: builtin < DArray-Pin < DArray < GAM; distributed:
         // everyone ≥ its local latency, BCL near the 2 µs round trip.
         let ops = 4_096;
-        let builtin = micro(System::Builtin, Op::Read, Pattern::Sequential, 1, 1, 4096, ops);
-        let pin = micro(System::DArrayPin, Op::Read, Pattern::Sequential, 1, 1, 4096, ops);
-        let plain = micro(System::DArray, Op::Read, Pattern::Sequential, 1, 1, 4096, ops);
+        let builtin = micro(
+            System::Builtin,
+            Op::Read,
+            Pattern::Sequential,
+            1,
+            1,
+            4096,
+            ops,
+        );
+        let pin = micro(
+            System::DArrayPin,
+            Op::Read,
+            Pattern::Sequential,
+            1,
+            1,
+            4096,
+            ops,
+        );
+        let plain = micro(
+            System::DArray,
+            Op::Read,
+            Pattern::Sequential,
+            1,
+            1,
+            4096,
+            ops,
+        );
         let gam = micro(System::Gam, Op::Read, Pattern::Sequential, 1, 1, 4096, ops);
         let b = builtin.avg_latency_ns(ops);
         let p = pin.avg_latency_ns(ops);
@@ -356,7 +380,15 @@ mod tests {
     #[test]
     fn darray_seq_read_beats_gam_distributed() {
         let ops = 8_192;
-        let d = micro(System::DArray, Op::Read, Pattern::Sequential, 3, 1, 4096, ops);
+        let d = micro(
+            System::DArray,
+            Op::Read,
+            Pattern::Sequential,
+            3,
+            1,
+            4096,
+            ops,
+        );
         let g = micro(System::Gam, Op::Read, Pattern::Sequential, 3, 1, 4096, ops);
         assert!(
             d.mops() > g.mops() * 2.0,
@@ -369,8 +401,29 @@ mod tests {
     #[test]
     fn operate_scales_better_than_gam_atomic() {
         let ops = 2_048;
-        let d = micro(System::DArray, Op::Operate, Pattern::Sequential, 3, 1, 2048, ops);
-        let g = micro(System::Gam, Op::Operate, Pattern::Sequential, 3, 1, 2048, ops);
-        assert!(d.mops() > g.mops(), "DArray {} vs GAM {}", d.mops(), g.mops());
+        let d = micro(
+            System::DArray,
+            Op::Operate,
+            Pattern::Sequential,
+            3,
+            1,
+            2048,
+            ops,
+        );
+        let g = micro(
+            System::Gam,
+            Op::Operate,
+            Pattern::Sequential,
+            3,
+            1,
+            2048,
+            ops,
+        );
+        assert!(
+            d.mops() > g.mops(),
+            "DArray {} vs GAM {}",
+            d.mops(),
+            g.mops()
+        );
     }
 }

@@ -4,7 +4,10 @@
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for r in rows {
         println!("| {} |", r.join(" | "));
     }
@@ -52,7 +55,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(123.4), "123");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(3.146), "3.15");
         assert_eq!(fmt(0.1234), "0.1234");
     }
 }

@@ -16,6 +16,7 @@ use rdma_fabric::NodeId;
 use crate::config::AccessPath;
 use crate::dentry::{Acquire, Dentry, Want};
 use crate::element::Element;
+use crate::error::DArrayError;
 use crate::msg::{ChunkId, LocalKind, LocalReq, LockKind, RtMsg};
 use crate::op::OpId;
 use crate::shared::{data_location, ArrayShared, ClusterShared};
@@ -101,16 +102,18 @@ impl<T: Element> DArray<T> {
     }
 
     /// Fast-path access skeleton: acquire rights for `want`, run `body` on
-    /// the data word, release. Retries through the slow path on a miss.
+    /// the data word, release. Retries through the slow path on a miss;
+    /// fails with [`DArrayError::NodeUnavailable`] instead of retrying
+    /// forever when the chunk's home node has been declared down.
     #[inline]
-    fn access<R>(
+    fn try_access<R>(
         &self,
         ctx: &mut Ctx,
         index: usize,
         want: Want,
         miss: impl Fn() -> LocalKind,
         body: impl Fn(&rdma_fabric::MemoryRegion, usize, &Self, &mut Ctx) -> R,
-    ) -> R {
+    ) -> Result<R, DArrayError> {
         assert!(index < self.len(), "index {index} out of bounds");
         let layout = &self.arr.layout;
         let chunk = layout.chunk_of(index);
@@ -140,7 +143,7 @@ impl<T: Element> DArray<T> {
                         d.chunk_lock.unlock(ctx);
                     }
                     NodeStats::bump(&self.shared.stats[self.node].fast_hits);
-                    return r;
+                    return Ok(r);
                 }
                 Acquire::Delayed => {
                     if lock_based {
@@ -153,7 +156,18 @@ impl<T: Element> DArray<T> {
                         d.chunk_lock.unlock(ctx);
                     }
                     if crate::trace::array_matches(self.arr.id) {
-                        crate::trace::trace_chunk!(chunk, "t={} node{} APP-MISS want={:?} state={:?}", ctx.now(), self.node, want, st);
+                        crate::trace::trace_chunk!(
+                            chunk,
+                            "t={} node{} APP-MISS want={:?} state={:?}",
+                            ctx.now(),
+                            self.node,
+                            want,
+                            st
+                        );
+                    }
+                    let home = layout.home_of_chunk(chunk);
+                    if home != self.node && self.shared.is_peer_down(self.node, home) {
+                        return Err(DArrayError::NodeUnavailable { node: home });
                     }
                     self.slow_request(ctx, miss());
                 }
@@ -161,30 +175,46 @@ impl<T: Element> DArray<T> {
         }
     }
 
-    /// Read element `index` (Figure 3 line 3).
+    /// Read element `index` (Figure 3 line 3). Panics if the element's home
+    /// node has been declared down; see [`DArray::try_get`].
     pub fn get(&self, ctx: &mut Ctx, index: usize) -> T {
+        self.try_get(ctx, index)
+            .unwrap_or_else(|e| panic!("get({index}): {e}"))
+    }
+
+    /// Fallible [`DArray::get`]: returns [`DArrayError::NodeUnavailable`]
+    /// when the element's home node has been declared down and no local copy
+    /// is cached (only possible when `ClusterConfig::fault` is set).
+    pub fn try_get(&self, ctx: &mut Ctx, index: usize) -> Result<T, DArrayError> {
         let chunk = self.arr.layout.chunk_of(index) as ChunkId;
-        let bits = self.access(
+        let bits = self.try_access(
             ctx,
             index,
             Want::Read,
             || LocalKind::Read { chunk },
             |region, word, _, _| region.load(word),
-        );
-        T::from_bits(bits)
+        )?;
+        Ok(T::from_bits(bits))
     }
 
-    /// Write element `index` (Figure 3 line 4).
+    /// Write element `index` (Figure 3 line 4). Panics if the element's home
+    /// node has been declared down; see [`DArray::try_set`].
     pub fn set(&self, ctx: &mut Ctx, index: usize, value: T) {
+        self.try_set(ctx, index, value)
+            .unwrap_or_else(|e| panic!("set({index}): {e}"))
+    }
+
+    /// Fallible [`DArray::set`].
+    pub fn try_set(&self, ctx: &mut Ctx, index: usize, value: T) -> Result<(), DArrayError> {
         let chunk = self.arr.layout.chunk_of(index) as ChunkId;
         let bits = value.to_bits();
-        self.access(
+        self.try_access(
             ctx,
             index,
             Want::Write,
             || LocalKind::Write { chunk },
             move |region, word, _, _| region.store(word, bits),
-        );
+        )
     }
 
     /// Apply a registered operator to element `index` (Figure 3 line 9, the
@@ -209,11 +239,23 @@ impl<T: Element> DArray<T> {
     /// });
     /// ```
     pub fn apply(&self, ctx: &mut Ctx, index: usize, op: OpId, operand: T) {
+        self.try_apply(ctx, index, op, operand)
+            .unwrap_or_else(|e| panic!("apply({index}): {e}"))
+    }
+
+    /// Fallible [`DArray::apply`].
+    pub fn try_apply(
+        &self,
+        ctx: &mut Ctx,
+        index: usize,
+        op: OpId,
+        operand: T,
+    ) -> Result<(), DArrayError> {
         let chunk = self.arr.layout.chunk_of(index) as ChunkId;
         let bits = operand.to_bits();
         let registry = self.shared.registry.clone();
         let op_cost = self.shared.cfg.cost.op_apply_ns;
-        self.access(
+        self.try_access(
             ctx,
             index,
             Want::Operate(op.0),
@@ -229,7 +271,7 @@ impl<T: Element> DArray<T> {
                 ctx.charge(op_cost);
                 NodeStats::bump(&this.shared.stats[this.node].local_combines);
             },
-        );
+        )
     }
 
     /// Atomic read-modify-write under exclusive (Write) ownership: acquires
@@ -238,8 +280,19 @@ impl<T: Element> DArray<T> {
     /// verbs) implement read-then-write — the chunk's ownership must
     /// migrate to the caller, serializing concurrent updaters.
     pub fn update(&self, ctx: &mut Ctx, index: usize, f: impl Fn(T) -> T) {
+        self.try_update(ctx, index, f)
+            .unwrap_or_else(|e| panic!("update({index}): {e}"))
+    }
+
+    /// Fallible [`DArray::update`].
+    pub fn try_update(
+        &self,
+        ctx: &mut Ctx,
+        index: usize,
+        f: impl Fn(T) -> T,
+    ) -> Result<(), DArrayError> {
         let chunk = self.arr.layout.chunk_of(index) as ChunkId;
-        self.access(
+        self.try_access(
             ctx,
             index,
             Want::Write,
@@ -251,7 +304,7 @@ impl<T: Element> DArray<T> {
                     break;
                 }
             },
-        );
+        )
     }
 
     // ------------------------------------------------------------------
@@ -260,15 +313,43 @@ impl<T: Element> DArray<T> {
 
     /// Acquire the distributed reader lock of element `index`.
     pub fn rlock(&self, ctx: &mut Ctx, index: usize) {
+        self.try_rlock(ctx, index)
+            .unwrap_or_else(|e| panic!("rlock({index}): {e}"))
+    }
+
+    /// Fallible [`DArray::rlock`]: errors when the lock's home node has been
+    /// declared down rather than waiting for a grant that can never come.
+    pub fn try_rlock(&self, ctx: &mut Ctx, index: usize) -> Result<(), DArrayError> {
+        self.try_lock_acquire(ctx, index, LockKind::Read)
+    }
+
+    /// Shared implementation of the fallible lock acquires. The home is
+    /// checked both before submitting (fast fail) and after waking: a wake
+    /// may come from `PeerDown` recovery rather than a grant, in which case
+    /// the lock was NOT acquired.
+    fn try_lock_acquire(
+        &self,
+        ctx: &mut Ctx,
+        index: usize,
+        kind: LockKind,
+    ) -> Result<(), DArrayError> {
         assert!(index < self.len());
+        let home = self.arr.layout.home_of(index);
+        if home != self.node && self.shared.is_peer_down(self.node, home) {
+            return Err(DArrayError::NodeUnavailable { node: home });
+        }
         self.slow_request(
             ctx,
             LocalKind::LockAcquire {
                 index: index as u64,
-                kind: LockKind::Read,
+                kind,
             },
         );
-        self.note_held(index, LockKind::Read);
+        if home != self.node && self.shared.is_peer_down(self.node, home) {
+            return Err(DArrayError::NodeUnavailable { node: home });
+        }
+        self.note_held(index, kind);
+        Ok(())
     }
 
     /// Acquire the distributed writer lock of element `index`.
@@ -293,15 +374,13 @@ impl<T: Element> DArray<T> {
     /// });
     /// ```
     pub fn wlock(&self, ctx: &mut Ctx, index: usize) {
-        assert!(index < self.len());
-        self.slow_request(
-            ctx,
-            LocalKind::LockAcquire {
-                index: index as u64,
-                kind: LockKind::Write,
-            },
-        );
-        self.note_held(index, LockKind::Write);
+        self.try_wlock(ctx, index)
+            .unwrap_or_else(|e| panic!("wlock({index}): {e}"))
+    }
+
+    /// Fallible [`DArray::wlock`]; see [`DArray::try_rlock`].
+    pub fn try_wlock(&self, ctx: &mut Ctx, index: usize) -> Result<(), DArrayError> {
+        self.try_lock_acquire(ctx, index, LockKind::Write)
     }
 
     /// Release the lock this node holds on element `index`.

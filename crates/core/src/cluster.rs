@@ -10,7 +10,7 @@ use rdma_fabric::{Fabric, NicStatsSnapshot, NodeId};
 
 use crate::array::DArray;
 use crate::cache::CacheRegion;
-use crate::comm::{rx_thread_main, tx_thread_main, CommHandle, TxReq};
+use crate::comm::{rel_thread_main, rx_thread_main, tx_thread_main, CommHandle, RelMsg, TxReq};
 use crate::config::{ArrayOptions, ClusterConfig, DEFAULT_CHUNK_SIZE};
 use crate::element::Element;
 use crate::layout::Layout;
@@ -85,6 +85,7 @@ impl<T: Element> GlobalArray<T> {
 pub struct Cluster {
     shared: Arc<ClusterShared>,
     tx_queues: Vec<Option<Mailbox<TxReq>>>,
+    rel_queues: Vec<Option<Mailbox<RelMsg>>>,
     service_handles: Vec<JoinHandle>,
 }
 
@@ -95,7 +96,10 @@ impl Cluster {
         cfg.validate();
         let nodes = cfg.nodes;
         let rts = cfg.runtime_threads;
-        let fabric: Fabric<NetMsg> = Fabric::new(nodes, cfg.net.clone());
+        let fabric: Fabric<NetMsg> = match &cfg.fault {
+            Some(f) => Fabric::with_faults(nodes, cfg.net.clone(), f.plan.clone()),
+            None => Fabric::new(nodes, cfg.net.clone()),
+        };
         let nics = (0..nodes).map(|i| fabric.nic(i)).collect::<Vec<_>>();
         let lines_per_rt = (cfg.cache.capacity_lines / rts).max(1) as u32;
         let cache_regions = (0..nodes)
@@ -127,6 +131,21 @@ impl Cluster {
         let stats = (0..nodes)
             .map(|_| Arc::new(crate::stats::NodeStats::default()))
             .collect();
+        // One reliability-agent mailbox per node when fault injection is on.
+        let rel_queues: Vec<Option<Mailbox<RelMsg>>> = (0..nodes)
+            .map(|n| {
+                cfg.fault
+                    .as_ref()
+                    .map(|_| Mailbox::new(&format!("rel-{n}")))
+            })
+            .collect();
+        let peer_down = (0..nodes)
+            .map(|_| {
+                (0..nodes)
+                    .map(|_| std::sync::atomic::AtomicBool::new(false))
+                    .collect()
+            })
+            .collect();
         let shared = Arc::new(ClusterShared {
             cfg: cfg.clone(),
             registry: Arc::new(OpRegistry::new()),
@@ -136,16 +155,26 @@ impl Cluster {
             cache_pools,
             rt_mailboxes,
             stats,
+            rel_mailboxes: rel_queues.clone(),
+            peer_down,
         });
 
         let mut service_handles = Vec::new();
         let mut tx_queues = Vec::new();
-        for node in 0..nodes {
+        for (node, rel_q) in rel_queues.iter().enumerate() {
             // Rx thread (always present; §3.1 communication layer).
             let sh = shared.clone();
             service_handles.push(ctx.spawn(&format!("rx-{node}"), move |c| {
                 rx_thread_main(c, sh, node);
             }));
+            // Reliability agent (fault mode only).
+            if let Some(q) = rel_q {
+                let sh = shared.clone();
+                let q2 = q.clone();
+                service_handles.push(ctx.spawn(&format!("rel-{node}"), move |c| {
+                    rel_thread_main(c, sh, node, q2);
+                }));
+            }
             // Optional Tx thread.
             let tx_q = if cfg.tx_threads {
                 let q: Mailbox<TxReq> = Mailbox::new(&format!("tx-{node}"));
@@ -163,6 +192,8 @@ impl Cluster {
                 let comm = CommHandle {
                     nic: shared.nics[node].clone(),
                     tx: tx_q.clone(),
+                    rel: rel_q.clone(),
+                    node,
                 };
                 let rt = RuntimeThread::new(
                     node,
@@ -179,6 +210,7 @@ impl Cluster {
         Self {
             shared,
             tx_queues,
+            rel_queues,
             service_handles,
         }
     }
@@ -214,11 +246,9 @@ impl Cluster {
         init: impl Fn(usize) -> T,
     ) -> GlobalArray<T> {
         let chunk_size = opts.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE);
-        assert!(
-            chunk_size <= self.shared.cfg.cache.line_words,
-            "array chunk_size {chunk_size} exceeds cacheline capacity {}",
-            self.shared.cfg.cache.line_words
-        );
+        if let Err(e) = self.shared.cfg.try_validate_array(chunk_size) {
+            panic!("{e}");
+        }
         let nodes = self.shared.cfg.nodes;
         let layout = match &opts.partition_offset {
             Some(offs) => Layout::custom(len, nodes, chunk_size, offs),
@@ -302,6 +332,9 @@ impl Cluster {
             }
             if let Some(tx) = &self.tx_queues[node] {
                 tx.send(ctx, TxReq::Shutdown, 0);
+            }
+            if let Some(rel) = &self.rel_queues[node] {
+                rel.send(ctx, RelMsg::Shutdown, 0);
             }
             // Rx threads stop on a Halt self-send through the fabric.
             self.shared.nics[node].send(ctx, node, NetMsg::Halt, 0);

@@ -8,14 +8,42 @@
 //! dedicated Tx thread posts them (the paper's design, which reduces queue
 //! pairs from n²·t to n²·c); when disabled, the runtime posts inline and
 //! pays the posting cost itself.
+//!
+//! ## Reliable delivery (fault mode)
+//!
+//! When `ClusterConfig::fault` is set the fabric may jitter, stall, or drop
+//! messages and crash whole nodes, so the layer switches to a reliable
+//! channel run by one **reliability agent** thread per node:
+//!
+//! * Every outgoing protocol RPC is tagged with a per-(sender → receiver)
+//!   **sequence number** and tracked until a cumulative ack covers it.
+//! * The agent sleeps with [`Mailbox::recv_deadline`]; when the oldest
+//!   unacked message's timer expires it **retransmits** the SEND with
+//!   exponential backoff. One-sided WRITEs are *not* retransmitted: the
+//!   fault model never drops them, and re-writing a buffer the receiver may
+//!   already be using would corrupt it — only the notification SEND repeats,
+//!   which is idempotent.
+//! * The Rx thread delivers each link's messages **in sequence order**
+//!   (buffering out-of-order arrivals), so the coherence protocol above
+//!   keeps its RC-FIFO assumptions verbatim, and **suppresses duplicates**
+//!   from retransmissions — re-acking them, since a duplicate usually means
+//!   the previous ack was lost.
+//! * A message retried past `FaultConfig::max_retries` declares the peer
+//!   **down** (fail-stop): outstanding traffic to it is discarded and every
+//!   runtime thread receives `RtMsg::PeerDown` to abort in-flight state.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use dsim::{Ctx, Mailbox};
+use dsim::{Ctx, Mailbox, VTime};
 use rdma_fabric::{MemoryRegion, Nic, NodeId};
 
 use crate::msg::{ArrayId, NetMsg, Rpc, RtMsg};
 use crate::shared::ClusterShared;
+use crate::stats::NodeStats;
+
+/// Wire size of a cumulative ack payload.
+const ACK_BYTES: u64 = 8;
 
 /// A work request on the RDMA-request queue (runtime → Tx thread).
 pub(crate) enum TxReq {
@@ -35,16 +63,51 @@ pub(crate) enum TxReq {
     Shutdown,
 }
 
+/// A work request for the reliability agent (runtime/Rx → agent).
+pub(crate) enum RelMsg {
+    /// Reliable two-sided SEND.
+    Send {
+        dst: NodeId,
+        array: ArrayId,
+        rpc: Rpc,
+    },
+    /// One-sided WRITE + reliable notification SEND.
+    WriteSend {
+        dst: NodeId,
+        region: MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+        array: ArrayId,
+        rpc: Rpc,
+    },
+    /// Cumulative ack from `from`, forwarded by the Rx thread.
+    Ack {
+        from: NodeId,
+        seq: u64,
+    },
+    Shutdown,
+}
+
 /// Handle the runtime uses to emit network traffic, hiding whether a Tx
-/// thread is in between.
+/// thread or the reliability agent is in between.
 pub(crate) struct CommHandle {
     pub nic: Arc<Nic<NetMsg>>,
     pub tx: Option<Mailbox<TxReq>>,
+    /// Reliability agent queue; takes precedence over `tx` for remote
+    /// destinations when fault mode is on.
+    pub rel: Option<Mailbox<RelMsg>>,
+    pub node: NodeId,
 }
 
 impl CommHandle {
     /// Two-sided protocol message.
     pub(crate) fn send(&self, ctx: &mut Ctx, dst: NodeId, array: ArrayId, rpc: Rpc) {
+        if let Some(rel) = &self.rel {
+            if dst != self.node {
+                rel.send(ctx, RelMsg::Send { dst, array, rpc }, 0);
+                return;
+            }
+        }
         match &self.tx {
             Some(tx) => tx.send(ctx, TxReq::Send { dst, array, rpc }, 0),
             None => {
@@ -67,6 +130,23 @@ impl CommHandle {
         array: ArrayId,
         rpc: Rpc,
     ) {
+        if let Some(rel) = &self.rel {
+            if dst != self.node {
+                rel.send(
+                    ctx,
+                    RelMsg::WriteSend {
+                        dst,
+                        region: region.clone(),
+                        offset,
+                        data,
+                        array,
+                        rpc,
+                    },
+                    0,
+                );
+                return;
+            }
+        }
         match &self.tx {
             Some(tx) => tx.send(
                 ctx,
@@ -82,8 +162,15 @@ impl CommHandle {
             ),
             None => {
                 let bytes = rpc.payload_bytes();
-                self.nic
-                    .rdma_write_send(ctx, dst, region, offset, data, NetMsg::Rpc { array, rpc }, bytes);
+                self.nic.rdma_write_send(
+                    ctx,
+                    dst,
+                    region,
+                    offset,
+                    data,
+                    NetMsg::Rpc { array, rpc },
+                    bytes,
+                );
             }
         }
     }
@@ -106,19 +193,182 @@ pub(crate) fn tx_thread_main(ctx: &mut Ctx, nic: Arc<Nic<NetMsg>>, queue: Mailbo
                 rpc,
             } => {
                 let bytes = rpc.payload_bytes();
-                nic.rdma_write_send(ctx, dst, &region, offset, data, NetMsg::Rpc { array, rpc }, bytes);
+                nic.rdma_write_send(
+                    ctx,
+                    dst,
+                    &region,
+                    offset,
+                    data,
+                    NetMsg::Rpc { array, rpc },
+                    bytes,
+                );
             }
             TxReq::Shutdown => break,
         }
     }
 }
 
+/// An unacked reliable RPC awaiting its cumulative ack.
+struct Pending {
+    seq: u64,
+    array: ArrayId,
+    rpc: Rpc,
+    deadline: VTime,
+    retries: u32,
+}
+
+/// Body of the per-node reliability agent (fault mode only): posts every
+/// outgoing RPC with a sequence number, tracks it until acked, retransmits
+/// on timeout with exponential backoff, and declares peers down when the
+/// retry budget is exhausted.
+pub(crate) fn rel_thread_main(
+    ctx: &mut Ctx,
+    shared: Arc<ClusterShared>,
+    node: NodeId,
+    queue: Mailbox<RelMsg>,
+) {
+    let nic = shared.nics[node].clone();
+    let fault = shared
+        .cfg
+        .fault
+        .as_ref()
+        .expect("reliability agent requires FaultConfig");
+    let timeout = fault.rpc_timeout_ns;
+    let max_retries = fault.max_retries;
+    let nodes = shared.cfg.nodes;
+    let stats = shared.stats[node].clone();
+    let mut next_seq = vec![0u64; nodes];
+    let mut outstanding: Vec<VecDeque<Pending>> = (0..nodes).map(|_| VecDeque::new()).collect();
+    loop {
+        // Only each queue's head timer matters: acks are cumulative, and a
+        // head retransmit repairs the gap that blocks everything behind it.
+        let next_deadline = outstanding
+            .iter()
+            .filter_map(|q| q.front().map(|p| p.deadline))
+            .min();
+        let msg = match next_deadline {
+            Some(d) => queue.recv_deadline(ctx, d),
+            None => Some(queue.recv(ctx)),
+        };
+        match msg {
+            Some(RelMsg::Send { dst, array, rpc }) => {
+                if shared.is_peer_down(node, dst) {
+                    continue; // fail-stop: traffic to a dead peer is dropped
+                }
+                let seq = next_seq[dst];
+                next_seq[dst] += 1;
+                let bytes = rpc.payload_bytes();
+                nic.send(
+                    ctx,
+                    dst,
+                    NetMsg::SeqRpc {
+                        seq,
+                        array,
+                        rpc: rpc.clone(),
+                    },
+                    bytes,
+                );
+                outstanding[dst].push_back(Pending {
+                    seq,
+                    array,
+                    rpc,
+                    deadline: ctx.now() + timeout,
+                    retries: 0,
+                });
+            }
+            Some(RelMsg::WriteSend {
+                dst,
+                region,
+                offset,
+                data,
+                array,
+                rpc,
+            }) => {
+                if shared.is_peer_down(node, dst) {
+                    continue;
+                }
+                let seq = next_seq[dst];
+                next_seq[dst] += 1;
+                let bytes = rpc.payload_bytes();
+                nic.rdma_write_send(
+                    ctx,
+                    dst,
+                    &region,
+                    offset,
+                    data,
+                    NetMsg::SeqRpc {
+                        seq,
+                        array,
+                        rpc: rpc.clone(),
+                    },
+                    bytes,
+                );
+                outstanding[dst].push_back(Pending {
+                    seq,
+                    array,
+                    rpc,
+                    deadline: ctx.now() + timeout,
+                    retries: 0,
+                });
+            }
+            Some(RelMsg::Ack { from, seq }) => {
+                while outstanding[from].front().is_some_and(|p| p.seq < seq) {
+                    outstanding[from].pop_front();
+                }
+            }
+            Some(RelMsg::Shutdown) => break,
+            None => {
+                // Timer fired: retransmit (or give up on) every expired head.
+                let now = ctx.now();
+                for (dst, queue) in outstanding.iter_mut().enumerate() {
+                    let Some(head) = queue.front_mut() else {
+                        continue;
+                    };
+                    if head.deadline > now {
+                        continue;
+                    }
+                    NodeStats::bump(&stats.rpc_timeouts);
+                    if head.retries >= max_retries {
+                        NodeStats::bump(&stats.peers_down);
+                        shared.mark_peer_down(node, dst);
+                        queue.clear();
+                        for rt in &shared.rt_mailboxes[node] {
+                            rt.send(ctx, RtMsg::PeerDown { node: dst }, 0);
+                        }
+                        continue;
+                    }
+                    head.retries += 1;
+                    head.deadline = now + (timeout << head.retries.min(16));
+                    let bytes = head.rpc.payload_bytes();
+                    nic.send(
+                        ctx,
+                        dst,
+                        NetMsg::SeqRpc {
+                            seq: head.seq,
+                            array: head.array,
+                            rpc: head.rpc.clone(),
+                        },
+                        bytes,
+                    );
+                    NodeStats::bump(&stats.retransmits);
+                }
+            }
+        }
+    }
+}
+
 /// Body of the per-node Rx thread: poll the NIC and deliver RPCs to the
-/// runtime thread that owns each message's chunk.
+/// runtime thread that owns each message's chunk. In fault mode it also
+/// terminates the reliable channel: in-order delivery, duplicate
+/// suppression, and cumulative acknowledgment, per source node.
 pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: NodeId) {
     let nic = shared.nics[node].clone();
     let rx = nic.rx();
     let poll_cost = shared.cfg.net.cq_poll_ns;
+    let nodes = shared.cfg.nodes;
+    let mut next_expected = vec![0u64; nodes];
+    let mut reorder: Vec<BTreeMap<u64, (ArrayId, Rpc)>> =
+        (0..nodes).map(|_| BTreeMap::new()).collect();
     loop {
         let (src, msg) = rx.recv(ctx);
         ctx.charge(poll_cost);
@@ -129,6 +379,51 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
                 shared
                     .rt_mailbox(node, chunk)
                     .send(ctx, RtMsg::Net { src, array, rpc }, 0);
+            }
+            NetMsg::SeqRpc { seq, array, rpc } => {
+                // A peer this node has declared down gets *silence*, not
+                // acks: acking its traffic while the runtime discards it
+                // would leave that peer waiting forever on replies that
+                // will never come. Going quiet instead lets its own
+                // retries exhaust, so the declaration becomes mutual and
+                // its blocked requests fail over to `NodeUnavailable`.
+                if shared.is_peer_down(node, src) {
+                    continue;
+                }
+                if seq < next_expected[src] || reorder[src].contains_key(&seq) {
+                    NodeStats::bump(&shared.stats[node].dup_rpcs);
+                } else if seq == next_expected[src] {
+                    let chunk = rpc.route_chunk();
+                    shared
+                        .rt_mailbox(node, chunk)
+                        .send(ctx, RtMsg::Net { src, array, rpc }, 0);
+                    next_expected[src] += 1;
+                    // Release any buffered successors the gap was blocking.
+                    while let Some((array, rpc)) = reorder[src].remove(&next_expected[src]) {
+                        let chunk = rpc.route_chunk();
+                        shared
+                            .rt_mailbox(node, chunk)
+                            .send(ctx, RtMsg::Net { src, array, rpc }, 0);
+                        next_expected[src] += 1;
+                    }
+                } else {
+                    reorder[src].insert(seq, (array, rpc));
+                }
+                // Ack cumulatively on every receipt — duplicates included,
+                // since a duplicate usually means our previous ack was lost.
+                nic.send(
+                    ctx,
+                    src,
+                    NetMsg::Ack {
+                        seq: next_expected[src],
+                    },
+                    ACK_BYTES,
+                );
+            }
+            NetMsg::Ack { seq } => {
+                if let Some(rel) = &shared.rel_mailboxes[node] {
+                    rel.send(ctx, RelMsg::Ack { from: src, seq }, 0);
+                }
             }
         }
     }

@@ -1,6 +1,8 @@
 //! Configuration of a DArray cluster.
 
-use rdma_fabric::{CostModel, NetConfig};
+use rdma_fabric::{CostModel, FaultPlan, NetConfig};
+
+use crate::error::ConfigError;
 
 /// Default chunk granularity: "the directory tracks the state of data ... at
 /// the chunk granularity (512 elements by default)" (§3.1).
@@ -35,6 +37,40 @@ impl Default for CacheConfig {
             high_watermark: 0.50,
             prefetch_lines: 2,
             line_words: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+/// Fault injection and recovery parameters. Attaching one to
+/// [`ClusterConfig::fault`] does two things: the fabric is built with the
+/// embedded [`FaultPlan`] (jitter, stalls, drops, crashes — all seeded), and
+/// the communication layer switches to **reliable delivery**: every protocol
+/// RPC is sequence-numbered, acknowledged, retransmitted with exponential
+/// backoff on timeout, and duplicate-suppressed at the receiver. A peer that
+/// exhausts `max_retries` is declared down (fail-stop) and subsequent
+/// operations targeting it return [`crate::DArrayError::NodeUnavailable`].
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// The seeded fault schedule handed to the fabric. A benign plan
+    /// (`FaultPlan::new(seed)`) enables the reliability machinery without
+    /// injecting any faults — useful for replay tests.
+    pub plan: FaultPlan,
+    /// Initial retransmit timeout for a reliable RPC, ns. Doubled on every
+    /// retry of the same message. Should comfortably exceed the fault-free
+    /// round trip (≈ 2 µs) plus the worst stall window in the plan.
+    pub rpc_timeout_ns: dsim::VTime,
+    /// Retransmissions attempted before the peer is declared down.
+    pub max_retries: u32,
+}
+
+impl FaultConfig {
+    /// Reliability defaults around `plan`: 200 µs initial timeout, 6
+    /// retries (≈ 25 ms of virtual time before a peer is declared down).
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            rpc_timeout_ns: 200_000,
+            max_retries: 6,
         }
     }
 }
@@ -82,6 +118,9 @@ pub struct ClusterConfig {
     /// grantee's application thread performs even one access (grant
     /// starvation / livelock — a classic directory-protocol hazard).
     pub grant_grace_ns: dsim::VTime,
+    /// Fault injection + reliable delivery; `None` (the default) keeps the
+    /// original fault-free fast path bit-identically.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -96,6 +135,7 @@ impl Default for ClusterConfig {
             cost: CostModel::default(),
             cache: CacheConfig::default(),
             grant_grace_ns: 1_000,
+            fault: None,
         }
     }
 }
@@ -118,23 +158,59 @@ impl ClusterConfig {
         }
     }
 
-    /// Sanity-check invariants; called by `Cluster::new`.
+    /// Check every invariant, returning a structured error instead of
+    /// panicking. Called by [`ClusterConfig::validate`] and `Cluster::new`.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.runtime_threads == 0 {
+            return Err(ConfigError::NoRuntimeThreads);
+        }
+        if self.cache.capacity_lines < self.runtime_threads {
+            return Err(ConfigError::CacheTooSmall {
+                capacity_lines: self.cache.capacity_lines,
+                runtime_threads: self.runtime_threads,
+            });
+        }
+        let (low, high) = (self.cache.low_watermark, self.cache.high_watermark);
+        if !(0.0..=1.0).contains(&low) || !(0.0..=1.0).contains(&high) || low > high {
+            return Err(ConfigError::BadWatermarks { low, high });
+        }
+        if self.cache.line_words == 0 {
+            return Err(ConfigError::ZeroLineWords);
+        }
+        if self.net.bytes_per_us == 0 {
+            return Err(ConfigError::ZeroBandwidth);
+        }
+        if let Some(f) = &self.fault {
+            if f.rpc_timeout_ns == 0 {
+                return Err(ConfigError::ZeroRpcTimeout);
+            }
+            if f.max_retries == 0 {
+                return Err(ConfigError::ZeroMaxRetries);
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`ClusterConfig::try_validate`].
     pub fn validate(&self) {
-        assert!(self.nodes > 0, "cluster needs at least one node");
-        assert!(self.runtime_threads > 0, "need at least one runtime thread");
-        assert!(
-            self.cache.capacity_lines >= self.runtime_threads,
-            "each runtime thread needs at least one cacheline"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.cache.low_watermark)
-                && (0.0..=1.0).contains(&self.cache.high_watermark),
-            "watermarks are fractions"
-        );
-        assert!(
-            self.cache.low_watermark <= self.cache.high_watermark,
-            "low watermark must not exceed high watermark"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("invalid ClusterConfig: {e}");
+        }
+    }
+
+    /// Check that an array with `chunk_size` can live in this cluster's
+    /// cachelines.
+    pub(crate) fn try_validate_array(&self, chunk_size: usize) -> Result<(), ConfigError> {
+        if chunk_size > self.cache.line_words {
+            return Err(ConfigError::LineWordsBelowChunk {
+                line_words: self.cache.line_words,
+                chunk_size,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +253,56 @@ mod tests {
         c.cache.low_watermark = 0.9;
         c.cache.high_watermark = 0.2;
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_structured_errors() {
+        let ok = ClusterConfig::default();
+        assert_eq!(ok.try_validate(), Ok(()));
+
+        let mut c = ClusterConfig::default();
+        c.net.bytes_per_us = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroBandwidth));
+
+        let mut c = ClusterConfig::default();
+        c.cache.line_words = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroLineWords));
+
+        let mut c = ClusterConfig {
+            runtime_threads: 4,
+            ..Default::default()
+        };
+        c.cache.capacity_lines = 3;
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::CacheTooSmall { .. })
+        ));
+
+        let mut c = ClusterConfig {
+            fault: Some(FaultConfig::new(FaultPlan::new(1))),
+            ..Default::default()
+        };
+        assert_eq!(c.try_validate(), Ok(()));
+        c.fault.as_mut().unwrap().rpc_timeout_ns = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroRpcTimeout));
+        c.fault = Some(FaultConfig {
+            max_retries: 0,
+            ..FaultConfig::new(FaultPlan::new(1))
+        });
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroMaxRetries));
+    }
+
+    #[test]
+    fn array_chunk_must_fit_a_cacheline() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.try_validate_array(512), Ok(()));
+        assert!(matches!(
+            c.try_validate_array(513),
+            Err(ConfigError::LineWordsBelowChunk {
+                line_words: 512,
+                chunk_size: 513
+            })
+        ));
     }
 
     #[test]

@@ -214,7 +214,10 @@ mod tests {
         let d = Dentry::new(LocalState::Shared, 7);
         assert_eq!(d.acquire(Want::Read), Acquire::Ok(7));
         d.release();
-        assert_eq!(d.acquire(Want::Write), Acquire::NoRights(LocalState::Shared));
+        assert_eq!(
+            d.acquire(Want::Write),
+            Acquire::NoRights(LocalState::Shared)
+        );
         assert_eq!(d.refcnt(), 0);
     }
 
@@ -237,7 +240,10 @@ mod tests {
             d.acquire(Want::Operate(6)),
             Acquire::NoRights(LocalState::Operated)
         );
-        assert_eq!(d.acquire(Want::Read), Acquire::NoRights(LocalState::Operated));
+        assert_eq!(
+            d.acquire(Want::Read),
+            Acquire::NoRights(LocalState::Operated)
+        );
     }
 
     #[test]
@@ -280,7 +286,10 @@ mod tests {
         Sim::new(SimConfig::default()).run(|ctx| {
             let d = Dentry::new(LocalState::Exclusive, 2);
             d.drain_to(ctx, LocalState::Shared, u32::MAX);
-            assert_eq!(d.acquire(Want::Write), Acquire::NoRights(LocalState::Shared));
+            assert_eq!(
+                d.acquire(Want::Write),
+                Acquire::NoRights(LocalState::Shared)
+            );
             assert_eq!(d.acquire(Want::Read), Acquire::Ok(2));
             d.release();
         });

@@ -39,11 +39,18 @@ pub(crate) enum Transient {
     None,
     /// Waiting for `InvalidateAck`s (or crossing `EvictNotice`s) from these
     /// nodes.
-    AwaitInvAcks { waiting: Vec<NodeId> },
+    AwaitInvAcks {
+        waiting: Vec<NodeId>,
+    },
     /// Waiting for a Dirty writeback from `from`.
-    AwaitWriteback { from: NodeId },
+    AwaitWriteback {
+        from: NodeId,
+    },
     /// Waiting for operand flushes (of operator `op`) from these nodes.
-    AwaitFlushes { op: u32, waiting: Vec<NodeId> },
+    AwaitFlushes {
+        op: u32,
+        waiting: Vec<NodeId>,
+    },
     /// Waiting for the home dentry's references to drain.
     HomeDrain,
     /// Waiting out the minimum-hold grace window of a fresh grant; a
@@ -146,7 +153,12 @@ mod tests {
         e.add_sharer(2);
         e.add_sharer(5);
         e.add_sharer(2); // idempotent
-        assert_eq!(e.state, DirState::Shared { sharers: vec![2, 5] });
+        assert_eq!(
+            e.state,
+            DirState::Shared {
+                sharers: vec![2, 5]
+            }
+        );
         assert!(!e.remove_sharer(2));
         assert!(e.remove_sharer(5));
         assert!(e.remove_sharer(7), "removing from empty set reports empty");

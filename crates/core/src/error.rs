@@ -1,0 +1,128 @@
+//! Structured errors: fallible configuration validation ([`ConfigError`])
+//! and graceful degradation of operations that target unreachable nodes
+//! ([`DArrayError`]).
+
+use std::fmt;
+
+use rdma_fabric::NodeId;
+
+/// Errors surfaced by the fallible DArray operations (`try_get`, `try_set`,
+/// `try_apply`, `try_update`, `try_rlock`, `try_wlock`, `try_pin`).
+///
+/// The infallible variants (`get` & co.) panic on these — appropriate for
+/// workloads that assume a healthy cluster. Fault-tolerant applications use
+/// the `try_` forms and handle degradation themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DArrayError {
+    /// The home node of the requested element has been declared unreachable:
+    /// a reliable RPC to it exhausted `FaultConfig::max_retries`
+    /// retransmissions without an acknowledgment. The declaration is
+    /// permanent for the lifetime of the cluster (fail-stop model).
+    NodeUnavailable {
+        /// The unreachable node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DArrayError::NodeUnavailable { node } => {
+                write!(f, "node {node} is unavailable (RPC retries exhausted)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DArrayError {}
+
+/// Rejected [`crate::ClusterConfig`]s, from
+/// [`crate::ClusterConfig::try_validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `nodes == 0`.
+    NoNodes,
+    /// `runtime_threads == 0`.
+    NoRuntimeThreads,
+    /// Fewer cachelines than runtime threads.
+    CacheTooSmall {
+        capacity_lines: usize,
+        runtime_threads: usize,
+    },
+    /// Watermarks outside `[0, 1]` or `low > high`.
+    BadWatermarks { low: f64, high: f64 },
+    /// `cache.line_words == 0`: no array could ever be allocated.
+    ZeroLineWords,
+    /// An array's `chunk_size` exceeds the cacheline capacity
+    /// (`cache.line_words`), so its chunks could never be cached.
+    LineWordsBelowChunk {
+        line_words: usize,
+        chunk_size: usize,
+    },
+    /// `net.bytes_per_us == 0`: `NetConfig::tx_time` would divide by zero.
+    ZeroBandwidth,
+    /// `fault.rpc_timeout_ns == 0`: retransmit timers would fire instantly.
+    ZeroRpcTimeout,
+    /// `fault.max_retries == 0`: a single drop would declare the peer dead.
+    ZeroMaxRetries,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "cluster needs at least one node"),
+            ConfigError::NoRuntimeThreads => write!(f, "need at least one runtime thread"),
+            ConfigError::CacheTooSmall {
+                capacity_lines,
+                runtime_threads,
+            } => write!(
+                f,
+                "cache of {capacity_lines} lines cannot serve {runtime_threads} runtime \
+                 threads: each runtime thread needs at least one cacheline"
+            ),
+            ConfigError::BadWatermarks { low, high } => write!(
+                f,
+                "watermarks must be fractions with low <= high (low={low}, high={high})"
+            ),
+            ConfigError::ZeroLineWords => write!(f, "cache.line_words must be nonzero"),
+            ConfigError::LineWordsBelowChunk {
+                line_words,
+                chunk_size,
+            } => write!(
+                f,
+                "array chunk_size {chunk_size} exceeds cacheline capacity {line_words}"
+            ),
+            ConfigError::ZeroBandwidth => write!(
+                f,
+                "net.bytes_per_us must be nonzero (tx_time would divide by zero)"
+            ),
+            ConfigError::ZeroRpcTimeout => write!(f, "fault.rpc_timeout_ns must be nonzero"),
+            ConfigError::ZeroMaxRetries => write!(f, "fault.max_retries must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_field() {
+        assert!(ConfigError::ZeroBandwidth
+            .to_string()
+            .contains("bytes_per_us"));
+        assert!(ConfigError::NoNodes
+            .to_string()
+            .contains("at least one node"));
+        assert!(ConfigError::BadWatermarks {
+            low: 0.9,
+            high: 0.1
+        }
+        .to_string()
+        .contains("watermark"));
+        let e = DArrayError::NodeUnavailable { node: 3 };
+        assert!(e.to_string().contains("node 3"));
+    }
+}

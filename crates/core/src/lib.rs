@@ -63,6 +63,7 @@ mod config;
 mod dentry;
 mod directory;
 mod element;
+mod error;
 mod layout;
 mod lock;
 mod msg;
@@ -77,8 +78,11 @@ mod stats;
 
 pub use array::DArray;
 pub use cluster::{Cluster, GlobalArray, NodeEnv};
-pub use config::{AccessPath, ArrayOptions, CacheConfig, ClusterConfig, DEFAULT_CHUNK_SIZE};
+pub use config::{
+    AccessPath, ArrayOptions, CacheConfig, ClusterConfig, FaultConfig, DEFAULT_CHUNK_SIZE,
+};
 pub use element::Element;
+pub use error::{ConfigError, DArrayError};
 pub use layout::Layout;
 pub use msg::LockKind;
 pub use op::{OpId, OpRegistry};
@@ -88,4 +92,4 @@ pub use stats::{NodeStats, NodeStatsSnapshot};
 
 // Re-export the substrate types callers need to configure a cluster.
 pub use dsim::{Ctx, Sim, SimBarrier, SimConfig, VTime};
-pub use rdma_fabric::{CostModel, NetConfig, NodeId};
+pub use rdma_fabric::{CostModel, FaultPlan, NetConfig, NodeId};

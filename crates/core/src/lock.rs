@@ -149,7 +149,7 @@ mod tests {
         assert!(t.acquire(7, LockKind::Read, local()).is_some());
         assert!(t.acquire(7, LockKind::Read, local()).is_some());
         assert!(t.acquire(7, LockKind::Write, local()).is_none()); // queued
-        // A reader arriving behind the queued writer waits (fairness).
+                                                                   // A reader arriving behind the queued writer waits (fairness).
         assert!(t.acquire(7, LockKind::Read, local()).is_none());
         t.release(7, LockKind::Read);
         let g = t.release(7, LockKind::Read);
@@ -185,9 +185,15 @@ mod tests {
     #[test]
     fn writer_chain_is_fifo() {
         let mut t = LockTable::default();
-        assert!(t.acquire(9, LockKind::Write, LockSource::Remote(1)).is_some());
-        assert!(t.acquire(9, LockKind::Write, LockSource::Remote(2)).is_none());
-        assert!(t.acquire(9, LockKind::Write, LockSource::Remote(3)).is_none());
+        assert!(t
+            .acquire(9, LockKind::Write, LockSource::Remote(1))
+            .is_some());
+        assert!(t
+            .acquire(9, LockKind::Write, LockSource::Remote(2))
+            .is_none());
+        assert!(t
+            .acquire(9, LockKind::Write, LockSource::Remote(3))
+            .is_none());
         let g = t.release(9, LockKind::Write);
         assert_eq!(g.len(), 1);
         assert!(matches!(g[0].0, LockSource::Remote(2)));

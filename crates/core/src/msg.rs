@@ -58,9 +58,21 @@ pub(crate) enum Rpc {
     /// Flush your combined operands and invalidate.
     RecallOperated { chunk: ChunkId, op: u32 },
     /// Distributed lock protocol (home-managed, element granularity).
-    LockAcquire { chunk: ChunkId, id: u64, kind: LockKind },
-    LockGrant { chunk: ChunkId, id: u64, kind: LockKind },
-    LockRelease { chunk: ChunkId, id: u64, kind: LockKind },
+    LockAcquire {
+        chunk: ChunkId,
+        id: u64,
+        kind: LockKind,
+    },
+    LockGrant {
+        chunk: ChunkId,
+        id: u64,
+        kind: LockKind,
+    },
+    LockRelease {
+        chunk: ChunkId,
+        id: u64,
+        kind: LockKind,
+    },
 }
 
 impl Rpc {
@@ -100,7 +112,17 @@ impl Rpc {
 /// A message on the wire.
 #[derive(Debug, Clone)]
 pub(crate) enum NetMsg {
+    /// Unsequenced RPC: the fault-free fast path (reliable fabric assumed).
     Rpc { array: ArrayId, rpc: Rpc },
+    /// Sequence-numbered RPC on the reliable channel (used when
+    /// `ClusterConfig::fault` is set). Sequence numbers are per directed
+    /// (sender → receiver) link, starting at 0; the receiver delivers in
+    /// order, suppresses duplicates, and acknowledges cumulatively.
+    SeqRpc { seq: u64, array: ArrayId, rpc: Rpc },
+    /// Cumulative acknowledgment: "I have delivered every sequence number
+    /// below `seq` from you". Unreliable itself — a lost ack is repaired by
+    /// the retransmit it provokes.
+    Ack { seq: u64 },
     /// Tear down the Rx thread.
     Halt,
 }
@@ -146,7 +168,16 @@ pub(crate) enum RtMsg {
         rpc: Rpc,
     },
     /// Self-scheduled directory retry after a grace window expires.
-    Retry { array: ArrayId, chunk: ChunkId },
+    Retry {
+        array: ArrayId,
+        chunk: ChunkId,
+    },
+    /// The node's reliability agent declared `node` down: abort in-flight
+    /// fills homed there, complete directory transients waiting on it, and
+    /// wake lock waiters so application threads can observe the error.
+    PeerDown {
+        node: NodeId,
+    },
     Shutdown,
 }
 
@@ -157,12 +188,25 @@ mod tests {
     #[test]
     fn route_chunk_covers_all_variants() {
         let msgs = [
-            Rpc::ReadReq { chunk: 3, dst_off: 0 },
-            Rpc::WriteReq { chunk: 3, dst_off: 0 },
+            Rpc::ReadReq {
+                chunk: 3,
+                dst_off: 0,
+            },
+            Rpc::WriteReq {
+                chunk: 3,
+                dst_off: 0,
+            },
             Rpc::OperateReq { chunk: 3, op: 0 },
             Rpc::EvictNotice { chunk: 3 },
-            Rpc::WritebackNotice { chunk: 3, downgrade: false },
-            Rpc::OperandFlush { chunk: 3, op: 0, data: vec![] },
+            Rpc::WritebackNotice {
+                chunk: 3,
+                downgrade: false,
+            },
+            Rpc::OperandFlush {
+                chunk: 3,
+                op: 0,
+                data: vec![],
+            },
             Rpc::FillShared { chunk: 3 },
             Rpc::FillExclusive { chunk: 3 },
             Rpc::GrantOperated { chunk: 3, op: 0 },
@@ -171,9 +215,21 @@ mod tests {
             Rpc::RecallDirty { chunk: 3 },
             Rpc::DowngradeDirty { chunk: 3 },
             Rpc::RecallOperated { chunk: 3, op: 0 },
-            Rpc::LockAcquire { chunk: 3, id: 9, kind: LockKind::Read },
-            Rpc::LockGrant { chunk: 3, id: 9, kind: LockKind::Write },
-            Rpc::LockRelease { chunk: 3, id: 9, kind: LockKind::Read },
+            Rpc::LockAcquire {
+                chunk: 3,
+                id: 9,
+                kind: LockKind::Read,
+            },
+            Rpc::LockGrant {
+                chunk: 3,
+                id: 9,
+                kind: LockKind::Write,
+            },
+            Rpc::LockRelease {
+                chunk: 3,
+                id: 9,
+                kind: LockKind::Read,
+            },
         ];
         for m in msgs {
             assert_eq!(m.route_chunk(), 3);

@@ -46,9 +46,8 @@ impl OpRegistry {
         T: Element,
         F: Fn(T, T) -> T + Send + Sync + 'static,
     {
-        let f = move |a: u64, b: u64| -> u64 {
-            combine(T::from_bits(a), T::from_bits(b)).to_bits()
-        };
+        let f =
+            move |a: u64, b: u64| -> u64 { combine(T::from_bits(a), T::from_bits(b)).to_bits() };
         let mut ops = self.ops.write();
         let id = OpId(ops.len() as u32);
         ops.push(RegisteredOp {
@@ -164,7 +163,11 @@ mod tests {
     fn equation_1_associativity_for_builtin_ops() {
         // val ⊕ arg1 ⊕ arg2 == val ⊕ (arg1 ⊕ arg2) for the shipped ops.
         let r = OpRegistry::new();
-        let ops = [r.register_add_u64(), r.register_min_u64(), r.register_max_u64()];
+        let ops = [
+            r.register_add_u64(),
+            r.register_min_u64(),
+            r.register_max_u64(),
+        ];
         let vals = [0u64, 1, 99, 1 << 40, u64::MAX >> 1];
         for &op in &ops {
             for &v in &vals {

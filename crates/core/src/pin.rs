@@ -12,6 +12,7 @@ use rdma_fabric::MemoryRegion;
 use crate::array::DArray;
 use crate::dentry::{Acquire, Want};
 use crate::element::Element;
+use crate::error::DArrayError;
 use crate::msg::{ChunkId, LocalKind};
 use crate::op::OpId;
 use crate::shared::data_location;
@@ -67,6 +68,19 @@ impl<T: Element> DArray<T> {
     /// });
     /// ```
     pub fn pin(&self, ctx: &mut Ctx, index: usize, mode: PinMode) -> Pinned<T> {
+        self.try_pin(ctx, index, mode)
+            .unwrap_or_else(|e| panic!("pin({index}): {e}"))
+    }
+
+    /// Fallible [`DArray::pin`]: returns [`DArrayError::NodeUnavailable`]
+    /// when the chunk's home node has been declared down and no local copy
+    /// is cached (only possible when `ClusterConfig::fault` is set).
+    pub fn try_pin(
+        &self,
+        ctx: &mut Ctx,
+        index: usize,
+        mode: PinMode,
+    ) -> Result<Pinned<T>, DArrayError> {
         assert!(index < self.len(), "index {index} out of bounds");
         let layout = &self.arr.layout;
         let chunk = layout.chunk_of(index);
@@ -85,7 +99,7 @@ impl<T: Element> DArray<T> {
                     let (region, base_word) =
                         data_location(&self.shared, &self.arr, self.node, line, chunk, 0);
                     let region = region.clone();
-                    return Pinned {
+                    return Ok(Pinned {
                         arr: self.clone(),
                         chunk,
                         first: layout.chunk_first_elem(chunk),
@@ -94,10 +108,14 @@ impl<T: Element> DArray<T> {
                         base_word,
                         mode,
                         released: false,
-                    };
+                    });
                 }
                 Acquire::Delayed => ctx.spin_hint(20),
                 Acquire::NoRights(_) => {
+                    let home = layout.home_of_chunk(chunk);
+                    if home != self.node && self.shared.is_peer_down(self.node, home) {
+                        return Err(DArrayError::NodeUnavailable { node: home });
+                    }
                     let kind = match mode {
                         PinMode::Read => LocalKind::Read {
                             chunk: chunk as ChunkId,
@@ -154,7 +172,10 @@ impl<T: Element> Pinned<T> {
     /// Write `index` without atomics (requires a Write pin).
     #[inline]
     pub fn set(&self, ctx: &mut Ctx, index: usize, value: T) {
-        debug_assert!(matches!(self.mode, PinMode::Write), "set on a non-Write pin");
+        debug_assert!(
+            matches!(self.mode, PinMode::Write),
+            "set on a non-Write pin"
+        );
         ctx.charge(self.arr.shared.cfg.cost.darray_pinned_path());
         self.region.store(self.word_of(index), value.to_bits());
     }

@@ -20,7 +20,7 @@ use rdma_fabric::NodeId;
 
 use crate::cache::CacheRegion;
 use crate::comm::CommHandle;
-use crate::dentry::{Dentry, LINE_NONE};
+use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
 use crate::directory::{DirReq, ReqKind, Source, Transient};
 use crate::lock::LockSource;
 use crate::msg::{ArrayId, ChunkId, LocalKind, LocalReq, LockKind, Rpc, RtMsg};
@@ -50,7 +50,11 @@ enum Cont {
     /// After dropping a Shared copy, request an upgrade.
     UpgradeSend { line: u32, kind: UpgKind },
     /// After flushing an Operated copy, request different rights.
-    FlushThenSend { line: u32, old_op: u32, kind: UpgKind },
+    FlushThenSend {
+        line: u32,
+        old_op: u32,
+        kind: UpgKind,
+    },
 }
 
 #[derive(Clone, Copy)]
@@ -151,6 +155,7 @@ impl RuntimeThread {
                     }
                     self.dir_progress(ctx, array, chunk);
                 }
+                RtMsg::PeerDown { node } => self.handle_peer_down(ctx, node),
             }
             self.poll_deferred();
             self.drain_ready(ctx);
@@ -213,11 +218,22 @@ impl RuntimeThread {
         let words = arr.layout.chunk_size();
         let cost = self.shared.cfg.cost.clone();
         let d = &arr.per_node[self.node].dentries[chunk as usize];
-        trace_chunk!(chunk, "t={} node{} CONT {}", ctx.now(), self.node, match &cont {
-            Cont::HomeDrained => "HomeDrained", Cont::InvalidateDone{..} => "InvalidateDone",
-            Cont::WritebackInvalidate{..} => "WritebackInvalidate", Cont::DowngradeDone{..} => "DowngradeDone",
-            Cont::FlushInvalidate{..} => "FlushInvalidate", Cont::EvictShared{..} => "EvictShared",
-            Cont::UpgradeSend{..} => "UpgradeSend", Cont::FlushThenSend{..} => "FlushThenSend"});
+        trace_chunk!(
+            chunk,
+            "t={} node{} CONT {}",
+            ctx.now(),
+            self.node,
+            match &cont {
+                Cont::HomeDrained => "HomeDrained",
+                Cont::InvalidateDone { .. } => "InvalidateDone",
+                Cont::WritebackInvalidate { .. } => "WritebackInvalidate",
+                Cont::DowngradeDone { .. } => "DowngradeDone",
+                Cont::FlushInvalidate { .. } => "FlushInvalidate",
+                Cont::EvictShared { .. } => "EvictShared",
+                Cont::UpgradeSend { .. } => "UpgradeSend",
+                Cont::FlushThenSend { .. } => "FlushThenSend",
+            }
+        );
         match cont {
             Cont::HomeDrained => {
                 {
@@ -292,10 +308,29 @@ impl RuntimeThread {
                 d.wake_waiters(ctx);
             }
             Cont::UpgradeSend { line, kind } => {
+                // If the home died while the drain was pending, an upgrade
+                // request would never be answered: reset to Invalid instead
+                // of stranding the chunk in a Filling state.
+                if self.shared.is_peer_down(self.node, home) {
+                    d.set_line(LINE_NONE);
+                    self.cache.free(line);
+                    d.promote_to(LocalState::Invalid, NOTAG);
+                    d.wake_waiters(ctx);
+                    return;
+                }
                 self.comm.send(ctx, home, aid, Rpc::EvictNotice { chunk });
                 self.send_upgrade(ctx, &arr, chunk, home, line, kind);
             }
             Cont::FlushThenSend { line, old_op, kind } => {
+                if self.shared.is_peer_down(self.node, home) {
+                    // The combined operands have nowhere to go (fail-stop:
+                    // data homed on a crashed node is lost).
+                    d.set_line(LINE_NONE);
+                    self.cache.free(line);
+                    d.promote_to(LocalState::Invalid, NOTAG);
+                    d.wake_waiters(ctx);
+                    return;
+                }
                 let data = self.read_line(ctx, &arr, line, words, &cost);
                 self.comm.send(
                     ctx,
@@ -351,7 +386,9 @@ impl RuntimeThread {
     fn handle_local(&mut self, ctx: &mut Ctx, req: LocalReq) {
         let arr = self.shared.array(req.array);
         match req.kind {
-            LocalKind::Read { chunk } => self.local_data_req(ctx, &arr, chunk, ReqKind::Read, req.waiter),
+            LocalKind::Read { chunk } => {
+                self.local_data_req(ctx, &arr, chunk, ReqKind::Read, req.waiter)
+            }
             LocalKind::Write { chunk } => {
                 self.local_data_req(ctx, &arr, chunk, ReqKind::Write, req.waiter)
             }
@@ -422,8 +459,27 @@ impl RuntimeThread {
         }
         let home = arr.layout.home_of_chunk(chunk as usize);
         let state = d.state();
+        // The chunk's home is dead: never start a fill that cannot complete.
+        // If a fill is already in flight, the PeerDown reset (queued behind
+        // this request) will wake the waiter; otherwise wake it now so the
+        // application thread re-checks and observes `NodeUnavailable`.
+        if self.shared.is_peer_down(self.node, home) {
+            if state.in_flight() {
+                d.push_waiter(waiter);
+            } else {
+                waiter.notify(ctx);
+            }
+            return;
+        }
         if crate::trace::array_matches(arr.id) {
-            trace_chunk!(chunk, "t={} node{} CACHE_REQ state={:?} kind={:?}", ctx.now(), self.node, state, kind);
+            trace_chunk!(
+                chunk,
+                "t={} node{} CACHE_REQ state={:?} kind={:?}",
+                ctx.now(),
+                self.node,
+                state,
+                kind
+            );
         }
         match state {
             s if s.in_flight() => d.push_waiter(waiter),
@@ -497,9 +553,8 @@ impl RuntimeThread {
                         // Prefetch only when the miss continues a sequential
                         // pattern — random access (e.g. hash probing) would
                         // only churn the cache with doomed Shared copies.
-                        let sequential =
-                            self.last_miss == Some((arr.id, chunk.wrapping_sub(1)))
-                                || self.last_miss == Some((arr.id, chunk));
+                        let sequential = self.last_miss == Some((arr.id, chunk.wrapping_sub(1)))
+                            || self.last_miss == Some((arr.id, chunk));
                         self.last_miss = Some((arr.id, chunk));
                         if sequential {
                             self.prefetch(ctx, arr, chunk);
@@ -612,7 +667,13 @@ impl RuntimeThread {
             }
             match d.state() {
                 LocalState::Shared => {
-                    self.start_drain(&arr, c, LocalState::Invalid, NOTAG, Cont::EvictShared { line });
+                    self.start_drain(
+                        &arr,
+                        c,
+                        LocalState::Invalid,
+                        NOTAG,
+                        Cont::EvictShared { line },
+                    );
                     NodeStats::bump(&self.stats().evictions);
                 }
                 LocalState::Exclusive => {
@@ -647,6 +708,12 @@ impl RuntimeThread {
     // ------------------------------------------------------------------
 
     fn handle_rpc(&mut self, ctx: &mut Ctx, src: NodeId, aid: ArrayId, rpc: Rpc) {
+        // Fail-stop: once a peer is declared down its bookkeeping has been
+        // settled by `handle_peer_down`; straggler messages from it (already
+        // queued when the declaration landed) must not resurrect it.
+        if src != self.node && self.shared.is_peer_down(self.node, src) {
+            return;
+        }
         let arr = self.shared.array(aid);
         match rpc {
             Rpc::ReadReq { chunk, dst_off } => self.home_request(
@@ -702,7 +769,13 @@ impl RuntimeThread {
 
     /// A fill completed: the data was RDMA-written into our cacheline before
     /// this notification (RC FIFO ordering).
-    fn fill_done(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, new: LocalState) {
+    fn fill_done(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        new: LocalState,
+    ) {
         let d = &arr.per_node[self.node].dentries[chunk as usize];
         let expected = match new {
             LocalState::Shared => LocalState::FillingShared,
@@ -734,7 +807,13 @@ impl RuntimeThread {
         d.wake_waiters(ctx);
     }
 
-    fn invalidate_req(&mut self, _ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, src: NodeId) {
+    fn invalidate_req(
+        &mut self,
+        _ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        src: NodeId,
+    ) {
         let d = &arr.per_node[self.node].dentries[chunk as usize];
         if d.state() == LocalState::Shared && !d.delay_set() {
             let line = d.line();
@@ -776,7 +855,13 @@ impl RuntimeThread {
         let d = &arr.per_node[self.node].dentries[chunk as usize];
         if d.state() == LocalState::Exclusive && !d.delay_set() {
             let line = d.line();
-            self.start_drain(arr, chunk, LocalState::Shared, NOTAG, Cont::DowngradeDone { line });
+            self.start_drain(
+                arr,
+                chunk,
+                LocalState::Shared,
+                NOTAG,
+                Cont::DowngradeDone { line },
+            );
         }
     }
 
@@ -836,7 +921,13 @@ impl RuntimeThread {
 
     /// Service one directory request. Returns true if the chunk is still
     /// stable (keep servicing the queue), false if a transient began.
-    fn service(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, req: DirReq) -> bool {
+    fn service(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        req: DirReq,
+    ) -> bool {
         let me = self.node;
         ctx.charge(self.shared.cfg.cost.dir_update_ns);
         let mut de = arr.per_node[me].dir[chunk as usize].lock();
@@ -871,8 +962,18 @@ impl RuntimeThread {
             return false;
         }
         if crate::trace::array_matches(arr.id) {
-        trace_chunk!(chunk, "t={} node{} SERVICE state={:?} kind={:?} src={}", ctx.now(), me,
-            de.state, req.kind, match &req.source { crate::directory::Source::Local(_) => "local".to_string(), crate::directory::Source::Remote{node,..} => format!("remote{node}") });
+            trace_chunk!(
+                chunk,
+                "t={} node{} SERVICE state={:?} kind={:?} src={}",
+                ctx.now(),
+                me,
+                de.state,
+                req.kind,
+                match &req.source {
+                    crate::directory::Source::Local(_) => "local".to_string(),
+                    crate::directory::Source::Remote { node, .. } => format!("remote{node}"),
+                }
+            );
         }
         let d = &arr.per_node[me].dentries[chunk as usize];
         match (&de.state, req.kind) {
@@ -883,7 +984,9 @@ impl RuntimeThread {
                     true
                 }
                 Source::Remote { node, dst_off } => {
-                    de.state = DirState::Shared { sharers: vec![node] };
+                    de.state = DirState::Shared {
+                        sharers: vec![node],
+                    };
                     de.transient = Transient::HomeDrain;
                     de.current = Some(DirReq {
                         source: Source::Remote { node, dst_off },
@@ -987,13 +1090,15 @@ impl RuntimeThread {
                         kind: ReqKind::Write,
                     });
                     drop(de);
-                    self.comm.send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
+                    self.comm
+                        .send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
                     false
                 } else {
                     de.transient = Transient::AwaitWriteback { from: owner };
                     de.current = Some(req);
                     drop(de);
-                    self.comm.send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
+                    self.comm
+                        .send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
                     false
                 }
             }
@@ -1068,7 +1173,8 @@ impl RuntimeThread {
                 de.transient = Transient::AwaitWriteback { from: owner };
                 de.current = Some(req);
                 drop(de);
-                self.comm.send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
+                self.comm
+                    .send(ctx, owner, arr.id, Rpc::RecallDirty { chunk });
                 false
             }
             // Operated chunk asked for Read/Write/different op: recall all
@@ -1154,7 +1260,13 @@ impl RuntimeThread {
         }
     }
 
-    fn home_evict_notice(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId, src: NodeId) {
+    fn home_evict_notice(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        src: NodeId,
+    ) {
         let me = self.node;
         let mut de = arr.per_node[me].dir[chunk as usize].lock();
         match &de.transient {
@@ -1166,14 +1278,13 @@ impl RuntimeThread {
                 }
             }
             _ => {
-                if matches!(de.state, DirState::Shared { .. })
-                    && de.remove_sharer(src) {
-                        // Last sharer gone: home regains exclusivity
-                        // (Figure 6 promotion).
-                        de.state = DirState::Unshared;
-                        arr.per_node[me].dentries[chunk as usize]
-                            .promote_to(LocalState::Exclusive, NOTAG);
-                    }
+                if matches!(de.state, DirState::Shared { .. }) && de.remove_sharer(src) {
+                    // Last sharer gone: home regains exclusivity
+                    // (Figure 6 promotion).
+                    de.state = DirState::Unshared;
+                    arr.per_node[me].dentries[chunk as usize]
+                        .promote_to(LocalState::Exclusive, NOTAG);
+                }
             }
         }
     }
@@ -1221,8 +1332,17 @@ impl RuntimeThread {
         let me = self.node;
         if crate::trace::traced_chunk() == Some(chunk) {
             let de = arr.per_node[me].dir[chunk as usize].lock();
-            trace_chunk!(chunk, "t={} node{} FLUSH from {} op={} empty={} transient={:?} state={:?}",
-                ctx.now(), me, src, op, data.is_empty(), de.transient, de.state);
+            trace_chunk!(
+                chunk,
+                "t={} node{} FLUSH from {} op={} empty={} transient={:?} state={:?}",
+                ctx.now(),
+                me,
+                src,
+                op,
+                data.is_empty(),
+                de.transient,
+                de.state
+            );
         }
         // Reduce first — operand data must never be lost. Concurrent local
         // applies CAS into the same words, so the reduction CASes too.
@@ -1312,13 +1432,18 @@ impl RuntimeThread {
     ) {
         let home = arr.layout.home_of(index as usize);
         if home == self.node {
-            let granted = arr.per_node[self.node]
-                .lock_table
-                .lock()
-                .acquire(index, kind, LockSource::Local(waiter));
+            let granted = arr.per_node[self.node].lock_table.lock().acquire(
+                index,
+                kind,
+                LockSource::Local(waiter),
+            );
             if let Some(src) = granted {
                 self.deliver_grant(ctx, arr, index, kind, src);
             }
+        } else if self.shared.is_peer_down(self.node, home) {
+            // The lock's home is dead: wake the waiter so the application
+            // thread re-checks and observes `NodeUnavailable`.
+            waiter.notify(ctx);
         } else {
             arr.per_node[self.node]
                 .lock_waiters
@@ -1327,8 +1452,16 @@ impl RuntimeThread {
                 .or_default()
                 .push_back(waiter);
             let chunk = (index as usize / arr.layout.chunk_size()) as ChunkId;
-            self.comm
-                .send(ctx, home, arr.id, Rpc::LockAcquire { chunk, id: index, kind });
+            self.comm.send(
+                ctx,
+                home,
+                arr.id,
+                Rpc::LockAcquire {
+                    chunk,
+                    id: index,
+                    kind,
+                },
+            );
         }
     }
 
@@ -1342,14 +1475,25 @@ impl RuntimeThread {
     ) {
         let home = arr.layout.home_of(index as usize);
         if home == self.node {
-            let woken = arr.per_node[self.node].lock_table.lock().release(index, kind);
+            let woken = arr.per_node[self.node]
+                .lock_table
+                .lock()
+                .release(index, kind);
             for (src, k) in woken {
                 self.deliver_grant(ctx, arr, index, k, src);
             }
         } else {
             let chunk = (index as usize / arr.layout.chunk_size()) as ChunkId;
-            self.comm
-                .send(ctx, home, arr.id, Rpc::LockRelease { chunk, id: index, kind });
+            self.comm.send(
+                ctx,
+                home,
+                arr.id,
+                Rpc::LockRelease {
+                    chunk,
+                    id: index,
+                    kind,
+                },
+            );
         }
         // Releases complete locally; the wire release is one-way.
         waiter.notify(ctx);
@@ -1363,10 +1507,11 @@ impl RuntimeThread {
         kind: LockKind,
         src: NodeId,
     ) {
-        let granted = arr.per_node[self.node]
-            .lock_table
-            .lock()
-            .acquire(id, kind, LockSource::Remote(src));
+        let granted =
+            arr.per_node[self.node]
+                .lock_table
+                .lock()
+                .acquire(id, kind, LockSource::Remote(src));
         if let Some(s) = granted {
             self.deliver_grant(ctx, arr, id, kind, s);
         }
@@ -1382,13 +1527,195 @@ impl RuntimeThread {
     fn rpc_lock_grant(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, id: u64, kind: LockKind) {
         let w = {
             let mut lw = arr.per_node[self.node].lock_waiters.lock();
-            let q = lw.get_mut(&(id, kind)).expect("grant without waiter");
-            let w = q.pop_front().expect("grant without waiter");
-            if q.is_empty() {
+            let popped = lw.get_mut(&(id, kind)).and_then(|q| q.pop_front());
+            if lw.get(&(id, kind)).is_some_and(|q| q.is_empty()) {
                 lw.remove(&(id, kind));
             }
-            w
+            match popped {
+                Some(w) => w,
+                None => {
+                    drop(lw);
+                    self.lock_grant_invariant_violated(arr, id, kind);
+                }
+            }
         };
         w.notify(ctx);
+    }
+
+    /// A `LockGrant` arrived for an element no local thread is waiting on.
+    /// This is a protocol-invariant violation (grants are only ever sent in
+    /// response to an acquire we registered a waiter for, on a FIFO link):
+    /// report everything a debugger would want before aborting, instead of
+    /// the bare `expect` this used to be.
+    #[cold]
+    #[inline(never)]
+    fn lock_grant_invariant_violated(&self, arr: &ArrayShared, id: u64, kind: LockKind) -> ! {
+        let chunk = id as usize / arr.layout.chunk_size();
+        let home = arr.layout.home_of(id as usize);
+        let waiting: Vec<(u64, LockKind, usize)> = arr.per_node[self.node]
+            .lock_waiters
+            .lock()
+            .iter()
+            .map(|((i, k), q)| (*i, *k, q.len()))
+            .collect();
+        let de = arr.per_node[home].dir[chunk].lock();
+        panic!(
+            "protocol invariant violated: node {} (rt {}) received LockGrant for element {id} \
+             kind {kind:?} of array {} with no registered waiter; chunk {chunk} homed on node \
+             {home}; home directory state {:?} transient {:?} with {} pending request(s); \
+             local waiters registered: {waiting:?}",
+            self.node,
+            self.rt_idx,
+            arr.id,
+            de.state,
+            de.transient,
+            de.pending.len(),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Peer failure (fail-stop recovery)
+    // ------------------------------------------------------------------
+
+    /// The node's reliability agent declared `dead` unreachable. Settle every
+    /// piece of protocol state this runtime thread owns that involves the
+    /// dead peer so nothing waits on it forever:
+    ///
+    /// * requester side (chunks homed on `dead`): abort in-flight fills and
+    ///   wake their waiters — the application observes `NodeUnavailable`.
+    ///   Valid cached copies are *kept*: they remain readable/writable
+    ///   locally (graceful degradation; writebacks to the dead home are
+    ///   silently dropped).
+    /// * home side (chunks homed here): remove `dead` from sharer sets and
+    ///   transient wait-sets, reclaim Dirty ownership it held (its
+    ///   un-written-back data is lost — fail-stop), drop its queued
+    ///   requests, and resume the directory engine.
+    /// * locks: wake local waiters for locks homed on `dead` (they re-check
+    ///   and error out). Locks *held by* the dead node are NOT broken — see
+    ///   "Fault model and recovery" in DESIGN.md.
+    fn handle_peer_down(&mut self, ctx: &mut Ctx, dead: NodeId) {
+        let arrays: Vec<Arc<ArrayShared>> = self.shared.arrays.read().clone();
+        for arr in &arrays {
+            for c in 0..arr.layout.num_chunks() as ChunkId {
+                if self.shared.rt_index(c) != self.rt_idx {
+                    continue;
+                }
+                let home = arr.layout.home_of_chunk(c as usize);
+                if home == dead {
+                    self.abort_fill_from_dead(ctx, arr, c);
+                } else if home == self.node {
+                    self.home_forget_peer(ctx, arr, c, dead);
+                }
+            }
+            // Wake local waiters for locks homed on the dead node. Drained
+            // under the mutex, notified after releasing it.
+            let woken: Vec<dsim::WaitCell> = {
+                let mut lw = arr.per_node[self.node].lock_waiters.lock();
+                let keys: Vec<(u64, LockKind)> = lw
+                    .keys()
+                    .filter(|(id, _)| arr.layout.home_of(*id as usize) == dead)
+                    .copied()
+                    .collect();
+                keys.into_iter()
+                    .flat_map(|k| lw.remove(&k).unwrap_or_default())
+                    .collect()
+            };
+            for w in woken {
+                w.notify(ctx);
+            }
+        }
+    }
+
+    /// Requester-side reset of a chunk homed on a dead node.
+    fn abort_fill_from_dead(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        if !d.state().in_flight() || d.delay_set() {
+            // Stable states keep working locally; a delayed (draining) chunk
+            // is cleaned up by its continuation's own peer-down check.
+            return;
+        }
+        let line = d.line();
+        if line != LINE_NONE && line != LINE_HOME {
+            self.cache.free(line);
+        }
+        d.set_line(LINE_NONE);
+        d.promote_to(LocalState::Invalid, NOTAG);
+        d.wake_waiters(ctx);
+    }
+
+    /// Home-side directory cleanup: erase a dead peer from this chunk's
+    /// bookkeeping and resume the engine if it was waiting on the peer.
+    fn home_forget_peer(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        dead: NodeId,
+    ) {
+        let me = self.node;
+        let finished =
+            {
+                let mut de = arr.per_node[me].dir[chunk as usize].lock();
+                let d = &arr.per_node[me].dentries[chunk as usize];
+                // Requests the dead node queued must not be serviced: a fill sent
+                // to it would be dropped, but granting would corrupt the sharer
+                // set with a node that can never evict or acknowledge.
+                de.pending
+                    .retain(|r| !matches!(r.source, Source::Remote { node, .. } if node == dead));
+                if de.current.as_ref().is_some_and(
+                    |r| matches!(r.source, Source::Remote { node, .. } if node == dead),
+                ) {
+                    de.current = None;
+                }
+                match &de.transient {
+                    Transient::AwaitWriteback { from } if *from == dead => {
+                        // The dirty data died with the peer (fail-stop): the home
+                        // copy becomes authoritative again.
+                        de.state = DirState::Unshared;
+                        d.promote_to(LocalState::Exclusive, NOTAG);
+                        true
+                    }
+                    Transient::AwaitInvAcks { .. } => {
+                        de.remove_sharer(dead);
+                        de.transient_remove(dead)
+                    }
+                    Transient::AwaitFlushes { .. } => {
+                        de.remove_sharer(dead);
+                        if de.transient_remove(dead) {
+                            // Same completion as the last flush arriving.
+                            de.state = DirState::Unshared;
+                            d.promote_to(LocalState::Exclusive, NOTAG);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => {
+                        match &de.state {
+                            DirState::Dirty { owner } if *owner == dead => {
+                                de.state = DirState::Unshared;
+                                d.promote_to(LocalState::Exclusive, NOTAG);
+                            }
+                            DirState::Shared { .. } => {
+                                let emptied = de.remove_sharer(dead);
+                                if emptied {
+                                    de.state = DirState::Unshared;
+                                    d.promote_to(LocalState::Exclusive, NOTAG);
+                                }
+                            }
+                            DirState::Operated { .. } => {
+                                // Its combined operands are lost (fail-stop); the
+                                // home stays Operated and promotes lazily.
+                                de.remove_sharer(dead);
+                            }
+                            _ => {}
+                        }
+                        false
+                    }
+                }
+            };
+        if finished {
+            self.finish_transient(ctx, arr, chunk);
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! runtime layer and communication layer all reference.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dsim::{Mailbox, WaitCell};
@@ -10,6 +11,7 @@ use parking_lot::{Mutex, RwLock};
 use rdma_fabric::{MemoryRegion, NicStatsSnapshot, NodeId};
 
 use crate::cache::CacheRegion;
+use crate::comm::RelMsg;
 use crate::config::ClusterConfig;
 use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
 use crate::directory::DirEntry;
@@ -95,6 +97,12 @@ pub(crate) struct ClusterShared {
     /// Per-node, per-runtime-thread request mailboxes.
     pub rt_mailboxes: Vec<Vec<Mailbox<RtMsg>>>,
     pub stats: Vec<Arc<NodeStats>>,
+    /// Per-node reliability-agent mailbox (`Some` iff `cfg.fault` is set).
+    pub rel_mailboxes: Vec<Option<Mailbox<RelMsg>>>,
+    /// `peer_down[me][peer]`: node `me` has declared `peer` unreachable
+    /// (monotonic, fail-stop). Each node holds its own independent view —
+    /// failure detection is local, exactly as it would be on real hardware.
+    pub peer_down: Vec<Vec<AtomicBool>>,
 }
 
 impl ClusterShared {
@@ -116,6 +124,17 @@ impl ClusterShared {
     /// NIC statistics of a node (re-exported for benchmarks).
     pub(crate) fn nic_stats(&self, node: NodeId) -> NicStatsSnapshot {
         self.nics[node].stats()
+    }
+
+    /// Has `me` declared `peer` unreachable?
+    #[inline]
+    pub(crate) fn is_peer_down(&self, me: NodeId, peer: NodeId) -> bool {
+        self.peer_down[me][peer].load(Ordering::Relaxed)
+    }
+
+    /// Record `me`'s declaration that `peer` is unreachable.
+    pub(crate) fn mark_peer_down(&self, me: NodeId, peer: NodeId) {
+        self.peer_down[me][peer].store(true, Ordering::Relaxed);
     }
 }
 

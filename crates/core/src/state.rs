@@ -267,7 +267,10 @@ mod tests {
             DirState::Shared { sharers: vec![] }.home_local(),
             LocalState::Shared
         );
-        assert_eq!(DirState::Dirty { owner: 2 }.home_local(), LocalState::Invalid);
+        assert_eq!(
+            DirState::Dirty { owner: 2 }.home_local(),
+            LocalState::Invalid
+        );
         assert_eq!(
             DirState::Operated {
                 op: OpId(1),
@@ -280,8 +283,13 @@ mod tests {
 
     #[test]
     fn rights_predicates() {
-        assert!(Rights::RWO.allows_read() && Rights::RWO.allows_write() && Rights::RWO.allows_operate());
-        assert!(Rights::RW.allows_operate(), "RW can emulate Operate locally");
+        assert!(
+            Rights::RWO.allows_read() && Rights::RWO.allows_write() && Rights::RWO.allows_operate()
+        );
+        assert!(
+            Rights::RW.allows_operate(),
+            "RW can emulate Operate locally"
+        );
         assert!(!Rights::R.allows_write());
         assert!(!Rights::O.allows_read());
         assert!(!Rights::None.allows_read());

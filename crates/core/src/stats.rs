@@ -30,6 +30,16 @@ pub struct NodeStats {
     pub locks_granted: AtomicU64,
     /// Prefetch fills issued.
     pub prefetches: AtomicU64,
+    /// Reliable-RPC timeout expirations (each triggers a retransmit or, at
+    /// the retry limit, a peer-down declaration). Zero unless
+    /// `ClusterConfig::fault` is set.
+    pub rpc_timeouts: AtomicU64,
+    /// Reliable-RPC retransmissions posted.
+    pub retransmits: AtomicU64,
+    /// Duplicate RPCs suppressed at the Rx/runtime boundary.
+    pub dup_rpcs: AtomicU64,
+    /// Peers this node declared down after exhausting retries.
+    pub peers_down: AtomicU64,
 }
 
 /// Point-in-time copy of [`NodeStats`].
@@ -47,6 +57,10 @@ pub struct NodeStatsSnapshot {
     pub local_combines: u64,
     pub locks_granted: u64,
     pub prefetches: u64,
+    pub rpc_timeouts: u64,
+    pub retransmits: u64,
+    pub dup_rpcs: u64,
+    pub peers_down: u64,
 }
 
 impl NodeStats {
@@ -70,6 +84,10 @@ impl NodeStats {
             local_combines: self.local_combines.load(Ordering::Relaxed),
             locks_granted: self.locks_granted.load(Ordering::Relaxed),
             prefetches: self.prefetches.load(Ordering::Relaxed),
+            rpc_timeouts: self.rpc_timeouts.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dup_rpcs: self.dup_rpcs.load(Ordering::Relaxed),
+            peers_down: self.peers_down.load(Ordering::Relaxed),
         }
     }
 }

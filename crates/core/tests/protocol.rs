@@ -2,9 +2,7 @@
 //! reads, writes, ownership migration, the Operated state, eviction under
 //! cache pressure, distributed locks, pins, and determinism.
 
-use darray::{
-    AccessPath, ArrayOptions, Cluster, ClusterConfig, Ctx, PinMode, Sim, SimConfig,
-};
+use darray::{AccessPath, ArrayOptions, Cluster, ClusterConfig, Ctx, PinMode, Sim, SimConfig};
 
 fn sim() -> Sim {
     Sim::new(SimConfig::default())
@@ -412,7 +410,10 @@ fn runs_are_deterministic() {
     }
     let a = one_run();
     let b = one_run();
-    assert_eq!(a, b, "virtual end time and protocol traffic must be identical");
+    assert_eq!(
+        a, b,
+        "virtual end time and protocol traffic must be identical"
+    );
 }
 
 #[test]

@@ -1,12 +1,13 @@
 //! The fabric itself: per-node NICs, directed links with FIFO (RC queue
 //! pair) ordering, verbs, and statistics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dsim::{Ctx, Mailbox, VTime};
+use dsim::{Ctx, Mailbox, Rng, VTime};
 use parking_lot::Mutex;
 
+use crate::fault::FaultPlan;
 use crate::net::NetConfig;
 use crate::region::MemoryRegion;
 use crate::NodeId;
@@ -28,6 +29,10 @@ pub struct NicStats {
     pub read_bytes: AtomicU64,
     /// Signaled completions polled (selective signaling reduces these).
     pub signaled: AtomicU64,
+    /// Verbs discarded by fault injection (drops + crash discards).
+    pub faulted_drops: AtomicU64,
+    /// NIC stall windows entered by fault injection.
+    pub faulted_stalls: AtomicU64,
 }
 
 /// Snapshot of [`NicStats`].
@@ -40,6 +45,31 @@ pub struct NicStatsSnapshot {
     pub reads: u64,
     pub read_bytes: u64,
     pub signaled: u64,
+    pub faulted_drops: u64,
+    pub faulted_stalls: u64,
+}
+
+/// Per-NIC fault-injection state, present only on fabrics built with
+/// [`Fabric::with_faults`]. All decisions draw from this NIC's private
+/// seeded stream, so the schedule is replayable from the plan alone.
+struct FaultState {
+    plan: FaultPlan,
+    /// This NIC's decorrelated RNG stream (`root.fork(node)`).
+    rng: Mutex<Rng>,
+    /// The NIC transmits nothing before this time (stall window).
+    stall_until: Mutex<VTime>,
+    /// Crash times of every node in the fabric, by node id.
+    crash_of: Arc<Vec<Option<VTime>>>,
+    /// Per-destination QP-error latch: raised when a verb toward that
+    /// destination is discarded (the completion-with-error a real RC QP
+    /// would report). Sticky until [`Nic::clear_link_error`].
+    link_error: Vec<AtomicBool>,
+}
+
+impl FaultState {
+    fn node_crashed(&self, node: NodeId, now: VTime) -> bool {
+        matches!(self.crash_of[node], Some(t) if now >= t)
+    }
 }
 
 struct Link {
@@ -60,6 +90,9 @@ pub struct Nic<M> {
     /// Work requests posted since the last signaled completion.
     posted: AtomicU64,
     stats: NicStats,
+    /// Fault-injection state; `None` on fault-free fabrics (the fast path
+    /// is then bit-identical to a build without fault support).
+    fault: Option<FaultState>,
 }
 
 impl<M: Send + 'static> Nic<M> {
@@ -83,6 +116,41 @@ impl<M: Send + 'static> Nic<M> {
             reads: self.stats.reads.load(Ordering::Relaxed),
             read_bytes: self.stats.read_bytes.load(Ordering::Relaxed),
             signaled: self.stats.signaled.load(Ordering::Relaxed),
+            faulted_drops: self.stats.faulted_drops.load(Ordering::Relaxed),
+            faulted_stalls: self.stats.faulted_stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Crash time scheduled for this node, if the fabric carries a fault
+    /// plan that crashes it.
+    pub fn crash_time(&self) -> Option<VTime> {
+        self.fault.as_ref().and_then(|f| f.crash_of[self.node])
+    }
+
+    /// Crash time scheduled for `peer` under this fabric's fault plan.
+    pub fn peer_crash_time(&self, peer: NodeId) -> Option<VTime> {
+        self.fault.as_ref().and_then(|f| f.crash_of[peer])
+    }
+
+    /// True once `node` has halted (its crash time has passed `now`).
+    pub fn node_crashed(&self, node: NodeId, now: VTime) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.node_crashed(node, now))
+    }
+
+    /// QP-error latch toward `dst`: set when fault injection discarded a
+    /// verb on that link (the completion-with-error a real RC QP reports).
+    pub fn link_error(&self, dst: NodeId) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.link_error[dst].load(Ordering::Relaxed))
+    }
+
+    /// Clear the QP-error latch toward `dst` (QP reset).
+    pub fn clear_link_error(&self, dst: NodeId) {
+        if let Some(f) = &self.fault {
+            f.link_error[dst].store(false, Ordering::Relaxed);
         }
     }
 
@@ -98,24 +166,86 @@ impl<M: Send + 'static> Nic<M> {
     }
 
     /// Claim the outgoing link to `dst` for a `bytes`-byte transmission
-    /// starting no earlier than the caller's current time; returns the
-    /// arrival (delivery) time at the destination.
-    fn claim_link(&self, ctx: &Ctx, dst: NodeId, bytes: u64) -> VTime {
+    /// starting no earlier than `earliest`, with `extra` ns of additional
+    /// serialization (fault jitter); returns the arrival (delivery) time at
+    /// the destination. The link's busy window absorbs `extra`, keeping
+    /// per-link delivery monotone (RC FIFO) even under jitter.
+    fn claim_link_at(&self, dst: NodeId, bytes: u64, earliest: VTime, extra: VTime) -> VTime {
         let mut nf = self.links[dst].next_free.lock();
-        let start = (*nf).max(ctx.now());
-        let done = start + self.cfg.tx_time(bytes);
+        let start = (*nf).max(earliest);
+        let done = start + self.cfg.tx_time(bytes) + extra;
         *nf = done;
         done + self.cfg.prop_latency_ns
     }
 
+    /// Claim the outgoing link to `dst` for a `bytes`-byte transmission
+    /// starting no earlier than the caller's current time; returns the
+    /// arrival (delivery) time at the destination.
+    fn claim_link(&self, ctx: &Ctx, dst: NodeId, bytes: u64) -> VTime {
+        self.claim_link_at(dst, bytes, ctx.now(), 0)
+    }
+
+    /// Run a remote verb through fault injection and link claiming.
+    /// Returns the delivery time, or `None` if the verb was discarded
+    /// (random drop with `droppable`, or either endpoint crashed).
+    fn tx_arrival(&self, ctx: &Ctx, dst: NodeId, bytes: u64, droppable: bool) -> Option<VTime> {
+        let Some(f) = &self.fault else {
+            return Some(self.claim_link(ctx, dst, bytes));
+        };
+        // Loopback traffic (e.g. a node's own Halt teardown message) never
+        // crosses the wire; it is exempt from injection even after a crash.
+        if dst == self.node {
+            return Some(self.claim_link(ctx, dst, bytes));
+        }
+        let now = ctx.now();
+        if f.node_crashed(self.node, now) || f.node_crashed(dst, now) {
+            self.stats.faulted_drops.fetch_add(1, Ordering::Relaxed);
+            f.link_error[dst].store(true, Ordering::Relaxed);
+            return None;
+        }
+        // Draw order is fixed (stall trial, stall duration, jitter, drop
+        // trial) so a plan replays identically regardless of which fault
+        // classes are enabled elsewhere in the run.
+        let mut rng = f.rng.lock();
+        let mut earliest = now;
+        if f.plan.stall_ppm > 0 && rng.chance_ppm(f.plan.stall_ppm) {
+            let (lo, hi) = f.plan.stall_ns;
+            let dur = rng.range(lo, hi.max(lo) + 1);
+            let mut su = f.stall_until.lock();
+            *su = (*su).max(now + dur);
+            self.stats.faulted_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        earliest = earliest.max(*f.stall_until.lock());
+        let jitter = if f.plan.jitter_ns > 0 {
+            rng.range(0, f.plan.jitter_ns + 1)
+        } else {
+            0
+        };
+        let dropped = droppable && f.plan.drop_ppm > 0 && rng.chance_ppm(f.plan.drop_ppm);
+        drop(rng);
+        // A dropped SEND still serialized on the wire; the receiver NIC
+        // discarded it. Claim the link, then discard.
+        let arrive = self.claim_link_at(dst, bytes, earliest, jitter);
+        if dropped {
+            self.stats.faulted_drops.fetch_add(1, Ordering::Relaxed);
+            f.link_error[dst].store(true, Ordering::Relaxed);
+            return None;
+        }
+        Some(arrive)
+    }
+
     /// Two-sided SEND: deliver `msg` into `dst`'s receive mailbox.
     /// `payload_bytes` is the message body size (a header is added).
+    /// Under fault injection the message may be silently discarded (QP
+    /// error latched on the link); see [`crate::FaultPlan`].
     pub fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: M, payload_bytes: u64) {
         self.charge_post(ctx);
         let bytes = self.cfg.header_bytes + payload_bytes;
         self.stats.sends.fetch_add(1, Ordering::Relaxed);
         self.stats.send_bytes.fetch_add(bytes, Ordering::Relaxed);
-        let arrive = self.claim_link(ctx, dst, bytes);
+        let Some(arrive) = self.tx_arrival(ctx, dst, bytes, true) else {
+            return;
+        };
         self.rx_of[dst].send_at(ctx, (self.node, msg), arrive);
     }
 
@@ -134,7 +264,12 @@ impl<M: Send + 'static> Nic<M> {
         let bytes = self.cfg.header_bytes + data.len() as u64 * 8;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.stats.write_bytes.fetch_add(bytes, Ordering::Relaxed);
-        let arrive = self.claim_link(ctx, dst, bytes);
+        // WRITEs are exempt from random drops (droppable = false) so a
+        // retransmitted WRITE+SEND pair is idempotent, but a crashed
+        // endpoint discards them like any other verb.
+        let Some(arrive) = self.tx_arrival(ctx, dst, bytes, false) else {
+            return ctx.now();
+        };
         let region = region.clone();
         ctx.schedule_fn(arrive, move || {
             region.write_slice(offset, &data);
@@ -283,11 +418,40 @@ pub struct Fabric<M> {
 impl<M: Send + 'static> Fabric<M> {
     /// Build a fabric of `n` nodes.
     pub fn new(n: usize, cfg: NetConfig) -> Self {
+        Self::build(n, cfg, None)
+    }
+
+    /// Build a fabric of `n` nodes with deterministic fault injection.
+    /// Every NIC draws from its own stream forked off `plan.seed`, so the
+    /// whole fault schedule replays from the plan alone.
+    pub fn with_faults(n: usize, cfg: NetConfig, plan: FaultPlan) -> Self {
+        Self::build(n, cfg, Some(plan))
+    }
+
+    fn build(n: usize, cfg: NetConfig, plan: Option<FaultPlan>) -> Self {
         assert!(n > 0);
-        let rx_of: Vec<Mailbox<(NodeId, M)>> =
-            (0..n).map(|i| Mailbox::new(&format!("nic-rx-{i}"))).collect();
+        assert!(
+            cfg.bytes_per_us > 0,
+            "NetConfig::bytes_per_us must be nonzero (tx_time would divide by zero)"
+        );
+        let rx_of: Vec<Mailbox<(NodeId, M)>> = (0..n)
+            .map(|i| Mailbox::new(&format!("nic-rx-{i}")))
+            .collect();
+        let crash_of: Arc<Vec<Option<VTime>>> = Arc::new(
+            (0..n)
+                .map(|node| plan.as_ref().and_then(|p| p.crash_time_of(node)))
+                .collect(),
+        );
+        let root_rng = plan.as_ref().map(|p| Rng::new(p.seed));
         let nics = (0..n)
             .map(|node| {
+                let fault = plan.as_ref().map(|p| FaultState {
+                    plan: p.clone(),
+                    rng: Mutex::new(root_rng.as_ref().unwrap().fork(node as u64)),
+                    stall_until: Mutex::new(0),
+                    crash_of: crash_of.clone(),
+                    link_error: (0..n).map(|_| AtomicBool::new(false)).collect(),
+                });
                 Arc::new(Nic {
                     node,
                     cfg: cfg.clone(),
@@ -299,6 +463,7 @@ impl<M: Send + 'static> Fabric<M> {
                     rx_of: rx_of.clone(),
                     posted: AtomicU64::new(0),
                     stats: NicStats::default(),
+                    fault,
                 })
             })
             .collect();
@@ -407,8 +572,10 @@ mod tests {
     #[test]
     fn selective_signaling_counts_completions() {
         sim().run(|ctx| {
-            let mut cfg = NetConfig::default();
-            cfg.signal_interval = 4;
+            let cfg = NetConfig {
+                signal_interval: 4,
+                ..Default::default()
+            };
             let fab: Fabric<u8> = Fabric::new(2, cfg);
             let n0 = fab.nic(0);
             for _ in 0..8 {
@@ -446,6 +613,149 @@ mod tests {
             assert_eq!(n0.rdma_compare_swap(ctx, 1, &region, 0, 0, 99), 42);
             assert_eq!(region.load(0), 42);
         });
+    }
+
+    #[test]
+    fn benign_fault_plan_matches_fault_free_timing() {
+        let run = |faulty: bool| {
+            sim().run(move |ctx| {
+                let cfg = NetConfig::default();
+                let fab: Fabric<u32> = if faulty {
+                    Fabric::with_faults(2, cfg, FaultPlan::new(42))
+                } else {
+                    Fabric::new(2, cfg)
+                };
+                let n0 = fab.nic(0);
+                for i in 0..8 {
+                    n0.send(ctx, 1, i, 128);
+                }
+                let rx = fab.nic(1).rx();
+                let mut times = Vec::new();
+                for _ in 0..8 {
+                    rx.recv(ctx);
+                    times.push(ctx.now());
+                }
+                times
+            })
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn jitter_preserves_fifo_and_adds_delay() {
+        sim().run(|ctx| {
+            let mut plan = FaultPlan::new(7);
+            plan.jitter_ns = 5_000;
+            let fab: Fabric<u32> = Fabric::with_faults(2, NetConfig::default(), plan);
+            let n0 = fab.nic(0);
+            for i in 0..20 {
+                n0.send(ctx, 1, i, 64);
+            }
+            let rx = fab.nic(1).rx();
+            let mut last = 0;
+            for i in 0..20 {
+                let (_, m) = rx.recv(ctx);
+                assert_eq!(m, i, "jitter must not reorder a link");
+                assert!(ctx.now() >= last);
+                last = ctx.now();
+            }
+            // 20 sends with mean 2.5 µs jitter: far later than fault-free.
+            assert!(last > 20_000, "t = {last}");
+        });
+    }
+
+    #[test]
+    fn drops_discard_sends_and_latch_qp_error() {
+        sim().run(|ctx| {
+            let mut plan = FaultPlan::new(3);
+            plan.drop_ppm = 500_000; // 50%
+            let fab: Fabric<u32> = Fabric::with_faults(2, NetConfig::default(), plan);
+            let n0 = fab.nic(0);
+            for i in 0..64 {
+                n0.send(ctx, 1, i, 8);
+            }
+            let s = n0.stats();
+            assert!(
+                s.faulted_drops > 10 && s.faulted_drops < 54,
+                "drops = {}",
+                s.faulted_drops
+            );
+            assert!(n0.link_error(1));
+            n0.clear_link_error(1);
+            assert!(!n0.link_error(1));
+            // Exactly the non-dropped messages arrive, in order.
+            let rx = fab.nic(1).rx();
+            for _ in 0..(64 - s.faulted_drops) {
+                rx.recv(ctx);
+            }
+            assert!(rx.is_empty());
+        });
+    }
+
+    #[test]
+    fn stalls_freeze_the_nic_for_a_window() {
+        sim().run(|ctx| {
+            let mut plan = FaultPlan::new(5);
+            plan.stall_ppm = 1_000_000; // every send stalls
+            plan.stall_ns = (50_000, 60_000);
+            let fab: Fabric<u32> = Fabric::with_faults(2, NetConfig::default(), plan);
+            let n0 = fab.nic(0);
+            n0.send(ctx, 1, 1, 8);
+            let rx = fab.nic(1).rx();
+            rx.recv(ctx);
+            assert!(ctx.now() >= 50_000, "t = {}", ctx.now());
+            assert_eq!(n0.stats().faulted_stalls, 1);
+        });
+    }
+
+    #[test]
+    fn crashed_node_drops_remote_traffic_but_not_loopback() {
+        sim().run(|ctx| {
+            let mut plan = FaultPlan::new(9);
+            plan.crash_at = vec![(1, 10_000)];
+            let fab: Fabric<u32> = Fabric::with_faults(2, NetConfig::default(), plan);
+            let n0 = fab.nic(0);
+            let n1 = fab.nic(1);
+            // Before the crash: delivery works.
+            n0.send(ctx, 1, 1, 8);
+            assert_eq!(n1.rx().recv(ctx).1, 1);
+            ctx.sleep_until(10_000);
+            assert!(n0.node_crashed(1, ctx.now()));
+            // To the crashed node: discarded, QP error latched.
+            n0.send(ctx, 1, 2, 8);
+            // From the crashed node: discarded.
+            n1.send(ctx, 0, 3, 8);
+            assert!(n0.link_error(1));
+            assert!(n1.link_error(0));
+            assert!(n1.rx().is_empty());
+            assert!(n0.rx().is_empty());
+            // Loopback on the crashed node still delivers (teardown path).
+            n1.send(ctx, 1, 4, 8);
+            assert_eq!(n1.rx().recv(ctx).1, 4);
+            assert_eq!(n1.crash_time(), Some(10_000));
+            assert_eq!(n0.peer_crash_time(1), Some(10_000));
+        });
+    }
+
+    #[test]
+    fn fault_schedule_replays_bit_identically() {
+        let run = |seed: u64| {
+            sim().run(move |ctx| {
+                let mut plan = FaultPlan::new(seed);
+                plan.jitter_ns = 2_000;
+                plan.drop_ppm = 100_000;
+                plan.stall_ppm = 50_000;
+                plan.stall_ns = (10_000, 20_000);
+                let fab: Fabric<u32> = Fabric::with_faults(3, NetConfig::default(), plan);
+                let n0 = fab.nic(0);
+                for i in 0..200 {
+                    n0.send(ctx, 1 + (i as usize % 2), i, 64);
+                }
+                (fab.nic(0).stats(), ctx.now())
+            })
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77).0, run(78).0, "different seeds should differ");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] attaches to a [`crate::Fabric`] at construction and
+//! perturbs the wire behavior of every NIC, driven entirely by a seeded
+//! [`dsim::Rng`]: the same plan (same seed) replays the exact same fault
+//! schedule, bit for bit, which is what makes chaos-test failures
+//! reproducible from a single `u64`.
+//!
+//! Injected fault classes:
+//!
+//! * **Latency jitter** — every remote SEND/WRITE serializes for an extra
+//!   uniform `0..=jitter_ns` on its link. Jitter is added to the link's
+//!   busy window (not to the arrival stamp alone), so per-link delivery
+//!   stays monotone and RC FIFO ordering — which `rdma_write_send` relies
+//!   on for data-before-notification — is preserved.
+//! * **NIC stalls** — with probability `stall_ppm` per remote verb, the
+//!   posting NIC freezes: all its subsequent transmissions start no earlier
+//!   than `now + stall_ns` (a uniform draw from the configured window).
+//!   Models firmware hiccups / PFC pauses.
+//! * **Message drops** — with probability `drop_ppm`, a two-sided SEND is
+//!   transmitted but discarded by the receiver. The sender's per-link
+//!   `link_error` latch is raised (the QP-error completion notification);
+//!   one-sided WRITEs are never randomly dropped, so a retransmitted
+//!   WRITE+SEND pair stays idempotent.
+//! * **Node crashes** — at a scheduled virtual time a node halts: every
+//!   remote verb from or to it is discarded from then on. Loopback
+//!   (self-node) traffic still delivers, so a crashed node's local teardown
+//!   (e.g. the `Halt` self-send that stops an Rx thread) keeps working.
+//!   Messages already in flight at the crash instant still deliver; the
+//!   crash closes the NIC, it does not rewrite history.
+//!
+//! One-sided READ/FETCH_ADD/CMP_SWAP verbs are not perturbed — the DArray
+//! protocol path (the subject of the chaos suite) uses WRITE+SEND only.
+
+use dsim::VTime;
+
+use crate::NodeId;
+
+/// Declarative, seed-driven fault schedule for a whole fabric.
+///
+/// The default plan is benign (no jitter, no stalls, no drops, no crashes);
+/// a fabric built without a plan skips the fault paths entirely and behaves
+/// bit-identically to a fault-free build.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Root seed. Each NIC derives its own decorrelated stream from it, so
+    /// draw order is independent of cross-node interleaving.
+    pub seed: u64,
+    /// Maximum extra serialization per remote verb, ns (uniform
+    /// `0..=jitter_ns`). 0 disables jitter.
+    pub jitter_ns: VTime,
+    /// Probability, in parts per million, that a remote two-sided SEND is
+    /// dropped after transmission. 0 disables drops.
+    pub drop_ppm: u32,
+    /// Probability, in parts per million, that a remote verb stalls the
+    /// posting NIC. 0 disables stalls.
+    pub stall_ppm: u32,
+    /// Stall duration window `[min, max]` ns, drawn uniformly per stall.
+    pub stall_ns: (VTime, VTime),
+    /// Scheduled whole-node crashes: `(node, halt_time)`. A node listed
+    /// more than once crashes at the earliest of its times.
+    pub crash_at: Vec<(NodeId, VTime)>,
+}
+
+impl FaultPlan {
+    /// A benign plan carrying only a seed; switch individual fault classes
+    /// on by setting their fields.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            jitter_ns: 0,
+            drop_ppm: 0,
+            stall_ppm: 0,
+            stall_ns: (0, 0),
+            crash_at: Vec::new(),
+        }
+    }
+
+    /// Crash time of `node` under this plan, if any.
+    pub fn crash_time_of(&self, node: NodeId) -> Option<VTime> {
+        self.crash_at
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|&(_, t)| t)
+            .min()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_benign() {
+        let p = FaultPlan::default();
+        assert_eq!(p.jitter_ns, 0);
+        assert_eq!(p.drop_ppm, 0);
+        assert_eq!(p.stall_ppm, 0);
+        assert!(p.crash_at.is_empty());
+        assert_eq!(p.crash_time_of(0), None);
+    }
+
+    #[test]
+    fn crash_time_takes_earliest_entry() {
+        let mut p = FaultPlan::new(1);
+        p.crash_at = vec![(2, 900), (1, 500), (2, 300)];
+        assert_eq!(p.crash_time_of(2), Some(300));
+        assert_eq!(p.crash_time_of(1), Some(500));
+        assert_eq!(p.crash_time_of(0), None);
+    }
+}

@@ -25,11 +25,13 @@
 
 mod cost;
 mod fabric;
+mod fault;
 mod net;
 mod region;
 
 pub use cost::CostModel;
 pub use fabric::{Fabric, Nic, NicStats, NicStatsSnapshot};
+pub use fault::FaultPlan;
 pub use net::NetConfig;
 pub use region::MemoryRegion;
 

@@ -52,8 +52,7 @@ impl MemoryRegion {
     /// Atomic compare-and-swap on one word; returns the previous value.
     #[inline]
     pub fn compare_exchange(&self, idx: usize, current: u64, new: u64) -> Result<u64, u64> {
-        self.words[idx]
-            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+        self.words[idx].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
     /// Copy `dst.len()` words starting at `offset` into `dst`.

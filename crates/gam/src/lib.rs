@@ -25,8 +25,8 @@
 //! locks.
 
 use darray::{
-    AccessPath, ArrayOptions, Cluster, ClusterConfig, CostModel, Ctx, DArray, Element,
-    GlobalArray, NetConfig, NodeEnv, NodeId,
+    AccessPath, ArrayOptions, Cluster, ClusterConfig, CostModel, Ctx, DArray, Element, GlobalArray,
+    NetConfig, NodeEnv, NodeId,
 };
 
 /// Build the cluster configuration that realizes GAM's design on the shared

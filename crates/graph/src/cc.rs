@@ -98,7 +98,10 @@ pub(crate) fn min_propagate_darray(
     });
     PropagateResult {
         elapsed: elapsed.load(Ordering::Relaxed),
-        values: { let mut g = out.lock(); std::mem::take(&mut *g) },
+        values: {
+            let mut g = out.lock();
+            std::mem::take(&mut *g)
+        },
         rounds: rounds_out.load(Ordering::Relaxed),
     }
 }

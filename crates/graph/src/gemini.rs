@@ -213,7 +213,10 @@ pub fn pagerank_gemini(
     });
     PrResult {
         elapsed: elapsed.load(Ordering::Relaxed),
-        ranks: { let mut g = out.lock(); std::mem::take(&mut *g) },
+        ranks: {
+            let mut g = out.lock();
+            std::mem::take(&mut *g)
+        },
     }
 }
 
@@ -302,7 +305,10 @@ pub fn cc_gemini(ctx: &mut Ctx, el: &EdgeList, nodes: usize, net: NetConfig) -> 
     });
     PropagateResult {
         elapsed: elapsed.load(Ordering::Relaxed),
-        values: { let mut g = out.lock(); std::mem::take(&mut *g) },
+        values: {
+            let mut g = out.lock();
+            std::mem::take(&mut *g)
+        },
         rounds: rounds_out.load(Ordering::Relaxed),
     }
 }

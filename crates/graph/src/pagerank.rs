@@ -168,7 +168,10 @@ pub fn pagerank_darray(
     });
     PrResult {
         elapsed: elapsed.load(Ordering::Relaxed),
-        ranks: { let mut g = out.lock(); std::mem::take(&mut *g) },
+        ranks: {
+            let mut g = out.lock();
+            std::mem::take(&mut *g)
+        },
     }
 }
 

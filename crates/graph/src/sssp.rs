@@ -77,7 +77,9 @@ pub fn sssp_darray(
     let ranges: Vec<std::ops::Range<usize>> = locals.iter().map(|l| l.owned.clone()).collect();
     let mut per_node: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); nodes];
     for (k, &(u, v)) in el.edges.iter().enumerate() {
-        let owner = ranges.partition_point(|r| r.end <= u as usize).min(nodes - 1);
+        let owner = ranges
+            .partition_point(|r| r.end <= u as usize)
+            .min(nodes - 1);
         per_node[owner].push((u, v, weights.0[k]));
     }
     let locals: Arc<Vec<LocalWeighted>> = Arc::new(

@@ -182,7 +182,12 @@ mod tests {
     fn mixed_sizes_do_not_overlap() {
         let mut s = SlabAllocator::new(0, 1 << 20);
         let mut ranges: Vec<(u64, u64)> = Vec::new();
-        for (i, size) in [64usize, 100, 333, 1000, 64, 2048, 100].iter().cycle().take(300).enumerate() {
+        for (i, size) in [64usize, 100, 333, 1000, 64, 2048, 100]
+            .iter()
+            .cycle()
+            .take(300)
+            .enumerate()
+        {
             let rounded = s.rounded_size(*size).unwrap() as u64;
             let off = s.alloc(*size).unwrap_or_else(|| panic!("alloc {i} failed"));
             for &(a, b) in &ranges {

@@ -32,8 +32,7 @@ pub struct KvsConfig {
 impl KvsConfig {
     /// Length (in `u64` elements) of the entry array this config needs.
     pub fn entry_array_len(&self) -> usize {
-        ((self.buckets + self.overflow_per_node * self.nodes as u64) * BUCKET_SLOTS as u64)
-            as usize
+        ((self.buckets + self.overflow_per_node * self.nodes as u64) * BUCKET_SLOTS as u64) as usize
     }
 
     /// Length (in `u64` words) of the byte array this config needs.
@@ -286,7 +285,9 @@ impl<B: KvBackend> KvsView<B> {
             // Reclaim the old pair's space (it lives on the node that
             // allocated it; slab metadata is per-node).
             let owner = self.owner_of_offset(old.offset());
-            self.kvs.slabs[owner].lock().free(old.offset(), old.size() as usize);
+            self.kvs.slabs[owner]
+                .lock()
+                .free(old.offset(), old.size() as usize);
             idx
         } else if let Some(idx) = empty_slot {
             self.entries.set(ctx, idx, new_entry.0);
@@ -332,7 +333,9 @@ impl<B: KvBackend> KvsView<B> {
                 {
                     self.entries.set(ctx, base + slot, Entry::EMPTY.0);
                     let owner = self.owner_of_offset(e.offset());
-                    self.kvs.slabs[owner].lock().free(e.offset(), e.size() as usize);
+                    self.kvs.slabs[owner]
+                        .lock()
+                        .free(e.offset(), e.size() as usize);
                     found = true;
                     break 'outer;
                 }

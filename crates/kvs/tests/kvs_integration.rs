@@ -55,7 +55,10 @@ fn updates_replace_and_reclaim() {
     with_darray_kvs(1, small_cfg(1), |ctx, _env, kv| {
         kv.put(ctx, b"k", b"v1").unwrap();
         kv.put(ctx, b"k", b"a-much-longer-second-value").unwrap();
-        assert_eq!(kv.get(ctx, b"k"), Some(b"a-much-longer-second-value".to_vec()));
+        assert_eq!(
+            kv.get(ctx, b"k"),
+            Some(b"a-much-longer-second-value".to_vec())
+        );
         kv.put(ctx, b"k", b"v3").unwrap();
         assert_eq!(kv.get(ctx, b"k"), Some(b"v3".to_vec()));
     });

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum KvOp {
-    Put(u8, u8),    // key id, value seed
+    Put(u8, u8), // key id, value seed
     Get(u8),
     Delete(u8),
 }
@@ -29,7 +29,9 @@ fn key_bytes(k: u8) -> Vec<u8> {
 
 fn value_bytes(k: u8, v: u8) -> Vec<u8> {
     let len = (k as usize * 7 + v as usize * 13) % 180 + 1;
-    (0..len).map(|i| v.wrapping_mul(31).wrapping_add(i as u8)).collect()
+    (0..len)
+        .map(|i| v.wrapping_mul(31).wrapping_add(i as u8))
+        .collect()
 }
 
 proptest! {

@@ -55,12 +55,14 @@
 
 mod ctx;
 mod mailbox;
+mod rng;
 mod sched;
 mod sync;
 mod time;
 
 pub use ctx::{Ctx, JoinHandle};
 pub use mailbox::Mailbox;
+pub use rng::Rng;
 pub use sched::{Sim, SimConfig, SimStats, ThreadId};
 pub use sync::{SimBarrier, VirtualLock, WaitCell};
 pub use time::{to_secs, VTime, MICROSECOND, MILLISECOND, SECOND};

@@ -96,6 +96,59 @@ impl<T: Send + 'static> Mailbox<T> {
         }
     }
 
+    /// Receive with a timeout: blocks in virtual time until a message
+    /// arrives or the receiver's clock reaches absolute time `deadline`,
+    /// whichever comes first. Returns `None` on timeout (with the clock
+    /// advanced to at least `deadline`).
+    ///
+    /// The timeout is realized as a scheduled event that fires only if this
+    /// thread is still registered as the mailbox waiter — a message arriving
+    /// earlier un-registers the waiter, cancelling the timer, so a timer for
+    /// a completed wait never perturbs later blocking points.
+    pub fn recv_deadline(&self, ctx: &mut Ctx, deadline: VTime) -> Option<T> {
+        loop {
+            {
+                let mut q = self.inner.q.lock();
+                if let Some((t, msg)) = q.items.pop_front() {
+                    drop(q);
+                    ctx.bump(t);
+                    return Some(msg);
+                }
+                if ctx.now() >= deadline {
+                    if q.waiter == Some(ctx.tid()) {
+                        q.waiter = None;
+                    }
+                    return None;
+                }
+                debug_assert!(
+                    q.waiter.is_none() || q.waiter == Some(ctx.tid()),
+                    "mailbox supports a single receiver"
+                );
+                q.waiter = Some(ctx.tid());
+            }
+            let inner = self.inner.clone();
+            let tid = ctx.tid();
+            ctx.schedule(
+                deadline,
+                Box::new(move |s| {
+                    let mut q = inner.q.lock();
+                    if q.waiter == Some(tid) {
+                        q.waiter = None;
+                        s.wake(tid, deadline);
+                    }
+                }),
+            );
+            ctx.block();
+        }
+    }
+
+    /// Receive with a relative timeout of `ns` nanoseconds; see
+    /// [`Mailbox::recv_deadline`].
+    pub fn recv_timeout(&self, ctx: &mut Ctx, ns: VTime) -> Option<T> {
+        let deadline = ctx.now() + ns;
+        self.recv_deadline(ctx, deadline)
+    }
+
     /// Non-blocking receive. Note the lax-synchronization caveat: a message
     /// whose delivery event has not yet been processed (because this thread
     /// is running ahead) is not visible; `try_recv` is intended for receiver
@@ -167,6 +220,59 @@ mod tests {
             let mb: Mailbox<u8> = Mailbox::new("e");
             assert!(mb.try_recv(ctx).is_none());
             assert!(mb.is_empty());
+        });
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_advances_clock() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let mb: Mailbox<u8> = Mailbox::new("to");
+            assert_eq!(mb.recv_deadline(ctx, 5_000), None);
+            assert!(ctx.now() >= 5_000);
+        });
+    }
+
+    #[test]
+    fn recv_deadline_returns_early_message() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let mb: Mailbox<u8> = Mailbox::new("early");
+            let tx = mb.clone();
+            let h = ctx.spawn("tx", move |c| tx.send(c, 3, 700));
+            assert_eq!(mb.recv_deadline(ctx, 50_000), Some(3));
+            assert_eq!(ctx.now(), 700);
+            h.join(ctx);
+        });
+    }
+
+    #[test]
+    fn stale_timeout_does_not_disturb_later_waits() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let mb: Mailbox<u8> = Mailbox::new("stale");
+            let tx = mb.clone();
+            let h = ctx.spawn("tx", move |c| {
+                tx.send(c, 1, 100);
+                tx.send(c, 2, 90_000);
+            });
+            // First wait completes at t=100, long before its own deadline.
+            assert_eq!(mb.recv_deadline(ctx, 60_000), Some(1));
+            assert_eq!(ctx.now(), 100);
+            // The cancelled 60_000 timer must not eject the second wait,
+            // whose own deadline is later than the message.
+            assert_eq!(mb.recv_deadline(ctx, 80_000), None);
+            assert!(ctx.now() >= 80_000 && ctx.now() < 90_000);
+            assert_eq!(mb.recv(ctx), 2);
+            assert_eq!(ctx.now(), 90_000);
+            h.join(ctx);
+        });
+    }
+
+    #[test]
+    fn recv_timeout_is_relative() {
+        Sim::new(SimConfig::default()).run(|ctx| {
+            let mb: Mailbox<u8> = Mailbox::new("rel");
+            ctx.sleep(1_000);
+            assert_eq!(mb.recv_timeout(ctx, 2_000), None);
+            assert!(ctx.now() >= 3_000);
         });
     }
 

@@ -509,7 +509,8 @@ mod tests {
         h.push(a);
         h.push(b);
         h.push(c);
-        let order: Vec<(VTime, u64)> = std::iter::from_fn(|| h.pop().map(|e| (e.time, e.seq))).collect();
+        let order: Vec<(VTime, u64)> =
+            std::iter::from_fn(|| h.pop().map(|e| (e.time, e.seq))).collect();
         assert_eq!(order, vec![(3, 9), (5, 1), (5, 2)]);
     }
 

@@ -101,7 +101,9 @@ impl YcsbStream {
         let mut out = Vec::with_capacity(len);
         let mut x = key ^ version.rotate_left(32) ^ 0xABCD_EF01_2345_6789;
         for _ in 0..len {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             out.push((x >> 56) as u8);
         }
         out
@@ -133,7 +135,10 @@ mod tests {
         let gets = (0..n)
             .filter(|_| matches!(s.next_op(), YcsbOp::Get(_)))
             .count();
-        assert!((45 * n / 100..55 * n / 100).contains(&gets), "gets = {gets}");
+        assert!(
+            (45 * n / 100..55 * n / 100).contains(&gets),
+            "gets = {gets}"
+        );
     }
 
     #[test]
@@ -163,7 +168,10 @@ mod tests {
         }
         let max = *counts.values().max().unwrap();
         let avg = 30_000 / counts.len() as u64;
-        assert!(max > avg * 5, "distribution should be skewed: max={max} avg={avg}");
+        assert!(
+            max > avg * 5,
+            "distribution should be skewed: max={max} avg={avg}"
+        );
     }
 
     #[test]

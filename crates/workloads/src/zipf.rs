@@ -150,7 +150,11 @@ mod tests {
         for _ in 0..20_000 {
             *counts.entry(z.next_scrambled(&mut r)).or_insert(0u64) += 1;
         }
-        let hottest = counts.iter().max_by_key(|(_, c)| **c).map(|(k, _)| *k).unwrap();
+        let hottest = counts
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(k, _)| *k)
+            .unwrap();
         assert_ne!(hottest, 0);
     }
 

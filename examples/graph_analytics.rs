@@ -48,7 +48,11 @@ fn main() {
 
     // All engines agree with the sequential reference.
     let want = pagerank_ref(&el, iters);
-    for (name, got) in [("DArray", &plain.ranks), ("DArray-Pin", &pinned.ranks), ("Gemini", &gem.ranks)] {
+    for (name, got) in [
+        ("DArray", &plain.ranks),
+        ("DArray-Pin", &pinned.ranks),
+        ("Gemini", &gem.ranks),
+    ] {
         let max_err = got
             .iter()
             .zip(&want)

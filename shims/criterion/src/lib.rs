@@ -1,0 +1,216 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace uses. The build container has no network access and no registry
+//! cache, so external crates are provided as local shims (see
+//! `shims/README.md`).
+//!
+//! The shim is a plain timing harness: each `bench_function` runs a short
+//! calibration pass, then measures `sample_size` samples and prints
+//! min/mean/max per iteration. There are no plots, no statistics beyond the
+//! mean, and no baseline comparisons — enough to keep `cargo bench` useful
+//! and the bench sources compiling unchanged.
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker measurement type; the shim always measures wall time.
+    pub struct WallTime;
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op: the shim never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+            _pd: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _pd: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        // Calibration: find an iteration count that fills roughly one
+        // sample's worth of the measurement budget.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut iters_per_sample = 1u64;
+        loop {
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            if b.elapsed * (self.sample_size as u32)
+                >= self.measurement_time.max(Duration::from_millis(1))
+            {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut measured_iters = 0u64;
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            let per_iter = b.elapsed / (iters_per_sample.max(1) as u32);
+            total += b.elapsed;
+            measured_iters += iters_per_sample;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+        }
+        let mean = if measured_iters > 0 {
+            Duration::from_nanos((total.as_nanos() / measured_iters as u128) as u64)
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "  {}/{id}: mean {mean:?}/iter (min {min:?}, max {max:?}, {iters_per_sample} iters x {} samples)",
+            self.name, self.sample_size
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure of `bench_function`; accumulates measured time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `iters` executions of `f` with wall time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Let the closure time `iters` iterations itself and report the total
+    /// duration (used here to report *virtual* simulator time).
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed += f(self.iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+        };
+        let mut ran = 0u64;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2).warm_up_time(Duration::from_millis(1));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                ran += iters;
+                Duration::from_nanos(10 * iters)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

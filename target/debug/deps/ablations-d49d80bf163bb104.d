@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d49d80bf163bb104.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d49d80bf163bb104: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

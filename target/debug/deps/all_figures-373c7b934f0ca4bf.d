@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-373c7b934f0ca4bf.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-373c7b934f0ca4bf: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bcl-2a7e35f3b434b2af.d: crates/bcl/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbcl-2a7e35f3b434b2af.rmeta: crates/bcl/src/lib.rs Cargo.toml
+
+crates/bcl/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

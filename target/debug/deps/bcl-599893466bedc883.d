@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bcl-599893466bedc883.d: crates/bcl/src/lib.rs
+
+/root/repo/target/debug/deps/bcl-599893466bedc883: crates/bcl/src/lib.rs
+
+crates/bcl/src/lib.rs:

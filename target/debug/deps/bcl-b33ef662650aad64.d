@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bcl-b33ef662650aad64.d: crates/bcl/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbcl-b33ef662650aad64.rmeta: crates/bcl/src/lib.rs Cargo.toml
+
+crates/bcl/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bcl-b9897d11c208f5e4.d: crates/bcl/src/lib.rs
+
+/root/repo/target/debug/deps/libbcl-b9897d11c208f5e4.rlib: crates/bcl/src/lib.rs
+
+/root/repo/target/debug/deps/libbcl-b9897d11c208f5e4.rmeta: crates/bcl/src/lib.rs
+
+crates/bcl/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-99dc866d6fd1e80e.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-99dc866d6fd1e80e: tests/chaos.rs
+
+tests/chaos.rs:

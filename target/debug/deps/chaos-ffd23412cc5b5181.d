@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-ffd23412cc5b5181.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-ffd23412cc5b5181: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_system-10ed1acd2fc10367.d: tests/cross_system.rs
+
+/root/repo/target/debug/deps/cross_system-10ed1acd2fc10367: tests/cross_system.rs
+
+tests/cross_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_system-fdf7276299f1d473.d: tests/cross_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_system-fdf7276299f1d473.rmeta: tests/cross_system.rs Cargo.toml
+
+tests/cross_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

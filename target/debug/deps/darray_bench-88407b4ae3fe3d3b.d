@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/darray_bench-88407b4ae3fe3d3b.d: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/darray_bench-88407b4ae3fe3d3b: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/graphs.rs:
+crates/bench/src/kvsbench.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/operate.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/darray_bench-feecf915835bf1ed.d: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdarray_bench-feecf915835bf1ed.rlib: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdarray_bench-feecf915835bf1ed.rmeta: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/graphs.rs:
+crates/bench/src/kvsbench.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/operate.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/darray_graph-36baacb5b23597e7.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+/root/repo/target/debug/deps/libdarray_graph-36baacb5b23597e7.rlib: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+/root/repo/target/debug/deps/libdarray_graph-36baacb5b23597e7.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/gam_engine.rs:
+crates/graph/src/gemini.rs:
+crates/graph/src/local.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/reference.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sssp.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/darray_graph-c8d4f12801882474.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarray_graph-c8d4f12801882474.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/gam_engine.rs:
+crates/graph/src/gemini.rs:
+crates/graph/src/local.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/reference.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sssp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/darray_kvs-43de2f52d91e6b96.d: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+/root/repo/target/debug/deps/libdarray_kvs-43de2f52d91e6b96.rlib: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+/root/repo/target/debug/deps/libdarray_kvs-43de2f52d91e6b96.rmeta: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+crates/kvs/src/lib.rs:
+crates/kvs/src/backend.rs:
+crates/kvs/src/entry.rs:
+crates/kvs/src/hash.rs:
+crates/kvs/src/slab.rs:
+crates/kvs/src/store.rs:

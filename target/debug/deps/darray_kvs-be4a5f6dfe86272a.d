@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/darray_kvs-be4a5f6dfe86272a.d: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarray_kvs-be4a5f6dfe86272a.rmeta: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs Cargo.toml
+
+crates/kvs/src/lib.rs:
+crates/kvs/src/backend.rs:
+crates/kvs/src/entry.rs:
+crates/kvs/src/hash.rs:
+crates/kvs/src/slab.rs:
+crates/kvs/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

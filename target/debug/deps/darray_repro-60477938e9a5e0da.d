@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/darray_repro-60477938e9a5e0da.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdarray_repro-60477938e9a5e0da.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdarray_repro-60477938e9a5e0da.rmeta: src/lib.rs
+
+src/lib.rs:

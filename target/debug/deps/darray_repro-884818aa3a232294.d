@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darray_repro-884818aa3a232294.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarray_repro-884818aa3a232294.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/darray_repro-9a7b6f1b41b97e37.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdarray_repro-9a7b6f1b41b97e37.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdarray_repro-9a7b6f1b41b97e37.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darray_repro-dd4c617409cd34af.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarray_repro-dd4c617409cd34af.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/darray_repro-fbd00253437748b5.d: src/lib.rs
+
+/root/repo/target/debug/deps/darray_repro-fbd00253437748b5: src/lib.rs
+
+src/lib.rs:

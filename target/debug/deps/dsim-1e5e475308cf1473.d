@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsim-1e5e475308cf1473.d: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdsim-1e5e475308cf1473.rlib: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdsim-1e5e475308cf1473.rmeta: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/mailbox.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:

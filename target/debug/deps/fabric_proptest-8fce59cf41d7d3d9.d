@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fabric_proptest-8fce59cf41d7d3d9.d: crates/fabric/tests/fabric_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfabric_proptest-8fce59cf41d7d3d9.rmeta: crates/fabric/tests/fabric_proptest.rs Cargo.toml
+
+crates/fabric/tests/fabric_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

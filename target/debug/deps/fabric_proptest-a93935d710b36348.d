@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_proptest-a93935d710b36348.d: crates/fabric/tests/fabric_proptest.rs
+
+/root/repo/target/debug/deps/fabric_proptest-a93935d710b36348: crates/fabric/tests/fabric_proptest.rs
+
+crates/fabric/tests/fabric_proptest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-a1f264408223e121.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-a1f264408223e121: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-b243c8ca17099962.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-b243c8ca17099962: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

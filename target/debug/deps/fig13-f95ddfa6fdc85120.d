@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-f95ddfa6fdc85120.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-f95ddfa6fdc85120: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

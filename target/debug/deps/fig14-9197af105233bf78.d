@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-9197af105233bf78.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-9197af105233bf78: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

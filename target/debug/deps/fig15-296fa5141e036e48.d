@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-296fa5141e036e48.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-296fa5141e036e48: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

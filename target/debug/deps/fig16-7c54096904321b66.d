@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-7c54096904321b66.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-7c54096904321b66: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

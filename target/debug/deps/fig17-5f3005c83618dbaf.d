@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-5f3005c83618dbaf.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-5f3005c83618dbaf: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-808da044e09286cd.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-808da044e09286cd: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

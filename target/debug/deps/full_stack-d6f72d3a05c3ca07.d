@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-d6f72d3a05c3ca07.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-d6f72d3a05c3ca07: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gam-02438a44c5ea93e1.d: crates/gam/src/lib.rs
+
+/root/repo/target/debug/deps/libgam-02438a44c5ea93e1.rlib: crates/gam/src/lib.rs
+
+/root/repo/target/debug/deps/libgam-02438a44c5ea93e1.rmeta: crates/gam/src/lib.rs
+
+crates/gam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gam-9ac00c0005e8b017.d: crates/gam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgam-9ac00c0005e8b017.rmeta: crates/gam/src/lib.rs Cargo.toml
+
+crates/gam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

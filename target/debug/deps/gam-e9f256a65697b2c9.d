@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gam-e9f256a65697b2c9.d: crates/gam/src/lib.rs
+
+/root/repo/target/debug/deps/gam-e9f256a65697b2c9: crates/gam/src/lib.rs
+
+crates/gam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gam_integration-4cdde6ddd0ea8aea.d: crates/gam/tests/gam_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgam_integration-4cdde6ddd0ea8aea.rmeta: crates/gam/tests/gam_integration.rs Cargo.toml
+
+crates/gam/tests/gam_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gam_integration-4f719dc3d3d117e1.d: crates/gam/tests/gam_integration.rs
+
+/root/repo/target/debug/deps/gam_integration-4f719dc3d3d117e1: crates/gam/tests/gam_integration.rs
+
+crates/gam/tests/gam_integration.rs:

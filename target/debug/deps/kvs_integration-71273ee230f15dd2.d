@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvs_integration-71273ee230f15dd2.d: crates/kvs/tests/kvs_integration.rs
+
+/root/repo/target/debug/deps/kvs_integration-71273ee230f15dd2: crates/kvs/tests/kvs_integration.rs
+
+crates/kvs/tests/kvs_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvs_integration-aea9e7bdb87c19b1.d: crates/kvs/tests/kvs_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvs_integration-aea9e7bdb87c19b1.rmeta: crates/kvs/tests/kvs_integration.rs Cargo.toml
+
+crates/kvs/tests/kvs_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

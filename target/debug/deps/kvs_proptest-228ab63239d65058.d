@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvs_proptest-228ab63239d65058.d: crates/kvs/tests/kvs_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvs_proptest-228ab63239d65058.rmeta: crates/kvs/tests/kvs_proptest.rs Cargo.toml
+
+crates/kvs/tests/kvs_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

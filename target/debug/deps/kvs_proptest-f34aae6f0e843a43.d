@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvs_proptest-f34aae6f0e843a43.d: crates/kvs/tests/kvs_proptest.rs
+
+/root/repo/target/debug/deps/kvs_proptest-f34aae6f0e843a43: crates/kvs/tests/kvs_proptest.rs
+
+crates/kvs/tests/kvs_proptest.rs:

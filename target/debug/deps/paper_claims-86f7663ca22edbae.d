@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-86f7663ca22edbae.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-86f7663ca22edbae: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/primitives-c3c63842f7344ef1.d: crates/bench/benches/primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprimitives-c3c63842f7344ef1.rmeta: crates/bench/benches/primitives.rs Cargo.toml
+
+crates/bench/benches/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9d2b83ab3f96a5f4.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9d2b83ab3f96a5f4: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-7087a796e53d6f1c.d: crates/core/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-7087a796e53d6f1c: crates/core/tests/protocol.rs
+
+crates/core/tests/protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-f6b87bb22fde51ef.d: crates/core/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-f6b87bb22fde51ef.rmeta: crates/core/tests/protocol.rs Cargo.toml
+
+crates/core/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_edge-30605c519e161c2a.d: crates/core/tests/protocol_edge.rs
+
+/root/repo/target/debug/deps/protocol_edge-30605c519e161c2a: crates/core/tests/protocol_edge.rs
+
+crates/core/tests/protocol_edge.rs:

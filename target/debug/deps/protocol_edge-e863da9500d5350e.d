@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_edge-e863da9500d5350e.d: crates/core/tests/protocol_edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_edge-e863da9500d5350e.rmeta: crates/core/tests/protocol_edge.rs Cargo.toml
+
+crates/core/tests/protocol_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

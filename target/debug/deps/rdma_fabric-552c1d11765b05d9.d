@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rdma_fabric-552c1d11765b05d9.d: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+/root/repo/target/debug/deps/librdma_fabric-552c1d11765b05d9.rlib: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+/root/repo/target/debug/deps/librdma_fabric-552c1d11765b05d9.rmeta: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/fabric.rs:
+crates/fabric/src/fault.rs:
+crates/fabric/src/net.rs:
+crates/fabric/src/region.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rdma_fabric-de91081d8c948021.d: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+/root/repo/target/debug/deps/rdma_fabric-de91081d8c948021: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/fabric.rs:
+crates/fabric/src/fault.rs:
+crates/fabric/src/net.rs:
+crates/fabric/src/region.rs:

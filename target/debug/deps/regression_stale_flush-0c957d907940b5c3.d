@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression_stale_flush-0c957d907940b5c3.d: crates/core/tests/regression_stale_flush.rs
+
+/root/repo/target/debug/deps/regression_stale_flush-0c957d907940b5c3: crates/core/tests/regression_stale_flush.rs
+
+crates/core/tests/regression_stale_flush.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regression_stale_flush-cf0633b20cb87edf.d: crates/core/tests/regression_stale_flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregression_stale_flush-cf0633b20cb87edf.rmeta: crates/core/tests/regression_stale_flush.rs Cargo.toml
+
+crates/core/tests/regression_stale_flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay-1fa9663be6de619d.d: crates/core/tests/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-1fa9663be6de619d.rmeta: crates/core/tests/replay.rs Cargo.toml
+
+crates/core/tests/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

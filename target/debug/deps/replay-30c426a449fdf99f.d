@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay-30c426a449fdf99f.d: crates/core/tests/replay.rs
+
+/root/repo/target/debug/deps/replay-30c426a449fdf99f: crates/core/tests/replay.rs
+
+crates/core/tests/replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-0f12855bb9f532f3.d: crates/sim/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-0f12855bb9f532f3.rmeta: crates/sim/tests/stress.rs Cargo.toml
+
+crates/sim/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

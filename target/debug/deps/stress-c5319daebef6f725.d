@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-c5319daebef6f725.d: crates/sim/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-c5319daebef6f725: crates/sim/tests/stress.rs
+
+crates/sim/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-aa15725f7e04c2cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-aa15725f7e04c2cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-0f45469979902533.d: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libworkloads-0f45469979902533.rlib: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libworkloads-0f45469979902533.rmeta: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

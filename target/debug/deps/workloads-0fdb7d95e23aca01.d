@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/workloads-0fdb7d95e23aca01.d: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/workloads-0fdb7d95e23aca01: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-e221a5925c1519a6.d: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-e221a5925c1519a6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coherence_inspector-bf8b244a3ce5a353.d: examples/coherence_inspector.rs
+
+/root/repo/target/debug/examples/coherence_inspector-bf8b244a3ce5a353: examples/coherence_inspector.rs
+
+examples/coherence_inspector.rs:

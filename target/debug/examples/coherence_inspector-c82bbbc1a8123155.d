@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coherence_inspector-c82bbbc1a8123155.d: examples/coherence_inspector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoherence_inspector-c82bbbc1a8123155.rmeta: examples/coherence_inspector.rs Cargo.toml
+
+examples/coherence_inspector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_partition-8c737ef8a6452b46.d: examples/custom_partition.rs
+
+/root/repo/target/debug/examples/custom_partition-8c737ef8a6452b46: examples/custom_partition.rs
+
+examples/custom_partition.rs:

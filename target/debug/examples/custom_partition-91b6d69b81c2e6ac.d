@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_partition-91b6d69b81c2e6ac.d: examples/custom_partition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_partition-91b6d69b81c2e6ac.rmeta: examples/custom_partition.rs Cargo.toml
+
+examples/custom_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

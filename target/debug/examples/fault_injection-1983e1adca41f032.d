@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-1983e1adca41f032.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-1983e1adca41f032: examples/fault_injection.rs
+
+examples/fault_injection.rs:

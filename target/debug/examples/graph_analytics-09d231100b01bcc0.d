@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-09d231100b01bcc0.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-09d231100b01bcc0: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

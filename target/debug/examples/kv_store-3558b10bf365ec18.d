@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kv_store-3558b10bf365ec18.d: examples/kv_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkv_store-3558b10bf365ec18.rmeta: examples/kv_store.rs Cargo.toml
+
+examples/kv_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

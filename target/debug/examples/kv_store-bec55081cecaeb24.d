@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store-bec55081cecaeb24.d: examples/kv_store.rs
+
+/root/repo/target/debug/examples/kv_store-bec55081cecaeb24: examples/kv_store.rs
+
+examples/kv_store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kv_store-ea59dba23963b171.d: examples/kv_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkv_store-ea59dba23963b171.rmeta: examples/kv_store.rs Cargo.toml
+
+examples/kv_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fbea7d592f49ae05.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fbea7d592f49ae05: examples/quickstart.rs
+
+examples/quickstart.rs:

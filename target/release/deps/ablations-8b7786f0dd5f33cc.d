@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-8b7786f0dd5f33cc.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-8b7786f0dd5f33cc: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

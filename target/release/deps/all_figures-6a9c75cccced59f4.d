@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-6a9c75cccced59f4.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-6a9c75cccced59f4: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bcl-bc04ad96cf91ca1b.d: crates/bcl/src/lib.rs
+
+/root/repo/target/release/deps/libbcl-bc04ad96cf91ca1b.rlib: crates/bcl/src/lib.rs
+
+/root/repo/target/release/deps/libbcl-bc04ad96cf91ca1b.rmeta: crates/bcl/src/lib.rs
+
+crates/bcl/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/darray_bench-0b057ad165270ec7.d: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdarray_bench-0b057ad165270ec7.rlib: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdarray_bench-0b057ad165270ec7.rmeta: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/graphs.rs:
+crates/bench/src/kvsbench.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/operate.rs:
+crates/bench/src/report.rs:

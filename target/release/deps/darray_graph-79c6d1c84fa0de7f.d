@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/darray_graph-79c6d1c84fa0de7f.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+/root/repo/target/release/deps/libdarray_graph-79c6d1c84fa0de7f.rlib: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+/root/repo/target/release/deps/libdarray_graph-79c6d1c84fa0de7f.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/gam_engine.rs:
+crates/graph/src/gemini.rs:
+crates/graph/src/local.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/reference.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sssp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/darray_kvs-65ec76201667923a.d: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+/root/repo/target/release/deps/libdarray_kvs-65ec76201667923a.rlib: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+/root/repo/target/release/deps/libdarray_kvs-65ec76201667923a.rmeta: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+crates/kvs/src/lib.rs:
+crates/kvs/src/backend.rs:
+crates/kvs/src/entry.rs:
+crates/kvs/src/hash.rs:
+crates/kvs/src/slab.rs:
+crates/kvs/src/store.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/darray_repro-3db03c315bf35b00.d: src/lib.rs
+
+/root/repo/target/release/deps/libdarray_repro-3db03c315bf35b00.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdarray_repro-3db03c315bf35b00.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dsim-19f0f0c905488d02.d: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdsim-19f0f0c905488d02.rlib: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdsim-19f0f0c905488d02.rmeta: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/mailbox.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:

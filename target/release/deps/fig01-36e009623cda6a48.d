@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-36e009623cda6a48.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-36e009623cda6a48: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

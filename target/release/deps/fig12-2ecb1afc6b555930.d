@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-2ecb1afc6b555930.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-2ecb1afc6b555930: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-e2d015f35d30b4b5.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-e2d015f35d30b4b5: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

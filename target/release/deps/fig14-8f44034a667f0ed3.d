@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-8f44034a667f0ed3.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-8f44034a667f0ed3: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

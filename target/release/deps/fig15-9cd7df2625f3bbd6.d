@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-9cd7df2625f3bbd6.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-9cd7df2625f3bbd6: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-3fa6bc655c5528fb.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-3fa6bc655c5528fb: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-989b6e49ae46f3b7.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-989b6e49ae46f3b7: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

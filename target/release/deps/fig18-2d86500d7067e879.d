@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-2d86500d7067e879.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-2d86500d7067e879: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gam-17fea61c3b64af6a.d: crates/gam/src/lib.rs
+
+/root/repo/target/release/deps/libgam-17fea61c3b64af6a.rlib: crates/gam/src/lib.rs
+
+/root/repo/target/release/deps/libgam-17fea61c3b64af6a.rmeta: crates/gam/src/lib.rs
+
+crates/gam/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rdma_fabric-2a7360dd5ede5612.d: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+/root/repo/target/release/deps/librdma_fabric-2a7360dd5ede5612.rlib: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+/root/repo/target/release/deps/librdma_fabric-2a7360dd5ede5612.rmeta: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/fabric.rs:
+crates/fabric/src/fault.rs:
+crates/fabric/src/net.rs:
+crates/fabric/src/region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4e6d7d3df77327a7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4e6d7d3df77327a7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-472b2903ad37867b.d: examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-472b2903ad37867b: examples/fault_injection.rs
+
+examples/fault_injection.rs:

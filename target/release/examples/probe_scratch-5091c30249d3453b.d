@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_scratch-5091c30249d3453b.d: examples/probe_scratch.rs
+
+/root/repo/target/release/examples/probe_scratch-5091c30249d3453b: examples/probe_scratch.rs
+
+examples/probe_scratch.rs:

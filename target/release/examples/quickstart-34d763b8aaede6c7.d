@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-34d763b8aaede6c7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-34d763b8aaede6c7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,183 @@
+//! Chaos suite (gated behind the `chaos` feature): randomized fault
+//! schedules must never change *what* the cluster computes, only *when*.
+//!
+//! A mixed workload — writer-disjoint `set`s, `wlock`-protected
+//! read-modify-writes, and commutative `apply`s — has a timing-independent
+//! final state, so its contents under any fault schedule must match the
+//! fault-free run bit for bit. Run with:
+//!
+//! ```text
+//! cargo test --features chaos --test chaos
+//! ```
+#![cfg(feature = "chaos")]
+
+use std::sync::{Arc, Mutex};
+
+use darray::{
+    ArrayOptions, Cluster, ClusterConfig, DArrayError, FaultConfig, FaultPlan, Sim, SimConfig,
+};
+
+const LEN: usize = 3072;
+const NODES: usize = 3;
+
+/// Run the mixed workload; return (final contents, Σ rpc_timeouts,
+/// Σ retransmits, Σ dup_rpcs over all nodes).
+fn run_workload(cfg: ClusterConfig) -> (Vec<u64>, u64, u64, u64) {
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let add = cluster.ops().register_add_u64();
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        let contents = Arc::new(Mutex::new(Vec::new()));
+        let out = contents.clone();
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            let n = env.node;
+            // Writer-disjoint sets: every index is written by exactly one
+            // (node, k) pair, so the final value is timing-independent.
+            for k in 0..96 {
+                let idx = k * NODES + n;
+                a.set(ctx, idx, (n * 10_000 + k) as u64);
+            }
+            // Lock-protected increments of shared hot elements: increments
+            // commute, so only the count matters.
+            for k in 0..12 {
+                let idx = LEN - 1 - (k % 4);
+                a.wlock(ctx, idx);
+                let v = a.get(ctx, idx);
+                a.set(ctx, idx, v + 1);
+                a.unlock(ctx, idx);
+            }
+            // Commutative applies on a contended range.
+            for k in 0..64 {
+                a.apply(ctx, LEN / 2 + k, add, (n + 1) as u64);
+            }
+            env.barrier(ctx);
+            if n == 0 {
+                let mut v = Vec::with_capacity(LEN);
+                for i in 0..LEN {
+                    v.push(a.get(ctx, i));
+                }
+                *out.lock().unwrap() = v;
+            }
+            env.barrier(ctx);
+        });
+        let (mut timeouts, mut retransmits, mut dups) = (0, 0, 0);
+        for node in 0..NODES {
+            let s = cluster.stats(node);
+            timeouts += s.rpc_timeouts;
+            retransmits += s.retransmits;
+            dups += s.dup_rpcs;
+        }
+        cluster.shutdown(ctx);
+        let v = contents.lock().unwrap().clone();
+        (v, timeouts, retransmits, dups)
+    })
+}
+
+fn chaotic_config(seed: u64) -> ClusterConfig {
+    let mut plan = FaultPlan::new(seed);
+    plan.jitter_ns = 600;
+    plan.drop_ppm = 30_000;
+    plan.stall_ppm = 2_000;
+    plan.stall_ns = (5_000, 25_000);
+    let mut cfg = ClusterConfig::with_nodes(NODES);
+    cfg.fault = Some(FaultConfig::new(plan));
+    cfg
+}
+
+/// The expected final contents, independent of faults and timing.
+fn expected_contents() -> Vec<u64> {
+    let mut v = vec![0u64; LEN];
+    for n in 0..NODES {
+        for k in 0..96 {
+            v[k * NODES + n] = (n * 10_000 + k) as u64;
+        }
+    }
+    for e in v.iter_mut().skip(LEN - 4).take(4) {
+        *e += (NODES * 3) as u64; // 12 increments cycling over 4 elements
+    }
+    for e in v.iter_mut().skip(LEN / 2).take(64) {
+        *e += (1 + 2 + 3) as u64; // Σ (n+1) over the 3 nodes
+    }
+    v
+}
+
+#[test]
+fn chaos_matches_fault_free_baseline_across_seeds() {
+    let baseline = {
+        let (contents, timeouts, retransmits, dups) =
+            run_workload(ClusterConfig::with_nodes(NODES));
+        assert_eq!(
+            (timeouts, retransmits, dups),
+            (0, 0, 0),
+            "fault-free run must not exercise the reliability machinery"
+        );
+        assert_eq!(contents, expected_contents());
+        contents
+    };
+    for seed in [3, 5, 11, 17, 23, 31, 47, 0xC0FFEE] {
+        let (contents, timeouts, retransmits, _dups) = run_workload(chaotic_config(seed));
+        assert_eq!(
+            contents, baseline,
+            "final contents diverged from the fault-free run under seed {seed}"
+        );
+        assert!(
+            timeouts > 0 && retransmits > 0,
+            "seed {seed} injected no observable faults (timeouts={timeouts}, \
+             retransmits={retransmits}); the schedule is too tame to test recovery"
+        );
+    }
+}
+
+#[test]
+fn crash_is_detected_and_degrades_gracefully() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let mut plan = FaultPlan::new(7);
+        plan.crash_at = vec![(1, 2_000_000)];
+        let mut fc = FaultConfig::new(plan);
+        fc.rpc_timeout_ns = 50_000;
+        fc.max_retries = 3;
+        let mut cfg = ClusterConfig::with_nodes(2);
+        cfg.fault = Some(fc);
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(8192, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            if env.node == 0 {
+                // Pre-crash: a remote chunk homed on node 1 works normally
+                // (and stays cached with Exclusive rights).
+                a.set(ctx, 4096, 7);
+                assert_eq!(a.get(ctx, 4096), 7);
+                // Wait past the crash, then touch a chunk that was never
+                // cached: the fill times out, retries, and fails over.
+                ctx.sleep(3_000_000);
+                assert_eq!(
+                    a.try_set(ctx, 7000, 1),
+                    Err(DArrayError::NodeUnavailable { node: 1 })
+                );
+                // Locks homed on the dead node fail fast.
+                assert_eq!(
+                    a.try_wlock(ctx, 7000),
+                    Err(DArrayError::NodeUnavailable { node: 1 })
+                );
+                // Graceful degradation: local chunks and already-cached
+                // remote chunks keep working.
+                a.set(ctx, 10, 3);
+                assert_eq!(a.get(ctx, 10), 3);
+                assert_eq!(a.try_get(ctx, 4096), Ok(7));
+            } else {
+                // The "crashed" node's CPU is alive (fail-stop cuts only its
+                // network); purely local work still succeeds.
+                a.set(ctx, 5000, 5);
+                assert_eq!(a.get(ctx, 5000), 5);
+            }
+        });
+        let s0 = cluster.stats(0);
+        assert!(s0.rpc_timeouts >= 1, "no timeout recorded: {s0:?}");
+        assert!(
+            s0.peers_down == 1,
+            "node 0 should declare exactly node 1 down: {s0:?}"
+        );
+        cluster.shutdown(ctx);
+    });
+}

@@ -61,7 +61,13 @@ fn whole_stack_is_deterministic() {
                 .flat_map(|n| {
                     let s = cluster.stats(n);
                     let nic = cluster.nic_stats(n);
-                    vec![s.fills, s.slow_misses, s.operand_flushes, nic.sends, nic.send_bytes]
+                    vec![
+                        s.fills,
+                        s.slow_misses,
+                        s.operand_flushes,
+                        nic.sends,
+                        nic.send_bytes,
+                    ]
                 })
                 .collect();
             cluster.shutdown(ctx);

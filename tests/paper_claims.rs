@@ -10,9 +10,7 @@ use darray_bench::operate::zipf_update;
 #[test]
 fn figure1_shape_builtin_pin_darray_gam_bcl() {
     let ops = 8_192;
-    let lat = |sys| {
-        micro(sys, Op::Read, Pattern::Sequential, 1, 1, 8_192, ops).avg_latency_ns(ops)
-    };
+    let lat = |sys| micro(sys, Op::Read, Pattern::Sequential, 1, 1, 8_192, ops).avg_latency_ns(ops);
     let builtin = lat(System::Builtin);
     let pin = lat(System::DArrayPin);
     let darray = lat(System::DArray);
@@ -28,8 +26,24 @@ fn figure1_shape_builtin_pin_darray_gam_bcl() {
 fn figure15_pin_speedup_in_paper_range() {
     // Paper: 1.8x – 2.9x across node counts.
     for nodes in [2usize, 4] {
-        let plain = micro(System::DArray, Op::Read, Pattern::Sequential, nodes, 1, 8_192, 20_000);
-        let pin = micro(System::DArrayPin, Op::Read, Pattern::Sequential, nodes, 1, 8_192, 20_000);
+        let plain = micro(
+            System::DArray,
+            Op::Read,
+            Pattern::Sequential,
+            nodes,
+            1,
+            8_192,
+            20_000,
+        );
+        let pin = micro(
+            System::DArrayPin,
+            Op::Read,
+            Pattern::Sequential,
+            nodes,
+            1,
+            8_192,
+            20_000,
+        );
         let speedup = pin.mops() / plain.mops();
         assert!(
             (1.5..=4.0).contains(&speedup),
@@ -44,8 +58,18 @@ fn figure14_operate_dominates_locks_and_scales() {
     let op4 = zipf_update(4, 16_384, 3_000, true);
     let lk4 = zipf_update(4, 16_384, 600, false);
     // Operate throughput grows with nodes; lock-based is far behind.
-    assert!(op4.mops() > op1.mops() * 1.5, "{} vs {}", op4.mops(), op1.mops());
-    assert!(op4.mops() > lk4.mops() * 20.0, "{} vs {}", op4.mops(), lk4.mops());
+    assert!(
+        op4.mops() > op1.mops() * 1.5,
+        "{} vs {}",
+        op4.mops(),
+        op1.mops()
+    );
+    assert!(
+        op4.mops() > lk4.mops() * 20.0,
+        "{} vs {}",
+        op4.mops(),
+        lk4.mops()
+    );
 }
 
 #[test]
