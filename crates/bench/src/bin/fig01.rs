@@ -3,7 +3,7 @@
 //! Compares a builtin array, BCL, GAM, DArray and DArray-Pin.
 
 use darray_bench::micro::{micro, Op, Pattern, System};
-use darray_bench::report::{fmt, print_table};
+use darray_bench::report::{fmt, print_table, write_bench_json};
 
 fn main() {
     let fast = darray_bench::fast_mode();
@@ -19,6 +19,7 @@ fn main() {
         System::DArrayPin,
     ];
     let mut rows = Vec::new();
+    let mut traffic = Vec::new();
     for sys in systems {
         let o = if sys == System::Bcl { bcl_ops } else { ops };
         let single = micro(sys, Op::Read, Pattern::Sequential, 1, 1, elems_per_node, o);
@@ -26,7 +27,11 @@ fn main() {
         let lat6 = if sys == System::Builtin {
             f64::NAN // a builtin array does not distribute
         } else {
-            micro(sys, Op::Read, Pattern::Sequential, 6, 1, elems_per_node, o).avg_latency_ns(o)
+            let six = micro(sys, Op::Read, Pattern::Sequential, 6, 1, elems_per_node, o);
+            if matches!(sys, System::DArray | System::DArrayPin) {
+                traffic.push((format!("{}_seq_read_6n", sys.label()), six.protocol));
+            }
+            six.avg_latency_ns(o)
         };
         rows.push(vec![
             sys.label().to_string(),
@@ -47,4 +52,8 @@ fn main() {
         "\npaper: BCL distributed ≈ RDMA round trip (~2 µs); GAM lower than \
          BCL remotely but far above builtin locally; DArray low; DArray-Pin lowest."
     );
+    match write_bench_json("fig01", &traffic) {
+        Ok(p) => println!("protocol traffic written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_fig01.json: {e}"),
+    }
 }

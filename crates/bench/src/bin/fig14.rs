@@ -2,7 +2,7 @@
 //! Operate interface vs WLock+Read+Write, one thread per node.
 
 use darray_bench::operate::zipf_update;
-use darray_bench::report::{fmt, print_table};
+use darray_bench::report::{fmt, print_table, write_bench_json};
 
 fn main() {
     let fast = darray_bench::fast_mode();
@@ -13,9 +13,12 @@ fn main() {
 
     let mut thr = Vec::new();
     let mut lat = Vec::new();
+    let mut traffic = Vec::new();
     for &n in node_counts {
         let o = zipf_update(n, len, op_ops, true);
         let l = zipf_update(n, len, lk_ops, false);
+        traffic.push((format!("operate_{n}n"), o.protocol));
+        traffic.push((format!("lock_{n}n"), l.protocol));
         thr.push(vec![n.to_string(), fmt(o.mops()), fmt(l.mops())]);
         lat.push(vec![
             n.to_string(),
@@ -34,4 +37,8 @@ fn main() {
         &lat,
     );
     println!("\npaper: Operate scales with nodes at flat latency; the lock-based scheme's throughput stalls and its latency grows sharply (exclusive-ownership contention).");
+    match write_bench_json("fig14", &traffic) {
+        Ok(p) => println!("protocol traffic written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_fig14.json: {e}"),
+    }
 }

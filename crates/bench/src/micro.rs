@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::report::ProtocolTraffic;
 use bcl::BclCluster;
 use darray::{ArrayOptions, Cluster, ClusterConfig, PinMode, Sim, SimConfig, VTime};
 use gam::{gam_config, GamCluster};
@@ -62,6 +63,9 @@ pub struct MicroOut {
     pub total_ops: u64,
     /// Max over threads of their measured window (virtual ns).
     pub elapsed: VTime,
+    /// Coherence traffic behind the run (all-zero for non-DArray systems,
+    /// which have no protocol machines to count).
+    pub protocol: ProtocolTraffic,
 }
 
 impl MicroOut {
@@ -122,6 +126,7 @@ fn builtin_micro(_op: Op, len: usize, ops: u64) -> MicroOut {
         MicroOut {
             total_ops: ops,
             elapsed: ctx.now(),
+            protocol: ProtocolTraffic::default(),
         }
     })
 }
@@ -215,6 +220,7 @@ fn darray_micro(
         let out = MicroOut {
             total_ops: ops_per_thread * (nodes * threads) as u64,
             elapsed: elapsed.load(Ordering::Relaxed),
+            protocol: ProtocolTraffic::collect(&cluster),
         };
         cluster.shutdown(ctx);
         out
@@ -262,6 +268,7 @@ fn gam_micro(
         let out = MicroOut {
             total_ops: ops_per_thread * (nodes * threads) as u64,
             elapsed: elapsed.load(Ordering::Relaxed),
+            protocol: ProtocolTraffic::default(),
         };
         g.shutdown(ctx);
         out
@@ -319,6 +326,7 @@ fn bcl_micro(
         MicroOut {
             total_ops: ops_per_thread * (nodes * threads) as u64,
             elapsed: elapsed.load(Ordering::Relaxed),
+            protocol: ProtocolTraffic::default(),
         }
     })
 }

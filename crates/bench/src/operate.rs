@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::report::ProtocolTraffic;
 use darray::{ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig, VTime};
 use workloads::{Rng, Zipfian};
 
@@ -13,6 +14,10 @@ use workloads::{Rng, Zipfian};
 pub struct Fig14Out {
     pub total_ops: u64,
     pub elapsed: VTime,
+    /// Coherence traffic behind the run; the Operate path shows up as
+    /// `operand_flushes`/`operated_reductions`, the lock emulation as
+    /// recall/invalidate ping-pong.
+    pub protocol: ProtocolTraffic,
 }
 
 impl Fig14Out {
@@ -60,6 +65,7 @@ pub fn zipf_update(nodes: usize, len: usize, ops_per_node: u64, use_operate: boo
         let out = Fig14Out {
             total_ops: ops_per_node * nodes as u64,
             elapsed: elapsed.load(Ordering::Relaxed),
+            protocol: ProtocolTraffic::collect(&cluster),
         };
         cluster.shutdown(ctx);
         out

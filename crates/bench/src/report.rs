@@ -1,4 +1,10 @@
-//! Table formatting and scalability helpers for the figure binaries.
+//! Table formatting, scalability helpers and the BENCH_*.json
+//! protocol-traffic reports for the figure binaries.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use darray::{Cluster, NodeStatsSnapshot};
 
 /// Print a markdown table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -35,6 +41,99 @@ pub fn fmt(v: f64) -> String {
     }
 }
 
+/// Cluster-wide protocol message traffic, summed over nodes from the
+/// per-transition counters the protocol machines emit (`NodeStats`).
+/// This is the coherence cost behind a benchmark's headline number: a
+/// workload whose throughput regresses while its `invalidations`/`recalls`
+/// climb is suffering protocol ping-pong, not compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolTraffic {
+    /// Chunk fills sent by home nodes (shared + exclusive).
+    pub fills: u64,
+    /// Invalidation requests sent to sharers.
+    pub invalidations: u64,
+    /// Recall/downgrade messages honored by owners.
+    pub recalls: u64,
+    /// Dirty-data writebacks to home.
+    pub writebacks: u64,
+    /// Combined-operand flushes to home.
+    pub operand_flushes: u64,
+    /// Remote operand buffers reduced into a home subarray.
+    pub operated_reductions: u64,
+    /// Cachelines reclaimed by the watermark eviction scan.
+    pub evictions: u64,
+    /// Structured protocol state transitions (home + cache machines).
+    pub transitions: u64,
+}
+
+impl ProtocolTraffic {
+    /// Accumulate one node's counters.
+    pub fn add(&mut self, s: &NodeStatsSnapshot) {
+        self.fills += s.fills;
+        self.invalidations += s.invalidations;
+        self.recalls += s.recalls;
+        self.writebacks += s.writebacks;
+        self.operand_flushes += s.operand_flushes;
+        self.operated_reductions += s.operated_reductions;
+        self.evictions += s.evictions;
+        self.transitions += s.transitions;
+    }
+
+    /// Sum the counters of every node in a cluster (call before shutdown).
+    pub fn collect(cluster: &Cluster) -> Self {
+        let mut t = Self::default();
+        for n in 0..cluster.config().nodes {
+            t.add(&cluster.stats(n));
+        }
+        t
+    }
+
+    /// The JSON object for one BENCH_*.json section.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"fills\":{},\"invalidations\":{},\"recalls\":{},\"writebacks\":{},\
+             \"operand_flushes\":{},\"operated_reductions\":{},\"evictions\":{},\
+             \"transitions\":{}}}",
+            self.fills,
+            self.invalidations,
+            self.recalls,
+            self.writebacks,
+            self.operand_flushes,
+            self.operated_reductions,
+            self.evictions,
+            self.transitions
+        )
+    }
+}
+
+/// Render the BENCH_*.json body: one protocol-traffic section per labelled
+/// configuration.
+pub fn render_bench_json(name: &str, sections: &[(String, ProtocolTraffic)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    s.push_str("  \"protocol_traffic\": {\n");
+    for (i, (label, t)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        s.push_str(&format!("    \"{label}\": {}{comma}\n", t.json()));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Write `BENCH_<name>.json` into the current directory and return its
+/// path. Virtual-time determinism makes the file byte-identical across
+/// runs of the same binary.
+pub fn write_bench_json(
+    name: &str,
+    sections: &[(String, ProtocolTraffic)],
+) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(render_bench_json(name, sections).as_bytes())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +156,56 @@ mod tests {
         assert_eq!(fmt(123.4), "123");
         assert_eq!(fmt(3.146), "3.15");
         assert_eq!(fmt(0.1234), "0.1234");
+    }
+
+    #[test]
+    fn protocol_traffic_json_names_every_counter() {
+        let t = ProtocolTraffic {
+            fills: 1,
+            invalidations: 2,
+            recalls: 3,
+            writebacks: 4,
+            operand_flushes: 5,
+            operated_reductions: 6,
+            evictions: 7,
+            transitions: 8,
+        };
+        let j = t.json();
+        for key in [
+            "\"fills\":1",
+            "\"invalidations\":2",
+            "\"recalls\":3",
+            "\"writebacks\":4",
+            "\"operand_flushes\":5",
+            "\"operated_reductions\":6",
+            "\"evictions\":7",
+            "\"transitions\":8",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn bench_json_body_shape() {
+        let t = ProtocolTraffic {
+            fills: 42,
+            ..Default::default()
+        };
+        let body = render_bench_json(
+            "unit",
+            &[
+                ("seq_read".to_string(), t),
+                ("seq_write".to_string(), ProtocolTraffic::default()),
+            ],
+        );
+        assert!(body.contains("\"bench\": \"unit\""));
+        assert!(body.contains("\"seq_read\""));
+        assert!(body.contains("\"fills\":42"));
+        assert!(body.trim_end().ends_with('}'));
+        assert_eq!(
+            body.matches("\"fills\"").count(),
+            2,
+            "one object per section"
+        );
     }
 }

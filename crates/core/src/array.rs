@@ -155,15 +155,15 @@ impl<T: Element> DArray<T> {
                     if lock_based {
                         d.chunk_lock.unlock(ctx);
                     }
-                    if crate::trace::array_matches(self.arr.id) {
-                        crate::trace::trace_chunk!(
-                            chunk,
-                            "t={} node{} APP-MISS want={:?} state={:?}",
-                            ctx.now(),
-                            self.node,
-                            want,
-                            st
-                        );
+                    crate::trace::event(
+                        self.arr.id,
+                        chunk as u32,
+                        self.node,
+                        ctx.now(),
+                        format_args!("APP-MISS want={:?} state={:?}", want, st),
+                    );
+                    if let Some(message) = self.shared.protocol_fault.get() {
+                        return Err(DArrayError::ProtocolInvariant { message });
                     }
                     let home = layout.home_of_chunk(chunk);
                     if home != self.node && self.shared.is_peer_down(self.node, home) {
@@ -335,6 +335,9 @@ impl<T: Element> DArray<T> {
     ) -> Result<(), DArrayError> {
         assert!(index < self.len());
         let home = self.arr.layout.home_of(index);
+        if let Some(message) = self.shared.protocol_fault.get() {
+            return Err(DArrayError::ProtocolInvariant { message });
+        }
         if home != self.node && self.shared.is_peer_down(self.node, home) {
             return Err(DArrayError::NodeUnavailable { node: home });
         }
@@ -345,6 +348,9 @@ impl<T: Element> DArray<T> {
                 kind,
             },
         );
+        if let Some(message) = self.shared.protocol_fault.get() {
+            return Err(DArrayError::ProtocolInvariant { message });
+        }
         if home != self.node && self.shared.is_peer_down(self.node, home) {
             return Err(DArrayError::NodeUnavailable { node: home });
         }

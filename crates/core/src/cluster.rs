@@ -157,6 +157,7 @@ impl Cluster {
             stats,
             rel_mailboxes: rel_queues.clone(),
             peer_down,
+            protocol_fault: Default::default(),
         });
 
         let mut service_handles = Vec::new();

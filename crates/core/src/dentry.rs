@@ -15,10 +15,9 @@ use parking_lot::Mutex;
 
 use crate::state::LocalState;
 
-/// Sentinel: no cacheline attached.
-pub(crate) const LINE_NONE: u32 = u32::MAX;
-/// Sentinel: data lives in the home subarray, not the cache.
-pub(crate) const LINE_HOME: u32 = u32::MAX - 1;
+// Line sentinels are part of the protocol vocabulary; re-exported here for
+// the executor and interface layers that index dentries.
+pub(crate) use crate::protocol::{LINE_HOME, LINE_NONE};
 
 /// What an application thread wants from a chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -12,7 +12,7 @@ use rdma_fabric::NodeId;
 /// The infallible variants (`get` & co.) panic on these — appropriate for
 /// workloads that assume a healthy cluster. Fault-tolerant applications use
 /// the `try_` forms and handle degradation themselves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DArrayError {
     /// The home node of the requested element has been declared unreachable:
     /// a reliable RPC to it exhausted `FaultConfig::max_retries`
@@ -22,6 +22,15 @@ pub enum DArrayError {
         /// The unreachable node.
         node: NodeId,
     },
+    /// A runtime thread observed a coherence- or lock-protocol invariant
+    /// violation (e.g. a lock grant arriving with no recorded waiter). The
+    /// cluster is poisoned: the first diagnostic is recorded and every
+    /// subsequent `try_*` call returns it, instead of aborting the process
+    /// from inside a runtime thread.
+    ProtocolInvariant {
+        /// Human-readable diagnostic captured at the point of violation.
+        message: String,
+    },
 }
 
 impl fmt::Display for DArrayError {
@@ -29,6 +38,9 @@ impl fmt::Display for DArrayError {
         match self {
             DArrayError::NodeUnavailable { node } => {
                 write!(f, "node {node} is unavailable (RPC retries exhausted)")
+            }
+            DArrayError::ProtocolInvariant { message } => {
+                write!(f, "protocol invariant violated: {message}")
             }
         }
     }
@@ -124,5 +136,11 @@ mod tests {
         .contains("watermark"));
         let e = DArrayError::NodeUnavailable { node: 3 };
         assert!(e.to_string().contains("node 3"));
+        let e = DArrayError::ProtocolInvariant {
+            message: "LockGrant with no registered waiter".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("protocol invariant violated"));
+        assert!(s.contains("no registered waiter"), "diagnostic preserved");
     }
 }

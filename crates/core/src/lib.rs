@@ -61,7 +61,6 @@ mod cluster;
 mod comm;
 mod config;
 mod dentry;
-mod directory;
 mod element;
 mod error;
 mod layout;
@@ -69,12 +68,12 @@ mod lock;
 mod msg;
 mod op;
 mod pin;
+pub mod protocol;
 mod runtime;
 mod shared;
 mod state;
-#[macro_use]
-mod trace;
 mod stats;
+mod trace;
 
 pub use array::DArray;
 pub use cluster::{Cluster, GlobalArray, NodeEnv};

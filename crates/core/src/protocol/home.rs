@@ -1,0 +1,1042 @@
+//! The home-side **directory machine** of one chunk (Figure 9, home rows).
+//!
+//! [`HomeMachine`] owns the chunk's global protocol state — the four stable
+//! [`DirState`]s, the [`Transient`] phase of a multi-message transition, the
+//! grace-window timestamp of the most recent grant, and the queue of
+//! requests waiting for the chunk to stabilize. It consumes [`HomeEvent`]s
+//! and returns [`HomeAction`]s; it never touches the network, the home
+//! dentry, memory regions, or the clock (time is an argument).
+
+use std::collections::VecDeque;
+
+use crate::op::OpId;
+use crate::state::{DirState, LocalState};
+
+use super::{Counter, Kind, NodeId, Request, Requester, Transition, NOTAG};
+
+/// Transient phase of a home-side transition that is waiting for remote
+/// replies or a local reference drain. While a transient is pending, new
+/// requests queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transient {
+    /// The chunk is stable; requests are serviced immediately.
+    None,
+    /// Waiting for `InvalidateAck`s (or crossing `EvictNotice`s) from these
+    /// nodes.
+    AwaitInvAcks {
+        /// Nodes that have not acknowledged yet.
+        waiting: Vec<NodeId>,
+    },
+    /// Waiting for a Dirty writeback from `from`.
+    AwaitWriteback {
+        /// The Dirty owner being recalled or downgraded.
+        from: NodeId,
+    },
+    /// Waiting for operand flushes (of operator `op`) from these nodes.
+    AwaitFlushes {
+        /// The operator epoch being closed.
+        op: u32,
+        /// Nodes that have not flushed yet.
+        waiting: Vec<NodeId>,
+    },
+    /// Waiting for the home dentry's references to drain.
+    HomeDrain,
+    /// Waiting out the minimum-hold grace window of a fresh grant; a
+    /// [`HomeEvent::RetryExpired`] clears it.
+    GraceWait,
+}
+
+impl Transient {
+    /// Is the chunk stable (no transient pending)?
+    pub fn is_none(&self) -> bool {
+        matches!(self, Transient::None)
+    }
+
+    /// Short name for traces and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transient::None => "None",
+            Transient::AwaitInvAcks { .. } => "AwaitInvAcks",
+            Transient::AwaitWriteback { .. } => "AwaitWriteback",
+            Transient::AwaitFlushes { .. } => "AwaitFlushes",
+            Transient::HomeDrain => "HomeDrain",
+            Transient::GraceWait => "GraceWait",
+        }
+    }
+}
+
+/// Everything the home-side directory machine can react to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HomeEvent<W> {
+    /// A new Read/Write/Operate request arrived (local or remote).
+    Request(Request<W>),
+    /// A remote node acknowledged an `InvalidateReq`.
+    InvAck {
+        /// The acknowledging node.
+        from: NodeId,
+    },
+    /// A remote node silently dropped its Shared copy.
+    EvictNotice {
+        /// The evicting node.
+        from: NodeId,
+    },
+    /// A remote node wrote its Dirty data back (RDMA write already landed).
+    Writeback {
+        /// The (former) Dirty owner.
+        from: NodeId,
+        /// True if the sender kept a Shared copy.
+        downgrade: bool,
+    },
+    /// A remote node flushed its combined operands.
+    Flush {
+        /// The flushing node.
+        from: NodeId,
+        /// The operator the operands belong to.
+        op: u32,
+        /// True if the flush carries operand data to reduce.
+        has_data: bool,
+    },
+    /// The home dentry's reference drain (started by
+    /// [`HomeAction::StartHomeDrain`]) completed.
+    Drained,
+    /// The grace-window retry scheduled by [`HomeAction::ScheduleRetry`]
+    /// fired.
+    RetryExpired,
+    /// The local failure detector declared `dead` unreachable; erase it
+    /// from all bookkeeping and resume anything that waited on it.
+    PeerDown {
+        /// The dead node.
+        dead: NodeId,
+    },
+}
+
+/// Everything the home-side directory machine can ask its executor to do.
+/// Actions must be executed in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HomeAction<W> {
+    /// Charge the directory-update CPU cost (one per serviced request).
+    ChargeDirUpdate,
+    /// Wake a local requester: its rights are granted.
+    Wake(W),
+    /// RDMA-write the chunk's home data into the requester's cacheline at
+    /// `dst_off` and send the matching fill notification.
+    SendFill {
+        /// Requesting node.
+        to: NodeId,
+        /// Destination word offset in the requester's cache region.
+        dst_off: u64,
+        /// True for `FillExclusive`, false for `FillShared`.
+        exclusive: bool,
+    },
+    /// Send `GrantOperated` (no data travels for grants).
+    SendGrant {
+        /// Requesting node.
+        to: NodeId,
+        /// Operator id granted.
+        op: u32,
+    },
+    /// Send `InvalidateReq`.
+    SendInvalidate {
+        /// A current sharer.
+        to: NodeId,
+    },
+    /// Send `RecallDirty`.
+    SendRecallDirty {
+        /// The Dirty owner.
+        to: NodeId,
+    },
+    /// Send `DowngradeDirty`.
+    SendDowngrade {
+        /// The Dirty owner.
+        to: NodeId,
+    },
+    /// Send `RecallOperated`.
+    SendRecallOperated {
+        /// A current Operated sharer.
+        to: NodeId,
+        /// The operator epoch being recalled.
+        op: u32,
+    },
+    /// Reduce the flush payload accompanying the current event into the
+    /// home subarray under operator `op` (operand data must never be lost).
+    ApplyFlushData {
+        /// Operator to combine under.
+        op: u32,
+    },
+    /// Install new local rights on the *home* dentry (a Figure-6 promotion;
+    /// no drain needed).
+    SetHomeLocal {
+        /// New local state.
+        state: LocalState,
+        /// New operator tag ([`NOTAG`] unless Operated).
+        tag: u32,
+    },
+    /// Begin a Figure-5 drain of the home dentry towards `target`; the
+    /// executor feeds [`HomeEvent::Drained`] back once references are gone.
+    StartHomeDrain {
+        /// State installed at drain start.
+        target: LocalState,
+        /// Operator tag installed at drain start.
+        tag: u32,
+    },
+    /// Re-deliver [`HomeEvent::RetryExpired`] at absolute time `at`.
+    ScheduleRetry {
+        /// Absolute (virtual) time to resume servicing.
+        at: u64,
+    },
+    /// A state transition happened (structured trace; also counted).
+    Trace(Transition),
+    /// Bump a protocol counter.
+    Count(Counter),
+}
+
+/// The home-side directory machine of one chunk. Generic over the opaque
+/// local-waiter token `W` (a wait-cell in the runtime, a plain integer in
+/// tests).
+#[derive(Debug)]
+pub struct HomeMachine<W> {
+    state: DirState,
+    transient: Transient,
+    /// Time of the most recent grant — the start of the grace window.
+    granted_at: u64,
+    /// The request being serviced by the pending transient.
+    current: Option<Request<W>>,
+    /// Requests waiting for the chunk to become stable.
+    pending: VecDeque<Request<W>>,
+}
+
+impl<W> Default for HomeMachine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> HomeMachine<W> {
+    /// A fresh chunk: Unshared, stable, no queued requests.
+    pub fn new() -> Self {
+        Self {
+            state: DirState::Unshared,
+            transient: Transient::None,
+            granted_at: 0,
+            current: None,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The current stable directory state.
+    pub fn state(&self) -> &DirState {
+        &self.state
+    }
+
+    /// The current transient phase.
+    pub fn transient(&self) -> &Transient {
+        &self.transient
+    }
+
+    /// Number of queued (not yet serviced) requests.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Is a request parked behind a pending transient?
+    pub fn has_current(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Feed one event; returns the actions the executor must perform, in
+    /// order. `now` is the current (virtual) time and `grace_ns` the
+    /// minimum-hold grace window of fresh grants (0 disables it).
+    pub fn on_event(&mut self, now: u64, grace_ns: u64, ev: HomeEvent<W>) -> Vec<HomeAction<W>> {
+        let mut out = Vec::new();
+        match ev {
+            HomeEvent::Request(req) => {
+                self.pending.push_back(req);
+                self.progress(now, grace_ns, &mut out);
+            }
+            HomeEvent::InvAck { from } => {
+                // Only a live invalidation epoch may count the ack; a stale
+                // ack (an EvictNotice already accounted for it) is ignored.
+                if matches!(self.transient, Transient::AwaitInvAcks { .. }) {
+                    self.remove_sharer(from);
+                    if self.transient_remove(from) {
+                        self.finish_transient(now, grace_ns, &mut out);
+                    }
+                }
+            }
+            HomeEvent::EvictNotice { from } => match &self.transient {
+                Transient::AwaitInvAcks { .. } => {
+                    // A crossing eviction satisfies the ack set.
+                    self.remove_sharer(from);
+                    if self.transient_remove(from) {
+                        self.finish_transient(now, grace_ns, &mut out);
+                    }
+                }
+                _ => {
+                    if matches!(self.state, DirState::Shared { .. }) && self.remove_sharer(from) {
+                        // Last sharer gone: home regains exclusivity
+                        // (Figure 6 promotion).
+                        self.set_state(DirState::Unshared, "last-sharer-evicted", &mut out);
+                        out.push(HomeAction::SetHomeLocal {
+                            state: LocalState::Exclusive,
+                            tag: NOTAG,
+                        });
+                    }
+                }
+            },
+            HomeEvent::Writeback { from, downgrade } => {
+                let expected =
+                    matches!(&self.transient, Transient::AwaitWriteback { from: f } if *f == from);
+                if expected {
+                    if downgrade {
+                        self.set_state(
+                            DirState::Shared {
+                                sharers: vec![from],
+                            },
+                            "writeback-downgrade",
+                            &mut out,
+                        );
+                        out.push(HomeAction::SetHomeLocal {
+                            state: LocalState::Shared,
+                            tag: NOTAG,
+                        });
+                    } else {
+                        self.set_state(DirState::Unshared, "writeback", &mut out);
+                        out.push(HomeAction::SetHomeLocal {
+                            state: LocalState::Exclusive,
+                            tag: NOTAG,
+                        });
+                    }
+                    self.finish_transient(now, grace_ns, &mut out);
+                } else if matches!(self.state, DirState::Dirty { owner } if owner == from) {
+                    // Voluntary eviction writeback.
+                    self.set_state(DirState::Unshared, "voluntary-writeback", &mut out);
+                    out.push(HomeAction::SetHomeLocal {
+                        state: LocalState::Exclusive,
+                        tag: NOTAG,
+                    });
+                }
+                // else: stale notice (the transient already completed via a
+                // different path); the data write is idempotent.
+            }
+            HomeEvent::Flush { from, op, has_data } => {
+                // Reduce first — operand data must never be lost, whatever
+                // the bookkeeping below decides.
+                if has_data {
+                    out.push(HomeAction::ApplyFlushData { op });
+                    out.push(HomeAction::Count(Counter::OperatedReductions));
+                }
+                match &self.transient {
+                    // Epoch check: only a flush of the operator being
+                    // recalled may shrink the waiting set — a crossing flush
+                    // of an older operator must not be miscounted against
+                    // the current epoch.
+                    Transient::AwaitFlushes { op: top, .. } if *top == op => {
+                        self.remove_sharer(from);
+                        if self.transient_remove(from) {
+                            self.set_state(DirState::Unshared, "flushes-complete", &mut out);
+                            out.push(HomeAction::SetHomeLocal {
+                                state: LocalState::Exclusive,
+                                tag: NOTAG,
+                            });
+                            self.finish_transient(now, grace_ns, &mut out);
+                        }
+                    }
+                    _ => {
+                        if matches!(&self.state, DirState::Operated { op: cur, .. } if cur.0 == op)
+                        {
+                            // Voluntary eviction flush of the current epoch:
+                            // the home keeps the Operated state (it may
+                            // still be combining locally); the next
+                            // Read/Write promotes lazily.
+                            self.remove_sharer(from);
+                        }
+                        // Flushes of other epochs were already reduced
+                        // above; their bookkeeping was settled when their
+                        // epoch closed.
+                    }
+                }
+            }
+            HomeEvent::Drained => {
+                debug_assert_eq!(self.transient, Transient::HomeDrain);
+                self.finish_transient(now, grace_ns, &mut out);
+            }
+            HomeEvent::RetryExpired => {
+                if self.transient == Transient::GraceWait {
+                    self.transient = Transient::None;
+                }
+                self.progress(now, grace_ns, &mut out);
+            }
+            HomeEvent::PeerDown { dead } => self.forget_peer(now, grace_ns, dead, &mut out),
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Record a stable-state change and emit its structured trace.
+    fn set_state(&mut self, new: DirState, trigger: &'static str, out: &mut Vec<HomeAction<W>>) {
+        out.push(HomeAction::Trace(Transition {
+            from: self.state.name(),
+            to: new.name(),
+            trigger,
+        }));
+        self.state = new;
+    }
+
+    /// Complete the pending transient: requeue the parked request and keep
+    /// servicing the queue.
+    fn finish_transient(&mut self, now: u64, grace_ns: u64, out: &mut Vec<HomeAction<W>>) {
+        self.transient = Transient::None;
+        if let Some(req) = self.current.take() {
+            self.pending.push_front(req);
+        }
+        self.progress(now, grace_ns, out);
+    }
+
+    /// Service queued requests until one starts a transient or the queue
+    /// empties.
+    fn progress(&mut self, now: u64, grace_ns: u64, out: &mut Vec<HomeAction<W>>) {
+        loop {
+            if !self.transient.is_none() {
+                return;
+            }
+            let Some(req) = self.pending.pop_front() else {
+                return;
+            };
+            if !self.service(now, grace_ns, req, out) {
+                return;
+            }
+        }
+    }
+
+    /// Service one directory request. Returns true if the chunk is still
+    /// stable (keep servicing the queue), false if a transient began.
+    fn service(
+        &mut self,
+        now: u64,
+        grace_ns: u64,
+        req: Request<W>,
+        out: &mut Vec<HomeAction<W>>,
+    ) -> bool {
+        out.push(HomeAction::ChargeDirUpdate);
+        // Minimum-hold grace: if servicing this request would revoke rights
+        // granted moments ago, let the grantee use them first. Without
+        // this, a contended chunk's recall can arrive at the grantee before
+        // its application thread performs a single access (observed as a
+        // write livelock on a falsely-shared flag chunk).
+        let revokes = match (&self.state, req.kind) {
+            (DirState::Unshared, _) => false,
+            (DirState::Shared { .. }, Kind::Read) => false,
+            (DirState::Shared { sharers }, _) => !sharers.is_empty(),
+            (DirState::Dirty { .. }, _) => true,
+            (DirState::Operated { op, .. }, Kind::Operate(o2)) if op.0 == o2 => false,
+            (DirState::Operated { sharers, .. }, _) => !sharers.is_empty(),
+        };
+        if revokes && grace_ns > 0 && now < self.granted_at + grace_ns {
+            let resume_at = self.granted_at + grace_ns;
+            self.pending.push_front(req);
+            self.transient = Transient::GraceWait;
+            out.push(HomeAction::ScheduleRetry { at: resume_at });
+            return false;
+        }
+        match (&self.state, req.kind) {
+            // ---------------- Read ----------------
+            (DirState::Unshared, Kind::Read) => match req.source {
+                Requester::Local(w) => {
+                    out.push(HomeAction::Wake(w));
+                    true
+                }
+                Requester::Remote { node, dst_off } => {
+                    self.set_state(
+                        DirState::Shared {
+                            sharers: vec![node],
+                        },
+                        "remote-read",
+                        out,
+                    );
+                    self.transient = Transient::HomeDrain;
+                    self.current = Some(Request {
+                        source: Requester::Remote { node, dst_off },
+                        kind: Kind::Read,
+                    });
+                    out.push(HomeAction::StartHomeDrain {
+                        target: LocalState::Shared,
+                        tag: NOTAG,
+                    });
+                    false
+                }
+            },
+            (DirState::Shared { .. }, Kind::Read) => match req.source {
+                Requester::Local(w) => {
+                    out.push(HomeAction::Wake(w));
+                    true
+                }
+                Requester::Remote { node, dst_off } => {
+                    self.add_sharer(node);
+                    self.granted_at = now;
+                    out.push(HomeAction::SendFill {
+                        to: node,
+                        dst_off,
+                        exclusive: false,
+                    });
+                    true
+                }
+            },
+            (DirState::Dirty { owner }, Kind::Read) => {
+                let owner = *owner;
+                self.transient = Transient::AwaitWriteback { from: owner };
+                self.current = Some(req);
+                out.push(HomeAction::SendDowngrade { to: owner });
+                false
+            }
+
+            // ---------------- Write ----------------
+            (DirState::Unshared, Kind::Write) => match req.source {
+                Requester::Local(w) => {
+                    self.granted_at = now;
+                    out.push(HomeAction::Wake(w));
+                    true
+                }
+                Requester::Remote { node, dst_off } => {
+                    self.set_state(DirState::Dirty { owner: node }, "remote-write", out);
+                    self.transient = Transient::HomeDrain;
+                    self.current = Some(Request {
+                        source: Requester::Remote { node, dst_off },
+                        kind: Kind::Write,
+                    });
+                    out.push(HomeAction::StartHomeDrain {
+                        target: LocalState::Invalid,
+                        tag: NOTAG,
+                    });
+                    false
+                }
+            },
+            (DirState::Shared { sharers }, Kind::Write) if sharers.is_empty() => match req.source {
+                Requester::Local(w) => {
+                    // Figure 6: R -> R/W/O at home is a pure promotion.
+                    self.set_state(DirState::Unshared, "local-write-promotion", out);
+                    self.granted_at = now;
+                    out.push(HomeAction::SetHomeLocal {
+                        state: LocalState::Exclusive,
+                        tag: NOTAG,
+                    });
+                    out.push(HomeAction::Wake(w));
+                    true
+                }
+                Requester::Remote { node, dst_off } => {
+                    self.set_state(DirState::Dirty { owner: node }, "remote-write", out);
+                    self.transient = Transient::HomeDrain;
+                    self.current = Some(Request {
+                        source: Requester::Remote { node, dst_off },
+                        kind: Kind::Write,
+                    });
+                    out.push(HomeAction::StartHomeDrain {
+                        target: LocalState::Invalid,
+                        tag: NOTAG,
+                    });
+                    false
+                }
+            },
+            (DirState::Shared { sharers }, Kind::Write) => {
+                let targets = sharers.clone();
+                self.transient = Transient::AwaitInvAcks {
+                    waiting: targets.clone(),
+                };
+                self.current = Some(req);
+                for n in targets {
+                    out.push(HomeAction::SendInvalidate { to: n });
+                }
+                false
+            }
+            (DirState::Dirty { owner }, Kind::Write) => {
+                let owner = *owner;
+                if let Requester::Remote { node, dst_off } = req.source {
+                    if node == owner {
+                        // Resume after our own HomeDrain: grant the fill.
+                        self.granted_at = now;
+                        out.push(HomeAction::SendFill {
+                            to: node,
+                            dst_off,
+                            exclusive: true,
+                        });
+                        return true;
+                    }
+                    self.transient = Transient::AwaitWriteback { from: owner };
+                    self.current = Some(Request {
+                        source: Requester::Remote { node, dst_off },
+                        kind: Kind::Write,
+                    });
+                    out.push(HomeAction::SendRecallDirty { to: owner });
+                    false
+                } else {
+                    self.transient = Transient::AwaitWriteback { from: owner };
+                    self.current = Some(req);
+                    out.push(HomeAction::SendRecallDirty { to: owner });
+                    false
+                }
+            }
+
+            // ---------------- Operate ----------------
+            (DirState::Operated { op, .. }, Kind::Operate(op2)) if op.0 == op2 => {
+                match req.source {
+                    Requester::Local(w) => {
+                        out.push(HomeAction::Wake(w));
+                        true
+                    }
+                    Requester::Remote { node, .. } => {
+                        self.add_sharer(node);
+                        self.granted_at = now;
+                        out.push(HomeAction::SendGrant { to: node, op: op2 });
+                        true
+                    }
+                }
+            }
+            (DirState::Unshared, Kind::Operate(op)) => match req.source {
+                Requester::Local(w) => {
+                    // Exclusive subsumes Operate at home.
+                    out.push(HomeAction::Wake(w));
+                    true
+                }
+                Requester::Remote { node, dst_off } => {
+                    self.set_state(
+                        DirState::Operated {
+                            op: OpId(op),
+                            sharers: vec![node],
+                        },
+                        "remote-operate",
+                        out,
+                    );
+                    self.transient = Transient::HomeDrain;
+                    self.current = Some(Request {
+                        source: Requester::Remote { node, dst_off },
+                        kind: Kind::Operate(op),
+                    });
+                    out.push(HomeAction::StartHomeDrain {
+                        target: LocalState::Operated,
+                        tag: op,
+                    });
+                    false
+                }
+            },
+            (DirState::Shared { sharers }, Kind::Operate(op)) if sharers.is_empty() => {
+                let init_sharers = match &req.source {
+                    Requester::Local(_) => vec![],
+                    Requester::Remote { node, .. } => vec![*node],
+                };
+                self.set_state(
+                    DirState::Operated {
+                        op: OpId(op),
+                        sharers: init_sharers,
+                    },
+                    "operate-from-shared",
+                    out,
+                );
+                self.transient = Transient::HomeDrain;
+                self.current = Some(req);
+                out.push(HomeAction::StartHomeDrain {
+                    target: LocalState::Operated,
+                    tag: op,
+                });
+                false
+            }
+            (DirState::Shared { sharers }, Kind::Operate(_)) => {
+                let targets = sharers.clone();
+                self.transient = Transient::AwaitInvAcks {
+                    waiting: targets.clone(),
+                };
+                self.current = Some(req);
+                for n in targets {
+                    out.push(HomeAction::SendInvalidate { to: n });
+                }
+                false
+            }
+            (DirState::Dirty { owner }, Kind::Operate(_)) => {
+                let owner = *owner;
+                self.transient = Transient::AwaitWriteback { from: owner };
+                self.current = Some(req);
+                out.push(HomeAction::SendRecallDirty { to: owner });
+                false
+            }
+            // Operated chunk asked for Read/Write/different op: recall all
+            // operand caches and reduce, then retry from Unshared.
+            (DirState::Operated { op, sharers }, _) => {
+                let op0 = op.0;
+                let targets = sharers.clone();
+                if targets.is_empty() {
+                    // Only the home node was operating: Figure 6 promotion.
+                    self.set_state(DirState::Unshared, "operated-promotion", out);
+                    out.push(HomeAction::SetHomeLocal {
+                        state: LocalState::Exclusive,
+                        tag: NOTAG,
+                    });
+                    self.pending.push_front(req);
+                    true
+                } else {
+                    self.transient = Transient::AwaitFlushes {
+                        op: op0,
+                        waiting: targets.clone(),
+                    };
+                    self.current = Some(req);
+                    for n in targets {
+                        out.push(HomeAction::SendRecallOperated { to: n, op: op0 });
+                    }
+                    false
+                }
+            }
+        }
+    }
+
+    /// Home-side peer-death cleanup: erase `dead` from this chunk's
+    /// bookkeeping and resume the engine if it was waiting on the peer.
+    fn forget_peer(&mut self, now: u64, grace_ns: u64, dead: NodeId, out: &mut Vec<HomeAction<W>>) {
+        // Requests the dead node queued must not be serviced: a fill sent
+        // to it would be dropped, but granting would corrupt the sharer set
+        // with a node that can never evict or acknowledge.
+        self.pending
+            .retain(|r| !matches!(r.source, Requester::Remote { node, .. } if node == dead));
+        if self
+            .current
+            .as_ref()
+            .is_some_and(|r| matches!(r.source, Requester::Remote { node, .. } if node == dead))
+        {
+            self.current = None;
+        }
+        match &self.transient {
+            Transient::AwaitWriteback { from } if *from == dead => {
+                // The dirty data died with the peer (fail-stop): the home
+                // copy becomes authoritative again.
+                self.set_state(DirState::Unshared, "peer-down", out);
+                out.push(HomeAction::SetHomeLocal {
+                    state: LocalState::Exclusive,
+                    tag: NOTAG,
+                });
+                self.finish_transient(now, grace_ns, out);
+            }
+            Transient::AwaitInvAcks { .. } => {
+                self.remove_sharer(dead);
+                if self.transient_remove(dead) {
+                    self.finish_transient(now, grace_ns, out);
+                }
+            }
+            Transient::AwaitFlushes { .. } => {
+                self.remove_sharer(dead);
+                if self.transient_remove(dead) {
+                    // Same completion as the last flush arriving.
+                    self.set_state(DirState::Unshared, "peer-down", out);
+                    out.push(HomeAction::SetHomeLocal {
+                        state: LocalState::Exclusive,
+                        tag: NOTAG,
+                    });
+                    self.finish_transient(now, grace_ns, out);
+                }
+            }
+            _ => {
+                let home_becomes_sole = match &self.state {
+                    DirState::Dirty { owner } => *owner == dead,
+                    DirState::Shared { .. } => self.remove_sharer(dead),
+                    DirState::Operated { .. } => {
+                        // Its combined operands are lost (fail-stop); the
+                        // home stays Operated and promotes lazily.
+                        self.remove_sharer(dead);
+                        false
+                    }
+                    _ => false,
+                };
+                if home_becomes_sole {
+                    self.set_state(DirState::Unshared, "peer-down", out);
+                    out.push(HomeAction::SetHomeLocal {
+                        state: LocalState::Exclusive,
+                        tag: NOTAG,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Remove `node` from a transient waiting set; returns true if the set
+    /// became empty (the transient completed).
+    fn transient_remove(&mut self, node: NodeId) -> bool {
+        let set = match &mut self.transient {
+            Transient::AwaitInvAcks { waiting } | Transient::AwaitFlushes { waiting, .. } => {
+                waiting
+            }
+            _ => return false,
+        };
+        if let Some(pos) = set.iter().position(|&n| n == node) {
+            set.remove(pos);
+        }
+        set.is_empty()
+    }
+
+    /// Add a remote sharer (idempotent).
+    fn add_sharer(&mut self, node: NodeId) {
+        match &mut self.state {
+            DirState::Shared { sharers } | DirState::Operated { sharers, .. } => {
+                if !sharers.contains(&node) {
+                    sharers.push(node);
+                }
+            }
+            s => panic!("add_sharer in state {s:?}"),
+        }
+    }
+
+    /// Remove a remote sharer if present; returns true if it was the last.
+    fn remove_sharer(&mut self, node: NodeId) -> bool {
+        match &mut self.state {
+            DirState::Shared { sharers } | DirState::Operated { sharers, .. } => {
+                if let Some(pos) = sharers.iter().position(|&n| n == node) {
+                    sharers.remove(pos);
+                }
+                sharers.is_empty()
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M = HomeMachine<u32>;
+
+    fn remote(node: NodeId, kind: Kind) -> HomeEvent<u32> {
+        HomeEvent::Request(Request {
+            source: Requester::Remote { node, dst_off: 0 },
+            kind,
+        })
+    }
+
+    fn local(w: u32, kind: Kind) -> HomeEvent<u32> {
+        HomeEvent::Request(Request {
+            source: Requester::Local(w),
+            kind,
+        })
+    }
+
+    #[test]
+    fn new_machine_is_unshared_and_stable() {
+        let m = M::new();
+        assert_eq!(m.state(), &DirState::Unshared);
+        assert!(m.transient().is_none());
+        assert_eq!(m.pending_len(), 0);
+        assert!(!m.has_current());
+    }
+
+    #[test]
+    fn local_read_on_unshared_wakes_immediately() {
+        let mut m = M::new();
+        let acts = m.on_event(0, 0, local(7, Kind::Read));
+        assert!(acts.contains(&HomeAction::Wake(7)));
+        assert_eq!(m.state(), &DirState::Unshared);
+    }
+
+    #[test]
+    fn remote_read_drains_then_fills() {
+        let mut m = M::new();
+        let acts = m.on_event(0, 0, remote(2, Kind::Read));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::StartHomeDrain {
+                target: LocalState::Shared,
+                ..
+            }
+        )));
+        assert_eq!(m.transient(), &Transient::HomeDrain);
+        let acts = m.on_event(1, 0, HomeEvent::Drained);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::SendFill {
+                to: 2,
+                exclusive: false,
+                ..
+            }
+        )));
+        assert_eq!(
+            m.state(),
+            &DirState::Shared { sharers: vec![2] },
+            "requester recorded as sharer"
+        );
+        assert!(m.transient().is_none());
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers_then_grants() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Read));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, remote(2, Kind::Read));
+        assert_eq!(
+            m.state(),
+            &DirState::Shared {
+                sharers: vec![1, 2]
+            }
+        );
+        let acts = m.on_event(0, 0, remote(1, Kind::Write));
+        let invs: Vec<_> = acts
+            .iter()
+            .filter(|a| matches!(a, HomeAction::SendInvalidate { .. }))
+            .collect();
+        assert_eq!(invs.len(), 2, "both sharers invalidated: {acts:?}");
+        // First ack shrinks the set; second completes and grants Dirty.
+        let acts = m.on_event(1, 0, HomeEvent::InvAck { from: 1 });
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, HomeAction::SendFill { .. })));
+        // Second ack completes the epoch; the writer is installed as Dirty
+        // owner and the home drains its own readers before filling.
+        let acts = m.on_event(1, 0, HomeEvent::InvAck { from: 2 });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::StartHomeDrain {
+                target: LocalState::Invalid,
+                ..
+            }
+        )));
+        assert_eq!(m.state(), &DirState::Dirty { owner: 1 });
+        let acts = m.on_event(2, 0, HomeEvent::Drained);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::SendFill {
+                to: 1,
+                exclusive: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn stale_inv_ack_is_ignored() {
+        let mut m = M::new();
+        let acts = m.on_event(0, 0, HomeEvent::InvAck { from: 1 });
+        assert!(acts.is_empty());
+        assert_eq!(m.state(), &DirState::Unshared);
+    }
+
+    #[test]
+    fn flush_epoch_check_rejects_old_operator() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Operate(3)));
+        m.on_event(0, 0, HomeEvent::Drained);
+        assert!(matches!(m.state(), DirState::Operated { .. }));
+        // A read arrives: recall the Operated set under op 3.
+        let acts = m.on_event(0, 0, remote(2, Kind::Read));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::SendRecallOperated { to: 1, op: 3 })));
+        // A crossing flush of a DIFFERENT operator must not close the epoch.
+        m.on_event(
+            1,
+            0,
+            HomeEvent::Flush {
+                from: 1,
+                op: 9,
+                has_data: true,
+            },
+        );
+        assert!(matches!(m.transient(), Transient::AwaitFlushes { .. }));
+        // The real flush completes the recall and re-services the read.
+        let acts = m.on_event(
+            1,
+            0,
+            HomeEvent::Flush {
+                from: 1,
+                op: 3,
+                has_data: true,
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::StartHomeDrain {
+                target: LocalState::Shared,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn grace_window_defers_revocations() {
+        let mut m = M::new();
+        m.on_event(0, 1_000, remote(1, Kind::Write));
+        // Drain completes past the initial grace window; the resumed write
+        // grants the fill and stamps granted_at = 1000.
+        let acts = m.on_event(1_000, 1_000, HomeEvent::Drained);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::SendFill {
+                to: 1,
+                exclusive: true,
+                ..
+            }
+        )));
+        assert_eq!(m.state(), &DirState::Dirty { owner: 1 });
+        // A competing read 10 ns later falls inside the grace window.
+        let acts = m.on_event(1_010, 1_000, remote(2, Kind::Read));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::ScheduleRetry { at: 2_000 })));
+        assert_eq!(m.transient(), &Transient::GraceWait);
+        // After the window the retry downgrades the owner.
+        let acts = m.on_event(2_000, 1_000, HomeEvent::RetryExpired);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::SendDowngrade { to: 1 })));
+    }
+
+    #[test]
+    fn peer_down_reclaims_dirty_ownership() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Write));
+        m.on_event(0, 0, HomeEvent::Drained);
+        assert_eq!(m.state(), &DirState::Dirty { owner: 1 });
+        let acts = m.on_event(5, 0, HomeEvent::PeerDown { dead: 1 });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::SetHomeLocal {
+                state: LocalState::Exclusive,
+                ..
+            }
+        )));
+        assert_eq!(m.state(), &DirState::Unshared);
+    }
+
+    #[test]
+    fn transient_sets_drain_to_completion() {
+        let mut m = M::new();
+        m.transient = Transient::AwaitFlushes {
+            op: 0,
+            waiting: vec![1, 2, 3],
+        };
+        assert!(!m.transient_remove(2));
+        assert!(!m.transient_remove(9)); // unknown node: no-op
+        assert!(!m.transient_remove(1));
+        assert!(m.transient_remove(3));
+    }
+
+    #[test]
+    fn transient_remove_ignores_wrong_kind() {
+        let mut m = M::new();
+        m.transient = Transient::AwaitWriteback { from: 1 };
+        assert!(!m.transient_remove(1));
+    }
+
+    #[test]
+    fn sharer_bookkeeping() {
+        let mut m = M::new();
+        m.state = DirState::Shared { sharers: vec![] };
+        m.add_sharer(2);
+        m.add_sharer(5);
+        m.add_sharer(2); // idempotent
+        assert_eq!(
+            m.state,
+            DirState::Shared {
+                sharers: vec![2, 5]
+            }
+        );
+        assert!(!m.remove_sharer(2));
+        assert!(m.remove_sharer(5));
+        assert!(m.remove_sharer(7), "removing from empty set reports empty");
+    }
+}

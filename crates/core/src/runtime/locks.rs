@@ -1,0 +1,201 @@
+//! Distributed element-lock handling (§4.5), split out of the runtime event
+//! loop. Locks are orthogonal to the coherence protocol: a lock's home node
+//! arbitrates fairness in its `LockTable`; requesters park waiters in their
+//! `lock_waiters` map until a `LockGrant` arrives. No cacheline or directory
+//! state is involved.
+
+use std::sync::Arc;
+
+use dsim::{Ctx, WaitCell};
+use rdma_fabric::NodeId;
+
+use crate::lock::LockSource;
+use crate::msg::{ChunkId, LockKind, Rpc};
+use crate::shared::ArrayShared;
+use crate::stats::NodeStats;
+
+use super::RuntimeThread;
+
+impl RuntimeThread {
+    fn deliver_grant(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &ArrayShared,
+        id: u64,
+        kind: LockKind,
+        src: LockSource,
+    ) {
+        NodeStats::bump(&self.stats().locks_granted);
+        match src {
+            LockSource::Local(w) => w.notify(ctx),
+            LockSource::Remote(n) => {
+                let chunk = (id as usize / arr.layout.chunk_size()) as ChunkId;
+                self.comm
+                    .send(ctx, n, arr.id, Rpc::LockGrant { chunk, id, kind });
+            }
+        }
+    }
+
+    pub(super) fn local_lock_acquire(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        index: u64,
+        kind: LockKind,
+        waiter: WaitCell,
+    ) {
+        let home = arr.layout.home_of(index as usize);
+        if home == self.node {
+            let granted = arr.per_node[self.node].lock_table.lock().acquire(
+                index,
+                kind,
+                LockSource::Local(waiter),
+            );
+            if let Some(src) = granted {
+                self.deliver_grant(ctx, arr, index, kind, src);
+            }
+        } else if self.shared.is_peer_down(self.node, home) {
+            // The lock's home is dead: wake the waiter so the application
+            // thread re-checks and observes `NodeUnavailable`.
+            waiter.notify(ctx);
+        } else {
+            arr.per_node[self.node]
+                .lock_waiters
+                .lock()
+                .entry((index, kind))
+                .or_default()
+                .push_back(waiter);
+            let chunk = (index as usize / arr.layout.chunk_size()) as ChunkId;
+            self.comm.send(
+                ctx,
+                home,
+                arr.id,
+                Rpc::LockAcquire {
+                    chunk,
+                    id: index,
+                    kind,
+                },
+            );
+        }
+    }
+
+    pub(super) fn local_lock_release(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        index: u64,
+        kind: LockKind,
+        waiter: WaitCell,
+    ) {
+        let home = arr.layout.home_of(index as usize);
+        if home == self.node {
+            let woken = arr.per_node[self.node]
+                .lock_table
+                .lock()
+                .release(index, kind);
+            for (src, k) in woken {
+                self.deliver_grant(ctx, arr, index, k, src);
+            }
+        } else {
+            let chunk = (index as usize / arr.layout.chunk_size()) as ChunkId;
+            self.comm.send(
+                ctx,
+                home,
+                arr.id,
+                Rpc::LockRelease {
+                    chunk,
+                    id: index,
+                    kind,
+                },
+            );
+        }
+        // Releases complete locally; the wire release is one-way.
+        waiter.notify(ctx);
+    }
+
+    pub(super) fn rpc_lock_acquire(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        id: u64,
+        kind: LockKind,
+        src: NodeId,
+    ) {
+        let granted =
+            arr.per_node[self.node]
+                .lock_table
+                .lock()
+                .acquire(id, kind, LockSource::Remote(src));
+        if let Some(s) = granted {
+            self.deliver_grant(ctx, arr, id, kind, s);
+        }
+    }
+
+    pub(super) fn rpc_lock_release(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        id: u64,
+        kind: LockKind,
+    ) {
+        let woken = arr.per_node[self.node].lock_table.lock().release(id, kind);
+        for (src, k) in woken {
+            self.deliver_grant(ctx, arr, id, k, src);
+        }
+    }
+
+    pub(super) fn rpc_lock_grant(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        id: u64,
+        kind: LockKind,
+    ) {
+        let popped = {
+            let mut lw = arr.per_node[self.node].lock_waiters.lock();
+            let popped = lw.get_mut(&(id, kind)).and_then(|q| q.pop_front());
+            if lw.get(&(id, kind)).is_some_and(|q| q.is_empty()) {
+                lw.remove(&(id, kind));
+            }
+            popped
+        };
+        match popped {
+            Some(w) => w.notify(ctx),
+            None => self.lock_grant_invariant_violated(arr, id, kind),
+        }
+    }
+
+    /// A `LockGrant` arrived for an element no local thread is waiting on.
+    /// This is a protocol-invariant violation (grants are only ever sent in
+    /// response to an acquire we registered a waiter for, on a FIFO link):
+    /// capture everything a debugger would want and poison the cluster —
+    /// `try_*` APIs surface it as `DArrayError::ProtocolInvariant` — instead
+    /// of aborting the process from inside a runtime thread.
+    #[cold]
+    #[inline(never)]
+    fn lock_grant_invariant_violated(&self, arr: &ArrayShared, id: u64, kind: LockKind) {
+        let chunk = id as usize / arr.layout.chunk_size();
+        let home = arr.layout.home_of(id as usize);
+        let waiting: Vec<(u64, LockKind, usize)> = arr.per_node[self.node]
+            .lock_waiters
+            .lock()
+            .iter()
+            .map(|((i, k), q)| (*i, *k, q.len()))
+            .collect();
+        let (state, transient, pending) = {
+            let hm = arr.per_node[home].home[chunk].lock();
+            (
+                format!("{:?}", hm.state()),
+                hm.transient().name(),
+                hm.pending_len(),
+            )
+        };
+        self.shared.protocol_fault.record(format!(
+            "node {} (rt {}) received LockGrant for element {id} kind {kind:?} of array {} with \
+             no registered waiter; chunk {chunk} homed on node {home}; home directory state \
+             {state} transient {transient} with {pending} pending request(s); local waiters \
+             registered: {waiting:?}",
+            self.node, self.rt_idx, arr.id,
+        ));
+    }
+}

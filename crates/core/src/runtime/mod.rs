@@ -1,0 +1,910 @@
+//! The runtime layer (§3.1): one event loop per runtime thread.
+//!
+//! Since the protocol extraction, this file is a thin **executor** for the
+//! sans-I/O machines in [`crate::protocol`]: it translates mailbox messages
+//! into protocol events, feeds them to the per-chunk [`HomeMachine`] or the
+//! pure [`CacheMachine`], and executes the returned actions against the real
+//! world — the fabric, the cache region, the dentries, the simulator clock.
+//! All protocol *decisions* (who to invalidate, when to recall, which
+//! crossing messages to ignore) live in the machines; everything here is
+//! mechanical translation plus the executor-only concerns the machines
+//! cannot own:
+//!
+//! * **cache allocation & watermark eviction** (Figure 7) — which line to
+//!   hand out, when to reclaim;
+//! * **sequential prefetch policy** — the machines emit a `PrefetchHint`,
+//!   the executor decides whether the miss pattern warrants acting on it;
+//! * **deferred drains** — every rights-removing transition follows
+//!   Figure 5 (set `delay_flag`, install the state, wait for references to
+//!   drain). A naive runtime would block its message loop while waiting;
+//!   instead, drains whose reference count is still nonzero are *deferred* —
+//!   the runtime keeps serving messages and polls the refcount between
+//!   them, feeding the machine a `Drained` event when it hits zero;
+//! * **distributed locks** — the element-lock tables are orthogonal to the
+//!   coherence protocol and stay here.
+
+use std::sync::Arc;
+
+use dsim::{Ctx, Mailbox, WaitCell};
+use rdma_fabric::NodeId;
+
+use crate::cache::CacheRegion;
+use crate::comm::CommHandle;
+use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
+use crate::msg::{ArrayId, ChunkId, LocalKind, LocalReq, LockKind, Rpc, RtMsg};
+use crate::op::OpId;
+use crate::protocol::{
+    AfterDrain, CacheAction, CacheEvent, CacheMachine, CacheView, Counter, HomeAction, HomeEvent,
+    Kind, Request, Requester, Transition,
+};
+use crate::shared::{ArrayShared, ClusterShared};
+use crate::state::LocalState;
+use crate::stats::NodeStats;
+
+mod locks;
+
+/// Continuation run after a deferred drain completes: feed the matching
+/// machine its completion event.
+enum Cont {
+    /// The home dentry's drain (gating a directory transition) finished:
+    /// deliver [`HomeEvent::Drained`].
+    Home,
+    /// A requester-side drain finished: deliver [`CacheEvent::Drained`]
+    /// carrying the follow-up the cache machine recorded at drain start.
+    Cache(AfterDrain),
+}
+
+struct Deferred {
+    array: ArrayId,
+    chunk: ChunkId,
+    cont: Cont,
+}
+
+/// One runtime thread: owns a cache region and the protocol state of every
+/// chunk with `chunk % runtime_threads == rt_idx`.
+pub(crate) struct RuntimeThread {
+    pub node: NodeId,
+    pub rt_idx: usize,
+    pub shared: Arc<ClusterShared>,
+    pub comm: CommHandle,
+    pub cache: Arc<CacheRegion>,
+    pub mailbox: Mailbox<RtMsg>,
+    deferred: Vec<Deferred>,
+    ready: Vec<(ArrayId, ChunkId, Cont)>,
+    /// Last read-miss chunk, for sequential-pattern prefetch detection.
+    last_miss: Option<(ArrayId, ChunkId)>,
+}
+
+impl RuntimeThread {
+    pub(crate) fn new(
+        node: NodeId,
+        rt_idx: usize,
+        shared: Arc<ClusterShared>,
+        comm: CommHandle,
+        cache: Arc<CacheRegion>,
+        mailbox: Mailbox<RtMsg>,
+    ) -> Self {
+        Self {
+            node,
+            rt_idx,
+            shared,
+            comm,
+            cache,
+            mailbox,
+            deferred: Vec::new(),
+            ready: Vec::new(),
+            last_miss: None,
+        }
+    }
+
+    fn stats(&self) -> &NodeStats {
+        &self.shared.stats[self.node]
+    }
+
+    /// Word offset of a cacheline within the node's cache region.
+    #[inline]
+    fn line_off(&self, line: u32) -> usize {
+        line as usize * self.shared.cfg.cache.line_words
+    }
+
+    /// Bump the `NodeStats` field a machine-emitted [`Counter`] names.
+    fn count(&self, c: Counter) {
+        let s = self.stats();
+        NodeStats::bump(match c {
+            Counter::Fills => &s.fills,
+            Counter::Invalidations => &s.invalidations,
+            Counter::Writebacks => &s.writebacks,
+            Counter::OperandFlushes => &s.operand_flushes,
+            Counter::Recalls => &s.recalls,
+            Counter::OperatedReductions => &s.operated_reductions,
+            Counter::Evictions => &s.evictions,
+        });
+    }
+
+    /// Record a machine-emitted structured transition: counted always,
+    /// printed when chunk tracing is active.
+    fn transition(&self, ctx: &Ctx, aid: ArrayId, chunk: ChunkId, t: &Transition) {
+        NodeStats::bump(&self.stats().transitions);
+        crate::trace::transition(aid, chunk, self.node, ctx.now(), t);
+    }
+
+    /// The event loop (runs until `RtMsg::Shutdown`).
+    pub(crate) fn run(mut self, ctx: &mut Ctx) {
+        loop {
+            let msg = if self.deferred.is_empty() {
+                self.mailbox.recv(ctx)
+            } else {
+                match self.mailbox.try_recv(ctx) {
+                    Some(m) => m,
+                    None => {
+                        ctx.spin_hint(50);
+                        self.poll_deferred();
+                        self.drain_ready(ctx);
+                        continue;
+                    }
+                }
+            };
+            match msg {
+                RtMsg::Shutdown => break,
+                RtMsg::Local(req) => {
+                    ctx.charge(self.shared.cfg.cost.local_req_handle_ns);
+                    NodeStats::bump(&self.stats().local_handled);
+                    self.handle_local(ctx, req);
+                }
+                RtMsg::Net { src, array, rpc } => {
+                    ctx.charge(self.shared.cfg.cost.rpc_handle_ns);
+                    NodeStats::bump(&self.stats().rpcs_handled);
+                    self.handle_rpc(ctx, src, array, rpc);
+                }
+                RtMsg::Retry { array, chunk } => {
+                    self.home_event(ctx, array, chunk, HomeEvent::RetryExpired);
+                }
+                RtMsg::PeerDown { node } => self.handle_peer_down(ctx, node),
+            }
+            self.poll_deferred();
+            self.drain_ready(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Drain machinery
+    // ------------------------------------------------------------------
+
+    /// Begin a Figure-5 drain towards `new_state`; `cont` runs once all
+    /// references are gone (immediately, in the common case).
+    fn start_drain(
+        &mut self,
+        arr: &ArrayShared,
+        chunk: ChunkId,
+        new_state: LocalState,
+        tag: u32,
+        cont: Cont,
+    ) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        d.begin_drain(new_state, tag);
+        if d.drained() {
+            d.end_drain();
+            self.ready.push((arr.id, chunk, cont));
+        } else {
+            self.deferred.push(Deferred {
+                array: arr.id,
+                chunk,
+                cont,
+            });
+        }
+    }
+
+    fn poll_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let (aid, chunk) = (self.deferred[i].array, self.deferred[i].chunk);
+            let arr = self.shared.array(aid);
+            let d = &arr.per_node[self.node].dentries[chunk as usize];
+            if d.drained() {
+                d.end_drain();
+                let df = self.deferred.swap_remove(i);
+                self.ready.push((df.array, df.chunk, df.cont));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn drain_ready(&mut self, ctx: &mut Ctx) {
+        while let Some((aid, chunk, cont)) = self.ready.pop() {
+            self.run_cont(ctx, aid, chunk, cont);
+        }
+    }
+
+    fn run_cont(&mut self, ctx: &mut Ctx, aid: ArrayId, chunk: ChunkId, cont: Cont) {
+        match cont {
+            Cont::Home => {
+                crate::trace::event(
+                    aid,
+                    chunk,
+                    self.node,
+                    ctx.now(),
+                    format_args!("HOME-DRAINED"),
+                );
+                self.home_event(ctx, aid, chunk, HomeEvent::Drained);
+            }
+            Cont::Cache(after) => {
+                crate::trace::event(
+                    aid,
+                    chunk,
+                    self.node,
+                    ctx.now(),
+                    format_args!("DRAINED {after:?}"),
+                );
+                let arr = self.shared.array(aid);
+                let home = arr.layout.home_of_chunk(chunk as usize);
+                let home_down = self.shared.is_peer_down(self.node, home);
+                self.cache_event(
+                    ctx,
+                    &arr,
+                    chunk,
+                    CacheEvent::Drained { after, home_down },
+                    None,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Home-machine executor
+    // ------------------------------------------------------------------
+
+    /// Feed `ev` to the chunk's home machine and execute its actions.
+    fn home_event(&mut self, ctx: &mut Ctx, aid: ArrayId, chunk: ChunkId, ev: HomeEvent<WaitCell>) {
+        self.home_event_with_data(ctx, aid, chunk, ev, None);
+    }
+
+    /// [`RuntimeThread::home_event`] with an optional flush payload for
+    /// [`HomeAction::ApplyFlushData`] to consume.
+    fn home_event_with_data(
+        &mut self,
+        ctx: &mut Ctx,
+        aid: ArrayId,
+        chunk: ChunkId,
+        ev: HomeEvent<WaitCell>,
+        mut flush_data: Option<Vec<u64>>,
+    ) {
+        let arr = self.shared.array(aid);
+        // The machine mutex is released before any action executes: actions
+        // may charge time, yield, or re-enter `home_event` via a drain that
+        // completes immediately.
+        let actions = {
+            let mut hm = arr.per_node[self.node].home[chunk as usize].lock();
+            hm.on_event(ctx.now(), self.shared.cfg.grant_grace_ns, ev)
+        };
+        for act in actions {
+            self.run_home_action(ctx, &arr, chunk, act, &mut flush_data);
+        }
+    }
+
+    fn run_home_action(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        act: HomeAction<WaitCell>,
+        flush_data: &mut Option<Vec<u64>>,
+    ) {
+        match act {
+            HomeAction::ChargeDirUpdate => ctx.charge(self.shared.cfg.cost.dir_update_ns),
+            HomeAction::Wake(w) => w.notify(ctx),
+            HomeAction::SendFill {
+                to,
+                dst_off,
+                exclusive,
+            } => self.send_fill(ctx, arr, chunk, to, dst_off, exclusive),
+            HomeAction::SendGrant { to, op } => {
+                self.comm
+                    .send(ctx, to, arr.id, Rpc::GrantOperated { chunk, op });
+            }
+            HomeAction::SendInvalidate { to } => {
+                self.comm
+                    .send(ctx, to, arr.id, Rpc::InvalidateReq { chunk });
+            }
+            HomeAction::SendRecallDirty { to } => {
+                self.comm.send(ctx, to, arr.id, Rpc::RecallDirty { chunk });
+            }
+            HomeAction::SendDowngrade { to } => {
+                self.comm
+                    .send(ctx, to, arr.id, Rpc::DowngradeDirty { chunk });
+            }
+            HomeAction::SendRecallOperated { to, op } => {
+                self.comm
+                    .send(ctx, to, arr.id, Rpc::RecallOperated { chunk, op });
+            }
+            HomeAction::ApplyFlushData { op } => {
+                let data = flush_data.take().expect("flush event carried no data");
+                self.apply_flush_data(ctx, arr, chunk, op, &data);
+            }
+            HomeAction::SetHomeLocal { state, tag } => {
+                arr.per_node[self.node].dentries[chunk as usize].promote_to(state, tag);
+            }
+            HomeAction::StartHomeDrain { target, tag } => {
+                self.start_drain(arr, chunk, target, tag, Cont::Home);
+            }
+            HomeAction::ScheduleRetry { at } => {
+                let mb = self.shared.rt_mailbox(self.node, chunk).clone();
+                mb.send_at(
+                    ctx,
+                    RtMsg::Retry {
+                        array: arr.id,
+                        chunk,
+                    },
+                    at,
+                );
+            }
+            HomeAction::Trace(t) => self.transition(ctx, arr.id, chunk, &t),
+            HomeAction::Count(c) => self.count(c),
+        }
+    }
+
+    /// Reduce a remote node's combined operands into the home subarray.
+    /// Concurrent local applies CAS into the same words, so the reduction
+    /// CASes too.
+    fn apply_flush_data(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        op: u32,
+        data: &[u64],
+    ) {
+        let words = arr.layout.chunk_size();
+        debug_assert_eq!(data.len(), words);
+        let off = arr.layout.chunk_home_offset(chunk as usize);
+        let sub = &arr.subarrays[self.node];
+        let reg = &self.shared.registry;
+        let opid = OpId(op);
+        let identity = reg.identity(opid);
+        let cost = &self.shared.cfg.cost;
+        let mut applied = 0u64;
+        for (i, &operand) in data.iter().enumerate() {
+            if operand == identity {
+                continue; // common case: untouched element
+            }
+            applied += 1;
+            loop {
+                let cur = sub.load(off + i);
+                let new = reg.combine(opid, cur, operand);
+                if sub.compare_exchange(off + i, cur, new).is_ok() {
+                    break;
+                }
+            }
+        }
+        ctx.charge(cost.memcpy(words) + applied * cost.op_apply_ns);
+    }
+
+    /// RDMA-write the chunk's data into the requester's cacheline and notify.
+    fn send_fill(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        node: NodeId,
+        dst_off: u64,
+        exclusive: bool,
+    ) {
+        let words = arr.layout.chunk_size();
+        let off = arr.layout.chunk_home_offset(chunk as usize);
+        let data = arr.subarrays[self.node].read_vec(off, words);
+        let rpc = if exclusive {
+            Rpc::FillExclusive { chunk }
+        } else {
+            Rpc::FillShared { chunk }
+        };
+        self.comm.write_send(
+            ctx,
+            node,
+            &self.shared.cache_regions[node],
+            dst_off as usize,
+            data,
+            arr.id,
+            rpc,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Cache-machine executor
+    // ------------------------------------------------------------------
+
+    /// Snapshot a chunk's dentry for the cache machine.
+    fn cache_view(&self, arr: &ArrayShared, chunk: ChunkId) -> CacheView {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        CacheView {
+            state: d.state(),
+            op_tag: d.op_tag(),
+            line: d.line(),
+            draining: d.delay_set(),
+        }
+    }
+
+    /// Feed `ev` to the cache machine over a fresh dentry snapshot and
+    /// execute its actions. `requester` carries the wait-cell of the local
+    /// requester for [`CacheEvent::Request`] events (`None` otherwise).
+    fn cache_event(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        ev: CacheEvent,
+        requester: Option<WaitCell>,
+    ) {
+        let view = self.cache_view(arr, chunk);
+        let actions = CacheMachine::on_event(&view, ev);
+        self.run_cache_actions(ctx, arr, chunk, actions, requester);
+    }
+
+    fn run_cache_actions(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        actions: Vec<CacheAction>,
+        mut requester: Option<WaitCell>,
+    ) {
+        let home = arr.layout.home_of_chunk(chunk as usize);
+        for act in actions {
+            let d = &arr.per_node[self.node].dentries[chunk as usize];
+            match act {
+                CacheAction::QueueWaiter => {
+                    d.push_waiter(requester.take().expect("no requester to queue"));
+                }
+                CacheAction::WakeRequester => {
+                    requester.take().expect("no requester to wake").notify(ctx);
+                }
+                CacheAction::WakeAllWaiters => d.wake_waiters(ctx),
+                CacheAction::BeginDrain { target, tag, after } => {
+                    self.start_drain(arr, chunk, target, tag, Cont::Cache(after));
+                }
+                CacheAction::AllocLine { kind } => {
+                    let line = self.alloc_line(ctx, arr, chunk);
+                    let view = self.cache_view(arr, chunk);
+                    let acts =
+                        CacheMachine::on_event(&view, CacheEvent::LineAllocated { line, kind });
+                    self.run_cache_actions(ctx, arr, chunk, acts, None);
+                }
+                CacheAction::SetLine { line } => d.set_line(line),
+                CacheAction::ReleaseLine { line } => {
+                    d.set_line(LINE_NONE);
+                    if line != LINE_NONE && line != LINE_HOME {
+                        self.cache.free(line);
+                    }
+                }
+                CacheAction::SetTransient { state } => d.set_transient(state),
+                CacheAction::Promote { state, tag } => d.promote_to(state, tag),
+                CacheAction::InitOperandBuffer { line, op } => {
+                    let words = arr.layout.chunk_size();
+                    let identity = self.shared.registry.identity(OpId(op));
+                    self.shared.cache_regions[self.node].fill(self.line_off(line), words, identity);
+                    ctx.charge(self.shared.cfg.cost.memcpy(words));
+                }
+                CacheAction::SendEvictNotice => {
+                    self.comm
+                        .send(ctx, home, arr.id, Rpc::EvictNotice { chunk });
+                }
+                CacheAction::SendInvalidateAck { to } => {
+                    self.comm
+                        .send(ctx, to, arr.id, Rpc::InvalidateAck { chunk });
+                }
+                CacheAction::SendWriteback {
+                    line,
+                    downgrade,
+                    release,
+                } => {
+                    let words = arr.layout.chunk_size();
+                    let data = self.read_line(ctx, line, words);
+                    if release {
+                        d.set_line(LINE_NONE);
+                        self.cache.free(line);
+                    }
+                    let off = arr.layout.chunk_home_offset(chunk as usize);
+                    self.comm.write_send(
+                        ctx,
+                        home,
+                        &arr.subarrays[home],
+                        off,
+                        data,
+                        arr.id,
+                        Rpc::WritebackNotice { chunk, downgrade },
+                    );
+                }
+                CacheAction::SendFlush { line, op, release } => {
+                    let words = arr.layout.chunk_size();
+                    let data = self.read_line(ctx, line, words);
+                    if release {
+                        d.set_line(LINE_NONE);
+                        self.cache.free(line);
+                    }
+                    self.comm
+                        .send(ctx, home, arr.id, Rpc::OperandFlush { chunk, op, data });
+                }
+                CacheAction::SendUpgrade { line, kind } => {
+                    let dst_off = self.line_off(line) as u64;
+                    let rpc = match kind {
+                        Kind::Read => Rpc::ReadReq { chunk, dst_off },
+                        Kind::Write => Rpc::WriteReq { chunk, dst_off },
+                        Kind::Operate(op) => Rpc::OperateReq { chunk, op },
+                    };
+                    self.comm.send(ctx, home, arr.id, rpc);
+                }
+                CacheAction::PrefetchHint => {
+                    // Prefetch only when the miss continues a sequential
+                    // pattern — random access (e.g. hash probing) would only
+                    // churn the cache with doomed Shared copies.
+                    let sequential = self.last_miss == Some((arr.id, chunk.wrapping_sub(1)))
+                        || self.last_miss == Some((arr.id, chunk));
+                    self.last_miss = Some((arr.id, chunk));
+                    if sequential {
+                        self.prefetch(ctx, arr, chunk);
+                    }
+                }
+                CacheAction::Trace(t) => self.transition(ctx, arr.id, chunk, &t),
+                CacheAction::Count(c) => self.count(c),
+            }
+        }
+        debug_assert!(requester.is_none(), "machine left a requester unhandled");
+    }
+
+    fn read_line(&self, ctx: &mut Ctx, line: u32, words: usize) -> Vec<u64> {
+        let off = self.line_off(line);
+        ctx.charge(self.shared.cfg.cost.memcpy(words));
+        self.shared.cache_regions[self.node].read_vec(off, words)
+    }
+
+    // ------------------------------------------------------------------
+    // Local requests (interface layer -> runtime, Figure 2)
+    // ------------------------------------------------------------------
+
+    fn handle_local(&mut self, ctx: &mut Ctx, req: LocalReq) {
+        let arr = self.shared.array(req.array);
+        match req.kind {
+            LocalKind::Read { chunk } => {
+                self.local_data_req(ctx, &arr, chunk, Kind::Read, req.waiter)
+            }
+            LocalKind::Write { chunk } => {
+                self.local_data_req(ctx, &arr, chunk, Kind::Write, req.waiter)
+            }
+            LocalKind::Operate { chunk, op } => {
+                self.local_data_req(ctx, &arr, chunk, Kind::Operate(op), req.waiter)
+            }
+            LocalKind::LockAcquire { index, kind } => {
+                self.local_lock_acquire(ctx, &arr, index, kind, req.waiter)
+            }
+            LocalKind::LockRelease { index, kind } => {
+                self.local_lock_release(ctx, &arr, index, kind, req.waiter)
+            }
+        }
+    }
+
+    fn rights_satisfied(d: &Dentry, kind: Kind) -> bool {
+        let s = d.state();
+        match kind {
+            Kind::Read => s.readable(),
+            Kind::Write => s.writable(),
+            Kind::Operate(op) => {
+                s == LocalState::Exclusive || (s == LocalState::Operated && d.op_tag() == op)
+            }
+        }
+    }
+
+    fn local_data_req(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        kind: Kind,
+        waiter: WaitCell,
+    ) {
+        let d = &arr.per_node[self.node].dentries[chunk as usize];
+        // Re-check: the state may have changed between the app thread's miss
+        // and us dequeuing the request.
+        if !d.delay_set() && Self::rights_satisfied(d, kind) {
+            waiter.notify(ctx);
+            return;
+        }
+        let home = arr.layout.home_of_chunk(chunk as usize);
+        if home == self.node {
+            self.home_event(
+                ctx,
+                arr.id,
+                chunk,
+                HomeEvent::Request(Request {
+                    source: Requester::Local(waiter),
+                    kind,
+                }),
+            );
+        } else {
+            crate::trace::event(
+                arr.id,
+                chunk,
+                self.node,
+                ctx.now(),
+                format_args!("CACHE_REQ state={:?} kind={:?}", d.state(), kind),
+            );
+            let drain_pending = self
+                .deferred
+                .iter()
+                .any(|df| df.array == arr.id && df.chunk == chunk);
+            let home_down = self.shared.is_peer_down(self.node, home);
+            self.cache_event(
+                ctx,
+                arr,
+                chunk,
+                CacheEvent::Request {
+                    kind,
+                    home_down,
+                    drain_pending,
+                },
+                Some(waiter),
+            );
+        }
+    }
+
+    /// Issue read prefetches for sequentially-next chunks (slow path only,
+    /// §4.2 "Cache prefetch").
+    fn prefetch(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) {
+        let k = self.shared.cfg.cache.prefetch_lines;
+        if k == 0 {
+            return;
+        }
+        let num_chunks = arr.layout.num_chunks() as ChunkId;
+        for nc in chunk + 1..=(chunk + k as ChunkId) {
+            if nc >= num_chunks {
+                break;
+            }
+            if arr.layout.home_of_chunk(nc as usize) == self.node {
+                continue;
+            }
+            if self.shared.rt_index(nc) != self.rt_idx {
+                continue;
+            }
+            if self.cache.below_low() {
+                break; // never force evictions on behalf of a prefetch
+            }
+            let d = &arr.per_node[self.node].dentries[nc as usize];
+            if d.state() != LocalState::Invalid || d.delay_set() {
+                continue;
+            }
+            let Some(line) = self.cache.alloc(arr.id, nc) else {
+                break;
+            };
+            d.set_line(line);
+            d.set_transient(LocalState::FillingShared);
+            let dst_off = self.line_off(line) as u64;
+            let home = arr.layout.home_of_chunk(nc as usize);
+            self.comm
+                .send(ctx, home, arr.id, Rpc::ReadReq { chunk: nc, dst_off });
+            NodeStats::bump(&self.stats().prefetches);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache allocation & eviction (Figure 7)
+    // ------------------------------------------------------------------
+
+    fn alloc_line(&mut self, ctx: &mut Ctx, arr: &Arc<ArrayShared>, chunk: ChunkId) -> u32 {
+        let mut spins: u64 = 0;
+        loop {
+            if self.cache.below_low() {
+                self.reclaim(ctx);
+            }
+            if let Some(line) = self.cache.alloc(arr.id, chunk) {
+                ctx.charge(self.shared.cfg.cost.cacheline_alloc_ns);
+                return line;
+            }
+            self.reclaim(ctx);
+            if self.cache.free_count() == 0 {
+                // Everything is pinned or in flight; wait for references to
+                // drop (bounded, to turn misuse into a diagnostic).
+                ctx.spin_hint(200);
+                self.poll_deferred();
+                self.drain_ready(ctx);
+                spins += 1;
+                assert!(
+                    spins < 5_000_000,
+                    "cache exhausted on node {}: all {} lines pinned or in flight",
+                    self.node,
+                    self.cache.capacity()
+                );
+            }
+        }
+    }
+
+    /// Scan this thread's cache region from its scanning pointer, evicting
+    /// idle lines until the free count exceeds the high watermark. The
+    /// *selection* (skip referenced / mid-transition lines) is executor
+    /// policy; the per-state eviction protocol is the cache machine's.
+    fn reclaim(&mut self, ctx: &mut Ctx) {
+        let cap = self.cache.capacity();
+        let mut scanned = 0;
+        while self.cache.below_high() && scanned < cap {
+            scanned += 1;
+            ctx.charge(self.shared.cfg.cost.evict_scan_ns);
+            let line = self.cache.scan_next();
+            let Some((aid, c)) = self.cache.owner(line) else {
+                continue;
+            };
+            let arr = self.shared.array(aid);
+            let d = &arr.per_node[self.node].dentries[c as usize];
+            if d.delay_set() || d.refcnt() > 0 {
+                continue; // accessed or mid-transition: not evictable
+            }
+            self.cache_event(ctx, &arr, c, CacheEvent::Evict, None);
+        }
+        self.drain_ready(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Remote protocol messages
+    // ------------------------------------------------------------------
+
+    fn handle_rpc(&mut self, ctx: &mut Ctx, src: NodeId, aid: ArrayId, rpc: Rpc) {
+        // Fail-stop: once a peer is declared down its bookkeeping has been
+        // settled by `handle_peer_down`; straggler messages from it (already
+        // queued when the declaration landed) must not resurrect it.
+        if src != self.node && self.shared.is_peer_down(self.node, src) {
+            return;
+        }
+        let arr = self.shared.array(aid);
+        match rpc {
+            // Home side: directory machine events.
+            Rpc::ReadReq { chunk, dst_off } => self.home_event(
+                ctx,
+                aid,
+                chunk,
+                HomeEvent::Request(Request {
+                    source: Requester::Remote { node: src, dst_off },
+                    kind: Kind::Read,
+                }),
+            ),
+            Rpc::WriteReq { chunk, dst_off } => self.home_event(
+                ctx,
+                aid,
+                chunk,
+                HomeEvent::Request(Request {
+                    source: Requester::Remote { node: src, dst_off },
+                    kind: Kind::Write,
+                }),
+            ),
+            Rpc::OperateReq { chunk, op } => self.home_event(
+                ctx,
+                aid,
+                chunk,
+                HomeEvent::Request(Request {
+                    source: Requester::Remote {
+                        node: src,
+                        dst_off: 0,
+                    },
+                    kind: Kind::Operate(op),
+                }),
+            ),
+            Rpc::EvictNotice { chunk } => {
+                self.home_event(ctx, aid, chunk, HomeEvent::EvictNotice { from: src })
+            }
+            Rpc::WritebackNotice { chunk, downgrade } => self.home_event(
+                ctx,
+                aid,
+                chunk,
+                HomeEvent::Writeback {
+                    from: src,
+                    downgrade,
+                },
+            ),
+            Rpc::OperandFlush { chunk, op, data } => {
+                let has_data = !data.is_empty();
+                self.home_event_with_data(
+                    ctx,
+                    aid,
+                    chunk,
+                    HomeEvent::Flush {
+                        from: src,
+                        op,
+                        has_data,
+                    },
+                    has_data.then_some(data),
+                );
+            }
+            Rpc::InvalidateAck { chunk } => {
+                self.home_event(ctx, aid, chunk, HomeEvent::InvAck { from: src })
+            }
+
+            // Requester side: cache machine events.
+            Rpc::FillShared { chunk } => self.cache_event(
+                ctx,
+                &arr,
+                chunk,
+                CacheEvent::FillDone {
+                    granted: LocalState::Shared,
+                },
+                None,
+            ),
+            Rpc::FillExclusive { chunk } => self.cache_event(
+                ctx,
+                &arr,
+                chunk,
+                CacheEvent::FillDone {
+                    granted: LocalState::Exclusive,
+                },
+                None,
+            ),
+            Rpc::GrantOperated { chunk, op } => {
+                self.cache_event(ctx, &arr, chunk, CacheEvent::GrantDone { op }, None)
+            }
+            Rpc::InvalidateReq { chunk } => {
+                self.cache_event(ctx, &arr, chunk, CacheEvent::Invalidate { from: src }, None)
+            }
+            Rpc::RecallDirty { chunk } => {
+                self.cache_event(ctx, &arr, chunk, CacheEvent::RecallDirty, None)
+            }
+            Rpc::DowngradeDirty { chunk } => {
+                self.cache_event(ctx, &arr, chunk, CacheEvent::DowngradeDirty, None)
+            }
+            Rpc::RecallOperated { chunk, op } => {
+                self.cache_event(ctx, &arr, chunk, CacheEvent::RecallOperated { op }, None)
+            }
+
+            // Distributed locks (orthogonal to the coherence protocol).
+            Rpc::LockAcquire { id, kind, .. } => self.rpc_lock_acquire(ctx, &arr, id, kind, src),
+            Rpc::LockGrant { id, kind, .. } => self.rpc_lock_grant(ctx, &arr, id, kind),
+            Rpc::LockRelease { id, kind, .. } => self.rpc_lock_release(ctx, &arr, id, kind),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Peer failure (fail-stop recovery)
+    // ------------------------------------------------------------------
+
+    /// The node's reliability agent declared `dead` unreachable. Settle every
+    /// piece of protocol state this runtime thread owns that involves the
+    /// dead peer so nothing waits on it forever:
+    ///
+    /// * requester side (chunks homed on `dead`): the cache machine aborts
+    ///   in-flight fills and wakes their waiters — the application observes
+    ///   `NodeUnavailable`. Valid cached copies are *kept*: they remain
+    ///   readable/writable locally (graceful degradation; writebacks to the
+    ///   dead home are silently dropped).
+    /// * home side (chunks homed here): the home machine removes `dead` from
+    ///   sharer sets and transient wait-sets, reclaims Dirty ownership it
+    ///   held (its un-written-back data is lost — fail-stop), drops its
+    ///   queued requests, and resumes the directory engine.
+    /// * locks: wake local waiters for locks homed on `dead` (they re-check
+    ///   and error out). Locks *held by* the dead node are NOT broken — see
+    ///   "Fault model and recovery" in DESIGN.md.
+    fn handle_peer_down(&mut self, ctx: &mut Ctx, dead: NodeId) {
+        let arrays: Vec<Arc<ArrayShared>> = self.shared.arrays.read().clone();
+        for arr in &arrays {
+            for c in 0..arr.layout.num_chunks() as ChunkId {
+                if self.shared.rt_index(c) != self.rt_idx {
+                    continue;
+                }
+                let home = arr.layout.home_of_chunk(c as usize);
+                if home == dead {
+                    self.cache_event(ctx, arr, c, CacheEvent::HomeDown, None);
+                } else if home == self.node {
+                    self.home_event(ctx, arr.id, c, HomeEvent::PeerDown { dead });
+                }
+            }
+            // Wake local waiters for locks homed on the dead node. Drained
+            // under the mutex, notified after releasing it.
+            let woken: Vec<WaitCell> = {
+                let mut lw = arr.per_node[self.node].lock_waiters.lock();
+                let keys: Vec<(u64, LockKind)> = lw
+                    .keys()
+                    .filter(|(id, _)| arr.layout.home_of(*id as usize) == dead)
+                    .copied()
+                    .collect();
+                keys.into_iter()
+                    .flat_map(|k| lw.remove(&k).unwrap_or_default())
+                    .collect()
+            };
+            for w in woken {
+                w.notify(ctx);
+            }
+        }
+    }
+}

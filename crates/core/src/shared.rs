@@ -14,11 +14,11 @@ use crate::cache::CacheRegion;
 use crate::comm::RelMsg;
 use crate::config::ClusterConfig;
 use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
-use crate::directory::DirEntry;
 use crate::layout::Layout;
 use crate::lock::LockTable;
 use crate::msg::{ArrayId, ChunkId, LockKind, NetMsg, RtMsg};
 use crate::op::OpRegistry;
+use crate::protocol::HomeMachine;
 use crate::state::LocalState;
 use crate::stats::NodeStats;
 
@@ -26,9 +26,11 @@ use crate::stats::NodeStats;
 pub(crate) struct ArrayNode {
     /// One dentry per global chunk: the node's local rights + refcount.
     pub dentries: Vec<Dentry>,
-    /// One directory entry per global chunk (only the home node's entry for
-    /// a chunk is ever used).
-    pub dir: Vec<Mutex<DirEntry>>,
+    /// One home-side directory machine per global chunk (only the home
+    /// node's machine for a chunk is ever driven). Each chunk is serviced
+    /// by exactly one runtime thread, so the mutex is uncontended; it
+    /// exists for interior mutability.
+    pub home: Vec<Mutex<HomeMachine<WaitCell>>>,
     /// Home lock table for elements this node owns.
     pub lock_table: Mutex<LockTable>,
     /// Local waiters for grants from remote lock tables, FIFO per (id, kind).
@@ -65,10 +67,12 @@ impl ArrayShared {
                         }
                     })
                     .collect();
-                let dir = (0..chunks).map(|_| Mutex::new(DirEntry::new())).collect();
+                let home = (0..chunks)
+                    .map(|_| Mutex::new(HomeMachine::new()))
+                    .collect();
                 ArrayNode {
                     dentries,
-                    dir,
+                    home,
                     lock_table: Mutex::new(LockTable::default()),
                     lock_waiters: Mutex::new(HashMap::new()),
                     held: Mutex::new(HashMap::new()),
@@ -103,6 +107,39 @@ pub(crate) struct ClusterShared {
     /// (monotonic, fail-stop). Each node holds its own independent view —
     /// failure detection is local, exactly as it would be on real hardware.
     pub peer_down: Vec<Vec<AtomicBool>>,
+    /// First protocol-invariant violation observed by any runtime thread.
+    /// Poisons the cluster: `try_*` APIs surface it as
+    /// [`crate::DArrayError::ProtocolInvariant`] instead of aborting the
+    /// process.
+    pub protocol_fault: ProtocolFault,
+}
+
+/// Sticky record of the first protocol-invariant violation. The flag is a
+/// cheap relaxed atomic so the application fast path can check it without
+/// touching the mutex.
+#[derive(Default)]
+pub(crate) struct ProtocolFault {
+    set: AtomicBool,
+    msg: Mutex<Option<String>>,
+}
+
+impl ProtocolFault {
+    /// Record a violation (first writer wins; later ones are dropped).
+    pub(crate) fn record(&self, diagnostic: String) {
+        let mut g = self.msg.lock();
+        if g.is_none() {
+            *g = Some(diagnostic);
+        }
+        self.set.store(true, Ordering::Release);
+    }
+
+    /// The recorded diagnostic, if any. One atomic load when healthy.
+    pub(crate) fn get(&self) -> Option<String> {
+        if !self.set.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.msg.lock().clone()
+    }
 }
 
 impl ClusterShared {
@@ -179,5 +216,14 @@ mod tests {
         assert_eq!(a.per_node[1].dentries[2].state(), LocalState::Exclusive);
         assert_eq!(a.per_node[1].dentries[0].state(), LocalState::Invalid);
         assert_eq!(a.subarrays[0].len(), 1024);
+    }
+
+    #[test]
+    fn protocol_fault_is_sticky_and_first_writer_wins() {
+        let f = ProtocolFault::default();
+        assert_eq!(f.get(), None);
+        f.record("first violation".to_string());
+        f.record("second violation".to_string());
+        assert_eq!(f.get().as_deref(), Some("first violation"));
     }
 }

@@ -78,11 +78,24 @@ impl LocalState {
             Self::FillingShared | Self::FillingExclusive | Self::FillingOperated
         )
     }
+
+    /// State name for structured protocol traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Invalid => "Invalid",
+            Self::Shared => "Shared",
+            Self::Exclusive => "Exclusive",
+            Self::Operated => "Operated",
+            Self::FillingShared => "FillingShared",
+            Self::FillingExclusive => "FillingExclusive",
+            Self::FillingOperated => "FillingOperated",
+        }
+    }
 }
 
 /// Directory (home-node) state of a chunk: the four stable states of
 /// Table 1. Transient phases during multi-message transitions are tracked
-/// separately by the directory entry (`directory::Transient`).
+/// separately by the home-side machine (`protocol::Transient`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirState {
     /// Exclusively owned by the home node (R/W/O at home, nothing

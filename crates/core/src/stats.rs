@@ -30,6 +30,15 @@ pub struct NodeStats {
     pub locks_granted: AtomicU64,
     /// Prefetch fills issued.
     pub prefetches: AtomicU64,
+    /// Recall/downgrade messages honored by this node (home pulled back a
+    /// dirty or operated copy we held).
+    pub recalls: AtomicU64,
+    /// Operand flushes *reduced into* this node's home subarray (each is one
+    /// remote node's combined Operated contribution).
+    pub operated_reductions: AtomicU64,
+    /// Protocol state transitions executed by this node's machines (home
+    /// directory + local cache), as emitted by `protocol::Transition`.
+    pub transitions: AtomicU64,
     /// Reliable-RPC timeout expirations (each triggers a retransmit or, at
     /// the retry limit, a peer-down declaration). Zero unless
     /// `ClusterConfig::fault` is set.
@@ -57,6 +66,9 @@ pub struct NodeStatsSnapshot {
     pub local_combines: u64,
     pub locks_granted: u64,
     pub prefetches: u64,
+    pub recalls: u64,
+    pub operated_reductions: u64,
+    pub transitions: u64,
     pub rpc_timeouts: u64,
     pub retransmits: u64,
     pub dup_rpcs: u64,
@@ -84,6 +96,9 @@ impl NodeStats {
             local_combines: self.local_combines.load(Ordering::Relaxed),
             locks_granted: self.locks_granted.load(Ordering::Relaxed),
             prefetches: self.prefetches.load(Ordering::Relaxed),
+            recalls: self.recalls.load(Ordering::Relaxed),
+            operated_reductions: self.operated_reductions.load(Ordering::Relaxed),
+            transitions: self.transitions.load(Ordering::Relaxed),
             rpc_timeouts: self.rpc_timeouts.load(Ordering::Relaxed),
             retransmits: self.retransmits.load(Ordering::Relaxed),
             dup_rpcs: self.dup_rpcs.load(Ordering::Relaxed),

@@ -1,13 +1,22 @@
-//! Ad-hoc protocol tracing for debugging: set `DARRAY_TRACE_CHUNK=<n>` to
-//! print every protocol event touching that chunk to stderr.
+//! Structured protocol tracing for debugging: set `DARRAY_TRACE_CHUNK=<n>`
+//! to print every protocol transition and event touching that chunk to
+//! stderr, optionally narrowed to one array with `DARRAY_TRACE_ARRAY=<id>`.
+//!
+//! Transitions come from the sans-I/O machines in [`crate::protocol`] as
+//! [`Transition`] records (old state, new state, trigger); the executor
+//! forwards them here and counts them in `NodeStats::transitions`, so
+//! tracing and accounting share one source of truth instead of ad-hoc
+//! format strings scattered through the runtime.
 
 use std::sync::OnceLock;
+
+use crate::protocol::Transition;
 
 static TRACE_CHUNK: OnceLock<Option<u32>> = OnceLock::new();
 static TRACE_ARRAY: OnceLock<Option<u32>> = OnceLock::new();
 
 #[inline]
-pub(crate) fn traced_chunk() -> Option<u32> {
+fn traced_chunk() -> Option<u32> {
     *TRACE_CHUNK.get_or_init(|| {
         std::env::var("DARRAY_TRACE_CHUNK")
             .ok()
@@ -18,7 +27,7 @@ pub(crate) fn traced_chunk() -> Option<u32> {
 /// Optional additional filter: only trace this array id
 /// (`DARRAY_TRACE_ARRAY`).
 #[inline]
-pub(crate) fn array_matches(id: u32) -> bool {
+fn array_matches(id: u32) -> bool {
     TRACE_ARRAY
         .get_or_init(|| {
             std::env::var("DARRAY_TRACE_ARRAY")
@@ -29,14 +38,27 @@ pub(crate) fn array_matches(id: u32) -> bool {
         .unwrap_or(true)
 }
 
-macro_rules! trace_chunk {
-    ($chunk:expr, $($arg:tt)*) => {
-        if let Some(tc) = crate::trace::traced_chunk() {
-            if tc == $chunk as u32 {
-                eprintln!("[chunk {}] {}", $chunk, format!($($arg)*));
-            }
-        }
-    };
+/// Is tracing active for this (array, chunk)?
+#[inline]
+pub(crate) fn enabled(array: u32, chunk: u32) -> bool {
+    traced_chunk() == Some(chunk) && array_matches(array)
 }
 
-pub(crate) use trace_chunk;
+/// Print a machine-emitted state transition.
+pub(crate) fn transition(array: u32, chunk: u32, node: usize, now: u64, t: &Transition) {
+    if enabled(array, chunk) {
+        eprintln!(
+            "[chunk {chunk}] t={now} node{node} {} -> {} ({})",
+            t.from, t.to, t.trigger
+        );
+    }
+}
+
+/// Print a free-form protocol event (requests, fills, continuations).
+/// `what` is only formatted when the filters match.
+#[inline]
+pub(crate) fn event(array: u32, chunk: u32, node: usize, now: u64, what: std::fmt::Arguments<'_>) {
+    if enabled(array, chunk) {
+        eprintln!("[chunk {chunk}] t={now} node{node} {what}");
+    }
+}

@@ -1,0 +1,658 @@
+//! Thread-free model test of the sans-I/O coherence protocol
+//! (`darray::protocol`).
+//!
+//! No simulator, no channels, no runtime threads: a tiny *world model*
+//! plays the role of a faithful 3-node cluster around a [`HomeMachine`].
+//! Every action the machine emits is turned into the reply a correct cache
+//! would send (invalidate -> ack, recall -> writeback, recall-operated ->
+//! flush, drain -> drained), and the world tracks the access rights each
+//! grant conveys. After every delivered event the world checks the protocol
+//! invariants:
+//!
+//! * **single writer** — at most one node holds write rights, and while one
+//!   does, nobody else holds any rights;
+//! * **sharer sets** — when the directory is stable, its sharer list agrees
+//!   exactly with the rights the world has observed being granted;
+//! * **progress** — a stable directory never sits on queued requests.
+//!
+//! Two drivers exercise the machine: an exhaustive pass over every stable
+//! state x request kind x requester (with all 3-node sharer sets), and a
+//! randomized interleaving pass that mixes requests, voluntary evictions,
+//! grace-window retries and stale messages over hundreds of steps.
+//! A third test sweeps the requester-side [`CacheMachine`] over its full
+//! view x event cross-product.
+
+use std::collections::BTreeSet;
+
+use darray::protocol::{
+    AfterDrain, CacheAction, CacheEvent, CacheMachine, CacheView, HomeAction, HomeEvent,
+    HomeMachine, Kind, Request, Requester, LINE_NONE, NOTAG,
+};
+use darray::{DirState, LocalState};
+
+const HOME: usize = 0;
+const REMOTES: [usize; 2] = [1, 2];
+
+/// Rights a remote node currently holds, as implied by the grants and
+/// revocations the world has delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum R {
+    None,
+    Read,
+    Write,
+    Op(u32),
+}
+
+/// A reply the modelled cluster owes the home machine.
+#[derive(Debug, Clone, Copy)]
+enum Reply {
+    InvAck(usize),
+    WritebackFull(usize),
+    WritebackDown(usize),
+    Flush(usize, u32),
+    Drained,
+    Retry(u64),
+}
+
+/// Deterministic splitmix-style PRNG (no external deps).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+struct World {
+    m: HomeMachine<u32>,
+    grace: u64,
+    now: u64,
+    rights: [R; 3],
+    home_local: LocalState,
+    drain_target: Option<LocalState>,
+    inflight: Vec<Reply>,
+    issued_waiters: BTreeSet<u32>,
+    woken: BTreeSet<u32>,
+    next_waiter: u32,
+    /// (stable-state name, "Request:<kind>:<source>") pairs serviced.
+    request_coverage: BTreeSet<(String, String)>,
+    /// (transient name at delivery, event name) pairs observed.
+    transient_coverage: BTreeSet<(String, String)>,
+}
+
+impl World {
+    fn new(grace: u64) -> Self {
+        Self {
+            m: HomeMachine::new(),
+            grace,
+            now: 0,
+            rights: [R::None; 3],
+            home_local: LocalState::Exclusive,
+            drain_target: None,
+            inflight: Vec::new(),
+            issued_waiters: BTreeSet::new(),
+            woken: BTreeSet::new(),
+            next_waiter: 0,
+            request_coverage: BTreeSet::new(),
+            transient_coverage: BTreeSet::new(),
+        }
+    }
+
+    fn feed(&mut self, ev: HomeEvent<u32>, label: &str) {
+        self.transient_coverage
+            .insert((self.m.transient().name().to_string(), label.to_string()));
+        if let HomeEvent::Request(req) = &ev {
+            if self.m.transient().is_none() && !self.m.has_current() {
+                let kind = match req.kind {
+                    Kind::Read => "Read",
+                    Kind::Write => "Write",
+                    Kind::Operate(_) => "Operate",
+                };
+                let src = match req.source {
+                    Requester::Local(_) => "Local",
+                    Requester::Remote { .. } => "Remote",
+                };
+                self.request_coverage
+                    .insert((self.m.state().name().to_string(), format!("{kind}:{src}")));
+            }
+        }
+        let actions = self.m.on_event(self.now, self.grace, ev);
+        self.apply(&actions);
+        self.check_invariants();
+    }
+
+    fn apply(&mut self, actions: &[HomeAction<u32>]) {
+        for a in actions {
+            match a {
+                HomeAction::ChargeDirUpdate
+                | HomeAction::ApplyFlushData { .. }
+                | HomeAction::Trace(_)
+                | HomeAction::Count(_) => {}
+                HomeAction::Wake(w) => {
+                    assert!(self.woken.insert(*w), "waiter {w} woken twice");
+                }
+                HomeAction::SendFill { to, exclusive, .. } => {
+                    self.rights[*to] = if *exclusive { R::Write } else { R::Read };
+                }
+                HomeAction::SendGrant { to, op } => self.rights[*to] = R::Op(*op),
+                HomeAction::SendInvalidate { to } => self.inflight.push(Reply::InvAck(*to)),
+                HomeAction::SendRecallDirty { to } => {
+                    self.inflight.push(Reply::WritebackFull(*to));
+                }
+                HomeAction::SendDowngrade { to } => {
+                    self.inflight.push(Reply::WritebackDown(*to));
+                }
+                HomeAction::SendRecallOperated { to, op } => {
+                    self.inflight.push(Reply::Flush(*to, *op));
+                }
+                HomeAction::SetHomeLocal { state, .. } => self.home_local = *state,
+                HomeAction::StartHomeDrain { target, .. } => {
+                    self.drain_target = Some(*target);
+                    self.inflight.push(Reply::Drained);
+                }
+                HomeAction::ScheduleRetry { at } => self.inflight.push(Reply::Retry(*at)),
+            }
+        }
+    }
+
+    /// Deliver the `i`-th in-flight reply, mimicking what a correct cache
+    /// does to its own rights before replying.
+    fn deliver(&mut self, i: usize) {
+        let reply = self.inflight.swap_remove(i);
+        self.now += 1;
+        match reply {
+            Reply::InvAck(n) => {
+                self.rights[n] = R::None;
+                self.feed(HomeEvent::InvAck { from: n }, "InvAck");
+            }
+            Reply::WritebackFull(n) => {
+                self.rights[n] = R::None;
+                self.feed(
+                    HomeEvent::Writeback {
+                        from: n,
+                        downgrade: false,
+                    },
+                    "Writeback",
+                );
+            }
+            Reply::WritebackDown(n) => {
+                self.rights[n] = R::Read;
+                self.feed(
+                    HomeEvent::Writeback {
+                        from: n,
+                        downgrade: true,
+                    },
+                    "Writeback",
+                );
+            }
+            Reply::Flush(n, op) => {
+                self.rights[n] = R::None;
+                self.feed(
+                    HomeEvent::Flush {
+                        from: n,
+                        op,
+                        has_data: true,
+                    },
+                    "Flush",
+                );
+            }
+            Reply::Drained => {
+                if let Some(t) = self.drain_target.take() {
+                    self.home_local = t;
+                }
+                self.feed(HomeEvent::Drained, "Drained");
+            }
+            Reply::Retry(at) => {
+                self.now = self.now.max(at);
+                self.feed(HomeEvent::RetryExpired, "RetryExpired");
+            }
+        }
+    }
+
+    fn local_request(&mut self, kind: Kind) {
+        let w = self.next_waiter;
+        self.next_waiter += 1;
+        self.issued_waiters.insert(w);
+        self.feed(
+            HomeEvent::Request(Request {
+                source: Requester::Local(w),
+                kind,
+            }),
+            "Request",
+        );
+    }
+
+    fn remote_request(&mut self, node: usize, kind: Kind) {
+        assert_eq!(
+            self.rights[node],
+            R::None,
+            "model only issues requests from nodes without rights"
+        );
+        self.feed(
+            HomeEvent::Request(Request {
+                source: Requester::Remote { node, dst_off: 0 },
+                kind,
+            }),
+            "Request",
+        );
+    }
+
+    fn check_invariants(&self) {
+        // Single writer: at most one node writes, and then nobody else
+        // holds anything.
+        let writers: Vec<usize> = REMOTES
+            .iter()
+            .copied()
+            .filter(|&n| self.rights[n] == R::Write)
+            .collect();
+        assert!(writers.len() <= 1, "two writers: {:?}", self.rights);
+        if let [w] = writers[..] {
+            for n in REMOTES {
+                if n != w {
+                    assert_eq!(
+                        self.rights[n],
+                        R::None,
+                        "node {n} holds rights alongside writer {w}: {:?}",
+                        self.rights
+                    );
+                }
+            }
+        }
+        // All concurrent operators agree.
+        let ops: BTreeSet<u32> = REMOTES
+            .iter()
+            .filter_map(|&n| match self.rights[n] {
+                R::Op(o) => Some(o),
+                _ => None,
+            })
+            .collect();
+        assert!(ops.len() <= 1, "mixed operators live: {:?}", self.rights);
+
+        // Stable directory: sharer sets match granted rights exactly, the
+        // home dentry matches the Table-1 row, and no request is parked.
+        if self.m.transient().is_none() {
+            assert_eq!(self.m.pending_len(), 0, "stable state with queued work");
+            assert!(!self.m.has_current(), "stable state with a parked request");
+            match self.m.state() {
+                DirState::Unshared => {
+                    for n in REMOTES {
+                        assert_eq!(self.rights[n], R::None, "Unshared but {:?}", self.rights);
+                    }
+                }
+                DirState::Shared { sharers } => {
+                    let set: BTreeSet<usize> = sharers.iter().copied().collect();
+                    assert_eq!(set.len(), sharers.len(), "duplicate sharers: {sharers:?}");
+                    assert!(!set.contains(&HOME), "home listed as its own sharer");
+                    for n in REMOTES {
+                        let expect = if set.contains(&n) { R::Read } else { R::None };
+                        assert_eq!(self.rights[n], expect, "Shared{sharers:?}");
+                    }
+                }
+                DirState::Dirty { owner } => {
+                    assert_ne!(*owner, HOME, "home cannot be the Dirty owner");
+                    for n in REMOTES {
+                        let expect = if n == *owner { R::Write } else { R::None };
+                        assert_eq!(self.rights[n], expect, "Dirty{{owner: {owner}}}");
+                    }
+                }
+                DirState::Operated { op, sharers } => {
+                    let set: BTreeSet<usize> = sharers.iter().copied().collect();
+                    assert_eq!(set.len(), sharers.len(), "duplicate sharers: {sharers:?}");
+                    for n in REMOTES {
+                        let expect = if set.contains(&n) {
+                            R::Op(op.0)
+                        } else {
+                            R::None
+                        };
+                        assert_eq!(self.rights[n], expect, "Operated{sharers:?}");
+                    }
+                }
+            }
+            assert_eq!(
+                self.home_local,
+                self.m.state().home_local(),
+                "home dentry out of sync with directory {:?}",
+                self.m.state()
+            );
+        }
+    }
+
+    /// Deliver every outstanding reply until the protocol is fully stable.
+    fn quiesce(&mut self) {
+        let mut steps = 0;
+        while !self.inflight.is_empty() {
+            self.deliver(0);
+            steps += 1;
+            assert!(steps < 10_000, "protocol failed to quiesce");
+        }
+        assert!(self.m.transient().is_none(), "quiesced with a transient");
+        assert_eq!(
+            self.issued_waiters, self.woken,
+            "local requests left sleeping at quiescence"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builders: drive a fresh machine into each stable state.
+// ---------------------------------------------------------------------
+
+fn shared(world: &mut World, sharers: &[usize]) {
+    for &n in sharers {
+        world.remote_request(n, Kind::Read);
+        world.quiesce();
+    }
+    assert_eq!(world.m.state().name(), "Shared");
+}
+
+fn dirty(world: &mut World, owner: usize) {
+    world.remote_request(owner, Kind::Write);
+    world.quiesce();
+    assert_eq!(world.m.state(), &DirState::Dirty { owner });
+}
+
+fn operated(world: &mut World, op: u32, sharers: &[usize]) {
+    for &n in sharers {
+        world.remote_request(n, Kind::Operate(op));
+        world.quiesce();
+    }
+    assert_eq!(world.m.state().name(), "Operated");
+}
+
+#[test]
+fn exhaustive_state_by_request_matrix() {
+    const OP: u32 = 5;
+    let sharer_sets: [&[usize]; 3] = [&[1], &[2], &[1, 2]];
+    let kinds = [Kind::Read, Kind::Write, Kind::Operate(OP), Kind::Operate(9)];
+    let mut coverage = BTreeSet::new();
+
+    // Every stable configuration of a 3-node cluster...
+    type Config = Box<dyn Fn(&mut World)>;
+    let mut configs: Vec<Config> = vec![Box::new(|_| {})];
+    for s in sharer_sets {
+        configs.push(Box::new(move |w| shared(w, s)));
+        configs.push(Box::new(move |w| operated(w, OP, s)));
+    }
+    for owner in REMOTES {
+        configs.push(Box::new(move |w| dirty(w, owner)));
+    }
+
+    // ...crossed with every request kind from every requester.
+    for build in &configs {
+        for kind in kinds {
+            // Local requester.
+            let mut w = World::new(0);
+            build(&mut w);
+            w.local_request(kind);
+            w.quiesce();
+            coverage.extend(w.request_coverage);
+
+            // Every remote requester that does not already hold rights.
+            for node in REMOTES {
+                let mut w = World::new(0);
+                build(&mut w);
+                if w.rights[node] != R::None {
+                    continue;
+                }
+                w.remote_request(node, kind);
+                w.quiesce();
+                coverage.extend(w.request_coverage);
+            }
+        }
+    }
+
+    // Every stable state saw every request kind from both requester sides.
+    for state in ["Unshared", "Shared", "Dirty", "Operated"] {
+        for kind in ["Read", "Write", "Operate"] {
+            for src in ["Local", "Remote"] {
+                assert!(
+                    coverage.contains(&(state.to_string(), format!("{kind}:{src}"))),
+                    "state x request pair never serviced: {state} x {kind}:{src}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_interleavings_preserve_invariants() {
+    let mut transient_coverage = BTreeSet::new();
+    for seed in 0..48u64 {
+        let grace = if seed % 2 == 0 { 0 } else { 40 };
+        let mut w = World::new(grace);
+        let mut rng = Rng(seed.wrapping_mul(0x5851f42d4c957f2d) + 1);
+        for _ in 0..300 {
+            w.now += 1;
+            // Prefer delivering outstanding replies; otherwise inject load.
+            if !w.inflight.is_empty() && rng.below(3) != 0 {
+                let i = rng.below(w.inflight.len());
+                w.deliver(i);
+                continue;
+            }
+            match rng.below(10) {
+                // New work from a random requester.
+                0..=4 => {
+                    let kind = match rng.below(4) {
+                        0 => Kind::Read,
+                        1 => Kind::Write,
+                        2 => Kind::Operate(5),
+                        _ => Kind::Operate(9),
+                    };
+                    if rng.below(3) == 0 {
+                        w.local_request(kind);
+                    } else {
+                        let node = REMOTES[rng.below(2)];
+                        if w.rights[node] == R::None {
+                            w.remote_request(node, kind);
+                        }
+                    }
+                }
+                // Voluntary eviction of a shared copy.
+                5 => {
+                    if w.m.transient().is_none() {
+                        if let Some(&n) = REMOTES.iter().find(|&&n| w.rights[n] == R::Read) {
+                            w.rights[n] = R::None;
+                            w.feed(HomeEvent::EvictNotice { from: n }, "EvictNotice");
+                        }
+                    }
+                }
+                // Voluntary writeback by the Dirty owner.
+                6 => {
+                    if w.m.transient().is_none() {
+                        if let Some(&n) = REMOTES.iter().find(|&&n| w.rights[n] == R::Write) {
+                            w.rights[n] = R::None;
+                            w.feed(
+                                HomeEvent::Writeback {
+                                    from: n,
+                                    downgrade: false,
+                                },
+                                "Writeback",
+                            );
+                        }
+                    }
+                }
+                // Voluntary flush by an Operated sharer.
+                7 => {
+                    if w.m.transient().is_none() {
+                        let holder = REMOTES.iter().find_map(|&n| match w.rights[n] {
+                            R::Op(o) => Some((n, o)),
+                            _ => None,
+                        });
+                        if let Some((n, o)) = holder {
+                            w.rights[n] = R::None;
+                            w.feed(
+                                HomeEvent::Flush {
+                                    from: n,
+                                    op: o,
+                                    has_data: true,
+                                },
+                                "Flush",
+                            );
+                        }
+                    }
+                }
+                // Stale ack noise: must be ignored outside an epoch.
+                _ => {
+                    if w.m.transient().is_none() {
+                        let before = w.m.state().clone();
+                        w.feed(
+                            HomeEvent::InvAck {
+                                from: REMOTES[rng.below(2)],
+                            },
+                            "InvAck",
+                        );
+                        assert_eq!(w.m.state(), &before, "stale InvAck changed state");
+                    }
+                }
+            }
+        }
+        w.quiesce();
+        transient_coverage.extend(w.transient_coverage);
+    }
+
+    // The interleavings reached every multi-message transition phase.
+    for (transient, event) in [
+        ("AwaitInvAcks", "InvAck"),
+        ("AwaitWriteback", "Writeback"),
+        ("AwaitFlushes", "Flush"),
+        ("HomeDrain", "Drained"),
+        ("GraceWait", "RetryExpired"),
+    ] {
+        assert!(
+            transient_coverage.contains(&(transient.to_string(), event.to_string())),
+            "transient x event pair never exercised: {transient} x {event}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requester-side machine: full view x event sweep.
+// ---------------------------------------------------------------------
+
+fn all_cache_events() -> Vec<CacheEvent> {
+    use CacheEvent::*;
+    let mut v = Vec::new();
+    for kind in [Kind::Read, Kind::Write, Kind::Operate(5)] {
+        for home_down in [false, true] {
+            for drain_pending in [false, true] {
+                v.push(Request {
+                    kind,
+                    home_down,
+                    drain_pending,
+                });
+            }
+        }
+        v.push(LineAllocated { line: 3, kind });
+    }
+    for granted in [LocalState::Shared, LocalState::Exclusive] {
+        v.push(FillDone { granted });
+    }
+    for op in [5, 9] {
+        v.push(GrantDone { op });
+        v.push(RecallOperated { op });
+    }
+    v.push(Invalidate { from: 0 });
+    v.push(RecallDirty);
+    v.push(DowngradeDirty);
+    v.push(Evict);
+    let afters = [
+        AfterDrain::Invalidate {
+            line: 3,
+            reply_to: 0,
+        },
+        AfterDrain::WritebackInvalidate { line: 3 },
+        AfterDrain::Downgrade { line: 3 },
+        AfterDrain::FlushInvalidate { line: 3, op: 5 },
+        AfterDrain::EvictShared { line: 3 },
+        AfterDrain::Upgrade {
+            line: 3,
+            kind: Kind::Write,
+        },
+        AfterDrain::FlushThenUpgrade {
+            line: 3,
+            old_op: 5,
+            kind: Kind::Operate(9),
+        },
+    ];
+    for after in afters {
+        for home_down in [false, true] {
+            v.push(Drained { after, home_down });
+        }
+    }
+    v.push(HomeDown);
+    v
+}
+
+#[test]
+fn cache_machine_total_over_view_event_product() {
+    let states = [
+        LocalState::Invalid,
+        LocalState::Shared,
+        LocalState::Exclusive,
+        LocalState::Operated,
+        LocalState::FillingShared,
+        LocalState::FillingExclusive,
+        LocalState::FillingOperated,
+    ];
+    let mut pairs = 0usize;
+    for state in states {
+        for line in [LINE_NONE, 3] {
+            for draining in [false, true] {
+                for op_tag in [NOTAG, 5] {
+                    let view = CacheView {
+                        state,
+                        op_tag,
+                        line,
+                        draining,
+                    };
+                    for ev in all_cache_events() {
+                        let is_request = matches!(ev, CacheEvent::Request { .. });
+                        let acts = CacheMachine::on_event(&view, ev);
+                        pairs += 1;
+                        // The requester wait-cell is consumed exactly once
+                        // on Request events and never otherwise — the
+                        // executor relies on this to hand off the waiter.
+                        let consumes = acts
+                            .iter()
+                            .filter(|a| {
+                                matches!(a, CacheAction::QueueWaiter | CacheAction::WakeRequester)
+                            })
+                            .count();
+                        if is_request {
+                            assert_eq!(
+                                consumes, 1,
+                                "Request must queue or wake exactly once: {view:?} -> {acts:?}"
+                            );
+                        } else {
+                            assert_eq!(
+                                consumes, 0,
+                                "non-Request event consumed a requester: {view:?} -> {acts:?}"
+                            );
+                        }
+                        // A single event starts at most one drain and
+                        // allocates at most one line.
+                        for pat in [
+                            acts.iter()
+                                .filter(|a| matches!(a, CacheAction::BeginDrain { .. }))
+                                .count(),
+                            acts.iter()
+                                .filter(|a| matches!(a, CacheAction::AllocLine { .. }))
+                                .count(),
+                        ] {
+                            assert!(pat <= 1, "duplicated structural action: {acts:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // 7 states x 2 lines x 2 drain flags x 2 tags x |events|.
+    assert!(pairs > 1_500, "sweep unexpectedly small: {pairs} pairs");
+}

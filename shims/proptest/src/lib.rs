@@ -278,7 +278,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    /// Length specification for [`vec!`]: a fixed size or a half-open range.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive

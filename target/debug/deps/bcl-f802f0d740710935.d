@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bcl-f802f0d740710935.d: crates/bcl/src/lib.rs
+
+/root/repo/target/debug/deps/libbcl-f802f0d740710935.rmeta: crates/bcl/src/lib.rs
+
+crates/bcl/src/lib.rs:

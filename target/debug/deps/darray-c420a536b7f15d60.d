@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/darray-c420a536b7f15d60.d: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/bulk.rs crates/core/src/cache.rs crates/core/src/cluster.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/dentry.rs crates/core/src/directory.rs crates/core/src/element.rs crates/core/src/error.rs crates/core/src/layout.rs crates/core/src/lock.rs crates/core/src/msg.rs crates/core/src/op.rs crates/core/src/pin.rs crates/core/src/runtime.rs crates/core/src/shared.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/darray-c420a536b7f15d60.d: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/bulk.rs crates/core/src/cache.rs crates/core/src/cluster.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/dentry.rs crates/core/src/element.rs crates/core/src/error.rs crates/core/src/layout.rs crates/core/src/lock.rs crates/core/src/msg.rs crates/core/src/op.rs crates/core/src/pin.rs crates/core/src/protocol/mod.rs crates/core/src/protocol/cache.rs crates/core/src/protocol/home.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/locks.rs crates/core/src/shared.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdarray-c420a536b7f15d60.rmeta: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/bulk.rs crates/core/src/cache.rs crates/core/src/cluster.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/dentry.rs crates/core/src/directory.rs crates/core/src/element.rs crates/core/src/error.rs crates/core/src/layout.rs crates/core/src/lock.rs crates/core/src/msg.rs crates/core/src/op.rs crates/core/src/pin.rs crates/core/src/runtime.rs crates/core/src/shared.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libdarray-c420a536b7f15d60.rmeta: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/bulk.rs crates/core/src/cache.rs crates/core/src/cluster.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/dentry.rs crates/core/src/element.rs crates/core/src/error.rs crates/core/src/layout.rs crates/core/src/lock.rs crates/core/src/msg.rs crates/core/src/op.rs crates/core/src/pin.rs crates/core/src/protocol/mod.rs crates/core/src/protocol/cache.rs crates/core/src/protocol/home.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/locks.rs crates/core/src/shared.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/trace.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/array.rs:
@@ -10,7 +10,6 @@ crates/core/src/cluster.rs:
 crates/core/src/comm.rs:
 crates/core/src/config.rs:
 crates/core/src/dentry.rs:
-crates/core/src/directory.rs:
 crates/core/src/element.rs:
 crates/core/src/error.rs:
 crates/core/src/layout.rs:
@@ -18,11 +17,15 @@ crates/core/src/lock.rs:
 crates/core/src/msg.rs:
 crates/core/src/op.rs:
 crates/core/src/pin.rs:
-crates/core/src/runtime.rs:
+crates/core/src/protocol/mod.rs:
+crates/core/src/protocol/cache.rs:
+crates/core/src/protocol/home.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/locks.rs:
 crates/core/src/shared.rs:
 crates/core/src/state.rs:
-crates/core/src/trace.rs:
 crates/core/src/stats.rs:
+crates/core/src/trace.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

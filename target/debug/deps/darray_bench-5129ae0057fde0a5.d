@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/darray_bench-5129ae0057fde0a5.d: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdarray_bench-5129ae0057fde0a5.rmeta: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/graphs.rs:
+crates/bench/src/kvsbench.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/operate.rs:
+crates/bench/src/report.rs:

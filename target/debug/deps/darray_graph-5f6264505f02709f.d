@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/darray_graph-5f6264505f02709f.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+/root/repo/target/debug/deps/libdarray_graph-5f6264505f02709f.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/gam_engine.rs:
+crates/graph/src/gemini.rs:
+crates/graph/src/local.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/reference.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sssp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/darray_kvs-896d0a6ef67b1d3a.d: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+/root/repo/target/debug/deps/libdarray_kvs-896d0a6ef67b1d3a.rmeta: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+crates/kvs/src/lib.rs:
+crates/kvs/src/backend.rs:
+crates/kvs/src/entry.rs:
+crates/kvs/src/hash.rs:
+crates/kvs/src/slab.rs:
+crates/kvs/src/store.rs:

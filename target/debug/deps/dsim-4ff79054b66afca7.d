@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsim-4ff79054b66afca7.d: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdsim-4ff79054b66afca7.rmeta: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/mailbox.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gam-fc170f338834ac6d.d: crates/gam/src/lib.rs
+
+/root/repo/target/debug/deps/libgam-fc170f338834ac6d.rmeta: crates/gam/src/lib.rs
+
+crates/gam/src/lib.rs:

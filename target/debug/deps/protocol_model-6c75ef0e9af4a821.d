@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_model-6c75ef0e9af4a821.d: crates/core/tests/protocol_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_model-6c75ef0e9af4a821.rmeta: crates/core/tests/protocol_model.rs Cargo.toml
+
+crates/core/tests/protocol_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

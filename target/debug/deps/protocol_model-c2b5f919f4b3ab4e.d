@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_model-c2b5f919f4b3ab4e.d: crates/core/tests/protocol_model.rs
+
+/root/repo/target/debug/deps/protocol_model-c2b5f919f4b3ab4e: crates/core/tests/protocol_model.rs
+
+crates/core/tests/protocol_model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rdma_fabric-e1fd2e60d372b6d6.d: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+/root/repo/target/debug/deps/librdma_fabric-e1fd2e60d372b6d6.rmeta: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/fabric.rs:
+crates/fabric/src/fault.rs:
+crates/fabric/src/net.rs:
+crates/fabric/src/region.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/workloads-70e58a732159c9b6.d: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libworkloads-70e58a732159c9b6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["darray",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"darray/enum.ConfigError.html\" title=\"enum darray::ConfigError\">ConfigError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"darray/enum.DArrayError.html\" title=\"enum darray::DArrayError\">DArrayError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"darray/enum.Rights.html\" title=\"enum darray::Rights\">Rights</a>",0]]],["proptest",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"struct\" href=\"proptest/test_runner/struct.TestCaseError.html\" title=\"struct proptest::test_runner::TestCaseError\">TestCaseError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[771,314]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["darray",[["impl&lt;T: <a class=\"trait\" href=\"darray/trait.Element.html\" title=\"trait darray::Element\">Element</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"darray/struct.Pinned.html\" title=\"struct darray::Pinned\">Pinned</a>&lt;T&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[380]}

@@ -1,0 +1,9 @@
+(function() {
+    var type_impls = Object.fromEntries([["darray_graph",[["<details class=\"toggle implementors-toggle\" open><summary><section id=\"impl-NodeEnv\" class=\"impl\"><a href=\"#impl-NodeEnv\" class=\"anchor\">§</a><h3 class=\"code-header\">impl NodeEnv</h3></section></summary><div class=\"impl-items\"><details class=\"toggle method-toggle\" open><summary><section id=\"method.barrier\" class=\"method\"><h4 class=\"code-header\">pub fn <a href=\"#method.barrier\" class=\"fn\">barrier</a>(&amp;self, ctx: &amp;mut Ctx)</h4></section></summary><div class=\"docblock\"><p>Global barrier over every application thread of this <code>run</code>.</p>\n</div></details></div></details>",0,"darray_graph::cc::Env"]]]]);
+    if (window.register_type_impls) {
+        window.register_type_impls(type_impls);
+    } else {
+        window.pending_type_impls = type_impls;
+    }
+})()
+//{"start":55,"fragment_lengths":[668]}

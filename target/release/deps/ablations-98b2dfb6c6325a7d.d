@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-98b2dfb6c6325a7d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-98b2dfb6c6325a7d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

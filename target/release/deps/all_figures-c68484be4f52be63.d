@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-c68484be4f52be63.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-c68484be4f52be63: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

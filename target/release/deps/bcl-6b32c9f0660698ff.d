@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bcl-6b32c9f0660698ff.d: crates/bcl/src/lib.rs
+
+/root/repo/target/release/deps/bcl-6b32c9f0660698ff: crates/bcl/src/lib.rs
+
+crates/bcl/src/lib.rs:

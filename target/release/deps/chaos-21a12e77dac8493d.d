@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-21a12e77dac8493d.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-21a12e77dac8493d: tests/chaos.rs
+
+tests/chaos.rs:

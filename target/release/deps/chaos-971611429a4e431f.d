@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-971611429a4e431f.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-971611429a4e431f: tests/chaos.rs
+
+tests/chaos.rs:

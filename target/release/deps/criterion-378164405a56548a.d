@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-378164405a56548a.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-378164405a56548a: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_system-de7af3214a70253c.d: tests/cross_system.rs
+
+/root/repo/target/release/deps/cross_system-de7af3214a70253c: tests/cross_system.rs
+
+tests/cross_system.rs:

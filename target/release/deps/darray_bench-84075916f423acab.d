@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/darray_bench-84075916f423acab.d: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/darray_bench-84075916f423acab: crates/bench/src/lib.rs crates/bench/src/graphs.rs crates/bench/src/kvsbench.rs crates/bench/src/micro.rs crates/bench/src/operate.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/graphs.rs:
+crates/bench/src/kvsbench.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/operate.rs:
+crates/bench/src/report.rs:

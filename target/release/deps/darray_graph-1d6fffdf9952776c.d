@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/darray_graph-1d6fffdf9952776c.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+/root/repo/target/release/deps/darray_graph-1d6fffdf9952776c: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/gam_engine.rs crates/graph/src/gemini.rs crates/graph/src/local.rs crates/graph/src/pagerank.rs crates/graph/src/reference.rs crates/graph/src/rmat.rs crates/graph/src/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/gam_engine.rs:
+crates/graph/src/gemini.rs:
+crates/graph/src/local.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/reference.rs:
+crates/graph/src/rmat.rs:
+crates/graph/src/sssp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/darray_kvs-16bbc7fe2a28b8f8.d: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+/root/repo/target/release/deps/darray_kvs-16bbc7fe2a28b8f8: crates/kvs/src/lib.rs crates/kvs/src/backend.rs crates/kvs/src/entry.rs crates/kvs/src/hash.rs crates/kvs/src/slab.rs crates/kvs/src/store.rs
+
+crates/kvs/src/lib.rs:
+crates/kvs/src/backend.rs:
+crates/kvs/src/entry.rs:
+crates/kvs/src/hash.rs:
+crates/kvs/src/slab.rs:
+crates/kvs/src/store.rs:

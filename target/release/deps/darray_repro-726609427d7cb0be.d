@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/darray_repro-726609427d7cb0be.d: src/lib.rs
+
+/root/repo/target/release/deps/libdarray_repro-726609427d7cb0be.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdarray_repro-726609427d7cb0be.rmeta: src/lib.rs
+
+src/lib.rs:

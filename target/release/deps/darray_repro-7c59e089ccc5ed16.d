@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/darray_repro-7c59e089ccc5ed16.d: src/lib.rs
+
+/root/repo/target/release/deps/darray_repro-7c59e089ccc5ed16: src/lib.rs
+
+src/lib.rs:

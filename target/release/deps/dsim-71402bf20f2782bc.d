@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dsim-71402bf20f2782bc.d: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/dsim-71402bf20f2782bc: crates/sim/src/lib.rs crates/sim/src/ctx.rs crates/sim/src/mailbox.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/sync.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/mailbox.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fabric_proptest-bb201fc871bc3c13.d: crates/fabric/tests/fabric_proptest.rs
+
+/root/repo/target/release/deps/fabric_proptest-bb201fc871bc3c13: crates/fabric/tests/fabric_proptest.rs
+
+crates/fabric/tests/fabric_proptest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-d314147a6eaf332e.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-d314147a6eaf332e: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

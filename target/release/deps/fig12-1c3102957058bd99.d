@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-1c3102957058bd99.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-1c3102957058bd99: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

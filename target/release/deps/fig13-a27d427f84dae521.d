@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-a27d427f84dae521.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-a27d427f84dae521: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-a0884caa6215376a.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-a0884caa6215376a: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-6587b5dc589ed112.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-6587b5dc589ed112: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

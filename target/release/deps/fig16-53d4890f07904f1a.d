@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-53d4890f07904f1a.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-53d4890f07904f1a: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-e83574a5f712c326.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-e83574a5f712c326: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

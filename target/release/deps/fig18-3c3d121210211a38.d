@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-3c3d121210211a38.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-3c3d121210211a38: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_stack-b9ab4465d738e881.d: tests/full_stack.rs
+
+/root/repo/target/release/deps/full_stack-b9ab4465d738e881: tests/full_stack.rs
+
+tests/full_stack.rs:

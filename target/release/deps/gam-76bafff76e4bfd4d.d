@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gam-76bafff76e4bfd4d.d: crates/gam/src/lib.rs
+
+/root/repo/target/release/deps/gam-76bafff76e4bfd4d: crates/gam/src/lib.rs
+
+crates/gam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gam_integration-d67335e5ec4a8d4e.d: crates/gam/tests/gam_integration.rs
+
+/root/repo/target/release/deps/gam_integration-d67335e5ec4a8d4e: crates/gam/tests/gam_integration.rs
+
+crates/gam/tests/gam_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kvs_integration-c473a7b65259f6f0.d: crates/kvs/tests/kvs_integration.rs
+
+/root/repo/target/release/deps/kvs_integration-c473a7b65259f6f0: crates/kvs/tests/kvs_integration.rs
+
+crates/kvs/tests/kvs_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kvs_proptest-3f245dda47bf1e16.d: crates/kvs/tests/kvs_proptest.rs
+
+/root/repo/target/release/deps/kvs_proptest-3f245dda47bf1e16: crates/kvs/tests/kvs_proptest.rs
+
+crates/kvs/tests/kvs_proptest.rs:

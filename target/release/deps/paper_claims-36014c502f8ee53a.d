@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-36014c502f8ee53a.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-36014c502f8ee53a: tests/paper_claims.rs
+
+tests/paper_claims.rs:

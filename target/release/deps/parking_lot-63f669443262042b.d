@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-63f669443262042b.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-63f669443262042b: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-cb0ebbf16d51b8f0.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-cb0ebbf16d51b8f0: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-c2a0417a1878e574.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-c2a0417a1878e574: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol-2a81458ab47ebfc8.d: crates/core/tests/protocol.rs
+
+/root/repo/target/release/deps/protocol-2a81458ab47ebfc8: crates/core/tests/protocol.rs
+
+crates/core/tests/protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_edge-a8511dc36191acd5.d: crates/core/tests/protocol_edge.rs
+
+/root/repo/target/release/deps/protocol_edge-a8511dc36191acd5: crates/core/tests/protocol_edge.rs
+
+crates/core/tests/protocol_edge.rs:

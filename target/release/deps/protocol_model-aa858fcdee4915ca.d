@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_model-aa858fcdee4915ca.d: crates/core/tests/protocol_model.rs
+
+/root/repo/target/release/deps/protocol_model-aa858fcdee4915ca: crates/core/tests/protocol_model.rs
+
+crates/core/tests/protocol_model.rs:

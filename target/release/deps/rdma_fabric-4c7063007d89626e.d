@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rdma_fabric-4c7063007d89626e.d: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+/root/repo/target/release/deps/rdma_fabric-4c7063007d89626e: crates/fabric/src/lib.rs crates/fabric/src/cost.rs crates/fabric/src/fabric.rs crates/fabric/src/fault.rs crates/fabric/src/net.rs crates/fabric/src/region.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/fabric.rs:
+crates/fabric/src/fault.rs:
+crates/fabric/src/net.rs:
+crates/fabric/src/region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regression_stale_flush-d6e0130f53685d9b.d: crates/core/tests/regression_stale_flush.rs
+
+/root/repo/target/release/deps/regression_stale_flush-d6e0130f53685d9b: crates/core/tests/regression_stale_flush.rs
+
+crates/core/tests/regression_stale_flush.rs:

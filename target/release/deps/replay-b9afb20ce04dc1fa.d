@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replay-b9afb20ce04dc1fa.d: crates/core/tests/replay.rs
+
+/root/repo/target/release/deps/replay-b9afb20ce04dc1fa: crates/core/tests/replay.rs
+
+crates/core/tests/replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-2cf2b110f9117987.d: crates/sim/tests/stress.rs
+
+/root/repo/target/release/deps/stress-2cf2b110f9117987: crates/sim/tests/stress.rs
+
+crates/sim/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0e06630f28be2089.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0e06630f28be2089: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

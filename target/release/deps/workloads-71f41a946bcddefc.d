@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/workloads-71f41a946bcddefc.d: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/workloads-71f41a946bcddefc: crates/workloads/src/lib.rs crates/workloads/src/rng.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/coherence_inspector-e69ac20ddb538ae5.d: examples/coherence_inspector.rs
+
+/root/repo/target/release/examples/coherence_inspector-e69ac20ddb538ae5: examples/coherence_inspector.rs
+
+examples/coherence_inspector.rs:

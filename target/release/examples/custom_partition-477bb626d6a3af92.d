@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_partition-477bb626d6a3af92.d: examples/custom_partition.rs
+
+/root/repo/target/release/examples/custom_partition-477bb626d6a3af92: examples/custom_partition.rs
+
+examples/custom_partition.rs:

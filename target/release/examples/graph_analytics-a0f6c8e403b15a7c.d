@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graph_analytics-a0f6c8e403b15a7c.d: examples/graph_analytics.rs
+
+/root/repo/target/release/examples/graph_analytics-a0f6c8e403b15a7c: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kv_store-c34dbf630c8baaa9.d: examples/kv_store.rs
+
+/root/repo/target/release/examples/kv_store-c34dbf630c8baaa9: examples/kv_store.rs
+
+examples/kv_store.rs:
