@@ -1,0 +1,412 @@
+//! Protocol-traffic regression diff.
+//!
+//! Compares a checked-in baseline `BENCH_*.json` against a freshly
+//! generated one and fails (exit code 1) when any protocol counter grew
+//! beyond the allowed threshold. Because every figure binary runs in
+//! deterministic virtual time, the JSON is byte-identical run-to-run: the
+//! default threshold of 0% catches *any* change in coherence traffic —
+//! an extra invalidation round, a lost fast-path hit, a recall storm —
+//! before it shows up as a latency regression.
+//!
+//! ```text
+//! protocol_diff <baseline.json> <current.json> [--threshold-pct <f>] [--abs-slack <n>]
+//! ```
+//!
+//! Rules:
+//! - a counter increase beyond `baseline * (1 + pct/100) + slack` fails;
+//! - a section or counter present in the baseline but missing from the
+//!   current file fails (instrumentation was dropped);
+//! - decreases and brand-new counters are reported but pass (improvements
+//!   and schema growth are fine).
+//!
+//! The parser is hand-rolled for the restricted JSON the report writer
+//! emits (string keys, nested objects, unsigned integers) — the harness
+//! deliberately has no serde dependency.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// `section label -> counter name -> value`, in file order (BTreeMap for
+/// stable report ordering).
+type Traffic = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Minimal recursive-descent scanner over the report-writer's JSON shape.
+struct Scanner<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            let found = self.peek().map(|c| c as char);
+            Err(format!(
+                "expected '{}' at byte {} (found {:?})",
+                b as char, self.pos, found
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos] != b'"' {
+            if self.s[self.pos] == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+            }
+            self.pos += 1;
+        }
+        if self.pos >= self.s.len() {
+            return Err("unterminated string".to_string());
+        }
+        let out = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+        self.pos += 1; // closing quote
+        Ok(out)
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        String::from_utf8_lossy(&self.s[start..self.pos])
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    /// A flat `{"name": 123, ...}` counter object.
+    fn counters(&mut self) -> Result<BTreeMap<String, u64>, String> {
+        let mut out = BTreeMap::new();
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.insert(key, self.number()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("expected ',' or '}}' (found {other:?})")),
+            }
+        }
+    }
+
+    /// Skip a value we don't care about (string or number only — the
+    /// report format has nothing else at the top level).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(c) if c.is_ascii_digit() => self.number().map(|_| ()),
+            other => Err(format!("unskippable value (found {other:?})")),
+        }
+    }
+}
+
+/// Parse one `BENCH_*.json` body into its `protocol_traffic` sections.
+fn parse_bench(body: &str) -> Result<Traffic, String> {
+    let mut sc = Scanner::new(body);
+    sc.expect(b'{')?;
+    let mut traffic = Traffic::new();
+    loop {
+        match sc.peek() {
+            Some(b'}') | None => break,
+            _ => {}
+        }
+        let key = sc.string()?;
+        sc.expect(b':')?;
+        if key == "protocol_traffic" {
+            sc.expect(b'{')?;
+            if sc.peek() == Some(b'}') {
+                sc.pos += 1;
+            } else {
+                loop {
+                    let label = sc.string()?;
+                    sc.expect(b':')?;
+                    traffic.insert(label, sc.counters()?);
+                    match sc.peek() {
+                        Some(b',') => sc.pos += 1,
+                        Some(b'}') => {
+                            sc.pos += 1;
+                            break;
+                        }
+                        other => return Err(format!("expected ',' or '}}' (found {other:?})")),
+                    }
+                }
+            }
+        } else {
+            sc.skip_value()?;
+        }
+        if sc.peek() == Some(b',') {
+            sc.pos += 1;
+        }
+    }
+    Ok(traffic)
+}
+
+/// One rule violation or informational note.
+struct Finding {
+    fatal: bool,
+    msg: String,
+}
+
+/// Apply the diff rules; findings in deterministic (sorted) order.
+fn diff(baseline: &Traffic, current: &Traffic, pct: f64, slack: u64) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (label, base_counters) in baseline {
+        let Some(cur_counters) = current.get(label) else {
+            out.push(Finding {
+                fatal: true,
+                msg: format!("section `{label}` missing from current run"),
+            });
+            continue;
+        };
+        for (name, &base) in base_counters {
+            let Some(&cur) = cur_counters.get(name) else {
+                out.push(Finding {
+                    fatal: true,
+                    msg: format!("{label}: counter `{name}` missing from current run"),
+                });
+                continue;
+            };
+            let limit = (base as f64 * (1.0 + pct / 100.0)).floor() as u64 + slack;
+            if cur > limit {
+                let growth = if base == 0 {
+                    "from zero".to_string()
+                } else {
+                    format!("+{:.1}%", (cur as f64 / base as f64 - 1.0) * 100.0)
+                };
+                out.push(Finding {
+                    fatal: true,
+                    msg: format!(
+                        "{label}: `{name}` regressed {base} -> {cur} ({growth}, limit {limit})"
+                    ),
+                });
+            } else if cur < base {
+                out.push(Finding {
+                    fatal: false,
+                    msg: format!("{label}: `{name}` improved {base} -> {cur}"),
+                });
+            }
+        }
+        for name in cur_counters.keys() {
+            if !base_counters.contains_key(name) {
+                out.push(Finding {
+                    fatal: false,
+                    msg: format!("{label}: new counter `{name}` (not in baseline)"),
+                });
+            }
+        }
+    }
+    for label in current.keys() {
+        if !baseline.contains_key(label) {
+            out.push(Finding {
+                fatal: false,
+                msg: format!("new section `{label}` (not in baseline)"),
+            });
+        }
+    }
+    out
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: protocol_diff <baseline.json> <current.json> \
+         [--threshold-pct <float>] [--abs-slack <int>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut pct = 0.0f64;
+    let mut slack = 0u64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--threshold-pct" => {
+                i += 1;
+                pct = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--abs-slack" => {
+                i += 1;
+                slack = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            p if !p.starts_with("--") => paths.push(p.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("protocol_diff: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |p: &str, body: &str| -> Traffic {
+        parse_bench(body).unwrap_or_else(|e| {
+            eprintln!("protocol_diff: cannot parse {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (bp, cp) = (&paths[0], &paths[1]);
+    let baseline = parse(bp, &read(bp));
+    let current = parse(cp, &read(cp));
+
+    let findings = diff(&baseline, &current, pct, slack);
+    let fatal = findings.iter().filter(|f| f.fatal).count();
+    for f in &findings {
+        println!("{} {}", if f.fatal { "FAIL" } else { "note" }, f.msg);
+    }
+    if fatal > 0 {
+        println!("protocol_diff: {fatal} regression(s) vs {bp} (threshold {pct}% + {slack})");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "protocol_diff: OK — {} section(s), no counter above threshold {pct}% + {slack}",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "unit",
+  "protocol_traffic": {
+    "a_1n": {"fills":10,"invalidations":0,"transitions":30},
+    "b_2n": {"fills":5,"invalidations":2,"transitions":9}
+  }
+}
+"#;
+
+    #[test]
+    fn parses_sections_and_counters() {
+        let t = parse_bench(SAMPLE).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t["a_1n"]["fills"], 10);
+        assert_eq!(t["b_2n"]["invalidations"], 2);
+        assert_eq!(t["b_2n"]["transitions"], 9);
+    }
+
+    #[test]
+    fn parses_empty_traffic() {
+        let t = parse_bench("{\"bench\": \"x\", \"protocol_traffic\": {}}").unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let t = parse_bench(SAMPLE).unwrap();
+        let f = diff(&t, &t, 0.0, 0);
+        assert!(f.iter().all(|x| !x.fatal), "no fatal findings");
+    }
+
+    #[test]
+    fn increase_beyond_threshold_fails() {
+        let base = parse_bench(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        *cur.get_mut("a_1n").unwrap().get_mut("fills").unwrap() = 12;
+        // 20% growth: fails at 0%, fails at 10%, passes at 25%.
+        assert!(diff(&base, &cur, 0.0, 0).iter().any(|f| f.fatal));
+        assert!(diff(&base, &cur, 10.0, 0).iter().any(|f| f.fatal));
+        assert!(!diff(&base, &cur, 25.0, 0).iter().any(|f| f.fatal));
+        // An absolute slack of 2 also forgives it at 0%.
+        assert!(!diff(&base, &cur, 0.0, 2).iter().any(|f| f.fatal));
+    }
+
+    #[test]
+    fn growth_from_zero_fails_without_slack() {
+        let base = parse_bench(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        *cur.get_mut("a_1n")
+            .unwrap()
+            .get_mut("invalidations")
+            .unwrap() = 1;
+        assert!(diff(&base, &cur, 50.0, 0).iter().any(|f| f.fatal));
+        assert!(!diff(&base, &cur, 0.0, 1).iter().any(|f| f.fatal));
+    }
+
+    #[test]
+    fn missing_section_or_counter_fails() {
+        let base = parse_bench(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        cur.remove("b_2n");
+        assert!(diff(&base, &cur, 100.0, 99).iter().any(|f| f.fatal));
+        let mut cur2 = base.clone();
+        cur2.get_mut("a_1n").unwrap().remove("transitions");
+        assert!(diff(&base, &cur2, 100.0, 99).iter().any(|f| f.fatal));
+    }
+
+    #[test]
+    fn decreases_and_new_counters_are_notes() {
+        let base = parse_bench(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        *cur.get_mut("a_1n").unwrap().get_mut("fills").unwrap() = 1;
+        cur.get_mut("a_1n")
+            .unwrap()
+            .insert("epochs_aborted".into(), 0);
+        cur.insert("c_3n".into(), BTreeMap::new());
+        let f = diff(&base, &cur, 0.0, 0);
+        assert!(f.iter().all(|x| !x.fatal));
+        assert_eq!(f.len(), 3, "improvement + new counter + new section noted");
+    }
+
+    #[test]
+    fn real_report_roundtrip() {
+        // The writer's own output must parse (guards format drift).
+        let t = darray_bench::report::ProtocolTraffic {
+            fills: 3,
+            epochs_aborted: 1,
+            ..Default::default()
+        };
+        let body = darray_bench::report::render_bench_json("rt", &[("w_1n".to_string(), t)]);
+        let parsed = parse_bench(&body).unwrap();
+        assert_eq!(parsed["w_1n"]["fills"], 3);
+        assert_eq!(parsed["w_1n"]["epochs_aborted"], 1);
+        assert_eq!(parsed["w_1n"]["orphaned_locks_reclaimed"], 0);
+    }
+}

@@ -64,6 +64,12 @@ pub struct ProtocolTraffic {
     pub evictions: u64,
     /// Structured protocol state transitions (home + cache machines).
     pub transitions: u64,
+    /// Sharer/wait-set slots pruned from directories by peer death.
+    pub sharers_pruned: u64,
+    /// Operated epochs closed by abort because a contributor died.
+    pub epochs_aborted: u64,
+    /// Locks reclaimed from dead holders (and waiter slots dropped).
+    pub orphaned_locks_reclaimed: u64,
 }
 
 impl ProtocolTraffic {
@@ -77,6 +83,9 @@ impl ProtocolTraffic {
         self.operated_reductions += s.operated_reductions;
         self.evictions += s.evictions;
         self.transitions += s.transitions;
+        self.sharers_pruned += s.sharers_pruned;
+        self.epochs_aborted += s.epochs_aborted;
+        self.orphaned_locks_reclaimed += s.orphaned_locks_reclaimed;
     }
 
     /// Sum the counters of every node in a cluster (call before shutdown).
@@ -93,7 +102,8 @@ impl ProtocolTraffic {
         format!(
             "{{\"fills\":{},\"invalidations\":{},\"recalls\":{},\"writebacks\":{},\
              \"operand_flushes\":{},\"operated_reductions\":{},\"evictions\":{},\
-             \"transitions\":{}}}",
+             \"transitions\":{},\"sharers_pruned\":{},\"epochs_aborted\":{},\
+             \"orphaned_locks_reclaimed\":{}}}",
             self.fills,
             self.invalidations,
             self.recalls,
@@ -101,7 +111,10 @@ impl ProtocolTraffic {
             self.operand_flushes,
             self.operated_reductions,
             self.evictions,
-            self.transitions
+            self.transitions,
+            self.sharers_pruned,
+            self.epochs_aborted,
+            self.orphaned_locks_reclaimed
         )
     }
 }
@@ -169,6 +182,9 @@ mod tests {
             operated_reductions: 6,
             evictions: 7,
             transitions: 8,
+            sharers_pruned: 9,
+            epochs_aborted: 10,
+            orphaned_locks_reclaimed: 11,
         };
         let j = t.json();
         for key in [
@@ -180,6 +196,9 @@ mod tests {
             "\"operated_reductions\":6",
             "\"evictions\":7",
             "\"transitions\":8",
+            "\"sharers_pruned\":9",
+            "\"epochs_aborted\":10",
+            "\"orphaned_locks_reclaimed\":11",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

@@ -64,7 +64,6 @@ mod dentry;
 mod element;
 mod error;
 mod layout;
-mod lock;
 mod msg;
 mod op;
 mod pin;

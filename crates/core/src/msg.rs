@@ -10,12 +10,7 @@ pub(crate) type ArrayId = u32;
 /// Global chunk index within an array.
 pub(crate) type ChunkId = u32;
 
-/// Reader/writer lock flavor (Figure 3: `RLock` / `WLock`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum LockKind {
-    Read,
-    Write,
-}
+pub use crate::protocol::locks::LockKind;
 
 /// Coherence RPCs exchanged between runtimes. Application data itself
 /// travels by one-sided RDMA WRITE; these messages carry protocol control

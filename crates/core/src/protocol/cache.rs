@@ -554,46 +554,103 @@ impl CacheMachine {
     }
 
     /// A drain completed: perform the recorded follow-up.
+    ///
+    /// Every arm checks `home_down`: if the chunk's home died while the
+    /// drain was pending, no action may reference it — acks, notices,
+    /// writebacks and flushes would all be sent to a corpse (and a pending
+    /// upgrade would strand the chunk in a Filling state forever). Local
+    /// cleanup still runs, and waiters are woken so application threads
+    /// re-check and observe `NodeUnavailable`. Dirty data and combined
+    /// operands are dropped — fail-stop: data homed on a crashed node is
+    /// lost.
     fn drained(after: AfterDrain, home_down: bool) -> Vec<CacheAction> {
         match after {
-            AfterDrain::Invalidate { line, reply_to } => vec![
-                CacheAction::ReleaseLine { line },
-                CacheAction::SendInvalidateAck { to: reply_to },
-                CacheAction::Count(Counter::Invalidations),
-                CacheAction::WakeAllWaiters,
-            ],
-            AfterDrain::WritebackInvalidate { line } => vec![
-                CacheAction::SendWriteback {
-                    line,
-                    downgrade: false,
-                    release: true,
-                },
-                CacheAction::Count(Counter::Writebacks),
-                CacheAction::WakeAllWaiters,
-            ],
-            AfterDrain::Downgrade { line } => vec![
-                CacheAction::SendWriteback {
-                    line,
-                    downgrade: true,
-                    release: false,
-                },
-                CacheAction::Count(Counter::Writebacks),
-                CacheAction::WakeAllWaiters,
-            ],
-            AfterDrain::FlushInvalidate { line, op } => vec![
-                CacheAction::SendFlush {
-                    line,
-                    op,
-                    release: true,
-                },
-                CacheAction::Count(Counter::OperandFlushes),
-                CacheAction::WakeAllWaiters,
-            ],
-            AfterDrain::EvictShared { line } => vec![
-                CacheAction::ReleaseLine { line },
-                CacheAction::SendEvictNotice,
-                CacheAction::WakeAllWaiters,
-            ],
+            AfterDrain::Invalidate { line, reply_to } => {
+                if home_down {
+                    vec![
+                        CacheAction::ReleaseLine { line },
+                        CacheAction::Count(Counter::Invalidations),
+                        CacheAction::WakeAllWaiters,
+                    ]
+                } else {
+                    vec![
+                        CacheAction::ReleaseLine { line },
+                        CacheAction::SendInvalidateAck { to: reply_to },
+                        CacheAction::Count(Counter::Invalidations),
+                        CacheAction::WakeAllWaiters,
+                    ]
+                }
+            }
+            AfterDrain::WritebackInvalidate { line } => {
+                if home_down {
+                    vec![
+                        CacheAction::ReleaseLine { line },
+                        CacheAction::WakeAllWaiters,
+                    ]
+                } else {
+                    vec![
+                        CacheAction::SendWriteback {
+                            line,
+                            downgrade: false,
+                            release: true,
+                        },
+                        CacheAction::Count(Counter::Writebacks),
+                        CacheAction::WakeAllWaiters,
+                    ]
+                }
+            }
+            AfterDrain::Downgrade { line } => {
+                if home_down {
+                    // Keep the Shared copy the drain installed (graceful
+                    // degradation: it stays readable locally); just skip the
+                    // wire writeback.
+                    let _ = line;
+                    vec![CacheAction::WakeAllWaiters]
+                } else {
+                    vec![
+                        CacheAction::SendWriteback {
+                            line,
+                            downgrade: true,
+                            release: false,
+                        },
+                        CacheAction::Count(Counter::Writebacks),
+                        CacheAction::WakeAllWaiters,
+                    ]
+                }
+            }
+            AfterDrain::FlushInvalidate { line, op } => {
+                if home_down {
+                    let _ = op;
+                    vec![
+                        CacheAction::ReleaseLine { line },
+                        CacheAction::WakeAllWaiters,
+                    ]
+                } else {
+                    vec![
+                        CacheAction::SendFlush {
+                            line,
+                            op,
+                            release: true,
+                        },
+                        CacheAction::Count(Counter::OperandFlushes),
+                        CacheAction::WakeAllWaiters,
+                    ]
+                }
+            }
+            AfterDrain::EvictShared { line } => {
+                if home_down {
+                    vec![
+                        CacheAction::ReleaseLine { line },
+                        CacheAction::WakeAllWaiters,
+                    ]
+                } else {
+                    vec![
+                        CacheAction::ReleaseLine { line },
+                        CacheAction::SendEvictNotice,
+                        CacheAction::WakeAllWaiters,
+                    ]
+                }
+            }
             AfterDrain::Upgrade { line, kind } => {
                 // If the home died while the drain was pending, an upgrade
                 // request would never be answered: reset to Invalid instead
@@ -865,6 +922,56 @@ mod tests {
         assert!(!acts
             .iter()
             .any(|a| matches!(a, CacheAction::SendUpgrade { .. })));
+    }
+
+    #[test]
+    fn no_drain_continuation_messages_a_dead_home() {
+        // Every AfterDrain variant must stay silent when the home is dead:
+        // cleanup is local-only and waiters are woken to observe the error.
+        let cases = [
+            AfterDrain::Invalidate {
+                line: 1,
+                reply_to: 0,
+            },
+            AfterDrain::WritebackInvalidate { line: 1 },
+            AfterDrain::Downgrade { line: 1 },
+            AfterDrain::FlushInvalidate { line: 1, op: 3 },
+            AfterDrain::EvictShared { line: 1 },
+            AfterDrain::Upgrade {
+                line: 1,
+                kind: Kind::Write,
+            },
+            AfterDrain::FlushThenUpgrade {
+                line: 1,
+                old_op: 3,
+                kind: Kind::Operate(9),
+            },
+        ];
+        for after in cases {
+            let v = view(LocalState::Invalid, NOTAG, 1);
+            let acts = CacheMachine::on_event(
+                &v,
+                CacheEvent::Drained {
+                    after,
+                    home_down: true,
+                },
+            );
+            assert!(
+                !acts.iter().any(|a| matches!(
+                    a,
+                    CacheAction::SendInvalidateAck { .. }
+                        | CacheAction::SendWriteback { .. }
+                        | CacheAction::SendFlush { .. }
+                        | CacheAction::SendEvictNotice
+                        | CacheAction::SendUpgrade { .. }
+                )),
+                "{after:?} with home_down produced a send: {acts:?}"
+            );
+            assert!(
+                acts.contains(&CacheAction::WakeAllWaiters),
+                "{after:?} with home_down must wake waiters: {acts:?}"
+            );
+        }
     }
 
     #[test]

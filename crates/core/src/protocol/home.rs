@@ -34,8 +34,12 @@ pub enum Transient {
     },
     /// Waiting for operand flushes (of operator `op`) from these nodes.
     AwaitFlushes {
-        /// The operator epoch being closed.
+        /// The operator whose epoch is being closed.
         op: u32,
+        /// Id of the Operated epoch being closed (see
+        /// [`HomeMachine::epoch`]). Distinguishes successive epochs of the
+        /// same operator in traces and recovery diagnostics.
+        epoch: u64,
         /// Nodes that have not flushed yet.
         waiting: Vec<NodeId>,
     },
@@ -192,8 +196,9 @@ pub enum HomeAction<W> {
 
 /// The home-side directory machine of one chunk. Generic over the opaque
 /// local-waiter token `W` (a wait-cell in the runtime, a plain integer in
-/// tests).
-#[derive(Debug)]
+/// tests). `Clone` (for `W: Clone`) lets the model checker branch a world
+/// state; the runtime never clones a machine.
+#[derive(Debug, Clone)]
 pub struct HomeMachine<W> {
     state: DirState,
     transient: Transient,
@@ -203,6 +208,17 @@ pub struct HomeMachine<W> {
     current: Option<Request<W>>,
     /// Requests waiting for the chunk to become stable.
     pending: VecDeque<Request<W>>,
+    /// Number of Operated epochs opened so far; the id of the current
+    /// epoch while `state` is Operated. Carried into
+    /// [`Transient::AwaitFlushes`] so an epoch closed by abort is
+    /// identifiable.
+    epoch: u64,
+    /// Nodes declared dead by [`HomeEvent::PeerDown`]. Monotone (fail-stop).
+    /// Any later event claiming to come from one of them is stale — in
+    /// particular an operand flush, whose data must NOT be reduced: the
+    /// epoch it belonged to was already closed (aborted) when the peer was
+    /// erased, and applying it now could corrupt a successor owner's data.
+    dead: Vec<NodeId>,
 }
 
 impl<W> Default for HomeMachine<W> {
@@ -220,6 +236,8 @@ impl<W> HomeMachine<W> {
             granted_at: 0,
             current: None,
             pending: VecDeque::new(),
+            epoch: 0,
+            dead: Vec::new(),
         }
     }
 
@@ -243,11 +261,38 @@ impl<W> HomeMachine<W> {
         self.current.is_some()
     }
 
+    /// Number of Operated epochs opened so far; while the state is
+    /// Operated, the id of the current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Has `node` been declared dead by a [`HomeEvent::PeerDown`]?
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.contains(&node)
+    }
+
     /// Feed one event; returns the actions the executor must perform, in
     /// order. `now` is the current (virtual) time and `grace_ns` the
     /// minimum-hold grace window of fresh grants (0 disables it).
     pub fn on_event(&mut self, now: u64, grace_ns: u64, ev: HomeEvent<W>) -> Vec<HomeAction<W>> {
         let mut out = Vec::new();
+        // Stale-sender rejection: an event from a node already declared dead
+        // can only be a straggler that was in flight when the declaration
+        // landed *and* slipped past the executor's own source check. Its
+        // bookkeeping was settled by `forget_peer`; honoring it now — most
+        // dangerously reducing a stale operand flush of an aborted epoch —
+        // would corrupt state a successor may already own.
+        if let Some(from) = Self::event_source(&ev) {
+            if self.dead.contains(&from) {
+                out.push(HomeAction::Trace(Transition {
+                    from: self.state.name(),
+                    to: self.state.name(),
+                    trigger: "stale-event-from-dead-peer",
+                }));
+                return out;
+            }
+        }
         match ev {
             HomeEvent::Request(req) => {
                 self.pending.push_back(req);
@@ -374,6 +419,21 @@ impl<W> HomeMachine<W> {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// The remote node an event claims to originate from, if any.
+    fn event_source(ev: &HomeEvent<W>) -> Option<NodeId> {
+        match ev {
+            HomeEvent::Request(Request {
+                source: Requester::Remote { node, .. },
+                ..
+            }) => Some(*node),
+            HomeEvent::InvAck { from }
+            | HomeEvent::EvictNotice { from }
+            | HomeEvent::Writeback { from, .. }
+            | HomeEvent::Flush { from, .. } => Some(*from),
+            _ => None,
+        }
+    }
 
     /// Record a stable-state change and emit its structured trace.
     fn set_state(&mut self, new: DirState, trigger: &'static str, out: &mut Vec<HomeAction<W>>) {
@@ -600,6 +660,7 @@ impl<W> HomeMachine<W> {
                     true
                 }
                 Requester::Remote { node, dst_off } => {
+                    self.epoch += 1;
                     self.set_state(
                         DirState::Operated {
                             op: OpId(op),
@@ -625,6 +686,7 @@ impl<W> HomeMachine<W> {
                     Requester::Local(_) => vec![],
                     Requester::Remote { node, .. } => vec![*node],
                 };
+                self.epoch += 1;
                 self.set_state(
                     DirState::Operated {
                         op: OpId(op),
@@ -676,6 +738,7 @@ impl<W> HomeMachine<W> {
                 } else {
                     self.transient = Transient::AwaitFlushes {
                         op: op0,
+                        epoch: self.epoch,
                         waiting: targets.clone(),
                     };
                     self.current = Some(req);
@@ -690,7 +753,14 @@ impl<W> HomeMachine<W> {
 
     /// Home-side peer-death cleanup: erase `dead` from this chunk's
     /// bookkeeping and resume the engine if it was waiting on the peer.
+    /// Monotone and idempotent — a second `PeerDown` for the same node is
+    /// a no-op, and the node is remembered in `self.dead` so straggler
+    /// events from it are rejected forever after.
     fn forget_peer(&mut self, now: u64, grace_ns: u64, dead: NodeId, out: &mut Vec<HomeAction<W>>) {
+        if self.dead.contains(&dead) {
+            return;
+        }
+        self.dead.push(dead);
         // Requests the dead node queued must not be serviced: a fill sent
         // to it would be dropped, but granting would corrupt the sharer set
         // with a node that can never evict or acknowledge.
@@ -702,6 +772,13 @@ impl<W> HomeMachine<W> {
             .is_some_and(|r| matches!(r.source, Requester::Remote { node, .. } if node == dead))
         {
             self.current = None;
+        }
+        // One prune counted per chunk the dead node actually occupied: a
+        // sharer-set slot or a transient wait-set slot (they are pruned
+        // together below).
+        let occupied = self.has_sharer(dead) || self.in_wait_set(dead);
+        if occupied {
+            out.push(HomeAction::Count(Counter::SharersPruned));
         }
         match &self.transient {
             Transient::AwaitWriteback { from } if *from == dead => {
@@ -723,8 +800,11 @@ impl<W> HomeMachine<W> {
             Transient::AwaitFlushes { .. } => {
                 self.remove_sharer(dead);
                 if self.transient_remove(dead) {
-                    // Same completion as the last flush arriving.
-                    self.set_state(DirState::Unshared, "peer-down", out);
+                    // Same completion as the last flush arriving — except
+                    // the epoch closes by abort: the dead contributor's
+                    // operands are lost (fail-stop), never reduced.
+                    out.push(HomeAction::Count(Counter::EpochsAborted));
+                    self.set_state(DirState::Unshared, "peer-down-epoch-abort", out);
                     out.push(HomeAction::SetHomeLocal {
                         state: LocalState::Exclusive,
                         tag: NOTAG,
@@ -768,6 +848,27 @@ impl<W> HomeMachine<W> {
             set.remove(pos);
         }
         set.is_empty()
+    }
+
+    /// Is `node` in the current sharer set?
+    fn has_sharer(&self, node: NodeId) -> bool {
+        match &self.state {
+            DirState::Shared { sharers } | DirState::Operated { sharers, .. } => {
+                sharers.contains(&node)
+            }
+            _ => false,
+        }
+    }
+
+    /// Is `node` in the current transient wait set?
+    fn in_wait_set(&self, node: NodeId) -> bool {
+        match &self.transient {
+            Transient::AwaitInvAcks { waiting } | Transient::AwaitFlushes { waiting, .. } => {
+                waiting.contains(&node)
+            }
+            Transient::AwaitWriteback { from } => *from == node,
+            _ => false,
+        }
     }
 
     /// Add a remote sharer (idempotent).
@@ -1007,6 +1108,7 @@ mod tests {
         let mut m = M::new();
         m.transient = Transient::AwaitFlushes {
             op: 0,
+            epoch: 1,
             waiting: vec![1, 2, 3],
         };
         assert!(!m.transient_remove(2));
@@ -1020,6 +1122,133 @@ mod tests {
         let mut m = M::new();
         m.transient = Transient::AwaitWriteback { from: 1 };
         assert!(!m.transient_remove(1));
+    }
+
+    #[test]
+    fn peer_down_aborts_await_flushes_epoch() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Operate(5)));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, remote(2, Kind::Operate(5)));
+        assert_eq!(m.epoch(), 1);
+        // A write forces the epoch closed: recall both contributors.
+        m.on_event(0, 0, local(9, Kind::Write));
+        assert!(matches!(
+            m.transient(),
+            Transient::AwaitFlushes {
+                op: 5,
+                epoch: 1,
+                ..
+            }
+        ));
+        // Node 1 flushes; node 2 dies before flushing.
+        m.on_event(
+            1,
+            0,
+            HomeEvent::Flush {
+                from: 1,
+                op: 5,
+                has_data: true,
+            },
+        );
+        let acts = m.on_event(2, 0, HomeEvent::PeerDown { dead: 2 });
+        assert!(acts.contains(&HomeAction::Count(Counter::EpochsAborted)));
+        assert!(acts.contains(&HomeAction::Count(Counter::SharersPruned)));
+        // The parked write was re-serviced: home is sole owner again and the
+        // local writer woke.
+        assert!(acts.contains(&HomeAction::Wake(9)));
+        assert_eq!(m.state(), &DirState::Unshared);
+        assert!(m.transient().is_none());
+    }
+
+    #[test]
+    fn stale_flush_from_dead_peer_is_not_reduced() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Operate(5)));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(1, 0, HomeEvent::PeerDown { dead: 1 });
+        // Epoch 1's only contributor is gone; a successor takes exclusive
+        // ownership.
+        m.on_event(2, 0, remote(2, Kind::Write));
+        m.on_event(2, 0, HomeEvent::Drained);
+        assert_eq!(m.state(), &DirState::Dirty { owner: 2 });
+        // A straggler flush from the dead node must not be applied over the
+        // new owner's data.
+        let acts = m.on_event(
+            3,
+            0,
+            HomeEvent::Flush {
+                from: 1,
+                op: 5,
+                has_data: true,
+            },
+        );
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, HomeAction::ApplyFlushData { .. })),
+            "stale operand flush of an aborted epoch was reduced: {acts:?}"
+        );
+        assert_eq!(m.state(), &DirState::Dirty { owner: 2 });
+    }
+
+    #[test]
+    fn dead_peer_requests_and_acks_are_rejected() {
+        let mut m = M::new();
+        m.on_event(0, 0, HomeEvent::PeerDown { dead: 1 });
+        assert!(m.is_dead(1));
+        let acts = m.on_event(1, 0, remote(1, Kind::Write));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::SendFill { .. })));
+        assert_eq!(m.state(), &DirState::Unshared);
+        assert_eq!(m.pending_len(), 0);
+        // Second PeerDown for the same node is a no-op.
+        let acts = m.on_event(2, 0, HomeEvent::PeerDown { dead: 1 });
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn peer_down_prunes_waiting_inv_ack() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Read));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, remote(2, Kind::Read));
+        // Local write: both sharers must be invalidated.
+        m.on_event(0, 0, local(7, Kind::Write));
+        assert!(matches!(m.transient(), Transient::AwaitInvAcks { .. }));
+        m.on_event(1, 0, HomeEvent::InvAck { from: 1 });
+        // Node 2 dies instead of acking: the epoch completes and the local
+        // writer is granted.
+        let acts = m.on_event(2, 0, HomeEvent::PeerDown { dead: 2 });
+        assert!(acts.contains(&HomeAction::Count(Counter::SharersPruned)));
+        assert!(acts.contains(&HomeAction::Wake(7)));
+        assert_eq!(m.state(), &DirState::Unshared);
+    }
+
+    #[test]
+    fn epoch_ids_are_distinct_across_reopens() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Operate(5)));
+        m.on_event(0, 0, HomeEvent::Drained);
+        assert_eq!(m.epoch(), 1);
+        // Close epoch 1 via recall + flush.
+        m.on_event(0, 0, remote(2, Kind::Read));
+        m.on_event(
+            0,
+            0,
+            HomeEvent::Flush {
+                from: 1,
+                op: 5,
+                has_data: true,
+            },
+        );
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, HomeEvent::EvictNotice { from: 2 });
+        // Reopen the same operator: a fresh epoch id.
+        m.on_event(1, 0, remote(1, Kind::Operate(5)));
+        m.on_event(1, 0, HomeEvent::Drained);
+        assert_eq!(m.epoch(), 2);
     }
 
     #[test]

@@ -31,9 +31,11 @@
 
 pub mod cache;
 pub mod home;
+pub mod locks;
 
 pub use cache::{AfterDrain, CacheAction, CacheEvent, CacheMachine, CacheView};
 pub use home::{HomeAction, HomeEvent, HomeMachine, Transient};
+pub use locks::{LockKind, LockSource, LockTable};
 
 /// A node identifier. Structurally identical to `rdma_fabric::NodeId`
 /// (both are `usize`); re-declared here so the protocol core does not
@@ -116,4 +118,9 @@ pub enum Counter {
     OperatedReductions,
     /// A cacheline was evicted by the reclamation scan.
     Evictions,
+    /// A dead peer was pruned from a sharer set or transient wait set.
+    SharersPruned,
+    /// An Operated epoch was closed by abort: a contributor died before
+    /// flushing, so its operands are lost (fail-stop).
+    EpochsAborted,
 }

@@ -3,14 +3,19 @@
 //! arbitrates fairness in its `LockTable`; requesters park waiters in their
 //! `lock_waiters` map until a `LockGrant` arrives. No cacheline or directory
 //! state is involved.
+//!
+//! The table itself is sans-I/O (`crate::protocol::locks`); this file is the
+//! executor glue that turns grants into `LockGrant` messages or wait-cell
+//! notifications, and drives `forget_peer` when a peer is declared dead.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dsim::{Ctx, WaitCell};
 use rdma_fabric::NodeId;
 
-use crate::lock::LockSource;
 use crate::msg::{ChunkId, LockKind, Rpc};
+use crate::protocol::locks::LockSource;
 use crate::shared::ArrayShared;
 use crate::stats::NodeStats;
 
@@ -23,15 +28,36 @@ impl RuntimeThread {
         arr: &ArrayShared,
         id: u64,
         kind: LockKind,
-        src: LockSource,
+        src: LockSource<WaitCell>,
     ) {
-        NodeStats::bump(&self.stats().locks_granted);
-        match src {
-            LockSource::Local(w) => w.notify(ctx),
-            LockSource::Remote(n) => {
-                let chunk = (id as usize / arr.layout.chunk_size()) as ChunkId;
-                self.comm
-                    .send(ctx, n, arr.id, Rpc::LockGrant { chunk, id, kind });
+        // A grant can cascade: if the grantee was declared dead after it
+        // queued, the lock is released straight back and may wake further
+        // waiters (FIFO order preserved).
+        let mut pending = VecDeque::new();
+        pending.push_back((id, kind, src));
+        while let Some((id, kind, src)) = pending.pop_front() {
+            match src {
+                LockSource::Local(w) => {
+                    NodeStats::bump(&self.stats().locks_granted);
+                    w.notify(ctx);
+                }
+                LockSource::Remote(n) if !self.shared.is_peer_down(self.node, n) => {
+                    NodeStats::bump(&self.stats().locks_granted);
+                    let chunk = (id as usize / arr.layout.chunk_size()) as ChunkId;
+                    self.comm
+                        .send(ctx, n, arr.id, Rpc::LockGrant { chunk, id, kind });
+                }
+                LockSource::Remote(n) => {
+                    // Grantee died before the grant left this node: take the
+                    // lock back so survivors are not blocked on a corpse.
+                    NodeStats::bump(&self.stats().orphaned_locks_reclaimed);
+                    let woken =
+                        arr.per_node[self.node]
+                            .lock_table
+                            .lock()
+                            .release(id, kind, Some(n));
+                    pending.extend(woken.into_iter().map(|(s, k)| (id, k, s)));
+                }
             }
         }
     }
@@ -92,7 +118,7 @@ impl RuntimeThread {
             let woken = arr.per_node[self.node]
                 .lock_table
                 .lock()
-                .release(index, kind);
+                .release(index, kind, None);
             for (src, k) in woken {
                 self.deliver_grant(ctx, arr, index, k, src);
             }
@@ -137,8 +163,12 @@ impl RuntimeThread {
         arr: &Arc<ArrayShared>,
         id: u64,
         kind: LockKind,
+        src: NodeId,
     ) {
-        let woken = arr.per_node[self.node].lock_table.lock().release(id, kind);
+        let woken = arr.per_node[self.node]
+            .lock_table
+            .lock()
+            .release(id, kind, Some(src));
         for (src, k) in woken {
             self.deliver_grant(ctx, arr, id, k, src);
         }
@@ -162,6 +192,25 @@ impl RuntimeThread {
         match popped {
             Some(w) => w.notify(ctx),
             None => self.lock_grant_invariant_violated(arr, id, kind),
+        }
+    }
+
+    /// A peer was declared dead: reclaim every lock it held in this node's
+    /// table, drop its queued requests, and deliver the grants that unblock
+    /// surviving waiters. Idempotent, so it is safe for every runtime thread
+    /// of the node to run the sweep (the first to arrive does the work).
+    pub(super) fn reclaim_peer_locks(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        dead: NodeId,
+    ) {
+        let purge = arr.per_node[self.node].lock_table.lock().forget_peer(dead);
+        for _ in 0..purge.reclaimed {
+            NodeStats::bump(&self.stats().orphaned_locks_reclaimed);
+        }
+        for (id, src, k) in purge.granted {
+            self.deliver_grant(ctx, arr, id, k, src);
         }
     }
 

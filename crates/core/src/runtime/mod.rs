@@ -118,6 +118,8 @@ impl RuntimeThread {
             Counter::Recalls => &s.recalls,
             Counter::OperatedReductions => &s.operated_reductions,
             Counter::Evictions => &s.evictions,
+            Counter::SharersPruned => &s.sharers_pruned,
+            Counter::EpochsAborted => &s.epochs_aborted,
         });
     }
 
@@ -851,7 +853,7 @@ impl RuntimeThread {
             // Distributed locks (orthogonal to the coherence protocol).
             Rpc::LockAcquire { id, kind, .. } => self.rpc_lock_acquire(ctx, &arr, id, kind, src),
             Rpc::LockGrant { id, kind, .. } => self.rpc_lock_grant(ctx, &arr, id, kind),
-            Rpc::LockRelease { id, kind, .. } => self.rpc_lock_release(ctx, &arr, id, kind),
+            Rpc::LockRelease { id, kind, .. } => self.rpc_lock_release(ctx, &arr, id, kind, src),
         }
     }
 
@@ -872,9 +874,10 @@ impl RuntimeThread {
     ///   sharer sets and transient wait-sets, reclaims Dirty ownership it
     ///   held (its un-written-back data is lost — fail-stop), drops its
     ///   queued requests, and resumes the directory engine.
-    /// * locks: wake local waiters for locks homed on `dead` (they re-check
-    ///   and error out). Locks *held by* the dead node are NOT broken — see
-    ///   "Fault model and recovery" in DESIGN.md.
+    /// * locks: this node's own `LockTable` reclaims every lock the dead
+    ///   node held, drops its queued requests and re-grants to surviving
+    ///   waiters (`reclaim_peer_locks`); local waiters for locks homed *on*
+    ///   `dead` are woken so they re-check and error out.
     fn handle_peer_down(&mut self, ctx: &mut Ctx, dead: NodeId) {
         let arrays: Vec<Arc<ArrayShared>> = self.shared.arrays.read().clone();
         for arr in &arrays {
@@ -889,15 +892,21 @@ impl RuntimeThread {
                     self.home_event(ctx, arr.id, c, HomeEvent::PeerDown { dead });
                 }
             }
+            // Break the locks the dead node held in our table and hand them
+            // to the next waiters in line.
+            self.reclaim_peer_locks(ctx, arr, dead);
             // Wake local waiters for locks homed on the dead node. Drained
-            // under the mutex, notified after releasing it.
+            // under the mutex, notified after releasing it — in sorted key
+            // order, so recovery wake order is deterministic and a crash
+            // run replays bit-identically.
             let woken: Vec<WaitCell> = {
                 let mut lw = arr.per_node[self.node].lock_waiters.lock();
-                let keys: Vec<(u64, LockKind)> = lw
+                let mut keys: Vec<(u64, LockKind)> = lw
                     .keys()
                     .filter(|(id, _)| arr.layout.home_of(*id as usize) == dead)
                     .copied()
                     .collect();
+                keys.sort_unstable();
                 keys.into_iter()
                     .flat_map(|k| lw.remove(&k).unwrap_or_default())
                     .collect()

@@ -15,9 +15,9 @@ use crate::comm::RelMsg;
 use crate::config::ClusterConfig;
 use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
 use crate::layout::Layout;
-use crate::lock::LockTable;
 use crate::msg::{ArrayId, ChunkId, LockKind, NetMsg, RtMsg};
 use crate::op::OpRegistry;
+use crate::protocol::locks::LockTable;
 use crate::protocol::HomeMachine;
 use crate::state::LocalState;
 use crate::stats::NodeStats;
@@ -32,7 +32,7 @@ pub(crate) struct ArrayNode {
     /// exists for interior mutability.
     pub home: Vec<Mutex<HomeMachine<WaitCell>>>,
     /// Home lock table for elements this node owns.
-    pub lock_table: Mutex<LockTable>,
+    pub lock_table: Mutex<LockTable<WaitCell>>,
     /// Local waiters for grants from remote lock tables, FIFO per (id, kind).
     pub lock_waiters: Mutex<HashMap<(u64, LockKind), VecDeque<WaitCell>>>,
     /// Locks held by application threads of this node, for `unlock(index)`

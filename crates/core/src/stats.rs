@@ -49,6 +49,15 @@ pub struct NodeStats {
     pub dup_rpcs: AtomicU64,
     /// Peers this node declared down after exhausting retries.
     pub peers_down: AtomicU64,
+    /// Locks held by (or granted to) dead peers that this node's lock
+    /// tables reclaimed during peer-down recovery.
+    pub orphaned_locks_reclaimed: AtomicU64,
+    /// Operated epochs this node's directory machines closed by abort
+    /// because a contributor died before flushing its operands.
+    pub epochs_aborted: AtomicU64,
+    /// Dead peers pruned from directory sharer sets and transient wait
+    /// sets during peer-down recovery.
+    pub sharers_pruned: AtomicU64,
 }
 
 /// Point-in-time copy of [`NodeStats`].
@@ -73,6 +82,9 @@ pub struct NodeStatsSnapshot {
     pub retransmits: u64,
     pub dup_rpcs: u64,
     pub peers_down: u64,
+    pub orphaned_locks_reclaimed: u64,
+    pub epochs_aborted: u64,
+    pub sharers_pruned: u64,
 }
 
 impl NodeStats {
@@ -103,6 +115,9 @@ impl NodeStats {
             retransmits: self.retransmits.load(Ordering::Relaxed),
             dup_rpcs: self.dup_rpcs.load(Ordering::Relaxed),
             peers_down: self.peers_down.load(Ordering::Relaxed),
+            orphaned_locks_reclaimed: self.orphaned_locks_reclaimed.load(Ordering::Relaxed),
+            epochs_aborted: self.epochs_aborted.load(Ordering::Relaxed),
+            sharers_pruned: self.sharers_pruned.load(Ordering::Relaxed),
         }
     }
 }

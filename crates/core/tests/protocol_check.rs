@@ -1,0 +1,1423 @@
+//! Explicit-state **crash-consistency model checker** for the coherence
+//! protocol core.
+//!
+//! A `World` is one home node (a real [`HomeMachine`] + [`LockTable`] plus
+//! its dentry and drain/retry bookkeeping), two remote nodes (each a dentry
+//! snapshot driven through the *pure* [`CacheMachine`] plus an application
+//! slot and a lock slot), and four FIFO links (home→remote and remote→home
+//! per remote). The checker runs a bounded depth-first search over every
+//! interleaving of:
+//!
+//! * message deliveries (one per FIFO link),
+//! * local drains (remote Figure-5 drains, the home drain, the grace retry),
+//! * application requests (Read / Write / Operate, budget-limited),
+//! * element-lock acquire/release (budget-limited),
+//! * evictions (budget-limited), and
+//! * **node kills** — fail-stop crashes modeled exactly as the runtime sees
+//!   them: every surviving prefix of the victim's in-flight messages is
+//!   explored, followed by a `Down` failure-detector marker appended *last*
+//!   on each link out of the victim (FIFO delivery means survivors consume
+//!   all of the victim's accepted traffic before learning of its death).
+//!
+//! States are memoized by a canonical encoding (the derived `Debug` string,
+//! hashed), so the search explores each reachable world once. At every
+//! state the checker asserts crash-safety invariants (single writer, no
+//! bookkeeping references to known-dead nodes, no orphaned lock holders);
+//! at every *quiescent* state (no internal transition enabled) it asserts
+//! liveness: no transient pending, no application thread parked forever,
+//! every lock waiter has a live holder to wait on, and the directory agrees
+//! with every survivor's dentry. Any violation prints (and writes to
+//! `DARRAY_MC_TRACE_FILE`) the full transition trace that reached it — a
+//! minimized counterexample by construction, since DFS reports the first
+//! path found at the shallowest unexplored depth.
+//!
+//! Knobs (env): `DARRAY_MC_MAX_DEPTH`, `DARRAY_MC_MIN_STATES`,
+//! `DARRAY_MC_MAX_STATES`, `DARRAY_MC_TRACE_FILE`.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+
+use darray::protocol::{
+    AfterDrain, CacheAction, CacheEvent, CacheMachine, CacheView, Counter, HomeAction, HomeEvent,
+    HomeMachine, Kind, LockKind, LockSource, LockTable, Request, Requester, LINE_NONE, NOTAG,
+};
+use darray::{DirState, LocalState};
+
+/// Node id of the home node.
+const HOME: usize = 0;
+/// Number of remote nodes (node ids `1..=NREM`).
+const NREM: usize = 2;
+/// The single lock element the model contends on.
+const ELEM: u64 = 7;
+/// The operator id used by `Kind::Operate` requests.
+const OP: u32 = 7;
+/// Completion token for the home node's application slot.
+const APP_TOKEN: u32 = 100;
+/// Completion token for the home node's lock slot.
+const LOCK_TOKEN: u32 = 200;
+/// The one cacheline index the model allocates.
+const LINE: u32 = 1;
+
+const KINDS: [Kind; 3] = [Kind::Read, Kind::Write, Kind::Operate(OP)];
+const LKINDS: [LockKind; 2] = [LockKind::Read, LockKind::Write];
+
+// ---------------------------------------------------------------------------
+// World state
+// ---------------------------------------------------------------------------
+
+/// One in-flight message. Links are FIFO; `Down` is the failure-detector
+/// marker and is always the last message on a dead node's link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    // home → remote
+    Fill { exclusive: bool },
+    Grant { op: u32 },
+    Inv,
+    RecallDirty,
+    Downgrade,
+    RecallOperated { op: u32 },
+    LockGrant { kind: LockKind },
+    // remote → home
+    Req { kind: Kind },
+    InvAck,
+    EvictNotice,
+    Writeback { downgrade: bool },
+    Flush { op: u32 },
+    LockAcq { kind: LockKind },
+    LockRel { kind: LockKind },
+    // either direction
+    Down { dead: usize },
+}
+
+/// One node's application slot: at most one outstanding data request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum App {
+    Idle,
+    Waiting(Kind),
+}
+
+/// One node's lock slot: at most one outstanding element-lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lock {
+    Idle,
+    Waiting(LockKind),
+    Holding(LockKind),
+}
+
+/// A remote node: the dentry the cache machine sees, plus app/lock slots
+/// and the budgets bounding how many external stimuli it may still issue.
+#[derive(Debug, Clone)]
+struct Remote {
+    alive: bool,
+    state: LocalState,
+    op_tag: u32,
+    line: u32,
+    /// `Some` while a Figure-5 drain is pending (the continuation).
+    after: Option<AfterDrain>,
+    /// Has this node consumed the home's `Down` marker?
+    home_down: bool,
+    app: App,
+    lock: Lock,
+    req_budget: u8,
+    lock_budget: u8,
+    evict_budget: u8,
+}
+
+impl Remote {
+    fn fresh(req_budget: u8, lock_budget: u8, evict_budget: u8) -> Self {
+        Remote {
+            alive: true,
+            state: LocalState::Invalid,
+            op_tag: NOTAG,
+            line: LINE_NONE,
+            after: None,
+            home_down: false,
+            app: App::Idle,
+            lock: Lock::Idle,
+            req_budget,
+            lock_budget,
+            evict_budget,
+        }
+    }
+
+    /// Canonical corpse: every field zeroed so all post-mortem worlds that
+    /// differ only in the victim's final state collapse into one.
+    fn dead() -> Self {
+        Remote {
+            alive: false,
+            state: LocalState::Invalid,
+            op_tag: NOTAG,
+            line: LINE_NONE,
+            after: None,
+            home_down: false,
+            app: App::Idle,
+            lock: Lock::Idle,
+            req_budget: 0,
+            lock_budget: 0,
+            evict_budget: 0,
+        }
+    }
+}
+
+/// The home node: the real directory machine and lock table, the home
+/// dentry, and the home's own app/lock slots.
+#[derive(Debug, Clone)]
+struct Home {
+    m: HomeMachine<u32>,
+    locks: LockTable<u32>,
+    /// The home dentry: (local state, operator tag).
+    dentry: (LocalState, u32),
+    /// A home-dentry reference drain is pending.
+    draining: bool,
+    /// Which remotes this node's failure detector has declared dead.
+    knows_dead: [bool; NREM],
+    app: App,
+    lock: Lock,
+    req_budget: u8,
+    lock_budget: u8,
+}
+
+/// One explorable world state. The derived `Debug` string is the canonical
+/// encoding used for memoization — every field that influences future
+/// behavior must live here (and nothing else: accounting lives in [`Ck`]).
+#[derive(Debug, Clone)]
+struct World {
+    /// `None` once the home node has been killed.
+    home: Option<Home>,
+    rem: [Remote; NREM],
+    /// FIFO link home → remote `i+1`.
+    h2r: [VecDeque<Msg>; NREM],
+    /// FIFO link remote `i+1` → home.
+    r2h: [VecDeque<Msg>; NREM],
+    now: u64,
+    /// A `ScheduleRetry { at }` is pending delivery.
+    retry_at: Option<u64>,
+    kill_budget: u8,
+}
+
+// ---------------------------------------------------------------------------
+// Checker context (not part of the state key)
+// ---------------------------------------------------------------------------
+
+/// Search bookkeeping and coverage tallies, deliberately *outside* the
+/// memoized state so accounting never splits otherwise-identical worlds.
+struct Ck {
+    grace: u64,
+    max_depth: usize,
+    max_states: usize,
+    seen: HashSet<u64>,
+    depth_pruned: usize,
+    quiescent_states: usize,
+    /// Home transient name at the instant each `Down` marker was consumed.
+    pd_transients: HashSet<&'static str>,
+    /// Home directory-state name at the instant each `Down` was consumed.
+    pd_states: HashSet<&'static str>,
+    /// Remote dentry state at the instant the home's `Down` was consumed.
+    homedown_states: HashSet<&'static str>,
+    /// Home transient name at each `RetryExpired` delivery.
+    retry_transients: HashSet<&'static str>,
+    epochs_aborted: usize,
+    sharers_pruned: usize,
+    locks_reclaimed: usize,
+    reductions: usize,
+}
+
+impl Ck {
+    fn new(grace: u64) -> Self {
+        Ck {
+            grace,
+            max_depth: env_usize("DARRAY_MC_MAX_DEPTH", 96),
+            max_states: env_usize("DARRAY_MC_MAX_STATES", 5_000_000),
+            seen: HashSet::new(),
+            depth_pruned: 0,
+            quiescent_states: 0,
+            pd_transients: HashSet::new(),
+            pd_states: HashSet::new(),
+            homedown_states: HashSet::new(),
+            retry_transients: HashSet::new(),
+            epochs_aborted: 0,
+            sharers_pruned: 0,
+            locks_reclaimed: 0,
+            reductions: 0,
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Report a violation: compose the counterexample (transition trace + final
+/// world), write it to `DARRAY_MC_TRACE_FILE` (or the default path under
+/// `target/`), print it, and abort the test.
+fn fail(ck: &Ck, trace: &[String], w: &World, msg: &str) -> ! {
+    let mut report = String::new();
+    let _ = writeln!(report, "MODEL CHECK FAILED: {msg}");
+    let _ = writeln!(
+        report,
+        "states explored: {} (grace={}ns)",
+        ck.seen.len(),
+        ck.grace
+    );
+    let _ = writeln!(report, "counterexample trace ({} steps):", trace.len());
+    for (i, step) in trace.iter().enumerate() {
+        let _ = writeln!(report, "  {:3}. {step}", i + 1);
+    }
+    let _ = writeln!(report, "final world:\n{w:#?}");
+    let path = std::env::var("DARRAY_MC_TRACE_FILE").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/model-check-counterexample.txt"
+        )
+        .to_string()
+    });
+    let _ = std::fs::write(&path, &report);
+    eprintln!("{report}");
+    eprintln!("(trace written to {path})");
+    panic!("model check failed: {msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Transitions
+// ---------------------------------------------------------------------------
+
+/// One atomic step of the world. `Deliver*`, `Drain*` and `Retry` are
+/// *internal* (protocol progress); the rest are external stimuli. A state
+/// with no internal transition enabled is *quiescent* and must satisfy the
+/// liveness conditions of [`check_quiescence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tr {
+    DeliverH2R(usize),
+    DeliverR2H(usize),
+    DrainRemote(usize),
+    DrainHome,
+    Retry,
+    AppHome(Kind),
+    AppRemote(usize, Kind),
+    LockHomeAcq(LockKind),
+    LockHomeRel,
+    LockRemoteAcq(usize, LockKind),
+    LockRemoteRel(usize),
+    Evict(usize),
+    /// Kill `victim`, keeping the first `keep[i]` messages of each of its
+    /// outgoing links (prefix truncation models messages lost in flight).
+    Kill {
+        victim: usize,
+        keep: [usize; 2],
+    },
+}
+
+/// Does `state`/`tag` already satisfy a request of `kind` locally (the
+/// fast-path hit the runtime would take without consulting the protocol)?
+fn satisfied(state: LocalState, tag: u32, kind: Kind) -> bool {
+    match kind {
+        Kind::Read => state.readable(),
+        Kind::Write => state.writable(),
+        Kind::Operate(op) => state.writable() || (state == LocalState::Operated && tag == op),
+    }
+}
+
+fn internal_transitions(w: &World) -> Vec<Tr> {
+    let mut out = Vec::new();
+    for i in 0..NREM {
+        if w.rem[i].alive && !w.h2r[i].is_empty() {
+            out.push(Tr::DeliverH2R(i));
+        }
+        if w.home.is_some() && !w.r2h[i].is_empty() {
+            out.push(Tr::DeliverR2H(i));
+        }
+        if w.rem[i].alive && w.rem[i].after.is_some() {
+            out.push(Tr::DrainRemote(i));
+        }
+    }
+    if let Some(h) = &w.home {
+        if h.draining {
+            out.push(Tr::DrainHome);
+        }
+        if w.retry_at.is_some() {
+            out.push(Tr::Retry);
+        }
+    }
+    out
+}
+
+fn external_transitions(w: &World) -> Vec<Tr> {
+    let mut out = Vec::new();
+    if let Some(h) = &w.home {
+        if h.app == App::Idle && h.req_budget > 0 {
+            for kind in KINDS {
+                if !satisfied(h.dentry.0, h.dentry.1, kind) {
+                    out.push(Tr::AppHome(kind));
+                }
+            }
+        }
+        match h.lock {
+            Lock::Idle if h.lock_budget > 0 => {
+                for lk in LKINDS {
+                    out.push(Tr::LockHomeAcq(lk));
+                }
+            }
+            Lock::Holding(_) => out.push(Tr::LockHomeRel),
+            _ => {}
+        }
+    }
+    for (i, r) in w.rem.iter().enumerate() {
+        if !r.alive {
+            continue;
+        }
+        if r.app == App::Idle && r.req_budget > 0 && !r.home_down {
+            for kind in KINDS {
+                if !satisfied(r.state, r.op_tag, kind) {
+                    out.push(Tr::AppRemote(i, kind));
+                }
+            }
+        }
+        match r.lock {
+            Lock::Idle if r.lock_budget > 0 && !r.home_down => {
+                for lk in LKINDS {
+                    out.push(Tr::LockRemoteAcq(i, lk));
+                }
+            }
+            Lock::Holding(_) => out.push(Tr::LockRemoteRel(i)),
+            _ => {}
+        }
+        if r.evict_budget > 0
+            && r.after.is_none()
+            && matches!(
+                r.state,
+                LocalState::Shared | LocalState::Exclusive | LocalState::Operated
+            )
+        {
+            out.push(Tr::Evict(i));
+        }
+    }
+    if w.kill_budget > 0 {
+        // Kill the home: branch over every surviving prefix of each
+        // home→remote link (the product; each link truncates independently).
+        if w.home.is_some() {
+            for k0 in 0..=w.h2r[0].len() {
+                for k1 in 0..=w.h2r[1].len() {
+                    out.push(Tr::Kill {
+                        victim: HOME,
+                        keep: [k0, k1],
+                    });
+                }
+            }
+        }
+        // Kill remote node 1 (the protagonist remote; killing node 2 adds
+        // symmetric states without new behavior since budgets differ).
+        if w.rem[0].alive && w.home.is_some() {
+            for k0 in 0..=w.r2h[0].len() {
+                out.push(Tr::Kill {
+                    victim: 1,
+                    keep: [k0, 0],
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Human-readable label for one transition (peeking the message about to be
+/// delivered), used in counterexample traces.
+fn label(w: &World, tr: Tr) -> String {
+    match tr {
+        Tr::DeliverH2R(i) => format!("deliver home->r{}: {:?}", i + 1, w.h2r[i].front().unwrap()),
+        Tr::DeliverR2H(i) => format!("deliver r{}->home: {:?}", i + 1, w.r2h[i].front().unwrap()),
+        Tr::DrainRemote(i) => format!(
+            "drain completes on r{}: {:?}",
+            i + 1,
+            w.rem[i].after.as_ref().unwrap()
+        ),
+        Tr::DrainHome => "home dentry drain completes".to_string(),
+        Tr::Retry => format!("grace retry fires (at={:?})", w.retry_at.unwrap()),
+        Tr::AppHome(k) => format!("home app requests {k:?}"),
+        Tr::AppRemote(i, k) => format!("r{} app requests {k:?}", i + 1),
+        Tr::LockHomeAcq(k) => format!("home acquires {k:?} lock"),
+        Tr::LockHomeRel => "home releases its lock".to_string(),
+        Tr::LockRemoteAcq(i, k) => format!("r{} acquires {k:?} lock", i + 1),
+        Tr::LockRemoteRel(i) => format!("r{} releases its lock", i + 1),
+        Tr::Evict(i) => format!("eviction scan hits r{}", i + 1),
+        Tr::Kill { victim, keep } => format!("KILL node {victim} (kept prefixes {keep:?})"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution: apply a transition to a world
+// ---------------------------------------------------------------------------
+
+fn apply(w: &mut World, ck: &mut Ck, trace: &[String], tr: Tr) {
+    match tr {
+        Tr::DeliverH2R(i) => {
+            let msg = w.h2r[i].pop_front().unwrap();
+            deliver_to_remote(w, ck, trace, i, msg);
+        }
+        Tr::DeliverR2H(i) => {
+            let msg = w.r2h[i].pop_front().unwrap();
+            deliver_to_home(w, ck, trace, i, msg);
+        }
+        Tr::DrainRemote(i) => {
+            let after = w.rem[i].after.take().unwrap();
+            let home_down = w.rem[i].home_down;
+            run_cache_event(w, ck, trace, i, CacheEvent::Drained { after, home_down });
+        }
+        Tr::DrainHome => {
+            w.home.as_mut().unwrap().draining = false;
+            run_home_event(w, ck, trace, HomeEvent::Drained);
+        }
+        Tr::Retry => {
+            let at = w.retry_at.take().unwrap();
+            w.now = w.now.max(at);
+            ck.retry_transients
+                .insert(w.home.as_ref().unwrap().m.transient().name());
+            run_home_event(w, ck, trace, HomeEvent::RetryExpired);
+        }
+        Tr::AppHome(kind) => {
+            let h = w.home.as_mut().unwrap();
+            h.app = App::Waiting(kind);
+            h.req_budget -= 1;
+            run_home_event(
+                w,
+                ck,
+                trace,
+                HomeEvent::Request(Request {
+                    source: Requester::Local(APP_TOKEN),
+                    kind,
+                }),
+            );
+        }
+        Tr::AppRemote(i, kind) => {
+            let r = &mut w.rem[i];
+            r.app = App::Waiting(kind);
+            r.req_budget -= 1;
+            let drain_pending = r.after.is_some();
+            run_cache_event(
+                w,
+                ck,
+                trace,
+                i,
+                CacheEvent::Request {
+                    kind,
+                    home_down: false,
+                    drain_pending,
+                },
+            );
+        }
+        Tr::LockHomeAcq(lk) => {
+            let h = w.home.as_mut().unwrap();
+            h.lock_budget -= 1;
+            h.lock = Lock::Waiting(lk);
+            let granted = h.locks.acquire(ELEM, lk, LockSource::Local(LOCK_TOKEN));
+            if let Some(src) = granted {
+                deliver_lock_grants(w, ck, trace, vec![(src, lk)]);
+            }
+        }
+        Tr::LockHomeRel => {
+            let h = w.home.as_mut().unwrap();
+            let Lock::Holding(lk) = h.lock else {
+                unreachable!()
+            };
+            h.lock = Lock::Idle;
+            let granted = h.locks.release(ELEM, lk, None);
+            deliver_lock_grants(w, ck, trace, granted);
+        }
+        Tr::LockRemoteAcq(i, lk) => {
+            let r = &mut w.rem[i];
+            r.lock_budget -= 1;
+            r.lock = Lock::Waiting(lk);
+            w.r2h[i].push_back(Msg::LockAcq { kind: lk });
+        }
+        Tr::LockRemoteRel(i) => {
+            let r = &mut w.rem[i];
+            let Lock::Holding(lk) = r.lock else {
+                unreachable!()
+            };
+            r.lock = Lock::Idle;
+            if w.home.is_some() {
+                w.r2h[i].push_back(Msg::LockRel { kind: lk });
+            }
+            // Home already dead: the release would be sent to a corpse; the
+            // home's lock table died with it, so dropping is sound.
+        }
+        Tr::Evict(i) => {
+            w.rem[i].evict_budget -= 1;
+            run_cache_event(w, ck, trace, i, CacheEvent::Evict);
+        }
+        Tr::Kill { victim, keep } => {
+            w.kill_budget -= 1;
+            if victim == HOME {
+                w.home = None;
+                w.retry_at = None;
+                for (i, &kept) in keep.iter().enumerate() {
+                    // Messages to the corpse are never consumed.
+                    w.r2h[i].clear();
+                    // The victim's in-flight sends: an arbitrary prefix
+                    // survives, then the detector marker (always last).
+                    w.h2r[i].truncate(kept);
+                    if w.rem[i].alive {
+                        w.h2r[i].push_back(Msg::Down { dead: HOME });
+                    } else {
+                        w.h2r[i].clear();
+                    }
+                }
+            } else {
+                let i = victim - 1;
+                w.rem[i] = Remote::dead();
+                w.h2r[i].clear();
+                w.r2h[i].truncate(keep[0]);
+                if w.home.is_some() {
+                    w.r2h[i].push_back(Msg::Down { dead: victim });
+                } else {
+                    w.r2h[i].clear();
+                }
+            }
+        }
+    }
+}
+
+/// Deliver one message to remote `i` (node id `i+1`).
+fn deliver_to_remote(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, msg: Msg) {
+    match msg {
+        Msg::Fill { exclusive } => {
+            let granted = if exclusive {
+                LocalState::Exclusive
+            } else {
+                LocalState::Shared
+            };
+            run_cache_event(w, ck, trace, i, CacheEvent::FillDone { granted });
+        }
+        Msg::Grant { op } => run_cache_event(w, ck, trace, i, CacheEvent::GrantDone { op }),
+        Msg::Inv => run_cache_event(w, ck, trace, i, CacheEvent::Invalidate { from: HOME }),
+        Msg::RecallDirty => run_cache_event(w, ck, trace, i, CacheEvent::RecallDirty),
+        Msg::Downgrade => run_cache_event(w, ck, trace, i, CacheEvent::DowngradeDirty),
+        Msg::RecallOperated { op } => {
+            run_cache_event(w, ck, trace, i, CacheEvent::RecallOperated { op });
+        }
+        Msg::LockGrant { kind } => {
+            let r = &mut w.rem[i];
+            if r.lock != Lock::Waiting(kind) {
+                fail(
+                    ck,
+                    trace,
+                    w,
+                    &format!("r{} got a {kind:?} lock grant it never asked for", i + 1),
+                );
+            }
+            r.lock = Lock::Holding(kind);
+        }
+        Msg::Down { dead } => {
+            assert_eq!(dead, HOME, "only the home's death reaches a remote");
+            ck.homedown_states.insert(w.rem[i].state.name());
+            let r = &mut w.rem[i];
+            r.home_down = true;
+            // Lock slots waiting on (or holding locks managed by) the dead
+            // home are meaningless now: the table died with the home.
+            r.lock = Lock::Idle;
+            run_cache_event(w, ck, trace, i, CacheEvent::HomeDown);
+            // An application wait with no fill in flight will never be woken
+            // by the protocol again — the runtime wakes it on the detector
+            // edge so it re-checks and observes NodeUnavailable.
+            if w.rem[i].app != App::Idle && !w.rem[i].state.in_flight() && w.rem[i].after.is_none()
+            {
+                w.rem[i].app = App::Idle;
+            }
+        }
+        other => fail(
+            ck,
+            trace,
+            w,
+            &format!("remote-only message {other:?} delivered to r{}", i + 1),
+        ),
+    }
+}
+
+/// Deliver one message from remote `i` (node id `i+1`) to the home.
+fn deliver_to_home(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, msg: Msg) {
+    let from = i + 1;
+    if w.home.as_ref().unwrap().knows_dead[i] && !matches!(msg, Msg::Down { .. }) {
+        // FIFO + marker-last makes this unreachable; if it fires the kill
+        // model itself is broken.
+        fail(
+            ck,
+            trace,
+            w,
+            &format!("home consumed {msg:?} from r{from} after its Down marker"),
+        );
+    }
+    match msg {
+        Msg::Req { kind } => run_home_event(
+            w,
+            ck,
+            trace,
+            HomeEvent::Request(Request {
+                source: Requester::Remote {
+                    node: from,
+                    dst_off: 0,
+                },
+                kind,
+            }),
+        ),
+        Msg::InvAck => run_home_event(w, ck, trace, HomeEvent::InvAck { from }),
+        Msg::EvictNotice => run_home_event(w, ck, trace, HomeEvent::EvictNotice { from }),
+        Msg::Writeback { downgrade } => {
+            run_home_event(w, ck, trace, HomeEvent::Writeback { from, downgrade });
+        }
+        Msg::Flush { op } => run_home_event(
+            w,
+            ck,
+            trace,
+            HomeEvent::Flush {
+                from,
+                op,
+                has_data: true,
+            },
+        ),
+        Msg::LockAcq { kind } => {
+            let h = w.home.as_mut().unwrap();
+            let granted = h.locks.acquire(ELEM, kind, LockSource::Remote(from));
+            if let Some(src) = granted {
+                deliver_lock_grants(w, ck, trace, vec![(src, kind)]);
+            }
+        }
+        Msg::LockRel { kind } => {
+            let h = w.home.as_mut().unwrap();
+            let granted = h.locks.release(ELEM, kind, Some(from));
+            deliver_lock_grants(w, ck, trace, granted);
+        }
+        Msg::Down { dead } => {
+            assert_eq!(dead, from);
+            let h = w.home.as_mut().unwrap();
+            ck.pd_transients.insert(h.m.transient().name());
+            ck.pd_states.insert(h.m.state().name());
+            h.knows_dead[i] = true;
+            run_home_event(w, ck, trace, HomeEvent::PeerDown { dead });
+            let h = w.home.as_mut().unwrap();
+            let purge = h.locks.forget_peer(dead);
+            ck.locks_reclaimed += purge.reclaimed;
+            deliver_lock_grants(
+                w,
+                ck,
+                trace,
+                purge.granted.into_iter().map(|(_, s, k)| (s, k)).collect(),
+            );
+        }
+        other => fail(
+            ck,
+            trace,
+            w,
+            &format!("home-only message {other:?} sent to the home"),
+        ),
+    }
+}
+
+/// Deliver lock grants returned by the table, mirroring the runtime's
+/// cascade: a grant to a node already known dead is immediately released
+/// back (the table re-pumps to the next waiter).
+fn deliver_lock_grants(
+    w: &mut World,
+    ck: &mut Ck,
+    trace: &[String],
+    granted: Vec<(LockSource<u32>, LockKind)>,
+) {
+    let mut queue: VecDeque<(LockSource<u32>, LockKind)> = granted.into();
+    while let Some((src, lk)) = queue.pop_front() {
+        match src {
+            LockSource::Local(tok) => {
+                assert_eq!(tok, LOCK_TOKEN, "unknown local lock token");
+                let h = w.home.as_mut().unwrap();
+                if h.lock != Lock::Waiting(lk) {
+                    fail(ck, trace, w, "home lock slot granted while not waiting");
+                }
+                h.lock = Lock::Holding(lk);
+            }
+            LockSource::Remote(n) => {
+                let h = w.home.as_mut().unwrap();
+                if h.knows_dead[n - 1] {
+                    // Runtime cascade: deliver_grant sees the grantee is
+                    // dead and releases straight back.
+                    let more = h.locks.release(ELEM, lk, Some(n));
+                    ck.locks_reclaimed += 1;
+                    queue.extend(more);
+                } else if w.rem[n - 1].alive {
+                    w.h2r[n - 1].push_back(Msg::LockGrant { kind: lk });
+                }
+                // else: grantee died but the marker is still in flight; the
+                // grant message is lost with the node, and the marker's
+                // forget_peer sweep will reclaim the table slot.
+            }
+        }
+    }
+}
+
+/// Feed one event to the home machine and execute its actions.
+fn run_home_event(w: &mut World, ck: &mut Ck, trace: &[String], ev: HomeEvent<u32>) {
+    let now = w.now;
+    let grace = ck.grace;
+    let actions = w.home.as_mut().unwrap().m.on_event(now, grace, ev);
+    for a in actions {
+        match a {
+            HomeAction::ChargeDirUpdate => {}
+            HomeAction::Wake(tok) => {
+                assert_eq!(tok, APP_TOKEN, "unknown home wake token");
+                let h = w.home.as_mut().unwrap();
+                if !matches!(h.app, App::Waiting(_)) {
+                    fail(ck, trace, w, "home app woken while not waiting");
+                }
+                h.app = App::Idle;
+            }
+            HomeAction::SendFill { to, exclusive, .. } => {
+                send_h2r(w, ck, trace, to, Msg::Fill { exclusive });
+            }
+            HomeAction::SendGrant { to, op } => send_h2r(w, ck, trace, to, Msg::Grant { op }),
+            HomeAction::SendInvalidate { to } => send_h2r(w, ck, trace, to, Msg::Inv),
+            HomeAction::SendRecallDirty { to } => send_h2r(w, ck, trace, to, Msg::RecallDirty),
+            HomeAction::SendDowngrade { to } => send_h2r(w, ck, trace, to, Msg::Downgrade),
+            HomeAction::SendRecallOperated { to, op } => {
+                send_h2r(w, ck, trace, to, Msg::RecallOperated { op });
+            }
+            HomeAction::ApplyFlushData { .. } => ck.reductions += 1,
+            HomeAction::SetHomeLocal { state, tag } => {
+                w.home.as_mut().unwrap().dentry = (state, tag);
+            }
+            HomeAction::StartHomeDrain { target, tag } => {
+                let h = w.home.as_mut().unwrap();
+                if h.draining {
+                    fail(ck, trace, w, "overlapping home drains");
+                }
+                h.dentry = (target, tag);
+                h.draining = true;
+            }
+            HomeAction::ScheduleRetry { at } => {
+                if w.retry_at.is_some() {
+                    fail(ck, trace, w, "two grace retries scheduled at once");
+                }
+                w.retry_at = Some(at);
+            }
+            HomeAction::Trace(_) => {}
+            HomeAction::Count(c) => match c {
+                Counter::EpochsAborted => ck.epochs_aborted += 1,
+                Counter::SharersPruned => ck.sharers_pruned += 1,
+                _ => {}
+            },
+        }
+    }
+}
+
+/// Send a protocol message from the home to remote node `to`. A send to a
+/// node the home has already declared dead is a recovery bug — the whole
+/// point of `forget_peer` is that no action ever references a corpse.
+fn send_h2r(w: &mut World, ck: &mut Ck, trace: &[String], to: usize, msg: Msg) {
+    if w.home.as_ref().unwrap().knows_dead[to - 1] {
+        fail(
+            ck,
+            trace,
+            w,
+            &format!("home sent {msg:?} to node {to} it knows is dead"),
+        );
+    }
+    if w.rem[to - 1].alive {
+        w.h2r[to - 1].push_back(msg);
+    }
+    // else: the node died but the detector hasn't fired yet; the message is
+    // lost in flight (prefix truncation already modeled it).
+}
+
+/// Feed one event to the cache machine of remote `i` and execute its
+/// actions. Uses a worklist because some actions (line allocation, waiter
+/// rechecks) synchronously produce follow-up events.
+fn run_cache_event(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, first: CacheEvent) {
+    let mut events = VecDeque::from([first]);
+    while let Some(ev) = events.pop_front() {
+        let r = &w.rem[i];
+        let view = CacheView {
+            state: r.state,
+            op_tag: r.op_tag,
+            line: r.line,
+            draining: r.after.is_some(),
+        };
+        let mut wake = false;
+        for a in CacheMachine::on_event(&view, ev) {
+            match a {
+                CacheAction::QueueWaiter => {}
+                CacheAction::WakeRequester | CacheAction::WakeAllWaiters => wake = true,
+                CacheAction::BeginDrain { target, tag, after } => {
+                    let r = &mut w.rem[i];
+                    if r.after.is_some() {
+                        fail(ck, trace, w, "overlapping drains on one dentry");
+                    }
+                    r.state = target;
+                    r.op_tag = tag;
+                    r.after = Some(after);
+                }
+                CacheAction::AllocLine { kind } => {
+                    events.push_back(CacheEvent::LineAllocated { line: LINE, kind });
+                }
+                CacheAction::SetLine { line } => w.rem[i].line = line,
+                CacheAction::ReleaseLine { line } => {
+                    if line != LINE_NONE {
+                        w.rem[i].line = LINE_NONE;
+                    }
+                }
+                CacheAction::SetTransient { state } => w.rem[i].state = state,
+                CacheAction::Promote { state, tag } => {
+                    let r = &mut w.rem[i];
+                    r.state = state;
+                    r.op_tag = tag;
+                }
+                CacheAction::InitOperandBuffer { .. } => {}
+                CacheAction::SendEvictNotice => send_r2h(w, ck, trace, i, Msg::EvictNotice),
+                CacheAction::SendInvalidateAck { to } => {
+                    assert_eq!(to, HOME);
+                    send_r2h(w, ck, trace, i, Msg::InvAck);
+                }
+                CacheAction::SendWriteback {
+                    downgrade, release, ..
+                } => {
+                    send_r2h(w, ck, trace, i, Msg::Writeback { downgrade });
+                    if release {
+                        w.rem[i].line = LINE_NONE;
+                    }
+                }
+                CacheAction::SendFlush { op, release, .. } => {
+                    send_r2h(w, ck, trace, i, Msg::Flush { op });
+                    if release {
+                        w.rem[i].line = LINE_NONE;
+                    }
+                }
+                CacheAction::SendUpgrade { kind, .. } => {
+                    send_r2h(w, ck, trace, i, Msg::Req { kind });
+                }
+                CacheAction::PrefetchHint | CacheAction::Trace(_) | CacheAction::Count(_) => {}
+            }
+        }
+        if wake {
+            recheck_app(w, i, &mut events);
+        }
+    }
+}
+
+/// Send a protocol message from remote `i` to the home. A send after the
+/// node consumed the home's `Down` marker is a recovery bug: every cache
+/// path must go local-only once the home is known dead.
+fn send_r2h(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, msg: Msg) {
+    if w.rem[i].home_down {
+        fail(
+            ck,
+            trace,
+            w,
+            &format!("r{} sent {msg:?} to a home it knows is dead", i + 1),
+        );
+    }
+    if w.home.is_some() {
+        w.r2h[i].push_back(msg);
+    }
+    // else: home died, marker in flight; the message is never consumed.
+}
+
+/// A wake fired on remote `i`: the parked application request re-checks its
+/// rights, exactly like the runtime's retry loop. It either completes
+/// (satisfied, or home dead ⇒ NodeUnavailable) or re-issues the request.
+fn recheck_app(w: &mut World, i: usize, events: &mut VecDeque<CacheEvent>) {
+    let r = &mut w.rem[i];
+    let App::Waiting(kind) = r.app else {
+        return;
+    };
+    if satisfied(r.state, r.op_tag, kind) || r.home_down {
+        r.app = App::Idle;
+    } else {
+        let drain_pending = r.after.is_some();
+        events.push_back(CacheEvent::Request {
+            kind,
+            home_down: false,
+            drain_pending,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+/// Safety: must hold in **every** reachable state.
+fn check_safety(w: &World, ck: &Ck, trace: &[String]) {
+    // Single writer: at most one alive remote holds Exclusive, and nobody
+    // else holds any rights while it does.
+    let excl: Vec<usize> = (0..NREM)
+        .filter(|&i| w.rem[i].alive && w.rem[i].state == LocalState::Exclusive)
+        .collect();
+    if excl.len() > 1 {
+        fail(ck, trace, w, "two alive remotes hold Exclusive");
+    }
+    if let Some(&e) = excl.first() {
+        for (i, r) in w.rem.iter().enumerate() {
+            if i != e
+                && r.alive
+                && matches!(
+                    r.state,
+                    LocalState::Shared | LocalState::Exclusive | LocalState::Operated
+                )
+            {
+                fail(
+                    ck,
+                    trace,
+                    w,
+                    &format!("r{} holds rights while r{} is Exclusive", i + 1, e + 1),
+                );
+            }
+        }
+        if let Some(h) = &w.home {
+            if !matches!(h.m.state(), DirState::Dirty { owner } if *owner == e + 1) {
+                fail(
+                    ck,
+                    trace,
+                    w,
+                    &format!("r{} is Exclusive but directory is {:?}", e + 1, h.m.state()),
+                );
+            }
+        }
+    }
+    // Operated epoch agreement: all alive Operated remotes carry one tag.
+    let tags: Vec<u32> = w
+        .rem
+        .iter()
+        .filter(|r| r.alive && r.state == LocalState::Operated)
+        .map(|r| r.op_tag)
+        .collect();
+    if tags.windows(2).any(|t| t[0] != t[1]) {
+        fail(
+            ck,
+            trace,
+            w,
+            "two alive remotes Operated under different ops",
+        );
+    }
+    // Dentry/line consistency (drains excepted: the line detaches at the
+    // continuation, not at drain start).
+    for (i, r) in w.rem.iter().enumerate() {
+        if r.alive && r.after.is_none() && (r.state == LocalState::Invalid) != (r.line == LINE_NONE)
+        {
+            fail(
+                ck,
+                trace,
+                w,
+                &format!("r{} dentry/line mismatch: {:?}/{}", i + 1, r.state, r.line),
+            );
+        }
+    }
+    let Some(h) = &w.home else { return };
+    // The machine's dead set and the executor's detector agree.
+    for n in 1..=NREM {
+        if h.m.is_dead(n) != h.knows_dead[n - 1] {
+            fail(ck, trace, w, "machine dead set out of sync with detector");
+        }
+    }
+    // No directory bookkeeping references a known-dead node.
+    let dead_ref = |n: &usize| h.knows_dead[*n - 1];
+    let state_refs_dead = match h.m.state() {
+        DirState::Shared { sharers } | DirState::Operated { sharers, .. } => {
+            sharers.iter().any(&dead_ref)
+        }
+        DirState::Dirty { owner } => dead_ref(owner),
+        DirState::Unshared => false,
+    };
+    if state_refs_dead {
+        fail(ck, trace, w, "directory state references a known-dead node");
+    }
+    use darray::protocol::Transient;
+    let transient_refs_dead = match h.m.transient() {
+        Transient::AwaitInvAcks { waiting } | Transient::AwaitFlushes { waiting, .. } => {
+            waiting.iter().any(&dead_ref)
+        }
+        Transient::AwaitWriteback { from } => dead_ref(from),
+        _ => false,
+    };
+    if transient_refs_dead {
+        fail(
+            ck,
+            trace,
+            w,
+            "transient wait set references a known-dead node",
+        );
+    }
+    // No orphaned lock holders.
+    if !h.locks.holders_all_satisfy(|n| !h.knows_dead[n - 1]) {
+        fail(
+            ck,
+            trace,
+            w,
+            "lock table holds a lock for a known-dead node",
+        );
+    }
+}
+
+/// Liveness: must hold whenever **no internal transition is enabled** (the
+/// system has quiesced — nothing will ever make progress again without a
+/// new external stimulus, so anything still pending is stuck forever).
+fn check_quiescence(w: &World, ck: &Ck, trace: &[String]) {
+    let live_holder = matches!(w.home.as_ref().map(|h| h.lock), Some(Lock::Holding(_)))
+        || w.rem
+            .iter()
+            .any(|r| r.alive && matches!(r.lock, Lock::Holding(_)));
+
+    if let Some(h) = &w.home {
+        if !h.m.transient().is_none() {
+            fail(
+                ck,
+                trace,
+                w,
+                &format!(
+                    "quiescent with transient {} pending",
+                    h.m.transient().name()
+                ),
+            );
+        }
+        if h.m.pending_len() != 0 || h.m.has_current() {
+            fail(
+                ck,
+                trace,
+                w,
+                "quiescent with directory requests still queued",
+            );
+        }
+        if matches!(h.app, App::Waiting(_)) {
+            fail(ck, trace, w, "home app thread parked forever");
+        }
+        if matches!(h.lock, Lock::Waiting(_)) && !live_holder {
+            fail(ck, trace, w, "home lock waiter blocked with no live holder");
+        }
+        // Home dentry must mirror the directory state.
+        let want = (
+            h.m.state().home_local(),
+            match h.m.state() {
+                DirState::Operated { op, .. } => op.0,
+                _ => NOTAG,
+            },
+        );
+        if h.dentry != want {
+            fail(
+                ck,
+                trace,
+                w,
+                &format!(
+                    "home dentry {:?} disagrees with directory (want {want:?})",
+                    h.dentry
+                ),
+            );
+        }
+        // Directory ↔ survivor dentries, both directions.
+        for (i, r) in w.rem.iter().enumerate() {
+            let n = i + 1;
+            let (in_sharers, as_owner, op_of) = match h.m.state() {
+                DirState::Shared { sharers } => (sharers.contains(&n), false, None),
+                DirState::Dirty { owner } => (false, *owner == n, None),
+                DirState::Operated { op, sharers } => (sharers.contains(&n), false, Some(op.0)),
+                DirState::Unshared => (false, false, None),
+            };
+            if !r.alive {
+                continue;
+            }
+            match r.state {
+                LocalState::Shared => {
+                    if !(in_sharers && op_of.is_none()) {
+                        fail(
+                            ck,
+                            trace,
+                            w,
+                            &format!("r{n} is Shared but directory is {:?}", h.m.state()),
+                        );
+                    }
+                }
+                LocalState::Exclusive => {
+                    if !as_owner {
+                        fail(
+                            ck,
+                            trace,
+                            w,
+                            &format!("r{n} is Exclusive but directory is {:?}", h.m.state()),
+                        );
+                    }
+                }
+                LocalState::Operated => {
+                    if op_of != Some(r.op_tag) || !in_sharers {
+                        fail(
+                            ck,
+                            trace,
+                            w,
+                            &format!(
+                                "r{n} Operated({}) but directory is {:?}",
+                                r.op_tag,
+                                h.m.state()
+                            ),
+                        );
+                    }
+                }
+                LocalState::Invalid => {
+                    if in_sharers || as_owner {
+                        fail(
+                            ck,
+                            trace,
+                            w,
+                            &format!("directory lists Invalid r{n}: {:?}", h.m.state()),
+                        );
+                    }
+                }
+                s => fail(
+                    ck,
+                    trace,
+                    w,
+                    &format!("r{n} stuck in transient state {s:?} at quiescence"),
+                ),
+            }
+        }
+    }
+    for (i, r) in w.rem.iter().enumerate() {
+        if !r.alive {
+            continue;
+        }
+        if matches!(r.app, App::Waiting(_)) {
+            fail(
+                ck,
+                trace,
+                w,
+                &format!("r{} app thread parked forever", i + 1),
+            );
+        }
+        if matches!(r.lock, Lock::Waiting(_)) && (w.home.is_none() || !live_holder) {
+            fail(
+                ck,
+                trace,
+                w,
+                &format!("r{} lock waiter blocked with no live grantor", i + 1),
+            );
+        }
+        if w.home.is_none() && (r.state.in_flight() || r.after.is_some()) {
+            fail(
+                ck,
+                trace,
+                w,
+                &format!("r{} stuck in-flight after home death", i + 1),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+fn state_key(w: &World) -> u64 {
+    // The derived Debug string is a canonical encoding of the world (every
+    // behavioral field is in it, in a deterministic order); hashing it keeps
+    // the memo table small. DefaultHasher::new() uses fixed keys, so runs
+    // are reproducible.
+    let mut h = std::hash::DefaultHasher::new();
+    format!("{w:?}").hash(&mut h);
+    h.finish()
+}
+
+fn dfs(w: &World, depth: usize, ck: &mut Ck, trace: &mut Vec<String>) {
+    if !ck.seen.insert(state_key(w)) {
+        return;
+    }
+    if ck.seen.len() > ck.max_states {
+        fail(
+            ck,
+            trace,
+            w,
+            "state-space budget exceeded (raise DARRAY_MC_MAX_STATES)",
+        );
+    }
+    check_safety(w, ck, trace);
+    let internal = internal_transitions(w);
+    if internal.is_empty() {
+        ck.quiescent_states += 1;
+        check_quiescence(w, ck, trace);
+    }
+    if depth >= ck.max_depth {
+        ck.depth_pruned += 1;
+        return;
+    }
+    let mut all = internal;
+    all.extend(external_transitions(w));
+    for tr in all {
+        let mut child = w.clone();
+        trace.push(label(w, tr));
+        apply(&mut child, ck, trace, tr);
+        dfs(&child, depth + 1, ck, trace);
+        trace.pop();
+    }
+}
+
+fn initial_world(
+    req: [u8; NREM],
+    locks: [u8; NREM],
+    evicts: [u8; NREM],
+    home_req: u8,
+    home_locks: u8,
+    kills: u8,
+) -> World {
+    World {
+        home: Some(Home {
+            m: HomeMachine::new(),
+            locks: LockTable::default(),
+            dentry: (LocalState::Exclusive, NOTAG),
+            draining: false,
+            knows_dead: [false; NREM],
+            app: App::Idle,
+            lock: Lock::Idle,
+            req_budget: home_req,
+            lock_budget: home_locks,
+        }),
+        rem: [
+            Remote::fresh(req[0], locks[0], evicts[0]),
+            Remote::fresh(req[1], locks[1], evicts[1]),
+        ],
+        h2r: [VecDeque::new(), VecDeque::new()],
+        r2h: [VecDeque::new(), VecDeque::new()],
+        now: 0,
+        retry_at: None,
+        kill_budget: kills,
+    }
+}
+
+fn summarize(ck: &Ck, name: &str) {
+    println!(
+        "[{name}] states={} quiescent={} depth_pruned={} \
+         pd_transients={:?} pd_states={:?} homedown_states={:?} retry_transients={:?} \
+         epochs_aborted={} sharers_pruned={} locks_reclaimed={} reductions={}",
+        ck.seen.len(),
+        ck.quiescent_states,
+        ck.depth_pruned,
+        ck.pd_transients,
+        ck.pd_states,
+        ck.homedown_states,
+        ck.retry_transients,
+        ck.epochs_aborted,
+        ck.sharers_pruned,
+        ck.locks_reclaimed,
+        ck.reductions,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+/// The main coherence search: no grace window (every transient is reachable
+/// without time passing), two remotes issuing Read/Write/Operate plus one
+/// eviction, and one kill (home or remote 1) injected at every point —
+/// including every surviving-prefix truncation of the victim's in-flight
+/// messages. Lock traffic is checked by [`crash_model_locks`] (the two
+/// subsystems only meet at the `PeerDown` sweep, so searching them
+/// separately sums the state spaces instead of multiplying them).
+#[test]
+fn crash_model_coherence_no_grace() {
+    let mut ck = Ck::new(0);
+    let w = initial_world([2, 2], [0, 0], [1, 1], 2, 0, 1);
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "coherence");
+
+    let min_states = env_usize("DARRAY_MC_MIN_STATES", 10_000);
+    assert!(
+        ck.seen.len() >= min_states,
+        "explored only {} states (< {min_states}); the model lost coverage",
+        ck.seen.len()
+    );
+    // A PeerDown must have been injected into every transient phase the
+    // protocol can be in (GraceWait needs grace > 0; see the other test).
+    for t in [
+        "None",
+        "AwaitInvAcks",
+        "AwaitWriteback",
+        "AwaitFlushes",
+        "HomeDrain",
+    ] {
+        assert!(
+            ck.pd_transients.contains(t),
+            "no kill was consumed during transient {t}: {:?}",
+            ck.pd_transients
+        );
+    }
+    assert!(
+        ck.pd_states.contains("Operated"),
+        "no kill landed during an Operated epoch: {:?}",
+        ck.pd_states
+    );
+    assert!(
+        ck.epochs_aborted > 0,
+        "no Operated epoch was ever closed by abort"
+    );
+    assert!(
+        ck.quiescent_states > 0,
+        "the search never reached quiescence"
+    );
+}
+
+/// Lock-subsystem search: both remotes and the home contend on one element
+/// with reader and writer locks while one kill (home or remote 1) lands at
+/// every point. Asserts orphaned locks are reclaimed and no waiter is left
+/// blocked on a dead grantor or dead holder.
+#[test]
+fn crash_model_locks() {
+    let mut ck = Ck::new(0);
+    let w = initial_world([0, 0], [2, 2], [0, 0], 0, 2, 1);
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "locks");
+
+    assert!(
+        ck.locks_reclaimed > 0,
+        "no orphaned lock was ever reclaimed"
+    );
+    assert!(
+        ck.quiescent_states > 0,
+        "the search never reached quiescence"
+    );
+}
+
+/// Cross-subsystem search: one remote drives coherence *and* lock traffic
+/// at once with a kill, so the `PeerDown` sweep (directory cleanup followed
+/// by the lock purge) is exercised with both subsystems mid-flight.
+#[test]
+fn crash_model_combined() {
+    let mut ck = Ck::new(0);
+    let w = initial_world([1, 1], [1, 1], [0, 0], 0, 1, 1);
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "combined");
+
+    assert!(
+        ck.quiescent_states > 0,
+        "the search never reached quiescence"
+    );
+}
+
+/// Grace-window variant: with `grace_ns = 1` every fresh grant opens a
+/// GraceWait window, so kills and retries land inside it. Smaller budgets
+/// keep the (now time-carrying) state space in check.
+#[test]
+fn crash_model_grace_window() {
+    let mut ck = Ck::new(1);
+    ck.max_depth = env_usize("DARRAY_MC_MAX_DEPTH", 64);
+    let w = initial_world([1, 1], [0, 0], [0, 0], 1, 0, 1);
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "grace");
+
+    assert!(
+        ck.retry_transients.contains("GraceWait"),
+        "no retry ever fired inside a grace window: {:?}",
+        ck.retry_transients
+    );
+    assert!(
+        ck.pd_transients.contains("GraceWait"),
+        "no kill was consumed during GraceWait: {:?}",
+        ck.pd_transients
+    );
+    assert!(ck.quiescent_states > 0);
+}

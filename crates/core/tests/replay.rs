@@ -77,6 +77,75 @@ fn same_seed_replays_bit_identically() {
     }
 }
 
+/// Run a crash-tolerant workload: node 1 of 3 dies mid-run while every
+/// node keeps issuing `try_*` operations against chunks spread over all
+/// homes (tolerating `NodeUnavailable`), plus a round of lock-protected
+/// updates so orphaned-lock reclamation runs too. No barriers after the
+/// crash point — a dead node can never arrive.
+fn run_crash_once(cfg: ClusterConfig) -> (Vec<NodeStatsSnapshot>, VTime) {
+    let nodes = cfg.nodes;
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let add = cluster.ops().register_add_u64();
+        let arr = cluster.alloc::<u64>(3 * 4096, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            let stride = a.len() / env.nodes;
+            // Phase 1 (pre-crash): everyone writes its own stripe and
+            // applies into the next node's stripe.
+            for i in 0..48 {
+                let _ = a.try_set(ctx, env.node * stride + i, (env.node * 100 + i) as u64);
+                let _ = a.try_apply(ctx, ((env.node + 1) % env.nodes) * stride + i, add, 1);
+            }
+            // Straddle the crash instant.
+            ctx.sleep(2_500_000);
+            // Phase 2 (post-crash): survivors keep going; operations whose
+            // home died surface NodeUnavailable instead of hanging, and a
+            // lock round exercises reclamation of the dead node's locks.
+            for i in 0..32 {
+                let idx = (env.node * stride + 7 * i) % a.len();
+                if a.try_wlock(ctx, idx).is_ok() {
+                    let v = a.try_get(ctx, idx).unwrap_or(0);
+                    let _ = a.try_set(ctx, idx, v + 1);
+                    a.unlock(ctx, idx);
+                }
+                // An uncached chunk homed on node 1: survivors detect the
+                // crash here; the error (not a hang) is the contract.
+                let _ = a.try_get(ctx, stride + 2048 + 64 * i);
+            }
+        });
+        let snaps: Vec<NodeStatsSnapshot> = (0..nodes).map(|n| cluster.stats(n)).collect();
+        cluster.shutdown(ctx);
+        (snaps, ctx.now())
+    })
+}
+
+#[test]
+fn mid_run_crash_replays_bit_identically() {
+    let mk = || {
+        let mut plan = faulty_plan(0xFA11);
+        plan.crash_at = vec![(1, 1_500_000)];
+        let mut fc = FaultConfig::new(plan);
+        fc.rpc_timeout_ns = 50_000;
+        fc.max_retries = 3;
+        let mut c = ClusterConfig::with_nodes(3);
+        c.fault = Some(fc);
+        c
+    };
+    let (snaps_a, t_a) = run_crash_once(mk());
+    let (snaps_b, t_b) = run_crash_once(mk());
+    assert_eq!(snaps_a, snaps_b, "stats diverged across same-seed replays");
+    assert_eq!(t_a, t_b, "final virtual time diverged");
+    // The run must actually have exercised the recovery path: survivors
+    // declared the crashed node dead (it cannot declare anyone itself —
+    // fail-stop cuts its network, so count only nodes 0 and 2).
+    let survivors_peers_down: u64 = snaps_a[0].peers_down + snaps_a[2].peers_down;
+    assert!(
+        survivors_peers_down >= 2,
+        "both survivors should declare node 1 down: {snaps_a:?}"
+    );
+}
+
 #[test]
 fn different_seeds_diverge() {
     let mut c1 = ClusterConfig::with_nodes(2);

@@ -181,3 +181,167 @@ fn crash_is_detected_and_degrades_gracefully() {
         cluster.shutdown(ctx);
     });
 }
+
+/// Kill a node in the middle of a PageRank-like workload: the crashed node
+/// holds an Operate grant (its combined local operands die with it), the
+/// home aborts the orphaned epoch on detection, and the survivors'
+/// contributions all land. Blocking reads across the recall-from-a-corpse
+/// path must complete (the dsim deadlock detector turns a hang into a
+/// panic).
+#[test]
+fn kill_mid_operate_epoch_aborts_and_survivors_converge() {
+    const ACC: usize = 4; // accumulator element, homed on node 0
+    const FLAG: usize = 700; // completion flag, a different node-0 chunk
+    const DEAD_CHUNK: usize = 2560; // homed on node 2, never cached pre-crash
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let mut plan = FaultPlan::new(11);
+        plan.crash_at = vec![(2, 1_000_000)];
+        let mut fc = FaultConfig::new(plan);
+        fc.rpc_timeout_ns = 50_000;
+        fc.max_retries = 3;
+        let mut cfg = ClusterConfig::with_nodes(NODES);
+        cfg.fault = Some(fc);
+        let cluster = Cluster::new(ctx, cfg);
+        let add = cluster.ops().register_add_u64();
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            match env.node {
+                2 => {
+                    // Rank contributions under an Operate grant; the node
+                    // dies before any recall, so these combined operands are
+                    // lost (fail-stop) and must NOT be required below.
+                    for _ in 0..16 {
+                        a.apply(ctx, ACC, add, 1);
+                    }
+                    ctx.sleep(2_000_000); // dead past this point
+                }
+                survivor => {
+                    ctx.sleep(2_000_000);
+                    if survivor == 0 {
+                        // Forces the recall of the orphaned epoch while the
+                        // home still believes node 2 is alive: the read
+                        // blocks in AwaitFlushes until the recall times
+                        // out, node 2 is declared down and the epoch
+                        // aborts. This is the crash-mid-transient path.
+                        let _ = a.get(ctx, ACC);
+                    }
+                    // An uncached chunk homed on the corpse: error, not hang.
+                    assert_eq!(
+                        a.try_get(ctx, DEAD_CHUNK),
+                        Err(DArrayError::NodeUnavailable { node: 2 })
+                    );
+                    for _ in 0..32 {
+                        a.apply(ctx, ACC, add, 1);
+                    }
+                    if survivor == 1 {
+                        a.set(ctx, FLAG, 1);
+                    } else {
+                        while a.get(ctx, FLAG) != 1 {
+                            ctx.sleep(50_000);
+                        }
+                        // A coherent read recalls node 1's combined
+                        // operands: every survivor contribution is in.
+                        let total = a.get(ctx, ACC);
+                        assert!(
+                            (64..=80).contains(&total),
+                            "survivor contributions lost: acc={total}"
+                        );
+                    }
+                }
+            }
+        });
+        let s0 = cluster.stats(0);
+        let s1 = cluster.stats(1);
+        assert!(
+            s0.epochs_aborted >= 1,
+            "home never aborted the dead node's epoch: {s0:?}"
+        );
+        assert!(
+            s0.sharers_pruned >= 1,
+            "home never pruned the dead sharer: {s0:?}"
+        );
+        assert!(s0.peers_down >= 1, "node 0 never declared node 2 down");
+        assert!(s1.peers_down >= 1, "node 1 never declared node 2 down");
+        cluster.shutdown(ctx);
+    });
+}
+
+/// Kill a node in the middle of a KVS-like workload while it HOLDS a write
+/// lock: the home must reclaim the orphaned lock and grant it to the
+/// waiting survivors, whose blocking `wlock` calls must not hang. The
+/// crashed node's un-written-back Dirty increments may be lost (fail-stop)
+/// but survivor increments may not.
+#[test]
+fn kill_mid_kvs_orphaned_lock_is_reclaimed() {
+    const HOT: usize = 4; // contended element, homed on node 0
+    const FLAG: usize = 700;
+    const DEAD_CHUNK: usize = 2560;
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let mut plan = FaultPlan::new(13);
+        plan.crash_at = vec![(2, 1_000_000)];
+        let mut fc = FaultConfig::new(plan);
+        fc.rpc_timeout_ns = 50_000;
+        fc.max_retries = 3;
+        let mut cfg = ClusterConfig::with_nodes(NODES);
+        cfg.fault = Some(fc);
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            match env.node {
+                2 => {
+                    // Completed pre-crash RMWs (their Dirty data may still
+                    // die un-written-back), then die HOLDING the lock.
+                    for _ in 0..4 {
+                        a.wlock(ctx, HOT);
+                        let v = a.get(ctx, HOT);
+                        a.set(ctx, HOT, v + 1);
+                        a.unlock(ctx, HOT);
+                    }
+                    a.wlock(ctx, HOT);
+                    ctx.sleep(2_500_000); // dead while holding the lock
+                }
+                survivor => {
+                    ctx.sleep(2_000_000);
+                    // Detection trigger + contract check: the corpse's
+                    // chunks fail fast instead of hanging.
+                    assert_eq!(
+                        a.try_set(ctx, DEAD_CHUNK, 1),
+                        Err(DArrayError::NodeUnavailable { node: 2 })
+                    );
+                    // These block behind the dead holder until the home
+                    // reclaims the orphan; a hang would trip the deadlock
+                    // detector.
+                    for _ in 0..8 {
+                        a.wlock(ctx, HOT);
+                        let v = a.get(ctx, HOT);
+                        a.set(ctx, HOT, v + 1);
+                        a.unlock(ctx, HOT);
+                    }
+                    if survivor == 1 {
+                        a.set(ctx, FLAG, 1);
+                    } else {
+                        while a.get(ctx, FLAG) != 1 {
+                            ctx.sleep(50_000);
+                        }
+                        a.wlock(ctx, HOT);
+                        let total = a.get(ctx, HOT);
+                        a.unlock(ctx, HOT);
+                        assert!(
+                            (16..=20).contains(&total),
+                            "survivor increments lost: hot={total}"
+                        );
+                    }
+                }
+            }
+        });
+        let s0 = cluster.stats(0);
+        assert!(
+            s0.orphaned_locks_reclaimed >= 1,
+            "home never reclaimed the dead holder's lock: {s0:?}"
+        );
+        assert!(s0.peers_down >= 1, "node 0 never declared node 2 down");
+        cluster.shutdown(ctx);
+    });
+}
