@@ -6,8 +6,8 @@
 //! all cores; this harness defaults to rMat14 (set `FIG16_SCALE` to go
 //! bigger) — the *relative* behaviour is scale-invariant (see DESIGN.md §2).
 
-use darray_bench::graphs::{graph_cell, Algo, GraphSys};
-use darray_bench::report::{fmt, print_table, scalability};
+use darray_bench::graphs::{graph_cell_with_traffic, Algo, GraphSys};
+use darray_bench::report::{fmt, print_table, scalability, write_bench_json};
 
 fn main() {
     let fast = darray_bench::fast_mode();
@@ -24,6 +24,7 @@ fn main() {
         GraphSys::Gemini,
     ];
 
+    let mut traffic = Vec::new();
     for algo in [Algo::PageRank, Algo::Cc] {
         let mut rows = Vec::new();
         let mut speed: Vec<Vec<(usize, f64)>> = vec![Vec::new(); systems.len()];
@@ -37,7 +38,10 @@ fn main() {
                     row.push("-".to_string());
                     continue;
                 }
-                let t = graph_cell(sys, algo, n, scale, 4, iters);
+                let (t, tr) = graph_cell_with_traffic(sys, algo, n, scale, 4, iters);
+                if let Some(tr) = tr {
+                    traffic.push((format!("{}_{}_{n}n", sys.label(), algo.label()), tr));
+                }
                 let ms = t as f64 / 1e6;
                 speed[si].push((n, 1.0 / ms)); // "throughput" = 1/time
                 row.push(fmt(ms));
@@ -59,4 +63,8 @@ fn main() {
         );
     }
     println!("\npaper: DArray 2-3 orders of magnitude faster than GAM; Gemini wins on 1 node, DArray-Pin overtakes as nodes grow (1.3x PR / 2.1x CC), with scalability 0.55/0.74 vs Gemini's 0.28/0.09.");
+    match write_bench_json("fig16", &traffic) {
+        Ok(p) => println!("protocol traffic written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_fig16.json: {e}"),
+    }
 }

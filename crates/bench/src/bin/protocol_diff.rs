@@ -9,7 +9,7 @@
 //! before it shows up as a latency regression.
 //!
 //! ```text
-//! protocol_diff <baseline.json> <current.json> [--threshold-pct <f>] [--abs-slack <n>]
+//! protocol_diff <baseline.json> <current.json> [--threshold-pct <f>] [--abs-slack <n>] [--update]
 //! ```
 //!
 //! Rules:
@@ -18,6 +18,11 @@
 //!   current file fails (instrumentation was dropped);
 //! - decreases and brand-new counters are reported but pass (improvements
 //!   and schema growth are fine).
+//!
+//! `--update` replaces the baseline with the current file (after checking
+//! both parse) and exits 0 — the blessed way to regenerate baselines after
+//! an intentional protocol change or a counter-schema extension, instead
+//! of hand-editing JSON.
 //!
 //! The parser is hand-rolled for the restricted JSON the report writer
 //! emits (string keys, nested objects, unsigned integers) — the harness
@@ -242,7 +247,7 @@ fn diff(baseline: &Traffic, current: &Traffic, pct: f64, slack: u64) -> Vec<Find
 fn usage() -> ! {
     eprintln!(
         "usage: protocol_diff <baseline.json> <current.json> \
-         [--threshold-pct <float>] [--abs-slack <int>]"
+         [--threshold-pct <float>] [--abs-slack <int>] [--update]"
     );
     std::process::exit(2);
 }
@@ -252,6 +257,7 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut pct = 0.0f64;
     let mut slack = 0u64;
+    let mut update = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -269,6 +275,7 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--update" => update = true,
             p if !p.starts_with("--") => paths.push(p.to_string()),
             _ => usage(),
         }
@@ -290,6 +297,19 @@ fn main() -> ExitCode {
         })
     };
     let (bp, cp) = (&paths[0], &paths[1]);
+    if update {
+        // Bless the current run as the new baseline. The current file must
+        // parse (a malformed report should never be checked in); the old
+        // baseline need not even exist.
+        let body = read(cp);
+        let sections = parse(cp, &body).len();
+        if let Err(e) = std::fs::write(bp, &body) {
+            eprintln!("protocol_diff: cannot write {bp}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("protocol_diff: baseline {bp} updated from {cp} ({sections} section(s))");
+        return ExitCode::SUCCESS;
+    }
     let baseline = parse(bp, &read(bp));
     let current = parse(cp, &read(cp));
 

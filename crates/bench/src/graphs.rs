@@ -1,6 +1,7 @@
 //! Figure 16: PageRank and Connected Components running time across the
 //! four engines (DArray, DArray-Pin, GAM, Gemini).
 
+use crate::report::ProtocolTraffic;
 use darray::{Cluster, ClusterConfig, Sim, SimConfig, VTime};
 use darray_graph::cc::cc_darray;
 use darray_graph::gam_engine::{cc_gam, pagerank_gam};
@@ -56,6 +57,20 @@ pub fn graph_cell(
     edge_factor: usize,
     pr_iters: usize,
 ) -> VTime {
+    graph_cell_with_traffic(sys, algo, nodes, scale, edge_factor, pr_iters).0
+}
+
+/// [`graph_cell`] plus the cluster-wide protocol traffic of the run —
+/// `Some` for the DArray engines (which expose `NodeStats`), `None` for
+/// the GAM and Gemini comparison engines.
+pub fn graph_cell_with_traffic(
+    sys: GraphSys,
+    algo: Algo,
+    nodes: usize,
+    scale: u32,
+    edge_factor: usize,
+    pr_iters: usize,
+) -> (VTime, Option<ProtocolTraffic>) {
     let el = rmat(scale, edge_factor, 24);
     match sys {
         GraphSys::DArray | GraphSys::DArrayPin => {
@@ -66,8 +81,9 @@ pub fn graph_cell(
                     Algo::PageRank => pagerank_darray(ctx, &cluster, &el, pr_iters, pin).elapsed,
                     Algo::Cc => cc_darray(ctx, &cluster, &el, pin).elapsed,
                 };
+                let traffic = ProtocolTraffic::collect(&cluster);
                 cluster.shutdown(ctx);
-                t
+                (t, Some(traffic))
             })
         }
         GraphSys::Gam => Sim::new(SimConfig::default()).run(move |ctx| {
@@ -77,13 +93,16 @@ pub fn graph_cell(
                 Algo::Cc => cc_gam(ctx, &g, &el).elapsed,
             };
             g.shutdown(ctx);
-            t
+            (t, None)
         }),
-        GraphSys::Gemini => Sim::new(SimConfig::default()).run(move |ctx| match algo {
-            Algo::PageRank => {
-                pagerank_gemini(ctx, &el, nodes, pr_iters, NetConfig::default()).elapsed
-            }
-            Algo::Cc => cc_gemini(ctx, &el, nodes, NetConfig::default()).elapsed,
+        GraphSys::Gemini => Sim::new(SimConfig::default()).run(move |ctx| {
+            let t = match algo {
+                Algo::PageRank => {
+                    pagerank_gemini(ctx, &el, nodes, pr_iters, NetConfig::default()).elapsed
+                }
+                Algo::Cc => cc_gemini(ctx, &el, nodes, NetConfig::default()).elapsed,
+            };
+            (t, None)
         }),
     }
 }

@@ -70,6 +70,16 @@ pub struct ProtocolTraffic {
     pub epochs_aborted: u64,
     /// Locks reclaimed from dead holders (and waiter slots dropped).
     pub orphaned_locks_reclaimed: u64,
+    /// Peers that entered the Suspected state (retry exhaustion).
+    pub suspicions: u64,
+    /// Suspicions withdrawn because a quorum poll or a fresh lease proved
+    /// the peer alive (parked traffic was replayed, nothing discarded).
+    pub refutations: u64,
+    /// Suspicions promoted to Dead by a quorum of the membership view.
+    pub confirmed_deaths: u64,
+    /// Highest membership-view epoch reached on any node (a gauge — taken
+    /// as the max over nodes, not a sum).
+    pub membership_epoch: u64,
 }
 
 impl ProtocolTraffic {
@@ -86,6 +96,10 @@ impl ProtocolTraffic {
         self.sharers_pruned += s.sharers_pruned;
         self.epochs_aborted += s.epochs_aborted;
         self.orphaned_locks_reclaimed += s.orphaned_locks_reclaimed;
+        self.suspicions += s.suspicions;
+        self.refutations += s.refutations;
+        self.confirmed_deaths += s.confirmed_deaths;
+        self.membership_epoch = self.membership_epoch.max(s.membership_epoch);
     }
 
     /// Sum the counters of every node in a cluster (call before shutdown).
@@ -103,7 +117,8 @@ impl ProtocolTraffic {
             "{{\"fills\":{},\"invalidations\":{},\"recalls\":{},\"writebacks\":{},\
              \"operand_flushes\":{},\"operated_reductions\":{},\"evictions\":{},\
              \"transitions\":{},\"sharers_pruned\":{},\"epochs_aborted\":{},\
-             \"orphaned_locks_reclaimed\":{}}}",
+             \"orphaned_locks_reclaimed\":{},\"suspicions\":{},\"refutations\":{},\
+             \"confirmed_deaths\":{},\"membership_epoch\":{}}}",
             self.fills,
             self.invalidations,
             self.recalls,
@@ -114,7 +129,11 @@ impl ProtocolTraffic {
             self.transitions,
             self.sharers_pruned,
             self.epochs_aborted,
-            self.orphaned_locks_reclaimed
+            self.orphaned_locks_reclaimed,
+            self.suspicions,
+            self.refutations,
+            self.confirmed_deaths,
+            self.membership_epoch
         )
     }
 }
@@ -185,6 +204,10 @@ mod tests {
             sharers_pruned: 9,
             epochs_aborted: 10,
             orphaned_locks_reclaimed: 11,
+            suspicions: 12,
+            refutations: 13,
+            confirmed_deaths: 14,
+            membership_epoch: 15,
         };
         let j = t.json();
         for key in [
@@ -199,6 +222,10 @@ mod tests {
             "\"sharers_pruned\":9",
             "\"epochs_aborted\":10",
             "\"orphaned_locks_reclaimed\":11",
+            "\"suspicions\":12",
+            "\"refutations\":13",
+            "\"confirmed_deaths\":14",
+            "\"membership_epoch\":15",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

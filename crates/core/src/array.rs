@@ -167,7 +167,7 @@ impl<T: Element> DArray<T> {
                     }
                     let home = layout.home_of_chunk(chunk);
                     if home != self.node && self.shared.is_peer_down(self.node, home) {
-                        return Err(DArrayError::NodeUnavailable { node: home });
+                        return Err(self.shared.unavailable_error(self.node, home));
                     }
                     self.slow_request(ctx, miss());
                 }
@@ -339,7 +339,7 @@ impl<T: Element> DArray<T> {
             return Err(DArrayError::ProtocolInvariant { message });
         }
         if home != self.node && self.shared.is_peer_down(self.node, home) {
-            return Err(DArrayError::NodeUnavailable { node: home });
+            return Err(self.shared.unavailable_error(self.node, home));
         }
         self.slow_request(
             ctx,
@@ -352,7 +352,7 @@ impl<T: Element> DArray<T> {
             return Err(DArrayError::ProtocolInvariant { message });
         }
         if home != self.node && self.shared.is_peer_down(self.node, home) {
-            return Err(DArrayError::NodeUnavailable { node: home });
+            return Err(self.shared.unavailable_error(self.node, home));
         }
         self.note_held(index, kind);
         Ok(())

@@ -139,12 +139,8 @@ impl Cluster {
                     .map(|_| Mailbox::new(&format!("rel-{n}")))
             })
             .collect();
-        let peer_down = (0..nodes)
-            .map(|_| {
-                (0..nodes)
-                    .map(|_| std::sync::atomic::AtomicBool::new(false))
-                    .collect()
-            })
+        let membership = (0..nodes)
+            .map(|_| crate::membership::MembershipView::new(nodes))
             .collect();
         let shared = Arc::new(ClusterShared {
             cfg: cfg.clone(),
@@ -156,7 +152,7 @@ impl Cluster {
             rt_mailboxes,
             stats,
             rel_mailboxes: rel_queues.clone(),
-            peer_down,
+            membership,
             protocol_fault: Default::default(),
         });
 
@@ -314,6 +310,18 @@ impl Cluster {
     /// Verb counters of one node's NIC.
     pub fn nic_stats(&self, node: NodeId) -> NicStatsSnapshot {
         self.shared.nic_stats(node)
+    }
+
+    /// Node `me`'s current membership opinion of `peer` (Alive / Suspected
+    /// / Dead). Observational only; the reliability agent owns transitions.
+    pub fn peer_health(&self, me: NodeId, peer: NodeId) -> crate::membership::PeerHealth {
+        self.shared.membership[me].health(peer)
+    }
+
+    /// Node `me`'s current membership-view epoch (count of deaths it has
+    /// confirmed so far).
+    pub fn membership_epoch(&self, me: NodeId) -> u64 {
+        self.shared.membership[me].epoch()
     }
 
     /// The cluster configuration.

@@ -28,9 +28,34 @@
 //!   keeps its RC-FIFO assumptions verbatim, and **suppresses duplicates**
 //!   from retransmissions — re-acking them, since a duplicate usually means
 //!   the previous ack was lost.
-//! * A message retried past `FaultConfig::max_retries` declares the peer
-//!   **down** (fail-stop): outstanding traffic to it is discarded and every
-//!   runtime thread receives `RtMsg::PeerDown` to abort in-flight state.
+//!
+//! ## Lease membership and quorum death declarations (DESIGN.md §12)
+//!
+//! The agent is also the node's failure detector, and it never declares a
+//! peer dead on its own:
+//!
+//! * Every message the Rx thread receives renews the sender's **lease**
+//!   (`MembershipView::note_heard`); the agent sends an explicit
+//!   `Heartbeat` toward any peer it has been idle with for
+//!   `FaultConfig::heartbeat_ns`, so leases stay fresh on idle links.
+//! * A message retried past `FaultConfig::max_retries` makes the peer
+//!   **Suspected**, not dead. If the suspect's own incoming lease is still
+//!   fresh the suspicion is refuted on the spot (the loss is one-way — it
+//!   can hear us or at least we can hear it) and retransmission continues.
+//! * Otherwise the agent **polls** the rest of the cluster with
+//!   `SuspectQuery`; peers vote `alive` iff their own lease on the suspect
+//!   is fresh. A majority of the electorate (everyone but the suspect, the
+//!   suspector counting itself) confirms the death; a single `alive` vote
+//!   refutes it. After `suspect_poll_rounds` rounds, silent voters that
+//!   are themselves Suspected or Dead in the local view abstain, so a
+//!   shrinking cluster still converges (degenerate quorum).
+//! * While a peer is Suspected its outstanding queue is **parked**: no
+//!   retransmissions, nothing discarded. A refuted suspicion re-admits the
+//!   peer and **replays** every parked SEND (same sequence numbers — the
+//!   receiver deduplicates), so a live-but-lossy peer loses nothing. Only
+//!   a quorum-confirmed death discards the queue, stamps a fresh
+//!   membership epoch, and fans `RtMsg::PeerDown` out to the runtime
+//!   threads — the membership view is the *sole* source of those events.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -38,12 +63,15 @@ use std::sync::Arc;
 use dsim::{Ctx, Mailbox, VTime};
 use rdma_fabric::{MemoryRegion, Nic, NodeId};
 
+use crate::membership::{quorum_needed, MembershipView, PeerHealth};
 use crate::msg::{ArrayId, NetMsg, Rpc, RtMsg};
 use crate::shared::ClusterShared;
 use crate::stats::NodeStats;
 
 /// Wire size of a cumulative ack payload.
 const ACK_BYTES: u64 = 8;
+/// Wire size of a heartbeat / suspect-query / suspect-vote payload.
+const MEMBER_BYTES: u64 = 8;
 
 /// A work request on the RDMA-request queue (runtime → Tx thread).
 pub(crate) enum TxReq {
@@ -84,6 +112,18 @@ pub(crate) enum RelMsg {
     Ack {
         from: NodeId,
         seq: u64,
+    },
+    /// A peer's quorum poll about `suspect`, forwarded by the Rx thread;
+    /// the agent answers with its own lease verdict.
+    SuspectQuery {
+        from: NodeId,
+        suspect: NodeId,
+    },
+    /// A vote answering this node's own poll, forwarded by the Rx thread.
+    SuspectVote {
+        from: NodeId,
+        suspect: NodeId,
+        alive: bool,
     },
     Shutdown,
 }
@@ -217,10 +257,80 @@ struct Pending {
     retries: u32,
 }
 
+/// Ballot box for one in-flight suspicion, held by the suspector's agent.
+struct SuspectPoll {
+    /// `votes[v]` is `Some(alive)` once voter `v`'s ballot arrived during
+    /// *this* suspicion; a re-admitted peer starts a fresh box (old votes
+    /// are fenced by dropping the box).
+    votes: Vec<Option<bool>>,
+    /// Query rounds sent so far.
+    rounds: u32,
+    /// When the next poll round (and verdict re-evaluation) is due.
+    next_poll: VTime,
+}
+
+/// Outcome of counting a suspicion's ballots.
+enum Verdict {
+    /// Not enough ballots either way; keep polling.
+    Pending,
+    /// Someone has a fresh lease on the suspect: it lives.
+    Refuted,
+    /// A (possibly degenerate) quorum confirmed the death.
+    Confirmed,
+}
+
+/// Count ballots for `suspect`. The electorate is every node except the
+/// suspect; the suspector's own exhausted retries count as its ballot. One
+/// `alive` vote refutes. A full majority of dead ballots confirms.
+///
+/// After `poll_rounds` query rounds the electorate degenerates to the
+/// *reachable* voters: silent members that are themselves Suspected/Dead in
+/// `view`, or whose lease on this node has lapsed (no receipt for
+/// `lease_ns` — they cannot deliver a ballot), abstain. If every member has
+/// either voted dead or abstained, the suspicion is confirmed on the
+/// remaining evidence. This is what lets two survivors of a three-node
+/// cluster agree on a real death, and what lets a node severed from
+/// *everyone* (its own NIC died) converge on its local view instead of
+/// polling forever — its declarations cannot propagate, so connected nodes'
+/// quorum safety is untouched. The cost is deliberate: a node hearing no
+/// peer at all cannot distinguish its own isolation from cluster death, and
+/// resolves in favor of its own liveness (fail-stop, DESIGN.md §12).
+#[allow(clippy::too_many_arguments)]
+fn poll_verdict(
+    st: &SuspectPoll,
+    view: &MembershipView,
+    me: NodeId,
+    suspect: NodeId,
+    nodes: usize,
+    poll_rounds: u32,
+    now: VTime,
+    lease_ns: VTime,
+) -> Verdict {
+    if st.votes.iter().flatten().any(|&alive| alive) {
+        return Verdict::Refuted;
+    }
+    let confirms = 1 + st.votes.iter().flatten().filter(|&&alive| !alive).count();
+    if confirms >= quorum_needed(nodes) {
+        return Verdict::Confirmed;
+    }
+    if st.rounds >= poll_rounds {
+        let all_resolved = (0..nodes).filter(|&v| v != me && v != suspect).all(|v| {
+            st.votes[v] == Some(false)
+                || view.health(v) != PeerHealth::Alive
+                || !view.lease_fresh(v, now, lease_ns)
+        });
+        if all_resolved {
+            return Verdict::Confirmed;
+        }
+    }
+    Verdict::Pending
+}
+
 /// Body of the per-node reliability agent (fault mode only): posts every
 /// outgoing RPC with a sequence number, tracks it until acked, retransmits
-/// on timeout with exponential backoff, and declares peers down when the
-/// retry budget is exhausted.
+/// on timeout with exponential backoff, keeps leases alive with idle
+/// heartbeats, and runs the suspect → quorum-poll → confirm/refute
+/// membership protocol when a retry budget is exhausted (module docs).
 pub(crate) fn rel_thread_main(
     ctx: &mut Ctx,
     shared: Arc<ClusterShared>,
@@ -235,24 +345,111 @@ pub(crate) fn rel_thread_main(
         .expect("reliability agent requires FaultConfig");
     let timeout = fault.rpc_timeout_ns;
     let max_retries = fault.max_retries;
+    let lease_ns = fault.lease_ns;
+    let heartbeat_ns = fault.heartbeat_ns;
+    let poll_ns = fault.suspect_poll_ns;
+    let poll_rounds = fault.suspect_poll_rounds;
     let nodes = shared.cfg.nodes;
     let stats = shared.stats[node].clone();
+    let view = &shared.membership[node];
     let mut next_seq = vec![0u64; nodes];
     let mut outstanding: Vec<VecDeque<Pending>> = (0..nodes).map(|_| VecDeque::new()).collect();
+    let mut suspects: Vec<Option<SuspectPoll>> = (0..nodes).map(|_| None).collect();
+    let mut last_sent = vec![0 as VTime; nodes];
+
+    /// Re-admit a refuted suspect and replay its parked SENDs with their
+    /// original sequence numbers (the receiver deduplicates; the cumulative
+    /// ack the replay provokes clears whatever had in fact arrived).
+    #[allow(clippy::too_many_arguments)]
+    fn refute(
+        ctx: &mut Ctx,
+        nic: &Nic<NetMsg>,
+        view: &MembershipView,
+        stats: &NodeStats,
+        parked: &mut VecDeque<Pending>,
+        slot: &mut Option<SuspectPoll>,
+        last_sent: &mut VTime,
+        dst: NodeId,
+        timeout: VTime,
+    ) {
+        view.readmit(dst);
+        NodeStats::bump(&stats.refutations);
+        *slot = None;
+        let now = ctx.now();
+        for p in parked.iter_mut() {
+            p.retries = 0;
+            p.deadline = now + timeout;
+            nic.send(
+                ctx,
+                dst,
+                NetMsg::SeqRpc {
+                    seq: p.seq,
+                    array: p.array,
+                    rpc: p.rpc.clone(),
+                },
+                p.rpc.payload_bytes(),
+            );
+            NodeStats::bump(&stats.retransmits);
+        }
+        *last_sent = now;
+    }
+
+    /// Stamp a quorum-confirmed death into the membership view and fan the
+    /// epoch-numbered `PeerDown` out to every runtime thread.
+    fn confirm(
+        ctx: &mut Ctx,
+        shared: &ClusterShared,
+        stats: &NodeStats,
+        parked: &mut VecDeque<Pending>,
+        slot: &mut Option<SuspectPoll>,
+        node: NodeId,
+        dst: NodeId,
+    ) {
+        let Some(epoch) = shared.membership[node].confirm_dead(dst) else {
+            return;
+        };
+        NodeStats::bump(&stats.peers_down);
+        NodeStats::bump(&stats.confirmed_deaths);
+        NodeStats::raise(&stats.membership_epoch, epoch);
+        parked.clear();
+        *slot = None;
+        for rt in &shared.rt_mailboxes[node] {
+            rt.send(ctx, RtMsg::PeerDown { node: dst, epoch }, 0);
+        }
+    }
+
     loop {
-        // Only each queue's head timer matters: acks are cumulative, and a
-        // head retransmit repairs the gap that blocks everything behind it.
-        let next_deadline = outstanding
-            .iter()
-            .filter_map(|q| q.front().map(|p| p.deadline))
-            .min();
+        // Three timer families: the head retransmit timer of every live
+        // un-suspected link (acks are cumulative, so only heads matter),
+        // the poll timer of every suspicion, and each link's next idle
+        // heartbeat. Parked (suspected) queues deliberately have no timer.
+        let mut next_deadline: Option<VTime> = None;
+        {
+            let mut upd = |d: VTime| {
+                next_deadline = Some(next_deadline.map_or(d, |x: VTime| x.min(d)));
+            };
+            for dst in 0..nodes {
+                if dst == node || view.is_dead(dst) {
+                    continue;
+                }
+                match &suspects[dst] {
+                    Some(st) => upd(st.next_poll),
+                    None => {
+                        if let Some(p) = outstanding[dst].front() {
+                            upd(p.deadline);
+                        }
+                    }
+                }
+                upd(last_sent[dst] + heartbeat_ns);
+            }
+        }
         let msg = match next_deadline {
             Some(d) => queue.recv_deadline(ctx, d),
             None => Some(queue.recv(ctx)),
         };
         match msg {
             Some(RelMsg::Send { dst, array, rpc }) => {
-                if shared.is_peer_down(node, dst) {
+                if view.is_dead(dst) {
                     continue; // fail-stop: traffic to a dead peer is dropped
                 }
                 let seq = next_seq[dst];
@@ -268,6 +465,7 @@ pub(crate) fn rel_thread_main(
                     },
                     bytes,
                 );
+                last_sent[dst] = ctx.now();
                 outstanding[dst].push_back(Pending {
                     seq,
                     array,
@@ -284,9 +482,13 @@ pub(crate) fn rel_thread_main(
                 array,
                 rpc,
             }) => {
-                if shared.is_peer_down(node, dst) {
+                if view.is_dead(dst) {
                     continue;
                 }
+                // Posted even toward a Suspected peer: the WRITE always
+                // lands (the fault model never drops one-sided verbs), and
+                // the notification SEND is tracked like any other — parked
+                // with the queue, replayed on re-admission.
                 let seq = next_seq[dst];
                 next_seq[dst] += 1;
                 let bytes = rpc.payload_bytes();
@@ -303,6 +505,7 @@ pub(crate) fn rel_thread_main(
                     },
                     bytes,
                 );
+                last_sent[dst] = ctx.now();
                 outstanding[dst].push_back(Pending {
                     seq,
                     array,
@@ -316,12 +519,77 @@ pub(crate) fn rel_thread_main(
                     outstanding[from].pop_front();
                 }
             }
+            Some(RelMsg::SuspectQuery { from, suspect }) => {
+                // Vote with this node's own lease oracle. A suspect this
+                // node already confirmed dead gets a dead ballot even if a
+                // stale lease stamp survives.
+                let now = ctx.now();
+                let alive = !view.is_dead(suspect) && view.lease_fresh(suspect, now, lease_ns);
+                nic.send(
+                    ctx,
+                    from,
+                    NetMsg::SuspectVote { suspect, alive },
+                    MEMBER_BYTES,
+                );
+                last_sent[from] = now;
+            }
+            Some(RelMsg::SuspectVote {
+                from,
+                suspect,
+                alive,
+            }) => {
+                // Votes for a peer this node is not currently suspecting
+                // are fenced (stale ballots from a resolved or refuted
+                // suspicion must not influence a later one).
+                if let Some(st) = suspects[suspect].as_mut() {
+                    st.votes[from] = Some(alive);
+                    let now = ctx.now();
+                    match poll_verdict(st, view, node, suspect, nodes, poll_rounds, now, lease_ns) {
+                        Verdict::Refuted => refute(
+                            ctx,
+                            &nic,
+                            view,
+                            &stats,
+                            &mut outstanding[suspect],
+                            &mut suspects[suspect],
+                            &mut last_sent[suspect],
+                            suspect,
+                            timeout,
+                        ),
+                        Verdict::Confirmed => confirm(
+                            ctx,
+                            &shared,
+                            &stats,
+                            &mut outstanding[suspect],
+                            &mut suspects[suspect],
+                            node,
+                            suspect,
+                        ),
+                        Verdict::Pending => {}
+                    }
+                }
+            }
             Some(RelMsg::Shutdown) => break,
             None => {
-                // Timer fired: retransmit (or give up on) every expired head.
                 let now = ctx.now();
-                for (dst, queue) in outstanding.iter_mut().enumerate() {
-                    let Some(head) = queue.front_mut() else {
+                // Idle heartbeats: renew this node's lease at every live
+                // peer it has not transmitted to for a heartbeat interval.
+                for (dst, sent) in last_sent.iter_mut().enumerate() {
+                    if dst == node || view.is_dead(dst) {
+                        continue;
+                    }
+                    if now >= *sent + heartbeat_ns {
+                        nic.send(ctx, dst, NetMsg::Heartbeat, MEMBER_BYTES);
+                        *sent = now;
+                    }
+                }
+                // Retransmit pass over live, un-suspected links with an
+                // expired head timer.
+                for dst in 0..nodes {
+                    if dst == node || view.is_dead(dst) || suspects[dst].is_some() {
+                        continue;
+                    }
+                    let Some(head) = outstanding[dst].front_mut() else {
                         continue;
                     };
                     if head.deadline > now {
@@ -329,15 +597,25 @@ pub(crate) fn rel_thread_main(
                     }
                     NodeStats::bump(&stats.rpc_timeouts);
                     if head.retries >= max_retries {
-                        NodeStats::bump(&stats.peers_down);
-                        shared.mark_peer_down(node, dst);
-                        queue.clear();
-                        for rt in &shared.rt_mailboxes[node] {
-                            rt.send(ctx, RtMsg::PeerDown { node: dst }, 0);
+                        NodeStats::bump(&stats.suspicions);
+                        if view.lease_fresh(dst, now, lease_ns) {
+                            // The peer is still talking to us: the loss is
+                            // one-way, so refute on the spot and keep
+                            // retransmitting from a fresh retry budget.
+                            NodeStats::bump(&stats.refutations);
+                            head.retries = 0;
+                        } else {
+                            view.suspect(dst);
+                            suspects[dst] = Some(SuspectPoll {
+                                votes: vec![None; nodes],
+                                rounds: 0,
+                                next_poll: now, // first round goes out below
+                            });
+                            continue;
                         }
-                        continue;
+                    } else {
+                        head.retries += 1;
                     }
-                    head.retries += 1;
                     head.deadline = now + (timeout << head.retries.min(16));
                     let bytes = head.rpc.payload_bytes();
                     nic.send(
@@ -350,7 +628,76 @@ pub(crate) fn rel_thread_main(
                         },
                         bytes,
                     );
+                    last_sent[dst] = now;
                     NodeStats::bump(&stats.retransmits);
+                }
+                // Poll pass: evaluate and advance every due suspicion.
+                for dst in 0..nodes {
+                    let due = matches!(&suspects[dst], Some(st) if now >= st.next_poll);
+                    if !due {
+                        continue;
+                    }
+                    if view.lease_fresh(dst, now, lease_ns) {
+                        // The suspect spoke to us since the suspicion
+                        // (lease renewed by the Rx thread): self-refute.
+                        refute(
+                            ctx,
+                            &nic,
+                            view,
+                            &stats,
+                            &mut outstanding[dst],
+                            &mut suspects[dst],
+                            &mut last_sent[dst],
+                            dst,
+                            timeout,
+                        );
+                        continue;
+                    }
+                    let st = suspects[dst].as_ref().unwrap();
+                    match poll_verdict(st, view, node, dst, nodes, poll_rounds, now, lease_ns) {
+                        Verdict::Refuted => refute(
+                            ctx,
+                            &nic,
+                            view,
+                            &stats,
+                            &mut outstanding[dst],
+                            &mut suspects[dst],
+                            &mut last_sent[dst],
+                            dst,
+                            timeout,
+                        ),
+                        Verdict::Confirmed => confirm(
+                            ctx,
+                            &shared,
+                            &stats,
+                            &mut outstanding[dst],
+                            &mut suspects[dst],
+                            node,
+                            dst,
+                        ),
+                        Verdict::Pending => {
+                            // Another query round to everyone who has not
+                            // voted and is not confirmed dead.
+                            let st = suspects[dst].as_mut().unwrap();
+                            st.rounds += 1;
+                            st.next_poll = now + poll_ns;
+                            let pending_voters: Vec<NodeId> = (0..nodes)
+                                .filter(|&v| v != node && v != dst && st.votes[v].is_none())
+                                .collect();
+                            for v in pending_voters {
+                                if view.is_dead(v) {
+                                    continue;
+                                }
+                                nic.send(
+                                    ctx,
+                                    v,
+                                    NetMsg::SuspectQuery { suspect: dst },
+                                    MEMBER_BYTES,
+                                );
+                                last_sent[v] = now;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -359,8 +706,9 @@ pub(crate) fn rel_thread_main(
 
 /// Body of the per-node Rx thread: poll the NIC and deliver RPCs to the
 /// runtime thread that owns each message's chunk. In fault mode it also
-/// terminates the reliable channel: in-order delivery, duplicate
-/// suppression, and cumulative acknowledgment, per source node.
+/// terminates the reliable channel — in-order delivery, duplicate
+/// suppression, and cumulative acknowledgment, per source node — and is the
+/// membership view's ear: every receipt from `src` renews `src`'s lease.
 pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: NodeId) {
     let nic = shared.nics[node].clone();
     let rx = nic.rx();
@@ -372,6 +720,22 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
     loop {
         let (src, msg) = rx.recv(ctx);
         ctx.charge(poll_cost);
+        if matches!(msg, NetMsg::Halt) {
+            break;
+        }
+        // A peer this node has confirmed dead gets *silence* — no acks, no
+        // votes, no lease renewal: acking its traffic while the runtime
+        // discards it would leave that peer waiting forever on replies that
+        // will never come. Going quiet instead lets its own retries
+        // exhaust, so the declaration becomes mutual and its blocked
+        // requests fail over to `NodeUnavailable`. (A merely *Suspected*
+        // peer is still served normally — its traffic is exactly what
+        // refutes the suspicion.)
+        if src != node && shared.is_peer_down(node, src) {
+            continue;
+        }
+        // Any receipt proves the sender was alive when it transmitted.
+        shared.membership[node].note_heard(src, ctx.now());
         match msg {
             NetMsg::Halt => break,
             NetMsg::Rpc { array, rpc } => {
@@ -380,16 +744,28 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
                     .rt_mailbox(node, chunk)
                     .send(ctx, RtMsg::Net { src, array, rpc }, 0);
             }
-            NetMsg::SeqRpc { seq, array, rpc } => {
-                // A peer this node has declared down gets *silence*, not
-                // acks: acking its traffic while the runtime discards it
-                // would leave that peer waiting forever on replies that
-                // will never come. Going quiet instead lets its own
-                // retries exhaust, so the declaration becomes mutual and
-                // its blocked requests fail over to `NodeUnavailable`.
-                if shared.is_peer_down(node, src) {
-                    continue;
+            NetMsg::Heartbeat => {
+                // Lease already renewed above; nothing else to do.
+            }
+            NetMsg::SuspectQuery { suspect } => {
+                if let Some(rel) = &shared.rel_mailboxes[node] {
+                    rel.send(ctx, RelMsg::SuspectQuery { from: src, suspect }, 0);
                 }
+            }
+            NetMsg::SuspectVote { suspect, alive } => {
+                if let Some(rel) = &shared.rel_mailboxes[node] {
+                    rel.send(
+                        ctx,
+                        RelMsg::SuspectVote {
+                            from: src,
+                            suspect,
+                            alive,
+                        },
+                        0,
+                    );
+                }
+            }
+            NetMsg::SeqRpc { seq, array, rpc } => {
                 if seq < next_expected[src] || reorder[src].contains_key(&seq) {
                     NodeStats::bump(&shared.stats[node].dup_rpcs);
                 } else if seq == next_expected[src] {

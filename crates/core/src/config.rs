@@ -43,12 +43,15 @@ impl Default for CacheConfig {
 
 /// Fault injection and recovery parameters. Attaching one to
 /// [`ClusterConfig::fault`] does two things: the fabric is built with the
-/// embedded [`FaultPlan`] (jitter, stalls, drops, crashes — all seeded), and
-/// the communication layer switches to **reliable delivery**: every protocol
-/// RPC is sequence-numbered, acknowledged, retransmitted with exponential
-/// backoff on timeout, and duplicate-suppressed at the receiver. A peer that
-/// exhausts `max_retries` is declared down (fail-stop) and subsequent
-/// operations targeting it return [`crate::DArrayError::NodeUnavailable`].
+/// embedded [`FaultPlan`] (jitter, stalls, drops, crashes, partitions,
+/// asymmetric loss — all seeded), and the communication layer switches to
+/// **reliable delivery**: every protocol RPC is sequence-numbered,
+/// acknowledged, retransmitted with exponential backoff on timeout, and
+/// duplicate-suppressed at the receiver. A peer that exhausts `max_retries`
+/// is *Suspected* — not dead — and the node polls the rest of the cluster;
+/// only a quorum of confirmations (DESIGN.md §12) promotes the suspect to
+/// Dead, after which operations targeting it return
+/// [`crate::DArrayError::NodeUnavailable`].
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
     /// The seeded fault schedule handed to the fabric. A benign plan
@@ -59,18 +62,42 @@ pub struct FaultConfig {
     /// retry of the same message. Should comfortably exceed the fault-free
     /// round trip (≈ 2 µs) plus the worst stall window in the plan.
     pub rpc_timeout_ns: dsim::VTime,
-    /// Retransmissions attempted before the peer is declared down.
+    /// Retransmissions attempted before the peer is suspected.
     pub max_retries: u32,
+    /// Lease freshness window, ns: a peer heard from within the last
+    /// `lease_ns` is considered alive by the local lease oracle. Drives
+    /// both self-refutation (retries exhausted toward a peer that is still
+    /// talking to us means the loss is one-way) and the votes this node
+    /// casts about other nodes' suspects.
+    pub lease_ns: dsim::VTime,
+    /// Idle heartbeat interval, ns: the reliability agent sends an explicit
+    /// `Heartbeat` to any peer it has not transmitted to for this long, so
+    /// leases stay fresh on idle links. Leases piggyback on all other
+    /// traffic; heartbeats only fill the gaps. Must be below `lease_ns`.
+    pub heartbeat_ns: dsim::VTime,
+    /// Interval between quorum poll rounds while a peer is Suspected, ns.
+    pub suspect_poll_ns: dsim::VTime,
+    /// Poll rounds after which silent electorate members that are
+    /// themselves Suspected or Dead in the local view abstain, allowing a
+    /// degenerate quorum among the remaining reachable voters (needed for
+    /// convergence when multiple nodes die together).
+    pub suspect_poll_rounds: u32,
 }
 
 impl FaultConfig {
     /// Reliability defaults around `plan`: 200 µs initial timeout, 6
-    /// retries (≈ 25 ms of virtual time before a peer is declared down).
+    /// retries (≈ 25 ms of virtual time before a peer is suspected),
+    /// 500 µs leases renewed by 100 µs idle heartbeats, and quorum polls
+    /// every 100 µs with abstention allowed after 3 rounds.
     pub fn new(plan: FaultPlan) -> Self {
         Self {
             plan,
             rpc_timeout_ns: 200_000,
             max_retries: 6,
+            lease_ns: 500_000,
+            heartbeat_ns: 100_000,
+            suspect_poll_ns: 100_000,
+            suspect_poll_rounds: 3,
         }
     }
 }
@@ -190,6 +217,18 @@ impl ClusterConfig {
             if f.max_retries == 0 {
                 return Err(ConfigError::ZeroMaxRetries);
             }
+            if f.lease_ns == 0 {
+                return Err(ConfigError::ZeroLease);
+            }
+            if f.heartbeat_ns == 0 || f.suspect_poll_ns == 0 || f.suspect_poll_rounds == 0 {
+                return Err(ConfigError::ZeroSuspectTimers);
+            }
+            if f.heartbeat_ns >= f.lease_ns {
+                return Err(ConfigError::HeartbeatExceedsLease {
+                    heartbeat_ns: f.heartbeat_ns,
+                    lease_ns: f.lease_ns,
+                });
+            }
         }
         Ok(())
     }
@@ -290,6 +329,35 @@ mod tests {
             ..FaultConfig::new(FaultPlan::new(1))
         });
         assert_eq!(c.try_validate(), Err(ConfigError::ZeroMaxRetries));
+        c.fault = Some(FaultConfig {
+            lease_ns: 0,
+            ..FaultConfig::new(FaultPlan::new(1))
+        });
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroLease));
+        c.fault = Some(FaultConfig {
+            suspect_poll_rounds: 0,
+            ..FaultConfig::new(FaultPlan::new(1))
+        });
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroSuspectTimers));
+        c.fault = Some(FaultConfig {
+            heartbeat_ns: 600_000,
+            lease_ns: 500_000,
+            ..FaultConfig::new(FaultPlan::new(1))
+        });
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::HeartbeatExceedsLease {
+                heartbeat_ns: 600_000,
+                lease_ns: 500_000
+            })
+        );
+    }
+
+    #[test]
+    fn membership_defaults_are_ordered() {
+        let f = FaultConfig::new(FaultPlan::new(0));
+        assert!(f.heartbeat_ns < f.lease_ns, "leases outlive heartbeat gaps");
+        assert!(f.suspect_poll_rounds > 0);
     }
 
     #[test]

@@ -12,15 +12,36 @@ use rdma_fabric::NodeId;
 /// The infallible variants (`get` & co.) panic on these — appropriate for
 /// workloads that assume a healthy cluster. Fault-tolerant applications use
 /// the `try_` forms and handle degradation themselves.
+/// How strongly the membership view believes a peer is gone, carried by
+/// [`DArrayError::NodeUnavailable`] so callers can distinguish transient
+/// suspicion (retry later; the peer may be re-admitted) from a
+/// quorum-confirmed death (permanent; fail over now).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnavailableKind {
+    /// Retries toward the node are exhausted but the quorum poll has not
+    /// resolved; the suspicion may yet be refuted and the node re-admitted.
+    Suspected,
+    /// A quorum of the surviving nodes confirmed the death. Permanent for
+    /// the lifetime of the cluster (fail-stop model).
+    ConfirmedDead,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DArrayError {
-    /// The home node of the requested element has been declared unreachable:
-    /// a reliable RPC to it exhausted `FaultConfig::max_retries`
-    /// retransmissions without an acknowledgment. The declaration is
-    /// permanent for the lifetime of the cluster (fail-stop model).
+    /// The home node of the requested element is unavailable according to
+    /// this node's membership view: a reliable RPC to it exhausted
+    /// `FaultConfig::max_retries` retransmissions, and (for
+    /// [`UnavailableKind::ConfirmedDead`]) a quorum of the remaining nodes
+    /// confirmed the death.
     NodeUnavailable {
         /// The unreachable node.
         node: NodeId,
+        /// The observer's membership-view epoch at the time the error was
+        /// built (number of deaths it had confirmed). Lets callers order
+        /// errors against membership changes and discard stale ones.
+        epoch: u64,
+        /// Transient suspicion vs quorum-confirmed death.
+        kind: UnavailableKind,
     },
     /// A runtime thread observed a coherence- or lock-protocol invariant
     /// violation (e.g. a lock grant arriving with no recorded waiter). The
@@ -36,9 +57,18 @@ pub enum DArrayError {
 impl fmt::Display for DArrayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DArrayError::NodeUnavailable { node } => {
-                write!(f, "node {node} is unavailable (RPC retries exhausted)")
-            }
+            DArrayError::NodeUnavailable { node, epoch, kind } => match kind {
+                UnavailableKind::Suspected => write!(
+                    f,
+                    "node {node} is unavailable (suspected, membership epoch {epoch}; \
+                     quorum poll unresolved)"
+                ),
+                UnavailableKind::ConfirmedDead => write!(
+                    f,
+                    "node {node} is unavailable (death confirmed by quorum at \
+                     membership epoch {epoch})"
+                ),
+            },
             DArrayError::ProtocolInvariant { message } => {
                 write!(f, "protocol invariant violated: {message}")
             }
@@ -75,8 +105,21 @@ pub enum ConfigError {
     ZeroBandwidth,
     /// `fault.rpc_timeout_ns == 0`: retransmit timers would fire instantly.
     ZeroRpcTimeout,
-    /// `fault.max_retries == 0`: a single drop would declare the peer dead.
+    /// `fault.max_retries == 0`: a single drop would suspect the peer.
     ZeroMaxRetries,
+    /// `fault.lease_ns == 0`: every peer would look permanently silent and
+    /// every suspicion would be confirmed instantly.
+    ZeroLease,
+    /// `fault.heartbeat_ns`, `fault.suspect_poll_ns` or
+    /// `fault.suspect_poll_rounds` is zero: the membership timers would
+    /// busy-spin or never resolve a suspicion.
+    ZeroSuspectTimers,
+    /// `fault.heartbeat_ns >= fault.lease_ns`: an idle link's lease would
+    /// expire before its next heartbeat, making false suspicion routine.
+    HeartbeatExceedsLease {
+        heartbeat_ns: dsim::VTime,
+        lease_ns: dsim::VTime,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -110,6 +153,20 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::ZeroRpcTimeout => write!(f, "fault.rpc_timeout_ns must be nonzero"),
             ConfigError::ZeroMaxRetries => write!(f, "fault.max_retries must be nonzero"),
+            ConfigError::ZeroLease => write!(f, "fault.lease_ns must be nonzero"),
+            ConfigError::ZeroSuspectTimers => write!(
+                f,
+                "fault.heartbeat_ns, fault.suspect_poll_ns and fault.suspect_poll_rounds \
+                 must all be nonzero"
+            ),
+            ConfigError::HeartbeatExceedsLease {
+                heartbeat_ns,
+                lease_ns,
+            } => write!(
+                f,
+                "fault.heartbeat_ns ({heartbeat_ns}) must be below fault.lease_ns \
+                 ({lease_ns}) or idle leases expire between heartbeats"
+            ),
         }
     }
 }
@@ -134,8 +191,22 @@ mod tests {
         }
         .to_string()
         .contains("watermark"));
-        let e = DArrayError::NodeUnavailable { node: 3 };
-        assert!(e.to_string().contains("node 3"));
+        let e = DArrayError::NodeUnavailable {
+            node: 3,
+            epoch: 2,
+            kind: UnavailableKind::ConfirmedDead,
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 3"));
+        assert!(s.contains("epoch 2"), "membership epoch surfaced: {s}");
+        assert!(s.contains("quorum"), "confirmation source surfaced: {s}");
+        let e = DArrayError::NodeUnavailable {
+            node: 1,
+            epoch: 0,
+            kind: UnavailableKind::Suspected,
+        };
+        let s = e.to_string();
+        assert!(s.contains("suspected"), "suspicion distinguishable: {s}");
         let e = DArrayError::ProtocolInvariant {
             message: "LockGrant with no registered waiter".to_string(),
         };

@@ -64,6 +64,7 @@ mod dentry;
 mod element;
 mod error;
 mod layout;
+mod membership;
 mod msg;
 mod op;
 mod pin;
@@ -80,8 +81,9 @@ pub use config::{
     AccessPath, ArrayOptions, CacheConfig, ClusterConfig, FaultConfig, DEFAULT_CHUNK_SIZE,
 };
 pub use element::Element;
-pub use error::{ConfigError, DArrayError};
+pub use error::{ConfigError, DArrayError, UnavailableKind};
 pub use layout::Layout;
+pub use membership::PeerHealth;
 pub use msg::LockKind;
 pub use op::{OpId, OpRegistry};
 pub use pin::{PinMode, Pinned};
@@ -90,4 +92,4 @@ pub use stats::{NodeStats, NodeStatsSnapshot};
 
 // Re-export the substrate types callers need to configure a cluster.
 pub use dsim::{Ctx, Sim, SimBarrier, SimConfig, VTime};
-pub use rdma_fabric::{CostModel, FaultPlan, NetConfig, NodeId};
+pub use rdma_fabric::{AsymmetricLoss, CostModel, FaultPlan, NetConfig, NodeId, Partition};

@@ -1,0 +1,227 @@
+//! Quorum-backed lease membership (DESIGN.md §12).
+//!
+//! Each node owns one [`MembershipView`]: its local, epoch-numbered opinion
+//! of every peer's health. The view is the **sole** source of `PeerDown`
+//! events — the runtime and protocol layers never act on a raw retry
+//! exhaustion. The lifecycle per peer is
+//!
+//! ```text
+//!   Alive --suspect()--> Suspected --confirm_dead()--> Dead   (monotone)
+//!             ^                |
+//!             +---readmit()----+        (refuted suspicion)
+//! ```
+//!
+//! * **Leases.** `note_heard` stamps the virtual time of every message
+//!   received from a peer (piggybacked on all traffic; explicit heartbeats
+//!   cover idle links). `lease_fresh` is the local liveness oracle: it
+//!   drives self-refutation (the suspect is talking to *us*, so the loss
+//!   is one-way) and the votes this node casts about other suspects.
+//! * **Suspicion.** Exhausted retries move a peer to *Suspected* — a
+//!   revocable state. The reliability agent parks the peer's outstanding
+//!   queue and polls the other nodes; only a majority of the electorate
+//!   (every node except the suspect, the suspector counting itself)
+//!   promotes Suspected to Dead.
+//! * **Epochs.** Every confirmed death increments the view `epoch` and
+//!   stamps it as the peer's `death_epoch`. `RtMsg::PeerDown` carries the
+//!   stamp, and consumers fence events whose epoch does not match the
+//!   current view — a stale declaration can never re-kill a peer.
+//!
+//! Transitions are only ever performed by the node's single reliability
+//! agent thread, so plain release stores suffice; readers (application
+//! threads checking `is_dead`, the Rx thread refreshing leases) use relaxed
+//! loads, mirroring the old `peer_down` flag matrix.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use dsim::VTime;
+use rdma_fabric::NodeId;
+
+/// Health of a peer as seen by one node's membership view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Reachable as far as this node knows.
+    Alive,
+    /// Retries exhausted; a quorum poll is in flight. Revocable.
+    Suspected,
+    /// A quorum confirmed the death. Permanent (fail-stop).
+    Dead,
+}
+
+const ALIVE: u8 = 0;
+const SUSPECTED: u8 = 1;
+const DEAD: u8 = 2;
+
+/// One node's epoch-numbered opinion of every peer (see module docs).
+pub(crate) struct MembershipView {
+    /// Per-peer health (`ALIVE`/`SUSPECTED`/`DEAD`).
+    status: Vec<AtomicU8>,
+    /// Virtual time this node last heard *anything* from each peer.
+    last_heard: Vec<AtomicU64>,
+    /// Monotone view epoch; incremented by every confirmed death.
+    epoch: AtomicU64,
+    /// Epoch stamped on each peer's confirmed death (0 = not dead).
+    death_epoch: Vec<AtomicU64>,
+}
+
+impl MembershipView {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Self {
+            status: (0..nodes).map(|_| AtomicU8::new(ALIVE)).collect(),
+            last_heard: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            epoch: AtomicU64::new(0),
+            death_epoch: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record receipt of a message from `peer` at `now` (lease renewal).
+    pub(crate) fn note_heard(&self, peer: NodeId, now: VTime) {
+        self.last_heard[peer].fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Last virtual time anything was heard from `peer`.
+    pub(crate) fn last_heard(&self, peer: NodeId) -> VTime {
+        self.last_heard[peer].load(Ordering::Relaxed)
+    }
+
+    /// Has `peer` been heard from within the last `lease_ns`?
+    pub(crate) fn lease_fresh(&self, peer: NodeId, now: VTime, lease_ns: VTime) -> bool {
+        now.saturating_sub(self.last_heard(peer)) <= lease_ns
+    }
+
+    /// Current health of `peer`.
+    pub(crate) fn health(&self, peer: NodeId) -> PeerHealth {
+        match self.status[peer].load(Ordering::Relaxed) {
+            ALIVE => PeerHealth::Alive,
+            SUSPECTED => PeerHealth::Suspected,
+            _ => PeerHealth::Dead,
+        }
+    }
+
+    /// Has a quorum confirmed `peer` dead?
+    #[inline]
+    pub(crate) fn is_dead(&self, peer: NodeId) -> bool {
+        self.status[peer].load(Ordering::Relaxed) == DEAD
+    }
+
+    /// Current view epoch (number of confirmed deaths so far).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Epoch at which `peer` was confirmed dead, if it was.
+    pub(crate) fn death_epoch(&self, peer: NodeId) -> Option<u64> {
+        match self.death_epoch[peer].load(Ordering::Relaxed) {
+            0 => None,
+            e => Some(e),
+        }
+    }
+
+    /// Alive → Suspected. Returns false if the peer was not Alive.
+    pub(crate) fn suspect(&self, peer: NodeId) -> bool {
+        self.status[peer]
+            .compare_exchange(ALIVE, SUSPECTED, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Suspected → Alive (refuted suspicion). Returns false if the peer
+    /// was not Suspected — in particular a Dead peer stays dead.
+    pub(crate) fn readmit(&self, peer: NodeId) -> bool {
+        self.status[peer]
+            .compare_exchange(SUSPECTED, ALIVE, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Suspected → Dead, stamping a fresh epoch. Returns the death epoch,
+    /// or `None` if the peer was not Suspected (a declaration must go
+    /// through suspicion; double-confirms are rejected).
+    pub(crate) fn confirm_dead(&self, peer: NodeId) -> Option<u64> {
+        if self.status[peer]
+            .compare_exchange(SUSPECTED, DEAD, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        let e = self.epoch.fetch_add(1, Ordering::Release) + 1;
+        self.death_epoch[peer].store(e, Ordering::Release);
+        Some(e)
+    }
+}
+
+/// Majority threshold for declaring a suspect dead: the electorate is every
+/// node except the suspect (the suspector counts its own observation), so
+/// `nodes - 1` voters and a strict majority of them must confirm. A 2-node
+/// cluster degenerates to the suspector deciding alone (electorate of 1);
+/// 3 nodes need 2 confirmations.
+pub(crate) fn quorum_needed(nodes: usize) -> usize {
+    debug_assert!(nodes >= 2);
+    (nodes - 1) / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_alive_suspected_dead_is_monotone() {
+        let m = MembershipView::new(3);
+        assert_eq!(m.health(2), PeerHealth::Alive);
+        assert!(!m.is_dead(2));
+        assert_eq!(m.confirm_dead(2), None, "death requires suspicion first");
+        assert!(m.suspect(2));
+        assert!(!m.suspect(2), "double suspicion rejected");
+        assert_eq!(m.health(2), PeerHealth::Suspected);
+        assert_eq!(m.confirm_dead(2), Some(1));
+        assert_eq!(m.health(2), PeerHealth::Dead);
+        assert!(m.is_dead(2));
+        assert_eq!(m.confirm_dead(2), None, "double confirm rejected");
+        assert!(!m.readmit(2), "the dead stay dead");
+        assert!(!m.suspect(2));
+    }
+
+    #[test]
+    fn refuted_suspicion_readmits() {
+        let m = MembershipView::new(2);
+        assert!(m.suspect(1));
+        assert!(m.readmit(1));
+        assert_eq!(m.health(1), PeerHealth::Alive);
+        assert_eq!(m.epoch(), 0, "a refutation does not burn an epoch");
+        assert_eq!(m.death_epoch(1), None);
+        // The cycle can repeat.
+        assert!(m.suspect(1));
+        assert_eq!(m.confirm_dead(1), Some(1));
+    }
+
+    #[test]
+    fn epochs_increase_per_confirmed_death() {
+        let m = MembershipView::new(4);
+        m.suspect(1);
+        m.suspect(3);
+        assert_eq!(m.confirm_dead(3), Some(1));
+        assert_eq!(m.confirm_dead(1), Some(2));
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(m.death_epoch(3), Some(1));
+        assert_eq!(m.death_epoch(1), Some(2));
+        assert_eq!(m.death_epoch(0), None);
+    }
+
+    #[test]
+    fn leases_track_the_latest_receipt() {
+        let m = MembershipView::new(2);
+        assert!(m.lease_fresh(1, 0, 100), "fresh at time zero");
+        assert!(m.lease_fresh(1, 100, 100));
+        assert!(!m.lease_fresh(1, 101, 100));
+        m.note_heard(1, 1_000);
+        m.note_heard(1, 500); // stale stamp cannot roll the lease back
+        assert_eq!(m.last_heard(1), 1_000);
+        assert!(m.lease_fresh(1, 1_100, 100));
+        assert!(!m.lease_fresh(1, 1_101, 100));
+    }
+
+    #[test]
+    fn quorum_is_a_majority_of_everyone_but_the_suspect() {
+        assert_eq!(quorum_needed(2), 1, "suspector decides alone");
+        assert_eq!(quorum_needed(3), 2, "the issue's 2-of-3");
+        assert_eq!(quorum_needed(4), 2);
+        assert_eq!(quorum_needed(5), 3);
+    }
+}

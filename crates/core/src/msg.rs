@@ -118,6 +118,19 @@ pub(crate) enum NetMsg {
     /// below `seq` from you". Unreliable itself — a lost ack is repaired by
     /// the retransmit it provokes.
     Ack { seq: u64 },
+    /// Explicit lease renewal, sent by the reliability agent toward peers
+    /// it has been idle with for `FaultConfig::heartbeat_ns`. Carries no
+    /// state: receipt alone refreshes the receiver's lease on the sender.
+    /// Unreliable and unsequenced — a lost heartbeat just delays renewal.
+    Heartbeat,
+    /// Quorum poll: "my retries toward `suspect` are exhausted — have you
+    /// heard from it?" Unreliable; the suspector re-polls every
+    /// `FaultConfig::suspect_poll_ns` until the vote resolves.
+    SuspectQuery { suspect: NodeId },
+    /// Vote answering a [`NetMsg::SuspectQuery`]: `alive` iff the voter's
+    /// own lease on `suspect` is fresh. Unreliable; a lost vote is repaired
+    /// by the next poll round.
+    SuspectVote { suspect: NodeId, alive: bool },
     /// Tear down the Rx thread.
     Halt,
 }
@@ -167,11 +180,15 @@ pub(crate) enum RtMsg {
         array: ArrayId,
         chunk: ChunkId,
     },
-    /// The node's reliability agent declared `node` down: abort in-flight
-    /// fills homed there, complete directory transients waiting on it, and
-    /// wake lock waiters so application threads can observe the error.
+    /// The node's membership view confirmed `node` dead (quorum-backed):
+    /// abort in-flight fills homed there, complete directory transients
+    /// waiting on it, and wake lock waiters so application threads can
+    /// observe the error. `epoch` is the membership epoch stamped on the
+    /// death; consumers fence events whose stamp does not match the view
+    /// (a stale declaration must not re-trigger recovery).
     PeerDown {
         node: NodeId,
+        epoch: u64,
     },
     Shutdown,
 }

@@ -114,7 +114,7 @@ impl<T: Element> DArray<T> {
                 Acquire::NoRights(_) => {
                     let home = layout.home_of_chunk(chunk);
                     if home != self.node && self.shared.is_peer_down(self.node, home) {
-                        return Err(DArrayError::NodeUnavailable { node: home });
+                        return Err(self.shared.unavailable_error(self.node, home));
                     }
                     let kind = match mode {
                         PinMode::Read => LocalKind::Read {

@@ -106,11 +106,17 @@ pub enum HomeEvent<W> {
     /// The grace-window retry scheduled by [`HomeAction::ScheduleRetry`]
     /// fired.
     RetryExpired,
-    /// The local failure detector declared `dead` unreachable; erase it
-    /// from all bookkeeping and resume anything that waited on it.
+    /// The node's membership view confirmed `dead` unreachable (quorum-
+    /// backed — see DESIGN.md §12); erase it from all bookkeeping and
+    /// resume anything that waited on it.
     PeerDown {
         /// The dead node.
         dead: NodeId,
+        /// The membership-view epoch stamped on the death declaration.
+        /// The machine fences monotonically: an event whose stamp does not
+        /// exceed the highest epoch already applied is stale (a replayed or
+        /// reordered declaration) and is ignored.
+        view_epoch: u64,
     },
 }
 
@@ -219,6 +225,9 @@ pub struct HomeMachine<W> {
     /// epoch it belonged to was already closed (aborted) when the peer was
     /// erased, and applying it now could corrupt a successor owner's data.
     dead: Vec<NodeId>,
+    /// Highest membership-view epoch applied via [`HomeEvent::PeerDown`].
+    /// Declarations stamped at or below this are fenced as stale.
+    view_epoch: u64,
 }
 
 impl<W> Default for HomeMachine<W> {
@@ -238,6 +247,7 @@ impl<W> HomeMachine<W> {
             pending: VecDeque::new(),
             epoch: 0,
             dead: Vec::new(),
+            view_epoch: 0,
         }
     }
 
@@ -270,6 +280,12 @@ impl<W> HomeMachine<W> {
     /// Has `node` been declared dead by a [`HomeEvent::PeerDown`]?
     pub fn is_dead(&self, node: NodeId) -> bool {
         self.dead.contains(&node)
+    }
+
+    /// Highest membership-view epoch this machine has applied (0 before
+    /// any [`HomeEvent::PeerDown`]).
+    pub fn view_epoch(&self) -> u64 {
+        self.view_epoch
     }
 
     /// Feed one event; returns the actions the executor must perform, in
@@ -411,7 +427,22 @@ impl<W> HomeMachine<W> {
                 }
                 self.progress(now, grace_ns, &mut out);
             }
-            HomeEvent::PeerDown { dead } => self.forget_peer(now, grace_ns, dead, &mut out),
+            HomeEvent::PeerDown { dead, view_epoch } => {
+                // Monotone epoch fence: a declaration stamped at or below
+                // the highest epoch already applied is a replay or
+                // reordering of a death this machine has settled; re-running
+                // recovery for it could double-prune a successor's state.
+                if view_epoch <= self.view_epoch {
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "stale-peer-down-epoch",
+                    }));
+                    return out;
+                }
+                self.view_epoch = view_epoch;
+                self.forget_peer(now, grace_ns, dead, &mut out);
+            }
         }
         out
     }
@@ -1092,7 +1123,14 @@ mod tests {
         m.on_event(0, 0, remote(1, Kind::Write));
         m.on_event(0, 0, HomeEvent::Drained);
         assert_eq!(m.state(), &DirState::Dirty { owner: 1 });
-        let acts = m.on_event(5, 0, HomeEvent::PeerDown { dead: 1 });
+        let acts = m.on_event(
+            5,
+            0,
+            HomeEvent::PeerDown {
+                dead: 1,
+                view_epoch: 1,
+            },
+        );
         assert!(acts.iter().any(|a| matches!(
             a,
             HomeAction::SetHomeLocal {
@@ -1151,7 +1189,14 @@ mod tests {
                 has_data: true,
             },
         );
-        let acts = m.on_event(2, 0, HomeEvent::PeerDown { dead: 2 });
+        let acts = m.on_event(
+            2,
+            0,
+            HomeEvent::PeerDown {
+                dead: 2,
+                view_epoch: 1,
+            },
+        );
         assert!(acts.contains(&HomeAction::Count(Counter::EpochsAborted)));
         assert!(acts.contains(&HomeAction::Count(Counter::SharersPruned)));
         // The parked write was re-serviced: home is sole owner again and the
@@ -1166,7 +1211,14 @@ mod tests {
         let mut m = M::new();
         m.on_event(0, 0, remote(1, Kind::Operate(5)));
         m.on_event(0, 0, HomeEvent::Drained);
-        m.on_event(1, 0, HomeEvent::PeerDown { dead: 1 });
+        m.on_event(
+            1,
+            0,
+            HomeEvent::PeerDown {
+                dead: 1,
+                view_epoch: 1,
+            },
+        );
         // Epoch 1's only contributor is gone; a successor takes exclusive
         // ownership.
         m.on_event(2, 0, remote(2, Kind::Write));
@@ -1195,17 +1247,48 @@ mod tests {
     #[test]
     fn dead_peer_requests_and_acks_are_rejected() {
         let mut m = M::new();
-        m.on_event(0, 0, HomeEvent::PeerDown { dead: 1 });
+        m.on_event(
+            0,
+            0,
+            HomeEvent::PeerDown {
+                dead: 1,
+                view_epoch: 1,
+            },
+        );
         assert!(m.is_dead(1));
+        assert_eq!(m.view_epoch(), 1);
         let acts = m.on_event(1, 0, remote(1, Kind::Write));
         assert!(!acts
             .iter()
             .any(|a| matches!(a, HomeAction::SendFill { .. })));
         assert_eq!(m.state(), &DirState::Unshared);
         assert_eq!(m.pending_len(), 0);
-        // Second PeerDown for the same node is a no-op.
-        let acts = m.on_event(2, 0, HomeEvent::PeerDown { dead: 1 });
+        // A replayed declaration carrying an already-applied epoch stamp is
+        // fenced: nothing but the stale-event trace comes back.
+        let acts = m.on_event(
+            2,
+            0,
+            HomeEvent::PeerDown {
+                dead: 1,
+                view_epoch: 1,
+            },
+        );
+        assert!(acts
+            .iter()
+            .all(|a| matches!(a, HomeAction::Trace(t) if t.trigger == "stale-peer-down-epoch")));
+        assert!(!acts.is_empty());
+        // A later epoch naming the same (already dead) node advances the
+        // fence but changes no protocol state.
+        let acts = m.on_event(
+            3,
+            0,
+            HomeEvent::PeerDown {
+                dead: 1,
+                view_epoch: 2,
+            },
+        );
         assert!(acts.is_empty());
+        assert_eq!(m.view_epoch(), 2);
     }
 
     #[test]
@@ -1220,7 +1303,14 @@ mod tests {
         m.on_event(1, 0, HomeEvent::InvAck { from: 1 });
         // Node 2 dies instead of acking: the epoch completes and the local
         // writer is granted.
-        let acts = m.on_event(2, 0, HomeEvent::PeerDown { dead: 2 });
+        let acts = m.on_event(
+            2,
+            0,
+            HomeEvent::PeerDown {
+                dead: 2,
+                view_epoch: 1,
+            },
+        );
         assert!(acts.contains(&HomeAction::Count(Counter::SharersPruned)));
         assert!(acts.contains(&HomeAction::Wake(7)));
         assert_eq!(m.state(), &DirState::Unshared);

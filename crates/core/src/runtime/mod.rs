@@ -161,7 +161,7 @@ impl RuntimeThread {
                 RtMsg::Retry { array, chunk } => {
                     self.home_event(ctx, array, chunk, HomeEvent::RetryExpired);
                 }
-                RtMsg::PeerDown { node } => self.handle_peer_down(ctx, node),
+                RtMsg::PeerDown { node, epoch } => self.handle_peer_down(ctx, node, epoch),
             }
             self.poll_deferred();
             self.drain_ready(ctx);
@@ -861,9 +861,10 @@ impl RuntimeThread {
     // Peer failure (fail-stop recovery)
     // ------------------------------------------------------------------
 
-    /// The node's reliability agent declared `dead` unreachable. Settle every
-    /// piece of protocol state this runtime thread owns that involves the
-    /// dead peer so nothing waits on it forever:
+    /// The node's membership view confirmed `dead` unreachable (quorum-
+    /// backed, DESIGN.md §12). Settle every piece of protocol state this
+    /// runtime thread owns that involves the dead peer so nothing waits on
+    /// it forever:
     ///
     /// * requester side (chunks homed on `dead`): the cache machine aborts
     ///   in-flight fills and wakes their waiters — the application observes
@@ -878,7 +879,14 @@ impl RuntimeThread {
     ///   node held, drops its queued requests and re-grants to surviving
     ///   waiters (`reclaim_peer_locks`); local waiters for locks homed *on*
     ///   `dead` are woken so they re-check and error out.
-    fn handle_peer_down(&mut self, ctx: &mut Ctx, dead: NodeId) {
+    fn handle_peer_down(&mut self, ctx: &mut Ctx, dead: NodeId, epoch: u64) {
+        // Epoch fence: recovery runs only for the declaration the membership
+        // view actually stamped. A mismatch means the event is stale — the
+        // view has moved on (or never confirmed this death) — and replaying
+        // recovery for it could clobber state a re-admitted peer still owns.
+        if self.shared.membership[self.node].death_epoch(dead) != Some(epoch) {
+            return;
+        }
         let arrays: Vec<Arc<ArrayShared>> = self.shared.arrays.read().clone();
         for arr in &arrays {
             for c in 0..arr.layout.num_chunks() as ChunkId {
@@ -889,7 +897,15 @@ impl RuntimeThread {
                 if home == dead {
                     self.cache_event(ctx, arr, c, CacheEvent::HomeDown, None);
                 } else if home == self.node {
-                    self.home_event(ctx, arr.id, c, HomeEvent::PeerDown { dead });
+                    self.home_event(
+                        ctx,
+                        arr.id,
+                        c,
+                        HomeEvent::PeerDown {
+                            dead,
+                            view_epoch: epoch,
+                        },
+                    );
                 }
             }
             // Break the locks the dead node held in our table and hand them

@@ -14,7 +14,9 @@ use crate::cache::CacheRegion;
 use crate::comm::RelMsg;
 use crate::config::ClusterConfig;
 use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
+use crate::error::{DArrayError, UnavailableKind};
 use crate::layout::Layout;
+use crate::membership::{MembershipView, PeerHealth};
 use crate::msg::{ArrayId, ChunkId, LockKind, NetMsg, RtMsg};
 use crate::op::OpRegistry;
 use crate::protocol::locks::LockTable;
@@ -103,10 +105,12 @@ pub(crate) struct ClusterShared {
     pub stats: Vec<Arc<NodeStats>>,
     /// Per-node reliability-agent mailbox (`Some` iff `cfg.fault` is set).
     pub rel_mailboxes: Vec<Option<Mailbox<RelMsg>>>,
-    /// `peer_down[me][peer]`: node `me` has declared `peer` unreachable
-    /// (monotonic, fail-stop). Each node holds its own independent view —
-    /// failure detection is local, exactly as it would be on real hardware.
-    pub peer_down: Vec<Vec<AtomicBool>>,
+    /// `membership[me]`: node `me`'s epoch-numbered lease membership view
+    /// of every peer (Alive / Suspected / Dead). Each node holds its own
+    /// independent view — failure *observation* is local, exactly as on
+    /// real hardware — but promotion to Dead requires a quorum poll run by
+    /// the node's reliability agent (DESIGN.md §12).
+    pub membership: Vec<MembershipView>,
     /// First protocol-invariant violation observed by any runtime thread.
     /// Poisons the cluster: `try_*` APIs surface it as
     /// [`crate::DArrayError::ProtocolInvariant`] instead of aborting the
@@ -163,15 +167,28 @@ impl ClusterShared {
         self.nics[node].stats()
     }
 
-    /// Has `me` declared `peer` unreachable?
+    /// Has `me`'s membership view confirmed `peer` dead? Suspected peers
+    /// are *not* down: suspicion is revocable and must stay invisible to
+    /// the protocol layers.
     #[inline]
     pub(crate) fn is_peer_down(&self, me: NodeId, peer: NodeId) -> bool {
-        self.peer_down[me][peer].load(Ordering::Relaxed)
+        self.membership[me].is_dead(peer)
     }
 
-    /// Record `me`'s declaration that `peer` is unreachable.
-    pub(crate) fn mark_peer_down(&self, me: NodeId, peer: NodeId) {
-        self.peer_down[me][peer].store(true, Ordering::Relaxed);
+    /// Build the [`DArrayError::NodeUnavailable`] that `me` should surface
+    /// for an operation targeting `peer`, stamped with the current
+    /// membership epoch and the suspected-vs-confirmed distinction.
+    pub(crate) fn unavailable_error(&self, me: NodeId, peer: NodeId) -> DArrayError {
+        let view = &self.membership[me];
+        let kind = match view.health(peer) {
+            PeerHealth::Dead => UnavailableKind::ConfirmedDead,
+            _ => UnavailableKind::Suspected,
+        };
+        DArrayError::NodeUnavailable {
+            node: peer,
+            epoch: view.epoch(),
+            kind,
+        }
     }
 }
 

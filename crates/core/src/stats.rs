@@ -58,6 +58,20 @@ pub struct NodeStats {
     /// Dead peers pruned from directory sharer sets and transient wait
     /// sets during peer-down recovery.
     pub sharers_pruned: AtomicU64,
+    /// Peers this node moved to *Suspected* after exhausting retries
+    /// (includes suspicions resolved instantly by a fresh incoming lease).
+    pub suspicions: AtomicU64,
+    /// Suspicions refuted — by a quorum vote naming the peer alive, or by
+    /// the suspect's own traffic refreshing its lease — after which the
+    /// peer was re-admitted and its parked traffic replayed.
+    pub refutations: AtomicU64,
+    /// Suspicions a quorum promoted to confirmed deaths. Always equal to
+    /// `peers_down` (kept separate so the membership ledger — suspicions =
+    /// refutations + confirmed + pending — balances on its own terms).
+    pub confirmed_deaths: AtomicU64,
+    /// Gauge (not a counter): this node's current membership-view epoch,
+    /// i.e. the number of deaths it has confirmed so far.
+    pub membership_epoch: AtomicU64,
 }
 
 /// Point-in-time copy of [`NodeStats`].
@@ -85,12 +99,23 @@ pub struct NodeStatsSnapshot {
     pub orphaned_locks_reclaimed: u64,
     pub epochs_aborted: u64,
     pub sharers_pruned: u64,
+    pub suspicions: u64,
+    pub refutations: u64,
+    pub confirmed_deaths: u64,
+    pub membership_epoch: u64,
 }
 
 impl NodeStats {
     #[inline]
     pub(crate) fn bump(field: &AtomicU64) {
         field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise a gauge-style field to `v` (monotone; used for
+    /// `membership_epoch`, which tracks a level rather than a count).
+    #[inline]
+    pub(crate) fn raise(field: &AtomicU64, v: u64) {
+        field.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Copy out all counters.
@@ -118,6 +143,10 @@ impl NodeStats {
             orphaned_locks_reclaimed: self.orphaned_locks_reclaimed.load(Ordering::Relaxed),
             epochs_aborted: self.epochs_aborted.load(Ordering::Relaxed),
             sharers_pruned: self.sharers_pruned.load(Ordering::Relaxed),
+            suspicions: self.suspicions.load(Ordering::Relaxed),
+            refutations: self.refutations.load(Ordering::Relaxed),
+            confirmed_deaths: self.confirmed_deaths.load(Ordering::Relaxed),
+            membership_epoch: self.membership_epoch.load(Ordering::Relaxed),
         }
     }
 }

@@ -15,9 +15,23 @@
 //! * evictions (budget-limited), and
 //! * **node kills** — fail-stop crashes modeled exactly as the runtime sees
 //!   them: every surviving prefix of the victim's in-flight messages is
-//!   explored, followed by a `Down` failure-detector marker appended *last*
-//!   on each link out of the victim (FIFO delivery means survivors consume
-//!   all of the victim's accepted traffic before learning of its death).
+//!   explored, followed by a `Down` marker appended *last* on each link out
+//!   of the victim (FIFO delivery means survivors consume all of the
+//!   victim's accepted traffic before learning of its death). Since the
+//!   quorum membership layer (DESIGN.md §12), the marker models a
+//!   *quorum-confirmed* death declaration — it can only exist because the
+//!   victim actually died, which is exactly the guarantee the quorum
+//!   protocol provides; and
+//! * **false suspicions** — the home may *suspect* a live remote
+//!   (`Suspect`), which parks its outgoing link exactly as the reliability
+//!   agent parks a suspected peer's send queue: nothing is discarded,
+//!   delivery just stops. While the suspect is alive the only resolution is
+//!   an internal `Refute` (its heartbeats keep its lease fresh at the other
+//!   voters, so the quorum can never confirm), which unparks the link and
+//!   replays delivery in order. If the suspect *is* killed mid-suspicion,
+//!   its `Down` marker confirms the death instead. Safety asserts a live
+//!   peer is never declared dead, so no reachable interleaving reclaims a
+//!   live peer's locks or discards its Dirty writes.
 //!
 //! States are memoized by a canonical encoding (the derived `Debug` string,
 //! hashed), so the search explores each reachable world once. At every
@@ -194,6 +208,14 @@ struct World {
     /// A `ScheduleRetry { at }` is pending delivery.
     retry_at: Option<u64>,
     kill_budget: u8,
+    /// Home-side suspicion flags: while `suspected[i]` the home's outgoing
+    /// link to remote `i+1` is parked (no `DeliverH2R`), mirroring the
+    /// reliability agent parking a suspected peer's send queue. Nothing is
+    /// dropped; `Refute` (live suspect) or the `Down` marker (dead suspect)
+    /// resolves it.
+    suspected: [bool; NREM],
+    /// How many `Suspect` stimuli may still be injected.
+    suspect_budget: u8,
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +243,14 @@ struct Ck {
     sharers_pruned: usize,
     locks_reclaimed: usize,
     reductions: usize,
+    /// Suspicions of a live remote resolved by refutation.
+    suspect_refutes: usize,
+    /// Suspicions resolved by the suspect's actual death (its `Down` marker
+    /// consumed while the suspicion was pending).
+    suspect_confirms: usize,
+    /// A live remote held Exclusive (unwritten Dirty data) while suspected —
+    /// the exact state a unilateral declaration would destroy.
+    suspected_dirty_states: usize,
 }
 
 impl Ck {
@@ -240,6 +270,9 @@ impl Ck {
             sharers_pruned: 0,
             locks_reclaimed: 0,
             reductions: 0,
+            suspect_refutes: 0,
+            suspect_confirms: 0,
+            suspected_dirty_states: 0,
         }
     }
 }
@@ -309,6 +342,12 @@ enum Tr {
         victim: usize,
         keep: [usize; 2],
     },
+    /// The home's failure detector (falsely or not) suspects remote `i+1`:
+    /// park the home→remote link.
+    Suspect(usize),
+    /// The quorum poll refutes the home's suspicion of (live) remote `i+1`:
+    /// re-admit and resume parked delivery.
+    Refute(usize),
 }
 
 /// Does `state`/`tag` already satisfy a request of `kind` locally (the
@@ -324,7 +363,11 @@ fn satisfied(state: LocalState, tag: u32, kind: Kind) -> bool {
 fn internal_transitions(w: &World) -> Vec<Tr> {
     let mut out = Vec::new();
     for i in 0..NREM {
-        if w.rem[i].alive && !w.h2r[i].is_empty() {
+        // A suspected remote's inbound link is parked at the home's
+        // reliability agent — deliverable again only after the suspicion
+        // resolves.
+        let parked = w.home.is_some() && w.suspected[i];
+        if w.rem[i].alive && !w.h2r[i].is_empty() && !parked {
             out.push(Tr::DeliverH2R(i));
         }
         if w.home.is_some() && !w.r2h[i].is_empty() {
@@ -332,6 +375,13 @@ fn internal_transitions(w: &World) -> Vec<Tr> {
         }
         if w.rem[i].alive && w.rem[i].after.is_some() {
             out.push(Tr::DrainRemote(i));
+        }
+        // A live suspect keeps heartbeating, so refutation is *guaranteed*
+        // progress in the real system — which makes it an internal
+        // transition here (a suspicion of a live peer can never be the end
+        // state, so a parked world is not quiescent).
+        if parked && w.rem[i].alive {
+            out.push(Tr::Refute(i));
         }
     }
     if let Some(h) = &w.home {
@@ -395,6 +445,17 @@ fn external_transitions(w: &World) -> Vec<Tr> {
             out.push(Tr::Evict(i));
         }
     }
+    // Suspect a live remote: the false-suspicion stimulus. (Suspecting a
+    // node that is already dead is the Kill path — its marker is the
+    // confirmation — so the stimulus targets live peers, where a unilateral
+    // declaration would be unsound.)
+    if w.home.is_some() && w.suspect_budget > 0 {
+        for i in 0..NREM {
+            if w.rem[i].alive && !w.suspected[i] {
+                out.push(Tr::Suspect(i));
+            }
+        }
+    }
     if w.kill_budget > 0 {
         // Kill the home: branch over every surviving prefix of each
         // home→remote link (the product; each link truncates independently).
@@ -443,6 +504,8 @@ fn label(w: &World, tr: Tr) -> String {
         Tr::LockRemoteRel(i) => format!("r{} releases its lock", i + 1),
         Tr::Evict(i) => format!("eviction scan hits r{}", i + 1),
         Tr::Kill { victim, keep } => format!("KILL node {victim} (kept prefixes {keep:?})"),
+        Tr::Suspect(i) => format!("home SUSPECTS r{} (link parked)", i + 1),
+        Tr::Refute(i) => format!("suspicion of r{} refuted (link replayed)", i + 1),
     }
 }
 
@@ -547,11 +610,21 @@ fn apply(w: &mut World, ck: &mut Ck, trace: &[String], tr: Tr) {
             w.rem[i].evict_budget -= 1;
             run_cache_event(w, ck, trace, i, CacheEvent::Evict);
         }
+        Tr::Suspect(i) => {
+            w.suspect_budget -= 1;
+            w.suspected[i] = true;
+        }
+        Tr::Refute(i) => {
+            ck.suspect_refutes += 1;
+            w.suspected[i] = false;
+        }
         Tr::Kill { victim, keep } => {
             w.kill_budget -= 1;
             if victim == HOME {
                 w.home = None;
                 w.retry_at = None;
+                // The suspector died with its suspicions.
+                w.suspected = [false; NREM];
                 for (i, &kept) in keep.iter().enumerate() {
                     // Messages to the corpse are never consumed.
                     w.r2h[i].clear();
@@ -690,11 +763,35 @@ fn deliver_to_home(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, msg: 
         }
         Msg::Down { dead } => {
             assert_eq!(dead, from);
+            if w.rem[i].alive {
+                fail(
+                    ck,
+                    trace,
+                    w,
+                    &format!("quorum confirmed the death of LIVE node {dead}"),
+                );
+            }
+            if w.suspected[i] {
+                // The home's own suspicion was resolved by the suspect's
+                // actual death rather than a refutation.
+                ck.suspect_confirms += 1;
+                w.suspected[i] = false;
+            }
             let h = w.home.as_mut().unwrap();
             ck.pd_transients.insert(h.m.transient().name());
             ck.pd_states.insert(h.m.state().name());
             h.knows_dead[i] = true;
-            run_home_event(w, ck, trace, HomeEvent::PeerDown { dead });
+            // Every checked world has kill_budget ≤ 1, so the one death is
+            // always membership epoch 1.
+            run_home_event(
+                w,
+                ck,
+                trace,
+                HomeEvent::PeerDown {
+                    dead,
+                    view_epoch: 1,
+                },
+            );
             let h = w.home.as_mut().unwrap();
             let purge = h.locks.forget_peer(dead);
             ck.locks_reclaimed += purge.reclaimed;
@@ -943,7 +1040,24 @@ fn recheck_app(w: &mut World, i: usize, events: &mut VecDeque<CacheEvent>) {
 // ---------------------------------------------------------------------------
 
 /// Safety: must hold in **every** reachable state.
-fn check_safety(w: &World, ck: &Ck, trace: &[String]) {
+fn check_safety(w: &World, ck: &mut Ck, trace: &[String]) {
+    // The quorum guarantee, stated as a world invariant: no live peer is
+    // ever declared dead. Everything destructive (lock reclaim, Dirty
+    // ownership reclaim, sharer pruning) happens only behind `knows_dead`,
+    // so this single check covers "no reachable interleaving discards a
+    // live peer's writes".
+    if let Some(h) = &w.home {
+        for i in 0..NREM {
+            if h.knows_dead[i] && w.rem[i].alive {
+                fail(ck, trace, w, "home declared a LIVE remote dead");
+            }
+            if w.suspected[i] && w.rem[i].alive && w.rem[i].state == LocalState::Exclusive {
+                // Coverage: the dangerous state — a live suspect holding
+                // unwritten Dirty data — was actually reached.
+                ck.suspected_dirty_states += 1;
+            }
+        }
+    }
     // Single writer: at most one alive remote holds Exclusive, and nobody
     // else holds any rights while it does.
     let excl: Vec<usize> = (0..NREM)
@@ -1259,6 +1373,7 @@ fn initial_world(
     home_req: u8,
     home_locks: u8,
     kills: u8,
+    suspects: u8,
 ) -> World {
     World {
         home: Some(Home {
@@ -1281,6 +1396,8 @@ fn initial_world(
         now: 0,
         retry_at: None,
         kill_budget: kills,
+        suspected: [false; NREM],
+        suspect_budget: suspects,
     }
 }
 
@@ -1288,7 +1405,8 @@ fn summarize(ck: &Ck, name: &str) {
     println!(
         "[{name}] states={} quiescent={} depth_pruned={} \
          pd_transients={:?} pd_states={:?} homedown_states={:?} retry_transients={:?} \
-         epochs_aborted={} sharers_pruned={} locks_reclaimed={} reductions={}",
+         epochs_aborted={} sharers_pruned={} locks_reclaimed={} reductions={} \
+         suspect_refutes={} suspect_confirms={} suspected_dirty_states={}",
         ck.seen.len(),
         ck.quiescent_states,
         ck.depth_pruned,
@@ -1300,6 +1418,9 @@ fn summarize(ck: &Ck, name: &str) {
         ck.sharers_pruned,
         ck.locks_reclaimed,
         ck.reductions,
+        ck.suspect_refutes,
+        ck.suspect_confirms,
+        ck.suspected_dirty_states,
     );
 }
 
@@ -1317,7 +1438,7 @@ fn summarize(ck: &Ck, name: &str) {
 #[test]
 fn crash_model_coherence_no_grace() {
     let mut ck = Ck::new(0);
-    let w = initial_world([2, 2], [0, 0], [1, 1], 2, 0, 1);
+    let w = initial_world([2, 2], [0, 0], [1, 1], 2, 0, 1, 0);
     let mut trace = Vec::new();
     dfs(&w, 0, &mut ck, &mut trace);
     summarize(&ck, "coherence");
@@ -1365,7 +1486,7 @@ fn crash_model_coherence_no_grace() {
 #[test]
 fn crash_model_locks() {
     let mut ck = Ck::new(0);
-    let w = initial_world([0, 0], [2, 2], [0, 0], 0, 2, 1);
+    let w = initial_world([0, 0], [2, 2], [0, 0], 0, 2, 1, 0);
     let mut trace = Vec::new();
     dfs(&w, 0, &mut ck, &mut trace);
     summarize(&ck, "locks");
@@ -1386,11 +1507,47 @@ fn crash_model_locks() {
 #[test]
 fn crash_model_combined() {
     let mut ck = Ck::new(0);
-    let w = initial_world([1, 1], [1, 1], [0, 0], 0, 1, 1);
+    let w = initial_world([1, 1], [1, 1], [0, 0], 0, 1, 1, 0);
     let mut trace = Vec::new();
     dfs(&w, 0, &mut ck, &mut trace);
     summarize(&ck, "combined");
 
+    assert!(
+        ck.quiescent_states > 0,
+        "the search never reached quiescence"
+    );
+}
+
+/// Suspected-but-alive search (DESIGN.md §12): the home may falsely suspect
+/// either live remote while coherence traffic (including Write requests
+/// that put a remote in Exclusive with unwritten Dirty data) is in flight,
+/// and one real kill can land at any point — including mid-suspicion, so
+/// both resolutions (refute for a live suspect, the `Down` marker for a
+/// dead one) interleave with every protocol phase. Safety asserts no live
+/// peer is ever declared dead; quiescence asserts the directory and every
+/// survivor's dentry still agree after suspect → refute → replay cycles —
+/// i.e. no reachable interleaving reclaims locks or discards the Dirty
+/// writes of a peer that was merely suspected.
+#[test]
+fn crash_model_suspected_but_alive() {
+    let mut ck = Ck::new(0);
+    let w = initial_world([2, 1], [0, 0], [1, 0], 1, 0, 1, 2);
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "suspected");
+
+    assert!(
+        ck.suspect_refutes > 0,
+        "no suspicion of a live remote was ever refuted"
+    );
+    assert!(
+        ck.suspect_confirms > 0,
+        "no suspicion was ever resolved by the suspect's actual death"
+    );
+    assert!(
+        ck.suspected_dirty_states > 0,
+        "no reachable state had a live suspect holding unwritten Dirty data"
+    );
     assert!(
         ck.quiescent_states > 0,
         "the search never reached quiescence"
@@ -1404,7 +1561,7 @@ fn crash_model_combined() {
 fn crash_model_grace_window() {
     let mut ck = Ck::new(1);
     ck.max_depth = env_usize("DARRAY_MC_MAX_DEPTH", 64);
-    let w = initial_world([1, 1], [0, 0], [0, 0], 1, 0, 1);
+    let w = initial_world([1, 1], [0, 0], [0, 0], 1, 0, 1, 0);
     let mut trace = Vec::new();
     dfs(&w, 0, &mut ck, &mut trace);
     summarize(&ck, "grace");

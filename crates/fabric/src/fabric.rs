@@ -203,8 +203,17 @@ impl<M: Send + 'static> Nic<M> {
             f.link_error[dst].store(true, Ordering::Relaxed);
             return None;
         }
+        // Partitions are deterministic (no RNG draw) and, like random
+        // drops, sever only two-sided SENDs: one-sided WRITEs always land,
+        // so a retransmitted or replayed WRITE+SEND pair stays idempotent.
+        if droppable && f.plan.partitioned(self.node, dst, now) {
+            self.stats.faulted_drops.fetch_add(1, Ordering::Relaxed);
+            f.link_error[dst].store(true, Ordering::Relaxed);
+            return None;
+        }
         // Draw order is fixed (stall trial, stall duration, jitter, drop
-        // trial) so a plan replays identically regardless of which fault
+        // trial, then an asymmetric-loss trial only for SENDs matching a
+        // rule) so a plan replays identically regardless of which fault
         // classes are enabled elsewhere in the run.
         let mut rng = f.rng.lock();
         let mut earliest = now;
@@ -221,7 +230,11 @@ impl<M: Send + 'static> Nic<M> {
         } else {
             0
         };
-        let dropped = droppable && f.plan.drop_ppm > 0 && rng.chance_ppm(f.plan.drop_ppm);
+        let mut dropped = droppable && f.plan.drop_ppm > 0 && rng.chance_ppm(f.plan.drop_ppm);
+        if droppable && !dropped {
+            let asym_ppm = f.plan.asym_drop_ppm(self.node, dst, now);
+            dropped = asym_ppm > 0 && rng.chance_ppm(asym_ppm);
+        }
         drop(rng);
         // A dropped SEND still serialized on the wire; the receiver NIC
         // discarded it. Claim the link, then discard.
@@ -735,6 +748,113 @@ mod tests {
             assert_eq!(n1.crash_time(), Some(10_000));
             assert_eq!(n0.peer_crash_time(1), Some(10_000));
         });
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_sends_then_heals() {
+        use crate::fault::Partition;
+        sim().run(|ctx| {
+            let mut plan = FaultPlan::new(11);
+            plan.partitions = vec![Partition {
+                groups: vec![vec![0, 1], vec![2]],
+                from_ns: 5_000,
+                until_ns: 50_000,
+            }];
+            let fab: Fabric<u32> = Fabric::with_faults(3, NetConfig::default(), plan);
+            let n0 = fab.nic(0);
+            let n2 = fab.nic(2);
+            // Before the window: cross-group delivery works.
+            n0.send(ctx, 2, 1, 8);
+            assert_eq!(n2.rx().recv(ctx).1, 1);
+            ctx.sleep_until(10_000);
+            // Inside: severed both ways, QP error latched, intra-group fine.
+            n0.send(ctx, 2, 2, 8);
+            n2.send(ctx, 0, 3, 8);
+            n0.send(ctx, 1, 4, 8);
+            assert!(n0.link_error(2));
+            assert!(n2.link_error(0));
+            assert!(n2.rx().is_empty());
+            assert!(n0.rx().is_empty());
+            assert_eq!(fab.nic(1).rx().recv(ctx).1, 4);
+            // One-sided WRITEs cross the partition (control plane only).
+            let region = MemoryRegion::new(8);
+            n0.rdma_write(ctx, 2, &region, 0, vec![42]);
+            ctx.sleep_until(49_000);
+            assert_eq!(region.load(0), 42);
+            // After the window: healed.
+            ctx.sleep_until(50_000);
+            n0.send(ctx, 2, 5, 8);
+            assert_eq!(n2.rx().recv(ctx).1, 5);
+        });
+    }
+
+    #[test]
+    fn asymmetric_loss_degrades_one_direction_only() {
+        use crate::fault::AsymmetricLoss;
+        sim().run(|ctx| {
+            let mut plan = FaultPlan::new(13);
+            plan.asym_loss = vec![AsymmetricLoss {
+                from: 0,
+                to: 1,
+                drop_ppm: 1_000_000, // every matching SEND dropped
+                from_ns: 0,
+                until_ns: u64::MAX,
+            }];
+            let fab: Fabric<u32> = Fabric::with_faults(2, NetConfig::default(), plan);
+            let n0 = fab.nic(0);
+            let n1 = fab.nic(1);
+            for i in 0..8 {
+                n0.send(ctx, 1, i, 8);
+            }
+            assert_eq!(n0.stats().faulted_drops, 8);
+            assert!(n0.link_error(1));
+            assert!(n1.rx().is_empty());
+            // The reverse direction is untouched.
+            for i in 0..8 {
+                n1.send(ctx, 0, i, 8);
+            }
+            assert_eq!(n1.stats().faulted_drops, 0);
+            for i in 0..8 {
+                assert_eq!(n0.rx().recv(ctx).1, i);
+            }
+            // One-sided WRITEs on the degraded direction still land.
+            let region = MemoryRegion::new(8);
+            n0.rdma_write(ctx, 1, &region, 0, vec![7]);
+            ctx.sleep_until(ctx.now() + 20_000);
+            assert_eq!(region.load(0), 7);
+        });
+    }
+
+    #[test]
+    fn partition_and_asym_schedules_replay_bit_identically() {
+        use crate::fault::{AsymmetricLoss, Partition};
+        let run = |seed: u64| {
+            sim().run(move |ctx| {
+                let mut plan = FaultPlan::new(seed);
+                plan.jitter_ns = 2_000;
+                plan.drop_ppm = 50_000;
+                plan.partitions = vec![Partition {
+                    groups: vec![vec![0], vec![1, 2]],
+                    from_ns: 30_000,
+                    until_ns: 90_000,
+                }];
+                plan.asym_loss = vec![AsymmetricLoss {
+                    from: 0,
+                    to: 1,
+                    drop_ppm: 400_000,
+                    from_ns: 0,
+                    until_ns: 200_000,
+                }];
+                let fab: Fabric<u32> = Fabric::with_faults(3, NetConfig::default(), plan);
+                let n0 = fab.nic(0);
+                for i in 0..200 {
+                    n0.send(ctx, 1 + (i as usize % 2), i, 64);
+                }
+                (fab.nic(0).stats(), ctx.now())
+            })
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21).0, run(22).0, "different seeds should differ");
     }
 
     #[test]

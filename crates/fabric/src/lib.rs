@@ -31,7 +31,7 @@ mod region;
 
 pub use cost::CostModel;
 pub use fabric::{Fabric, Nic, NicStats, NicStatsSnapshot};
-pub use fault::FaultPlan;
+pub use fault::{AsymmetricLoss, FaultPlan, Partition};
 pub use net::NetConfig;
 pub use region::MemoryRegion;
 

@@ -106,8 +106,11 @@ fn main() {
             if env.node == 0 {
                 ctx.sleep(2_000_000); // wait past the crash
                 match a.try_set(ctx, 7000, 1) {
-                    Err(DArrayError::NodeUnavailable { node }) => {
-                        println!("crash: write to chunk homed on node {node} failed over cleanly");
+                    Err(DArrayError::NodeUnavailable { node, epoch, kind }) => {
+                        println!(
+                            "crash: write to chunk homed on node {node} failed over cleanly \
+                             ({kind:?} at membership epoch {epoch})"
+                        );
                     }
                     other => panic!("expected NodeUnavailable, got {other:?}"),
                 }

@@ -14,15 +14,16 @@
 use std::sync::{Arc, Mutex};
 
 use darray::{
-    ArrayOptions, Cluster, ClusterConfig, DArrayError, FaultConfig, FaultPlan, Sim, SimConfig,
+    ArrayOptions, AsymmetricLoss, Cluster, ClusterConfig, DArrayError, FaultConfig, FaultPlan,
+    NodeStatsSnapshot, Partition, Sim, SimConfig, UnavailableKind,
 };
 
 const LEN: usize = 3072;
 const NODES: usize = 3;
 
-/// Run the mixed workload; return (final contents, Σ rpc_timeouts,
-/// Σ retransmits, Σ dup_rpcs over all nodes).
-fn run_workload(cfg: ClusterConfig) -> (Vec<u64>, u64, u64, u64) {
+/// Run the mixed workload; return the final contents plus every node's
+/// statistics snapshot.
+fn run_workload(cfg: ClusterConfig) -> (Vec<u64>, Vec<NodeStatsSnapshot>) {
     Sim::new(SimConfig::default()).run(move |ctx| {
         let cluster = Cluster::new(ctx, cfg);
         let add = cluster.ops().register_add_u64();
@@ -61,16 +62,10 @@ fn run_workload(cfg: ClusterConfig) -> (Vec<u64>, u64, u64, u64) {
             }
             env.barrier(ctx);
         });
-        let (mut timeouts, mut retransmits, mut dups) = (0, 0, 0);
-        for node in 0..NODES {
-            let s = cluster.stats(node);
-            timeouts += s.rpc_timeouts;
-            retransmits += s.retransmits;
-            dups += s.dup_rpcs;
-        }
+        let snaps = (0..NODES).map(|n| cluster.stats(n)).collect();
         cluster.shutdown(ctx);
         let v = contents.lock().unwrap().clone();
-        (v, timeouts, retransmits, dups)
+        (v, snaps)
     })
 }
 
@@ -105,8 +100,10 @@ fn expected_contents() -> Vec<u64> {
 #[test]
 fn chaos_matches_fault_free_baseline_across_seeds() {
     let baseline = {
-        let (contents, timeouts, retransmits, dups) =
-            run_workload(ClusterConfig::with_nodes(NODES));
+        let (contents, snaps) = run_workload(ClusterConfig::with_nodes(NODES));
+        let timeouts: u64 = snaps.iter().map(|s| s.rpc_timeouts).sum();
+        let retransmits: u64 = snaps.iter().map(|s| s.retransmits).sum();
+        let dups: u64 = snaps.iter().map(|s| s.dup_rpcs).sum();
         assert_eq!(
             (timeouts, retransmits, dups),
             (0, 0, 0),
@@ -116,7 +113,9 @@ fn chaos_matches_fault_free_baseline_across_seeds() {
         contents
     };
     for seed in [3, 5, 11, 17, 23, 31, 47, 0xC0FFEE] {
-        let (contents, timeouts, retransmits, _dups) = run_workload(chaotic_config(seed));
+        let (contents, snaps) = run_workload(chaotic_config(seed));
+        let timeouts: u64 = snaps.iter().map(|s| s.rpc_timeouts).sum();
+        let retransmits: u64 = snaps.iter().map(|s| s.retransmits).sum();
         assert_eq!(
             contents, baseline,
             "final contents diverged from the fault-free run under seed {seed}"
@@ -125,6 +124,11 @@ fn chaos_matches_fault_free_baseline_across_seeds() {
             timeouts > 0 && retransmits > 0,
             "seed {seed} injected no observable faults (timeouts={timeouts}, \
              retransmits={retransmits}); the schedule is too tame to test recovery"
+        );
+        let confirmed: u64 = snaps.iter().map(|s| s.confirmed_deaths).sum();
+        assert_eq!(
+            confirmed, 0,
+            "seed {seed}: packet loss alone must never confirm a death"
         );
     }
 }
@@ -151,14 +155,25 @@ fn crash_is_detected_and_degrades_gracefully() {
                 // Wait past the crash, then touch a chunk that was never
                 // cached: the fill times out, retries, and fails over.
                 ctx.sleep(3_000_000);
+                // The error is stamped with the membership epoch of the
+                // death declaration (first death => epoch 1) and records
+                // that a quorum confirmed it, not a mere suspicion.
                 assert_eq!(
                     a.try_set(ctx, 7000, 1),
-                    Err(DArrayError::NodeUnavailable { node: 1 })
+                    Err(DArrayError::NodeUnavailable {
+                        node: 1,
+                        epoch: 1,
+                        kind: UnavailableKind::ConfirmedDead,
+                    })
                 );
                 // Locks homed on the dead node fail fast.
                 assert_eq!(
                     a.try_wlock(ctx, 7000),
-                    Err(DArrayError::NodeUnavailable { node: 1 })
+                    Err(DArrayError::NodeUnavailable {
+                        node: 1,
+                        epoch: 1,
+                        kind: UnavailableKind::ConfirmedDead,
+                    })
                 );
                 // Graceful degradation: local chunks and already-cached
                 // remote chunks keep working.
@@ -227,10 +242,14 @@ fn kill_mid_operate_epoch_aborts_and_survivors_converge() {
                         let _ = a.get(ctx, ACC);
                     }
                     // An uncached chunk homed on the corpse: error, not hang.
-                    assert_eq!(
+                    assert!(matches!(
                         a.try_get(ctx, DEAD_CHUNK),
-                        Err(DArrayError::NodeUnavailable { node: 2 })
-                    );
+                        Err(DArrayError::NodeUnavailable {
+                            node: 2,
+                            kind: UnavailableKind::ConfirmedDead,
+                            ..
+                        })
+                    ));
                     for _ in 0..32 {
                         a.apply(ctx, ACC, add, 1);
                     }
@@ -306,10 +325,14 @@ fn kill_mid_kvs_orphaned_lock_is_reclaimed() {
                     ctx.sleep(2_000_000);
                     // Detection trigger + contract check: the corpse's
                     // chunks fail fast instead of hanging.
-                    assert_eq!(
+                    assert!(matches!(
                         a.try_set(ctx, DEAD_CHUNK, 1),
-                        Err(DArrayError::NodeUnavailable { node: 2 })
-                    );
+                        Err(DArrayError::NodeUnavailable {
+                            node: 2,
+                            kind: UnavailableKind::ConfirmedDead,
+                            ..
+                        })
+                    ));
                     // These block behind the dead holder until the home
                     // reclaims the orphan; a hang would trip the deadlock
                     // detector.
@@ -342,6 +365,238 @@ fn kill_mid_kvs_orphaned_lock_is_reclaimed() {
             "home never reclaimed the dead holder's lock: {s0:?}"
         );
         assert!(s0.peers_down >= 1, "node 0 never declared node 2 down");
+        cluster.shutdown(ctx);
+    });
+}
+
+/// A live peer behind a fully-severed asymmetric link is repeatedly
+/// suspected, and every suspicion is refuted by the third node's fresh
+/// lease — no quorum ever confirms a death. When the link heals, the
+/// falsely-suspected peer still holds its write lock and its dirtied data
+/// bit-identically, across 8 seeds.
+#[test]
+fn false_suspicion_under_asymmetric_loss_is_refuted() {
+    const HOT: usize = 8; // chunk 0, homed on node 0; node 2 locks + dirties it
+    const FLAG: usize = 700; // chunk 1, homed on node 0
+    let mut golden: Option<Vec<u64>> = None;
+    for seed in [1, 2, 3, 5, 8, 13, 21, 34] {
+        let (chunk0, snaps) = Sim::new(SimConfig::default()).run(move |ctx| {
+            let mut plan = FaultPlan::new(seed);
+            plan.jitter_ns = 300;
+            // Sever node 0 <-> node 2 in both directions for 1.6 ms; the
+            // 0 <-> 1 and 1 <-> 2 links stay perfect, so node 1's lease on
+            // node 2 never lapses and its vote refutes every suspicion.
+            plan.asym_loss = vec![
+                AsymmetricLoss {
+                    from: 0,
+                    to: 2,
+                    drop_ppm: 1_000_000,
+                    from_ns: 400_000,
+                    until_ns: 2_000_000,
+                },
+                AsymmetricLoss {
+                    from: 2,
+                    to: 0,
+                    drop_ppm: 1_000_000,
+                    from_ns: 400_000,
+                    until_ns: 2_000_000,
+                },
+            ];
+            let mut fc = FaultConfig::new(plan);
+            fc.rpc_timeout_ns = 20_000;
+            fc.max_retries = 2;
+            fc.lease_ns = 100_000;
+            fc.heartbeat_ns = 25_000;
+            fc.suspect_poll_ns = 10_000;
+            fc.suspect_poll_rounds = 3;
+            let mut cfg = ClusterConfig::with_nodes(NODES);
+            cfg.fault = Some(fc);
+            cfg.try_validate().expect("fault config should be valid");
+            let cluster = Cluster::new(ctx, cfg);
+            let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+            let contents = Arc::new(Mutex::new(Vec::new()));
+            let out = contents.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                let a = arr.on(env.node);
+                match env.node {
+                    2 => {
+                        // Before the link drops: take the lock and dirty the
+                        // chunk (both homed on node 0), then sit out the
+                        // outage holding both.
+                        a.wlock(ctx, HOT);
+                        a.set(ctx, HOT, 42);
+                        ctx.sleep(2_300_000);
+                        // Refuted suspicion discarded nothing: the dirtied
+                        // value survived and the lock is still ours.
+                        assert_eq!(a.get(ctx, HOT), 42, "dirty data lost (seed {seed})");
+                        a.set(ctx, HOT, 43);
+                        a.unlock(ctx, HOT);
+                        a.set(ctx, FLAG, 1);
+                    }
+                    0 => {
+                        ctx.sleep(600_000); // mid-outage
+                                            // Recalling node 2's dirty copy sends a reliable RPC
+                                            // into the severed link: retries exhaust, node 2
+                                            // becomes Suspected, node 1 votes alive, the parked
+                                            // recall replays — over and over until the heal.
+                        assert_eq!(a.get(ctx, HOT), 42);
+                        while a.get(ctx, FLAG) != 1 {
+                            ctx.sleep(25_000);
+                        }
+                        // The lock was released by its owner, never
+                        // reclaimed as orphaned.
+                        a.wlock(ctx, HOT);
+                        assert_eq!(a.get(ctx, HOT), 43);
+                        a.unlock(ctx, HOT);
+                        let mut v = Vec::with_capacity(512);
+                        for i in 0..512 {
+                            v.push(a.get(ctx, i));
+                        }
+                        *out.lock().unwrap() = v;
+                    }
+                    _ => {}
+                }
+            });
+            let snaps: Vec<NodeStatsSnapshot> = (0..NODES).map(|n| cluster.stats(n)).collect();
+            cluster.shutdown(ctx);
+            let v = contents.lock().unwrap().clone();
+            (v, snaps)
+        });
+        let s0 = &snaps[0];
+        assert!(
+            s0.suspicions >= 1,
+            "seed {seed}: the severed link never provoked a suspicion: {s0:?}"
+        );
+        assert_eq!(
+            s0.refutations, s0.suspicions,
+            "seed {seed}: a suspicion was not refuted: {s0:?}"
+        );
+        for (n, s) in snaps.iter().enumerate() {
+            assert_eq!(
+                (s.peers_down, s.confirmed_deaths, s.membership_epoch),
+                (0, 0, 0),
+                "seed {seed}: node {n} declared a live peer dead: {s:?}"
+            );
+        }
+        match &golden {
+            None => golden = Some(chunk0),
+            Some(g) => assert_eq!(
+                &chunk0, g,
+                "seed {seed}: surviving chunk contents are not bit-identical"
+            ),
+        }
+    }
+}
+
+/// A network partition shorter than the retry-exhaustion threshold is
+/// ridden out by the reliable channel: retransmits recover every RPC, the
+/// final contents match the fault-free baseline, and nobody is suspected,
+/// let alone declared dead.
+#[test]
+fn short_partition_is_ridden_out_without_death() {
+    let mut plan = FaultPlan::new(29);
+    plan.partitions = vec![Partition {
+        groups: vec![vec![0], vec![1, 2]],
+        from_ns: 100_000,
+        until_ns: 350_000,
+    }];
+    let mut fc = FaultConfig::new(plan);
+    fc.rpc_timeout_ns = 100_000;
+    fc.max_retries = 4; // exhaustion needs ~1.5 ms of silence >> 250 us window
+    let mut cfg = ClusterConfig::with_nodes(NODES);
+    cfg.fault = Some(fc);
+    let (contents, snaps) = run_workload(cfg);
+    assert_eq!(contents, expected_contents());
+    let retransmits: u64 = snaps.iter().map(|s| s.retransmits).sum();
+    assert!(
+        retransmits > 0,
+        "the partition window never bit: the workload ended too early"
+    );
+    for (n, s) in snaps.iter().enumerate() {
+        assert_eq!(
+            (s.suspicions, s.peers_down, s.confirmed_deaths),
+            (0, 0, 0),
+            "node {n}: a 250 us partition must be absorbed by retries: {s:?}"
+        );
+    }
+}
+
+/// A permanent partition splits {0} from {1, 2}: the majority side reaches
+/// a 2-of-2 quorum and excommunicates node 0; the isolated minority, unable
+/// to reach any voter (every lease lapses), converges on its own degraded
+/// view instead of polling forever. Both sides keep serving their own data.
+#[test]
+fn partition_majority_excommunicates_minority() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let mut plan = FaultPlan::new(31);
+        plan.partitions = vec![Partition {
+            groups: vec![vec![0], vec![1, 2]],
+            from_ns: 500_000,
+            until_ns: u64::MAX,
+        }];
+        let mut fc = FaultConfig::new(plan);
+        fc.rpc_timeout_ns = 50_000;
+        fc.max_retries = 3;
+        let mut cfg = ClusterConfig::with_nodes(NODES);
+        cfg.fault = Some(fc);
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            match env.node {
+                0 => {
+                    ctx.sleep(600_000);
+                    // Minority side: both peers become unreachable. Neither
+                    // can vote, so after the poll rounds the electorate
+                    // degenerates and node 0 confirms on its local view —
+                    // its declarations cannot propagate anywhere.
+                    assert!(matches!(
+                        a.try_set(ctx, 1500, 9), // chunk 2, homed on node 1
+                        Err(DArrayError::NodeUnavailable { node: 1, .. })
+                    ));
+                    assert!(matches!(
+                        a.try_get(ctx, 2560), // chunk 5, homed on node 2
+                        Err(DArrayError::NodeUnavailable { node: 2, .. })
+                    ));
+                    // Its own partition keeps working.
+                    a.set(ctx, 8, 1);
+                    assert_eq!(a.get(ctx, 8), 1);
+                }
+                1 => {
+                    ctx.sleep(600_000);
+                    assert!(matches!(
+                        a.try_get(ctx, 100), // chunk 0, homed on node 0
+                        Err(DArrayError::NodeUnavailable {
+                            node: 0,
+                            epoch: 1,
+                            kind: UnavailableKind::ConfirmedDead,
+                        })
+                    ));
+                    // The majority pair keeps full coherence between them.
+                    a.set(ctx, 2100, 5); // chunk 4, homed on node 2
+                    assert_eq!(a.get(ctx, 2100), 5);
+                }
+                _ => {
+                    ctx.sleep(600_000);
+                    assert!(matches!(
+                        a.try_get(ctx, 600), // chunk 1, homed on node 0
+                        Err(DArrayError::NodeUnavailable { node: 0, .. })
+                    ));
+                    a.set(ctx, 1600, 6); // chunk 3, homed on node 1
+                    assert_eq!(a.get(ctx, 1600), 6);
+                }
+            }
+        });
+        let (s0, s1, s2) = (cluster.stats(0), cluster.stats(1), cluster.stats(2));
+        // Majority: each survivor confirmed exactly node 0, via quorum.
+        assert_eq!((s1.peers_down, s1.confirmed_deaths), (1, 1), "{s1:?}");
+        assert_eq!((s2.peers_down, s2.confirmed_deaths), (1, 1), "{s2:?}");
+        assert_eq!(s1.membership_epoch, 1);
+        assert_eq!(s2.membership_epoch, 1);
+        // Minority: confirmed both peers through the degenerate electorate.
+        assert_eq!((s0.peers_down, s0.confirmed_deaths), (2, 2), "{s0:?}");
+        assert!(s0.suspicions >= 2, "{s0:?}");
+        assert_eq!(s0.membership_epoch, 2);
         cluster.shutdown(ctx);
     });
 }
