@@ -2,7 +2,7 @@
 //! Zipfian(0.99) key distribution, varying thread count and get ratio.
 
 use darray_bench::kvsbench::{kvs_ycsb, KvSys};
-use darray_bench::report::{fmt, print_table};
+use darray_bench::report::{fmt, print_table, write_bench_json};
 
 fn main() {
     let fast = darray_bench::fast_mode();
@@ -12,11 +12,16 @@ fn main() {
     let threads: &[usize] = if fast { &[1] } else { &[1, 2, 4] };
     let ratios = [1.0f64, 0.95, 0.5];
 
+    let mut traffic = Vec::new();
     for &get_ratio in &ratios {
         let mut rows = Vec::new();
         for &t in threads {
             let d = kvs_ycsb(KvSys::DArray, nodes, t, get_ratio, records, ops);
             let g = kvs_ycsb(KvSys::Gam, nodes, t, get_ratio, records, ops);
+            traffic.push((
+                format!("get{:02.0}_t{t}_{nodes}n", get_ratio * 100.0),
+                d.protocol,
+            ));
             rows.push(vec![
                 t.to_string(),
                 fmt(d.kops()),
@@ -35,4 +40,8 @@ fn main() {
         );
     }
     println!("\npaper: 20x-41x at 100% gets; 2x-3.8x under put-heavy contention; DArray-KVS also scales better intra-node (0.63-0.96 vs 0.48-0.64).");
+    match write_bench_json("fig17", &traffic) {
+        Ok(p) => println!("protocol traffic written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_fig17.json: {e}"),
+    }
 }

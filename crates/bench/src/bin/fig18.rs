@@ -4,7 +4,7 @@
 //! GAM, while cache-less BCL stays flat at the RDMA round trip.
 
 use darray_bench::micro::{micro, Op, Pattern, System};
-use darray_bench::report::{fmt, print_table};
+use darray_bench::report::{fmt, print_table, write_bench_json};
 
 fn main() {
     let fast = darray_bench::fast_mode();
@@ -14,6 +14,7 @@ fn main() {
     let bcl_ops: u64 = if fast { 500 } else { 2_000 };
     let node_counts: &[usize] = if fast { &[1, 3] } else { &[1, 2, 4, 6, 8] };
 
+    let mut traffic = Vec::new();
     for op in [Op::Read, Op::Write, Op::Operate] {
         let mut rows = Vec::new();
         for &n in node_counts {
@@ -26,6 +27,7 @@ fn main() {
                 elems_per_node,
                 ops,
             );
+            traffic.push((format!("{}_{n}n", op.label()), d.protocol));
             let g = micro(System::Gam, op, Pattern::Random, n, 1, elems_per_node, ops);
             let b = if op == Op::Operate {
                 None
@@ -63,4 +65,8 @@ fn main() {
         );
     }
     println!("\npaper: DArray/GAM latency grows with nodes (coherence + eviction overhead); BCL stays ≈2 µs; random writes cost more than reads (contention).");
+    match write_bench_json("fig18", &traffic) {
+        Ok(p) => println!("protocol traffic written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_fig18.json: {e}"),
+    }
 }

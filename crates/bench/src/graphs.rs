@@ -2,7 +2,7 @@
 //! four engines (DArray, DArray-Pin, GAM, Gemini).
 
 use crate::report::ProtocolTraffic;
-use darray::{Cluster, ClusterConfig, Sim, SimConfig, VTime};
+use darray::{Cluster, Sim, SimConfig, VTime};
 use darray_graph::cc::cc_darray;
 use darray_graph::gam_engine::{cc_gam, pagerank_gam};
 use darray_graph::gemini::{cc_gemini, pagerank_gemini};
@@ -76,7 +76,7 @@ pub fn graph_cell_with_traffic(
         GraphSys::DArray | GraphSys::DArrayPin => {
             let pin = sys == GraphSys::DArrayPin;
             Sim::new(SimConfig::default()).run(move |ctx| {
-                let cluster = Cluster::new(ctx, ClusterConfig::with_nodes(nodes));
+                let cluster = Cluster::new(ctx, crate::bench_cluster_config(nodes));
                 let t = match algo {
                     Algo::PageRank => pagerank_darray(ctx, &cluster, &el, pr_iters, pin).elapsed,
                     Algo::Cc => cc_darray(ctx, &cluster, &el, pin).elapsed,

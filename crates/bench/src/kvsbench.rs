@@ -4,8 +4,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use darray::{ArrayOptions, Cluster, ClusterConfig, Ctx, Sim, SimConfig, VTime};
+use darray::{ArrayOptions, Cluster, Ctx, Sim, SimConfig, VTime};
 use darray_kvs::{DArrayBackend, GamBackend, KvBackend, Kvs, KvsConfig, KvsView};
+
+use crate::report::ProtocolTraffic;
 use gam::{gam_config, GamCluster};
 use workloads::{YcsbOp, YcsbSpec, YcsbStream};
 
@@ -30,6 +32,9 @@ impl KvSys {
 pub struct KvsOut {
     pub total_ops: u64,
     pub elapsed: VTime,
+    /// Cluster-wide coherence traffic behind this cell (all-zero for the
+    /// GAM backend, which does not expose `NodeStats`).
+    pub protocol: ProtocolTraffic,
 }
 
 impl KvsOut {
@@ -101,7 +106,7 @@ pub fn kvs_ycsb(
     let total_ops = ops_per_thread * (nodes * threads) as u64;
     match sys {
         KvSys::DArray => Sim::new(SimConfig::default()).run(move |ctx| {
-            let cluster = Cluster::new(ctx, ClusterConfig::with_nodes(nodes));
+            let cluster = Cluster::new(ctx, crate::bench_cluster_config(nodes));
             let entries = cluster.alloc::<u64>(cfg.entry_array_len(), ArrayOptions::default());
             let bytes = cluster.alloc::<u64>(cfg.byte_array_words(), ArrayOptions::default());
             let kvs = Kvs::new(cfg);
@@ -118,6 +123,7 @@ pub fn kvs_ycsb(
             let out = KvsOut {
                 total_ops,
                 elapsed: elapsed.load(Ordering::Relaxed),
+                protocol: ProtocolTraffic::collect(&cluster),
             };
             cluster.shutdown(ctx);
             out
@@ -140,6 +146,7 @@ pub fn kvs_ycsb(
             let out = KvsOut {
                 total_ops,
                 elapsed: elapsed.load(Ordering::Relaxed),
+                protocol: ProtocolTraffic::default(),
             };
             g.shutdown(ctx);
             out

@@ -15,7 +15,44 @@ pub mod micro;
 pub mod operate;
 pub mod report;
 
+pub use darray::TransportKind;
+
 /// True when `FIG_FAST=1`: figure binaries shrink workloads for smoke runs.
 pub fn fast_mode() -> bool {
     std::env::var("FIG_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Network backend for the DArray clusters, selected by `--transport=sim`
+/// / `--transport=tcp` on the command line (or the `DARRAY_TRANSPORT` env
+/// var; flag wins). Defaults to the deterministic simulated fabric — the
+/// only backend whose virtual-time numbers mean anything; a TCP run keeps
+/// the protocol-traffic sections comparable but its timings are wall-clock
+/// noise. The comparison engines (GAM, Gemini, BCL) always simulate.
+pub fn transport_kind() -> TransportKind {
+    fn pick(v: &str) -> TransportKind {
+        match v {
+            "sim" => TransportKind::Sim,
+            "tcp" if cfg!(feature = "tcp-transport") => TransportKind::Tcp,
+            "tcp" => panic!("--transport=tcp requires building with --features tcp-transport"),
+            other => panic!("unknown transport {other:?} (expected `sim` or `tcp`)"),
+        }
+    }
+    for arg in std::env::args() {
+        if let Some(v) = arg.strip_prefix("--transport=") {
+            return pick(v);
+        }
+    }
+    match std::env::var("DARRAY_TRANSPORT") {
+        Ok(v) => pick(&v),
+        Err(_) => TransportKind::Sim,
+    }
+}
+
+/// The `ClusterConfig` every DArray benchmark cell boots with: the default
+/// calibrated config for `nodes`, on the backend picked by
+/// [`transport_kind`].
+pub fn bench_cluster_config(nodes: usize) -> darray::ClusterConfig {
+    let mut cfg = darray::ClusterConfig::with_nodes(nodes);
+    cfg.transport = transport_kind();
+    cfg
 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use crate::report::ProtocolTraffic;
 use bcl::BclCluster;
-use darray::{ArrayOptions, Cluster, ClusterConfig, PinMode, Sim, SimConfig, VTime};
+use darray::{ArrayOptions, Cluster, PinMode, Sim, SimConfig, VTime};
 use gam::{gam_config, GamCluster};
 use workloads::Rng;
 
@@ -141,7 +141,7 @@ fn darray_micro(
     pin: bool,
 ) -> MicroOut {
     Sim::new(SimConfig::default()).run(move |ctx| {
-        let cluster = Cluster::new(ctx, ClusterConfig::with_nodes(nodes));
+        let cluster = Cluster::new(ctx, crate::bench_cluster_config(nodes));
         let add = cluster.ops().register_add_u64();
         let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
         let elapsed = Arc::new(AtomicU64::new(0));

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::report::ProtocolTraffic;
-use darray::{ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig, VTime};
+use darray::{ArrayOptions, Cluster, Sim, SimConfig, VTime};
 use workloads::{Rng, Zipfian};
 
 /// Result of one Figure-14 configuration.
@@ -34,7 +34,7 @@ impl Fig14Out {
 /// semantics.
 pub fn zipf_update(nodes: usize, len: usize, ops_per_node: u64, use_operate: bool) -> Fig14Out {
     Sim::new(SimConfig::default()).run(move |ctx| {
-        let cluster = Cluster::new(ctx, ClusterConfig::with_nodes(nodes));
+        let cluster = Cluster::new(ctx, crate::bench_cluster_config(nodes));
         let add = cluster.ops().register_add_u64();
         let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
         let elapsed = Arc::new(AtomicU64::new(0));

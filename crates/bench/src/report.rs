@@ -80,6 +80,15 @@ pub struct ProtocolTraffic {
     /// Highest membership-view epoch reached on any node (a gauge — taken
     /// as the max over nodes, not a sum).
     pub membership_epoch: u64,
+    /// Transport bytes posted to the wire, summed over nodes (payload plus
+    /// backend framing; backend-dependent, unlike the protocol counters).
+    pub bytes_tx: u64,
+    /// Transport bytes received from the wire, summed over nodes.
+    pub bytes_rx: u64,
+    /// Transport frames (SENDs + one-sided WRITEs) posted, summed.
+    pub frames: u64,
+    /// Transport completion events observed, summed.
+    pub completions: u64,
 }
 
 impl ProtocolTraffic {
@@ -100,6 +109,10 @@ impl ProtocolTraffic {
         self.refutations += s.refutations;
         self.confirmed_deaths += s.confirmed_deaths;
         self.membership_epoch = self.membership_epoch.max(s.membership_epoch);
+        self.bytes_tx += s.bytes_tx;
+        self.bytes_rx += s.bytes_rx;
+        self.frames += s.frames;
+        self.completions += s.completions;
     }
 
     /// Sum the counters of every node in a cluster (call before shutdown).
@@ -118,7 +131,8 @@ impl ProtocolTraffic {
              \"operand_flushes\":{},\"operated_reductions\":{},\"evictions\":{},\
              \"transitions\":{},\"sharers_pruned\":{},\"epochs_aborted\":{},\
              \"orphaned_locks_reclaimed\":{},\"suspicions\":{},\"refutations\":{},\
-             \"confirmed_deaths\":{},\"membership_epoch\":{}}}",
+             \"confirmed_deaths\":{},\"membership_epoch\":{},\"bytes_tx\":{},\
+             \"bytes_rx\":{},\"frames\":{},\"completions\":{}}}",
             self.fills,
             self.invalidations,
             self.recalls,
@@ -133,7 +147,11 @@ impl ProtocolTraffic {
             self.suspicions,
             self.refutations,
             self.confirmed_deaths,
-            self.membership_epoch
+            self.membership_epoch,
+            self.bytes_tx,
+            self.bytes_rx,
+            self.frames,
+            self.completions
         )
     }
 }
@@ -208,6 +226,10 @@ mod tests {
             refutations: 13,
             confirmed_deaths: 14,
             membership_epoch: 15,
+            bytes_tx: 16,
+            bytes_rx: 17,
+            frames: 18,
+            completions: 19,
         };
         let j = t.json();
         for key in [
@@ -226,6 +248,10 @@ mod tests {
             "\"refutations\":13",
             "\"confirmed_deaths\":14",
             "\"membership_epoch\":15",
+            "\"bytes_tx\":16",
+            "\"bytes_rx\":17",
+            "\"frames\":18",
+            "\"completions\":19",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

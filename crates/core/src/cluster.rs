@@ -6,13 +6,14 @@ use std::sync::Arc;
 
 use dsim::{Ctx, JoinHandle, Mailbox, SimBarrier};
 use parking_lot::RwLock;
-use rdma_fabric::{Fabric, NicStatsSnapshot, NodeId};
+use rdma_fabric::{Fabric, NicStatsSnapshot, NodeId, SimTransport, Transport};
 
 use crate::array::DArray;
 use crate::cache::CacheRegion;
 use crate::comm::{rel_thread_main, rx_thread_main, tx_thread_main, CommHandle, RelMsg, TxReq};
-use crate::config::{ArrayOptions, ClusterConfig, DEFAULT_CHUNK_SIZE};
+use crate::config::{ArrayOptions, ClusterConfig, TransportKind, DEFAULT_CHUNK_SIZE};
 use crate::element::Element;
+use crate::error::DArrayError;
 use crate::layout::Layout;
 use crate::msg::{NetMsg, RtMsg};
 use crate::op::{OpId, OpRegistry};
@@ -89,24 +90,89 @@ pub struct Cluster {
     service_handles: Vec<JoinHandle>,
 }
 
+/// Build the per-node transport endpoints selected by `cfg.transport`
+/// (already validated). The simulated backend wraps one dsim NIC per node;
+/// the TCP backend brings up a real socket mesh and can fail at the OS
+/// level, surfaced as [`crate::ConfigError::TransportBringUp`].
+fn build_transports(cfg: &ClusterConfig) -> Result<Vec<Arc<dyn Transport<NetMsg>>>, DArrayError> {
+    match cfg.transport {
+        TransportKind::Sim => {
+            let fabric: Fabric<NetMsg> = match &cfg.fault {
+                Some(f) => Fabric::with_faults(cfg.nodes, cfg.net.clone(), f.plan.clone()),
+                None => Fabric::new(cfg.nodes, cfg.net.clone()),
+            };
+            Ok((0..cfg.nodes)
+                .map(|i| Arc::new(SimTransport::new(fabric.nic(i))) as Arc<dyn Transport<NetMsg>>)
+                .collect())
+        }
+        TransportKind::Tcp => build_tcp_transports(cfg),
+    }
+}
+
+#[cfg(feature = "tcp-transport")]
+fn build_tcp_transports(
+    cfg: &ClusterConfig,
+) -> Result<Vec<Arc<dyn Transport<NetMsg>>>, DArrayError> {
+    let addrs = cfg.tcp.addrs.as_ref().map(|a| {
+        a.iter()
+            .map(|s| s.parse().expect("addresses checked by try_validate"))
+            .collect()
+    });
+    let opts = rdma_fabric::TcpOptions {
+        max_frame_words: cfg.tcp.max_frame_words,
+        poll_ns: cfg.tcp.poll_ns,
+        addrs,
+    };
+    let mesh = rdma_fabric::TcpFabric::new(cfg.nodes, opts).map_err(|e| {
+        crate::ConfigError::TransportBringUp {
+            message: e.to_string(),
+        }
+    })?;
+    Ok((0..cfg.nodes)
+        .map(|i| mesh.transport(i) as Arc<dyn Transport<NetMsg>>)
+        .collect())
+}
+
+#[cfg(not(feature = "tcp-transport"))]
+fn build_tcp_transports(
+    _cfg: &ClusterConfig,
+) -> Result<Vec<Arc<dyn Transport<NetMsg>>>, DArrayError> {
+    // `try_validate` rejects `TransportKind::Tcp` without the feature, so
+    // this arm is unreachable through `Cluster::try_new`.
+    Err(crate::ConfigError::TcpFeatureDisabled.into())
+}
+
 impl Cluster {
-    /// Boot a cluster: builds the fabric and spawns, per node, one Rx
-    /// thread, the configured runtime threads, and (optionally) a Tx thread.
+    /// Boot a cluster: builds the transport mesh and spawns, per node, one
+    /// Rx thread, the configured runtime threads, and (optionally) a Tx
+    /// thread. Panics on an invalid configuration; [`Cluster::try_new`] is
+    /// the fallible form.
     pub fn new(ctx: &mut Ctx, cfg: ClusterConfig) -> Self {
-        cfg.validate();
+        match Self::try_new(ctx, cfg) {
+            Ok(cluster) => cluster,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible bring-up: structured [`DArrayError::Config`] diagnostics
+    /// for rejected configurations or failed transport bring-up, instead
+    /// of a panic.
+    pub fn try_new(ctx: &mut Ctx, cfg: ClusterConfig) -> Result<Self, DArrayError> {
+        cfg.try_validate()?;
         let nodes = cfg.nodes;
         let rts = cfg.runtime_threads;
-        let fabric: Fabric<NetMsg> = match &cfg.fault {
-            Some(f) => Fabric::with_faults(nodes, cfg.net.clone(), f.plan.clone()),
-            None => Fabric::new(nodes, cfg.net.clone()),
-        };
-        let nics = (0..nodes).map(|i| fabric.nic(i)).collect::<Vec<_>>();
+        let transports = build_transports(&cfg)?;
         let lines_per_rt = (cfg.cache.capacity_lines / rts).max(1) as u32;
         let cache_regions = (0..nodes)
             .map(|_| {
                 rdma_fabric::MemoryRegion::new(lines_per_rt as usize * rts * cfg.cache.line_words)
             })
             .collect::<Vec<_>>();
+        // Cache regions receive one-sided WRITEs (fills from remote homes):
+        // make them addressable on every backend.
+        for (transport, region) in transports.iter().zip(&cache_regions) {
+            transport.register_region(region);
+        }
         let cache_pools = (0..nodes)
             .map(|_| {
                 (0..rts)
@@ -145,7 +211,7 @@ impl Cluster {
         let shared = Arc::new(ClusterShared {
             cfg: cfg.clone(),
             registry: Arc::new(OpRegistry::new()),
-            nics,
+            transports,
             arrays: RwLock::new(Vec::new()),
             cache_regions,
             cache_pools,
@@ -175,10 +241,10 @@ impl Cluster {
             // Optional Tx thread.
             let tx_q = if cfg.tx_threads {
                 let q: Mailbox<TxReq> = Mailbox::new(&format!("tx-{node}"));
-                let nic = shared.nics[node].clone();
+                let transport = shared.transports[node].clone();
                 let q2 = q.clone();
                 service_handles.push(ctx.spawn(&format!("tx-{node}"), move |c| {
-                    tx_thread_main(c, nic, q2);
+                    tx_thread_main(c, transport, q2);
                 }));
                 Some(q)
             } else {
@@ -187,7 +253,7 @@ impl Cluster {
             // Runtime threads.
             for r in 0..rts {
                 let comm = CommHandle {
-                    nic: shared.nics[node].clone(),
+                    transport: shared.transports[node].clone(),
                     tx: tx_q.clone(),
                     rel: rel_q.clone(),
                     node,
@@ -204,12 +270,12 @@ impl Cluster {
             }
             tx_queues.push(tx_q);
         }
-        Self {
+        Ok(Self {
             shared,
             tx_queues,
             rel_queues,
             service_handles,
-        }
+        })
     }
 
     /// The cluster-wide operator registry (the paper's `registerOp` lives
@@ -263,6 +329,11 @@ impl Cluster {
                 arr.subarrays[n].store(w, init(i).to_bits());
             }
         }
+        // Subarrays are WRITE targets for evictions/writebacks: register
+        // each home partition with its owner's transport.
+        for (n, transport) in self.shared.transports.iter().enumerate() {
+            transport.register_region(&arr.subarrays[n]);
+        }
         arrays.push(arr.clone());
         drop(arrays);
         GlobalArray {
@@ -302,12 +373,21 @@ impl Cluster {
         }
     }
 
-    /// Statistics of one node's runtime.
+    /// Statistics of one node's runtime, with the node's transport
+    /// byte/frame/completion counters overlaid (backend-agnostic; see
+    /// [`rdma_fabric::TransportStats`]).
     pub fn stats(&self, node: NodeId) -> NodeStatsSnapshot {
-        self.shared.stats[node].snapshot()
+        let mut snap = self.shared.stats[node].snapshot();
+        let t = self.shared.transport_stats(node);
+        snap.bytes_tx = t.bytes_tx;
+        snap.bytes_rx = t.bytes_rx;
+        snap.frames = t.frames;
+        snap.completions = t.completions;
+        snap
     }
 
-    /// Verb counters of one node's NIC.
+    /// Verb counters of one node's NIC. All-zero when the node's transport
+    /// is not backed by the simulated NIC.
     pub fn nic_stats(&self, node: NodeId) -> NicStatsSnapshot {
         self.shared.nic_stats(node)
     }
@@ -345,11 +425,16 @@ impl Cluster {
             if let Some(rel) = &self.rel_queues[node] {
                 rel.send(ctx, RelMsg::Shutdown, 0);
             }
-            // Rx threads stop on a Halt self-send through the fabric.
-            self.shared.nics[node].send(ctx, node, NetMsg::Halt, 0);
+            // Rx threads stop on a Halt self-send through the transport.
+            self.shared.transports[node].send(ctx, node, NetMsg::Halt);
         }
         for h in self.service_handles {
             h.join(ctx);
+        }
+        // Release backend resources (sockets, pump threads); a no-op for
+        // the simulated backend.
+        for transport in &self.shared.transports {
+            transport.shutdown();
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Communication layer (§3.1, §4.5): the adapter between runtime threads
-//! and the simulated RNIC.
+//! and the network, speaking only the backend-agnostic
+//! [`Transport`] trait (simulated NIC by default, real TCP sockets behind
+//! the `tcp-transport` feature — DESIGN.md §13).
 //!
-//! An **Rx thread** per node polls the NIC's receive queue and routes each
+//! An **Rx thread** per node polls the transport's receive queue and routes each
 //! protocol message to the runtime thread owning the message's chunk. **Tx
 //! threads** are optional (`ClusterConfig::tx_threads`): when enabled,
 //! runtime threads enqueue RDMA requests on the RDMA-request queue and a
@@ -61,17 +63,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use dsim::{Ctx, Mailbox, VTime};
-use rdma_fabric::{MemoryRegion, Nic, NodeId};
+use rdma_fabric::{MemoryRegion, NodeId, Transport};
 
 use crate::membership::{quorum_needed, MembershipView, PeerHealth};
 use crate::msg::{ArrayId, NetMsg, Rpc, RtMsg};
 use crate::shared::ClusterShared;
 use crate::stats::NodeStats;
-
-/// Wire size of a cumulative ack payload.
-const ACK_BYTES: u64 = 8;
-/// Wire size of a heartbeat / suspect-query / suspect-vote payload.
-const MEMBER_BYTES: u64 = 8;
 
 /// A work request on the RDMA-request queue (runtime → Tx thread).
 pub(crate) enum TxReq {
@@ -131,7 +128,7 @@ pub(crate) enum RelMsg {
 /// Handle the runtime uses to emit network traffic, hiding whether a Tx
 /// thread or the reliability agent is in between.
 pub(crate) struct CommHandle {
-    pub nic: Arc<Nic<NetMsg>>,
+    pub transport: Arc<dyn Transport<NetMsg>>,
     pub tx: Option<Mailbox<TxReq>>,
     /// Reliability agent queue; takes precedence over `tx` for remote
     /// destinations when fault mode is on.
@@ -150,10 +147,7 @@ impl CommHandle {
         }
         match &self.tx {
             Some(tx) => tx.send(ctx, TxReq::Send { dst, array, rpc }, 0),
-            None => {
-                let bytes = rpc.payload_bytes();
-                self.nic.send(ctx, dst, NetMsg::Rpc { array, rpc }, bytes);
-            }
+            None => self.transport.send(ctx, dst, NetMsg::Rpc { array, rpc }),
         }
     }
 
@@ -201,15 +195,13 @@ impl CommHandle {
                 0,
             ),
             None => {
-                let bytes = rpc.payload_bytes();
-                self.nic.rdma_write_send(
+                self.transport.write_send(
                     ctx,
                     dst,
                     region,
                     offset,
                     data,
                     NetMsg::Rpc { array, rpc },
-                    bytes,
                 );
             }
         }
@@ -217,12 +209,15 @@ impl CommHandle {
 }
 
 /// Body of a Tx thread: drain the RDMA-request queue and post verbs.
-pub(crate) fn tx_thread_main(ctx: &mut Ctx, nic: Arc<Nic<NetMsg>>, queue: Mailbox<TxReq>) {
+pub(crate) fn tx_thread_main(
+    ctx: &mut Ctx,
+    transport: Arc<dyn Transport<NetMsg>>,
+    queue: Mailbox<TxReq>,
+) {
     loop {
         match queue.recv(ctx) {
             TxReq::Send { dst, array, rpc } => {
-                let bytes = rpc.payload_bytes();
-                nic.send(ctx, dst, NetMsg::Rpc { array, rpc }, bytes);
+                transport.send(ctx, dst, NetMsg::Rpc { array, rpc });
             }
             TxReq::WriteSend {
                 dst,
@@ -232,16 +227,7 @@ pub(crate) fn tx_thread_main(ctx: &mut Ctx, nic: Arc<Nic<NetMsg>>, queue: Mailbo
                 array,
                 rpc,
             } => {
-                let bytes = rpc.payload_bytes();
-                nic.rdma_write_send(
-                    ctx,
-                    dst,
-                    &region,
-                    offset,
-                    data,
-                    NetMsg::Rpc { array, rpc },
-                    bytes,
-                );
+                transport.write_send(ctx, dst, &region, offset, data, NetMsg::Rpc { array, rpc });
             }
             TxReq::Shutdown => break,
         }
@@ -337,7 +323,7 @@ pub(crate) fn rel_thread_main(
     node: NodeId,
     queue: Mailbox<RelMsg>,
 ) {
-    let nic = shared.nics[node].clone();
+    let transport = shared.transports[node].clone();
     let fault = shared
         .cfg
         .fault
@@ -363,7 +349,7 @@ pub(crate) fn rel_thread_main(
     #[allow(clippy::too_many_arguments)]
     fn refute(
         ctx: &mut Ctx,
-        nic: &Nic<NetMsg>,
+        transport: &dyn Transport<NetMsg>,
         view: &MembershipView,
         stats: &NodeStats,
         parked: &mut VecDeque<Pending>,
@@ -379,7 +365,7 @@ pub(crate) fn rel_thread_main(
         for p in parked.iter_mut() {
             p.retries = 0;
             p.deadline = now + timeout;
-            nic.send(
+            transport.send(
                 ctx,
                 dst,
                 NetMsg::SeqRpc {
@@ -387,7 +373,6 @@ pub(crate) fn rel_thread_main(
                     array: p.array,
                     rpc: p.rpc.clone(),
                 },
-                p.rpc.payload_bytes(),
             );
             NodeStats::bump(&stats.retransmits);
         }
@@ -454,8 +439,7 @@ pub(crate) fn rel_thread_main(
                 }
                 let seq = next_seq[dst];
                 next_seq[dst] += 1;
-                let bytes = rpc.payload_bytes();
-                nic.send(
+                transport.send(
                     ctx,
                     dst,
                     NetMsg::SeqRpc {
@@ -463,7 +447,6 @@ pub(crate) fn rel_thread_main(
                         array,
                         rpc: rpc.clone(),
                     },
-                    bytes,
                 );
                 last_sent[dst] = ctx.now();
                 outstanding[dst].push_back(Pending {
@@ -491,8 +474,7 @@ pub(crate) fn rel_thread_main(
                 // with the queue, replayed on re-admission.
                 let seq = next_seq[dst];
                 next_seq[dst] += 1;
-                let bytes = rpc.payload_bytes();
-                nic.rdma_write_send(
+                transport.write_send(
                     ctx,
                     dst,
                     &region,
@@ -503,7 +485,6 @@ pub(crate) fn rel_thread_main(
                         array,
                         rpc: rpc.clone(),
                     },
-                    bytes,
                 );
                 last_sent[dst] = ctx.now();
                 outstanding[dst].push_back(Pending {
@@ -525,12 +506,7 @@ pub(crate) fn rel_thread_main(
                 // stale lease stamp survives.
                 let now = ctx.now();
                 let alive = !view.is_dead(suspect) && view.lease_fresh(suspect, now, lease_ns);
-                nic.send(
-                    ctx,
-                    from,
-                    NetMsg::SuspectVote { suspect, alive },
-                    MEMBER_BYTES,
-                );
+                transport.send(ctx, from, NetMsg::SuspectVote { suspect, alive });
                 last_sent[from] = now;
             }
             Some(RelMsg::SuspectVote {
@@ -547,7 +523,7 @@ pub(crate) fn rel_thread_main(
                     match poll_verdict(st, view, node, suspect, nodes, poll_rounds, now, lease_ns) {
                         Verdict::Refuted => refute(
                             ctx,
-                            &nic,
+                            &*transport,
                             view,
                             &stats,
                             &mut outstanding[suspect],
@@ -579,7 +555,7 @@ pub(crate) fn rel_thread_main(
                         continue;
                     }
                     if now >= *sent + heartbeat_ns {
-                        nic.send(ctx, dst, NetMsg::Heartbeat, MEMBER_BYTES);
+                        transport.send(ctx, dst, NetMsg::Heartbeat);
                         *sent = now;
                     }
                 }
@@ -617,8 +593,7 @@ pub(crate) fn rel_thread_main(
                         head.retries += 1;
                     }
                     head.deadline = now + (timeout << head.retries.min(16));
-                    let bytes = head.rpc.payload_bytes();
-                    nic.send(
+                    transport.send(
                         ctx,
                         dst,
                         NetMsg::SeqRpc {
@@ -626,7 +601,6 @@ pub(crate) fn rel_thread_main(
                             array: head.array,
                             rpc: head.rpc.clone(),
                         },
-                        bytes,
                     );
                     last_sent[dst] = now;
                     NodeStats::bump(&stats.retransmits);
@@ -642,7 +616,7 @@ pub(crate) fn rel_thread_main(
                         // (lease renewed by the Rx thread): self-refute.
                         refute(
                             ctx,
-                            &nic,
+                            &*transport,
                             view,
                             &stats,
                             &mut outstanding[dst],
@@ -657,7 +631,7 @@ pub(crate) fn rel_thread_main(
                     match poll_verdict(st, view, node, dst, nodes, poll_rounds, now, lease_ns) {
                         Verdict::Refuted => refute(
                             ctx,
-                            &nic,
+                            &*transport,
                             view,
                             &stats,
                             &mut outstanding[dst],
@@ -688,12 +662,7 @@ pub(crate) fn rel_thread_main(
                                 if view.is_dead(v) {
                                     continue;
                                 }
-                                nic.send(
-                                    ctx,
-                                    v,
-                                    NetMsg::SuspectQuery { suspect: dst },
-                                    MEMBER_BYTES,
-                                );
+                                transport.send(ctx, v, NetMsg::SuspectQuery { suspect: dst });
                                 last_sent[v] = now;
                             }
                         }
@@ -704,21 +673,20 @@ pub(crate) fn rel_thread_main(
     }
 }
 
-/// Body of the per-node Rx thread: poll the NIC and deliver RPCs to the
-/// runtime thread that owns each message's chunk. In fault mode it also
+/// Body of the per-node Rx thread: poll the transport and deliver RPCs to
+/// the runtime thread that owns each message's chunk. In fault mode it also
 /// terminates the reliable channel — in-order delivery, duplicate
 /// suppression, and cumulative acknowledgment, per source node — and is the
 /// membership view's ear: every receipt from `src` renews `src`'s lease.
 pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: NodeId) {
-    let nic = shared.nics[node].clone();
-    let rx = nic.rx();
+    let transport = shared.transports[node].clone();
     let poll_cost = shared.cfg.net.cq_poll_ns;
     let nodes = shared.cfg.nodes;
     let mut next_expected = vec![0u64; nodes];
     let mut reorder: Vec<BTreeMap<u64, (ArrayId, Rpc)>> =
         (0..nodes).map(|_| BTreeMap::new()).collect();
     loop {
-        let (src, msg) = rx.recv(ctx);
+        let (src, msg) = transport.recv(ctx);
         ctx.charge(poll_cost);
         if matches!(msg, NetMsg::Halt) {
             break;
@@ -787,13 +755,12 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
                 }
                 // Ack cumulatively on every receipt — duplicates included,
                 // since a duplicate usually means our previous ack was lost.
-                nic.send(
+                transport.send(
                     ctx,
                     src,
                     NetMsg::Ack {
                         seq: next_expected[src],
                     },
-                    ACK_BYTES,
                 );
             }
             NetMsg::Ack { seq } => {

@@ -102,6 +102,53 @@ impl FaultConfig {
     }
 }
 
+/// Which network backend carries the cluster's traffic (DESIGN.md §13).
+///
+/// The protocol machines, runtime executor and communication threads are
+/// backend-agnostic: they speak only the `rdma_fabric::Transport` trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The dsim-simulated RDMA NIC (default): deterministic virtual time,
+    /// calibrated latency/bandwidth model, fault injection.
+    #[default]
+    Sim,
+    /// Real OS TCP sockets with length-prefixed frames (one-sided WRITE
+    /// emulated as a tagged frame applied into the registered region).
+    /// Requires the `tcp-transport` cargo feature. Virtual time still
+    /// exists but no longer models the wire: latency is whatever the OS
+    /// delivers, so timings are not comparable with `Sim` runs — protocol
+    /// transition *counts* are (see the parity suite).
+    Tcp,
+}
+
+/// Knobs for the TCP transport backend. Present (and validated) regardless
+/// of the `tcp-transport` feature so that configuration handling does not
+/// change shape with the feature set.
+#[derive(Debug, Clone)]
+pub struct TcpTransportConfig {
+    /// Largest one-sided WRITE carried by one frame, in 8-byte words;
+    /// larger writes are split into consecutive frames (per-stream FIFO
+    /// keeps them ordered ahead of the notification message).
+    pub max_frame_words: usize,
+    /// Virtual nanoseconds charged per empty receive poll, standing in for
+    /// the CQ-poll cost the simulated NIC charges.
+    pub poll_ns: dsim::VTime,
+    /// Static listen addresses (`ip:port`), one per node. `None` (default)
+    /// binds ephemeral loopback ports, which cannot collide across
+    /// concurrently running clusters.
+    pub addrs: Option<Vec<String>>,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_words: 4096,
+            poll_ns: 200,
+            addrs: None,
+        }
+    }
+}
+
 /// Which application-thread data access path to use; the lock-based path is
 /// the strawman of §4.1, kept for the ablation benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +195,10 @@ pub struct ClusterConfig {
     /// Fault injection + reliable delivery; `None` (the default) keeps the
     /// original fault-free fast path bit-identically.
     pub fault: Option<FaultConfig>,
+    /// Network backend selection.
+    pub transport: TransportKind,
+    /// TCP backend knobs (used when `transport` is [`TransportKind::Tcp`]).
+    pub tcp: TcpTransportConfig,
 }
 
 impl Default for ClusterConfig {
@@ -163,6 +214,8 @@ impl Default for ClusterConfig {
             cache: CacheConfig::default(),
             grant_grace_ns: 1_000,
             fault: None,
+            transport: TransportKind::Sim,
+            tcp: TcpTransportConfig::default(),
         }
     }
 }
@@ -228,6 +281,43 @@ impl ClusterConfig {
                     heartbeat_ns: f.heartbeat_ns,
                     lease_ns: f.lease_ns,
                 });
+            }
+        }
+        if self.transport == TransportKind::Tcp {
+            if !cfg!(feature = "tcp-transport") {
+                return Err(ConfigError::TcpFeatureDisabled);
+            }
+            if self.tcp.max_frame_words == 0 {
+                return Err(ConfigError::ZeroFrameWords);
+            }
+            if self.tcp.poll_ns == 0 {
+                return Err(ConfigError::ZeroTransportPoll);
+            }
+            if let Some(addrs) = &self.tcp.addrs {
+                if addrs.len() != self.nodes {
+                    return Err(ConfigError::TransportAddrCount {
+                        expected: self.nodes,
+                        got: addrs.len(),
+                    });
+                }
+                let mut parsed: Vec<std::net::SocketAddr> = Vec::with_capacity(addrs.len());
+                for addr in addrs {
+                    let sa: std::net::SocketAddr = addr
+                        .parse()
+                        .map_err(|_| ConfigError::TransportAddrInvalid { addr: addr.clone() })?;
+                    if parsed.contains(&sa) {
+                        return Err(ConfigError::TransportAddrCollision { addr: addr.clone() });
+                    }
+                    parsed.push(sa);
+                }
+            }
+            if let Some(f) = &self.fault {
+                // The reliability channel itself is fine over TCP (it is
+                // just more traffic), but injected faults are simulated-
+                // fabric behavior and cannot be imposed on OS sockets.
+                if !f.plan.is_benign() {
+                    return Err(ConfigError::TransportFaultInjection);
+                }
             }
         }
         Ok(())
@@ -351,6 +441,79 @@ mod tests {
                 lease_ns: 500_000
             })
         );
+    }
+
+    #[test]
+    fn transport_knobs_are_validated() {
+        // Sim transport ignores the TCP knobs entirely.
+        let mut c = ClusterConfig::default();
+        c.tcp.max_frame_words = 0;
+        assert_eq!(c.try_validate(), Ok(()));
+
+        let tcp_base = || ClusterConfig {
+            nodes: 2,
+            transport: TransportKind::Tcp,
+            ..Default::default()
+        };
+
+        if !cfg!(feature = "tcp-transport") {
+            assert_eq!(
+                tcp_base().try_validate(),
+                Err(ConfigError::TcpFeatureDisabled)
+            );
+            return;
+        }
+
+        assert_eq!(tcp_base().try_validate(), Ok(()));
+
+        let mut c = tcp_base();
+        c.tcp.max_frame_words = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroFrameWords));
+
+        let mut c = tcp_base();
+        c.tcp.poll_ns = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroTransportPoll));
+
+        let mut c = tcp_base();
+        c.tcp.addrs = Some(vec!["127.0.0.1:9000".to_string()]);
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::TransportAddrCount {
+                expected: 2,
+                got: 1
+            })
+        );
+
+        let mut c = tcp_base();
+        c.tcp.addrs = Some(vec![
+            "127.0.0.1:9000".to_string(),
+            "not-an-addr".to_string(),
+        ]);
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::TransportAddrInvalid { .. })
+        ));
+
+        let mut c = tcp_base();
+        c.tcp.addrs = Some(vec![
+            "127.0.0.1:9000".to_string(),
+            "127.0.0.1:9000".to_string(),
+        ]);
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::TransportAddrCollision { .. })
+        ));
+
+        // Reliable delivery over TCP is fine with a benign plan...
+        let mut c = tcp_base();
+        c.fault = Some(FaultConfig::new(FaultPlan::new(7)));
+        assert_eq!(c.try_validate(), Ok(()));
+        // ...but injected faults belong to the simulated fabric.
+        let mut c = tcp_base();
+        let mut plan = FaultPlan::new(7);
+        plan.drop_ppm = 1_000;
+        c.fault = Some(FaultConfig::new(plan));
+        assert_eq!(c.try_validate(), Err(ConfigError::TransportFaultInjection));
     }
 
     #[test]

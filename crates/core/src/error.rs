@@ -26,8 +26,13 @@ pub enum UnavailableKind {
     ConfirmedDead,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DArrayError {
+    /// The cluster configuration was rejected before bring-up (by
+    /// `Cluster::try_new`), or transport bring-up itself failed. Carries
+    /// the structured [`ConfigError`] so callers can match on the exact
+    /// knob instead of parsing a panic message.
+    Config(ConfigError),
     /// The home node of the requested element is unavailable according to
     /// this node's membership view: a reliable RPC to it exhausted
     /// `FaultConfig::max_retries` retransmissions, and (for
@@ -54,9 +59,16 @@ pub enum DArrayError {
     },
 }
 
+impl From<ConfigError> for DArrayError {
+    fn from(e: ConfigError) -> Self {
+        DArrayError::Config(e)
+    }
+}
+
 impl fmt::Display for DArrayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            DArrayError::Config(e) => write!(f, "invalid ClusterConfig: {e}"),
             DArrayError::NodeUnavailable { node, epoch, kind } => match kind {
                 UnavailableKind::Suspected => write!(
                     f,
@@ -120,6 +132,30 @@ pub enum ConfigError {
         heartbeat_ns: dsim::VTime,
         lease_ns: dsim::VTime,
     },
+    /// `tcp.max_frame_words == 0`: every one-sided WRITE would be split
+    /// into zero-word frames forever.
+    ZeroFrameWords,
+    /// `tcp.poll_ns == 0`: the Rx thread would busy-poll the inbox without
+    /// ever advancing virtual time, starving every simulated timer.
+    ZeroTransportPoll,
+    /// The static TCP address map has the wrong number of entries.
+    TransportAddrCount { expected: usize, got: usize },
+    /// An entry in the static TCP address map is not a parseable
+    /// `ip:port` socket address.
+    TransportAddrInvalid { addr: String },
+    /// Two nodes in the static TCP address map share an address (port
+    /// collision) — both listeners cannot bind.
+    TransportAddrCollision { addr: String },
+    /// `transport` selects the TCP backend but the crate was built without
+    /// the `tcp-transport` cargo feature.
+    TcpFeatureDisabled,
+    /// `transport` selects the TCP backend together with a non-benign
+    /// `FaultPlan`: fault injection (drops, stalls, crashes, partitions)
+    /// is a property of the simulated fabric and cannot be imposed on real
+    /// OS sockets.
+    TransportFaultInjection,
+    /// Transport bring-up failed at the OS level (bind/connect/handshake).
+    TransportBringUp { message: String },
 }
 
 impl fmt::Display for ConfigError {
@@ -167,6 +203,31 @@ impl fmt::Display for ConfigError {
                 "fault.heartbeat_ns ({heartbeat_ns}) must be below fault.lease_ns \
                  ({lease_ns}) or idle leases expire between heartbeats"
             ),
+            ConfigError::ZeroFrameWords => write!(f, "tcp.max_frame_words must be nonzero"),
+            ConfigError::ZeroTransportPoll => write!(f, "tcp.poll_ns must be nonzero"),
+            ConfigError::TransportAddrCount { expected, got } => write!(
+                f,
+                "tcp.addrs must list one address per node ({expected} nodes, {got} addresses)"
+            ),
+            ConfigError::TransportAddrInvalid { addr } => {
+                write!(f, "tcp.addrs entry {addr:?} is not a valid ip:port address")
+            }
+            ConfigError::TransportAddrCollision { addr } => write!(
+                f,
+                "tcp.addrs entry {addr} is assigned to more than one node (port collision)"
+            ),
+            ConfigError::TcpFeatureDisabled => write!(
+                f,
+                "transport = Tcp requires building with the tcp-transport cargo feature"
+            ),
+            ConfigError::TransportFaultInjection => write!(
+                f,
+                "transport = Tcp cannot run a non-benign FaultPlan: fault injection \
+                 is a property of the simulated fabric"
+            ),
+            ConfigError::TransportBringUp { message } => {
+                write!(f, "transport bring-up failed: {message}")
+            }
         }
     }
 }
@@ -213,5 +274,38 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("protocol invariant violated"));
         assert!(s.contains("no registered waiter"), "diagnostic preserved");
+    }
+
+    #[test]
+    fn transport_errors_name_the_knob() {
+        assert!(ConfigError::ZeroFrameWords
+            .to_string()
+            .contains("max_frame_words"));
+        assert!(ConfigError::ZeroTransportPoll
+            .to_string()
+            .contains("poll_ns"));
+        assert!(ConfigError::TransportAddrCount {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("3 nodes"));
+        assert!(ConfigError::TransportAddrCollision {
+            addr: "127.0.0.1:9000".to_string()
+        }
+        .to_string()
+        .contains("127.0.0.1:9000"));
+        assert!(ConfigError::TcpFeatureDisabled
+            .to_string()
+            .contains("tcp-transport"));
+        assert!(ConfigError::TransportFaultInjection
+            .to_string()
+            .contains("FaultPlan"));
+        let e = DArrayError::Config(ConfigError::ZeroFrameWords);
+        assert!(e.to_string().contains("invalid ClusterConfig"));
+        assert_eq!(
+            DArrayError::from(ConfigError::ZeroFrameWords),
+            DArrayError::Config(ConfigError::ZeroFrameWords)
+        );
     }
 }

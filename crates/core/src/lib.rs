@@ -78,7 +78,8 @@ mod trace;
 pub use array::DArray;
 pub use cluster::{Cluster, GlobalArray, NodeEnv};
 pub use config::{
-    AccessPath, ArrayOptions, CacheConfig, ClusterConfig, FaultConfig, DEFAULT_CHUNK_SIZE,
+    AccessPath, ArrayOptions, CacheConfig, ClusterConfig, FaultConfig, TcpTransportConfig,
+    TransportKind, DEFAULT_CHUNK_SIZE,
 };
 pub use element::Element;
 pub use error::{ConfigError, DArrayError, UnavailableKind};
@@ -92,4 +93,9 @@ pub use stats::{NodeStats, NodeStatsSnapshot};
 
 // Re-export the substrate types callers need to configure a cluster.
 pub use dsim::{Ctx, Sim, SimBarrier, SimConfig, VTime};
-pub use rdma_fabric::{AsymmetricLoss, CostModel, FaultPlan, NetConfig, NodeId, Partition};
+pub use rdma_fabric::{
+    AsymmetricLoss, CostModel, FaultPlan, NetConfig, NodeId, Partition, SimTransport, Transport,
+    TransportStats, Wire,
+};
+#[cfg(feature = "tcp-transport")]
+pub use rdma_fabric::{TcpFabric, TcpOptions, TcpTransport};

@@ -135,6 +135,298 @@ pub(crate) enum NetMsg {
     Halt,
 }
 
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+/// Little-endian cursor for [`rdma_fabric::Wire::decode`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn lock_kind_to_u8(kind: LockKind) -> u8 {
+    match kind {
+        LockKind::Read => 0,
+        LockKind::Write => 1,
+    }
+}
+
+fn lock_kind_from_u8(b: u8) -> Option<LockKind> {
+    match b {
+        0 => Some(LockKind::Read),
+        1 => Some(LockKind::Write),
+        _ => None,
+    }
+}
+
+impl Rpc {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let put_u32 = |buf: &mut Vec<u8>, v: u32| buf.extend_from_slice(&v.to_le_bytes());
+        let put_u64 = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
+        match self {
+            Rpc::ReadReq { chunk, dst_off } => {
+                buf.push(0);
+                put_u32(buf, *chunk);
+                put_u64(buf, *dst_off);
+            }
+            Rpc::WriteReq { chunk, dst_off } => {
+                buf.push(1);
+                put_u32(buf, *chunk);
+                put_u64(buf, *dst_off);
+            }
+            Rpc::OperateReq { chunk, op } => {
+                buf.push(2);
+                put_u32(buf, *chunk);
+                put_u32(buf, *op);
+            }
+            Rpc::EvictNotice { chunk } => {
+                buf.push(3);
+                put_u32(buf, *chunk);
+            }
+            Rpc::WritebackNotice { chunk, downgrade } => {
+                buf.push(4);
+                put_u32(buf, *chunk);
+                buf.push(u8::from(*downgrade));
+            }
+            Rpc::OperandFlush { chunk, op, data } => {
+                buf.push(5);
+                put_u32(buf, *chunk);
+                put_u32(buf, *op);
+                put_u32(buf, data.len() as u32);
+                for w in data {
+                    put_u64(buf, *w);
+                }
+            }
+            Rpc::FillShared { chunk } => {
+                buf.push(6);
+                put_u32(buf, *chunk);
+            }
+            Rpc::FillExclusive { chunk } => {
+                buf.push(7);
+                put_u32(buf, *chunk);
+            }
+            Rpc::GrantOperated { chunk, op } => {
+                buf.push(8);
+                put_u32(buf, *chunk);
+                put_u32(buf, *op);
+            }
+            Rpc::InvalidateReq { chunk } => {
+                buf.push(9);
+                put_u32(buf, *chunk);
+            }
+            Rpc::InvalidateAck { chunk } => {
+                buf.push(10);
+                put_u32(buf, *chunk);
+            }
+            Rpc::RecallDirty { chunk } => {
+                buf.push(11);
+                put_u32(buf, *chunk);
+            }
+            Rpc::DowngradeDirty { chunk } => {
+                buf.push(12);
+                put_u32(buf, *chunk);
+            }
+            Rpc::RecallOperated { chunk, op } => {
+                buf.push(13);
+                put_u32(buf, *chunk);
+                put_u32(buf, *op);
+            }
+            Rpc::LockAcquire { chunk, id, kind } => {
+                buf.push(14);
+                put_u32(buf, *chunk);
+                put_u64(buf, *id);
+                buf.push(lock_kind_to_u8(*kind));
+            }
+            Rpc::LockGrant { chunk, id, kind } => {
+                buf.push(15);
+                put_u32(buf, *chunk);
+                put_u64(buf, *id);
+                buf.push(lock_kind_to_u8(*kind));
+            }
+            Rpc::LockRelease { chunk, id, kind } => {
+                buf.push(16);
+                put_u32(buf, *chunk);
+                put_u64(buf, *id);
+                buf.push(lock_kind_to_u8(*kind));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let tag = r.u8()?;
+        let chunk = r.u32()?;
+        Some(match tag {
+            0 => Rpc::ReadReq {
+                chunk,
+                dst_off: r.u64()?,
+            },
+            1 => Rpc::WriteReq {
+                chunk,
+                dst_off: r.u64()?,
+            },
+            2 => Rpc::OperateReq {
+                chunk,
+                op: r.u32()?,
+            },
+            3 => Rpc::EvictNotice { chunk },
+            4 => Rpc::WritebackNotice {
+                chunk,
+                downgrade: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+            },
+            5 => {
+                let op = r.u32()?;
+                let len = r.u32()? as usize;
+                let mut data = Vec::with_capacity(len);
+                for _ in 0..len {
+                    data.push(r.u64()?);
+                }
+                Rpc::OperandFlush { chunk, op, data }
+            }
+            6 => Rpc::FillShared { chunk },
+            7 => Rpc::FillExclusive { chunk },
+            8 => Rpc::GrantOperated {
+                chunk,
+                op: r.u32()?,
+            },
+            9 => Rpc::InvalidateReq { chunk },
+            10 => Rpc::InvalidateAck { chunk },
+            11 => Rpc::RecallDirty { chunk },
+            12 => Rpc::DowngradeDirty { chunk },
+            13 => Rpc::RecallOperated {
+                chunk,
+                op: r.u32()?,
+            },
+            14 => Rpc::LockAcquire {
+                chunk,
+                id: r.u64()?,
+                kind: lock_kind_from_u8(r.u8()?)?,
+            },
+            15 => Rpc::LockGrant {
+                chunk,
+                id: r.u64()?,
+                kind: lock_kind_from_u8(r.u8()?)?,
+            },
+            16 => Rpc::LockRelease {
+                chunk,
+                id: r.u64()?,
+                kind: lock_kind_from_u8(r.u8()?)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl rdma_fabric::Wire for NetMsg {
+    /// Logical payload size. The values are exactly what the pre-trait
+    /// `comm.rs` passed at each simulated send call site
+    /// (`rpc.payload_bytes()` for RPCs, 8 for acks and membership messages,
+    /// 0 for `Halt`), so the simulated backend charges the virtual wire
+    /// identically.
+    fn payload_bytes(&self) -> u64 {
+        match self {
+            NetMsg::Rpc { rpc, .. } | NetMsg::SeqRpc { rpc, .. } => rpc.payload_bytes(),
+            NetMsg::Ack { .. } => 8,
+            NetMsg::Heartbeat | NetMsg::SuspectQuery { .. } | NetMsg::SuspectVote { .. } => 8,
+            NetMsg::Halt => 0,
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            NetMsg::Rpc { array, rpc } => {
+                buf.push(0);
+                buf.extend_from_slice(&array.to_le_bytes());
+                rpc.encode(buf);
+            }
+            NetMsg::SeqRpc { seq, array, rpc } => {
+                buf.push(1);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&array.to_le_bytes());
+                rpc.encode(buf);
+            }
+            NetMsg::Ack { seq } => {
+                buf.push(2);
+                buf.extend_from_slice(&seq.to_le_bytes());
+            }
+            NetMsg::Heartbeat => buf.push(3),
+            NetMsg::SuspectQuery { suspect } => {
+                buf.push(4);
+                buf.extend_from_slice(&(*suspect as u32).to_le_bytes());
+            }
+            NetMsg::SuspectVote { suspect, alive } => {
+                buf.push(5);
+                buf.extend_from_slice(&(*suspect as u32).to_le_bytes());
+                buf.push(u8::from(*alive));
+            }
+            NetMsg::Halt => buf.push(6),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8()? {
+            0 => NetMsg::Rpc {
+                array: r.u32()?,
+                rpc: Rpc::decode(&mut r)?,
+            },
+            1 => NetMsg::SeqRpc {
+                seq: r.u64()?,
+                array: r.u32()?,
+                rpc: Rpc::decode(&mut r)?,
+            },
+            2 => NetMsg::Ack { seq: r.u64()? },
+            3 => NetMsg::Heartbeat,
+            4 => NetMsg::SuspectQuery {
+                suspect: r.u32()? as NodeId,
+            },
+            5 => NetMsg::SuspectVote {
+                suspect: r.u32()? as NodeId,
+                alive: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+            },
+            6 => NetMsg::Halt,
+            _ => return None,
+        };
+        r.done().then_some(msg)
+    }
+}
+
 /// Requests an application thread submits to its runtime via the
 /// local-request queue (Figure 2).
 #[derive(Debug, Clone)]
@@ -257,6 +549,133 @@ mod tests {
         };
         assert_eq!(m.payload_bytes(), 16 + 4096);
         assert_eq!(Rpc::FillShared { chunk: 0 }.payload_bytes(), 16);
+    }
+
+    #[test]
+    fn wire_roundtrip_covers_every_message() {
+        use rdma_fabric::Wire;
+        let rpcs = [
+            Rpc::ReadReq {
+                chunk: 3,
+                dst_off: 1 << 40,
+            },
+            Rpc::WriteReq {
+                chunk: 4,
+                dst_off: 7,
+            },
+            Rpc::OperateReq { chunk: 5, op: 2 },
+            Rpc::EvictNotice { chunk: 6 },
+            Rpc::WritebackNotice {
+                chunk: 7,
+                downgrade: true,
+            },
+            Rpc::OperandFlush {
+                chunk: 8,
+                op: 1,
+                data: vec![u64::MAX, 0, 42],
+            },
+            Rpc::OperandFlush {
+                chunk: 8,
+                op: 1,
+                data: vec![],
+            },
+            Rpc::FillShared { chunk: 9 },
+            Rpc::FillExclusive { chunk: 10 },
+            Rpc::GrantOperated { chunk: 11, op: 3 },
+            Rpc::InvalidateReq { chunk: 12 },
+            Rpc::InvalidateAck { chunk: 13 },
+            Rpc::RecallDirty { chunk: 14 },
+            Rpc::DowngradeDirty { chunk: 15 },
+            Rpc::RecallOperated { chunk: 16, op: 4 },
+            Rpc::LockAcquire {
+                chunk: 17,
+                id: 99,
+                kind: LockKind::Read,
+            },
+            Rpc::LockGrant {
+                chunk: 18,
+                id: 100,
+                kind: LockKind::Write,
+            },
+            Rpc::LockRelease {
+                chunk: 19,
+                id: 101,
+                kind: LockKind::Read,
+            },
+        ];
+        let mut msgs: Vec<NetMsg> = Vec::new();
+        for rpc in rpcs {
+            msgs.push(NetMsg::Rpc {
+                array: 2,
+                rpc: rpc.clone(),
+            });
+            msgs.push(NetMsg::SeqRpc {
+                seq: u64::MAX - 1,
+                array: 3,
+                rpc,
+            });
+        }
+        msgs.push(NetMsg::Ack { seq: 12345 });
+        msgs.push(NetMsg::Heartbeat);
+        msgs.push(NetMsg::SuspectQuery { suspect: 2 });
+        msgs.push(NetMsg::SuspectVote {
+            suspect: 1,
+            alive: true,
+        });
+        msgs.push(NetMsg::Halt);
+        for msg in msgs {
+            let mut buf = Vec::new();
+            msg.encode(&mut buf);
+            let back = NetMsg::decode(&buf).expect("decode");
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+        // Truncated and trailing-garbage inputs must fail, not panic.
+        let mut buf = Vec::new();
+        NetMsg::Ack { seq: 7 }.encode(&mut buf);
+        assert!(NetMsg::decode(&buf[..buf.len() - 1]).is_none());
+        buf.push(0);
+        assert!(NetMsg::decode(&buf).is_none());
+        assert!(NetMsg::decode(&[]).is_none());
+        assert!(NetMsg::decode(&[250]).is_none());
+    }
+
+    #[test]
+    fn wire_payload_bytes_match_pre_trait_call_sites() {
+        use rdma_fabric::Wire;
+        let rpc = Rpc::FillShared { chunk: 0 };
+        assert_eq!(
+            NetMsg::Rpc {
+                array: 0,
+                rpc: rpc.clone()
+            }
+            .payload_bytes(),
+            16
+        );
+        assert_eq!(
+            NetMsg::SeqRpc {
+                seq: 0,
+                array: 0,
+                rpc: Rpc::OperandFlush {
+                    chunk: 0,
+                    op: 0,
+                    data: vec![0; 4]
+                }
+            }
+            .payload_bytes(),
+            16 + 32
+        );
+        assert_eq!(NetMsg::Ack { seq: 0 }.payload_bytes(), 8);
+        assert_eq!(NetMsg::Heartbeat.payload_bytes(), 8);
+        assert_eq!(NetMsg::SuspectQuery { suspect: 0 }.payload_bytes(), 8);
+        assert_eq!(
+            NetMsg::SuspectVote {
+                suspect: 0,
+                alive: false
+            }
+            .payload_bytes(),
+            8
+        );
+        assert_eq!(NetMsg::Halt.payload_bytes(), 0);
     }
 
     #[test]

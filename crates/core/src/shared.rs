@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use dsim::{Mailbox, WaitCell};
 use parking_lot::{Mutex, RwLock};
-use rdma_fabric::{MemoryRegion, NicStatsSnapshot, NodeId};
+use rdma_fabric::{MemoryRegion, NicStatsSnapshot, NodeId, Transport, TransportStats};
 
 use crate::cache::CacheRegion;
 use crate::comm::RelMsg;
@@ -94,7 +94,9 @@ impl ArrayShared {
 pub(crate) struct ClusterShared {
     pub cfg: ClusterConfig,
     pub registry: Arc<OpRegistry>,
-    pub nics: Vec<Arc<rdma_fabric::Nic<NetMsg>>>,
+    /// Per-node network endpoint, behind the backend-agnostic transport
+    /// trait (simulated NIC or real sockets — DESIGN.md §13).
+    pub transports: Vec<Arc<dyn Transport<NetMsg>>>,
     pub arrays: RwLock<Vec<Arc<ArrayShared>>>,
     /// Per-node cache data region (all runtime threads' lines).
     pub cache_regions: Vec<MemoryRegion>,
@@ -162,9 +164,17 @@ impl ClusterShared {
         &self.rt_mailboxes[node][self.rt_index(chunk)]
     }
 
-    /// NIC statistics of a node (re-exported for benchmarks).
+    /// Raw simulated-NIC statistics of a node (re-exported for benchmarks).
+    /// All-zero when the node's transport is not backed by the simulated
+    /// NIC; use [`ClusterShared::transport_stats`] for backend-agnostic
+    /// counters.
     pub(crate) fn nic_stats(&self, node: NodeId) -> NicStatsSnapshot {
-        self.nics[node].stats()
+        self.transports[node].nic_stats().unwrap_or_default()
+    }
+
+    /// Backend-agnostic transport counters of a node.
+    pub(crate) fn transport_stats(&self, node: NodeId) -> TransportStats {
+        self.transports[node].stats()
     }
 
     /// Has `me`'s membership view confirmed `peer` dead? Suspected peers

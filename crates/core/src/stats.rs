@@ -103,6 +103,16 @@ pub struct NodeStatsSnapshot {
     pub refutations: u64,
     pub confirmed_deaths: u64,
     pub membership_epoch: u64,
+    /// Bytes this node's transport handed to the wire (payload plus backend
+    /// framing). Filled in by `Cluster::stats` from the transport backend;
+    /// always zero in a bare [`NodeStats::snapshot`].
+    pub bytes_tx: u64,
+    /// Bytes this node's transport received from the wire.
+    pub bytes_rx: u64,
+    /// Frames (SENDs plus one-sided WRITEs) this node's transport posted.
+    pub frames: u64,
+    /// Completion events the transport observed for posted work.
+    pub completions: u64,
 }
 
 impl NodeStats {
@@ -147,6 +157,12 @@ impl NodeStats {
             refutations: self.refutations.load(Ordering::Relaxed),
             confirmed_deaths: self.confirmed_deaths.load(Ordering::Relaxed),
             membership_epoch: self.membership_epoch.load(Ordering::Relaxed),
+            // Transport counters live in the backend, not in NodeStats;
+            // `Cluster::stats` overlays them onto the snapshot.
+            bytes_tx: 0,
+            bytes_rx: 0,
+            frames: 0,
+            completions: 0,
         }
     }
 }

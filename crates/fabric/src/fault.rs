@@ -160,6 +160,18 @@ impl FaultPlan {
         }
     }
 
+    /// True when the plan injects no faults at all (a bare seed). Only a
+    /// benign plan can run over a real transport backend: fault injection
+    /// is a property of the simulated fabric, not of OS sockets.
+    pub fn is_benign(&self) -> bool {
+        self.jitter_ns == 0
+            && self.drop_ppm == 0
+            && self.stall_ppm == 0
+            && self.crash_at.is_empty()
+            && self.partitions.is_empty()
+            && self.asym_loss.is_empty()
+    }
+
     /// Crash time of `node` under this plan, if any.
     pub fn crash_time_of(&self, node: NodeId) -> Option<VTime> {
         self.crash_at

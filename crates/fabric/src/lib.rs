@@ -28,12 +28,18 @@ mod fabric;
 mod fault;
 mod net;
 mod region;
+#[cfg(feature = "tcp-transport")]
+mod tcp;
+mod transport;
 
 pub use cost::CostModel;
 pub use fabric::{Fabric, Nic, NicStats, NicStatsSnapshot};
 pub use fault::{AsymmetricLoss, FaultPlan, Partition};
 pub use net::NetConfig;
 pub use region::MemoryRegion;
+#[cfg(feature = "tcp-transport")]
+pub use tcp::{TcpFabric, TcpOptions, TcpTransport};
+pub use transport::{SimTransport, Transport, TransportStats, Wire};
 
 /// Node identifier within a fabric (0-based, dense).
 pub type NodeId = usize;

@@ -82,6 +82,15 @@ impl MemoryRegion {
             self.words[offset + i].store(val, Ordering::Release);
         }
     }
+
+    /// Stable identity token for this registration: two `MemoryRegion`
+    /// handles share a token iff they are clones of the same allocation.
+    /// Transport backends use this to key their region tables (the moral
+    /// equivalent of an rkey).
+    #[inline]
+    pub fn region_token(&self) -> usize {
+        Arc::as_ptr(&self.words) as *const AtomicU64 as usize
+    }
 }
 
 impl std::fmt::Debug for MemoryRegion {
@@ -134,5 +143,14 @@ mod tests {
     fn out_of_bounds_panics() {
         let r = MemoryRegion::new(2);
         r.load(2);
+    }
+
+    #[test]
+    fn region_token_tracks_allocation_identity() {
+        let a = MemoryRegion::new(4);
+        let b = a.clone();
+        let c = MemoryRegion::new(4);
+        assert_eq!(a.region_token(), b.region_token());
+        assert_ne!(a.region_token(), c.region_token());
     }
 }

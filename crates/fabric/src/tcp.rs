@@ -1,0 +1,537 @@
+//! Real-sockets transport backend (`tcp-transport` feature).
+//!
+//! [`TcpFabric`] brings up a full mesh of `std::net::TcpStream` connections
+//! (loopback ephemeral ports by default, or a static address map) and hands
+//! out one [`TcpTransport`] per node. Framing is length-prefixed:
+//!
+//! ```text
+//! [u32 len (LE)] [u8 kind] [body]
+//! ```
+//!
+//! with three frame kinds: `HELLO` (connection handshake, carries the
+//! connecting node id), `MSG` (a [`Wire`]-encoded protocol message), and
+//! `WRITE` (one-sided WRITE emulation: region id + word offset + data
+//! words, applied into the registered [`MemoryRegion`] by the receive pump
+//! before any later `MSG` on the same stream is delivered — preserving the
+//! RDMA "data lands before the notification" contract that
+//! [`Transport::write_send`] promises).
+//!
+//! Threading model: socket *reads* happen on plain OS pump threads (one per
+//! incoming link) that block in `read_exact` and feed a per-node inbox
+//! queue; simulated threads never issue a blocking syscall while holding
+//! the dsim token. [`TcpTransport::recv`] polls the inbox and advances
+//! virtual time via `Ctx::spin_hint` between polls, so wall-clock waits
+//! appear as busy-poll time on the virtual clock. Socket *writes* are
+//! issued directly from simulated threads (serialized per stream by a
+//! mutex); large WRITEs are split into `max_frame_words`-sized frames,
+//! which per-stream FIFO keeps ordered.
+//!
+//! Region addressing: every transport of one fabric shares a region table
+//! keyed by [`MemoryRegion::region_token`], the moral equivalent of an
+//! exchanged rkey. In-process meshes (this PR's scope) agree on ids by
+//! construction; a cross-process mesh would exchange the table during the
+//! HELLO handshake, which is deliberately left to the ibverbs follow-up.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dsim::Ctx;
+use parking_lot::Mutex;
+
+use crate::region::MemoryRegion;
+use crate::transport::{Transport, TransportStats, Wire};
+use crate::NodeId;
+
+const FRAME_HELLO: u8 = 0;
+const FRAME_MSG: u8 = 1;
+const FRAME_WRITE: u8 = 2;
+
+/// Knobs for [`TcpFabric`] bring-up.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Largest one-sided WRITE carried by a single frame; bigger writes are
+    /// split into consecutive frames (per-stream FIFO keeps them ordered).
+    pub max_frame_words: usize,
+    /// Virtual nanoseconds charged per empty inbox poll in
+    /// [`TcpTransport::recv`]; models receive-side CQ polling.
+    pub poll_ns: u64,
+    /// Static listen addresses, one per node. `None` binds ephemeral
+    /// loopback ports (the right default for in-process tests, immune to
+    /// port collisions between parallel test binaries).
+    pub addrs: Option<Vec<SocketAddr>>,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            max_frame_words: 4096,
+            poll_ns: 200,
+            addrs: None,
+        }
+    }
+}
+
+/// Registered-region table shared by every endpoint of one fabric.
+#[derive(Default)]
+struct RegionTable {
+    inner: Mutex<Vec<MemoryRegion>>,
+}
+
+impl RegionTable {
+    fn register(&self, region: &MemoryRegion) {
+        let mut v = self.inner.lock();
+        if !v.iter().any(|r| r.region_token() == region.region_token()) {
+            v.push(region.clone());
+        }
+    }
+
+    fn id_of(&self, region: &MemoryRegion) -> Option<u32> {
+        self.inner
+            .lock()
+            .iter()
+            .position(|r| r.region_token() == region.region_token())
+            .map(|i| i as u32)
+    }
+
+    fn get(&self, id: u32) -> Option<MemoryRegion> {
+        self.inner.lock().get(id as usize).cloned()
+    }
+}
+
+#[derive(Default)]
+struct TcpCounters {
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    frames: AtomicU64,
+    completions: AtomicU64,
+}
+
+/// One node's endpoint in a [`TcpFabric`] mesh.
+pub struct TcpTransport<M: Wire> {
+    node: NodeId,
+    max_frame_words: usize,
+    poll_ns: u64,
+    /// Write halves, indexed by peer; `None` for self.
+    peers: Vec<Option<Mutex<TcpStream>>>,
+    inbox: Arc<Mutex<VecDeque<(NodeId, M)>>>,
+    regions: Arc<RegionTable>,
+    counters: Arc<TcpCounters>,
+    pumps: Mutex<Vec<JoinHandle<()>>>,
+    down: AtomicBool,
+}
+
+fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> io::Result<()> {
+    let len = (body.len() + 1) as u32;
+    let mut frame = Vec::with_capacity(5 + body.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)
+}
+
+fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Receive pump for one incoming link: blocking OS reads, never a sim
+/// thread. WRITE frames are applied into the registered region *before*
+/// the following MSG frame is queued, preserving data-before-notification.
+fn pump<M: Wire>(
+    peer: NodeId,
+    mut stream: TcpStream,
+    inbox: Arc<Mutex<VecDeque<(NodeId, M)>>>,
+    regions: Arc<RegionTable>,
+    counters: Arc<TcpCounters>,
+) {
+    loop {
+        let Ok(buf) = read_frame(&mut stream) else {
+            return; // peer closed or local shutdown
+        };
+        counters
+            .bytes_rx
+            .fetch_add(4 + buf.len() as u64, Ordering::Relaxed);
+        match buf[0] {
+            FRAME_MSG => {
+                let Some(msg) = M::decode(&buf[1..]) else {
+                    return;
+                };
+                inbox.lock().push_back((peer, msg));
+            }
+            FRAME_WRITE => {
+                if buf.len() < 13 || (buf.len() - 13) % 8 != 0 {
+                    return;
+                }
+                let rid = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+                let offset = u64::from_le_bytes(buf[5..13].try_into().unwrap()) as usize;
+                let words: Vec<u64> = buf[13..]
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                let Some(region) = regions.get(rid) else {
+                    return;
+                };
+                region.write_slice(offset, &words);
+            }
+            _ => return,
+        }
+    }
+}
+
+impl<M: Wire> TcpTransport<M> {
+    fn deliver_local(&self, msg: M) {
+        let mut body = Vec::new();
+        msg.encode(&mut body);
+        let frame_bytes = 5 + body.len() as u64;
+        self.counters
+            .bytes_tx
+            .fetch_add(frame_bytes, Ordering::Relaxed);
+        self.counters
+            .bytes_rx
+            .fetch_add(frame_bytes, Ordering::Relaxed);
+        self.counters.frames.fetch_add(1, Ordering::Relaxed);
+        self.counters.completions.fetch_add(1, Ordering::Relaxed);
+        self.inbox.lock().push_back((self.node, msg));
+    }
+
+    fn post(&self, dst: NodeId, buf: &[u8], frames: u64) {
+        let mut stream = self.peers[dst]
+            .as_ref()
+            .expect("tcp transport: no link to peer")
+            .lock();
+        if let Err(e) = stream.write_all(buf) {
+            if self.down.load(Ordering::SeqCst) {
+                return;
+            }
+            panic!(
+                "tcp transport: send from node {} to node {} failed: {e}",
+                self.node, dst
+            );
+        }
+        self.counters
+            .bytes_tx
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.counters.frames.fetch_add(frames, Ordering::Relaxed);
+        self.counters
+            .completions
+            .fetch_add(frames, Ordering::Relaxed);
+    }
+}
+
+impl<M: Wire> Transport<M> for TcpTransport<M> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn register_region(&self, region: &MemoryRegion) {
+        self.regions.register(region);
+    }
+
+    fn send(&self, _ctx: &mut Ctx, dst: NodeId, msg: M) {
+        if dst == self.node {
+            self.deliver_local(msg);
+            return;
+        }
+        let mut body = Vec::new();
+        msg.encode(&mut body);
+        let mut frame = Vec::with_capacity(5 + body.len());
+        frame.extend_from_slice(&((body.len() + 1) as u32).to_le_bytes());
+        frame.push(FRAME_MSG);
+        frame.extend_from_slice(&body);
+        self.post(dst, &frame, 1);
+    }
+
+    fn write_send(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+        msg: M,
+    ) {
+        if dst == self.node {
+            region.write_slice(offset, &data);
+            self.counters.frames.fetch_add(1, Ordering::Relaxed);
+            self.counters.completions.fetch_add(1, Ordering::Relaxed);
+            self.deliver_local(msg);
+            return;
+        }
+        let rid = self
+            .regions
+            .id_of(region)
+            .expect("tcp transport: write_send to unregistered region");
+        let mut buf = Vec::with_capacity(data.len() * 8 + 64);
+        let mut nframes = 0u64;
+        let mut chunk_off = offset;
+        for part in data.chunks(self.max_frame_words.max(1)) {
+            let len = (1 + 4 + 8 + part.len() * 8) as u32;
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.push(FRAME_WRITE);
+            buf.extend_from_slice(&rid.to_le_bytes());
+            buf.extend_from_slice(&(chunk_off as u64).to_le_bytes());
+            for w in part {
+                buf.extend_from_slice(&w.to_le_bytes());
+            }
+            chunk_off += part.len();
+            nframes += 1;
+        }
+        let mut body = Vec::new();
+        msg.encode(&mut body);
+        buf.extend_from_slice(&((body.len() + 1) as u32).to_le_bytes());
+        buf.push(FRAME_MSG);
+        buf.extend_from_slice(&body);
+        nframes += 1;
+        // One write_all for the whole WRITE+MSG train: per-stream FIFO makes
+        // the data land before the notification, as on an RC queue pair.
+        self.post(dst, &buf, nframes);
+        let _ = ctx;
+    }
+
+    fn recv(&self, ctx: &mut Ctx) -> (NodeId, M) {
+        loop {
+            if let Some(item) = self.inbox.lock().pop_front() {
+                return item;
+            }
+            ctx.spin_hint(self.poll_ns);
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            bytes_tx: self.counters.bytes_tx.load(Ordering::Relaxed),
+            bytes_rx: self.counters.bytes_rx.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            completions: self.counters.completions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for peer in self.peers.iter().flatten() {
+            let _ = peer.lock().shutdown(Shutdown::Both);
+        }
+        let pumps = std::mem::take(&mut *self.pumps.lock());
+        for h in pumps {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M: Wire> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        Transport::<M>::shutdown(self);
+    }
+}
+
+/// A full mesh of TCP connections between `nodes` in-process endpoints.
+pub struct TcpFabric<M: Wire> {
+    transports: Vec<Arc<TcpTransport<M>>>,
+}
+
+fn read_hello(stream: &mut TcpStream) -> io::Result<NodeId> {
+    let buf = read_frame(stream)?;
+    if buf.len() != 5 || buf[0] != FRAME_HELLO {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad hello"));
+    }
+    Ok(u32::from_le_bytes(buf[1..5].try_into().unwrap()) as NodeId)
+}
+
+impl<M: Wire> TcpFabric<M> {
+    /// Bind listeners, connect the full mesh, and start the receive pumps.
+    ///
+    /// Connection plan: node `i` dials every higher-numbered peer and
+    /// announces itself with a HELLO frame; node `j`'s listener therefore
+    /// accepts exactly `j` connections. All sockets are connected before
+    /// any transport is handed out, so no sim thread ever blocks on
+    /// connection establishment.
+    pub fn new(nodes: usize, opts: TcpOptions) -> io::Result<Self> {
+        assert!(nodes > 0, "tcp fabric needs at least one node");
+        if let Some(addrs) = &opts.addrs {
+            assert_eq!(addrs.len(), nodes, "one listen address per node");
+        }
+        let mut listeners = Vec::with_capacity(nodes);
+        let mut addrs = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let bind_addr = match &opts.addrs {
+                Some(a) => a[i],
+                None => "127.0.0.1:0".parse().unwrap(),
+            };
+            let listener = TcpListener::bind(bind_addr)?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+
+        let mut accept_handles = Vec::with_capacity(nodes);
+        for (j, listener) in listeners.into_iter().enumerate() {
+            accept_handles.push(std::thread::spawn(
+                move || -> io::Result<Vec<(NodeId, TcpStream)>> {
+                    let mut conns = Vec::with_capacity(j);
+                    for _ in 0..j {
+                        let (mut stream, _) = listener.accept()?;
+                        stream.set_nodelay(true)?;
+                        let peer = read_hello(&mut stream)?;
+                        conns.push((peer, stream));
+                    }
+                    Ok(conns)
+                },
+            ));
+        }
+
+        let mut endpoints: Vec<Vec<Option<TcpStream>>> = (0..nodes)
+            .map(|_| (0..nodes).map(|_| None).collect())
+            .collect();
+        for (i, row) in endpoints.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+                let mut stream = TcpStream::connect(addrs[j])?;
+                stream.set_nodelay(true)?;
+                write_frame(&mut stream, FRAME_HELLO, &(i as u32).to_le_bytes())?;
+                *slot = Some(stream);
+            }
+        }
+        for (j, handle) in accept_handles.into_iter().enumerate() {
+            let conns = handle
+                .join()
+                .map_err(|_| io::Error::other("accept thread panicked"))??;
+            for (peer, stream) in conns {
+                if peer >= nodes || endpoints[j][peer].is_some() {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "bad peer id"));
+                }
+                endpoints[j][peer] = Some(stream);
+            }
+        }
+
+        let regions = Arc::new(RegionTable::default());
+        let mut transports = Vec::with_capacity(nodes);
+        for (i, node_endpoints) in endpoints.into_iter().enumerate() {
+            let inbox = Arc::new(Mutex::new(VecDeque::new()));
+            let counters = Arc::new(TcpCounters::default());
+            let mut peers = Vec::with_capacity(nodes);
+            let mut pumps = Vec::with_capacity(nodes.saturating_sub(1));
+            for (peer, endpoint) in node_endpoints.into_iter().enumerate() {
+                match endpoint {
+                    Some(stream) => {
+                        let reader = stream.try_clone()?;
+                        let inbox = inbox.clone();
+                        let regions = regions.clone();
+                        let counters = counters.clone();
+                        pumps.push(std::thread::spawn(move || {
+                            pump::<M>(peer, reader, inbox, regions, counters);
+                        }));
+                        peers.push(Some(Mutex::new(stream)));
+                    }
+                    None => peers.push(None),
+                }
+            }
+            transports.push(Arc::new(TcpTransport {
+                node: i,
+                max_frame_words: opts.max_frame_words,
+                poll_ns: opts.poll_ns,
+                peers,
+                inbox,
+                regions: regions.clone(),
+                counters,
+                pumps: Mutex::new(pumps),
+                down: AtomicBool::new(false),
+            }));
+        }
+        Ok(Self { transports })
+    }
+
+    /// The endpoint belonging to `node`.
+    pub fn transport(&self, node: NodeId) -> Arc<TcpTransport<M>> {
+        self.transports[node].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Ping(u64);
+
+    impl Wire for Ping {
+        fn payload_bytes(&self) -> u64 {
+            8
+        }
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0.to_le_bytes());
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            Some(Ping(u64::from_le_bytes(bytes.try_into().ok()?)))
+        }
+    }
+
+    #[test]
+    fn tcp_send_recv_roundtrip() {
+        dsim::Sim::new(dsim::SimConfig::default()).run(|ctx| {
+            let fabric = TcpFabric::<Ping>::new(2, TcpOptions::default()).unwrap();
+            let a = fabric.transport(0);
+            let b = fabric.transport(1);
+            a.send(ctx, 1, Ping(11));
+            b.send(ctx, 0, Ping(22));
+            let (src, msg) = b.recv(ctx);
+            assert_eq!((src, msg), (0, Ping(11)));
+            let (src, msg) = a.recv(ctx);
+            assert_eq!((src, msg), (1, Ping(22)));
+            let s = a.stats();
+            assert!(s.bytes_tx > 0 && s.bytes_rx > 0);
+            assert_eq!(s.frames, 1);
+            assert!(Transport::<Ping>::nic_stats(&*a).is_none());
+            a.shutdown();
+            b.shutdown();
+            a.shutdown(); // idempotent
+        });
+    }
+
+    #[test]
+    fn tcp_write_send_applies_data_before_notification() {
+        dsim::Sim::new(dsim::SimConfig::default()).run(|ctx| {
+            let fabric = TcpFabric::<Ping>::new(
+                2,
+                TcpOptions {
+                    max_frame_words: 3, // force splitting across frames
+                    ..TcpOptions::default()
+                },
+            )
+            .unwrap();
+            let a = fabric.transport(0);
+            let b = fabric.transport(1);
+            let region = MemoryRegion::new(16);
+            b.register_region(&region);
+            let data: Vec<u64> = (1..=10).collect();
+            a.write_send(ctx, 1, &region, 4, data.clone(), Ping(99));
+            let (_, msg) = b.recv(ctx);
+            assert_eq!(msg, Ping(99));
+            assert_eq!(region.read_vec(4, 10), data);
+            a.shutdown();
+            b.shutdown();
+        });
+    }
+
+    #[test]
+    fn tcp_self_send_short_circuits() {
+        dsim::Sim::new(dsim::SimConfig::default()).run(|ctx| {
+            let fabric = TcpFabric::<Ping>::new(1, TcpOptions::default()).unwrap();
+            let t = fabric.transport(0);
+            t.send(ctx, 0, Ping(5));
+            let (src, msg) = t.recv(ctx);
+            assert_eq!((src, msg), (0, Ping(5)));
+            t.shutdown();
+        });
+    }
+}

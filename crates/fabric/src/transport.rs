@@ -1,0 +1,243 @@
+//! Pluggable transport abstraction over the fabric.
+//!
+//! The coherence runtime in `crates/core` speaks to the network through the
+//! [`Transport`] trait only: memory registration, one-sided WRITE+notify,
+//! two-sided SEND/RECV, completion/byte accounting, and node addressing.
+//! Backends implement the trait; the protocol machines never see which one
+//! is underneath.
+//!
+//! Two backends exist today:
+//!
+//! - [`SimTransport`] — the default. A zero-cost veneer over the dsim
+//!   [`Nic`]: every call delegates verbatim to the simulated verb with the
+//!   byte count taken from [`Wire::payload_bytes`], so virtual-time behaviour
+//!   is bit-identical to the pre-trait code.
+//! - `TcpTransport` (behind the `tcp-transport` cargo feature) — real OS
+//!   sockets with length-prefixed frames; one-sided WRITE is emulated as a
+//!   tagged frame applied into the registered region by the receive pump.
+//!
+//! A future ibverbs backend is one more impl of this trait.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsim::{Ctx, Mailbox};
+
+use crate::fabric::{Nic, NicStatsSnapshot};
+use crate::region::MemoryRegion;
+use crate::NodeId;
+
+/// A message type that can travel over any transport backend.
+///
+/// Simulated backends only need [`Wire::payload_bytes`] (to charge the
+/// virtual wire); real backends additionally use the byte codec. `decode`
+/// must accept exactly what `encode` produced (round-trip identity).
+pub trait Wire: Clone + Send + Sync + std::fmt::Debug + 'static {
+    /// Logical payload size in bytes, as charged to the (possibly
+    /// simulated) wire. Headers are added by the backend.
+    fn payload_bytes(&self) -> u64;
+
+    /// Append the serialized form of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Parse a message from `bytes`. Returns `None` on malformed input.
+    fn decode(bytes: &[u8]) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+/// Byte and completion counters common to every backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Bytes handed to the wire (payload + backend framing/headers).
+    pub bytes_tx: u64,
+    /// Bytes received from the wire (payload + backend framing/headers).
+    pub bytes_rx: u64,
+    /// Frames (SENDs plus WRITEs) posted by this endpoint.
+    pub frames: u64,
+    /// Completion events observed for posted work (selective signaling on
+    /// the simulated NIC; per-frame flush acknowledgements on TCP).
+    pub completions: u64,
+}
+
+/// Backend-agnostic network endpoint for one node.
+///
+/// The contract the coherence runtime relies on:
+///
+/// - **Per-link FIFO**: messages (and WRITE data) from node A to node B are
+///   delivered in post order.
+/// - **Data before notification**: after `write_send`, the region contents
+///   are visible to the destination no later than the paired message.
+/// - `recv` blocks (in virtual time) until a message arrives.
+pub trait Transport<M: Wire>: Send + Sync {
+    /// The node this endpoint belongs to.
+    fn node(&self) -> NodeId;
+
+    /// Make `region` addressable by incoming one-sided WRITEs. Idempotent.
+    /// Backends with a global address space (the simulator) may no-op.
+    fn register_region(&self, region: &MemoryRegion);
+
+    /// Two-sided SEND: deliver `msg` into `dst`'s receive queue.
+    fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: M);
+
+    /// One-sided WRITE of `data` into `dst`'s `region` at word `offset`,
+    /// followed by `msg` on the same ordered channel (data lands first).
+    fn write_send(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+        msg: M,
+    );
+
+    /// Block until the next message arrives; returns `(source, message)`.
+    fn recv(&self, ctx: &mut Ctx) -> (NodeId, M);
+
+    /// Byte/frame/completion counters for this endpoint.
+    fn stats(&self) -> TransportStats;
+
+    /// Raw simulated-NIC counters, when this endpoint is backed by one.
+    /// Real backends return `None`.
+    fn nic_stats(&self) -> Option<NicStatsSnapshot> {
+        None
+    }
+
+    /// Tear down backend resources (sockets, pump threads). Idempotent;
+    /// the simulated backend has nothing to release.
+    fn shutdown(&self) {}
+}
+
+/// Default backend: delegates every verb to the dsim [`Nic`].
+///
+/// Each call maps 1:1 onto the pre-trait call site — same verb, same order,
+/// byte counts from [`Wire::payload_bytes`] — so simulated timing and
+/// protocol traffic are bit-identical to the fabric-coupled code this
+/// abstraction replaced.
+pub struct SimTransport<M: Send + 'static> {
+    nic: Arc<Nic<M>>,
+    rx: Mailbox<(NodeId, M)>,
+    bytes_rx: AtomicU64,
+    frames_rx: AtomicU64,
+}
+
+impl<M: Send + 'static> SimTransport<M> {
+    /// Wrap one node's simulated NIC.
+    pub fn new(nic: Arc<Nic<M>>) -> Self {
+        let rx = nic.rx();
+        Self {
+            nic,
+            rx,
+            bytes_rx: AtomicU64::new(0),
+            frames_rx: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<M: Wire> Transport<M> for SimTransport<M> {
+    fn node(&self) -> NodeId {
+        self.nic.node()
+    }
+
+    fn register_region(&self, _region: &MemoryRegion) {
+        // The simulator addresses regions directly; nothing to register.
+    }
+
+    fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: M) {
+        let bytes = msg.payload_bytes();
+        self.nic.send(ctx, dst, msg, bytes);
+    }
+
+    fn write_send(
+        &self,
+        ctx: &mut Ctx,
+        dst: NodeId,
+        region: &MemoryRegion,
+        offset: usize,
+        data: Vec<u64>,
+        msg: M,
+    ) {
+        let bytes = msg.payload_bytes();
+        self.nic
+            .rdma_write_send(ctx, dst, region, offset, data, msg, bytes);
+    }
+
+    fn recv(&self, ctx: &mut Ctx) -> (NodeId, M) {
+        let (src, msg) = self.rx.recv(ctx);
+        self.bytes_rx
+            .fetch_add(msg.payload_bytes(), Ordering::Relaxed);
+        self.frames_rx.fetch_add(1, Ordering::Relaxed);
+        (src, msg)
+    }
+
+    fn stats(&self) -> TransportStats {
+        let nic = self.nic.stats();
+        TransportStats {
+            bytes_tx: nic.send_bytes + nic.write_bytes,
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            frames: nic.sends + nic.writes,
+            completions: nic.signaled,
+        }
+    }
+
+    fn nic_stats(&self) -> Option<NicStatsSnapshot> {
+        Some(self.nic.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fabric, NetConfig};
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Ping(u64);
+
+    impl Wire for Ping {
+        fn payload_bytes(&self) -> u64 {
+            8
+        }
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0.to_le_bytes());
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            Some(Ping(u64::from_le_bytes(bytes.try_into().ok()?)))
+        }
+    }
+
+    #[test]
+    fn sim_transport_delegates_send_recv() {
+        dsim::Sim::new(dsim::SimConfig::default()).run(|ctx| {
+            let fabric = Fabric::<Ping>::new(2, NetConfig::instant());
+            let a: Arc<dyn Transport<Ping>> = Arc::new(SimTransport::new(fabric.nic(0)));
+            let b: Arc<dyn Transport<Ping>> = Arc::new(SimTransport::new(fabric.nic(1)));
+            a.send(ctx, 1, Ping(7));
+            let (src, msg) = b.recv(ctx);
+            assert_eq!(src, 0);
+            assert_eq!(msg, Ping(7));
+            let sa = a.stats();
+            assert_eq!(sa.frames, 1);
+            assert!(sa.bytes_tx > 0);
+            let sb = b.stats();
+            assert_eq!(sb.bytes_rx, 8);
+            assert!(a.nic_stats().is_some());
+        });
+    }
+
+    #[test]
+    fn sim_transport_write_send_lands_data_first() {
+        dsim::Sim::new(dsim::SimConfig::default()).run(|ctx| {
+            let fabric = Fabric::<Ping>::new(2, NetConfig::instant());
+            let a: Arc<dyn Transport<Ping>> = Arc::new(SimTransport::new(fabric.nic(0)));
+            let b: Arc<dyn Transport<Ping>> = Arc::new(SimTransport::new(fabric.nic(1)));
+            let region = MemoryRegion::new(8);
+            b.register_region(&region);
+            a.write_send(ctx, 1, &region, 2, vec![41, 42], Ping(1));
+            let (_, msg) = b.recv(ctx);
+            assert_eq!(msg, Ping(1));
+            assert_eq!(region.load(2), 41);
+            assert_eq!(region.load(3), 42);
+        });
+    }
+}
