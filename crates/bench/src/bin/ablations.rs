@@ -14,43 +14,57 @@ use std::sync::Arc;
 use darray::{
     AccessPath, ArrayOptions, CacheConfig, Cluster, ClusterConfig, Sim, SimConfig, VTime,
 };
-use darray_bench::report::{fmt, print_table};
+use darray_bench::report::{fmt, print_table, write_bench_json, ProtocolTraffic};
 use workloads::Rng;
 
-/// Sequential scan throughput (Mops/s) under an arbitrary configuration.
-fn scan(cfg: ClusterConfig, threads: usize, elems_per_node: usize, ops: u64, random: bool) -> f64 {
+/// Sequential scan throughput (Mops/s) and the protocol traffic it cost,
+/// under an arbitrary configuration.
+fn scan(
+    cfg: ClusterConfig,
+    threads: usize,
+    elems_per_node: usize,
+    ops: u64,
+    random: bool,
+) -> (f64, ProtocolTraffic) {
     let nodes = cfg.nodes;
     let len = elems_per_node * nodes;
-    let elapsed: VTime = Sim::new(SimConfig::default()).run(move |ctx| {
-        let cluster = Cluster::new(ctx, cfg);
-        let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
-        let el = Arc::new(AtomicU64::new(0));
-        let e2 = el.clone();
-        cluster.run(ctx, threads, move |ctx, env| {
-            let a = arr.on(env.node);
-            let mut rng = Rng::new((env.node * 64 + env.thread) as u64 + 1);
-            env.barrier(ctx);
-            let t0 = ctx.now();
-            for k in 0..ops {
-                let i = if random {
-                    rng.next_below(len as u64) as usize
-                } else {
-                    (k as usize) % len
-                };
-                std::hint::black_box(a.get(ctx, i));
-            }
-            e2.fetch_max(ctx.now() - t0, Ordering::Relaxed);
+    let (elapsed, traffic): (VTime, ProtocolTraffic) =
+        Sim::new(SimConfig::default()).run(move |ctx| {
+            let cluster = Cluster::new(ctx, cfg);
+            let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
+            let el = Arc::new(AtomicU64::new(0));
+            let e2 = el.clone();
+            cluster.run(ctx, threads, move |ctx, env| {
+                let a = arr.on(env.node);
+                let mut rng = Rng::new((env.node * 64 + env.thread) as u64 + 1);
+                env.barrier(ctx);
+                let t0 = ctx.now();
+                for k in 0..ops {
+                    let i = if random {
+                        rng.next_below(len as u64) as usize
+                    } else {
+                        (k as usize) % len
+                    };
+                    std::hint::black_box(a.get(ctx, i));
+                }
+                e2.fetch_max(ctx.now() - t0, Ordering::Relaxed);
+            });
+            let t = el.load(Ordering::Relaxed);
+            let traffic = ProtocolTraffic::collect(&cluster);
+            cluster.shutdown(ctx);
+            (t, traffic)
         });
-        let t = el.load(Ordering::Relaxed);
-        cluster.shutdown(ctx);
-        t
-    });
-    (ops * (nodes * threads) as u64) as f64 / (elapsed as f64 / 1e9) / 1e6
+    let mops = (ops * (nodes * threads) as u64) as f64 / (elapsed as f64 / 1e9) / 1e6;
+    (mops, traffic)
 }
 
 fn main() {
     let fast = darray_bench::fast_mode();
     let ops: u64 = if fast { 4_096 } else { 30_000 };
+    // One protocol-traffic section per ablated configuration: the diff
+    // harness then pins each mechanism's coherence cost, not just its
+    // headline throughput.
+    let mut traffic: Vec<(String, ProtocolTraffic)> = Vec::new();
 
     // 1. Access path (the §4.1 strawman): local scans with rising thread
     // counts — the lock serializes threads within a chunk.
@@ -61,8 +75,10 @@ fn main() {
             free.access_path = AccessPath::LockFree;
             let mut lock = ClusterConfig::with_nodes(1);
             lock.access_path = AccessPath::LockBased;
-            let f = scan(free, threads, 16_384, ops, false);
-            let l = scan(lock, threads, 16_384, ops, false);
+            let (f, tf) = scan(free, threads, 16_384, ops, false);
+            let (l, tl) = scan(lock, threads, 16_384, ops, false);
+            traffic.push((format!("a1_lockfree_t{threads}"), tf));
+            traffic.push((format!("a1_lockbased_t{threads}"), tl));
             rows.push(vec![threads.to_string(), fmt(f), fmt(l), fmt(f / l)]);
         }
         print_table(
@@ -78,7 +94,8 @@ fn main() {
         for prefetch in [0usize, 1, 2, 4, 8] {
             let mut cfg = ClusterConfig::with_nodes(2);
             cfg.cache.prefetch_lines = prefetch;
-            let t = scan(cfg, 1, 16_384, ops, false);
+            let (t, tr) = scan(cfg, 1, 16_384, ops, false);
+            traffic.push((format!("a2_prefetch{prefetch}"), tr));
             rows.push(vec![prefetch.to_string(), fmt(t)]);
         }
         print_table(
@@ -94,7 +111,11 @@ fn main() {
         for tx in [false, true] {
             let mut cfg = ClusterConfig::with_nodes(4);
             cfg.tx_threads = tx;
-            let t = scan(cfg, 1, 8_192, ops, false);
+            let (t, tr) = scan(cfg, 1, 8_192, ops, false);
+            traffic.push((
+                format!("a3_tx_{}", if tx { "dedicated" } else { "inline" }),
+                tr,
+            ));
             rows.push(vec![
                 if tx {
                     "dedicated Tx threads"
@@ -118,7 +139,8 @@ fn main() {
         for r in [1u64, 4, 16, 64, 256] {
             let mut cfg = ClusterConfig::with_nodes(2);
             cfg.net.signal_interval = r;
-            let t = scan(cfg, 1, 8_192, ops, false);
+            let (t, tr) = scan(cfg, 1, 8_192, ops, false);
+            traffic.push((format!("a4_signal{r}"), tr));
             rows.push(vec![r.to_string(), fmt(t)]);
         }
         print_table(
@@ -135,7 +157,8 @@ fn main() {
         for rts in [1usize, 2, 4] {
             let mut cfg = ClusterConfig::with_nodes(4);
             cfg.runtime_threads = rts;
-            let t = scan(cfg, 2, 8_192, ops, false);
+            let (t, tr) = scan(cfg, 2, 8_192, ops, false);
+            traffic.push((format!("a5_rt{rts}"), tr));
             rows.push(vec![rts.to_string(), fmt(t)]);
         }
         print_table(
@@ -157,7 +180,11 @@ fn main() {
                 prefetch_lines: 0,
                 ..CacheConfig::default()
             };
-            let t = scan(cfg, 1, 131_072, ops / 4, true);
+            let (t, tr) = scan(cfg, 1, 131_072, ops / 4, true);
+            traffic.push((
+                format!("a6_wm{:02}_{:02}", (lo * 100.0) as u32, (hi * 100.0) as u32),
+                tr,
+            ));
             rows.push(vec![format!("{lo:.2}/{hi:.2}"), fmt(t)]);
         }
         print_table(
@@ -165,5 +192,10 @@ fn main() {
             &["low/high watermark", "throughput"],
             &rows,
         );
+    }
+
+    match write_bench_json("ablations", &traffic) {
+        Ok(p) => println!("\nprotocol traffic written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_ablations.json: {e}"),
     }
 }

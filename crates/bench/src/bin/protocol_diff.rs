@@ -9,15 +9,21 @@
 //! before it shows up as a latency regression.
 //!
 //! ```text
-//! protocol_diff <baseline.json> <current.json> [--threshold-pct <f>] [--abs-slack <n>] [--update]
+//! protocol_diff <baseline.json> <current.json> [--threshold-pct <f>] [--abs-slack <n>]
+//!               [--transport-pct <f>] [--update]
 //! ```
 //!
 //! Rules:
-//! - a counter increase beyond `baseline * (1 + pct/100) + slack` fails;
+//! - a protocol-counter increase beyond `baseline * (1 + pct/100) + slack`
+//!   fails;
+//! - the transport byte/frame counters (`bytes_tx`, `bytes_rx`, `frames`,
+//!   `completions`) carry backend framing overhead, so they diff under
+//!   their own *symmetric* band (`--transport-pct`, default 10%): leaving
+//!   the band in either direction fails, drift inside it is a note;
 //! - a section or counter present in the baseline but missing from the
 //!   current file fails (instrumentation was dropped);
-//! - decreases and brand-new counters are reported but pass (improvements
-//!   and schema growth are fine).
+//! - protocol-counter decreases and brand-new counters are reported but
+//!   pass (improvements and schema growth are fine).
 //!
 //! `--update` replaces the baseline with the current file (after checking
 //! both parse) and exits 0 — the blessed way to regenerate baselines after
@@ -185,8 +191,19 @@ struct Finding {
     msg: String,
 }
 
+/// Transport-level counters measure wire traffic (payload + backend
+/// framing), not protocol transitions, so they get a symmetric tolerance
+/// band of their own instead of the exact protocol threshold.
+const TRANSPORT_COUNTERS: [&str; 4] = ["bytes_tx", "bytes_rx", "frames", "completions"];
+
 /// Apply the diff rules; findings in deterministic (sorted) order.
-fn diff(baseline: &Traffic, current: &Traffic, pct: f64, slack: u64) -> Vec<Finding> {
+fn diff(
+    baseline: &Traffic,
+    current: &Traffic,
+    pct: f64,
+    slack: u64,
+    transport_pct: f64,
+) -> Vec<Finding> {
     let mut out = Vec::new();
     for (label, base_counters) in baseline {
         let Some(cur_counters) = current.get(label) else {
@@ -204,7 +221,9 @@ fn diff(baseline: &Traffic, current: &Traffic, pct: f64, slack: u64) -> Vec<Find
                 });
                 continue;
             };
-            let limit = (base as f64 * (1.0 + pct / 100.0)).floor() as u64 + slack;
+            let transport = TRANSPORT_COUNTERS.contains(&name.as_str());
+            let band = if transport { transport_pct } else { pct };
+            let limit = (base as f64 * (1.0 + band / 100.0)).floor() as u64 + slack;
             if cur > limit {
                 let growth = if base == 0 {
                     "from zero".to_string()
@@ -217,6 +236,28 @@ fn diff(baseline: &Traffic, current: &Traffic, pct: f64, slack: u64) -> Vec<Find
                         "{label}: `{name}` regressed {base} -> {cur} ({growth}, limit {limit})"
                     ),
                 });
+            } else if transport {
+                // Symmetric band: a big byte/frame *drop* is not an
+                // improvement, it means traffic went missing.
+                let floor =
+                    ((base as f64 * (1.0 - band / 100.0)).ceil() as u64).saturating_sub(slack);
+                if cur < floor {
+                    out.push(Finding {
+                        fatal: true,
+                        msg: format!(
+                            "{label}: `{name}` left the -{band}% transport band: \
+                             {base} -> {cur} (floor {floor})"
+                        ),
+                    });
+                } else if cur != base {
+                    out.push(Finding {
+                        fatal: false,
+                        msg: format!(
+                            "{label}: `{name}` drifted {base} -> {cur} \
+                             (within ±{band}% transport band)"
+                        ),
+                    });
+                }
             } else if cur < base {
                 out.push(Finding {
                     fatal: false,
@@ -247,7 +288,8 @@ fn diff(baseline: &Traffic, current: &Traffic, pct: f64, slack: u64) -> Vec<Find
 fn usage() -> ! {
     eprintln!(
         "usage: protocol_diff <baseline.json> <current.json> \
-         [--threshold-pct <float>] [--abs-slack <int>] [--update]"
+         [--threshold-pct <float>] [--abs-slack <int>] \
+         [--transport-pct <float>] [--update]"
     );
     std::process::exit(2);
 }
@@ -257,6 +299,7 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut pct = 0.0f64;
     let mut slack = 0u64;
+    let mut transport_pct = 10.0f64;
     let mut update = false;
     let mut i = 0;
     while i < argv.len() {
@@ -271,6 +314,13 @@ fn main() -> ExitCode {
             "--abs-slack" => {
                 i += 1;
                 slack = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--transport-pct" => {
+                i += 1;
+                transport_pct = argv
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -313,17 +363,21 @@ fn main() -> ExitCode {
     let baseline = parse(bp, &read(bp));
     let current = parse(cp, &read(cp));
 
-    let findings = diff(&baseline, &current, pct, slack);
+    let findings = diff(&baseline, &current, pct, slack, transport_pct);
     let fatal = findings.iter().filter(|f| f.fatal).count();
     for f in &findings {
         println!("{} {}", if f.fatal { "FAIL" } else { "note" }, f.msg);
     }
     if fatal > 0 {
-        println!("protocol_diff: {fatal} regression(s) vs {bp} (threshold {pct}% + {slack})");
+        println!(
+            "protocol_diff: {fatal} regression(s) vs {bp} \
+             (threshold {pct}% + {slack}, transport band ±{transport_pct}%)"
+        );
         ExitCode::FAILURE
     } else {
         println!(
-            "protocol_diff: OK — {} section(s), no counter above threshold {pct}% + {slack}",
+            "protocol_diff: OK — {} section(s), no counter above threshold {pct}% + {slack} \
+             (transport band ±{transport_pct}%)",
             baseline.len()
         );
         ExitCode::SUCCESS
@@ -361,7 +415,7 @@ mod tests {
     #[test]
     fn identical_files_pass() {
         let t = parse_bench(SAMPLE).unwrap();
-        let f = diff(&t, &t, 0.0, 0);
+        let f = diff(&t, &t, 0.0, 0, 10.0);
         assert!(f.iter().all(|x| !x.fatal), "no fatal findings");
     }
 
@@ -371,11 +425,11 @@ mod tests {
         let mut cur = base.clone();
         *cur.get_mut("a_1n").unwrap().get_mut("fills").unwrap() = 12;
         // 20% growth: fails at 0%, fails at 10%, passes at 25%.
-        assert!(diff(&base, &cur, 0.0, 0).iter().any(|f| f.fatal));
-        assert!(diff(&base, &cur, 10.0, 0).iter().any(|f| f.fatal));
-        assert!(!diff(&base, &cur, 25.0, 0).iter().any(|f| f.fatal));
+        assert!(diff(&base, &cur, 0.0, 0, 10.0).iter().any(|f| f.fatal));
+        assert!(diff(&base, &cur, 10.0, 0, 10.0).iter().any(|f| f.fatal));
+        assert!(!diff(&base, &cur, 25.0, 0, 10.0).iter().any(|f| f.fatal));
         // An absolute slack of 2 also forgives it at 0%.
-        assert!(!diff(&base, &cur, 0.0, 2).iter().any(|f| f.fatal));
+        assert!(!diff(&base, &cur, 0.0, 2, 10.0).iter().any(|f| f.fatal));
     }
 
     #[test]
@@ -386,8 +440,8 @@ mod tests {
             .unwrap()
             .get_mut("invalidations")
             .unwrap() = 1;
-        assert!(diff(&base, &cur, 50.0, 0).iter().any(|f| f.fatal));
-        assert!(!diff(&base, &cur, 0.0, 1).iter().any(|f| f.fatal));
+        assert!(diff(&base, &cur, 50.0, 0, 10.0).iter().any(|f| f.fatal));
+        assert!(!diff(&base, &cur, 0.0, 1, 10.0).iter().any(|f| f.fatal));
     }
 
     #[test]
@@ -395,10 +449,10 @@ mod tests {
         let base = parse_bench(SAMPLE).unwrap();
         let mut cur = base.clone();
         cur.remove("b_2n");
-        assert!(diff(&base, &cur, 100.0, 99).iter().any(|f| f.fatal));
+        assert!(diff(&base, &cur, 100.0, 99, 10.0).iter().any(|f| f.fatal));
         let mut cur2 = base.clone();
         cur2.get_mut("a_1n").unwrap().remove("transitions");
-        assert!(diff(&base, &cur2, 100.0, 99).iter().any(|f| f.fatal));
+        assert!(diff(&base, &cur2, 100.0, 99, 10.0).iter().any(|f| f.fatal));
     }
 
     #[test]
@@ -410,9 +464,57 @@ mod tests {
             .unwrap()
             .insert("epochs_aborted".into(), 0);
         cur.insert("c_3n".into(), BTreeMap::new());
-        let f = diff(&base, &cur, 0.0, 0);
+        let f = diff(&base, &cur, 0.0, 0, 10.0);
         assert!(f.iter().all(|x| !x.fatal));
         assert_eq!(f.len(), 3, "improvement + new counter + new section noted");
+    }
+
+    #[test]
+    fn transport_counters_diff_in_their_own_band() {
+        let base = parse_bench(
+            r#"{"bench":"t","protocol_traffic":{
+                 "w_2n": {"transitions":100,"bytes_tx":1000,"frames":50}
+               }}"#,
+        )
+        .unwrap();
+        // +8% bytes_tx: inside the default ±10% band even at protocol
+        // threshold 0 — a note, not a failure.
+        let mut cur = base.clone();
+        *cur.get_mut("w_2n").unwrap().get_mut("bytes_tx").unwrap() = 1080;
+        let f = diff(&base, &cur, 0.0, 0, 10.0);
+        assert!(f.iter().all(|x| !x.fatal), "within band must pass");
+        assert!(
+            f.iter().any(|x| x.msg.contains("transport band")),
+            "drift inside the band is still reported"
+        );
+        // +20% leaves the band upward.
+        *cur.get_mut("w_2n").unwrap().get_mut("bytes_tx").unwrap() = 1200;
+        assert!(diff(&base, &cur, 0.0, 0, 10.0).iter().any(|f| f.fatal));
+        // -20% leaves it downward: missing wire traffic is NOT an
+        // improvement, unlike a protocol-counter decrease.
+        *cur.get_mut("w_2n").unwrap().get_mut("bytes_tx").unwrap() = 800;
+        assert!(diff(&base, &cur, 0.0, 0, 10.0).iter().any(|f| f.fatal));
+        // A wider band forgives the same drop.
+        assert!(!diff(&base, &cur, 0.0, 0, 25.0).iter().any(|f| f.fatal));
+    }
+
+    #[test]
+    fn transport_band_is_independent_of_protocol_threshold() {
+        let base = parse_bench(
+            r#"{"bench":"t","protocol_traffic":{
+                 "w_2n": {"transitions":100,"frames":50}
+               }}"#,
+        )
+        .unwrap();
+        let mut cur = base.clone();
+        // transitions +5% must still fail at the exact protocol threshold
+        // even when the transport band would allow it.
+        *cur.get_mut("w_2n").unwrap().get_mut("transitions").unwrap() = 105;
+        assert!(diff(&base, &cur, 0.0, 0, 10.0).iter().any(|f| f.fatal));
+        // frames +5% rides the transport band and passes at the same knobs.
+        let mut cur2 = base.clone();
+        *cur2.get_mut("w_2n").unwrap().get_mut("frames").unwrap() = 52;
+        assert!(!diff(&base, &cur2, 0.0, 0, 10.0).iter().any(|f| f.fatal));
     }
 
     #[test]
@@ -428,5 +530,7 @@ mod tests {
         assert_eq!(parsed["w_1n"]["fills"], 3);
         assert_eq!(parsed["w_1n"]["epochs_aborted"], 1);
         assert_eq!(parsed["w_1n"]["orphaned_locks_reclaimed"], 0);
+        assert_eq!(parsed["w_1n"]["flush_persists"], 0);
+        assert_eq!(parsed["w_1n"]["recovered_chunks"], 0);
     }
 }

@@ -1,9 +1,57 @@
 //! Table 1: the states of the extended cache coherence protocol, printed
 //! from the implementation (`darray::table1_rows`) and therefore guaranteed
 //! to match what the runtime actually enforces.
+//!
+//! The binary also *drives* every state of the table on a live 2-node
+//! cluster (Unshared -> Shared -> Dirty -> Operated and back home) and
+//! writes the resulting protocol traffic to `BENCH_table1.json`, so the
+//! diff harness pins the canonical state walk alongside the figure
+//! workloads.
 
-use darray::table1_rows;
-use darray_bench::report::print_table;
+use darray::{table1_rows, ArrayOptions, Cluster, ClusterConfig, Sim, SimConfig};
+use darray_bench::report::{print_table, write_bench_json, ProtocolTraffic};
+
+/// Walk a chunk homed at node 0 through every Table 1 state and return the
+/// cluster-wide protocol traffic. Deterministic in virtual time: the JSON
+/// is byte-identical run-to-run.
+fn state_walk() -> ProtocolTraffic {
+    const NODES: usize = 2;
+    let cfg = ClusterConfig::test_config(NODES);
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let add = cluster.ops().register_add_u64();
+        let arr = cluster.alloc::<u64>(4096, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            // Unshared -> Shared: node 1 reads an element homed at node 0.
+            if env.node == 1 {
+                assert_eq!(a.get(ctx, 0), 0);
+            }
+            env.barrier(ctx);
+            // Shared -> Dirty: node 1 writes it (invalidate + exclusive).
+            if env.node == 1 {
+                a.set(ctx, 0, 7);
+            }
+            env.barrier(ctx);
+            // Dirty -> home: node 0 reads it back, recalling the dirty copy.
+            if env.node == 0 {
+                assert_eq!(a.get(ctx, 0), 7);
+            }
+            env.barrier(ctx);
+            // -> Operated: both nodes combine into the same element.
+            a.apply(ctx, 1, add, 1);
+            env.barrier(ctx);
+            // Operated -> home: a read forces the cross-node reduction.
+            if env.node == 0 {
+                assert_eq!(a.get(ctx, 1), NODES as u64);
+            }
+            env.barrier(ctx);
+        });
+        let traffic = ProtocolTraffic::collect(&cluster);
+        cluster.shutdown(ctx);
+        traffic
+    })
+}
 
 fn main() {
     let rows: Vec<Vec<String>> = table1_rows()
@@ -25,4 +73,10 @@ fn main() {
     println!(
         "\npaper: Unshared R/W/O|None|Yes; Shared R|R|No; Dirty None|R/W|Yes; Operated O|O|No."
     );
+
+    let walk = state_walk();
+    match write_bench_json("table1", &[("state_walk_2n".to_string(), walk)]) {
+        Ok(p) => println!("protocol traffic written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_table1.json: {e}"),
+    }
 }

@@ -80,6 +80,13 @@ pub struct ProtocolTraffic {
     /// Highest membership-view epoch reached on any node (a gauge — taken
     /// as the max over nodes, not a sum).
     pub membership_epoch: u64,
+    /// Dirty flushes persisted to the durable chunk store before their
+    /// protocol acknowledgement (zero when `durability.policy` is `None`).
+    pub flush_persists: u64,
+    /// Durable-log records replayed while opening the store at bring-up.
+    pub log_replays: u64,
+    /// Distinct chunk images recovered from the durable log at bring-up.
+    pub recovered_chunks: u64,
     /// Transport bytes posted to the wire, summed over nodes (payload plus
     /// backend framing; backend-dependent, unlike the protocol counters).
     pub bytes_tx: u64,
@@ -109,6 +116,9 @@ impl ProtocolTraffic {
         self.refutations += s.refutations;
         self.confirmed_deaths += s.confirmed_deaths;
         self.membership_epoch = self.membership_epoch.max(s.membership_epoch);
+        self.flush_persists += s.flush_persists;
+        self.log_replays += s.log_replays;
+        self.recovered_chunks += s.recovered_chunks;
         self.bytes_tx += s.bytes_tx;
         self.bytes_rx += s.bytes_rx;
         self.frames += s.frames;
@@ -131,8 +141,9 @@ impl ProtocolTraffic {
              \"operand_flushes\":{},\"operated_reductions\":{},\"evictions\":{},\
              \"transitions\":{},\"sharers_pruned\":{},\"epochs_aborted\":{},\
              \"orphaned_locks_reclaimed\":{},\"suspicions\":{},\"refutations\":{},\
-             \"confirmed_deaths\":{},\"membership_epoch\":{},\"bytes_tx\":{},\
-             \"bytes_rx\":{},\"frames\":{},\"completions\":{}}}",
+             \"confirmed_deaths\":{},\"membership_epoch\":{},\
+             \"flush_persists\":{},\"log_replays\":{},\"recovered_chunks\":{},\
+             \"bytes_tx\":{},\"bytes_rx\":{},\"frames\":{},\"completions\":{}}}",
             self.fills,
             self.invalidations,
             self.recalls,
@@ -148,6 +159,9 @@ impl ProtocolTraffic {
             self.refutations,
             self.confirmed_deaths,
             self.membership_epoch,
+            self.flush_persists,
+            self.log_replays,
+            self.recovered_chunks,
             self.bytes_tx,
             self.bytes_rx,
             self.frames,
@@ -226,10 +240,13 @@ mod tests {
             refutations: 13,
             confirmed_deaths: 14,
             membership_epoch: 15,
-            bytes_tx: 16,
-            bytes_rx: 17,
-            frames: 18,
-            completions: 19,
+            flush_persists: 16,
+            log_replays: 17,
+            recovered_chunks: 18,
+            bytes_tx: 19,
+            bytes_rx: 20,
+            frames: 21,
+            completions: 22,
         };
         let j = t.json();
         for key in [
@@ -248,10 +265,13 @@ mod tests {
             "\"refutations\":13",
             "\"confirmed_deaths\":14",
             "\"membership_epoch\":15",
-            "\"bytes_tx\":16",
-            "\"bytes_rx\":17",
-            "\"frames\":18",
-            "\"completions\":19",
+            "\"flush_persists\":16",
+            "\"log_replays\":17",
+            "\"recovered_chunks\":18",
+            "\"bytes_tx\":19",
+            "\"bytes_rx\":20",
+            "\"frames\":21",
+            "\"completions\":22",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

@@ -20,6 +20,7 @@ use crate::op::{OpId, OpRegistry};
 use crate::runtime::RuntimeThread;
 use crate::shared::{ArrayShared, ClusterShared};
 use crate::stats::NodeStatsSnapshot;
+use crate::store::{ChunkStore, LogChunkStore};
 
 /// Environment handed to each application thread by [`Cluster::run`].
 pub struct NodeEnv {
@@ -194,9 +195,38 @@ impl Cluster {
                     .collect::<Vec<_>>()
             })
             .collect::<Vec<_>>();
-        let stats = (0..nodes)
+        let stats: Vec<Arc<crate::stats::NodeStats>> = (0..nodes)
             .map(|_| Arc::new(crate::stats::NodeStats::default()))
             .collect();
+        // Durable chunk stores: one append-only log per node, replayed
+        // crash-safely on open (DESIGN.md §14). Recovered images are
+        // overlaid onto home subarrays in `alloc_with`.
+        let stores: Vec<Option<Arc<dyn ChunkStore>>> = if cfg.durability.enabled() {
+            let dir = cfg
+                .durability
+                .dir
+                .as_ref()
+                .expect("checked by try_validate");
+            let mut v: Vec<Option<Arc<dyn ChunkStore>>> = Vec::with_capacity(nodes);
+            for (n, node_stats) in stats.iter().enumerate() {
+                let store =
+                    LogChunkStore::open(&dir.join(format!("node{n}.log")), cfg.durability.policy)
+                        .map_err(|e| crate::ConfigError::DurabilityBringUp {
+                        message: e.to_string(),
+                    })?;
+                let st = store.stats();
+                node_stats
+                    .log_replays
+                    .fetch_add(st.replayed_records, std::sync::atomic::Ordering::Relaxed);
+                node_stats
+                    .recovered_chunks
+                    .fetch_add(st.recovered_chunks, std::sync::atomic::Ordering::Relaxed);
+                v.push(Some(Arc::new(store)));
+            }
+            v
+        } else {
+            (0..nodes).map(|_| None).collect()
+        };
         // One reliability-agent mailbox per node when fault injection is on.
         let rel_queues: Vec<Option<Mailbox<RelMsg>>> = (0..nodes)
             .map(|n| {
@@ -218,6 +248,10 @@ impl Cluster {
             rt_mailboxes,
             stats,
             rel_mailboxes: rel_queues.clone(),
+            rx_links: (0..nodes)
+                .map(|_| (0..nodes).map(|_| Default::default()).collect())
+                .collect(),
+            stores,
             membership,
             protocol_fault: Default::default(),
         });
@@ -319,7 +353,11 @@ impl Cluster {
         };
         let mut arrays = self.shared.arrays.write();
         let id = arrays.len() as u32;
-        let arr = Arc::new(ArrayShared::new(id, layout));
+        let arr = Arc::new(ArrayShared::new(
+            id,
+            layout,
+            self.shared.cfg.durability.enabled(),
+        ));
         for n in 0..nodes {
             let elems = arr.layout.node_elems(n);
             let base_chunk = arr.layout.node_chunks(n).start;
@@ -327,6 +365,32 @@ impl Cluster {
                 let c = arr.layout.chunk_of(i);
                 let w = (c - base_chunk) * chunk_size + arr.layout.offset_in_chunk(i);
                 arr.subarrays[n].store(w, init(i).to_bits());
+            }
+            // Restart recovery: overlay chunk images replayed from this
+            // node's durable log over the freshly initialized subarray —
+            // the persisted state of a previous incarnation wins over
+            // `init` (DESIGN.md §14). Records from other arrays or from an
+            // incompatible layout are left for their own allocation.
+            if let Some(store) = &self.shared.stores[n] {
+                for rec in store.recovered() {
+                    let c = rec.chunk as usize;
+                    if rec.array != id
+                        || c >= arr.layout.num_chunks()
+                        || arr.layout.home_of_chunk(c) != n
+                        || rec.data.len() != chunk_size
+                    {
+                        continue;
+                    }
+                    let off = arr.layout.chunk_home_offset(c);
+                    for (i, &word) in rec.data.iter().enumerate() {
+                        arr.subarrays[n].store(off + i, word);
+                    }
+                    // Resume the chunk's persist sequence past the recovered
+                    // record so post-restart persists stamp *newer* epochs —
+                    // otherwise a second crash's latest-epoch-wins replay
+                    // would resurrect this pre-restart image.
+                    arr.per_node[n].home[c].lock().resume_persist_seq(rec.epoch);
+                }
             }
         }
         // Subarrays are WRITE targets for evictions/writebacks: register
@@ -409,6 +473,57 @@ impl Cluster {
         &self.shared.cfg
     }
 
+    /// Re-admit `node` as a *restarted* identity on every view that had
+    /// confirmed it dead (DESIGN.md §14): the protocol-level rejoin after a
+    /// kill. Each such view burns a fresh membership epoch (fencing
+    /// straggler death declarations of the old incarnation) and fans
+    /// `PeerRestarted` out to its runtime threads, which release every
+    /// cached line homed on the restarted node (rights granted by the old
+    /// incarnation are void) and un-fence it in their home directories.
+    ///
+    /// This re-opens the *protocol* to the new incarnation; recovering the
+    /// node's durable chunk images is the chunk store's job and happens
+    /// when its log is reopened (`LogChunkStore::open` + the allocation
+    /// replay overlay). Views on which `node` was never confirmed dead are
+    /// left untouched. Returns how many views re-admitted it.
+    ///
+    /// Contract: call on a *settled* death — after every survivor has
+    /// processed the declaration and no application request is outstanding
+    /// against the corpse. Calling between [`Cluster::run`] phases
+    /// guarantees this (an app thread still parked on the dead node would
+    /// have kept the previous phase from joining). Re-admitting while the
+    /// death is still being settled is unspecified: a survivor could
+    /// address the new incarnation before processing the stale declaration
+    /// of the old one and tear down a fill the new home already granted.
+    pub fn restart_peer(&self, ctx: &mut Ctx, node: NodeId) -> usize {
+        let mut readmitted = 0;
+        for m in 0..self.shared.cfg.nodes {
+            let Some(epoch) = self.shared.membership[m].restart(node) else {
+                continue;
+            };
+            readmitted += 1;
+            crate::stats::NodeStats::raise(&self.shared.stats[m].membership_epoch, epoch);
+            // Bring the reliable link m <-> node up like a cold boot: the
+            // death dropped unacked frames whose sequence numbers are gone
+            // for good, so continuing the old streams would leave the
+            // receivers waiting forever on the gap. Both directions restart
+            // from seq 0 (the link is idle — see the settled-death
+            // contract), resets enqueued before any new traffic can be.
+            self.shared.rx_links[m][node].lock().reset();
+            self.shared.rx_links[node][m].lock().reset();
+            if let Some(rel) = &self.shared.rel_mailboxes[m] {
+                rel.send(ctx, RelMsg::ResetLink { peer: node }, 0);
+            }
+            if let Some(rel) = &self.shared.rel_mailboxes[node] {
+                rel.send(ctx, RelMsg::ResetLink { peer: m }, 0);
+            }
+            for rt in &self.shared.rt_mailboxes[m] {
+                rt.send(ctx, RtMsg::PeerRestarted { node, epoch }, 0);
+            }
+        }
+        readmitted
+    }
+
     /// Stop all service threads and join them. Call after application work
     /// has quiesced (outstanding protocol traffic is drained first because
     /// mailbox sends are FIFO per sender and the runtime processes its
@@ -430,6 +545,12 @@ impl Cluster {
         }
         for h in self.service_handles {
             h.join(ctx);
+        }
+        // Final durability batch point: under the Writeback policy this is
+        // what pushes buffered log records to disk (Writethrough synced
+        // each record as it was persisted).
+        for store in self.shared.stores.iter().flatten() {
+            store.sync().expect("durable chunk store final sync failed");
         }
         // Release backend resources (sockets, pump threads); a no-op for
         // the simulated backend.

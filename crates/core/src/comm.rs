@@ -59,7 +59,7 @@
 //!   membership epoch, and fans `RtMsg::PeerDown` out to the runtime
 //!   threads — the membership view is the *sole* source of those events.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dsim::{Ctx, Mailbox, VTime};
@@ -115,6 +115,14 @@ pub(crate) enum RelMsg {
     SuspectQuery {
         from: NodeId,
         suspect: NodeId,
+    },
+    /// Reset the sender side of the reliable link to `peer`: forget
+    /// outstanding frames, restart sequencing from 0, drop any suspicion.
+    /// Sent by [`crate::Cluster::restart_peer`] when a restarted peer is
+    /// re-admitted; pairs with a [`crate::shared::RxLink::reset`] on both
+    /// receiver sides so the link comes up like a cold boot.
+    ResetLink {
+        peer: NodeId,
     },
     /// A vote answering this node's own poll, forwarded by the Rx thread.
     SuspectVote {
@@ -500,6 +508,14 @@ pub(crate) fn rel_thread_main(
                     outstanding[from].pop_front();
                 }
             }
+            Some(RelMsg::ResetLink { peer }) => {
+                // The peer restarted: its old incarnation's stream state is
+                // void on both ends, so sequencing starts over from 0.
+                next_seq[peer] = 0;
+                outstanding[peer].clear();
+                suspects[peer] = None;
+                last_sent[peer] = ctx.now();
+            }
             Some(RelMsg::SuspectQuery { from, suspect }) => {
                 // Vote with this node's own lease oracle. A suspect this
                 // node already confirmed dead gets a dead ballot even if a
@@ -681,10 +697,6 @@ pub(crate) fn rel_thread_main(
 pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: NodeId) {
     let transport = shared.transports[node].clone();
     let poll_cost = shared.cfg.net.cq_poll_ns;
-    let nodes = shared.cfg.nodes;
-    let mut next_expected = vec![0u64; nodes];
-    let mut reorder: Vec<BTreeMap<u64, (ArrayId, Rpc)>> =
-        (0..nodes).map(|_| BTreeMap::new()).collect();
     loop {
         let (src, msg) = transport.recv(ctx);
         ctx.charge(poll_cost);
@@ -734,34 +746,38 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
                 }
             }
             NetMsg::SeqRpc { seq, array, rpc } => {
-                if seq < next_expected[src] || reorder[src].contains_key(&seq) {
-                    NodeStats::bump(&shared.stats[node].dup_rpcs);
-                } else if seq == next_expected[src] {
-                    let chunk = rpc.route_chunk();
-                    shared
-                        .rt_mailbox(node, chunk)
-                        .send(ctx, RtMsg::Net { src, array, rpc }, 0);
-                    next_expected[src] += 1;
-                    // Release any buffered successors the gap was blocking.
-                    while let Some((array, rpc)) = reorder[src].remove(&next_expected[src]) {
+                // Link state lives in shared so `restart_peer` can reset it
+                // when a peer is re-admitted; uncontended otherwise.
+                let ack = {
+                    let mut link = shared.rx_links[node][src].lock();
+                    if seq < link.next_expected || link.reorder.contains_key(&seq) {
+                        NodeStats::bump(&shared.stats[node].dup_rpcs);
+                    } else if seq == link.next_expected {
                         let chunk = rpc.route_chunk();
                         shared
                             .rt_mailbox(node, chunk)
                             .send(ctx, RtMsg::Net { src, array, rpc }, 0);
-                        next_expected[src] += 1;
+                        link.next_expected += 1;
+                        // Release any buffered successors the gap was blocking.
+                        let mut next = link.next_expected;
+                        while let Some((array, rpc)) = link.reorder.remove(&next) {
+                            let chunk = rpc.route_chunk();
+                            shared.rt_mailbox(node, chunk).send(
+                                ctx,
+                                RtMsg::Net { src, array, rpc },
+                                0,
+                            );
+                            next += 1;
+                        }
+                        link.next_expected = next;
+                    } else {
+                        link.reorder.insert(seq, (array, rpc));
                     }
-                } else {
-                    reorder[src].insert(seq, (array, rpc));
-                }
+                    link.next_expected
+                };
                 // Ack cumulatively on every receipt — duplicates included,
                 // since a duplicate usually means our previous ack was lost.
-                transport.send(
-                    ctx,
-                    src,
-                    NetMsg::Ack {
-                        seq: next_expected[src],
-                    },
-                );
+                transport.send(ctx, src, NetMsg::Ack { seq: ack });
             }
             NetMsg::Ack { seq } => {
                 if let Some(rel) = &shared.rel_mailboxes[node] {

@@ -1,8 +1,11 @@
 //! Configuration of a DArray cluster.
 
+use std::path::PathBuf;
+
 use rdma_fabric::{CostModel, FaultPlan, NetConfig};
 
 use crate::error::ConfigError;
+use crate::store::DurabilityPolicy;
 
 /// Default chunk granularity: "the directory tracks the state of data ... at
 /// the chunk granularity (512 elements by default)" (§3.1).
@@ -149,6 +152,30 @@ impl Default for TcpTransportConfig {
     }
 }
 
+/// Per-node durable chunk store configuration (DESIGN.md §14). With a
+/// policy other than [`DurabilityPolicy::None`], each node opens an
+/// append-only log under `dir` at bring-up (`node<N>.log`), replays it
+/// crash-safely, overlays the recovered chunk images onto its home
+/// subarrays, and every home machine gates dirty-data acknowledgements on
+/// a persist of the new image (persist-before-ack).
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityConfig {
+    /// When (and whether) persisted records are fsynced. The default
+    /// `None` disables durability entirely and keeps the protocol
+    /// bit-identical to the persistence-free build.
+    pub policy: DurabilityPolicy,
+    /// Directory holding the per-node logs. Required (and created if
+    /// absent) when `policy` is not `None`; ignored otherwise.
+    pub dir: Option<PathBuf>,
+}
+
+impl DurabilityConfig {
+    /// Durability enabled?
+    pub fn enabled(&self) -> bool {
+        self.policy != DurabilityPolicy::None
+    }
+}
+
 /// Which application-thread data access path to use; the lock-based path is
 /// the strawman of §4.1, kept for the ablation benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +226,9 @@ pub struct ClusterConfig {
     pub transport: TransportKind,
     /// TCP backend knobs (used when `transport` is [`TransportKind::Tcp`]).
     pub tcp: TcpTransportConfig,
+    /// Per-node durable chunk store; the default (policy `None`) keeps the
+    /// protocol bit-identical to the persistence-free build.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ClusterConfig {
@@ -216,6 +246,7 @@ impl Default for ClusterConfig {
             fault: None,
             transport: TransportKind::Sim,
             tcp: TcpTransportConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -319,6 +350,11 @@ impl ClusterConfig {
                     return Err(ConfigError::TransportFaultInjection);
                 }
             }
+        }
+        if self.durability.enabled() && self.durability.dir.is_none() {
+            return Err(ConfigError::DurabilityDirMissing {
+                policy: self.durability.policy.name(),
+            });
         }
         Ok(())
     }
@@ -514,6 +550,25 @@ mod tests {
         plan.drop_ppm = 1_000;
         c.fault = Some(FaultConfig::new(plan));
         assert_eq!(c.try_validate(), Err(ConfigError::TransportFaultInjection));
+    }
+
+    #[test]
+    fn durability_requires_a_directory() {
+        let mut c = ClusterConfig::default();
+        c.durability.policy = DurabilityPolicy::Writethrough;
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::DurabilityDirMissing {
+                policy: "writethrough"
+            })
+        );
+        c.durability.dir = Some(PathBuf::from("/tmp/darray-logs"));
+        assert_eq!(c.try_validate(), Ok(()));
+        // Policy None ignores the directory entirely.
+        let mut c = ClusterConfig::default();
+        c.durability.dir = Some(PathBuf::from("/tmp/darray-logs"));
+        assert_eq!(c.try_validate(), Ok(()));
+        assert!(!c.durability.enabled());
     }
 
     #[test]

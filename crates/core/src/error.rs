@@ -156,6 +156,12 @@ pub enum ConfigError {
     TransportFaultInjection,
     /// Transport bring-up failed at the OS level (bind/connect/handshake).
     TransportBringUp { message: String },
+    /// `durability.policy` is enabled but `durability.dir` is unset: there
+    /// is nowhere to put the per-node logs.
+    DurabilityDirMissing { policy: &'static str },
+    /// Opening or replaying a node's durable chunk log failed at the OS
+    /// level (create/read/seek/fsync).
+    DurabilityBringUp { message: String },
 }
 
 impl fmt::Display for ConfigError {
@@ -227,6 +233,14 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::TransportBringUp { message } => {
                 write!(f, "transport bring-up failed: {message}")
+            }
+            ConfigError::DurabilityDirMissing { policy } => write!(
+                f,
+                "durability.policy = {policy} requires durability.dir to locate the \
+                 per-node chunk logs"
+            ),
+            ConfigError::DurabilityBringUp { message } => {
+                write!(f, "durable chunk store bring-up failed: {message}")
             }
         }
     }
@@ -301,6 +315,16 @@ mod tests {
         assert!(ConfigError::TransportFaultInjection
             .to_string()
             .contains("FaultPlan"));
+        assert!(ConfigError::DurabilityDirMissing {
+            policy: "writeback"
+        }
+        .to_string()
+        .contains("durability.dir"));
+        assert!(ConfigError::DurabilityBringUp {
+            message: "permission denied".to_string()
+        }
+        .to_string()
+        .contains("permission denied"));
         let e = DArrayError::Config(ConfigError::ZeroFrameWords);
         assert!(e.to_string().contains("invalid ClusterConfig"));
         assert_eq!(

@@ -73,6 +73,7 @@ mod runtime;
 mod shared;
 mod state;
 mod stats;
+mod store;
 mod trace;
 
 pub use array::DArray;
@@ -90,6 +91,7 @@ pub use op::{OpId, OpRegistry};
 pub use pin::{PinMode, Pinned};
 pub use state::{table1_rows, DirState, LocalState, Rights, Table1Row};
 pub use stats::{NodeStats, NodeStatsSnapshot};
+pub use store::{ChunkStore, DurabilityPolicy, LogChunkStore, RecoveredChunk, StoreStats};
 
 // Re-export the substrate types callers need to configure a cluster.
 pub use dsim::{Ctx, Sim, SimBarrier, SimConfig, VTime};

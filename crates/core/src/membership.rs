@@ -145,6 +145,26 @@ impl MembershipView {
         self.death_epoch[peer].store(e, Ordering::Release);
         Some(e)
     }
+
+    /// Dead → Alive, for a *restarted* identity (DESIGN.md §14): the node
+    /// went down for real, recovered its durable state, and is rejoining
+    /// cold. This is deliberately NOT `readmit` — a refuted suspicion
+    /// means the peer never died and keeps its state; a restart admission
+    /// means the peer's volatile state is gone and every consumer must
+    /// treat it as a fresh identity. Burns a fresh view epoch (stamped on
+    /// the returned value and carried by `RtMsg::PeerRestarted`) so
+    /// straggling death declarations of the old incarnation are fenced as
+    /// stale. Returns `None` if the peer was not Dead.
+    pub(crate) fn restart(&self, peer: NodeId) -> Option<u64> {
+        if self.status[peer]
+            .compare_exchange(DEAD, ALIVE, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        self.death_epoch[peer].store(0, Ordering::Release);
+        Some(self.epoch.fetch_add(1, Ordering::Release) + 1)
+    }
 }
 
 /// Majority threshold for declaring a suspect dead: the electorate is every
@@ -202,6 +222,24 @@ mod tests {
         assert_eq!(m.death_epoch(3), Some(1));
         assert_eq!(m.death_epoch(1), Some(2));
         assert_eq!(m.death_epoch(0), None);
+    }
+
+    #[test]
+    fn restart_is_the_only_way_back_from_dead() {
+        let m = MembershipView::new(3);
+        assert_eq!(m.restart(2), None, "a live peer cannot restart");
+        m.suspect(2);
+        assert_eq!(m.restart(2), None, "a suspect is refuted, not restarted");
+        assert_eq!(m.confirm_dead(2), Some(1));
+        assert!(!m.readmit(2), "refutation path stays closed for the dead");
+        assert_eq!(m.restart(2), Some(2), "restart burns a fresh epoch");
+        assert_eq!(m.health(2), PeerHealth::Alive);
+        assert_eq!(m.death_epoch(2), None, "death stamp cleared");
+        assert_eq!(m.epoch(), 2);
+        // The new incarnation can die (and restart) again.
+        assert!(m.suspect(2));
+        assert_eq!(m.confirm_dead(2), Some(3));
+        assert_eq!(m.restart(2), Some(4));
     }
 
     #[test]

@@ -482,6 +482,15 @@ pub(crate) enum RtMsg {
         node: NodeId,
         epoch: u64,
     },
+    /// A previously-dead `node` restarted and was re-admitted by the
+    /// membership view at bumped `epoch` (DESIGN.md §14): un-fence its
+    /// identity in home machines and drop all local rights on chunks homed
+    /// there — the restarted directory is cold and no longer remembers
+    /// granting them.
+    PeerRestarted {
+        node: NodeId,
+        epoch: u64,
+    },
     Shutdown,
 }
 

@@ -136,6 +136,15 @@ pub enum CacheEvent {
     },
     /// The chunk's home node was declared down (requester-side reset).
     HomeDown,
+    /// The chunk's home node restarted and rejoined at a bumped membership
+    /// epoch (DESIGN.md §14). Its directory came back *cold* — rebuilt from
+    /// its durable log, with no memory of our copies — so every local
+    /// right on this chunk is unsound and must be dropped: a Shared copy
+    /// could silently diverge from a regranted Dirty owner, a Dirty copy
+    /// would never be recalled. Unlike [`CacheEvent::HomeDown`], which
+    /// resets only in-flight states (stable rights stay usable against a
+    /// dead home), this resets stable rights too.
+    HomeRestarted,
 }
 
 /// Everything the requester-side cache machine can ask its executor to do.
@@ -348,6 +357,29 @@ impl CacheMachine {
                             from: view.state.name(),
                             to: LocalState::Invalid.name(),
                             trigger: "home-down",
+                        }),
+                        CacheAction::WakeAllWaiters,
+                    ]
+                }
+            }
+            CacheEvent::HomeRestarted => {
+                if view.state == LocalState::Invalid || view.draining {
+                    // Nothing held; a draining chunk was already torn down
+                    // by the home-down path (a restart is always preceded
+                    // by a death declaration) and its continuation's own
+                    // home-down check finishes the cleanup.
+                    vec![]
+                } else {
+                    vec![
+                        CacheAction::ReleaseLine { line: view.line },
+                        CacheAction::Promote {
+                            state: LocalState::Invalid,
+                            tag: NOTAG,
+                        },
+                        CacheAction::Trace(Transition {
+                            from: view.state.name(),
+                            to: LocalState::Invalid.name(),
+                            trigger: "home-restarted",
                         }),
                         CacheAction::WakeAllWaiters,
                     ]
@@ -899,6 +931,33 @@ mod tests {
         // Stable copies keep working locally (graceful degradation).
         let v = view(LocalState::Exclusive, NOTAG, 3);
         assert!(CacheMachine::on_event(&v, CacheEvent::HomeDown).is_empty());
+    }
+
+    #[test]
+    fn home_restart_resets_stable_rights_too() {
+        // Unlike HomeDown, a restarted (cold-directory) home invalidates
+        // even stable local rights — they are unsound against a directory
+        // that no longer remembers granting them.
+        for state in [
+            LocalState::Shared,
+            LocalState::Exclusive,
+            LocalState::FillingShared,
+        ] {
+            let v = view(state, NOTAG, 3);
+            let acts = CacheMachine::on_event(&v, CacheEvent::HomeRestarted);
+            assert!(
+                acts.contains(&CacheAction::ReleaseLine { line: 3 }),
+                "{state:?} must release its line on home restart"
+            );
+            assert!(acts.contains(&CacheAction::Promote {
+                state: LocalState::Invalid,
+                tag: NOTAG
+            }));
+            assert_eq!(acts.last(), Some(&CacheAction::WakeAllWaiters));
+        }
+        // Nothing held: nothing to do.
+        let v = view(LocalState::Invalid, NOTAG, super::super::LINE_NONE);
+        assert!(CacheMachine::on_event(&v, CacheEvent::HomeRestarted).is_empty());
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub enum Transient {
     /// Waiting out the minimum-hold grace window of a fresh grant; a
     /// [`HomeEvent::RetryExpired`] clears it.
     GraceWait,
+    /// Waiting for the durable chunk store to confirm the persist requested
+    /// by [`HomeAction::PersistChunk`] (persist-before-ack, DESIGN.md §14).
+    /// Only entered when the machine is durable; a
+    /// [`HomeEvent::PersistDone`] carrying `seq` (or a later one) clears it.
+    AwaitPersist {
+        /// The persist sequence number being awaited.
+        seq: u64,
+    },
 }
 
 impl Transient {
@@ -65,6 +73,7 @@ impl Transient {
             Transient::AwaitFlushes { .. } => "AwaitFlushes",
             Transient::HomeDrain => "HomeDrain",
             Transient::GraceWait => "GraceWait",
+            Transient::AwaitPersist { .. } => "AwaitPersist",
         }
     }
 }
@@ -116,6 +125,29 @@ pub enum HomeEvent<W> {
         /// The machine fences monotonically: an event whose stamp does not
         /// exceed the highest epoch already applied is stale (a replayed or
         /// reordered declaration) and is ignored.
+        view_epoch: u64,
+    },
+    /// The durable chunk store confirmed the persist requested by
+    /// [`HomeAction::PersistChunk`] with sequence number `seq` (or a later
+    /// one covering it — persists are cumulative: a log record at `seq`
+    /// implies every earlier image reached the log too). Completes a
+    /// [`Transient::AwaitPersist`]; stale confirmations are ignored.
+    PersistDone {
+        /// Highest persist sequence number now durable.
+        seq: u64,
+    },
+    /// A previously-dead node restarted and rejoined at a bumped
+    /// membership-view epoch (DESIGN.md §14). The node comes back *cold* —
+    /// its caches are empty, its durable log holds only its own home
+    /// chunks — so the directory needs no state surgery; the machine only
+    /// stops treating the identity as dead so fresh requests from it are
+    /// serviced again. Fenced by the same monotone `view_epoch` as
+    /// [`HomeEvent::PeerDown`].
+    PeerRestarted {
+        /// The restarted node.
+        node: NodeId,
+        /// The membership-view epoch stamped on the restart admission;
+        /// must exceed the highest epoch already applied.
         view_epoch: u64,
     },
 }
@@ -194,6 +226,16 @@ pub enum HomeAction<W> {
         /// Absolute (virtual) time to resume servicing.
         at: u64,
     },
+    /// Persist the chunk's current home image to the durable chunk store
+    /// (persist-before-ack, DESIGN.md §14). Emitted only by durable
+    /// machines, always *after* the actions that update the home image
+    /// (`ApplyFlushData` / the already-landed writeback RDMA). The executor
+    /// feeds [`HomeEvent::PersistDone`] back once the record is on the log.
+    PersistChunk {
+        /// Monotone per-machine persist sequence number; echoed back in
+        /// the completion event.
+        seq: u64,
+    },
     /// A state transition happened (structured trace; also counted).
     Trace(Transition),
     /// Bump a protocol counter.
@@ -225,9 +267,18 @@ pub struct HomeMachine<W> {
     /// epoch it belonged to was already closed (aborted) when the peer was
     /// erased, and applying it now could corrupt a successor owner's data.
     dead: Vec<NodeId>,
-    /// Highest membership-view epoch applied via [`HomeEvent::PeerDown`].
-    /// Declarations stamped at or below this are fenced as stale.
+    /// Highest membership-view epoch applied via [`HomeEvent::PeerDown`]
+    /// or [`HomeEvent::PeerRestarted`]. Declarations stamped at or below
+    /// this are fenced as stale.
     view_epoch: u64,
+    /// True when a durable chunk store backs this machine: dirty-data
+    /// arrivals (writebacks, operand-flush completions) persist before the
+    /// protocol acknowledges them (DESIGN.md §14). False by default, which
+    /// keeps every transition bit-identical to the non-durable protocol.
+    durable: bool,
+    /// Monotone persist sequence; the latest value is what
+    /// [`Transient::AwaitPersist`] waits for.
+    persist_seq: u64,
 }
 
 impl<W> Default for HomeMachine<W> {
@@ -248,7 +299,34 @@ impl<W> HomeMachine<W> {
             epoch: 0,
             dead: Vec::new(),
             view_epoch: 0,
+            durable: false,
+            persist_seq: 0,
         }
+    }
+
+    /// Turn persist-before-ack on or off (off by default). Flip this only
+    /// at bring-up, before the machine has seen events.
+    pub fn set_durable(&mut self, durable: bool) {
+        self.durable = durable;
+    }
+
+    /// Is a durable chunk store gating acknowledgements?
+    pub fn durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Number of persists requested so far (the latest persist sequence).
+    pub fn persist_seq(&self) -> u64 {
+        self.persist_seq
+    }
+
+    /// Seed the persist sequence from a recovered log record (bring-up
+    /// after a restart, before the machine has seen events). Without this a
+    /// restarted node's fresh machines would stamp new records with *lower*
+    /// epochs than the replayed ones, and the latest-epoch-wins replay of a
+    /// second crash would resurrect the pre-restart image.
+    pub fn resume_persist_seq(&mut self, epoch: u64) {
+        self.persist_seq = self.persist_seq.max(epoch);
     }
 
     /// The current stable directory state.
@@ -367,7 +445,11 @@ impl<W> HomeMachine<W> {
                             tag: NOTAG,
                         });
                     }
-                    self.finish_transient(now, grace_ns, &mut out);
+                    // Persist-before-ack: the recalled dirty image must be
+                    // on the log before the parked requester resumes.
+                    if !self.begin_persist(&mut out) {
+                        self.finish_transient(now, grace_ns, &mut out);
+                    }
                 } else if matches!(self.state, DirState::Dirty { owner } if owner == from) {
                     // Voluntary eviction writeback.
                     self.set_state(DirState::Unshared, "voluntary-writeback", &mut out);
@@ -375,6 +457,15 @@ impl<W> HomeMachine<W> {
                         state: LocalState::Exclusive,
                         tag: NOTAG,
                     });
+                    // The home image just changed; durable machines persist
+                    // it before servicing anything further, so no later
+                    // grant can expose data newer than the log. (Only the
+                    // stable/grace phases can be interrupted here — a
+                    // voluntary writeback requires the sender to *be* the
+                    // Dirty owner, which rules out every other transient.)
+                    if matches!(self.transient, Transient::None | Transient::GraceWait) {
+                        self.begin_persist(&mut out);
+                    }
                 }
                 // else: stale notice (the transient already completed via a
                 // different path); the data write is idempotent.
@@ -399,7 +490,12 @@ impl<W> HomeMachine<W> {
                                 state: LocalState::Exclusive,
                                 tag: NOTAG,
                             });
-                            self.finish_transient(now, grace_ns, &mut out);
+                            // Persist-before-ack: the fully-reduced epoch
+                            // image must be on the log before the request
+                            // that closed the epoch resumes.
+                            if !self.begin_persist(&mut out) {
+                                self.finish_transient(now, grace_ns, &mut out);
+                            }
                         }
                     }
                     _ => {
@@ -410,6 +506,16 @@ impl<W> HomeMachine<W> {
                             // still be combining locally); the next
                             // Read/Write promotes lazily.
                             self.remove_sharer(from);
+                            // Operand data was just reduced into the home
+                            // image; persist it while the chunk is idle so
+                            // an "operated-promotion" (which has no flush of
+                            // its own) never strands reduced operands in
+                            // volatile memory.
+                            if has_data
+                                && matches!(self.transient, Transient::None | Transient::GraceWait)
+                            {
+                                self.begin_persist(&mut out);
+                            }
                         }
                         // Flushes of other epochs were already reduced
                         // above; their bookkeeping was settled when their
@@ -443,6 +549,54 @@ impl<W> HomeMachine<W> {
                 self.view_epoch = view_epoch;
                 self.forget_peer(now, grace_ns, dead, &mut out);
             }
+            HomeEvent::PersistDone { seq } => {
+                // Persists are cumulative (the log is append-only and
+                // sequenced), so a confirmation at or past the awaited
+                // sequence completes the wait. Anything else is a stale
+                // confirmation of a persist whose wait already ended (e.g.
+                // superseded by a later one) and is ignored.
+                if matches!(self.transient, Transient::AwaitPersist { seq: s } if seq >= s) {
+                    out.push(HomeAction::Count(Counter::FlushPersists));
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "persist-done",
+                    }));
+                    self.finish_transient(now, grace_ns, &mut out);
+                } else {
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "stale-persist-done",
+                    }));
+                }
+            }
+            HomeEvent::PeerRestarted { node, view_epoch } => {
+                // Same monotone fence as PeerDown: a restart admission
+                // must carry a strictly newer membership epoch than
+                // anything this machine has applied, else it is a replay.
+                if view_epoch <= self.view_epoch {
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "stale-peer-restart-epoch",
+                    }));
+                    return out;
+                }
+                self.view_epoch = view_epoch;
+                if let Some(pos) = self.dead.iter().position(|&n| n == node) {
+                    self.dead.remove(pos);
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "peer-restarted",
+                    }));
+                }
+                // The restarted identity rejoins cold (empty caches), so
+                // no directory state mentions it — `forget_peer` erased it
+                // when the death was declared. Un-deadening it is all that
+                // is needed for its fresh requests to be serviced.
+            }
         }
         out
     }
@@ -474,6 +628,25 @@ impl<W> HomeMachine<W> {
             trigger,
         }));
         self.state = new;
+    }
+
+    /// Durable mode: ask the executor to persist the chunk's (just
+    /// updated) home image and park the machine in
+    /// [`Transient::AwaitPersist`] until [`HomeEvent::PersistDone`]
+    /// confirms it. Returns false on non-durable machines, which leaves
+    /// every action stream bit-identical to the pre-durability protocol.
+    fn begin_persist(&mut self, out: &mut Vec<HomeAction<W>>) -> bool {
+        if !self.durable {
+            return false;
+        }
+        self.persist_seq += 1;
+        self.transient = Transient::AwaitPersist {
+            seq: self.persist_seq,
+        };
+        out.push(HomeAction::PersistChunk {
+            seq: self.persist_seq,
+        });
+        true
     }
 
     /// Complete the pending transient: requeue the parked request and keep
@@ -840,7 +1013,13 @@ impl<W> HomeMachine<W> {
                         state: LocalState::Exclusive,
                         tag: NOTAG,
                     });
-                    self.finish_transient(now, grace_ns, out);
+                    // Live contributors' flushes were already reduced into
+                    // the home image; persist them before the parked
+                    // requester resumes, exactly as on the normal
+                    // flushes-complete path.
+                    if !self.begin_persist(out) {
+                        self.finish_transient(now, grace_ns, out);
+                    }
                 }
             }
             _ => {
@@ -1357,5 +1536,223 @@ mod tests {
         assert!(!m.remove_sharer(2));
         assert!(m.remove_sharer(5));
         assert!(m.remove_sharer(7), "removing from empty set reports empty");
+    }
+
+    /// Drive a durable machine to the recalled-writeback point: node 1 owns
+    /// the chunk Dirty, node 2's read recalls it, the writeback arrives.
+    fn durable_at_writeback() -> M {
+        let mut m = M::new();
+        m.set_durable(true);
+        m.on_event(0, 0, remote(1, Kind::Write));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, remote(2, Kind::Read));
+        m.on_event(
+            0,
+            0,
+            HomeEvent::Writeback {
+                from: 1,
+                downgrade: true,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn durable_writeback_persists_before_ack() {
+        let mut m = durable_at_writeback();
+        // The writeback completed the wait, but the machine must now be
+        // parked on the persist — the requester (node 2) not yet filled.
+        assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
+        assert!(m.has_current(), "requester stays parked across the persist");
+        // Confirmation releases the parked request and counts the persist.
+        let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 1 });
+        assert!(acts.contains(&HomeAction::Count(Counter::FlushPersists)));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::SendFill {
+                to: 2,
+                exclusive: false,
+                ..
+            }
+        )));
+        assert!(m.transient().is_none());
+    }
+
+    #[test]
+    fn stale_persist_done_is_ignored() {
+        let mut m = durable_at_writeback();
+        assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
+        // A confirmation from before the awaited sequence changes nothing.
+        let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 0 });
+        assert!(!acts.contains(&HomeAction::Count(Counter::FlushPersists)));
+        assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
+        // A later (covering) confirmation completes it.
+        let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 5 });
+        assert!(acts.contains(&HomeAction::Count(Counter::FlushPersists)));
+        assert!(m.transient().is_none());
+        // And once stable, any further confirmation is stale.
+        let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 5 });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::Trace(Transition {
+                trigger: "stale-persist-done",
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn durable_voluntary_writeback_persists_idle() {
+        let mut m = M::new();
+        m.set_durable(true);
+        m.on_event(0, 0, remote(1, Kind::Write));
+        m.on_event(0, 0, HomeEvent::Drained);
+        // Node 1 evicts voluntarily: no requester waits, but the machine
+        // still persists the new image before servicing anything further.
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::Writeback {
+                from: 1,
+                downgrade: false,
+            },
+        );
+        assert!(acts.contains(&HomeAction::PersistChunk { seq: 1 }));
+        assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
+        m.on_event(0, 0, HomeEvent::PersistDone { seq: 1 });
+        assert!(m.transient().is_none());
+        assert_eq!(m.state(), &DirState::Unshared);
+    }
+
+    #[test]
+    fn non_durable_machine_never_persists() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Write));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, remote(2, Kind::Read));
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::Writeback {
+                from: 1,
+                downgrade: true,
+            },
+        );
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::PersistChunk { .. })));
+        assert!(m.transient().is_none(), "completes without a persist wait");
+        assert_eq!(m.persist_seq(), 0);
+    }
+
+    #[test]
+    fn durable_flushes_complete_persists_before_ack() {
+        let mut m = M::new();
+        m.set_durable(true);
+        m.on_event(0, 0, remote(1, Kind::Operate(5)));
+        m.on_event(0, 0, HomeEvent::Drained);
+        // A read closes the epoch: recall, then the flush arrives.
+        m.on_event(0, 0, remote(2, Kind::Read));
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::Flush {
+                from: 1,
+                op: 5,
+                has_data: true,
+            },
+        );
+        // Reduce first, then persist the reduced image; the read stays
+        // parked until the log confirms.
+        let reduce_at = acts
+            .iter()
+            .position(|a| matches!(a, HomeAction::ApplyFlushData { .. }))
+            .expect("flush data reduced");
+        let persist_at = acts
+            .iter()
+            .position(|a| matches!(a, HomeAction::PersistChunk { .. }))
+            .expect("reduced image persisted");
+        assert!(reduce_at < persist_at, "persist covers the reduction");
+        assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
+        let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 1 });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::StartHomeDrain { .. })));
+    }
+
+    #[test]
+    fn peer_restart_unfences_the_identity() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Write));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(
+            0,
+            0,
+            HomeEvent::PeerDown {
+                dead: 1,
+                view_epoch: 1,
+            },
+        );
+        assert!(m.is_dead(1));
+        // Its events are fenced while dead.
+        let acts = m.on_event(0, 0, remote(1, Kind::Read));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::Trace(Transition {
+                trigger: "stale-event-from-dead-peer",
+                ..
+            })
+        )));
+        // A stale restart admission (epoch not newer) is fenced.
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::PeerRestarted {
+                node: 1,
+                view_epoch: 1,
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::Trace(Transition {
+                trigger: "stale-peer-restart-epoch",
+                ..
+            })
+        )));
+        assert!(m.is_dead(1));
+        // A properly-bumped admission un-deadens it; fresh requests work.
+        m.on_event(
+            0,
+            0,
+            HomeEvent::PeerRestarted {
+                node: 1,
+                view_epoch: 2,
+            },
+        );
+        assert!(!m.is_dead(1));
+        assert_eq!(m.view_epoch(), 2);
+        let acts = m.on_event(0, 0, remote(1, Kind::Read));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::StartHomeDrain { .. })));
+    }
+
+    #[test]
+    fn persist_wait_survives_unrelated_peer_down() {
+        // A PeerDown landing while a persist is in flight must not abandon
+        // the wait: the persist is local, not owed by any peer.
+        let mut m = durable_at_writeback();
+        assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
+        m.on_event(
+            0,
+            0,
+            HomeEvent::PeerDown {
+                dead: 3,
+                view_epoch: 1,
+            },
+        );
+        assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
+        let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 1 });
+        assert!(acts.contains(&HomeAction::Count(Counter::FlushPersists)));
     }
 }

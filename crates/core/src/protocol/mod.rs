@@ -123,4 +123,8 @@ pub enum Counter {
     /// An Operated epoch was closed by abort: a contributor died before
     /// flushing, so its operands are lost (fail-stop).
     EpochsAborted,
+    /// A dirty-chunk flush was persisted to the durable chunk store before
+    /// the protocol acknowledged it (persist-before-ack, DESIGN.md §14).
+    /// Zero unless a durability policy is configured.
+    FlushPersists,
 }

@@ -120,6 +120,7 @@ impl RuntimeThread {
             Counter::Evictions => &s.evictions,
             Counter::SharersPruned => &s.sharers_pruned,
             Counter::EpochsAborted => &s.epochs_aborted,
+            Counter::FlushPersists => &s.flush_persists,
         });
     }
 
@@ -162,6 +163,7 @@ impl RuntimeThread {
                     self.home_event(ctx, array, chunk, HomeEvent::RetryExpired);
                 }
                 RtMsg::PeerDown { node, epoch } => self.handle_peer_down(ctx, node, epoch),
+                RtMsg::PeerRestarted { node, epoch } => self.handle_peer_restart(ctx, node, epoch),
             }
             self.poll_deferred();
             self.drain_ready(ctx);
@@ -342,6 +344,26 @@ impl RuntimeThread {
             }
             HomeAction::Trace(t) => self.transition(ctx, arr.id, chunk, &t),
             HomeAction::Count(c) => self.count(c),
+            HomeAction::PersistChunk { seq } => {
+                // Persist-before-ack (DESIGN.md §14): append the chunk's
+                // freshly updated home image to the durable log, then feed
+                // the completion straight back — the machine is parked in
+                // AwaitPersist and resumes the acknowledgement only now.
+                // Under the Writethrough policy the record is also fsynced
+                // here; under Writeback it reaches disk at the next batch
+                // point (eviction scan or shutdown).
+                let store = self.shared.stores[self.node]
+                    .as_ref()
+                    .expect("durable home machine without a chunk store");
+                let words = arr.layout.chunk_size();
+                let off = arr.layout.chunk_home_offset(chunk as usize);
+                let data = arr.subarrays[self.node].read_vec(off, words);
+                ctx.charge(self.shared.cfg.cost.memcpy(words));
+                store
+                    .persist(arr.id, chunk, seq, &data)
+                    .expect("durable chunk store persist failed");
+                self.home_event(ctx, arr.id, chunk, HomeEvent::PersistDone { seq });
+            }
         }
     }
 
@@ -739,6 +761,20 @@ impl RuntimeThread {
             self.cache_event(ctx, &arr, c, CacheEvent::Evict, None);
         }
         self.drain_ready(ctx);
+        // Writeback durability batch point (DESIGN.md §14): the eviction
+        // scan just pushed a burst of dirty images through the home
+        // machines (and thus into the buffered log); flush them to disk in
+        // one syscall instead of one per record. Writethrough syncs per
+        // record in `persist`, so this is a no-op there; for `None` there
+        // is no store at all.
+        if let Some(store) = &self.shared.stores[self.node] {
+            if matches!(
+                self.shared.cfg.durability.policy,
+                crate::store::DurabilityPolicy::Writeback
+            ) {
+                store.sync().expect("durable chunk store batch sync failed");
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -929,6 +965,51 @@ impl RuntimeThread {
             };
             for w in woken {
                 w.notify(ctx);
+            }
+        }
+    }
+
+    /// The membership view re-admitted `node` as a *restarted* identity
+    /// (`MembershipView::restart`, DESIGN.md §14): the peer crashed, was
+    /// confirmed dead, recovered whatever its durable chunk store held, and
+    /// is rejoining cold. Settle the protocol state this runtime thread
+    /// owns so the new incarnation starts from a clean slate:
+    ///
+    /// * requester side (chunks homed on the restarted node): the cache
+    ///   machine releases every cached line and resets to Invalid
+    ///   (`CacheEvent::HomeRestarted`) — rights granted by the *old*
+    ///   incarnation are void, the restarted home's directory has no record
+    ///   of them. Subsequent accesses re-fill from the recovered image.
+    /// * home side (chunks homed here): the home machine un-fences the
+    ///   identity (`HomeEvent::PeerRestarted`) so the new incarnation's
+    ///   requests are served again; the epoch fence rejects stale replays.
+    fn handle_peer_restart(&mut self, ctx: &mut Ctx, node: NodeId, epoch: u64) {
+        // Fence: only act if the local view actually shows the peer alive
+        // again. A stale restart message racing a *newer* death declaration
+        // must not resurrect protocol state for a corpse.
+        if self.shared.membership[self.node].is_dead(node) {
+            return;
+        }
+        let arrays: Vec<Arc<ArrayShared>> = self.shared.arrays.read().clone();
+        for arr in &arrays {
+            for c in 0..arr.layout.num_chunks() as ChunkId {
+                if self.shared.rt_index(c) != self.rt_idx {
+                    continue;
+                }
+                let home = arr.layout.home_of_chunk(c as usize);
+                if home == node {
+                    self.cache_event(ctx, arr, c, CacheEvent::HomeRestarted, None);
+                } else if home == self.node {
+                    self.home_event(
+                        ctx,
+                        arr.id,
+                        c,
+                        HomeEvent::PeerRestarted {
+                            node,
+                            view_epoch: epoch,
+                        },
+                    );
+                }
             }
         }
     }

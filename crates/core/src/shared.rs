@@ -2,7 +2,7 @@
 //! runtime mailboxes and per-node bookkeeping that the interface layer,
 //! runtime layer and communication layer all reference.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -17,12 +17,13 @@ use crate::dentry::{Dentry, LINE_HOME, LINE_NONE};
 use crate::error::{DArrayError, UnavailableKind};
 use crate::layout::Layout;
 use crate::membership::{MembershipView, PeerHealth};
-use crate::msg::{ArrayId, ChunkId, LockKind, NetMsg, RtMsg};
+use crate::msg::{ArrayId, ChunkId, LockKind, NetMsg, Rpc, RtMsg};
 use crate::op::OpRegistry;
 use crate::protocol::locks::LockTable;
 use crate::protocol::HomeMachine;
 use crate::state::LocalState;
 use crate::stats::NodeStats;
+use crate::store::ChunkStore;
 
 /// Per-(array, node) protocol state.
 pub(crate) struct ArrayNode {
@@ -52,7 +53,10 @@ pub(crate) struct ArrayShared {
 }
 
 impl ArrayShared {
-    pub(crate) fn new(id: ArrayId, layout: Layout) -> Self {
+    /// `durable` makes every home machine gate dirty-data acknowledgements
+    /// on a durable-store persist (DESIGN.md §14); false keeps the protocol
+    /// bit-identical to the persistence-free build.
+    pub(crate) fn new(id: ArrayId, layout: Layout, durable: bool) -> Self {
         let nodes = layout.nodes();
         let chunks = layout.num_chunks();
         let subarrays: Vec<MemoryRegion> = (0..nodes)
@@ -70,7 +74,11 @@ impl ArrayShared {
                     })
                     .collect();
                 let home = (0..chunks)
-                    .map(|_| Mutex::new(HomeMachine::new()))
+                    .map(|_| {
+                        let mut m = HomeMachine::new();
+                        m.set_durable(durable);
+                        Mutex::new(m)
+                    })
                     .collect();
                 ArrayNode {
                     dentries,
@@ -87,6 +95,28 @@ impl ArrayShared {
             subarrays,
             per_node,
         }
+    }
+}
+
+/// Receiver-side state of one reliable link (`me <- src`): the in-order
+/// delivery cursor and the out-of-order buffer. Owned by `me`'s Rx thread
+/// in steady state (the mutex is uncontended); kept in shared state so
+/// [`crate::Cluster::restart_peer`] can reset a link when a restarted peer
+/// is re-admitted — the death dropped unacked frames, and without a reset
+/// the receiver would wait forever on the resulting sequence gap.
+#[derive(Default)]
+pub(crate) struct RxLink {
+    /// Next sequence number to deliver from this source.
+    pub next_expected: u64,
+    /// Frames that arrived ahead of the cursor, keyed by sequence.
+    pub reorder: BTreeMap<u64, (ArrayId, Rpc)>,
+}
+
+impl RxLink {
+    /// Forget the old incarnation's stream: the link restarts from seq 0.
+    pub fn reset(&mut self) {
+        self.next_expected = 0;
+        self.reorder.clear();
     }
 }
 
@@ -107,6 +137,13 @@ pub(crate) struct ClusterShared {
     pub stats: Vec<Arc<NodeStats>>,
     /// Per-node reliability-agent mailbox (`Some` iff `cfg.fault` is set).
     pub rel_mailboxes: Vec<Option<Mailbox<RelMsg>>>,
+    /// `rx_links[me][src]`: receiver-side reliable-channel state of the
+    /// link `me <- src`. Only populated (non-trivially) in fault mode.
+    pub rx_links: Vec<Vec<Mutex<RxLink>>>,
+    /// Per-node durable chunk store (`Some` iff `cfg.durability.policy` is
+    /// not `None`). Home machines with `durable` set emit `PersistChunk`
+    /// actions that the runtime resolves against this store.
+    pub stores: Vec<Option<Arc<dyn ChunkStore>>>,
     /// `membership[me]`: node `me`'s epoch-numbered lease membership view
     /// of every peer (Alive / Suspected / Dead). Each node holds its own
     /// independent view — failure *observation* is local, exactly as on
@@ -235,7 +272,7 @@ mod tests {
     #[test]
     fn array_shared_initializes_home_rights() {
         let layout = Layout::even(2048, 2, 512);
-        let a = ArrayShared::new(0, layout);
+        let a = ArrayShared::new(0, layout, false);
         // Node 0 owns chunks 0,1; node 1 owns 2,3.
         assert_eq!(a.per_node[0].dentries[0].state(), LocalState::Exclusive);
         assert_eq!(a.per_node[0].dentries[0].line(), LINE_HOME);

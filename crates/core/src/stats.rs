@@ -72,6 +72,16 @@ pub struct NodeStats {
     /// Gauge (not a counter): this node's current membership-view epoch,
     /// i.e. the number of deaths it has confirmed so far.
     pub membership_epoch: AtomicU64,
+    /// Dirty-chunk flushes persisted to the durable chunk store before the
+    /// protocol acknowledged them (persist-before-ack, DESIGN.md §14).
+    /// Zero unless a durability policy is configured.
+    pub flush_persists: AtomicU64,
+    /// Log records replayed when this node's durable chunk store was
+    /// opened (includes superseded records of re-persisted chunks).
+    pub log_replays: AtomicU64,
+    /// Distinct chunk images recovered from the durable log at bring-up
+    /// (latest epoch per chunk) and overlaid onto home subarrays.
+    pub recovered_chunks: AtomicU64,
 }
 
 /// Point-in-time copy of [`NodeStats`].
@@ -103,6 +113,9 @@ pub struct NodeStatsSnapshot {
     pub refutations: u64,
     pub confirmed_deaths: u64,
     pub membership_epoch: u64,
+    pub flush_persists: u64,
+    pub log_replays: u64,
+    pub recovered_chunks: u64,
     /// Bytes this node's transport handed to the wire (payload plus backend
     /// framing). Filled in by `Cluster::stats` from the transport backend;
     /// always zero in a bare [`NodeStats::snapshot`].
@@ -157,6 +170,9 @@ impl NodeStats {
             refutations: self.refutations.load(Ordering::Relaxed),
             confirmed_deaths: self.confirmed_deaths.load(Ordering::Relaxed),
             membership_epoch: self.membership_epoch.load(Ordering::Relaxed),
+            flush_persists: self.flush_persists.load(Ordering::Relaxed),
+            log_replays: self.log_replays.load(Ordering::Relaxed),
+            recovered_chunks: self.recovered_chunks.load(Ordering::Relaxed),
             // Transport counters live in the backend, not in NodeStats;
             // `Cluster::stats` overlays them onto the snapshot.
             bytes_tx: 0,

@@ -1,0 +1,460 @@
+//! Per-node durable chunk storage (DESIGN.md §14).
+//!
+//! An optional persistence backend under the runtime executor: when
+//! [`crate::ClusterConfig::durability`] selects a policy other than
+//! [`DurabilityPolicy::None`], every node opens one [`ChunkStore`] and the
+//! home-side directory machine routes dirty-chunk flushes through it
+//! *before* the protocol acknowledges them (persist-before-ack — see
+//! `protocol::home::Transient::AwaitPersist`).
+//!
+//! The shipped implementation, [`LogChunkStore`], is a single append-only
+//! log-structured file per node:
+//!
+//! * each record is an epoch-stamped full-chunk image, CRC-framed so a torn
+//!   tail (a crash mid-append) is detected and truncated on reopen;
+//! * replay on open scans the log once and keeps, per `(array, chunk)`,
+//!   only the record with the highest persist epoch — later records always
+//!   win, so recovery is the last acknowledged image of every chunk;
+//! * `Writethrough` syncs the file after every record; `Writeback` buffers
+//!   appends and syncs at [`ChunkStore::sync`] points (eviction-scan
+//!   batches, epoch closes, shutdown).
+//!
+//! The trait is deliberately tiny — the shape graft takes with its
+//! `FjallStorage` layering: a storage seam under the runtime, not a fork of
+//! the protocol. A different backend (an LSM tree, a block device, a
+//! remote object store) slots in behind the same four methods.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::msg::{ArrayId, ChunkId};
+
+/// When (and whether) dirty-chunk flushes are persisted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// No durability: flushes are acknowledged straight from memory. The
+    /// protocol behaves bit-identically to the pre-durability builds.
+    #[default]
+    None,
+    /// Flushes append to the log through a write buffer; the buffer is
+    /// synced at batch boundaries (eviction scans, epoch closes, shutdown).
+    /// A crash may lose the unsynced tail — but never an already-synced
+    /// record, and never the log's integrity (the torn tail is truncated
+    /// on reopen).
+    Writeback,
+    /// Every flush is appended *and synced* before the protocol
+    /// acknowledges it. Strongest guarantee, one `fsync` per flush.
+    Writethrough,
+}
+
+impl DurabilityPolicy {
+    /// Human-readable knob name (config errors, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DurabilityPolicy::None => "none",
+            DurabilityPolicy::Writeback => "writeback",
+            DurabilityPolicy::Writethrough => "writethrough",
+        }
+    }
+}
+
+/// One chunk image recovered by log replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredChunk {
+    /// Array the chunk belongs to (allocation order, so deterministic
+    /// across a restart that allocates the same arrays in the same order).
+    pub array: ArrayId,
+    /// Global chunk index within the array.
+    pub chunk: ChunkId,
+    /// Persist epoch stamped on the winning record.
+    pub epoch: u64,
+    /// The chunk's words as of its last acknowledged flush.
+    pub data: Vec<u64>,
+}
+
+/// Counters a store exposes for `NodeStats` overlay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records appended (one per persisted flush).
+    pub persists: u64,
+    /// Records scanned during replay on open (including superseded ones).
+    pub replayed_records: u64,
+    /// Distinct chunks recovered by replay (latest record per chunk).
+    pub recovered_chunks: u64,
+}
+
+/// A per-node durable chunk store: the persistence seam under the runtime.
+///
+/// Implementations must be thread-safe — every runtime thread of the node
+/// persists through the same store.
+pub trait ChunkStore: Send + Sync {
+    /// Durably record `data` as the image of `(array, chunk)` at persist
+    /// epoch `epoch`. Whether the record is synced before return is the
+    /// policy's choice; [`ChunkStore::sync`] forces it.
+    fn persist(&self, array: ArrayId, chunk: ChunkId, epoch: u64, data: &[u64]) -> io::Result<()>;
+
+    /// Flush buffered records to stable storage.
+    fn sync(&self) -> io::Result<()>;
+
+    /// The chunk images recovered when the store was opened, sorted by
+    /// `(array, chunk)` for deterministic replay order.
+    fn recovered(&self) -> Vec<RecoveredChunk>;
+
+    /// Monotonic counters for stats overlay.
+    fn stats(&self) -> StoreStats;
+}
+
+/// Log file magic: `b"DACS"` ("DArray Chunk Store").
+const MAGIC: u32 = 0x5343_4144;
+/// Format version; bumped on incompatible record changes.
+const VERSION: u32 = 1;
+/// Per-record fixed header: array(4) chunk(4) nwords(4) pad(4) epoch(8).
+const REC_HEADER_BYTES: usize = 24;
+
+/// CRC-32 (IEEE 802.3, reflected), table-less bitwise implementation — the
+/// store must not pull in a checksum dependency.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+struct LogInner {
+    file: File,
+    /// Buffered bytes not yet written to the file (Writeback policy).
+    buf: Vec<u8>,
+}
+
+/// The shipped [`ChunkStore`]: one append-only CRC-framed log file.
+pub struct LogChunkStore {
+    path: PathBuf,
+    sync_every_record: bool,
+    inner: Mutex<LogInner>,
+    /// Snapshot of the replay result at open time; later persists append to
+    /// the log but do not alter what *this* open recovered.
+    recovered: Vec<RecoveredChunk>,
+    persists: AtomicU64,
+    replayed_records: u64,
+}
+
+impl LogChunkStore {
+    /// Open (or create) the log at `path`, replaying any existing records.
+    /// A torn tail — an incomplete or CRC-corrupt final record left by a
+    /// crash mid-append — is truncated away; everything before it is kept.
+    ///
+    /// `policy` must not be [`DurabilityPolicy::None`] (config validation
+    /// rejects that combination before a store is ever opened).
+    pub fn open(path: &Path, policy: DurabilityPolicy) -> io::Result<Self> {
+        debug_assert_ne!(policy, DurabilityPolicy::None);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut body = Vec::new();
+        file.read_to_end(&mut body)?;
+
+        let mut index: HashMap<(ArrayId, ChunkId), (u64, Vec<u64>)> = HashMap::new();
+        let mut replayed_records = 0u64;
+        let valid_len = if body.is_empty() {
+            // Fresh log: write the file header.
+            let mut hdr = Vec::with_capacity(8);
+            hdr.extend_from_slice(&MAGIC.to_le_bytes());
+            hdr.extend_from_slice(&VERSION.to_le_bytes());
+            file.write_all(&hdr)?;
+            8
+        } else {
+            if body.len() < 8
+                || u32::from_le_bytes(body[0..4].try_into().unwrap()) != MAGIC
+                || u32::from_le_bytes(body[4..8].try_into().unwrap()) != VERSION
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: not a darray chunk log (bad magic/version)",
+                        path.display()
+                    ),
+                ));
+            }
+            let mut pos = 8usize;
+            // Scan records until EOF or the first torn/corrupt frame.
+            while let Some((consumed, array, chunk, epoch, data)) = decode_record(&body[pos..]) {
+                let e = index.entry((array, chunk)).or_insert((0, Vec::new()));
+                // Later records supersede earlier ones; epoch ties go to
+                // the later (append-ordered) record too.
+                if epoch >= e.0 || e.1.is_empty() {
+                    *e = (epoch, data);
+                }
+                replayed_records += 1;
+                pos += consumed;
+            }
+            pos
+        };
+        if valid_len < body.len().max(8) {
+            // Torn tail: a crash interrupted the final append.
+            file.set_len(valid_len as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let mut recovered: Vec<RecoveredChunk> = index
+            .into_iter()
+            .map(|((array, chunk), (epoch, data))| RecoveredChunk {
+                array,
+                chunk,
+                epoch,
+                data,
+            })
+            .collect();
+        recovered.sort_by_key(|r| (r.array, r.chunk));
+        Ok(Self {
+            path: path.to_path_buf(),
+            sync_every_record: policy == DurabilityPolicy::Writethrough,
+            inner: Mutex::new(LogInner {
+                file,
+                buf: Vec::new(),
+            }),
+            recovered,
+            persists: AtomicU64::new(0),
+            replayed_records,
+        })
+    }
+
+    /// The log file path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Encode one record: `[len u32][crc u32][header][data]`, where `len`
+/// covers header + data and `crc` covers the same bytes `len` frames.
+fn encode_record(array: ArrayId, chunk: ChunkId, epoch: u64, data: &[u64]) -> Vec<u8> {
+    let body_len = REC_HEADER_BYTES + data.len() * 8;
+    let mut out = Vec::with_capacity(8 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
+    out.extend_from_slice(&array.to_le_bytes());
+    out.extend_from_slice(&chunk.to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // pad (8-byte data alignment)
+    out.extend_from_slice(&epoch.to_le_bytes());
+    for w in data {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    let crc = crc32(&out[8..]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode the record at the front of `buf`. Returns
+/// `(bytes_consumed, array, chunk, epoch, data)` or `None` on a torn or
+/// corrupt frame.
+fn decode_record(buf: &[u8]) -> Option<(usize, ArrayId, ChunkId, u64, Vec<u64>)> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if body_len < REC_HEADER_BYTES || buf.len() < 8 + body_len {
+        return None; // torn tail
+    }
+    let body = &buf[8..8 + body_len];
+    if crc32(body) != crc {
+        return None; // corrupt frame (torn overwrite)
+    }
+    let array = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    let chunk = u32::from_le_bytes(body[4..8].try_into().unwrap());
+    let nwords = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+    let epoch = u64::from_le_bytes(body[16..24].try_into().unwrap());
+    if body_len != REC_HEADER_BYTES + nwords * 8 {
+        return None;
+    }
+    let mut data = Vec::with_capacity(nwords);
+    for i in 0..nwords {
+        let off = REC_HEADER_BYTES + i * 8;
+        data.push(u64::from_le_bytes(body[off..off + 8].try_into().unwrap()));
+    }
+    Some((8 + body_len, array, chunk, epoch, data))
+}
+
+impl ChunkStore for LogChunkStore {
+    fn persist(&self, array: ArrayId, chunk: ChunkId, epoch: u64, data: &[u64]) -> io::Result<()> {
+        let rec = encode_record(array, chunk, epoch, data);
+        let mut g = self.inner.lock();
+        if self.sync_every_record {
+            g.buf.extend_from_slice(&rec);
+            let buf = std::mem::take(&mut g.buf);
+            g.file.write_all(&buf)?;
+            g.file.sync_data()?;
+        } else {
+            g.buf.extend_from_slice(&rec);
+        }
+        self.persists.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let mut g = self.inner.lock();
+        if !g.buf.is_empty() {
+            let buf = std::mem::take(&mut g.buf);
+            g.file.write_all(&buf)?;
+        }
+        g.file.sync_data()
+    }
+
+    fn recovered(&self) -> Vec<RecoveredChunk> {
+        self.recovered.clone()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            persists: self.persists.load(Ordering::Relaxed),
+            replayed_records: self.replayed_records,
+            recovered_chunks: self.recovered.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "darray-store-test-{}-{name}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn persist_reopen_recovers_latest_image() {
+        let p = temp_log("latest");
+        {
+            let s = LogChunkStore::open(&p, DurabilityPolicy::Writethrough).unwrap();
+            s.persist(0, 3, 1, &[1, 2, 3]).unwrap();
+            s.persist(0, 3, 2, &[4, 5, 6]).unwrap();
+            s.persist(1, 0, 1, &[9]).unwrap();
+            assert_eq!(s.stats().persists, 3);
+            assert!(s.recovered().is_empty(), "fresh log recovered nothing");
+        }
+        let s = LogChunkStore::open(&p, DurabilityPolicy::Writethrough).unwrap();
+        let rec = s.recovered();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec[0].array, 0);
+        assert_eq!(rec[0].chunk, 3);
+        assert_eq!(rec[0].epoch, 2);
+        assert_eq!(rec[0].data, vec![4, 5, 6], "later record wins");
+        assert_eq!(rec[1].data, vec![9]);
+        let st = s.stats();
+        assert_eq!(st.replayed_records, 3);
+        assert_eq!(st.recovered_chunks, 2);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn writeback_buffers_until_sync() {
+        let p = temp_log("writeback");
+        {
+            let s = LogChunkStore::open(&p, DurabilityPolicy::Writeback).unwrap();
+            s.persist(0, 0, 1, &[7]).unwrap();
+            // Unsynced: nothing has reached the file past the header yet.
+            assert_eq!(std::fs::metadata(&p).unwrap().len(), 8, "header only");
+            s.sync().unwrap();
+            assert!(std::fs::metadata(&p).unwrap().len() > 8);
+        }
+        let s = LogChunkStore::open(&p, DurabilityPolicy::Writeback).unwrap();
+        assert_eq!(s.recovered().len(), 1);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let p = temp_log("torn");
+        {
+            let s = LogChunkStore::open(&p, DurabilityPolicy::Writethrough).unwrap();
+            s.persist(0, 0, 1, &[1, 1]).unwrap();
+            s.persist(0, 1, 1, &[2, 2]).unwrap();
+        }
+        // Chop the final record mid-frame: a crash mid-append.
+        let full = std::fs::metadata(&p).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(full - 5).unwrap();
+        drop(f);
+        let s = LogChunkStore::open(&p, DurabilityPolicy::Writethrough).unwrap();
+        let rec = s.recovered();
+        assert_eq!(rec.len(), 1, "only the intact record survives");
+        assert_eq!(rec[0].chunk, 0);
+        let one_record = 8 + (REC_HEADER_BYTES + 2 * 8) as u64;
+        assert_eq!(
+            std::fs::metadata(&p).unwrap().len(),
+            full - one_record,
+            "tail truncated to the last intact frame"
+        );
+        // The truncated log keeps appending cleanly.
+        s.persist(0, 1, 2, &[3, 3]).unwrap();
+        drop(s);
+        let s = LogChunkStore::open(&p, DurabilityPolicy::Writethrough).unwrap();
+        assert_eq!(s.recovered().len(), 2);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let p = temp_log("crc");
+        {
+            let s = LogChunkStore::open(&p, DurabilityPolicy::Writethrough).unwrap();
+            s.persist(0, 0, 1, &[1]).unwrap();
+            s.persist(0, 1, 1, &[2]).unwrap();
+        }
+        // Flip a data byte inside the second record.
+        let mut body = std::fs::read(&p).unwrap();
+        let last = body.len() - 1;
+        body[last] ^= 0xFF;
+        std::fs::write(&p, &body).unwrap();
+        let s = LogChunkStore::open(&p, DurabilityPolicy::Writethrough).unwrap();
+        assert_eq!(s.recovered().len(), 1, "replay stops at the corrupt frame");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let p = temp_log("magic");
+        std::fs::write(&p, b"not a chunk log").unwrap();
+        assert!(LogChunkStore::open(&p, DurabilityPolicy::Writethrough).is_err());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(DurabilityPolicy::None.name(), "none");
+        assert_eq!(DurabilityPolicy::Writeback.name(), "writeback");
+        assert_eq!(DurabilityPolicy::Writethrough.name(), "writethrough");
+    }
+}

@@ -85,23 +85,47 @@ const LKINDS: [LockKind; 2] = [LockKind::Read, LockKind::Write];
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Msg {
     // home → remote
-    Fill { exclusive: bool },
-    Grant { op: u32 },
+    Fill {
+        exclusive: bool,
+    },
+    Grant {
+        op: u32,
+    },
     Inv,
     RecallDirty,
     Downgrade,
-    RecallOperated { op: u32 },
-    LockGrant { kind: LockKind },
+    RecallOperated {
+        op: u32,
+    },
+    LockGrant {
+        kind: LockKind,
+    },
     // remote → home
-    Req { kind: Kind },
+    Req {
+        kind: Kind,
+    },
     InvAck,
     EvictNotice,
-    Writeback { downgrade: bool },
-    Flush { op: u32 },
-    LockAcq { kind: LockKind },
-    LockRel { kind: LockKind },
+    Writeback {
+        downgrade: bool,
+    },
+    Flush {
+        op: u32,
+    },
+    LockAcq {
+        kind: LockKind,
+    },
+    LockRel {
+        kind: LockKind,
+    },
     // either direction
-    Down { dead: usize },
+    Down {
+        dead: usize,
+    },
+    /// The home's *new incarnation* announcing itself after a restart
+    /// (`RtMsg::PeerRestarted` fan-out): the remote must treat every right
+    /// granted by the old incarnation as void.
+    Restarted,
 }
 
 /// One node's application slot: at most one outstanding data request.
@@ -216,6 +240,22 @@ struct World {
     suspected: [bool; NREM],
     /// How many `Suspect` stimuli may still be injected.
     suspect_budget: u8,
+    /// Durable mode (DESIGN.md §14): the home machine gates dirty-data
+    /// acknowledgements on a modeled chunk-store persist.
+    durable: bool,
+    /// A `PersistChunk { seq }` the executor has accepted but whose
+    /// completion (`PersistDone`) has not yet been fed back. At most one:
+    /// the machine parks in `AwaitPersist` until it resolves.
+    pending_persist: Option<u64>,
+    /// Highest persist sequence durably in the log. Survives home kills —
+    /// that is the entire point of the log.
+    disk_seq: u64,
+    /// Highest persist sequence the protocol has *acknowledged* (completed
+    /// the transient for). The persist-before-ack theorem is
+    /// `acked_seq <= disk_seq` in every reachable state.
+    acked_seq: u64,
+    /// How many node restarts may still be injected.
+    restart_budget: u8,
 }
 
 // ---------------------------------------------------------------------------
@@ -251,6 +291,16 @@ struct Ck {
     /// A live remote held Exclusive (unwritten Dirty data) while suspected —
     /// the exact state a unilateral declaration would destroy.
     suspected_dirty_states: usize,
+    /// `PersistChunk` actions executed (durable mode).
+    persists: usize,
+    /// Persists the machine acknowledged (`Count(FlushPersists)`).
+    persist_acks: usize,
+    /// Home kills that landed while a persist was pending on disk.
+    killed_mid_persist: usize,
+    /// Home restarts (log replay + `Restarted` fan-out) injected.
+    home_restarts: usize,
+    /// Remote restarts (`HomeEvent::PeerRestarted` un-fencing) injected.
+    remote_restarts: usize,
 }
 
 impl Ck {
@@ -273,6 +323,11 @@ impl Ck {
             suspect_refutes: 0,
             suspect_confirms: 0,
             suspected_dirty_states: 0,
+            persists: 0,
+            persist_acks: 0,
+            killed_mid_persist: 0,
+            home_restarts: 0,
+            remote_restarts: 0,
         }
     }
 }
@@ -338,9 +393,20 @@ enum Tr {
     Evict(usize),
     /// Kill `victim`, keeping the first `keep[i]` messages of each of its
     /// outgoing links (prefix truncation models messages lost in flight).
+    /// `flush_disk` branches the fate of a pending persist when the home is
+    /// the victim: did the record reach the log before the crash?
     Kill {
         victim: usize,
         keep: [usize; 2],
+        flush_disk: bool,
+    },
+    /// The modeled disk completes the pending persist: the record is in the
+    /// log and `HomeEvent::PersistDone` resumes the parked acknowledgement.
+    PersistDone,
+    /// Restart `victim` (durable mode): a new incarnation rejoins cold,
+    /// recovering only what the log holds.
+    Restart {
+        victim: usize,
     },
     /// The home's failure detector (falsely or not) suspects remote `i+1`:
     /// park the home→remote link.
@@ -390,6 +456,11 @@ fn internal_transitions(w: &World) -> Vec<Tr> {
         }
         if w.retry_at.is_some() {
             out.push(Tr::Retry);
+        }
+        // Disk completion is guaranteed progress: a pending persist always
+        // resolves (crash-during-persist is the Kill branch's job).
+        if w.pending_persist.is_some() {
+            out.push(Tr::PersistDone);
         }
     }
     out
@@ -459,13 +530,23 @@ fn external_transitions(w: &World) -> Vec<Tr> {
     if w.kill_budget > 0 {
         // Kill the home: branch over every surviving prefix of each
         // home→remote link (the product; each link truncates independently).
+        // With a persist pending, also branch on whether its record reached
+        // the log before the crash.
         if w.home.is_some() {
             for k0 in 0..=w.h2r[0].len() {
                 for k1 in 0..=w.h2r[1].len() {
                     out.push(Tr::Kill {
                         victim: HOME,
                         keep: [k0, k1],
+                        flush_disk: false,
                     });
+                    if w.pending_persist.is_some() {
+                        out.push(Tr::Kill {
+                            victim: HOME,
+                            keep: [k0, k1],
+                            flush_disk: true,
+                        });
+                    }
                 }
             }
         }
@@ -476,8 +557,44 @@ fn external_transitions(w: &World) -> Vec<Tr> {
                 out.push(Tr::Kill {
                     victim: 1,
                     keep: [k0, 0],
+                    flush_disk: false,
                 });
             }
+        }
+    }
+    if w.durable && w.restart_budget > 0 {
+        // Restarts model `Cluster::restart_peer`, whose contract is a
+        // *settled* death: every survivor has consumed the declaration and
+        // has nothing in flight against the corpse (in the runtime this is
+        // guaranteed by re-admitting between `run` phases — a still-parked
+        // app thread would have kept the previous phase from joining).
+        // Racing an unsettled death is out of contract: a survivor could
+        // address the new incarnation before processing the stale death
+        // declaration of the old one.
+        let settled = |i: usize| {
+            let r = &w.rem[i];
+            !r.alive
+                || (r.home_down
+                    && w.h2r[i].is_empty()
+                    && w.r2h[i].is_empty()
+                    && r.after.is_none()
+                    && !r.state.in_flight()
+                    && r.app == App::Idle
+                    && matches!(r.lock, Lock::Idle | Lock::Holding(_)))
+        };
+        // Restart the home: only meaningful durable — a new incarnation
+        // replays the log and re-announces itself to the survivors.
+        if w.home.is_none() && (0..NREM).all(settled) {
+            out.push(Tr::Restart { victim: HOME });
+        }
+        // Restart remote 1: the home un-fences the identity at a bumped
+        // view epoch and serves its fresh (cold) requests again.
+        if !w.rem[0].alive
+            && w.home.as_ref().is_some_and(|h| h.knows_dead[0])
+            && w.h2r[0].is_empty()
+            && w.r2h[0].is_empty()
+        {
+            out.push(Tr::Restart { victim: 1 });
         }
     }
     out
@@ -503,9 +620,21 @@ fn label(w: &World, tr: Tr) -> String {
         Tr::LockRemoteAcq(i, k) => format!("r{} acquires {k:?} lock", i + 1),
         Tr::LockRemoteRel(i) => format!("r{} releases its lock", i + 1),
         Tr::Evict(i) => format!("eviction scan hits r{}", i + 1),
-        Tr::Kill { victim, keep } => format!("KILL node {victim} (kept prefixes {keep:?})"),
+        Tr::Kill {
+            victim,
+            keep,
+            flush_disk,
+        } => format!(
+            "KILL node {victim} (kept prefixes {keep:?}, pending persist {})",
+            if flush_disk { "flushed" } else { "lost" }
+        ),
         Tr::Suspect(i) => format!("home SUSPECTS r{} (link parked)", i + 1),
         Tr::Refute(i) => format!("suspicion of r{} refuted (link replayed)", i + 1),
+        Tr::PersistDone => format!("disk completes persist seq {}", w.pending_persist.unwrap()),
+        Tr::Restart { victim } => format!(
+            "RESTART node {victim} (log replay, disk_seq={})",
+            w.disk_seq
+        ),
     }
 }
 
@@ -618,9 +747,88 @@ fn apply(w: &mut World, ck: &mut Ck, trace: &[String], tr: Tr) {
             ck.suspect_refutes += 1;
             w.suspected[i] = false;
         }
-        Tr::Kill { victim, keep } => {
+        Tr::PersistDone => {
+            let seq = w.pending_persist.take().unwrap();
+            w.disk_seq = w.disk_seq.max(seq);
+            // The machine will acknowledge its awaited sequence (the fed
+            // seq covers it — persists are cumulative); record the ack for
+            // the persist-before-ack theorem *before* the protocol resumes.
+            if let darray::protocol::Transient::AwaitPersist { seq: s } =
+                w.home.as_ref().unwrap().m.transient()
+            {
+                if seq >= *s {
+                    w.acked_seq = w.acked_seq.max(*s);
+                }
+            }
+            run_home_event(w, ck, trace, HomeEvent::PersistDone { seq });
+        }
+        Tr::Restart { victim } => {
+            w.restart_budget -= 1;
+            if victim == HOME {
+                ck.home_restarts += 1;
+                // A new incarnation: fresh machine, cold directory, persist
+                // sequence resumed from the replayed log (exactly what
+                // `LogChunkStore::open` + the allocation overlay do).
+                let mut m = HomeMachine::new();
+                m.set_durable(true);
+                m.resume_persist_seq(w.disk_seq);
+                w.home = Some(Home {
+                    m,
+                    locks: LockTable::default(),
+                    dentry: (LocalState::Exclusive, NOTAG),
+                    draining: false,
+                    knows_dead: [false; NREM],
+                    app: App::Idle,
+                    lock: Lock::Idle,
+                    req_budget: 0,
+                    lock_budget: 0,
+                });
+                // Announce the new incarnation to every survivor, FIFO
+                // *after* the old incarnation's Down marker: a remote always
+                // learns of the death before the rebirth.
+                for (i, r) in w.rem.iter().enumerate() {
+                    if r.alive {
+                        w.h2r[i].push_back(Msg::Restarted);
+                    }
+                }
+            } else {
+                let i = victim - 1;
+                ck.remote_restarts += 1;
+                // The restarted remote rejoins cold with a small budget to
+                // prove the un-fenced home serves it again.
+                w.rem[i] = Remote::fresh(1, 0, 0);
+                w.h2r[i].clear();
+                w.r2h[i].clear();
+                let h = w.home.as_mut().unwrap();
+                h.knows_dead[i] = false;
+                // The one modeled death was view epoch 1; the restart
+                // admission burns epoch 2 (`MembershipView::restart`).
+                run_home_event(
+                    w,
+                    ck,
+                    trace,
+                    HomeEvent::PeerRestarted {
+                        node: victim,
+                        view_epoch: 2,
+                    },
+                );
+            }
+        }
+        Tr::Kill {
+            victim,
+            keep,
+            flush_disk,
+        } => {
             w.kill_budget -= 1;
             if victim == HOME {
+                // A pending persist dies with the executor; `flush_disk`
+                // decides whether its record made the log first.
+                if let Some(seq) = w.pending_persist.take() {
+                    ck.killed_mid_persist += 1;
+                    if flush_disk {
+                        w.disk_seq = w.disk_seq.max(seq);
+                    }
+                }
                 w.home = None;
                 w.retry_at = None;
                 // The suspector died with its suspicions.
@@ -684,6 +892,16 @@ fn deliver_to_remote(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, msg
         }
         Msg::Down { dead } => {
             assert_eq!(dead, HOME, "only the home's death reaches a remote");
+            if w.home.is_some() {
+                // Restart gating requires every marker consumed first, so a
+                // marker outliving the rebirth means the model is broken.
+                fail(
+                    ck,
+                    trace,
+                    w,
+                    "Down marker consumed after the home restarted",
+                );
+            }
             ck.homedown_states.insert(w.rem[i].state.name());
             let r = &mut w.rem[i];
             r.home_down = true;
@@ -698,6 +916,14 @@ fn deliver_to_remote(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, msg
             {
                 w.rem[i].app = App::Idle;
             }
+        }
+        Msg::Restarted => {
+            // FIFO put the old incarnation's Down marker first, so the
+            // remote has already torn down its in-flight state; what's left
+            // is to void rights granted by the dead incarnation and resume
+            // talking to the new one.
+            w.rem[i].home_down = false;
+            run_cache_event(w, ck, trace, i, CacheEvent::HomeRestarted);
         }
         other => fail(
             ck,
@@ -898,8 +1124,19 @@ fn run_home_event(w: &mut World, ck: &mut Ck, trace: &[String], ev: HomeEvent<u3
             HomeAction::Count(c) => match c {
                 Counter::EpochsAborted => ck.epochs_aborted += 1,
                 Counter::SharersPruned => ck.sharers_pruned += 1,
+                Counter::FlushPersists => ck.persist_acks += 1,
                 _ => {}
             },
+            HomeAction::PersistChunk { seq } => {
+                ck.persists += 1;
+                if w.pending_persist.is_some() {
+                    fail(ck, trace, w, "two persists pending at once");
+                }
+                if !w.durable {
+                    fail(ck, trace, w, "a non-durable machine emitted PersistChunk");
+                }
+                w.pending_persist = Some(seq);
+            }
         }
     }
 }
@@ -1041,6 +1278,53 @@ fn recheck_app(w: &mut World, i: usize, events: &mut VecDeque<CacheEvent>) {
 
 /// Safety: must hold in **every** reachable state.
 fn check_safety(w: &World, ck: &mut Ck, trace: &[String]) {
+    // THE durability theorem (DESIGN.md §14), as a world invariant: no
+    // write is ever acknowledged before its image is durably in the log.
+    // Kills erase the volatile machine but never `disk_seq`, and restarts
+    // recover exactly `disk_seq` — so this single check is "every write
+    // acked before the kill is recovered, and only those".
+    if w.acked_seq > w.disk_seq {
+        fail(
+            ck,
+            trace,
+            w,
+            &format!(
+                "persist-before-ack violated: acked seq {} but disk only has {}",
+                w.acked_seq, w.disk_seq
+            ),
+        );
+    }
+    if let Some(h) = &w.home {
+        // The executor's pending persist and the machine's AwaitPersist
+        // transient must agree exactly.
+        use darray::protocol::Transient;
+        let awaited = match h.m.transient() {
+            Transient::AwaitPersist { seq } => Some(*seq),
+            _ => None,
+        };
+        if awaited != w.pending_persist {
+            fail(
+                ck,
+                trace,
+                w,
+                &format!(
+                    "machine awaits persist {awaited:?} but executor has {:?} pending",
+                    w.pending_persist
+                ),
+            );
+        }
+        // Epoch monotonicity across restarts: a new record must never be
+        // stamped below the log's replay frontier, or a later replay would
+        // resurrect a pre-restart image.
+        if h.m.persist_seq() < w.disk_seq {
+            fail(
+                ck,
+                trace,
+                w,
+                "persist sequence regressed below the durable log",
+            );
+        }
+    }
     // The quorum guarantee, stated as a world invariant: no live peer is
     // ever declared dead. Everything destructive (lock reclaim, Dirty
     // ownership reclaim, sharer pruning) happens only behind `knows_dead`,
@@ -1058,10 +1342,22 @@ fn check_safety(w: &World, ck: &mut Ck, trace: &[String]) {
             }
         }
     }
+    // A *zombie* remote consumed the home's `Down` marker (or is about to:
+    // FIFO has the marker ahead of the `Restarted` announcement) and has
+    // not yet learned of the rebirth. Its rights come from the dead
+    // incarnation — the restarted directory neither knows nor honors them,
+    // and consuming `Restarted` voids them. Pre-existing semantics: cached
+    // copies of a dead home's chunks stay locally usable (graceful
+    // degradation) but their post-death writes were never promised
+    // durability. Zombies are therefore excluded from directory-agreement
+    // checks; they cannot reach quiescence (the pending `Restarted`
+    // delivery keeps the world live).
+    let zombie =
+        |i: usize| w.rem[i].home_down || w.h2r[i].iter().any(|m| matches!(m, Msg::Restarted));
     // Single writer: at most one alive remote holds Exclusive, and nobody
     // else holds any rights while it does.
     let excl: Vec<usize> = (0..NREM)
-        .filter(|&i| w.rem[i].alive && w.rem[i].state == LocalState::Exclusive)
+        .filter(|&i| w.rem[i].alive && !zombie(i) && w.rem[i].state == LocalState::Exclusive)
         .collect();
     if excl.len() > 1 {
         fail(ck, trace, w, "two alive remotes hold Exclusive");
@@ -1070,6 +1366,7 @@ fn check_safety(w: &World, ck: &mut Ck, trace: &[String]) {
         for (i, r) in w.rem.iter().enumerate() {
             if i != e
                 && r.alive
+                && !zombie(i)
                 && matches!(
                     r.state,
                     LocalState::Shared | LocalState::Exclusive | LocalState::Operated
@@ -1095,11 +1392,9 @@ fn check_safety(w: &World, ck: &mut Ck, trace: &[String]) {
         }
     }
     // Operated epoch agreement: all alive Operated remotes carry one tag.
-    let tags: Vec<u32> = w
-        .rem
-        .iter()
-        .filter(|r| r.alive && r.state == LocalState::Operated)
-        .map(|r| r.op_tag)
+    let tags: Vec<u32> = (0..NREM)
+        .filter(|&i| w.rem[i].alive && !zombie(i) && w.rem[i].state == LocalState::Operated)
+        .map(|i| w.rem[i].op_tag)
         .collect();
     if tags.windows(2).any(|t| t[0] != t[1]) {
         fail(
@@ -1398,7 +1693,21 @@ fn initial_world(
         kill_budget: kills,
         suspected: [false; NREM],
         suspect_budget: suspects,
+        durable: false,
+        pending_persist: None,
+        disk_seq: 0,
+        acked_seq: 0,
+        restart_budget: 0,
     }
+}
+
+/// Durable-mode world: the home machine gates acknowledgements on the
+/// modeled chunk store, and `restarts` node rebirths may be injected.
+fn durable_world(mut w: World, restarts: u8) -> World {
+    w.durable = true;
+    w.restart_budget = restarts;
+    w.home.as_mut().unwrap().m.set_durable(true);
+    w
 }
 
 fn summarize(ck: &Ck, name: &str) {
@@ -1406,7 +1715,9 @@ fn summarize(ck: &Ck, name: &str) {
         "[{name}] states={} quiescent={} depth_pruned={} \
          pd_transients={:?} pd_states={:?} homedown_states={:?} retry_transients={:?} \
          epochs_aborted={} sharers_pruned={} locks_reclaimed={} reductions={} \
-         suspect_refutes={} suspect_confirms={} suspected_dirty_states={}",
+         suspect_refutes={} suspect_confirms={} suspected_dirty_states={} \
+         persists={} persist_acks={} killed_mid_persist={} home_restarts={} \
+         remote_restarts={}",
         ck.seen.len(),
         ck.quiescent_states,
         ck.depth_pruned,
@@ -1421,6 +1732,11 @@ fn summarize(ck: &Ck, name: &str) {
         ck.suspect_refutes,
         ck.suspect_confirms,
         ck.suspected_dirty_states,
+        ck.persists,
+        ck.persist_acks,
+        ck.killed_mid_persist,
+        ck.home_restarts,
+        ck.remote_restarts,
     );
 }
 
@@ -1548,6 +1864,49 @@ fn crash_model_suspected_but_alive() {
         ck.suspected_dirty_states > 0,
         "no reachable state had a live suspect holding unwritten Dirty data"
     );
+    assert!(
+        ck.quiescent_states > 0,
+        "the search never reached quiescence"
+    );
+}
+
+/// Durable kill-then-restart search (DESIGN.md §14): the home gates every
+/// dirty-data acknowledgement on a modeled chunk-store persist, a kill can
+/// land at any point — including mid-persist, branching on whether the
+/// record reached the log — and one restart may rebirth the victim, which
+/// recovers exactly the log's contents (`disk_seq`). Safety carries the
+/// theorem in every reachable state: `acked_seq <= disk_seq`, i.e. every
+/// write the protocol acknowledged before the kill is durably recoverable,
+/// and the replay frontier never regresses (a restarted node's new records
+/// always supersede the replayed ones). Quiescence additionally proves the
+/// rebirthed identity serves traffic again: survivors void the old
+/// incarnation's grants (`Restarted` after the `Down` marker) and re-fill
+/// from the recovered image, and a restarted remote is re-admitted at a
+/// bumped view epoch.
+#[test]
+fn crash_model_durable_restart() {
+    let mut ck = Ck::new(0);
+    let w = durable_world(initial_world([2, 1], [0, 0], [1, 0], 1, 0, 1, 0), 1);
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "durable");
+
+    assert!(ck.persists > 0, "no flush was ever persisted");
+    assert!(
+        ck.persist_acks > 0,
+        "no persist was ever acknowledged by the machine"
+    );
+    assert!(
+        ck.killed_mid_persist > 0,
+        "no kill ever landed while a persist was pending"
+    );
+    assert!(
+        ck.pd_transients.contains("AwaitPersist"),
+        "no remote death was consumed during AwaitPersist: {:?}",
+        ck.pd_transients
+    );
+    assert!(ck.home_restarts > 0, "the home was never restarted");
+    assert!(ck.remote_restarts > 0, "a remote was never restarted");
     assert!(
         ck.quiescent_states > 0,
         "the search never reached quiescence"

@@ -52,6 +52,7 @@ enum Reply {
     Flush(usize, u32),
     Drained,
     Retry(u64),
+    PersistDone(u64),
 }
 
 /// Deterministic splitmix-style PRNG (no external deps).
@@ -89,8 +90,20 @@ struct World {
 
 impl World {
     fn new(grace: u64) -> Self {
+        Self::build(grace, false)
+    }
+
+    /// A world whose home machine persists dirty data before acking
+    /// (the `AwaitPersist` transient between writeback and wake).
+    fn new_durable(grace: u64) -> Self {
+        Self::build(grace, true)
+    }
+
+    fn build(grace: u64, durable: bool) -> Self {
+        let mut m = HomeMachine::new();
+        m.set_durable(durable);
         Self {
-            m: HomeMachine::new(),
+            m,
             grace,
             now: 0,
             rights: [R::None; 3],
@@ -158,6 +171,9 @@ impl World {
                     self.inflight.push(Reply::Drained);
                 }
                 HomeAction::ScheduleRetry { at } => self.inflight.push(Reply::Retry(*at)),
+                HomeAction::PersistChunk { seq } => {
+                    self.inflight.push(Reply::PersistDone(*seq));
+                }
             }
         }
     }
@@ -212,6 +228,9 @@ impl World {
             Reply::Retry(at) => {
                 self.now = self.now.max(at);
                 self.feed(HomeEvent::RetryExpired, "RetryExpired");
+            }
+            Reply::PersistDone(seq) => {
+                self.feed(HomeEvent::PersistDone { seq }, "PersistDone");
             }
         }
     }
@@ -426,7 +445,13 @@ fn random_interleavings_preserve_invariants() {
     let mut transient_coverage = BTreeSet::new();
     for seed in 0..48u64 {
         let grace = if seed % 2 == 0 { 0 } else { 40 };
-        let mut w = World::new(grace);
+        // A third of the seeds run with persist-before-ack enabled so the
+        // interleavings also cross the `AwaitPersist` transient.
+        let mut w = if seed % 3 == 0 {
+            World::new_durable(grace)
+        } else {
+            World::new(grace)
+        };
         let mut rng = Rng(seed.wrapping_mul(0x5851f42d4c957f2d) + 1);
         for _ in 0..300 {
             w.now += 1;
@@ -524,6 +549,7 @@ fn random_interleavings_preserve_invariants() {
         ("AwaitFlushes", "Flush"),
         ("HomeDrain", "Drained"),
         ("GraceWait", "RetryExpired"),
+        ("AwaitPersist", "PersistDone"),
     ] {
         assert!(
             transient_coverage.contains(&(transient.to_string(), event.to_string())),

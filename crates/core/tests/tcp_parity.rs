@@ -146,6 +146,44 @@ fn tcp_matches_sim_protocol_transition_counts() {
     assert!(total > 0, "workload must drive protocol transitions");
 }
 
+/// Durability must not disturb backend parity: with persist-before-ack on
+/// (Writethrough, per-backend scratch log dirs), the protocol transition
+/// counts — including `flush_persists` — are identical over dsim and TCP,
+/// and the workload's dirty recalls actually exercise the persist path.
+#[test]
+fn tcp_matches_sim_with_durability_enabled() {
+    use darray::DurabilityPolicy;
+    let scratch = |backend: &str| {
+        let mut p = std::env::temp_dir();
+        p.push(format!("darray-parity-{}-{backend}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    };
+    let durable = |kind, dir: &std::path::Path| {
+        let mut cfg = parity_config(kind);
+        cfg.durability.policy = DurabilityPolicy::Writethrough;
+        cfg.durability.dir = Some(dir.to_path_buf());
+        cfg
+    };
+    let (sim_dir, tcp_dir) = (scratch("sim"), scratch("tcp"));
+    let sim = run_workload(durable(TransportKind::Sim, &sim_dir));
+    let tcp = run_workload(durable(TransportKind::Tcp, &tcp_dir));
+    for node in 0..NODES {
+        assert_eq!(
+            protocol_view(sim[node]),
+            protocol_view(tcp[node]),
+            "node {node}: durable protocol counters must not depend on the backend"
+        );
+    }
+    let persists: u64 = sim.iter().map(|s| s.flush_persists).sum();
+    assert!(
+        persists > 0,
+        "workload never hit the persist-before-ack path"
+    );
+    let _ = std::fs::remove_dir_all(&sim_dir);
+    let _ = std::fs::remove_dir_all(&tcp_dir);
+}
+
 #[test]
 fn tcp_transport_counters_surface_in_stats() {
     let mut cfg = parity_config(TransportKind::Tcp);

@@ -11,11 +11,12 @@
 //! ```
 #![cfg(feature = "chaos")]
 
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use darray::{
-    ArrayOptions, AsymmetricLoss, Cluster, ClusterConfig, DArrayError, FaultConfig, FaultPlan,
-    NodeStatsSnapshot, Partition, Sim, SimConfig, UnavailableKind,
+    ArrayOptions, AsymmetricLoss, Cluster, ClusterConfig, DArrayError, DurabilityPolicy,
+    FaultConfig, FaultPlan, NodeStatsSnapshot, Partition, Sim, SimConfig, UnavailableKind,
 };
 
 const LEN: usize = 3072;
@@ -597,6 +598,266 @@ fn partition_majority_excommunicates_minority() {
         assert_eq!((s0.peers_down, s0.confirmed_deaths), (2, 2), "{s0:?}");
         assert!(s0.suspicions >= 2, "{s0:?}");
         assert_eq!(s0.membership_epoch, 2);
+        cluster.shutdown(ctx);
+    });
+}
+
+/// A per-test scratch directory for durable chunk logs, removed on drop so
+/// reruns start from empty logs.
+struct TempStoreDir(PathBuf);
+
+impl TempStoreDir {
+    fn new(name: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("darray-chaos-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        Self(p)
+    }
+}
+
+impl Drop for TempStoreDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kill-then-restart, cold: a node crashes mid-run; a brand-new cluster is
+/// then brought up over the same durable store directory (the in-sim
+/// equivalent of restarting the process on the same disks). Every write
+/// that was acknowledged through the persist-before-ack path before the
+/// kill must be recovered by log replay; the crashed node's un-written-back
+/// dirty data must NOT reappear (it was never promised durable).
+#[test]
+fn kill_restart_recovers_exactly_the_acked_writes() {
+    // 2 nodes, 512-element chunks, block-distributed homes: chunks 0..3
+    // are homed on node 0 and chunks 3..6 on node 1.
+    const COMMITTED0: usize = 0; // chunk 0 (home 0): written by 1, recalled by 0
+    const COMMITTED1: usize = 1536; // chunk 3 (home 1): written by 0, recalled by 1
+    const UNCOMMITTED: usize = 1024; // chunk 2 (home 0): dirtied by 1, never recalled
+    const FLAG: usize = 512; // chunk 1 (home 0)
+    const FLAG2: usize = 516; // same chunk; writer-disjoint with FLAG
+    const CORPSE: usize = 2048; // chunk 4 (home 1): probed after the kill
+    let dir = TempStoreDir::new("kill-restart");
+    let mk_cfg = |dir: &PathBuf| {
+        let mut cfg = ClusterConfig::with_nodes(2);
+        cfg.durability.policy = DurabilityPolicy::Writethrough;
+        cfg.durability.dir = Some(dir.clone());
+        cfg
+    };
+
+    // ---- Incarnation 1: write, persist-through-recall, then crash. ----
+    let cfg = mk_cfg(&dir.0);
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let mut plan = FaultPlan::new(17);
+        plan.crash_at = vec![(1, 2_000_000)];
+        let mut fc = FaultConfig::new(plan);
+        fc.rpc_timeout_ns = 50_000;
+        fc.max_retries = 3;
+        let mut cfg = cfg;
+        cfg.fault = Some(fc);
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            if env.node == 1 {
+                // Dirty chunk 0 remotely, then publish: node 0's read-back
+                // recalls the dirty image and persists it (acked => must
+                // survive the kill).
+                for k in 0..16 {
+                    a.set(ctx, COMMITTED0 + k, 1_000 + k as u64);
+                }
+                a.set(ctx, FLAG, 1);
+                // Read back node 0's writes to our homed chunk 1: the
+                // recall lands here and WE persist it before acking.
+                while a.get(ctx, FLAG2) != 1 {
+                    ctx.sleep(20_000);
+                }
+                for k in 0..16 {
+                    assert_eq!(a.get(ctx, COMMITTED1 + k), 2_000 + k as u64);
+                }
+                // Dirty chunk 2 and die with the only copy: never recalled,
+                // never persisted, so the restart must NOT resurrect it.
+                for k in 0..16 {
+                    a.set(ctx, UNCOMMITTED + k, 3_000 + k as u64);
+                }
+                ctx.sleep(3_000_000); // dead at 2 ms
+            } else {
+                for k in 0..16 {
+                    a.set(ctx, COMMITTED1 + k, 2_000 + k as u64);
+                }
+                a.set(ctx, FLAG2, 1);
+                while a.get(ctx, FLAG) != 1 {
+                    ctx.sleep(20_000);
+                }
+                for k in 0..16 {
+                    assert_eq!(a.get(ctx, COMMITTED0 + k), 1_000 + k as u64);
+                }
+                // Outlive the crash and watch the death being confirmed.
+                ctx.sleep(3_000_000);
+                assert!(matches!(
+                    a.try_set(ctx, CORPSE, 9),
+                    Err(DArrayError::NodeUnavailable {
+                        node: 1,
+                        kind: UnavailableKind::ConfirmedDead,
+                        ..
+                    })
+                ));
+            }
+        });
+        let (s0, s1) = (cluster.stats(0), cluster.stats(1));
+        assert!(
+            s0.flush_persists >= 1,
+            "node 0 never persisted the recalled chunk: {s0:?}"
+        );
+        assert!(
+            s1.flush_persists >= 1,
+            "node 1 never persisted the recalled chunk: {s1:?}"
+        );
+        assert!(s0.peers_down >= 1, "node 0 never declared node 1 down");
+        cluster.shutdown(ctx);
+    });
+
+    // ---- Incarnation 2: same store directory, fresh memory. ----
+    let cfg = mk_cfg(&dir.0);
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            if env.node == 0 {
+                // Acked-before-kill writes came back from the logs...
+                for k in 0..16 {
+                    assert_eq!(
+                        a.get(ctx, COMMITTED0 + k),
+                        1_000 + k as u64,
+                        "acked write lost across the restart"
+                    );
+                }
+                // ...and the un-acked dirty data did not.
+                for k in 0..16 {
+                    assert_eq!(
+                        a.get(ctx, UNCOMMITTED + k),
+                        0,
+                        "un-acked dirty data resurrected by replay"
+                    );
+                }
+            } else {
+                for k in 0..16 {
+                    assert_eq!(
+                        a.get(ctx, COMMITTED1 + k),
+                        2_000 + k as u64,
+                        "acked write lost across the restart"
+                    );
+                }
+                // The restarted incarnation serves new coherent writes.
+                a.set(ctx, CORPSE, 9);
+                assert_eq!(a.get(ctx, CORPSE), 9);
+            }
+        });
+        let (s0, s1) = (cluster.stats(0), cluster.stats(1));
+        assert!(
+            s0.log_replays >= 2 && s0.recovered_chunks >= 2,
+            "node 0 replayed nothing: {s0:?}"
+        );
+        assert!(
+            s1.log_replays >= 1 && s1.recovered_chunks >= 1,
+            "node 1 replayed nothing: {s1:?}"
+        );
+        cluster.shutdown(ctx);
+    });
+}
+
+/// Kill-then-restart, warm: a partition gets node 0 excommunicated by the
+/// majority (and the minority excommunicates everyone back); after the
+/// partition heals, `Cluster::restart_peer` re-admits each side between run
+/// phases. Every view bumps its membership epoch past the death epoch and
+/// the re-admitted peers serve coherent traffic again.
+#[test]
+fn restart_peer_readmits_after_confirmed_death() {
+    Sim::new(SimConfig::default()).run(|ctx| {
+        let mut plan = FaultPlan::new(37);
+        plan.partitions = vec![Partition {
+            groups: vec![vec![0], vec![1, 2]],
+            from_ns: 200_000,
+            until_ns: 1_500_000,
+        }];
+        let mut fc = FaultConfig::new(plan);
+        fc.rpc_timeout_ns = 50_000;
+        fc.max_retries = 3;
+        let mut cfg = ClusterConfig::with_nodes(NODES);
+        cfg.fault = Some(fc);
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+
+        // Phase 1: provoke confirmed deaths on both sides of the split,
+        // then outlive the heal so the deaths are settled when it ends.
+        let arr1 = arr.clone();
+        cluster.run(ctx, 1, move |ctx, env| {
+            let arr = &arr1;
+            let a = arr.on(env.node);
+            ctx.sleep(400_000); // mid-partition
+            match env.node {
+                0 => {
+                    assert!(matches!(
+                        a.try_set(ctx, 1500, 9), // chunk 2, homed on node 1
+                        Err(DArrayError::NodeUnavailable { node: 1, .. })
+                    ));
+                }
+                1 => {
+                    assert!(matches!(
+                        a.try_get(ctx, 100), // chunk 0, homed on node 0
+                        Err(DArrayError::NodeUnavailable { node: 0, .. })
+                    ));
+                }
+                _ => {
+                    assert!(matches!(
+                        a.try_get(ctx, 600), // chunk 1, homed on node 0
+                        Err(DArrayError::NodeUnavailable { node: 0, .. })
+                    ));
+                }
+            }
+            ctx.sleep(2_000_000); // past the heal at 1.5 ms
+        });
+        let epoch_before: Vec<u64> = (0..NODES)
+            .map(|n| cluster.stats(n).membership_epoch)
+            .collect();
+        assert!(epoch_before.iter().all(|&e| e >= 1), "{epoch_before:?}");
+
+        // Between phases every death is settled: re-admit both sides.
+        // The majority pair re-admits node 0; node 0 re-admits node 1
+        // (the peer it probed and confirmed through its degenerate
+        // electorate). Node 0 may or may not have confirmed node 2 —
+        // restart_peer on a view that never declared the death is a no-op.
+        assert_eq!(cluster.restart_peer(ctx, 0), 2, "views 1 and 2 re-admit 0");
+        assert_eq!(cluster.restart_peer(ctx, 1), 1, "view 0 re-admits 1");
+        let _ = cluster.restart_peer(ctx, 2);
+
+        // Phase 2: cross-partition coherence works again in both
+        // directions — the fills that failed fast above now succeed.
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            match env.node {
+                0 => {
+                    a.set(ctx, 1500, 11); // chunk 2, homed on node 1
+                    assert_eq!(a.get(ctx, 1500), 11);
+                }
+                1 => {
+                    a.set(ctx, 101, 12); // chunk 0, homed on node 0
+                    assert_eq!(a.get(ctx, 101), 12);
+                }
+                _ => {
+                    a.set(ctx, 600, 13); // chunk 1, homed on node 0
+                    assert_eq!(a.get(ctx, 600), 13);
+                }
+            }
+        });
+        for n in 0..NODES {
+            let s = cluster.stats(n);
+            assert!(
+                s.membership_epoch > epoch_before[n],
+                "node {n} re-admitted without burning a fresh epoch: {s:?}"
+            );
+        }
         cluster.shutdown(ctx);
     });
 }
