@@ -12,9 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use darray::{
-    AccessPath, ArrayOptions, CacheConfig, Cluster, ClusterConfig, Sim, SimConfig, VTime,
+    AccessPath, ArrayOptions, CacheConfig, Cluster, ClusterConfig, PoolStats, Sim, SimConfig, VTime,
 };
-use darray_bench::report::{fmt, print_table, write_bench_json, ProtocolTraffic};
+use darray_bench::report::{fmt, print_table, write_bench_json_with_metrics, ProtocolTraffic};
 use workloads::Rng;
 
 /// Sequential scan throughput (Mops/s) and the protocol traffic it cost,
@@ -26,9 +26,22 @@ fn scan(
     ops: u64,
     random: bool,
 ) -> (f64, ProtocolTraffic) {
+    let (mops, traffic, _) = scan_pools(cfg, threads, elems_per_node, ops, random);
+    (mops, traffic)
+}
+
+/// [`scan`] that also returns each node's per-runtime-thread cache-pool
+/// snapshots (`pools[node][rt]`), for the placement-skew ablation.
+fn scan_pools(
+    cfg: ClusterConfig,
+    threads: usize,
+    elems_per_node: usize,
+    ops: u64,
+    random: bool,
+) -> (f64, ProtocolTraffic, Vec<Vec<PoolStats>>) {
     let nodes = cfg.nodes;
     let len = elems_per_node * nodes;
-    let (elapsed, traffic): (VTime, ProtocolTraffic) =
+    let (elapsed, traffic, pools): (VTime, ProtocolTraffic, Vec<Vec<PoolStats>>) =
         Sim::new(SimConfig::default()).run(move |ctx| {
             let cluster = Cluster::new(ctx, cfg);
             let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
@@ -51,11 +64,12 @@ fn scan(
             });
             let t = el.load(Ordering::Relaxed);
             let traffic = ProtocolTraffic::collect(&cluster);
+            let pools = (0..nodes).map(|n| cluster.pool_stats(n)).collect();
             cluster.shutdown(ctx);
-            (t, traffic)
+            (t, traffic, pools)
         });
     let mops = (ops * (nodes * threads) as u64) as f64 / (elapsed as f64 / 1e9) / 1e6;
-    (mops, traffic)
+    (mops, traffic, pools)
 }
 
 fn main() {
@@ -65,6 +79,7 @@ fn main() {
     // harness then pins each mechanism's coherence cost, not just its
     // headline throughput.
     let mut traffic: Vec<(String, ProtocolTraffic)> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
 
     // 1. Access path (the §4.1 strawman): local scans with rising thread
     // counts — the lock serializes threads within a chunk.
@@ -72,8 +87,10 @@ fn main() {
         let mut rows = Vec::new();
         for threads in [1usize, 2, 4, 8] {
             let mut free = ClusterConfig::with_nodes(1);
+            free.runtime_threads = 1;
             free.access_path = AccessPath::LockFree;
             let mut lock = ClusterConfig::with_nodes(1);
+            lock.runtime_threads = 1;
             lock.access_path = AccessPath::LockBased;
             let (f, tf) = scan(free, threads, 16_384, ops, false);
             let (l, tl) = scan(lock, threads, 16_384, ops, false);
@@ -93,6 +110,7 @@ fn main() {
         let mut rows = Vec::new();
         for prefetch in [0usize, 1, 2, 4, 8] {
             let mut cfg = ClusterConfig::with_nodes(2);
+            cfg.runtime_threads = 1;
             cfg.cache.prefetch_lines = prefetch;
             let (t, tr) = scan(cfg, 1, 16_384, ops, false);
             traffic.push((format!("a2_prefetch{prefetch}"), tr));
@@ -110,6 +128,7 @@ fn main() {
         let mut rows = Vec::new();
         for tx in [false, true] {
             let mut cfg = ClusterConfig::with_nodes(4);
+            cfg.runtime_threads = 1;
             cfg.tx_threads = tx;
             let (t, tr) = scan(cfg, 1, 8_192, ops, false);
             traffic.push((
@@ -138,6 +157,7 @@ fn main() {
         let mut rows = Vec::new();
         for r in [1u64, 4, 16, 64, 256] {
             let mut cfg = ClusterConfig::with_nodes(2);
+            cfg.runtime_threads = 1;
             cfg.net.signal_interval = r;
             let (t, tr) = scan(cfg, 1, 8_192, ops, false);
             traffic.push((format!("a4_signal{r}"), tr));
@@ -152,18 +172,36 @@ fn main() {
 
     // 5. Runtime threads: chunks (and protocol work) partition across
     // them, so coherence-heavy workloads gain from a second runtime thread.
+    // Per-pool occupancy rides along in the metrics object: skewed
+    // placement would show up as one pool's allocs/peak dwarfing the rest.
     {
         let mut rows = Vec::new();
         for rts in [1usize, 2, 4] {
             let mut cfg = ClusterConfig::with_nodes(4);
             cfg.runtime_threads = rts;
-            let (t, tr) = scan(cfg, 2, 8_192, ops, false);
+            let (t, tr, pools) = scan_pools(cfg, 2, 8_192, ops, false);
             traffic.push((format!("a5_rt{rts}"), tr));
-            rows.push(vec![rts.to_string(), fmt(t)]);
+            // Aggregate each pool index over the (symmetric) nodes.
+            let mut pool_cells = Vec::new();
+            for r in 0..rts {
+                let allocs: u64 = pools.iter().map(|n| n[r].allocs).sum();
+                let evictions: u64 = pools.iter().map(|n| n[r].evictions).sum();
+                let peak: u64 = pools.iter().map(|n| n[r].peak_occupied as u64).sum();
+                metrics.push((format!("a5_rt{rts}_pool{r}_allocs"), allocs as f64));
+                metrics.push((format!("a5_rt{rts}_pool{r}_evictions"), evictions as f64));
+                metrics.push((format!("a5_rt{rts}_pool{r}_peak"), peak as f64));
+                pool_cells.push(format!("p{r}: {allocs}/{peak}"));
+            }
+            metrics.push((format!("a5_rt{rts}_mops"), t));
+            rows.push(vec![rts.to_string(), fmt(t), pool_cells.join("  ")]);
         }
         print_table(
             "Ablation 5 — runtime threads per node (4 nodes, 2 app threads, seq read, Mops/s)",
-            &["runtime threads", "throughput"],
+            &[
+                "runtime threads",
+                "throughput",
+                "pool allocs/peak (all nodes)",
+            ],
             &rows,
         );
     }
@@ -173,6 +211,7 @@ fn main() {
         let mut rows = Vec::new();
         for (lo, hi) in [(0.05, 0.10), (0.30, 0.50), (0.60, 0.80)] {
             let mut cfg = ClusterConfig::with_nodes(2);
+            cfg.runtime_threads = 1;
             cfg.cache = CacheConfig {
                 capacity_lines: 64,
                 low_watermark: lo,
@@ -194,7 +233,7 @@ fn main() {
         );
     }
 
-    match write_bench_json("ablations", &traffic) {
+    match write_bench_json_with_metrics("ablations", &metrics, &traffic) {
         Ok(p) => println!("\nprotocol traffic written to {}", p.display()),
         Err(e) => eprintln!("could not write BENCH_ablations.json: {e}"),
     }

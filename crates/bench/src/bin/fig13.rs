@@ -2,9 +2,25 @@
 //! increasing node counts (one thread per node, array weak-scaled with the
 //! node count), plus the scalability ratios the paper quotes (§6.2:
 //! DArray 0.82/0.76/0.87, GAM 0.72/0.68/0.73, BCL 0.52/0.52).
+//!
+//! DArray cells sweep `runtime_threads ∈ {1, 2, 4}` alongside the node
+//! count; throughput lands in the `metrics` object and coherence traffic
+//! in the `protocol_traffic` sections of `BENCH_fig13.json`.
 
-use darray_bench::micro::{micro, Op, Pattern, System};
-use darray_bench::report::{fmt, print_table, scalability};
+use darray_bench::micro::{micro_rt, Op, Pattern, System};
+use darray_bench::report::{
+    fmt, print_table, scalability, write_bench_json_with_metrics, ProtocolTraffic,
+};
+
+const RT_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn op_key(op: Op) -> &'static str {
+    match op {
+        Op::Read => "read",
+        Op::Write => "write",
+        Op::Operate => "operate",
+    }
+}
 
 fn main() {
     let fast = darray_bench::fast_mode();
@@ -17,20 +33,35 @@ fn main() {
         &[1, 2, 3, 4, 6, 8, 10, 12]
     };
 
+    let mut traffic: Vec<(String, ProtocolTraffic)> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+
     for op in [Op::Read, Op::Write, Op::Operate] {
         let mut rows = Vec::new();
-        let mut pts: [Vec<(usize, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        // Scaling curves: one per DArray runtime-thread count, then GAM, BCL.
+        let mut d_pts: Vec<Vec<(usize, f64)>> = vec![Vec::new(); RT_SWEEP.len()];
+        let mut g_pts: Vec<(usize, f64)> = Vec::new();
+        let mut b_pts: Vec<(usize, f64)> = Vec::new();
         for &n in node_counts {
-            let d = micro(
-                System::DArray,
-                op,
-                Pattern::Sequential,
-                n,
-                1,
-                elems_per_node,
-                ops,
-            );
-            let g = micro(
+            let mut d_cells = Vec::new();
+            for (i, &rts) in RT_SWEEP.iter().enumerate() {
+                let d = micro_rt(
+                    System::DArray,
+                    op,
+                    Pattern::Sequential,
+                    n,
+                    1,
+                    elems_per_node,
+                    ops,
+                    rts,
+                );
+                let label = format!("{}_n{n}_rt{rts}", op_key(op));
+                metrics.push((format!("{label}_mops"), d.mops()));
+                traffic.push((label, d.protocol));
+                d_pts[i].push((n, d.mops()));
+                d_cells.push(d.mops());
+            }
+            let g = micro_rt(
                 System::Gam,
                 op,
                 Pattern::Sequential,
@@ -38,11 +69,14 @@ fn main() {
                 1,
                 elems_per_node,
                 ops,
+                1,
             );
+            metrics.push((format!("{}_n{n}_gam_mops", op_key(op)), g.mops()));
+            g_pts.push((n, g.mops()));
             let b = if op == Op::Operate {
                 None
             } else {
-                Some(micro(
+                let b = micro_rt(
                     System::Bcl,
                     op,
                     Pattern::Sequential,
@@ -50,32 +84,40 @@ fn main() {
                     1,
                     elems_per_node,
                     bcl_ops,
-                ))
+                    1,
+                );
+                metrics.push((format!("{}_n{n}_bcl_mops", op_key(op)), b.mops()));
+                b_pts.push((n, b.mops()));
+                Some(b)
             };
-            pts[0].push((n, d.mops()));
-            pts[1].push((n, g.mops()));
-            if let Some(bb) = b {
-                pts[2].push((n, bb.mops()));
-            }
-            rows.push(vec![
-                n.to_string(),
-                fmt(d.mops()),
-                fmt(g.mops()),
-                b.map(|x| fmt(x.mops())).unwrap_or_else(|| "-".into()),
-            ]);
+            let mut row = vec![n.to_string()];
+            row.extend(d_cells.iter().map(|&m| fmt(m)));
+            row.push(fmt(g.mops()));
+            row.push(b.map(|x| fmt(x.mops())).unwrap_or_else(|| "-".into()));
+            rows.push(row);
         }
         let ratios = vec![vec![
             "scalability".to_string(),
-            fmt(scalability(&pts[0])),
-            fmt(scalability(&pts[1])),
+            fmt(scalability(&d_pts[0])),
+            fmt(scalability(&d_pts[1])),
+            fmt(scalability(&d_pts[2])),
+            fmt(scalability(&g_pts)),
             // BCL's single-node run is all-local (no RMA at all), so its
             // scalability is measured from the first distributed point.
-            if pts[2].len() < 3 {
+            if b_pts.len() < 3 {
                 "-".to_string()
             } else {
-                fmt(scalability(&pts[2][1..]))
+                fmt(scalability(&b_pts[1..]))
             },
         ]];
+        metrics.push((
+            format!("{}_scalability_rt1", op_key(op)),
+            scalability(&d_pts[0]),
+        ));
+        metrics.push((
+            format!("{}_scalability_rt2", op_key(op)),
+            scalability(&d_pts[1]),
+        ));
         let mut all = rows;
         all.extend(ratios);
         print_table(
@@ -88,11 +130,21 @@ fn main() {
                 },
                 op.label()
             ),
-            &["nodes", "DArray", "GAM", "BCL"],
+            &[
+                "nodes",
+                "DArray rt=1",
+                "DArray rt=2",
+                "DArray rt=4",
+                "GAM",
+                "BCL",
+            ],
             &all,
         );
     }
-    println!(
-        "\npaper scalability ratios: DArray 0.82/0.76/0.87, GAM 0.72/0.68/0.73, BCL 0.52/0.52."
-    );
+
+    match write_bench_json_with_metrics("fig13", &metrics, &traffic) {
+        Ok(p) => println!("\nprotocol traffic + throughput written to {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_fig13.json: {e}"),
+    }
+    println!("paper scalability ratios: DArray 0.82/0.76/0.87, GAM 0.72/0.68/0.73, BCL 0.52/0.52.");
 }

@@ -133,12 +133,47 @@ impl<'a> Scanner<'a> {
         }
     }
 
-    /// Skip a value we don't care about (string or number only — the
-    /// report format has nothing else at the top level).
+    /// Skip a value we don't care about: a string, a number (including
+    /// the floats of the `metrics` object), or a nested object of such
+    /// values. Everything outside `protocol_traffic` goes through here.
     fn skip_value(&mut self) -> Result<(), String> {
         match self.peek() {
             Some(b'"') => self.string().map(|_| ()),
-            Some(c) if c.is_ascii_digit() => self.number().map(|_| ()),
+            Some(b'{') => {
+                self.pos += 1;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.string()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected ',' or '}}' (found {other:?})")),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let start = self.pos;
+                while self.pos < self.s.len()
+                    && matches!(
+                        self.s[self.pos],
+                        b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E'
+                    )
+                {
+                    self.pos += 1;
+                }
+                if start == self.pos {
+                    return Err(format!("expected number at byte {start}"));
+                }
+                Ok(())
+            }
             other => Err(format!("unskippable value (found {other:?})")),
         }
     }
@@ -404,6 +439,44 @@ mod tests {
         assert_eq!(t["a_1n"]["fills"], 10);
         assert_eq!(t["b_2n"]["invalidations"], 2);
         assert_eq!(t["b_2n"]["transitions"], 9);
+    }
+
+    #[test]
+    fn skips_metrics_object_with_floats() {
+        let body = r#"{
+  "bench": "fig12",
+  "metrics": {
+    "read_t4_rt1_mops": 12.345678,
+    "read_t4_rt2_mops": 20.100000,
+    "empty": {},
+    "negative_exp": -1.5e-3
+  },
+  "protocol_traffic": {
+    "read_t4_rt2": {"fills":7,"transitions":9}
+  }
+}
+"#;
+        let t = parse_bench(body).unwrap();
+        assert_eq!(t.len(), 1, "metrics must not become sections");
+        assert_eq!(t["read_t4_rt2"]["fills"], 7);
+    }
+
+    #[test]
+    fn writer_metrics_output_parses() {
+        let body = darray_bench::report::render_bench_json_with_metrics(
+            "m",
+            &[("x_mops".to_string(), 1.25)],
+            &[(
+                "x".to_string(),
+                darray_bench::report::ProtocolTraffic {
+                    fills: 4,
+                    ..Default::default()
+                },
+            )],
+        );
+        let parsed = parse_bench(&body).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["x"]["fills"], 4);
     }
 
     #[test]

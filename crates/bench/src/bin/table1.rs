@@ -16,7 +16,10 @@ use darray_bench::report::{print_table, write_bench_json, ProtocolTraffic};
 /// is byte-identical run-to-run.
 fn state_walk() -> ProtocolTraffic {
     const NODES: usize = 2;
-    let cfg = ClusterConfig::test_config(NODES);
+    let mut cfg = ClusterConfig::test_config(NODES);
+    // The checked-in baseline records the single-runtime-thread walk; the
+    // walk itself is barrier-serialized, so this only pins the schedule.
+    cfg.runtime_threads = 1;
     Sim::new(SimConfig::default()).run(move |ctx| {
         let cluster = Cluster::new(ctx, cfg);
         let add = cluster.ops().register_add_u64();

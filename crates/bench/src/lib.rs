@@ -48,11 +48,22 @@ pub fn transport_kind() -> TransportKind {
     }
 }
 
-/// The `ClusterConfig` every DArray benchmark cell boots with: the default
-/// calibrated config for `nodes`, on the backend picked by
-/// [`transport_kind`].
+/// The `ClusterConfig` every DArray benchmark cell boots with: the
+/// calibrated config for `nodes` on the backend picked by
+/// [`transport_kind`], **pinned to one runtime thread**. The library
+/// default is multi-threaded, but the checked-in `BENCH_*` baselines were
+/// recorded single-threaded and `protocol_diff` holds them at 0%; figure
+/// binaries that study the thread count (fig12, fig13, ablation 5) opt in
+/// per cell via [`bench_cluster_config_rt`].
 pub fn bench_cluster_config(nodes: usize) -> darray::ClusterConfig {
+    bench_cluster_config_rt(nodes, 1)
+}
+
+/// [`bench_cluster_config`] with an explicit runtime-thread count, for
+/// the benchmark cells that sweep it.
+pub fn bench_cluster_config_rt(nodes: usize, runtime_threads: usize) -> darray::ClusterConfig {
     let mut cfg = darray::ClusterConfig::with_nodes(nodes);
+    cfg.runtime_threads = runtime_threads;
     cfg.transport = transport_kind();
     cfg
 }

@@ -91,7 +91,8 @@ pub enum Pattern {
     Random,
 }
 
-/// Run `ops_per_thread` accesses per thread on every node.
+/// Run `ops_per_thread` accesses per thread on every node (DArray runs
+/// single-runtime-threaded; see [`micro_rt`] for the thread-count sweep).
 pub fn micro(
     system: System,
     op: Op,
@@ -101,13 +102,57 @@ pub fn micro(
     elems_per_node: usize,
     ops_per_thread: u64,
 ) -> MicroOut {
+    micro_rt(
+        system,
+        op,
+        pattern,
+        nodes,
+        threads,
+        elems_per_node,
+        ops_per_thread,
+        1,
+    )
+}
+
+/// [`micro`] with an explicit DArray runtime-thread count (fig12/fig13
+/// sweep it). The comparison engines have no runtime-thread knob and
+/// ignore `runtime_threads`.
+#[allow(clippy::too_many_arguments)]
+pub fn micro_rt(
+    system: System,
+    op: Op,
+    pattern: Pattern,
+    nodes: usize,
+    threads: usize,
+    elems_per_node: usize,
+    ops_per_thread: u64,
+    runtime_threads: usize,
+) -> MicroOut {
     let len = elems_per_node * nodes;
     match system {
         System::Builtin => builtin_micro(op, len, ops_per_thread),
         System::Bcl => bcl_micro(op, pattern, nodes, threads, len, ops_per_thread),
         System::Gam => gam_micro(op, pattern, nodes, threads, len, ops_per_thread),
-        System::DArray => darray_micro(op, pattern, nodes, threads, len, ops_per_thread, false),
-        System::DArrayPin => darray_micro(op, pattern, nodes, threads, len, ops_per_thread, true),
+        System::DArray => darray_micro(
+            op,
+            pattern,
+            nodes,
+            threads,
+            len,
+            ops_per_thread,
+            false,
+            runtime_threads,
+        ),
+        System::DArrayPin => darray_micro(
+            op,
+            pattern,
+            nodes,
+            threads,
+            len,
+            ops_per_thread,
+            true,
+            runtime_threads,
+        ),
     }
 }
 
@@ -131,6 +176,7 @@ fn builtin_micro(_op: Op, len: usize, ops: u64) -> MicroOut {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn darray_micro(
     op: Op,
     pattern: Pattern,
@@ -139,9 +185,10 @@ fn darray_micro(
     len: usize,
     ops_per_thread: u64,
     pin: bool,
+    runtime_threads: usize,
 ) -> MicroOut {
     Sim::new(SimConfig::default()).run(move |ctx| {
-        let cluster = Cluster::new(ctx, crate::bench_cluster_config(nodes));
+        let cluster = Cluster::new(ctx, crate::bench_cluster_config_rt(nodes, runtime_threads));
         let add = cluster.ops().register_add_u64();
         let arr = cluster.alloc::<u64>(len, ArrayOptions::default());
         let elapsed = Arc::new(AtomicU64::new(0));

@@ -173,9 +173,31 @@ impl ProtocolTraffic {
 /// Render the BENCH_*.json body: one protocol-traffic section per labelled
 /// configuration.
 pub fn render_bench_json(name: &str, sections: &[(String, ProtocolTraffic)]) -> String {
+    render_bench_json_with_metrics(name, &[], sections)
+}
+
+/// [`render_bench_json`] plus a `metrics` object of headline numbers
+/// (throughput, per-pool occupancy, …). Virtual-time determinism makes
+/// the floats — and hence the file — byte-identical across runs; the
+/// `protocol_diff` harness skips the object, so metrics never trip the
+/// 0% counter threshold. With no metrics, the key is omitted entirely
+/// and the output is byte-identical to the pre-metrics format.
+pub fn render_bench_json_with_metrics(
+    name: &str,
+    metrics: &[(String, f64)],
+    sections: &[(String, ProtocolTraffic)],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    if !metrics.is_empty() {
+        s.push_str("  \"metrics\": {\n");
+        for (i, (label, v)) in metrics.iter().enumerate() {
+            let comma = if i + 1 < metrics.len() { "," } else { "" };
+            s.push_str(&format!("    \"{label}\": {v:.6}{comma}\n"));
+        }
+        s.push_str("  },\n");
+    }
     s.push_str("  \"protocol_traffic\": {\n");
     for (i, (label, t)) in sections.iter().enumerate() {
         let comma = if i + 1 < sections.len() { "," } else { "" };
@@ -192,9 +214,18 @@ pub fn write_bench_json(
     name: &str,
     sections: &[(String, ProtocolTraffic)],
 ) -> std::io::Result<PathBuf> {
+    write_bench_json_with_metrics(name, &[], sections)
+}
+
+/// [`write_bench_json`] with a metrics object.
+pub fn write_bench_json_with_metrics(
+    name: &str,
+    metrics: &[(String, f64)],
+    sections: &[(String, ProtocolTraffic)],
+) -> std::io::Result<PathBuf> {
     let path = PathBuf::from(format!("BENCH_{name}.json"));
     let mut f = std::fs::File::create(&path)?;
-    f.write_all(render_bench_json(name, sections).as_bytes())?;
+    f.write_all(render_bench_json_with_metrics(name, metrics, sections).as_bytes())?;
     Ok(path)
 }
 
@@ -275,6 +306,23 @@ mod tests {
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn metrics_object_renders_and_empty_is_omitted() {
+        let t = ProtocolTraffic::default();
+        let body = render_bench_json_with_metrics(
+            "unit",
+            &[("read_rt2_mops".to_string(), 12.5)],
+            &[("read_rt2".to_string(), t)],
+        );
+        assert!(body.contains("\"metrics\": {"));
+        assert!(body.contains("\"read_rt2_mops\": 12.500000"));
+        // No metrics -> byte-identical to the legacy format.
+        let legacy = render_bench_json("unit", &[("read_rt2".to_string(), t)]);
+        let via_full = render_bench_json_with_metrics("unit", &[], &[("read_rt2".to_string(), t)]);
+        assert_eq!(legacy, via_full);
+        assert!(!legacy.contains("metrics"));
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl<T: Element> DArray<T> {
         NodeStats::bump(&self.shared.stats[self.node].slow_misses);
         let waiter = WaitCell::new();
         let chunk = kind.route_chunk(self.arr.layout.chunk_size());
-        self.shared.rt_mailbox(self.node, chunk).send(
+        self.shared.rt_mailbox(self.node, self.arr.id, chunk).send(
             ctx,
             RtMsg::Local(LocalReq {
                 array: self.arr.id,

@@ -5,9 +5,30 @@
 //! and increase concurrency. The cache eviction policy is governed by two
 //! parameters: low watermark and high watermark." (§4.2)
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 
 use crate::msg::{ArrayId, ChunkId};
+
+/// A point-in-time snapshot of one runtime thread's cache pool, for
+/// observability of placement skew (which pools fill up, which evict).
+/// Obtained via [`crate::Cluster::pool_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// First absolute line index of the pool within the node's region.
+    pub base: u32,
+    /// Total lines in the pool.
+    pub lines: u32,
+    /// Lines currently occupied (lines - free).
+    pub occupied: u32,
+    /// High-water mark of `occupied` over the pool's lifetime.
+    pub peak_occupied: u32,
+    /// Total successful line allocations.
+    pub allocs: u64,
+    /// Watermark-scan evictions charged to this pool's runtime thread.
+    pub evictions: u64,
+}
 
 /// A contiguous range of cachelines owned by one runtime thread, with the
 /// free list, scanning pointer and watermark bookkeeping.
@@ -24,6 +45,13 @@ pub(crate) struct CacheRegion {
     low: u32,
     /// Reclamation target: scanning stops once free-count reaches this.
     high: u32,
+    /// Total successful allocations (relaxed; observability only).
+    allocs: AtomicU64,
+    /// Evictions charged to this pool by its runtime thread's watermark
+    /// scan (relaxed; observability only).
+    evictions: AtomicU64,
+    /// High-water mark of occupied lines (relaxed; observability only).
+    peak_occupied: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -46,6 +74,9 @@ impl CacheRegion {
             lines,
             low,
             high,
+            allocs: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            peak_occupied: AtomicU64::new(0),
             inner: Mutex::new(Inner {
                 free: (base..base + lines).rev().collect(),
                 scan: base,
@@ -78,7 +109,28 @@ impl CacheRegion {
         let slot = (line - self.base) as usize;
         debug_assert!(g.owner[slot].is_none());
         g.owner[slot] = Some((array, chunk));
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        let occupied = (self.lines as usize - g.free.len()) as u64;
+        self.peak_occupied.fetch_max(occupied, Ordering::Relaxed);
         Some(line)
+    }
+
+    /// Charge one watermark-scan eviction to this pool.
+    pub(crate) fn note_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observability snapshot of this pool.
+    pub(crate) fn stats(&self) -> PoolStats {
+        let free = self.free_count();
+        PoolStats {
+            base: self.base,
+            lines: self.lines,
+            occupied: self.lines - free,
+            peak_occupied: self.peak_occupied.load(Ordering::Relaxed) as u32,
+            allocs: self.allocs.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Return a line to the free list.
@@ -167,6 +219,57 @@ mod tests {
         let c = CacheRegion::new(5, 3, 0.3, 0.5);
         let seq: Vec<u32> = (0..7).map(|_| c.scan_next()).collect();
         assert_eq!(seq, vec![5, 6, 7, 5, 6, 7, 5]);
+    }
+
+    #[test]
+    fn scan_partition_covers_every_line_exactly_once() {
+        // Simulate the per-node pool layout: pools tiling 0..capacity with
+        // uneven sizes (as Placement produces for capacity % threads != 0).
+        // One full scan cycle of every pool must visit each line of the
+        // node's region exactly once — no line scanned by two threads,
+        // none by zero.
+        let capacity = 10u32;
+        let pools = [
+            CacheRegion::new(0, 4, 0.3, 0.5),
+            CacheRegion::new(4, 3, 0.3, 0.5),
+            CacheRegion::new(7, 3, 0.3, 0.5),
+        ];
+        let mut visits = vec![0u32; capacity as usize];
+        for p in &pools {
+            for _ in 0..p.capacity() {
+                visits[p.scan_next() as usize] += 1;
+            }
+        }
+        assert!(
+            visits.iter().all(|&v| v == 1),
+            "scan coverage must be a partition: {visits:?}"
+        );
+    }
+
+    #[test]
+    fn pool_stats_track_occupancy_allocs_and_evictions() {
+        let c = CacheRegion::new(8, 4, 0.3, 0.5);
+        assert_eq!(
+            c.stats(),
+            PoolStats {
+                base: 8,
+                lines: 4,
+                ..Default::default()
+            }
+        );
+        let a = c.alloc(0, 0).unwrap();
+        let b = c.alloc(0, 1).unwrap();
+        let s = c.stats();
+        assert_eq!((s.occupied, s.peak_occupied, s.allocs), (2, 2, 2));
+        c.free(a);
+        c.note_eviction();
+        c.free(b);
+        c.note_eviction();
+        let s = c.stats();
+        // Peak is a high-water mark; occupancy drops, the peak does not.
+        assert_eq!((s.occupied, s.peak_occupied, s.evictions), (0, 2, 2));
+        c.alloc(1, 7).unwrap();
+        assert_eq!(c.stats().allocs, 3);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use parking_lot::RwLock;
 use rdma_fabric::{Fabric, NicStatsSnapshot, NodeId, SimTransport, Transport};
 
 use crate::array::DArray;
-use crate::cache::CacheRegion;
+use crate::cache::{CacheRegion, PoolStats};
 use crate::comm::{rel_thread_main, rx_thread_main, tx_thread_main, CommHandle, RelMsg, TxReq};
 use crate::config::{ArrayOptions, ClusterConfig, TransportKind, DEFAULT_CHUNK_SIZE};
 use crate::element::Element;
@@ -17,6 +17,7 @@ use crate::error::DArrayError;
 use crate::layout::Layout;
 use crate::msg::{NetMsg, RtMsg};
 use crate::op::{OpId, OpRegistry};
+use crate::placement::Placement;
 use crate::runtime::RuntimeThread;
 use crate::shared::{ArrayShared, ClusterShared};
 use crate::stats::NodeStatsSnapshot;
@@ -163,10 +164,15 @@ impl Cluster {
         let nodes = cfg.nodes;
         let rts = cfg.runtime_threads;
         let transports = build_transports(&cfg)?;
-        let lines_per_rt = (cfg.cache.capacity_lines / rts).max(1) as u32;
+        let placement = Placement::new(rts);
+        // Per-thread pools tile the node's cache region exactly: the
+        // remainder of `capacity_lines / rts` is spread one line each over
+        // the low-index pools instead of being silently dropped, and the
+        // region is sized to `capacity_lines` — no over-allocation.
+        let pool_ranges = placement.pool_ranges(cfg.cache.capacity_lines);
         let cache_regions = (0..nodes)
             .map(|_| {
-                rdma_fabric::MemoryRegion::new(lines_per_rt as usize * rts * cfg.cache.line_words)
+                rdma_fabric::MemoryRegion::new(cfg.cache.capacity_lines * cfg.cache.line_words)
             })
             .collect::<Vec<_>>();
         // Cache regions receive one-sided WRITEs (fills from remote homes):
@@ -176,11 +182,12 @@ impl Cluster {
         }
         let cache_pools = (0..nodes)
             .map(|_| {
-                (0..rts)
-                    .map(|r| {
+                pool_ranges
+                    .iter()
+                    .map(|&(base, lines)| {
                         Arc::new(CacheRegion::new(
-                            r as u32 * lines_per_rt,
-                            lines_per_rt,
+                            base,
+                            lines,
                             cfg.cache.low_watermark,
                             cfg.cache.high_watermark,
                         ))
@@ -240,6 +247,7 @@ impl Cluster {
             .collect();
         let shared = Arc::new(ClusterShared {
             cfg: cfg.clone(),
+            placement,
             registry: Arc::new(OpRegistry::new()),
             transports,
             arrays: RwLock::new(Vec::new()),
@@ -448,6 +456,16 @@ impl Cluster {
         snap.frames = t.frames;
         snap.completions = t.completions;
         snap
+    }
+
+    /// Per-runtime-thread cache-pool snapshots of `node`, in thread order.
+    /// Surfaces placement skew: how full each pool runs and how often its
+    /// watermark scan evicts.
+    pub fn pool_stats(&self, node: NodeId) -> Vec<PoolStats> {
+        self.shared.cache_pools[node]
+            .iter()
+            .map(|p| p.stats())
+            .collect()
     }
 
     /// Verb counters of one node's NIC. All-zero when the node's transport

@@ -721,7 +721,7 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
             NetMsg::Rpc { array, rpc } => {
                 let chunk = rpc.route_chunk();
                 shared
-                    .rt_mailbox(node, chunk)
+                    .rt_mailbox(node, array, chunk)
                     .send(ctx, RtMsg::Net { src, array, rpc }, 0);
             }
             NetMsg::Heartbeat => {
@@ -754,15 +754,17 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
                         NodeStats::bump(&shared.stats[node].dup_rpcs);
                     } else if seq == link.next_expected {
                         let chunk = rpc.route_chunk();
-                        shared
-                            .rt_mailbox(node, chunk)
-                            .send(ctx, RtMsg::Net { src, array, rpc }, 0);
+                        shared.rt_mailbox(node, array, chunk).send(
+                            ctx,
+                            RtMsg::Net { src, array, rpc },
+                            0,
+                        );
                         link.next_expected += 1;
                         // Release any buffered successors the gap was blocking.
                         let mut next = link.next_expected;
                         while let Some((array, rpc)) = link.reorder.remove(&next) {
                             let chunk = rpc.route_chunk();
-                            shared.rt_mailbox(node, chunk).send(
+                            shared.rt_mailbox(node, array, chunk).send(
                                 ctx,
                                 RtMsg::Net { src, array, rpc },
                                 0,

@@ -193,7 +193,10 @@ pub struct ClusterConfig {
     pub nodes: usize,
     /// Runtime threads per node. Chunks (and their cache regions) are
     /// statically partitioned among them, so each chunk's protocol state is
-    /// handled by exactly one runtime thread.
+    /// handled by exactly one runtime thread. Defaults to 2 (the winning
+    /// setting of the Figure 12 sweep — see `BENCH_fig12.json`); the
+    /// `DARRAY_RUNTIME_THREADS` environment variable overrides the default
+    /// (CI uses it to keep the single-thread configuration exercised).
     pub runtime_threads: usize,
     /// Spawn dedicated Tx threads that post verbs on behalf of the runtime
     /// (§4.5 "Dedicated networking threads"). When false, the runtime posts
@@ -231,11 +234,27 @@ pub struct ClusterConfig {
     pub durability: DurabilityConfig,
 }
 
+/// Library default for [`ClusterConfig::runtime_threads`]: 2, unless the
+/// `DARRAY_RUNTIME_THREADS` environment variable names another positive
+/// count. The env hook exists so CI (and curious users) can run the whole
+/// suite under a non-default thread count without touching code; invalid
+/// values fall back to the built-in default rather than failing here —
+/// `try_validate` still rejects zero if set explicitly on the struct.
+pub fn default_runtime_threads() -> usize {
+    match std::env::var("DARRAY_RUNTIME_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => 2,
+        },
+        Err(_) => 2,
+    }
+}
+
 impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
             nodes: 1,
-            runtime_threads: 1,
+            runtime_threads: default_runtime_threads(),
             tx_threads: false,
             access_path: AccessPath::LockFree,
             fast_path_cost_ns: None,
@@ -399,6 +418,51 @@ mod tests {
         ClusterConfig::default().validate();
         ClusterConfig::with_nodes(12).validate();
         ClusterConfig::test_config(3).validate();
+    }
+
+    #[test]
+    fn default_runtime_threads_is_multi_threaded() {
+        // The Figure 12 sweep picked 2 as the library default; CI's
+        // DARRAY_RUNTIME_THREADS matrix leg relies on the env override.
+        // (Read the env here too so the test stays truthful under that
+        // very matrix leg.)
+        let expected = std::env::var("DARRAY_RUNTIME_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok().filter(|&n| n > 0))
+            .unwrap_or(2);
+        assert_eq!(ClusterConfig::default().runtime_threads, expected);
+        assert_eq!(default_runtime_threads(), expected);
+    }
+
+    #[test]
+    fn degenerate_cache_capacity_cases() {
+        // capacity == threads is the legal minimum: one line per pool.
+        let mut c = ClusterConfig {
+            runtime_threads: 4,
+            ..Default::default()
+        };
+        c.cache.capacity_lines = 4;
+        assert_eq!(c.try_validate(), Ok(()));
+        // capacity < threads would leave a pool with zero lines: rejected,
+        // never silently over-allocated.
+        c.cache.capacity_lines = 3;
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::CacheTooSmall {
+                capacity_lines: 3,
+                runtime_threads: 4,
+            })
+        );
+        // Zero capacity is degenerate even single-threaded.
+        let mut c = ClusterConfig {
+            runtime_threads: 1,
+            ..Default::default()
+        };
+        c.cache.capacity_lines = 0;
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::CacheTooSmall { .. })
+        ));
     }
 
     #[test]

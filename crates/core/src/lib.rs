@@ -68,6 +68,7 @@ mod membership;
 mod msg;
 mod op;
 mod pin;
+mod placement;
 pub mod protocol;
 mod runtime;
 mod shared;
@@ -77,10 +78,11 @@ mod store;
 mod trace;
 
 pub use array::DArray;
+pub use cache::PoolStats;
 pub use cluster::{Cluster, GlobalArray, NodeEnv};
 pub use config::{
-    AccessPath, ArrayOptions, CacheConfig, ClusterConfig, FaultConfig, TcpTransportConfig,
-    TransportKind, DEFAULT_CHUNK_SIZE,
+    default_runtime_threads, AccessPath, ArrayOptions, CacheConfig, ClusterConfig, FaultConfig,
+    TcpTransportConfig, TransportKind, DEFAULT_CHUNK_SIZE,
 };
 pub use element::Element;
 pub use error::{ConfigError, DArrayError, UnavailableKind};

@@ -1,0 +1,179 @@
+//! Chunk→runtime-thread placement and per-thread cache-pool sizing.
+//!
+//! Every chunk of every array is serviced by exactly one runtime thread
+//! per node, and every layer that routes work to a runtime thread — the
+//! runtime executor itself, the comm Rx dispatch, and cluster bring-up —
+//! must agree on the mapping. This module is that single source of truth.
+//!
+//! The mapping is a *rotated* round-robin: within one array, consecutive
+//! chunks still stripe perfectly across the threads (sequential scans load
+//! every thread equally), but the stripe's phase is a hash of the
+//! `ArrayId`. A bare `chunk % threads` would park chunk 0 of *every*
+//! array on thread 0, so multi-array workloads hot-spot the low-index
+//! threads; the rotation spreads the low chunks of different arrays over
+//! different threads while keeping the per-array balance exact.
+
+use crate::msg::{ArrayId, ChunkId};
+
+/// The cluster-wide chunk→runtime-thread mapping (identical on every
+/// node) plus the derived per-thread cache-pool split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Placement {
+    threads: usize,
+}
+
+/// Finalizer of splitmix64 — a cheap, high-quality 64-bit mixer. We only
+/// need the *phase* of each array's stripe to look uncorrelated across
+/// arrays; any avalanche-complete mixer does.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl Placement {
+    pub(crate) fn new(threads: usize) -> Self {
+        assert!(threads > 0, "placement needs at least one runtime thread");
+        Self { threads }
+    }
+
+    /// Runtime thread responsible for `chunk` of `array` (same index on
+    /// every node). Rotated round-robin: exact striping within an array,
+    /// array-dependent phase across arrays.
+    #[inline]
+    pub(crate) fn rt_index(&self, array: ArrayId, chunk: ChunkId) -> usize {
+        if self.threads == 1 {
+            return 0;
+        }
+        let phase = mix64(array as u64) % self.threads as u64;
+        ((chunk as u64).wrapping_add(phase) % self.threads as u64) as usize
+    }
+
+    /// Split `capacity_lines` cachelines into one pool per runtime thread.
+    /// The remainder is distributed one line each to the lowest-index
+    /// pools, so the sum is exactly `capacity_lines` and no pool differs
+    /// from another by more than one line. Requires
+    /// `capacity_lines >= threads` (validated by `ClusterConfig`), so
+    /// every pool gets at least one line.
+    pub(crate) fn pool_lines(&self, capacity_lines: usize) -> Vec<u32> {
+        debug_assert!(
+            capacity_lines >= self.threads,
+            "config validation must reject capacity_lines < runtime_threads"
+        );
+        let per = (capacity_lines / self.threads) as u32;
+        let rem = capacity_lines % self.threads;
+        (0..self.threads)
+            .map(|i| per + u32::from(i < rem))
+            .collect()
+    }
+
+    /// `(base, lines)` of each pool: the cumulative layout of
+    /// [`Placement::pool_lines`] over the node's cache region. The ranges
+    /// are disjoint and cover `0..capacity_lines` exactly.
+    pub(crate) fn pool_ranges(&self, capacity_lines: usize) -> Vec<(u32, u32)> {
+        let mut base = 0u32;
+        self.pool_lines(capacity_lines)
+            .into_iter()
+            .map(|lines| {
+                let r = (base, lines);
+                base += lines;
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_maps_everything_to_zero() {
+        let p = Placement::new(1);
+        for array in 0..8 {
+            for chunk in 0..64 {
+                assert_eq!(p.rt_index(array, chunk), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_chunks_stripe_exactly() {
+        // Within one array the mapping is a perfect round-robin: any
+        // window of `threads` consecutive chunks hits every thread once.
+        for threads in [2, 3, 4, 7] {
+            let p = Placement::new(threads);
+            for array in 0..16 {
+                for start in 0..32u32 {
+                    let mut seen = vec![false; threads];
+                    for c in start..start + threads as u32 {
+                        seen[p.rt_index(array, c)] = true;
+                    }
+                    assert!(
+                        seen.iter().all(|&s| s),
+                        "array {array} window at {start} missed a thread"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_zero_spreads_across_arrays() {
+        // The whole point of the rotation: chunk 0 of different arrays
+        // must not all land on thread 0.
+        let p = Placement::new(4);
+        let hits: Vec<usize> = (0..64).map(|array| p.rt_index(array, 0)).collect();
+        for t in 0..4 {
+            assert!(
+                hits.contains(&t),
+                "no array's chunk 0 landed on thread {t}: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let a = Placement::new(4);
+        let b = Placement::new(4);
+        for array in 0..8 {
+            for chunk in 0..128 {
+                assert_eq!(a.rt_index(array, chunk), b.rt_index(array, chunk));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_lines_distribute_remainder() {
+        let p = Placement::new(4);
+        // 10 = 3+3+2+2: remainder 2 goes to the first two pools.
+        assert_eq!(p.pool_lines(10), vec![3, 3, 2, 2]);
+        // Exact division: all equal.
+        assert_eq!(p.pool_lines(8), vec![2, 2, 2, 2]);
+        // Degenerate minimum: one line each.
+        assert_eq!(p.pool_lines(4), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn pool_ranges_tile_the_region_exactly() {
+        for threads in [1, 2, 3, 4, 5] {
+            let p = Placement::new(threads);
+            for cap in [threads, threads + 1, 64, 100, 257] {
+                let ranges = p.pool_ranges(cap);
+                assert_eq!(ranges.len(), threads);
+                let mut next = 0u32;
+                for &(base, lines) in &ranges {
+                    assert_eq!(base, next, "pools must be contiguous");
+                    assert!(lines > 0, "every pool gets at least one line");
+                    next += lines;
+                }
+                assert_eq!(
+                    next as usize, cap,
+                    "pools must cover the region exactly (threads={threads}, cap={cap})"
+                );
+            }
+        }
+    }
+}

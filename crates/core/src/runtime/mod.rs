@@ -61,7 +61,7 @@ struct Deferred {
 }
 
 /// One runtime thread: owns a cache region and the protocol state of every
-/// chunk with `chunk % runtime_threads == rt_idx`.
+/// chunk the cluster-wide [`crate::placement::Placement`] maps to `rt_idx`.
 pub(crate) struct RuntimeThread {
     pub node: NodeId,
     pub rt_idx: usize,
@@ -109,6 +109,11 @@ impl RuntimeThread {
 
     /// Bump the `NodeStats` field a machine-emitted [`Counter`] names.
     fn count(&self, c: Counter) {
+        if matches!(c, Counter::Evictions) {
+            // Evictions are also charged per-pool: `self.cache` is this
+            // thread's own pool, the only one its watermark scan touches.
+            self.cache.note_eviction();
+        }
         let s = self.stats();
         NodeStats::bump(match c {
             Counter::Fills => &s.fills,
@@ -332,7 +337,7 @@ impl RuntimeThread {
                 self.start_drain(arr, chunk, target, tag, Cont::Home);
             }
             HomeAction::ScheduleRetry { at } => {
-                let mb = self.shared.rt_mailbox(self.node, chunk).clone();
+                let mb = self.shared.rt_mailbox(self.node, arr.id, chunk).clone();
                 mb.send_at(
                     ctx,
                     RtMsg::Retry {
@@ -559,8 +564,12 @@ impl RuntimeThread {
                 CacheAction::PrefetchHint => {
                     // Prefetch only when the miss continues a sequential
                     // pattern — random access (e.g. hash probing) would only
-                    // churn the cache with doomed Shared copies.
-                    let sequential = self.last_miss == Some((arr.id, chunk.wrapping_sub(1)))
+                    // churn the cache with doomed Shared copies. A globally
+                    // sequential scan reaches each runtime thread as a
+                    // stride: this thread owns every `runtime_threads`-th
+                    // chunk, so the previous miss it saw is that far back.
+                    let stride = self.shared.cfg.runtime_threads as ChunkId;
+                    let sequential = self.last_miss == Some((arr.id, chunk.wrapping_sub(stride)))
                         || self.last_miss == Some((arr.id, chunk));
                     self.last_miss = Some((arr.id, chunk));
                     if sequential {
@@ -684,7 +693,7 @@ impl RuntimeThread {
             if arr.layout.home_of_chunk(nc as usize) == self.node {
                 continue;
             }
-            if self.shared.rt_index(nc) != self.rt_idx {
+            if self.shared.rt_index(arr.id, nc) != self.rt_idx {
                 continue;
             }
             if self.cache.below_low() {
@@ -926,7 +935,7 @@ impl RuntimeThread {
         let arrays: Vec<Arc<ArrayShared>> = self.shared.arrays.read().clone();
         for arr in &arrays {
             for c in 0..arr.layout.num_chunks() as ChunkId {
-                if self.shared.rt_index(c) != self.rt_idx {
+                if self.shared.rt_index(arr.id, c) != self.rt_idx {
                     continue;
                 }
                 let home = arr.layout.home_of_chunk(c as usize);
@@ -993,7 +1002,7 @@ impl RuntimeThread {
         let arrays: Vec<Arc<ArrayShared>> = self.shared.arrays.read().clone();
         for arr in &arrays {
             for c in 0..arr.layout.num_chunks() as ChunkId {
-                if self.shared.rt_index(c) != self.rt_idx {
+                if self.shared.rt_index(arr.id, c) != self.rt_idx {
                     continue;
                 }
                 let home = arr.layout.home_of_chunk(c as usize);

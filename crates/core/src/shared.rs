@@ -19,6 +19,7 @@ use crate::layout::Layout;
 use crate::membership::{MembershipView, PeerHealth};
 use crate::msg::{ArrayId, ChunkId, LockKind, NetMsg, Rpc, RtMsg};
 use crate::op::OpRegistry;
+use crate::placement::Placement;
 use crate::protocol::locks::LockTable;
 use crate::protocol::HomeMachine;
 use crate::state::LocalState;
@@ -123,6 +124,9 @@ impl RxLink {
 /// Everything shared across the cluster.
 pub(crate) struct ClusterShared {
     pub cfg: ClusterConfig,
+    /// The cluster-wide chunk→runtime-thread mapping, shared by the
+    /// runtime executor, the comm Rx dispatch and bring-up pool sizing.
+    pub placement: Placement,
     pub registry: Arc<OpRegistry>,
     /// Per-node network endpoint, behind the backend-agnostic transport
     /// trait (simulated NIC or real sockets — DESIGN.md §13).
@@ -190,15 +194,21 @@ impl ClusterShared {
         self.arrays.read()[id as usize].clone()
     }
 
-    /// Runtime thread responsible for `chunk` (same index on every node).
+    /// Runtime thread responsible for `chunk` of `array` (same index on
+    /// every node). Rotated round-robin — see [`crate::placement`].
     #[inline]
-    pub(crate) fn rt_index(&self, chunk: ChunkId) -> usize {
-        chunk as usize % self.cfg.runtime_threads
+    pub(crate) fn rt_index(&self, array: ArrayId, chunk: ChunkId) -> usize {
+        self.placement.rt_index(array, chunk)
     }
 
-    /// Mailbox of the runtime thread owning `chunk` on `node`.
-    pub(crate) fn rt_mailbox(&self, node: NodeId, chunk: ChunkId) -> &Mailbox<RtMsg> {
-        &self.rt_mailboxes[node][self.rt_index(chunk)]
+    /// Mailbox of the runtime thread owning `chunk` of `array` on `node`.
+    pub(crate) fn rt_mailbox(
+        &self,
+        node: NodeId,
+        array: ArrayId,
+        chunk: ChunkId,
+    ) -> &Mailbox<RtMsg> {
+        &self.rt_mailboxes[node][self.rt_index(array, chunk)]
     }
 
     /// Raw simulated-NIC statistics of a node (re-exported for benchmarks).

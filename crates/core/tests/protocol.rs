@@ -344,6 +344,78 @@ fn multiple_runtime_threads_partition_chunks() {
 }
 
 #[test]
+fn per_thread_pools_tile_cache_capacity_exactly() {
+    // 100 lines over 3 runtime threads: 34 + 33 + 33. The remainder is
+    // distributed (not dropped), the pools are contiguous and disjoint,
+    // and together they cover exactly 0..capacity_lines — so each
+    // thread's watermark scan (cyclic within its own pool) touches every
+    // line of the node's region exactly once per cycle and no line twice.
+    let mut cfg = ClusterConfig::test_config(2);
+    cfg.runtime_threads = 3;
+    cfg.cache.capacity_lines = 100;
+    with_cluster(cfg, |_ctx, cluster| {
+        for node in 0..2 {
+            let pools = cluster.pool_stats(node);
+            assert_eq!(pools.len(), 3);
+            assert_eq!(
+                pools.iter().map(|p| p.lines).collect::<Vec<_>>(),
+                vec![34, 33, 33],
+                "remainder lines must be distributed, not dropped"
+            );
+            let mut next = 0;
+            for p in &pools {
+                assert_eq!(p.base, next, "pools must be contiguous");
+                next += p.lines;
+            }
+            assert_eq!(next, 100, "pools must cover the whole region");
+        }
+    });
+}
+
+#[test]
+fn pool_stats_surface_occupancy_and_evictions() {
+    // Tiny cache (6 lines over 2 threads) + a working set much larger
+    // than capacity: every pool must both allocate and evict, and the
+    // counters must show it.
+    let mut cfg = ClusterConfig::test_config(2);
+    cfg.runtime_threads = 2;
+    cfg.cache.capacity_lines = 6;
+    cfg.cache.prefetch_lines = 0;
+    with_cluster(cfg, |ctx, cluster| {
+        let arr = cluster.alloc::<u64>(64 * 512, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            if env.node == 0 {
+                // Touch one element of many remote chunks, twice, to
+                // churn both pools through their watermarks.
+                for round in 0..2 {
+                    for c in 32..64 {
+                        assert_eq!(a.get(ctx, c * 512 + round), 0);
+                    }
+                }
+            }
+        });
+        let pools = cluster.pool_stats(0);
+        assert_eq!(pools.len(), 2);
+        for (i, p) in pools.iter().enumerate() {
+            assert!(p.allocs > 0, "pool {i} never allocated: {p:?}");
+            assert!(p.evictions > 0, "pool {i} never evicted: {p:?}");
+            assert!(
+                p.peak_occupied > 0 && p.peak_occupied <= p.lines,
+                "pool {i} peak out of range: {p:?}"
+            );
+            assert!(p.occupied <= p.lines);
+        }
+        let node_evictions = cluster.stats(0).evictions;
+        let pool_evictions: u64 = pools.iter().map(|p| p.evictions).sum();
+        assert_eq!(
+            node_evictions, pool_evictions,
+            "per-pool evictions must sum to the node counter"
+        );
+    });
+}
+
+#[test]
 fn tx_threads_mode_works() {
     let mut cfg = ClusterConfig::test_config(2);
     cfg.tx_threads = true;

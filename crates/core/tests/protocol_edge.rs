@@ -44,7 +44,10 @@ fn shared_lines_evict_and_refetch_correctly() {
 #[test]
 fn pinned_line_survives_cache_pressure() {
     let mut cfg = ClusterConfig::test_config(2);
-    cfg.cache.capacity_lines = 4;
+    // The cache is per-runtime-thread pools; keep the cache tiny but give
+    // every pool at least two lines (one pinned, one to thrash through),
+    // whatever thread count the environment selects.
+    cfg.cache.capacity_lines = 4.max(2 * cfg.runtime_threads);
     cfg.cache.prefetch_lines = 0;
     with_cluster(cfg, |ctx, cluster| {
         let arr = cluster.alloc_with::<u64>(64 * 512, ArrayOptions::default(), |i| i as u64);

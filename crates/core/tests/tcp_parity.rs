@@ -146,6 +146,30 @@ fn tcp_matches_sim_protocol_transition_counts() {
     assert!(total > 0, "workload must drive protocol transitions");
 }
 
+/// The multi-threaded runtime must not disturb backend parity either: with
+/// `runtime_threads = 2` the chunk→thread placement partitions the same
+/// protocol work across two executors per node, and the transition counts
+/// must still be a backend-independent function of the workload.
+#[test]
+fn tcp_matches_sim_with_multithreaded_runtime() {
+    let rt2 = |kind| {
+        let mut cfg = parity_config(kind);
+        cfg.runtime_threads = 2;
+        cfg
+    };
+    let sim = run_workload(rt2(TransportKind::Sim));
+    let tcp = run_workload(rt2(TransportKind::Tcp));
+    for node in 0..NODES {
+        assert_eq!(
+            protocol_view(sim[node]),
+            protocol_view(tcp[node]),
+            "node {node}: partitioned protocol counters must not depend on the backend"
+        );
+    }
+    let total: u64 = sim.iter().map(|s| s.transitions).sum();
+    assert!(total > 0, "workload must drive protocol transitions");
+}
+
 /// Durability must not disturb backend parity: with persist-before-ack on
 /// (Writethrough, per-backend scratch log dirs), the protocol transition
 /// counts — including `flush_persists` — are identical over dsim and TCP,

@@ -134,6 +134,39 @@ fn chaos_matches_fault_free_baseline_across_seeds() {
     }
 }
 
+/// The multi-threaded runtime default must not weaken the chaos guarantee:
+/// with `runtime_threads = 2` the protocol work for each node partitions
+/// across two executors, and a seed subset of the fault schedules must
+/// still converge to the same timing-independent contents.
+#[test]
+fn chaos_seed_subset_matches_baseline_with_multithreaded_runtime() {
+    let rt2 = |mut cfg: ClusterConfig| {
+        cfg.runtime_threads = 2;
+        cfg
+    };
+    let (baseline, snaps) = run_workload(rt2(ClusterConfig::with_nodes(NODES)));
+    let timeouts: u64 = snaps.iter().map(|s| s.rpc_timeouts).sum();
+    assert_eq!(timeouts, 0, "fault-free rt=2 run must not time out");
+    assert_eq!(baseline, expected_contents());
+    for seed in [5, 17, 0xC0FFEE] {
+        let (contents, snaps) = run_workload(rt2(chaotic_config(seed)));
+        let retransmits: u64 = snaps.iter().map(|s| s.retransmits).sum();
+        assert_eq!(
+            contents, baseline,
+            "rt=2 contents diverged from the fault-free run under seed {seed}"
+        );
+        assert!(
+            retransmits > 0,
+            "seed {seed} injected no observable faults under rt=2"
+        );
+        let confirmed: u64 = snaps.iter().map(|s| s.confirmed_deaths).sum();
+        assert_eq!(
+            confirmed, 0,
+            "seed {seed}: packet loss alone must never confirm a death (rt=2)"
+        );
+    }
+}
+
 #[test]
 fn crash_is_detected_and_degrades_gracefully() {
     Sim::new(SimConfig::default()).run(|ctx| {
@@ -629,6 +662,18 @@ impl Drop for TempStoreDir {
 /// dirty data must NOT reappear (it was never promised durable).
 #[test]
 fn kill_restart_recovers_exactly_the_acked_writes() {
+    kill_restart_roundtrip(1, "kill-restart");
+}
+
+/// The same kill/restart round-trip with the multi-threaded runtime: the
+/// persist-before-ack guarantee is per chunk, and the chunk→thread
+/// placement must not change which writes survive.
+#[test]
+fn kill_restart_recovers_with_multithreaded_runtime() {
+    kill_restart_roundtrip(2, "kill-restart-rt2");
+}
+
+fn kill_restart_roundtrip(runtime_threads: usize, dir_name: &str) {
     // 2 nodes, 512-element chunks, block-distributed homes: chunks 0..3
     // are homed on node 0 and chunks 3..6 on node 1.
     const COMMITTED0: usize = 0; // chunk 0 (home 0): written by 1, recalled by 0
@@ -637,9 +682,10 @@ fn kill_restart_recovers_exactly_the_acked_writes() {
     const FLAG: usize = 512; // chunk 1 (home 0)
     const FLAG2: usize = 516; // same chunk; writer-disjoint with FLAG
     const CORPSE: usize = 2048; // chunk 4 (home 1): probed after the kill
-    let dir = TempStoreDir::new("kill-restart");
+    let dir = TempStoreDir::new(dir_name);
     let mk_cfg = |dir: &PathBuf| {
         let mut cfg = ClusterConfig::with_nodes(2);
+        cfg.runtime_threads = runtime_threads;
         cfg.durability.policy = DurabilityPolicy::Writethrough;
         cfg.durability.dir = Some(dir.clone());
         cfg
@@ -851,10 +897,10 @@ fn restart_peer_readmits_after_confirmed_death() {
                 }
             }
         });
-        for n in 0..NODES {
+        for (n, &before) in epoch_before.iter().enumerate() {
             let s = cluster.stats(n);
             assert!(
-                s.membership_epoch > epoch_before[n],
+                s.membership_epoch > before,
                 "node {n} re-admitted without burning a fresh epoch: {s:?}"
             );
         }
