@@ -87,6 +87,12 @@ pub struct ProtocolTraffic {
     pub log_replays: u64,
     /// Distinct chunk images recovered from the durable log at bring-up.
     pub recovered_chunks: u64,
+    /// Chunks handed to a new home by committed migrations (elastic mode).
+    pub migrations_out: u64,
+    /// Chunk migrations adopted as the new authoritative home.
+    pub migrations_in: u64,
+    /// Requests parked behind a migration fence and replayed after it.
+    pub parked_replays: u64,
     /// Transport bytes posted to the wire, summed over nodes (payload plus
     /// backend framing; backend-dependent, unlike the protocol counters).
     pub bytes_tx: u64,
@@ -119,6 +125,9 @@ impl ProtocolTraffic {
         self.flush_persists += s.flush_persists;
         self.log_replays += s.log_replays;
         self.recovered_chunks += s.recovered_chunks;
+        self.migrations_out += s.migrations_out;
+        self.migrations_in += s.migrations_in;
+        self.parked_replays += s.parked_replays;
         self.bytes_tx += s.bytes_tx;
         self.bytes_rx += s.bytes_rx;
         self.frames += s.frames;
@@ -143,6 +152,7 @@ impl ProtocolTraffic {
              \"orphaned_locks_reclaimed\":{},\"suspicions\":{},\"refutations\":{},\
              \"confirmed_deaths\":{},\"membership_epoch\":{},\
              \"flush_persists\":{},\"log_replays\":{},\"recovered_chunks\":{},\
+             \"migrations_out\":{},\"migrations_in\":{},\"parked_replays\":{},\
              \"bytes_tx\":{},\"bytes_rx\":{},\"frames\":{},\"completions\":{}}}",
             self.fills,
             self.invalidations,
@@ -162,6 +172,9 @@ impl ProtocolTraffic {
             self.flush_persists,
             self.log_replays,
             self.recovered_chunks,
+            self.migrations_out,
+            self.migrations_in,
+            self.parked_replays,
             self.bytes_tx,
             self.bytes_rx,
             self.frames,
@@ -274,6 +287,9 @@ mod tests {
             flush_persists: 16,
             log_replays: 17,
             recovered_chunks: 18,
+            migrations_out: 23,
+            migrations_in: 24,
+            parked_replays: 25,
             bytes_tx: 19,
             bytes_rx: 20,
             frames: 21,
@@ -299,6 +315,9 @@ mod tests {
             "\"flush_persists\":16",
             "\"log_replays\":17",
             "\"recovered_chunks\":18",
+            "\"migrations_out\":23",
+            "\"migrations_in\":24",
+            "\"parked_replays\":25",
             "\"bytes_tx\":19",
             "\"bytes_rx\":20",
             "\"frames\":21",

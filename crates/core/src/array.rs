@@ -68,9 +68,11 @@ impl<T: Element> DArray<T> {
         self.arr.layout.nodes()
     }
 
-    /// Home node of element `index`.
+    /// Home node of element `index` — as this node currently believes:
+    /// elastic clusters answer from the local home map (which migration
+    /// commits advance), static clusters from the layout.
     pub fn home_of(&self, index: usize) -> NodeId {
-        self.arr.layout.home_of(index)
+        self.arr.home_on(self.node, self.arr.layout.chunk_of(index))
     }
 
     /// Elements whose home is this node (useful for owner-computes loops).
@@ -165,7 +167,7 @@ impl<T: Element> DArray<T> {
                     if let Some(message) = self.shared.protocol_fault.get() {
                         return Err(DArrayError::ProtocolInvariant { message });
                     }
-                    let home = layout.home_of_chunk(chunk);
+                    let home = self.arr.home_on(self.node, chunk);
                     if home != self.node && self.shared.is_peer_down(self.node, home) {
                         return Err(self.shared.unavailable_error(self.node, home));
                     }

@@ -230,6 +230,14 @@ impl Cluster {
                     .fetch_add(st.recovered_chunks, std::sync::atomic::Ordering::Relaxed);
                 v.push(Some(Arc::new(store)));
             }
+            // First incarnation binds the directory to this thread count;
+            // `try_validate` already rejected any mismatch with an earlier
+            // record (ConfigError::RuntimeThreadsChanged).
+            crate::config::write_incarnation_meta(dir, cfg.runtime_threads).map_err(|e| {
+                crate::ConfigError::DurabilityBringUp {
+                    message: e.to_string(),
+                }
+            })?;
             v
         } else {
             (0..nodes).map(|_| None).collect()
@@ -242,8 +250,17 @@ impl Cluster {
                     .map(|_| Mailbox::new(&format!("rel-{n}")))
             })
             .collect();
+        // Elastic bring-up with spares: every view starts the suffix
+        // `initial_nodes..nodes` in `Joining` — running the full service
+        // stack, homing no chunks, holding no votes — until
+        // [`Cluster::join_peer`] admits them under a burned epoch.
         let membership = (0..nodes)
-            .map(|_| crate::membership::MembershipView::new(nodes))
+            .map(|_| match cfg.initial_nodes {
+                Some(active) if active < nodes => {
+                    crate::membership::MembershipView::new_with_joining(nodes, active)
+                }
+                _ => crate::membership::MembershipView::new(nodes),
+            })
             .collect();
         let shared = Arc::new(ClusterShared {
             cfg: cfg.clone(),
@@ -355,8 +372,18 @@ impl Cluster {
             panic!("{e}");
         }
         let nodes = self.shared.cfg.nodes;
+        let elastic = self.shared.cfg.elastic;
         let layout = match &opts.partition_offset {
             Some(offs) => Layout::custom(len, nodes, chunk_size, offs),
+            None if elastic => {
+                // Spares (still Joining) home nothing: partition over the
+                // active prefix only. Joins admit in index order, so the
+                // active set is the longest non-joining prefix.
+                let active = (0..nodes)
+                    .take_while(|&n| !self.shared.membership[0].is_joining(n))
+                    .count();
+                Layout::even_prefix(len, nodes, active, chunk_size)
+            }
             None => Layout::even(len, nodes, chunk_size),
         };
         let mut arrays = self.shared.arrays.write();
@@ -365,13 +392,38 @@ impl Cluster {
             id,
             layout,
             self.shared.cfg.durability.enabled(),
+            elastic,
         ));
+        // In elastic mode one chunk's image can exist in more than one log
+        // (the old home persisted it before a migration, the new home
+        // after). The record with the highest persist epoch is the
+        // authoritative one — the migration fence burns an epoch before the
+        // new home's first persist, so its records outrank the source's.
+        let mut best: std::collections::HashMap<usize, (u64, usize)> =
+            std::collections::HashMap::new();
+        if elastic {
+            for (n, store) in self.shared.stores.iter().enumerate() {
+                let Some(store) = store else { continue };
+                for rec in store.recovered() {
+                    let c = rec.chunk as usize;
+                    if rec.array != id
+                        || c >= arr.layout.num_chunks()
+                        || rec.data.len() != chunk_size
+                    {
+                        continue;
+                    }
+                    let e = best.entry(c).or_insert((rec.epoch, n));
+                    if rec.epoch >= e.0 {
+                        *e = (rec.epoch, n);
+                    }
+                }
+            }
+        }
         for n in 0..nodes {
             let elems = arr.layout.node_elems(n);
-            let base_chunk = arr.layout.node_chunks(n).start;
             for i in elems {
                 let c = arr.layout.chunk_of(i);
-                let w = (c - base_chunk) * chunk_size + arr.layout.offset_in_chunk(i);
+                let w = arr.chunk_off(c) + arr.layout.offset_in_chunk(i);
                 arr.subarrays[n].store(w, init(i).to_bits());
             }
             // Restart recovery: overlay chunk images replayed from this
@@ -384,12 +436,47 @@ impl Cluster {
                     let c = rec.chunk as usize;
                     if rec.array != id
                         || c >= arr.layout.num_chunks()
-                        || arr.layout.home_of_chunk(c) != n
                         || rec.data.len() != chunk_size
                     {
                         continue;
                     }
-                    let off = arr.layout.chunk_home_offset(c);
+                    if elastic {
+                        // Best-epoch-wins across all logs: node n only
+                        // overlays (and re-homes) chunks whose newest
+                        // persisted image lives in its own log.
+                        if best.get(&c) != Some(&(rec.epoch, n)) {
+                            continue;
+                        }
+                        let h = arr.layout.home_of_chunk(c);
+                        if h != n {
+                            // The chunk had migrated here before the crash:
+                            // restore n as its home on every view, under
+                            // the persist epoch (future migration epochs
+                            // resume past it, keeping the map monotone).
+                            for m in 0..nodes {
+                                arr.note_home(m, c, n, rec.epoch);
+                            }
+                            // Dentries were seeded from the static layout;
+                            // hand the line to the recovered home so the
+                            // layout home's fast path cannot serve its
+                            // freshly re-initialized (stale) image.
+                            let old = &arr.per_node[h].dentries[c];
+                            old.promote_to(
+                                crate::state::LocalState::Invalid,
+                                crate::protocol::NOTAG,
+                            );
+                            old.set_line(crate::protocol::LINE_NONE);
+                            let new = &arr.per_node[n].dentries[c];
+                            new.set_line(crate::protocol::LINE_HOME);
+                            new.promote_to(
+                                crate::state::LocalState::Exclusive,
+                                crate::protocol::NOTAG,
+                            );
+                        }
+                    } else if arr.layout.home_of_chunk(c) != n {
+                        continue;
+                    }
+                    let off = arr.chunk_off(c);
                     for (i, &word) in rec.data.iter().enumerate() {
                         arr.subarrays[n].store(off + i, word);
                     }
@@ -520,26 +607,193 @@ impl Cluster {
                 continue;
             };
             readmitted += 1;
-            crate::stats::NodeStats::raise(&self.shared.stats[m].membership_epoch, epoch);
-            // Bring the reliable link m <-> node up like a cold boot: the
-            // death dropped unacked frames whose sequence numbers are gone
-            // for good, so continuing the old streams would leave the
-            // receivers waiting forever on the gap. Both directions restart
-            // from seq 0 (the link is idle — see the settled-death
-            // contract), resets enqueued before any new traffic can be.
-            self.shared.rx_links[m][node].lock().reset();
-            self.shared.rx_links[node][m].lock().reset();
-            if let Some(rel) = &self.shared.rel_mailboxes[m] {
-                rel.send(ctx, RelMsg::ResetLink { peer: node }, 0);
-            }
-            if let Some(rel) = &self.shared.rel_mailboxes[node] {
-                rel.send(ctx, RelMsg::ResetLink { peer: m }, 0);
-            }
+            self.admit_peer(ctx, m, node, epoch);
             for rt in &self.shared.rt_mailboxes[m] {
                 rt.send(ctx, RtMsg::PeerRestarted { node, epoch }, 0);
             }
         }
         readmitted
+    }
+
+    /// First-contact bring-up of the `m` <-> `node` link after view `m`
+    /// admitted `node` under `epoch` — shared by [`Cluster::restart_peer`]
+    /// (re-admission of a restarted identity) and [`Cluster::join_peer`]
+    /// (admission of a spare). Bring the reliable link up like a cold
+    /// boot: any earlier incarnation's unacked frames carry sequence
+    /// numbers that are gone for good, so continuing the old streams would
+    /// leave the receivers waiting forever on the gap. Both directions
+    /// restart from seq 0 (the link is idle — see the settled-death /
+    /// between-phases contracts), resets enqueued before any new traffic
+    /// can be.
+    fn admit_peer(&self, ctx: &mut Ctx, m: NodeId, node: NodeId, epoch: u64) {
+        crate::stats::NodeStats::raise(&self.shared.stats[m].membership_epoch, epoch);
+        self.shared.rx_links[m][node].lock().reset();
+        self.shared.rx_links[node][m].lock().reset();
+        if let Some(rel) = &self.shared.rel_mailboxes[m] {
+            rel.send(ctx, RelMsg::ResetLink { peer: node }, 0);
+        }
+        if let Some(rel) = &self.shared.rel_mailboxes[node] {
+            rel.send(ctx, RelMsg::ResetLink { peer: m }, 0);
+        }
+    }
+
+    /// Admit spare `node` (configured via `ClusterConfig::initial_nodes`,
+    /// health `Joining`) into the live cluster (DESIGN.md §15).
+    ///
+    /// In fault mode this drives the join *protocol*: the joiner's
+    /// reliability agent announces `JoinReq` to every peer it views alive;
+    /// each survivor admits the joiner on its own view (burning a fresh
+    /// membership epoch and performing the first-contact link bring-up)
+    /// and votes `JoinVote{admit}`; the joiner self-admits once a quorum
+    /// of votes is in. This call then blocks (in virtual time) until every
+    /// view the joiner can reach has admitted it. Without a `fault`
+    /// config there are no reliability agents, so the views are admitted
+    /// synchronously here — same postcondition, no wire traffic.
+    ///
+    /// The joined node homes no chunks until [`Cluster::migrate_chunk`]
+    /// re-homes some onto it; arrays allocated *after* the join include it
+    /// in their even partition. Returns how many views admitted the node.
+    /// No-op (returns 0) if `node` is not in `Joining` state everywhere.
+    pub fn join_peer(&self, ctx: &mut Ctx, node: NodeId) -> usize {
+        assert!(
+            self.shared.cfg.elastic,
+            "join_peer requires ClusterConfig::elastic"
+        );
+        let nodes = self.shared.cfg.nodes;
+        assert!(node < nodes);
+        if self.shared.cfg.fault.is_some() && self.shared.rel_mailboxes[node].is_some() {
+            let before: Vec<bool> = (0..nodes)
+                .map(|m| self.shared.membership[m].is_joining(node))
+                .collect();
+            if !before[node] {
+                return 0;
+            }
+            if let Some(rel) = &self.shared.rel_mailboxes[node] {
+                rel.send(ctx, RelMsg::AnnounceJoin, 0);
+            }
+            // Wait until the join settles: the joiner has self-admitted on
+            // quorum and every peer it views alive has admitted it too.
+            let poll = self
+                .shared
+                .cfg
+                .fault
+                .as_ref()
+                .map(|f| f.suspect_poll_ns)
+                .unwrap_or(1_000);
+            loop {
+                let jv = &self.shared.membership[node];
+                let settled = !jv.is_joining(node)
+                    && (0..nodes).all(|m| {
+                        m == node
+                            || jv.health(m) != crate::membership::PeerHealth::Alive
+                            || self.shared.membership[m].health(node)
+                                == crate::membership::PeerHealth::Alive
+                    });
+                if settled {
+                    break;
+                }
+                ctx.sleep(poll);
+            }
+            // Count the views that now hold the joiner Alive.
+            (0..nodes)
+                .filter(|&m| {
+                    self.shared.membership[m].health(node) == crate::membership::PeerHealth::Alive
+                })
+                .count()
+        } else {
+            // Fault-free path: no reliability agents exist, so admit the
+            // joiner on every view directly (links have no sequence state
+            // to reset, but the bring-up is shared for uniformity).
+            let mut admitted = 0;
+            for m in 0..nodes {
+                let Some(epoch) = self.shared.membership[m].admit(node) else {
+                    continue;
+                };
+                admitted += 1;
+                self.admit_peer(ctx, m, node, epoch);
+            }
+            admitted
+        }
+    }
+
+    /// Re-home `chunk` of `arr` onto `to` while the cluster serves traffic
+    /// (DESIGN.md §15): sends `RtMsg::Migrate` to the runtime thread that
+    /// owns the chunk at its current home, which fences the chunk
+    /// (recalling outstanding copies, parking new arrivals), transfers the
+    /// directory state and data image, and commits the move under a burned
+    /// epoch. Blocks (in virtual time) until every node's home map shows
+    /// `to` as the chunk's home — after which parked traffic has been
+    /// forwarded and the old home is no longer authoritative — or until
+    /// the move settles as aborted because `to` died mid-migration, in
+    /// which case the source re-assumed the chunk. Returns `true` iff the
+    /// chunk is homed on `to` when the call returns (including the no-op
+    /// case where it already was).
+    pub fn migrate_chunk<T: Element>(
+        &self,
+        ctx: &mut Ctx,
+        arr: &GlobalArray<T>,
+        chunk: usize,
+        to: NodeId,
+    ) -> bool {
+        assert!(
+            self.shared.cfg.elastic,
+            "migrate_chunk requires ClusterConfig::elastic"
+        );
+        let nodes = self.shared.cfg.nodes;
+        assert!(to < nodes);
+        let a = &arr.arr;
+        assert!(chunk < a.layout.num_chunks());
+        assert!(
+            self.shared.membership[to].health(to) == crate::membership::PeerHealth::Alive,
+            "migration target must be an admitted, live node"
+        );
+        // The current home by its own account (every settled view agrees;
+        // mid-migration the call below is rejected by the machine and the
+        // wait observes the in-flight move instead).
+        let home = (0..nodes)
+            .find(|&n| a.home_on(n, chunk) == n)
+            .unwrap_or_else(|| a.home_on(to, chunk));
+        if home == to {
+            return true;
+        }
+        let r = self.shared.placement.rt_index(a.id, chunk as u32);
+        self.shared.rt_mailboxes[home][r].send(
+            ctx,
+            RtMsg::Migrate {
+                array: a.id,
+                chunk: chunk as u32,
+                to,
+            },
+            0,
+        );
+        let poll = self
+            .shared
+            .cfg
+            .fault
+            .as_ref()
+            .map(|f| f.suspect_poll_ns)
+            .unwrap_or(1_000);
+        // Observe convergence through the target's view: every node it
+        // holds alive (itself included) must have flipped its map. Dead or
+        // still-joining nodes learn the new home on re-admission instead.
+        // If the target itself is confirmed dead mid-move, its view is
+        // frozen and can never converge; the source machine settles the
+        // migration on its PeerDown (abort and re-assume, or — when the
+        // ack had already landed — commit to the corpse), so the source's
+        // own map is the final answer.
+        loop {
+            if self.shared.membership[home].health(to) == crate::membership::PeerHealth::Dead {
+                return a.home_on(home, chunk) == to;
+            }
+            let converged = (0..nodes).all(|m| {
+                self.shared.membership[to].health(m) != crate::membership::PeerHealth::Alive
+                    || a.home_on(m, chunk) == to
+            });
+            if converged {
+                return true;
+            }
+            ctx.sleep(poll);
+        }
     }
 
     /// Stop all service threads and join them. Call after application work

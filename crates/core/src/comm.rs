@@ -130,6 +130,25 @@ pub(crate) enum RelMsg {
         suspect: NodeId,
         alive: bool,
     },
+    /// This (pre-provisioned, `Joining`) node should announce itself to the
+    /// live cluster and collect admit votes. Injected by
+    /// [`crate::Cluster::join_peer`]; the agent re-announces every
+    /// `suspect_poll_ns` until a quorum of survivors has admitted it
+    /// (DESIGN.md §15).
+    AnnounceJoin,
+    /// A joiner's announcement, forwarded by the Rx thread: admit `from`
+    /// into this node's view, bring the reliable link up from seq 0 (the
+    /// first-contact generalization of `restart_peer`'s reset), and vote.
+    JoinReq {
+        from: NodeId,
+    },
+    /// A survivor's ballot on `node`'s join announcement, forwarded by the
+    /// Rx thread (meaningful on `node` itself).
+    JoinVote {
+        from: NodeId,
+        node: NodeId,
+        admit: bool,
+    },
     Shutdown,
 }
 
@@ -251,6 +270,15 @@ struct Pending {
     retries: u32,
 }
 
+/// Ballot box for this node's own join announcement (held by the joiner's
+/// agent while it is still `Joining`).
+struct JoinPoll {
+    /// `admits[v]` is set once survivor `v` voted to admit us.
+    admits: Vec<bool>,
+    /// When the next announcement round is due.
+    next_announce: VTime,
+}
+
 /// Ballot box for one in-flight suspicion, held by the suspector's agent.
 struct SuspectPoll {
     /// `votes[v]` is `Some(alive)` once voter `v`'s ballot arrived during
@@ -350,6 +378,7 @@ pub(crate) fn rel_thread_main(
     let mut outstanding: Vec<VecDeque<Pending>> = (0..nodes).map(|_| VecDeque::new()).collect();
     let mut suspects: Vec<Option<SuspectPoll>> = (0..nodes).map(|_| None).collect();
     let mut last_sent = vec![0 as VTime; nodes];
+    let mut join: Option<JoinPoll> = None;
 
     /// Re-admit a refuted suspect and replay its parked SENDs with their
     /// original sequence numbers (the receiver deduplicates; the cumulative
@@ -434,6 +463,9 @@ pub(crate) fn rel_thread_main(
                     }
                 }
                 upd(last_sent[dst] + heartbeat_ns);
+            }
+            if let Some(jp) = &join {
+                upd(jp.next_announce);
             }
         }
         let msg = match next_deadline {
@@ -561,9 +593,75 @@ pub(crate) fn rel_thread_main(
                     }
                 }
             }
+            Some(RelMsg::AnnounceJoin) => {
+                // Start (or restart) the announce loop; the first round goes
+                // out in the timer branch below.
+                join = Some(JoinPoll {
+                    admits: vec![false; nodes],
+                    next_announce: ctx.now(),
+                });
+            }
+            Some(RelMsg::JoinReq { from }) => {
+                // First contact from a pre-provisioned joiner: admit it into
+                // this node's view under a burned epoch and bring the
+                // reliable link up exactly like a restart re-admission —
+                // both directions start from sequence 0 with no suspicion.
+                let admit = if view.is_joining(from) {
+                    if view.admit(from).is_some() {
+                        next_seq[from] = 0;
+                        outstanding[from].clear();
+                        suspects[from] = None;
+                        shared.rx_links[node][from].lock().reset();
+                    }
+                    true
+                } else {
+                    // Duplicate announcement after we already admitted it —
+                    // re-affirm; a confirmed-dead "joiner" is refused.
+                    !view.is_dead(from)
+                };
+                transport.send(ctx, from, NetMsg::JoinVote { node: from, admit });
+                last_sent[from] = ctx.now();
+            }
+            Some(RelMsg::JoinVote {
+                from,
+                node: who,
+                admit,
+            }) => {
+                if who == node && admit {
+                    if let Some(jp) = join.as_mut() {
+                        jp.admits[from] = true;
+                        let got = jp.admits.iter().filter(|&&v| v).count();
+                        // Electorate: the peers this joiner can see as
+                        // Alive. A majority of the full membership suffices;
+                        // a smaller live cluster must answer unanimously.
+                        let electorate = (0..nodes)
+                            .filter(|&p| p != node && view.health(p) == PeerHealth::Alive)
+                            .count();
+                        let needed = quorum_needed(nodes).min(electorate).max(1);
+                        if got >= needed {
+                            view.admit(node);
+                            join = None;
+                        }
+                    }
+                }
+            }
             Some(RelMsg::Shutdown) => break,
             None => {
                 let now = ctx.now();
+                // Join announce rounds: broadcast to every peer this joiner
+                // sees as Alive until the vote resolves.
+                let announce_due = matches!(&join, Some(jp) if now >= jp.next_announce);
+                if announce_due {
+                    let jp = join.as_mut().unwrap();
+                    jp.next_announce = now + poll_ns;
+                    for (dst, sent) in last_sent.iter_mut().enumerate().take(nodes) {
+                        if dst == node || view.health(dst) != PeerHealth::Alive || jp.admits[dst] {
+                            continue;
+                        }
+                        transport.send(ctx, dst, NetMsg::JoinReq { node });
+                        *sent = now;
+                    }
+                }
                 // Idle heartbeats: renew this node's lease at every live
                 // peer it has not transmitted to for a heartbeat interval.
                 for (dst, sent) in last_sent.iter_mut().enumerate() {
@@ -784,6 +882,27 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
             NetMsg::Ack { seq } => {
                 if let Some(rel) = &shared.rel_mailboxes[node] {
                     rel.send(ctx, RelMsg::Ack { from: src, seq }, 0);
+                }
+            }
+            NetMsg::JoinReq { node: who } => {
+                // Only the joiner itself may announce its own join.
+                if who == src {
+                    if let Some(rel) = &shared.rel_mailboxes[node] {
+                        rel.send(ctx, RelMsg::JoinReq { from: src }, 0);
+                    }
+                }
+            }
+            NetMsg::JoinVote { node: who, admit } => {
+                if let Some(rel) = &shared.rel_mailboxes[node] {
+                    rel.send(
+                        ctx,
+                        RelMsg::JoinVote {
+                            from: src,
+                            node: who,
+                            admit,
+                        },
+                        0,
+                    );
                 }
             }
         }

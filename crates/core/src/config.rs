@@ -232,6 +232,19 @@ pub struct ClusterConfig {
     /// Per-node durable chunk store; the default (policy `None`) keeps the
     /// protocol bit-identical to the persistence-free build.
     pub durability: DurabilityConfig,
+    /// Elastic membership (DESIGN.md §15). When set, every array keeps a
+    /// per-node chunk→home map that migration commits advance under
+    /// monotone epochs, `Cluster::join_peer` can bring spare nodes into a
+    /// live cluster, and `Cluster::migrate_chunk` re-homes chunks without
+    /// stopping traffic. The default `false` keeps the fixed partition map
+    /// and is bit-identical to the pre-elastic build.
+    pub elastic: bool,
+    /// Nodes that are *active* at bring-up; the remaining
+    /// `initial_nodes..nodes` are spares in `Joining` state: they run the
+    /// full service stack but home no chunks and hold no votes until
+    /// [`crate::Cluster::join_peer`] admits them. `None` (default) starts
+    /// every node active. Requires `elastic`.
+    pub initial_nodes: Option<usize>,
 }
 
 /// Library default for [`ClusterConfig::runtime_threads`]: 2, unless the
@@ -266,6 +279,8 @@ impl Default for ClusterConfig {
             transport: TransportKind::Sim,
             tcp: TcpTransportConfig::default(),
             durability: DurabilityConfig::default(),
+            elastic: false,
+            initial_nodes: None,
         }
     }
 }
@@ -375,6 +390,36 @@ impl ClusterConfig {
                 policy: self.durability.policy.name(),
             });
         }
+        if let Some(active) = self.initial_nodes {
+            if !self.elastic {
+                return Err(ConfigError::InitialNodesWithoutElastic);
+            }
+            if active == 0 || active > self.nodes {
+                return Err(ConfigError::BadInitialNodes {
+                    initial_nodes: active,
+                    nodes: self.nodes,
+                });
+            }
+        }
+        if self.durability.enabled() {
+            // Incarnation guard: the chunk→runtime-thread placement is part
+            // of the recovery contract (each replayed persist sequence is
+            // resumed by the chunk's owning thread, and the cache pools are
+            // tiled per thread), so a log directory written under one
+            // thread count must not be replayed under another. The first
+            // incarnation records its count (`Cluster::try_new`); later
+            // ones are validated against it here.
+            if let Some(dir) = &self.durability.dir {
+                if let Some(recorded) = read_incarnation_meta(dir) {
+                    if recorded != self.runtime_threads {
+                        return Err(ConfigError::RuntimeThreadsChanged {
+                            recorded,
+                            configured: self.runtime_threads,
+                        });
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -396,6 +441,34 @@ impl ClusterConfig {
         }
         Ok(())
     }
+}
+
+/// Name of the incarnation-metadata file a durable cluster writes into its
+/// log directory, binding the directory to the thread count that produced
+/// it (see the incarnation guard in [`ClusterConfig::try_validate`]).
+pub(crate) const CLUSTER_META: &str = "cluster.meta";
+
+/// Read the recorded `runtime_threads` of the incarnation that first used
+/// `dir`, if any. A missing or unparsable file means "no prior incarnation"
+/// (the guard only fires on a *recorded* mismatch, never on absence).
+pub(crate) fn read_incarnation_meta(dir: &std::path::Path) -> Option<usize> {
+    let text = std::fs::read_to_string(dir.join(CLUSTER_META)).ok()?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("runtime_threads=")?.trim().parse().ok())
+}
+
+/// Record `runtime_threads` for `dir`'s first incarnation. Later calls are
+/// no-ops: the original record is the contract, and `try_validate` has
+/// already checked the running configuration against it.
+pub(crate) fn write_incarnation_meta(
+    dir: &std::path::Path,
+    runtime_threads: usize,
+) -> std::io::Result<()> {
+    let path = dir.join(CLUSTER_META);
+    if path.exists() {
+        return Ok(());
+    }
+    std::fs::write(path, format!("runtime_threads={runtime_threads}\n"))
 }
 
 /// Per-array options passed at construction (Figure 3's constructor).

@@ -162,6 +162,16 @@ pub enum ConfigError {
     /// Opening or replaying a node's durable chunk log failed at the OS
     /// level (create/read/seek/fsync).
     DurabilityBringUp { message: String },
+    /// `initial_nodes` is set without `elastic`: a fixed-partition cluster
+    /// has no join path, so spares could never become active.
+    InitialNodesWithoutElastic,
+    /// `initial_nodes` is zero or exceeds `nodes`: the active set must be a
+    /// non-empty prefix of the configured nodes.
+    BadInitialNodes { initial_nodes: usize, nodes: usize },
+    /// The durability directory was written by an incarnation with a
+    /// different `runtime_threads`: chunk→thread placement is part of the
+    /// recovery contract, so the log cannot be replayed under this count.
+    RuntimeThreadsChanged { recorded: usize, configured: usize },
 }
 
 impl fmt::Display for ConfigError {
@@ -242,6 +252,29 @@ impl fmt::Display for ConfigError {
             ConfigError::DurabilityBringUp { message } => {
                 write!(f, "durable chunk store bring-up failed: {message}")
             }
+            ConfigError::InitialNodesWithoutElastic => write!(
+                f,
+                "initial_nodes requires elastic: without a join path, spare \
+                 nodes could never become active"
+            ),
+            ConfigError::BadInitialNodes {
+                initial_nodes,
+                nodes,
+            } => write!(
+                f,
+                "initial_nodes ({initial_nodes}) must be in 1..={nodes}: the active \
+                 set is a non-empty prefix of the configured nodes"
+            ),
+            ConfigError::RuntimeThreadsChanged {
+                recorded,
+                configured,
+            } => write!(
+                f,
+                "durability.dir was written by an incarnation with runtime_threads = \
+                 {recorded}, but this configuration sets {configured}; chunk placement \
+                 is part of the recovery contract, so reuse the recorded count or a \
+                 fresh directory"
+            ),
         }
     }
 }

@@ -42,6 +42,21 @@ impl Layout {
         }
     }
 
+    /// Even partition over the first `active` nodes of a cluster
+    /// pre-provisioned with `nodes` slots: nodes `active..nodes` start as
+    /// `Joining` spares that own zero chunks until migration re-homes data
+    /// onto them (DESIGN.md §15).
+    pub fn even_prefix(len: usize, nodes: usize, active: usize, chunk_size: usize) -> Self {
+        assert!(active > 0 && active <= nodes);
+        let mut l = Self::even(len, active, chunk_size);
+        let num_chunks = l.num_chunks();
+        for _ in active..nodes {
+            l.chunk_start.insert(l.chunk_start.len() - 1, num_chunks);
+        }
+        debug_assert_eq!(l.nodes(), nodes);
+        l
+    }
+
     /// Custom partition: `offsets[i]` is the first element owned by node
     /// `i` (rounded up to a chunk boundary). `offsets[0]` must be 0 and the
     /// sequence non-decreasing.
@@ -255,6 +270,20 @@ mod tests {
         assert_eq!(l.num_chunks(), 1);
         assert_eq!(l.home_of(99), 0);
         assert_eq!(l.subarray_words(0), 512);
+    }
+
+    #[test]
+    fn even_prefix_gives_spare_nodes_zero_chunks() {
+        let l = Layout::even_prefix(512 * 6, 4, 2, 512);
+        assert_eq!(l.nodes(), 4);
+        assert_eq!(l.num_chunks(), 6);
+        assert_eq!(l.node_chunks(0), 0..3);
+        assert_eq!(l.node_chunks(1), 3..6);
+        assert_eq!(l.node_chunks(2).len(), 0);
+        assert_eq!(l.node_chunks(3).len(), 0);
+        for c in 0..6 {
+            assert!(l.home_of_chunk(c) < 2);
+        }
     }
 
     #[test]

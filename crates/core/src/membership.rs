@@ -6,9 +6,9 @@
 //! exhaustion. The lifecycle per peer is
 //!
 //! ```text
-//!   Alive --suspect()--> Suspected --confirm_dead()--> Dead   (monotone)
-//!             ^                |
-//!             +---readmit()----+        (refuted suspicion)
+//!   Joining --admit()--> Alive --suspect()--> Suspected --confirm_dead()--> Dead
+//!                          ^                       |             (monotone)
+//!                          +------readmit()--------+       (refuted suspicion)
 //! ```
 //!
 //! * **Leases.** `note_heard` stamps the virtual time of every message
@@ -25,6 +25,14 @@
 //!   stamps it as the peer's `death_epoch`. `RtMsg::PeerDown` carries the
 //!   stamp, and consumers fence events whose epoch does not match the
 //!   current view — a stale declaration can never re-kill a peer.
+//!
+//! * **Joining.** Elastic bring-up (DESIGN.md §15) provisions nodes that
+//!   are not yet members: their status starts *Joining* instead of Alive.
+//!   A joiner is invisible to the protocol layers — it homes no chunks,
+//!   abstains from suspect electorates (only `Alive` voters count), and
+//!   cannot itself be suspected. `admit` promotes Joining → Alive under a
+//!   burned view epoch, exactly as `restart` re-admits a dead identity, so
+//!   every consumer can fence pre-admission stragglers.
 //!
 //! Transitions are only ever performed by the node's single reliability
 //! agent thread, so plain release stores suffice; readers (application
@@ -45,11 +53,15 @@ pub enum PeerHealth {
     Suspected,
     /// A quorum confirmed the death. Permanent (fail-stop).
     Dead,
+    /// Provisioned but not yet admitted (elastic bring-up, DESIGN.md §15):
+    /// homes no chunks, abstains from quorum polls, cannot be suspected.
+    Joining,
 }
 
 const ALIVE: u8 = 0;
 const SUSPECTED: u8 = 1;
 const DEAD: u8 = 2;
+const JOINING: u8 = 3;
 
 /// One node's epoch-numbered opinion of every peer (see module docs).
 pub(crate) struct MembershipView {
@@ -73,6 +85,19 @@ impl MembershipView {
         }
     }
 
+    /// A view for an elastic cluster where only the first `active` node
+    /// slots are members at bring-up; the rest are provisioned but Joining
+    /// (DESIGN.md §15). Every node — including a joiner looking at itself —
+    /// holds the same initial opinion, so a joiner knows it is not yet a
+    /// member and the members know to exclude it from quorum electorates.
+    pub(crate) fn new_with_joining(nodes: usize, active: usize) -> Self {
+        let v = Self::new(nodes);
+        for peer in active..nodes {
+            v.status[peer].store(JOINING, Ordering::Release);
+        }
+        v
+    }
+
     /// Record receipt of a message from `peer` at `now` (lease renewal).
     pub(crate) fn note_heard(&self, peer: NodeId, now: VTime) {
         self.last_heard[peer].fetch_max(now, Ordering::Relaxed);
@@ -93,8 +118,15 @@ impl MembershipView {
         match self.status[peer].load(Ordering::Relaxed) {
             ALIVE => PeerHealth::Alive,
             SUSPECTED => PeerHealth::Suspected,
+            JOINING => PeerHealth::Joining,
             _ => PeerHealth::Dead,
         }
+    }
+
+    /// Is `peer` provisioned but not yet admitted?
+    #[inline]
+    pub(crate) fn is_joining(&self, peer: NodeId) -> bool {
+        self.status[peer].load(Ordering::Relaxed) == JOINING
     }
 
     /// Has a quorum confirmed `peer` dead?
@@ -163,6 +195,22 @@ impl MembershipView {
             return None;
         }
         self.death_epoch[peer].store(0, Ordering::Release);
+        Some(self.epoch.fetch_add(1, Ordering::Release) + 1)
+    }
+
+    /// Joining → Alive: the members voted the provisioned node in
+    /// (DESIGN.md §15). Burns a fresh view epoch — like [`Self::restart`],
+    /// admission changes who the protocol may talk to, and stragglers
+    /// stamped with an older epoch must be fenceable. Returns `None` if
+    /// the peer was not Joining (double admissions are rejected, and an
+    /// Alive/Suspected/Dead peer can never be "joined").
+    pub(crate) fn admit(&self, peer: NodeId) -> Option<u64> {
+        if self.status[peer]
+            .compare_exchange(JOINING, ALIVE, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
         Some(self.epoch.fetch_add(1, Ordering::Release) + 1)
     }
 }
@@ -253,6 +301,38 @@ mod tests {
         assert_eq!(m.last_heard(1), 1_000);
         assert!(m.lease_fresh(1, 1_100, 100));
         assert!(!m.lease_fresh(1, 1_101, 100));
+    }
+
+    #[test]
+    fn joining_is_admitted_under_a_burned_epoch() {
+        let m = MembershipView::new_with_joining(4, 3);
+        assert_eq!(m.health(0), PeerHealth::Alive);
+        assert_eq!(m.health(2), PeerHealth::Alive);
+        assert_eq!(m.health(3), PeerHealth::Joining);
+        assert!(m.is_joining(3));
+        assert!(!m.is_dead(3), "a joiner is not dead");
+        assert!(!m.suspect(3), "a joiner cannot be suspected");
+        assert_eq!(m.confirm_dead(3), None, "nor confirmed dead");
+        assert_eq!(m.admit(3), Some(1), "admission burns a fresh epoch");
+        assert_eq!(m.health(3), PeerHealth::Alive);
+        assert!(!m.is_joining(3));
+        assert_eq!(m.admit(3), None, "double admission rejected");
+        assert_eq!(m.epoch(), 1);
+        // An admitted member follows the ordinary lifecycle.
+        assert!(m.suspect(3));
+        assert_eq!(m.confirm_dead(3), Some(2));
+        assert_eq!(m.admit(3), None, "a dead peer restarts, never re-joins");
+        assert_eq!(m.restart(3), Some(3));
+    }
+
+    #[test]
+    fn plain_view_has_no_joiners() {
+        let m = MembershipView::new(3);
+        for peer in 0..3 {
+            assert!(!m.is_joining(peer));
+            assert_eq!(m.health(peer), PeerHealth::Alive);
+        }
+        assert_eq!(m.admit(1), None, "nothing to admit in a static cluster");
     }
 
     #[test]

@@ -68,6 +68,35 @@ pub(crate) enum Rpc {
         id: u64,
         kind: LockKind,
     },
+    /// Migration: the chunk image has been RDMA-written into the target's
+    /// subarray slot (data travels one-sided, exactly like a fill); this
+    /// notification carries the fence epoch (DESIGN.md §15).
+    MigrateData { chunk: ChunkId, epoch: u64 },
+    /// Migration: the target persisted (if durable) and accepted the chunk;
+    /// the source may commit.
+    MigrateAck { chunk: ChunkId, epoch: u64 },
+    /// Migration: the source committed — the target is now the
+    /// authoritative home and may start serving.
+    MigrateCommit { chunk: ChunkId, epoch: u64 },
+    /// The chunk's authoritative home moved to `new_home` under migration
+    /// fence `epoch`. Broadcast by both ends at commit; receivers update
+    /// their home map monotonically (highest epoch wins) and drop stale
+    /// local rights.
+    HomeMoved {
+        chunk: ChunkId,
+        new_home: NodeId,
+        epoch: u64,
+    },
+    /// A request that reached the *old* home after migration committed,
+    /// forwarded to the new home on the requester's behalf. `op` is
+    /// meaningful only when `kind == 2` (Operate).
+    MigrateForward {
+        chunk: ChunkId,
+        requester: NodeId,
+        dst_off: u64,
+        kind: u8,
+        op: u32,
+    },
 }
 
 impl Rpc {
@@ -91,7 +120,12 @@ impl Rpc {
             | Rpc::RecallOperated { chunk, .. }
             | Rpc::LockAcquire { chunk, .. }
             | Rpc::LockGrant { chunk, .. }
-            | Rpc::LockRelease { chunk, .. } => *chunk,
+            | Rpc::LockRelease { chunk, .. }
+            | Rpc::MigrateData { chunk, .. }
+            | Rpc::MigrateAck { chunk, .. }
+            | Rpc::MigrateCommit { chunk, .. }
+            | Rpc::HomeMoved { chunk, .. }
+            | Rpc::MigrateForward { chunk, .. } => *chunk,
         }
     }
 
@@ -133,6 +167,15 @@ pub(crate) enum NetMsg {
     SuspectVote { suspect: NodeId, alive: bool },
     /// Tear down the Rx thread.
     Halt,
+    /// A pre-provisioned `Joining` node announces itself to the live
+    /// cluster (DESIGN.md §15). Survivors admit it into their own view,
+    /// reset the reliable link both ways, and answer with a
+    /// [`NetMsg::JoinVote`]. Unreliable; the joiner re-announces until it
+    /// has a quorum of admits.
+    JoinReq { node: NodeId },
+    /// Vote answering a [`NetMsg::JoinReq`]: `admit` iff the voter's view
+    /// now records `node` as Alive.
+    JoinVote { node: NodeId, admit: bool },
 }
 
 // ---------------------------------------------------------------------------
@@ -278,6 +321,45 @@ impl Rpc {
                 put_u64(buf, *id);
                 buf.push(lock_kind_to_u8(*kind));
             }
+            Rpc::MigrateData { chunk, epoch } => {
+                buf.push(17);
+                put_u32(buf, *chunk);
+                put_u64(buf, *epoch);
+            }
+            Rpc::MigrateAck { chunk, epoch } => {
+                buf.push(18);
+                put_u32(buf, *chunk);
+                put_u64(buf, *epoch);
+            }
+            Rpc::MigrateCommit { chunk, epoch } => {
+                buf.push(19);
+                put_u32(buf, *chunk);
+                put_u64(buf, *epoch);
+            }
+            Rpc::HomeMoved {
+                chunk,
+                new_home,
+                epoch,
+            } => {
+                buf.push(20);
+                put_u32(buf, *chunk);
+                put_u32(buf, *new_home as u32);
+                put_u64(buf, *epoch);
+            }
+            Rpc::MigrateForward {
+                chunk,
+                requester,
+                dst_off,
+                kind,
+                op,
+            } => {
+                buf.push(21);
+                put_u32(buf, *chunk);
+                put_u32(buf, *requester as u32);
+                put_u64(buf, *dst_off);
+                buf.push(*kind);
+                put_u32(buf, *op);
+            }
         }
     }
 
@@ -344,6 +426,30 @@ impl Rpc {
                 id: r.u64()?,
                 kind: lock_kind_from_u8(r.u8()?)?,
             },
+            17 => Rpc::MigrateData {
+                chunk,
+                epoch: r.u64()?,
+            },
+            18 => Rpc::MigrateAck {
+                chunk,
+                epoch: r.u64()?,
+            },
+            19 => Rpc::MigrateCommit {
+                chunk,
+                epoch: r.u64()?,
+            },
+            20 => Rpc::HomeMoved {
+                chunk,
+                new_home: r.u32()? as NodeId,
+                epoch: r.u64()?,
+            },
+            21 => Rpc::MigrateForward {
+                chunk,
+                requester: r.u32()? as NodeId,
+                dst_off: r.u64()?,
+                kind: r.u8()?,
+                op: r.u32()?,
+            },
             _ => return None,
         })
     }
@@ -360,6 +466,7 @@ impl rdma_fabric::Wire for NetMsg {
             NetMsg::Rpc { rpc, .. } | NetMsg::SeqRpc { rpc, .. } => rpc.payload_bytes(),
             NetMsg::Ack { .. } => 8,
             NetMsg::Heartbeat | NetMsg::SuspectQuery { .. } | NetMsg::SuspectVote { .. } => 8,
+            NetMsg::JoinReq { .. } | NetMsg::JoinVote { .. } => 8,
             NetMsg::Halt => 0,
         }
     }
@@ -392,6 +499,15 @@ impl rdma_fabric::Wire for NetMsg {
                 buf.push(u8::from(*alive));
             }
             NetMsg::Halt => buf.push(6),
+            NetMsg::JoinReq { node } => {
+                buf.push(7);
+                buf.extend_from_slice(&(*node as u32).to_le_bytes());
+            }
+            NetMsg::JoinVote { node, admit } => {
+                buf.push(8);
+                buf.extend_from_slice(&(*node as u32).to_le_bytes());
+                buf.push(u8::from(*admit));
+            }
         }
     }
 
@@ -421,6 +537,17 @@ impl rdma_fabric::Wire for NetMsg {
                 },
             },
             6 => NetMsg::Halt,
+            7 => NetMsg::JoinReq {
+                node: r.u32()? as NodeId,
+            },
+            8 => NetMsg::JoinVote {
+                node: r.u32()? as NodeId,
+                admit: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+            },
             _ => return None,
         };
         r.done().then_some(msg)
@@ -491,6 +618,15 @@ pub(crate) enum RtMsg {
         node: NodeId,
         epoch: u64,
     },
+    /// Begin migrating `chunk` of `array` (which this runtime thread
+    /// currently homes) to node `to`. Injected by `Cluster::migrate_chunk`;
+    /// the directory machine fences the chunk, recalls outstanding rights,
+    /// transfers the image and hands authority over (DESIGN.md §15).
+    Migrate {
+        array: ArrayId,
+        chunk: ChunkId,
+        to: NodeId,
+    },
     Shutdown,
 }
 
@@ -542,6 +678,21 @@ mod tests {
                 chunk: 3,
                 id: 9,
                 kind: LockKind::Read,
+            },
+            Rpc::MigrateData { chunk: 3, epoch: 1 },
+            Rpc::MigrateAck { chunk: 3, epoch: 1 },
+            Rpc::MigrateCommit { chunk: 3, epoch: 1 },
+            Rpc::HomeMoved {
+                chunk: 3,
+                new_home: 2,
+                epoch: 1,
+            },
+            Rpc::MigrateForward {
+                chunk: 3,
+                requester: 2,
+                dst_off: 0,
+                kind: 0,
+                op: 0,
             },
         ];
         for m in msgs {
@@ -611,6 +762,30 @@ mod tests {
                 id: 101,
                 kind: LockKind::Read,
             },
+            Rpc::MigrateData {
+                chunk: 20,
+                epoch: u64::MAX - 3,
+            },
+            Rpc::MigrateAck {
+                chunk: 21,
+                epoch: 5,
+            },
+            Rpc::MigrateCommit {
+                chunk: 22,
+                epoch: 6,
+            },
+            Rpc::HomeMoved {
+                chunk: 23,
+                new_home: 4,
+                epoch: 7,
+            },
+            Rpc::MigrateForward {
+                chunk: 24,
+                requester: 1,
+                dst_off: 1 << 33,
+                kind: 2,
+                op: 9,
+            },
         ];
         let mut msgs: Vec<NetMsg> = Vec::new();
         for rpc in rpcs {
@@ -632,6 +807,15 @@ mod tests {
             alive: true,
         });
         msgs.push(NetMsg::Halt);
+        msgs.push(NetMsg::JoinReq { node: 3 });
+        msgs.push(NetMsg::JoinVote {
+            node: 3,
+            admit: true,
+        });
+        msgs.push(NetMsg::JoinVote {
+            node: 2,
+            admit: false,
+        });
         for msg in msgs {
             let mut buf = Vec::new();
             msg.encode(&mut buf);
@@ -680,6 +864,15 @@ mod tests {
             NetMsg::SuspectVote {
                 suspect: 0,
                 alive: false
+            }
+            .payload_bytes(),
+            8
+        );
+        assert_eq!(NetMsg::JoinReq { node: 0 }.payload_bytes(), 8);
+        assert_eq!(
+            NetMsg::JoinVote {
+                node: 0,
+                admit: true
             }
             .payload_bytes(),
             8

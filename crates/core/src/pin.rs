@@ -112,7 +112,7 @@ impl<T: Element> DArray<T> {
                 }
                 Acquire::Delayed => ctx.spin_hint(20),
                 Acquire::NoRights(_) => {
-                    let home = layout.home_of_chunk(chunk);
+                    let home = self.arr.home_on(self.node, chunk);
                     if home != self.node && self.shared.is_peer_down(self.node, home) {
                         return Err(self.shared.unavailable_error(self.node, home));
                     }

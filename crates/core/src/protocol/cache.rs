@@ -145,6 +145,13 @@ pub enum CacheEvent {
     /// resets only in-flight states (stable rights stay usable against a
     /// dead home), this resets stable rights too.
     HomeRestarted,
+    /// The chunk's authoritative home migrated to another node
+    /// (DESIGN.md §15). The new home's directory starts cold — the recall
+    /// fence revoked every outstanding right before the transfer, so by the
+    /// time this notice arrives no sound local right can exist; any rights
+    /// still recorded here are stale grants from the departed home and must
+    /// be dropped exactly as after a home restart.
+    HomeMoved,
 }
 
 /// Everything the requester-side cache machine can ask its executor to do.
@@ -380,6 +387,28 @@ impl CacheMachine {
                             from: view.state.name(),
                             to: LocalState::Invalid.name(),
                             trigger: "home-restarted",
+                        }),
+                        CacheAction::WakeAllWaiters,
+                    ]
+                }
+            }
+            CacheEvent::HomeMoved => {
+                if view.state == LocalState::Invalid || view.draining {
+                    // Nothing held (the recall fence already revoked any
+                    // stable copy); a draining chunk finishes its teardown
+                    // through its own continuation.
+                    vec![]
+                } else {
+                    vec![
+                        CacheAction::ReleaseLine { line: view.line },
+                        CacheAction::Promote {
+                            state: LocalState::Invalid,
+                            tag: NOTAG,
+                        },
+                        CacheAction::Trace(Transition {
+                            from: view.state.name(),
+                            to: LocalState::Invalid.name(),
+                            trigger: "home-moved",
                         }),
                         CacheAction::WakeAllWaiters,
                     ]
@@ -958,6 +987,34 @@ mod tests {
         // Nothing held: nothing to do.
         let v = view(LocalState::Invalid, NOTAG, super::super::LINE_NONE);
         assert!(CacheMachine::on_event(&v, CacheEvent::HomeRestarted).is_empty());
+    }
+
+    #[test]
+    fn home_moved_resets_stale_rights_like_a_restart() {
+        for state in [
+            LocalState::Shared,
+            LocalState::Exclusive,
+            LocalState::FillingShared,
+        ] {
+            let v = view(state, NOTAG, 4);
+            let acts = CacheMachine::on_event(&v, CacheEvent::HomeMoved);
+            assert!(
+                acts.contains(&CacheAction::ReleaseLine { line: 4 }),
+                "{state:?} must release its line when the home moves"
+            );
+            assert!(acts.contains(&CacheAction::Promote {
+                state: LocalState::Invalid,
+                tag: NOTAG
+            }));
+            assert_eq!(acts.last(), Some(&CacheAction::WakeAllWaiters));
+        }
+        // The common case after the recall fence: nothing held, no-op.
+        let v = view(LocalState::Invalid, NOTAG, super::super::LINE_NONE);
+        assert!(CacheMachine::on_event(&v, CacheEvent::HomeMoved).is_empty());
+        // Mid-drain: the continuation owns the teardown.
+        let mut v = view(LocalState::Shared, NOTAG, 4);
+        v.draining = true;
+        assert!(CacheMachine::on_event(&v, CacheEvent::HomeMoved).is_empty());
     }
 
     #[test]

@@ -56,6 +56,69 @@ pub enum Transient {
         /// The persist sequence number being awaited.
         seq: u64,
     },
+    /// This home is handing the chunk to a new home `to` (DESIGN.md §15).
+    /// The chunk is *fenced*: arriving requests park in the pending queue
+    /// and are forwarded (or replayed) once the migration resolves. The
+    /// phases run recall-everything → drain-home-refs → transfer → await
+    /// the target's ack; the source stays authoritative until it receives
+    /// the ack and commits.
+    MigratingOut {
+        /// The new home the chunk is moving to.
+        to: NodeId,
+        /// The migration fence epoch (a burned persist sequence number,
+        /// monotone per chunk). Stamped on every migration message so
+        /// stragglers of an aborted or older migration are rejected.
+        mig_epoch: u64,
+        /// Current outbound phase.
+        phase: MigOutPhase,
+    },
+    /// This node is adopting the chunk from its old home `from`
+    /// (DESIGN.md §15). The image already landed via a one-sided WRITE;
+    /// the node persists it (when durable), acknowledges, and waits for
+    /// the source's commit before serving anyone. Requests that arrive
+    /// early park in the pending queue and replay at adoption.
+    MigratingIn {
+        /// The old home the chunk is moving from.
+        from: NodeId,
+        /// The migration fence epoch stamped by the source.
+        mig_epoch: u64,
+        /// Current inbound phase.
+        phase: MigInPhase,
+    },
+}
+
+/// Phase of an outbound chunk migration ([`Transient::MigratingOut`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigOutPhase {
+    /// Revoking every remote right (invalidations, dirty recall, or
+    /// operated recall, depending on the directory state) so the home
+    /// image becomes the single authoritative copy.
+    Recall {
+        /// Nodes whose rights have not been revoked yet.
+        waiting: Vec<NodeId>,
+    },
+    /// Draining the home dentry's local references; local threads lose
+    /// access before the image leaves.
+    Drain,
+    /// Image and directory authority transferred
+    /// ([`HomeAction::TransferChunk`]); waiting for the target's
+    /// [`HomeEvent::MigrateAck`]. The source is still authoritative — if
+    /// the target dies here, the source re-assumes the chunk.
+    AwaitAck,
+}
+
+/// Phase of an inbound chunk migration ([`Transient::MigratingIn`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigInPhase {
+    /// Persisting the received image to the durable log before
+    /// acknowledging (persist-before-ack extends to migration: the ack
+    /// promises the image survives a crash of the new home). Skipped on
+    /// non-durable machines.
+    Persist,
+    /// Ack sent; waiting for the source's [`HomeEvent::MigrateCommit`].
+    /// If the source dies here its death is quorum-confirmed, so the
+    /// target self-promotes — at most one authoritative home survives.
+    AwaitCommit,
 }
 
 impl Transient {
@@ -74,6 +137,15 @@ impl Transient {
             Transient::HomeDrain => "HomeDrain",
             Transient::GraceWait => "GraceWait",
             Transient::AwaitPersist { .. } => "AwaitPersist",
+            Transient::MigratingOut { phase, .. } => match phase {
+                MigOutPhase::Recall { .. } => "MigratingOut:Recall",
+                MigOutPhase::Drain => "MigratingOut:Drain",
+                MigOutPhase::AwaitAck => "MigratingOut:AwaitAck",
+            },
+            Transient::MigratingIn { phase, .. } => match phase {
+                MigInPhase::Persist => "MigratingIn:Persist",
+                MigInPhase::AwaitCommit => "MigratingIn:AwaitCommit",
+            },
         }
     }
 }
@@ -149,6 +221,41 @@ pub enum HomeEvent<W> {
         /// The membership-view epoch stamped on the restart admission;
         /// must exceed the highest epoch already applied.
         view_epoch: u64,
+    },
+    /// An administrative re-homing request (DESIGN.md §15): hand this chunk
+    /// to node `to`. If a transient is pending the migration is queued and
+    /// starts as soon as the chunk stabilizes; queued requests stay parked
+    /// behind the fence until the migration resolves.
+    BeginMigration {
+        /// The new home.
+        to: NodeId,
+    },
+    /// (Target side.) The source's chunk image landed in our home slot via
+    /// a one-sided WRITE and this notification followed it (RC FIFO). Begin
+    /// adopting the chunk under the source's fence epoch.
+    MigrateData {
+        /// The old home the chunk is leaving.
+        from: NodeId,
+        /// The source's migration fence epoch.
+        mig_epoch: u64,
+    },
+    /// (Source side.) The target persisted (when durable) and accepted the
+    /// transferred image. The source commits: it stops being authoritative
+    /// and redirects traffic to the new home.
+    MigrateAck {
+        /// The acknowledging target.
+        from: NodeId,
+        /// Echo of the fence epoch; a mismatch marks a straggler of an
+        /// older (aborted) migration.
+        mig_epoch: u64,
+    },
+    /// (Target side.) The source committed the hand-off; the target becomes
+    /// the chunk's authoritative home and replays parked traffic.
+    MigrateCommit {
+        /// The committing source.
+        from: NodeId,
+        /// Echo of the fence epoch.
+        mig_epoch: u64,
     },
 }
 
@@ -236,6 +343,65 @@ pub enum HomeAction<W> {
         /// the completion event.
         seq: u64,
     },
+    /// RDMA-write the chunk's home image into node `to`'s home slot for
+    /// this chunk and send the `MigrateData` notification behind it (one
+    /// one-sided WRITE + notification, exactly like a fill). Emitted once
+    /// per migration attempt, after every right is revoked and the home
+    /// dentry is drained.
+    TransferChunk {
+        /// The new home receiving the image.
+        to: NodeId,
+        /// The fence epoch stamped on the transfer.
+        mig_epoch: u64,
+    },
+    /// (Target side.) Send `MigrateAck` to the old home.
+    SendMigrateAck {
+        /// The old home.
+        to: NodeId,
+        /// Echo of the fence epoch.
+        mig_epoch: u64,
+    },
+    /// (Source side.) Send `MigrateCommit` to the new home.
+    SendMigrateCommit {
+        /// The new home.
+        to: NodeId,
+        /// Echo of the fence epoch.
+        mig_epoch: u64,
+    },
+    /// (Source side.) The migration committed: flip this node's home map
+    /// entry to `to` under `mig_epoch`, drop the home dentry to Invalid,
+    /// broadcast the stale-home redirect (`HomeMoved`) to every peer, and
+    /// count [`Counter::MigrationsOut`].
+    DepartChunk {
+        /// The new home.
+        to: NodeId,
+        /// The fence epoch (monotone per chunk; consumers apply the flip
+        /// with a max so reordered redirects cannot roll it back).
+        mig_epoch: u64,
+    },
+    /// (Target side.) The migration committed here: flip this node's home
+    /// map entry to itself under `mig_epoch`, install Exclusive home
+    /// rights on the dentry, broadcast `HomeMoved` to every peer (the
+    /// source's broadcast may have died with it), and count
+    /// [`Counter::MigrationsIn`].
+    AdoptChunk {
+        /// The fence epoch.
+        mig_epoch: u64,
+    },
+    /// Forward a remote request this (former) home can no longer serve to
+    /// the chunk's new home `to`, re-stamped as if sent by the original
+    /// requester, and send the requester a `HomeMoved` redirect so it
+    /// retargets future traffic.
+    ForwardRequest {
+        /// The new home to forward to.
+        to: NodeId,
+        /// The original requester.
+        node: NodeId,
+        /// The requester's fill destination (cache-region word offset).
+        dst_off: u64,
+        /// The rights originally requested.
+        kind: Kind,
+    },
     /// A state transition happened (structured trace; also counted).
     Trace(Transition),
     /// Bump a protocol counter.
@@ -279,6 +445,15 @@ pub struct HomeMachine<W> {
     /// Monotone persist sequence; the latest value is what
     /// [`Transient::AwaitPersist`] waits for.
     persist_seq: u64,
+    /// Set once a migration commits on the source side: the chunk's new
+    /// home and the fence epoch it moved under. A machine with this set is
+    /// a *former* home: it forwards arriving remote requests and bounces
+    /// local ones back to the (updated) home map.
+    migrated_to: Option<(NodeId, u64)>,
+    /// A [`HomeEvent::BeginMigration`] that arrived while a transient was
+    /// pending; starts as soon as the chunk stabilizes, with priority over
+    /// queued requests.
+    pending_migration: Option<NodeId>,
 }
 
 impl<W> Default for HomeMachine<W> {
@@ -301,6 +476,8 @@ impl<W> HomeMachine<W> {
             view_epoch: 0,
             durable: false,
             persist_seq: 0,
+            migrated_to: None,
+            pending_migration: None,
         }
     }
 
@@ -366,6 +543,13 @@ impl<W> HomeMachine<W> {
         self.view_epoch
     }
 
+    /// If this machine handed its chunk to a new home, the `(new_home,
+    /// fence_epoch)` it committed under; `None` while (still)
+    /// authoritative.
+    pub fn migrated_to(&self) -> Option<(NodeId, u64)> {
+        self.migrated_to
+    }
+
     /// Feed one event; returns the actions the executor must perform, in
     /// order. `now` is the current (virtual) time and `grace_ns` the
     /// minimum-hold grace window of fresh grants (0 disables it).
@@ -389,13 +573,44 @@ impl<W> HomeMachine<W> {
         }
         match ev {
             HomeEvent::Request(req) => {
-                self.pending.push_back(req);
-                self.progress(now, grace_ns, &mut out);
+                if let Some((to, _)) = self.migrated_to {
+                    // This node is a former home: it holds no authority and
+                    // no data. Forward remote requests to the new home (the
+                    // requester also gets a HomeMoved redirect); bounce
+                    // local ones back so the application thread re-routes
+                    // via the updated home map.
+                    match req.source {
+                        Requester::Remote { node, dst_off } => {
+                            out.push(HomeAction::ForwardRequest {
+                                to,
+                                node,
+                                dst_off,
+                                kind: req.kind,
+                            });
+                            out.push(HomeAction::Trace(Transition {
+                                from: self.state.name(),
+                                to: self.state.name(),
+                                trigger: "forward-after-migration",
+                            }));
+                        }
+                        Requester::Local(w) => out.push(HomeAction::Wake(w)),
+                    }
+                } else {
+                    self.pending.push_back(req);
+                    self.progress(now, grace_ns, &mut out);
+                }
             }
             HomeEvent::InvAck { from } => {
-                // Only a live invalidation epoch may count the ack; a stale
-                // ack (an EvictNotice already accounted for it) is ignored.
-                if matches!(self.transient, Transient::AwaitInvAcks { .. }) {
+                if matches!(self.transient, Transient::MigratingOut { .. }) {
+                    // A migration recall's invalidation was acknowledged.
+                    self.remove_sharer(from);
+                    if self.mig_recall_tick(from) {
+                        self.mig_recall_complete(now, grace_ns, &mut out);
+                    }
+                } else if matches!(self.transient, Transient::AwaitInvAcks { .. }) {
+                    // Only a live invalidation epoch may count the ack; a
+                    // stale ack (an EvictNotice already accounted for it)
+                    // is ignored.
                     self.remove_sharer(from);
                     if self.transient_remove(from) {
                         self.finish_transient(now, grace_ns, &mut out);
@@ -403,6 +618,13 @@ impl<W> HomeMachine<W> {
                 }
             }
             HomeEvent::EvictNotice { from } => match &self.transient {
+                Transient::MigratingOut { .. } => {
+                    // A crossing eviction satisfies the migration recall.
+                    self.remove_sharer(from);
+                    if self.mig_recall_tick(from) {
+                        self.mig_recall_complete(now, grace_ns, &mut out);
+                    }
+                }
                 Transient::AwaitInvAcks { .. } => {
                     // A crossing eviction satisfies the ack set.
                     self.remove_sharer(from);
@@ -423,6 +645,20 @@ impl<W> HomeMachine<W> {
                 }
             },
             HomeEvent::Writeback { from, downgrade } => {
+                if matches!(self.transient, Transient::MigratingOut { .. }) {
+                    // A migration recall pulled the dirty data home (the
+                    // RDMA write already landed in the home image, which is
+                    // exactly what the transfer will ship). A crossing
+                    // voluntary writeback from a node not in the recall set
+                    // is idempotent and ignored.
+                    let _ = downgrade; // a migration recall fully revokes
+                    self.remove_sharer(from);
+                    if self.mig_recall_tick(from) {
+                        self.set_state(DirState::Unshared, "migrate-recall-writeback", &mut out);
+                        self.mig_recall_complete(now, grace_ns, &mut out);
+                    }
+                    return out;
+                }
                 let expected =
                     matches!(&self.transient, Transient::AwaitWriteback { from: f } if *f == from);
                 if expected {
@@ -478,6 +714,17 @@ impl<W> HomeMachine<W> {
                     out.push(HomeAction::Count(Counter::OperatedReductions));
                 }
                 match &self.transient {
+                    // A migration recall of an Operated chunk: flushes of
+                    // the *current* operator epoch shrink the recall set
+                    // (the operand data was already reduced above, so the
+                    // home image the transfer ships is complete).
+                    Transient::MigratingOut { .. } if matches!(&self.state, DirState::Operated { op: cur, .. } if cur.0 == op) =>
+                    {
+                        self.remove_sharer(from);
+                        if self.mig_recall_tick(from) {
+                            self.mig_recall_complete(now, grace_ns, &mut out);
+                        }
+                    }
                     // Epoch check: only a flush of the operator being
                     // recalled may shrink the waiting set — a crossing flush
                     // of an older operator must not be miscounted against
@@ -524,8 +771,38 @@ impl<W> HomeMachine<W> {
                 }
             }
             HomeEvent::Drained => {
-                debug_assert_eq!(self.transient, Transient::HomeDrain);
-                self.finish_transient(now, grace_ns, &mut out);
+                if let Transient::MigratingOut {
+                    to,
+                    mig_epoch,
+                    phase: MigOutPhase::Drain,
+                } = self.transient
+                {
+                    if self.dead.contains(&to) {
+                        // The target died while local references drained:
+                        // nothing left but to re-assume the chunk.
+                        self.abort_migration(
+                            now,
+                            grace_ns,
+                            "migration-aborted-target-dead",
+                            &mut out,
+                        );
+                    } else {
+                        self.transient = Transient::MigratingOut {
+                            to,
+                            mig_epoch,
+                            phase: MigOutPhase::AwaitAck,
+                        };
+                        out.push(HomeAction::TransferChunk { to, mig_epoch });
+                        out.push(HomeAction::Trace(Transition {
+                            from: self.state.name(),
+                            to: self.state.name(),
+                            trigger: "migrate-transfer",
+                        }));
+                    }
+                } else {
+                    debug_assert_eq!(self.transient, Transient::HomeDrain);
+                    self.finish_transient(now, grace_ns, &mut out);
+                }
             }
             HomeEvent::RetryExpired => {
                 if self.transient == Transient::GraceWait {
@@ -550,6 +827,50 @@ impl<W> HomeMachine<W> {
                 self.forget_peer(now, grace_ns, dead, &mut out);
             }
             HomeEvent::PersistDone { seq } => {
+                if let Transient::MigratingIn {
+                    from,
+                    mig_epoch,
+                    phase: MigInPhase::Persist,
+                } = self.transient
+                {
+                    if seq >= mig_epoch {
+                        out.push(HomeAction::Count(Counter::FlushPersists));
+                        if self.dead.contains(&from) {
+                            // The source died while we persisted; its death
+                            // is quorum-confirmed, so adopting now cannot
+                            // create a second authoritative home.
+                            self.adopt(
+                                now,
+                                grace_ns,
+                                mig_epoch,
+                                "migrate-adopt-source-dead",
+                                &mut out,
+                            );
+                        } else {
+                            self.transient = Transient::MigratingIn {
+                                from,
+                                mig_epoch,
+                                phase: MigInPhase::AwaitCommit,
+                            };
+                            out.push(HomeAction::SendMigrateAck {
+                                to: from,
+                                mig_epoch,
+                            });
+                            out.push(HomeAction::Trace(Transition {
+                                from: self.state.name(),
+                                to: self.state.name(),
+                                trigger: "migrate-in-persisted",
+                            }));
+                        }
+                    } else {
+                        out.push(HomeAction::Trace(Transition {
+                            from: self.state.name(),
+                            to: self.state.name(),
+                            trigger: "stale-persist-done",
+                        }));
+                    }
+                    return out;
+                }
                 // Persists are cumulative (the log is append-only and
                 // sequenced), so a confirmation at or past the awaited
                 // sequence completes the wait. Anything else is a stale
@@ -597,6 +918,159 @@ impl<W> HomeMachine<W> {
                 // when the death was declared. Un-deadening it is all that
                 // is needed for its fresh requests to be serviced.
             }
+            HomeEvent::BeginMigration { to } => {
+                if self.migrated_to.is_some()
+                    || self.pending_migration.is_some()
+                    || matches!(
+                        self.transient,
+                        Transient::MigratingOut { .. } | Transient::MigratingIn { .. }
+                    )
+                {
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "stale-begin-migration",
+                    }));
+                } else if self.dead.contains(&to) {
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "migration-target-dead",
+                    }));
+                } else {
+                    self.pending_migration = Some(to);
+                    if self.transient == Transient::GraceWait {
+                        // The fence outweighs the minimum-hold grace window.
+                        self.transient = Transient::None;
+                    }
+                    self.progress(now, grace_ns, &mut out);
+                }
+            }
+            HomeEvent::MigrateData { from, mig_epoch } => {
+                let stale_epoch = matches!(self.migrated_to, Some((_, e)) if mig_epoch <= e);
+                if stale_epoch
+                    || !self.transient.is_none()
+                    || !matches!(self.state, DirState::Unshared)
+                {
+                    // A straggler of an aborted migration, or a transfer
+                    // colliding with live directory state this node somehow
+                    // holds — either way the fence epoch or the machine
+                    // state disqualifies it.
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "stale-migrate-data",
+                    }));
+                } else {
+                    // (Re-)adopting: this node stops being a former home of
+                    // the chunk, if it ever was one (ping-pong migration).
+                    self.migrated_to = None;
+                    self.persist_seq = self.persist_seq.max(mig_epoch);
+                    if self.durable {
+                        self.transient = Transient::MigratingIn {
+                            from,
+                            mig_epoch,
+                            phase: MigInPhase::Persist,
+                        };
+                        out.push(HomeAction::PersistChunk {
+                            seq: self.persist_seq,
+                        });
+                        out.push(HomeAction::Trace(Transition {
+                            from: self.state.name(),
+                            to: self.state.name(),
+                            trigger: "migrate-in-begin",
+                        }));
+                    } else {
+                        self.transient = Transient::MigratingIn {
+                            from,
+                            mig_epoch,
+                            phase: MigInPhase::AwaitCommit,
+                        };
+                        out.push(HomeAction::SendMigrateAck {
+                            to: from,
+                            mig_epoch,
+                        });
+                        out.push(HomeAction::Trace(Transition {
+                            from: self.state.name(),
+                            to: self.state.name(),
+                            trigger: "migrate-in-begin",
+                        }));
+                    }
+                }
+            }
+            HomeEvent::MigrateAck { from, mig_epoch } => {
+                let expected = matches!(
+                    &self.transient,
+                    Transient::MigratingOut {
+                        to,
+                        mig_epoch: e,
+                        phase: MigOutPhase::AwaitAck,
+                    } if *to == from && *e == mig_epoch
+                );
+                if expected {
+                    // Commit: the target holds (and, when durable, has
+                    // logged) the image. From here on the source is a
+                    // former home.
+                    self.transient = Transient::None;
+                    self.migrated_to = Some((from, mig_epoch));
+                    out.push(HomeAction::SendMigrateCommit {
+                        to: from,
+                        mig_epoch,
+                    });
+                    out.push(HomeAction::DepartChunk {
+                        to: from,
+                        mig_epoch,
+                    });
+                    out.push(HomeAction::Count(Counter::MigrationsOut));
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "migrate-commit",
+                    }));
+                    // Replay the fence-parked traffic at the new home.
+                    while let Some(req) = self.pending.pop_front() {
+                        out.push(HomeAction::Count(Counter::ParkedReplays));
+                        match req.source {
+                            Requester::Remote { node, dst_off } => {
+                                out.push(HomeAction::ForwardRequest {
+                                    to: from,
+                                    node,
+                                    dst_off,
+                                    kind: req.kind,
+                                });
+                            }
+                            Requester::Local(w) => out.push(HomeAction::Wake(w)),
+                        }
+                    }
+                } else {
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "stale-migrate-ack",
+                    }));
+                }
+            }
+            HomeEvent::MigrateCommit { from, mig_epoch } => {
+                let expected = matches!(
+                    &self.transient,
+                    Transient::MigratingIn {
+                        from: f,
+                        mig_epoch: e,
+                        phase: MigInPhase::AwaitCommit,
+                    } if *f == from && *e == mig_epoch
+                );
+                if expected {
+                    self.adopt(now, grace_ns, mig_epoch, "migrate-adopt", &mut out);
+                } else {
+                    // Duplicate of a commit already applied, or a commit
+                    // arriving after a source-death self-promotion.
+                    out.push(HomeAction::Trace(Transition {
+                        from: self.state.name(),
+                        to: self.state.name(),
+                        trigger: "stale-migrate-commit",
+                    }));
+                }
+            }
         }
         out
     }
@@ -615,7 +1089,10 @@ impl<W> HomeMachine<W> {
             HomeEvent::InvAck { from }
             | HomeEvent::EvictNotice { from }
             | HomeEvent::Writeback { from, .. }
-            | HomeEvent::Flush { from, .. } => Some(*from),
+            | HomeEvent::Flush { from, .. }
+            | HomeEvent::MigrateData { from, .. }
+            | HomeEvent::MigrateAck { from, .. }
+            | HomeEvent::MigrateCommit { from, .. } => Some(*from),
             _ => None,
         }
     }
@@ -651,19 +1128,33 @@ impl<W> HomeMachine<W> {
 
     /// Complete the pending transient: requeue the parked request and keep
     /// servicing the queue.
+    ///
+    /// The parked `current` request is serviced directly rather than
+    /// re-queued: the directory already committed to it (the grant paths
+    /// record the new owner/sharer *before* draining home references), so
+    /// it must complete ahead of a queued migration fence. Letting the
+    /// fence cut in line would recall rights from a grantee whose fill
+    /// never left — the grantee ignores the recall as a crossing message
+    /// and the migration hangs forever.
     fn finish_transient(&mut self, now: u64, grace_ns: u64, out: &mut Vec<HomeAction<W>>) {
         self.transient = Transient::None;
         if let Some(req) = self.current.take() {
-            self.pending.push_front(req);
+            if !self.service(now, grace_ns, req, out) {
+                return;
+            }
         }
         self.progress(now, grace_ns, out);
     }
 
     /// Service queued requests until one starts a transient or the queue
-    /// empties.
+    /// empties. A queued migration starts first — the fence has priority
+    /// over ordinary requests, which stay parked behind it.
     fn progress(&mut self, now: u64, grace_ns: u64, out: &mut Vec<HomeAction<W>>) {
         loop {
             if !self.transient.is_none() {
+                return;
+            }
+            if self.start_pending_migration(out) {
                 return;
             }
             let Some(req) = self.pending.pop_front() else {
@@ -673,6 +1164,179 @@ impl<W> HomeMachine<W> {
                 return;
             }
         }
+    }
+
+    /// Begin a queued migration, if any: burn the fence epoch and revoke
+    /// every remote right. Returns true iff a migration transient started
+    /// (false also when the queued migration aborts because its target
+    /// died while it waited).
+    fn start_pending_migration(&mut self, out: &mut Vec<HomeAction<W>>) -> bool {
+        let Some(to) = self.pending_migration.take() else {
+            return false;
+        };
+        if self.dead.contains(&to) {
+            out.push(HomeAction::Trace(Transition {
+                from: self.state.name(),
+                to: self.state.name(),
+                trigger: "migration-aborted-target-dead",
+            }));
+            return false;
+        }
+        // The fence epoch doubles as a burned persist sequence number:
+        // monotone per chunk, it orders this migration against every
+        // earlier persist and every earlier migration of the chunk.
+        let mig_epoch = self.persist_seq + 1;
+        self.persist_seq = mig_epoch;
+        out.push(HomeAction::Trace(Transition {
+            from: self.state.name(),
+            to: self.state.name(),
+            trigger: "migrate-begin",
+        }));
+        let waiting: Vec<NodeId> = match &self.state {
+            DirState::Unshared => Vec::new(),
+            DirState::Shared { sharers } => {
+                for &n in sharers {
+                    out.push(HomeAction::SendInvalidate { to: n });
+                }
+                sharers.clone()
+            }
+            DirState::Dirty { owner } => {
+                out.push(HomeAction::SendRecallDirty { to: *owner });
+                vec![*owner]
+            }
+            DirState::Operated { op, sharers } => {
+                if sharers.is_empty() {
+                    Vec::new()
+                } else {
+                    let op0 = op.0;
+                    for &n in sharers {
+                        out.push(HomeAction::SendRecallOperated { to: n, op: op0 });
+                    }
+                    sharers.clone()
+                }
+            }
+        };
+        if waiting.is_empty() {
+            // Nothing to recall (a home-only Operated epoch promotes
+            // implicitly — the home image already holds every operand).
+            if !matches!(self.state, DirState::Unshared) {
+                self.set_state(DirState::Unshared, "migrate-promote", out);
+            }
+            self.transient = Transient::MigratingOut {
+                to,
+                mig_epoch,
+                phase: MigOutPhase::Drain,
+            };
+            out.push(HomeAction::StartHomeDrain {
+                target: LocalState::Invalid,
+                tag: NOTAG,
+            });
+        } else {
+            self.transient = Transient::MigratingOut {
+                to,
+                mig_epoch,
+                phase: MigOutPhase::Recall { waiting },
+            };
+        }
+        true
+    }
+
+    /// Remove `node` from a [`MigOutPhase::Recall`] waiting set; returns
+    /// true iff the set just became empty (the recall completed).
+    fn mig_recall_tick(&mut self, node: NodeId) -> bool {
+        if let Transient::MigratingOut {
+            phase: MigOutPhase::Recall { waiting },
+            ..
+        } = &mut self.transient
+        {
+            if let Some(pos) = waiting.iter().position(|&n| n == node) {
+                waiting.remove(pos);
+                return waiting.is_empty();
+            }
+        }
+        false
+    }
+
+    /// Every remote right is revoked: normalize the directory to Unshared
+    /// and drain the home dentry's local references — unless the target
+    /// died meanwhile, in which case the migration aborts here.
+    fn mig_recall_complete(&mut self, now: u64, grace_ns: u64, out: &mut Vec<HomeAction<W>>) {
+        let Transient::MigratingOut { to, mig_epoch, .. } = self.transient else {
+            unreachable!("mig_recall_complete outside MigratingOut");
+        };
+        if self.dead.contains(&to) {
+            self.abort_migration(now, grace_ns, "migration-aborted-target-dead", out);
+            return;
+        }
+        if !matches!(self.state, DirState::Unshared) {
+            self.set_state(DirState::Unshared, "migrate-recall-complete", out);
+        }
+        self.transient = Transient::MigratingOut {
+            to,
+            mig_epoch,
+            phase: MigOutPhase::Drain,
+        };
+        out.push(HomeAction::StartHomeDrain {
+            target: LocalState::Invalid,
+            tag: NOTAG,
+        });
+    }
+
+    /// Abort an outbound migration (the target died before the commit):
+    /// the source re-assumes the chunk. Safe at every pre-commit phase —
+    /// the target never serves a request before [`HomeEvent::MigrateCommit`]
+    /// (or a quorum-confirmed source death) promotes it. Durable machines
+    /// re-log the re-assumed image first, so recalled dirty data cannot be
+    /// lost to a later crash of this still-authoritative home.
+    fn abort_migration(
+        &mut self,
+        now: u64,
+        grace_ns: u64,
+        trigger: &'static str,
+        out: &mut Vec<HomeAction<W>>,
+    ) {
+        self.transient = Transient::None;
+        if !matches!(self.state, DirState::Unshared) {
+            self.set_state(DirState::Unshared, trigger, out);
+        } else {
+            out.push(HomeAction::Trace(Transition {
+                from: self.state.name(),
+                to: self.state.name(),
+                trigger,
+            }));
+        }
+        out.push(HomeAction::SetHomeLocal {
+            state: LocalState::Exclusive,
+            tag: NOTAG,
+        });
+        if !self.begin_persist(out) {
+            self.progress(now, grace_ns, out);
+        }
+    }
+
+    /// Commit an inbound migration: this node becomes the chunk's
+    /// authoritative home and replays every fence-parked request.
+    fn adopt(
+        &mut self,
+        now: u64,
+        grace_ns: u64,
+        mig_epoch: u64,
+        trigger: &'static str,
+        out: &mut Vec<HomeAction<W>>,
+    ) {
+        self.transient = Transient::None;
+        self.migrated_to = None;
+        out.push(HomeAction::AdoptChunk { mig_epoch });
+        out.push(HomeAction::Count(Counter::MigrationsIn));
+        out.push(HomeAction::Trace(Transition {
+            from: self.state.name(),
+            to: self.state.name(),
+            trigger,
+        }));
+        for _ in 0..self.pending.len() {
+            out.push(HomeAction::Count(Counter::ParkedReplays));
+        }
+        self.progress(now, grace_ns, out);
     }
 
     /// Service one directory request. Returns true if the chunk is still
@@ -694,6 +1358,11 @@ impl<W> HomeMachine<W> {
             (DirState::Unshared, _) => false,
             (DirState::Shared { .. }, Kind::Read) => false,
             (DirState::Shared { sharers }, _) => !sharers.is_empty(),
+            // The recorded owner resuming its own drain-deferred write
+            // grant revokes nothing — the state was pre-committed to it.
+            (DirState::Dirty { owner }, Kind::Write) if matches!(req.source, Requester::Remote { node, .. } if node == *owner) => {
+                false
+            }
             (DirState::Dirty { .. }, _) => true,
             (DirState::Operated { op, .. }, Kind::Operate(o2)) if op.0 == o2 => false,
             (DirState::Operated { sharers, .. }, _) => !sharers.is_empty(),
@@ -1022,6 +1691,50 @@ impl<W> HomeMachine<W> {
                     }
                 }
             }
+            Transient::MigratingOut { to, phase, .. } => {
+                let to = *to;
+                let in_recall = matches!(phase, MigOutPhase::Recall { .. });
+                let in_await_ack = matches!(phase, MigOutPhase::AwaitAck);
+                if in_recall {
+                    // The dead node may owe a recall reply (it may even BE
+                    // the target): prune it from the wait set; the
+                    // target-death check happens at the completion point,
+                    // which this prune may just have reached.
+                    self.remove_sharer(dead);
+                    if self.mig_recall_tick(dead) {
+                        self.mig_recall_complete(now, grace_ns, out);
+                    } else if matches!(&self.state, DirState::Dirty { owner } if *owner == dead) {
+                        // The dirty owner died unflushed: its data is lost
+                        // (fail-stop) and the home image is authoritative
+                        // again.
+                        self.set_state(DirState::Unshared, "peer-down", out);
+                    }
+                } else if in_await_ack && dead == to {
+                    // The target died before acking: it never served
+                    // anyone, so the source re-assumes the chunk.
+                    self.abort_migration(now, grace_ns, "migration-aborted-target-dead", out);
+                }
+                // MigOutPhase::Drain: a drain cannot be cancelled
+                // mid-flight; the Drained handler re-checks the target
+                // before transferring.
+            }
+            Transient::MigratingIn {
+                from,
+                mig_epoch,
+                phase,
+            } => {
+                let from = *from;
+                let mig_epoch = *mig_epoch;
+                let awaiting_commit = matches!(phase, MigInPhase::AwaitCommit);
+                if from == dead && awaiting_commit {
+                    // The source died after acking its hand-off; the
+                    // quorum-confirmed death doubles as the commit (the
+                    // source can never serve again).
+                    self.adopt(now, grace_ns, mig_epoch, "migrate-adopt-source-dead", out);
+                }
+                // MigInPhase::Persist: keep persisting; the PersistDone
+                // handler notices the death and self-promotes.
+            }
             _ => {
                 let home_becomes_sole = match &self.state {
                     DirState::Dirty { owner } => *owner == dead,
@@ -1077,6 +1790,10 @@ impl<W> HomeMachine<W> {
                 waiting.contains(&node)
             }
             Transient::AwaitWriteback { from } => *from == node,
+            Transient::MigratingOut {
+                phase: MigOutPhase::Recall { waiting },
+                ..
+            } => waiting.contains(&node),
             _ => false,
         }
     }
@@ -1754,5 +2471,428 @@ mod tests {
         assert_eq!(m.transient(), &Transient::AwaitPersist { seq: 1 });
         let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 1 });
         assert!(acts.contains(&HomeAction::Count(Counter::FlushPersists)));
+    }
+
+    // ---- chunk migration (DESIGN.md §15) ----
+
+    /// Drive a fresh source machine through recall + drain up to the
+    /// transfer; returns the machine parked in `MigratingOut:AwaitAck`.
+    fn source_awaiting_ack(to: NodeId) -> M {
+        let mut m = M::new();
+        let acts = m.on_event(0, 0, HomeEvent::BeginMigration { to });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::StartHomeDrain {
+                target: LocalState::Invalid,
+                ..
+            }
+        )));
+        let acts = m.on_event(0, 0, HomeEvent::Drained);
+        assert!(acts.contains(&HomeAction::TransferChunk { to, mig_epoch: 1 }));
+        assert_eq!(m.transient().name(), "MigratingOut:AwaitAck");
+        m
+    }
+
+    #[test]
+    fn migration_source_happy_path_departs_on_ack() {
+        let mut m = source_awaiting_ack(2);
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::MigrateAck {
+                from: 2,
+                mig_epoch: 1,
+            },
+        );
+        assert!(acts.contains(&HomeAction::SendMigrateCommit {
+            to: 2,
+            mig_epoch: 1
+        }));
+        assert!(acts.contains(&HomeAction::DepartChunk {
+            to: 2,
+            mig_epoch: 1
+        }));
+        assert!(acts.contains(&HomeAction::Count(Counter::MigrationsOut)));
+        assert_eq!(m.migrated_to(), Some((2, 1)));
+        assert!(m.transient().is_none());
+    }
+
+    #[test]
+    fn migration_recall_revokes_every_right_first() {
+        let mut m = M::new();
+        // Two sharers hold the chunk when the migration is requested.
+        m.on_event(0, 0, remote(1, Kind::Read));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, remote(2, Kind::Read));
+        let acts = m.on_event(0, 0, HomeEvent::BeginMigration { to: 3 });
+        let invs = acts
+            .iter()
+            .filter(|a| matches!(a, HomeAction::SendInvalidate { .. }))
+            .count();
+        assert_eq!(invs, 2, "both sharers recalled: {acts:?}");
+        assert_eq!(m.transient().name(), "MigratingOut:Recall");
+        // No transfer may happen until the last right is revoked.
+        let acts = m.on_event(0, 0, HomeEvent::InvAck { from: 1 });
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, HomeAction::StartHomeDrain { .. })));
+        let acts = m.on_event(0, 0, HomeEvent::InvAck { from: 2 });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::StartHomeDrain {
+                target: LocalState::Invalid,
+                ..
+            }
+        )));
+        assert_eq!(m.state(), &DirState::Unshared);
+        let acts = m.on_event(0, 0, HomeEvent::Drained);
+        assert!(acts.contains(&HomeAction::TransferChunk {
+            to: 3,
+            mig_epoch: 1
+        }));
+    }
+
+    #[test]
+    fn migration_recall_pulls_dirty_data_home() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Write));
+        m.on_event(0, 0, HomeEvent::Drained);
+        assert_eq!(m.state(), &DirState::Dirty { owner: 1 });
+        let acts = m.on_event(0, 0, HomeEvent::BeginMigration { to: 2 });
+        assert!(acts.contains(&HomeAction::SendRecallDirty { to: 1 }));
+        // The owner's writeback lands the dirty image in the home slot —
+        // exactly what the transfer will ship.
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::Writeback {
+                from: 1,
+                downgrade: false,
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::StartHomeDrain {
+                target: LocalState::Invalid,
+                ..
+            }
+        )));
+        let acts = m.on_event(0, 0, HomeEvent::Drained);
+        assert!(acts.contains(&HomeAction::TransferChunk {
+            to: 2,
+            mig_epoch: 1
+        }));
+    }
+
+    #[test]
+    fn migration_parks_requests_behind_the_fence_and_forwards_after() {
+        let mut m = source_awaiting_ack(2);
+        // Requests arriving under the fence park — no fill, no wake.
+        let acts = m.on_event(0, 0, remote(1, Kind::Read));
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, HomeAction::SendFill { .. } | HomeAction::Wake(_))));
+        assert_eq!(m.pending_len(), 1);
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::MigrateAck {
+                from: 2,
+                mig_epoch: 1,
+            },
+        );
+        // The parked remote request replays as a forward to the new home.
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::ForwardRequest {
+                to: 2,
+                node: 1,
+                kind: Kind::Read,
+                ..
+            }
+        )));
+        assert!(acts.contains(&HomeAction::Count(Counter::ParkedReplays)));
+        // Post-departure traffic is forwarded too, never served here.
+        let acts = m.on_event(0, 0, remote(3, Kind::Write));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::ForwardRequest {
+                to: 2,
+                node: 3,
+                kind: Kind::Write,
+                ..
+            }
+        )));
+        // A parked *local* waiter wakes instead (the caller re-resolves the
+        // home map and retries against the new home).
+        let acts = m.on_event(0, 0, local(9, Kind::Read));
+        assert!(acts.contains(&HomeAction::Wake(9)));
+    }
+
+    #[test]
+    fn migration_target_acks_then_adopts_on_commit() {
+        let mut m = M::new();
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::MigrateData {
+                from: 0,
+                mig_epoch: 5,
+            },
+        );
+        // Non-durable: ack immediately, then wait for the commit.
+        assert!(acts.contains(&HomeAction::SendMigrateAck {
+            to: 0,
+            mig_epoch: 5
+        }));
+        assert_eq!(m.transient().name(), "MigratingIn:AwaitCommit");
+        // Requests park while the source is still authoritative.
+        m.on_event(0, 0, remote(3, Kind::Read));
+        assert_eq!(m.pending_len(), 1);
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::MigrateCommit {
+                from: 0,
+                mig_epoch: 5,
+            },
+        );
+        assert!(acts.contains(&HomeAction::AdoptChunk { mig_epoch: 5 }));
+        assert!(acts.contains(&HomeAction::Count(Counter::MigrationsIn)));
+        assert!(acts.contains(&HomeAction::Count(Counter::ParkedReplays)));
+        // The parked request is now served by the adopted home.
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::StartHomeDrain { .. })));
+        assert!(m.migrated_to().is_none());
+        // The fence epoch was adopted as a burned persist sequence: a later
+        // persist must outrank every record the source ever logged.
+        assert!(m.persist_seq() >= 5);
+    }
+
+    #[test]
+    fn durable_migration_target_persists_before_ack() {
+        let mut m = M::new();
+        m.set_durable(true);
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::MigrateData {
+                from: 0,
+                mig_epoch: 3,
+            },
+        );
+        // Persist-before-ack: the transferred image must be on this log
+        // before the source is told it may stop being authoritative.
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::PersistChunk { seq } if *seq >= 3)));
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, HomeAction::SendMigrateAck { .. })));
+        assert_eq!(m.transient().name(), "MigratingIn:Persist");
+        let acts = m.on_event(0, 0, HomeEvent::PersistDone { seq: 3 });
+        assert!(acts.contains(&HomeAction::SendMigrateAck {
+            to: 0,
+            mig_epoch: 3
+        }));
+        assert_eq!(m.transient().name(), "MigratingIn:AwaitCommit");
+    }
+
+    #[test]
+    fn source_reassumes_when_target_dies_before_ack() {
+        let mut m = source_awaiting_ack(2);
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::PeerDown {
+                dead: 2,
+                view_epoch: 1,
+            },
+        );
+        // The target never served anyone, so the source re-assumes.
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::Trace(Transition {
+                trigger: "migration-aborted-target-dead",
+                ..
+            })
+        )));
+        assert!(acts.contains(&HomeAction::SetHomeLocal {
+            state: LocalState::Exclusive,
+            tag: NOTAG,
+        }));
+        assert!(m.transient().is_none());
+        assert!(m.migrated_to().is_none());
+        // And the chunk serves requests again.
+        let acts = m.on_event(0, 0, remote(1, Kind::Read));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::StartHomeDrain { .. })));
+    }
+
+    #[test]
+    fn target_death_during_recall_aborts_at_completion() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(1, Kind::Read));
+        m.on_event(0, 0, HomeEvent::Drained);
+        m.on_event(0, 0, HomeEvent::BeginMigration { to: 2 });
+        assert_eq!(m.transient().name(), "MigratingOut:Recall");
+        m.on_event(
+            0,
+            0,
+            HomeEvent::PeerDown {
+                dead: 2,
+                view_epoch: 1,
+            },
+        );
+        // The recall still waits on node 1; the target-death check fires
+        // when the set empties.
+        let acts = m.on_event(0, 0, HomeEvent::InvAck { from: 1 });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::Trace(Transition {
+                trigger: "migration-aborted-target-dead",
+                ..
+            })
+        )));
+        assert!(m.transient().is_none());
+    }
+
+    #[test]
+    fn target_adopts_when_source_dies_awaiting_commit() {
+        let mut m = M::new();
+        m.on_event(
+            0,
+            0,
+            HomeEvent::MigrateData {
+                from: 0,
+                mig_epoch: 4,
+            },
+        );
+        assert_eq!(m.transient().name(), "MigratingIn:AwaitCommit");
+        // The quorum-confirmed source death doubles as the commit: the
+        // source acked its hand-off and can never serve again.
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::PeerDown {
+                dead: 0,
+                view_epoch: 1,
+            },
+        );
+        assert!(acts.contains(&HomeAction::AdoptChunk { mig_epoch: 4 }));
+        assert!(acts.contains(&HomeAction::Count(Counter::MigrationsIn)));
+    }
+
+    #[test]
+    fn stale_migration_messages_are_fenced_by_epoch() {
+        let mut m = source_awaiting_ack(2);
+        // An ack stamped with a different fence epoch is a straggler of an
+        // older migration attempt: ignored, the transfer wait continues.
+        let acts = m.on_event(
+            0,
+            0,
+            HomeEvent::MigrateAck {
+                from: 2,
+                mig_epoch: 99,
+            },
+        );
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, HomeAction::DepartChunk { .. })));
+        assert_eq!(m.transient().name(), "MigratingOut:AwaitAck");
+        // A second BeginMigration under an active migration is rejected.
+        let acts = m.on_event(0, 0, HomeEvent::BeginMigration { to: 3 });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::Trace(Transition {
+                trigger: "stale-begin-migration",
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn begin_migration_to_dead_target_is_rejected() {
+        let mut m = M::new();
+        m.on_event(
+            0,
+            0,
+            HomeEvent::PeerDown {
+                dead: 2,
+                view_epoch: 1,
+            },
+        );
+        let acts = m.on_event(0, 0, HomeEvent::BeginMigration { to: 2 });
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            HomeAction::Trace(Transition {
+                trigger: "migration-target-dead",
+                ..
+            })
+        )));
+        assert!(m.transient().is_none());
+        assert!(m.migrated_to().is_none());
+    }
+
+    /// Model-checker counterexample regression: a migration queued while a
+    /// remote write's HomeDrain is in flight must let that grant complete
+    /// first. The grant paths pre-commit the directory state (here
+    /// `Dirty{owner:2}`) before the drain, so starting the fence at the
+    /// Drained edge would recall from an "owner" whose fill never left —
+    /// the owner ignores the recall as a crossing message and the
+    /// migration waits forever.
+    #[test]
+    fn migration_queued_during_grant_drain_fills_before_recalling() {
+        let mut m = M::new();
+        m.on_event(0, 0, remote(2, Kind::Write));
+        assert_eq!(m.state(), &DirState::Dirty { owner: 2 });
+        assert_eq!(m.transient(), &Transient::HomeDrain);
+        // The fence arrives mid-drain and parks.
+        let acts = m.on_event(0, 0, HomeEvent::BeginMigration { to: 1 });
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, HomeAction::SendRecallDirty { .. })));
+        // The drain edge grants the parked fill BEFORE the recall, on the
+        // same FIFO link, so the owner sees Fill then RecallDirty in order.
+        let acts = m.on_event(1, 0, HomeEvent::Drained);
+        let fill_at = acts.iter().position(|a| {
+            matches!(
+                a,
+                HomeAction::SendFill {
+                    to: 2,
+                    exclusive: true,
+                    ..
+                }
+            )
+        });
+        let recall_at = acts
+            .iter()
+            .position(|a| matches!(a, HomeAction::SendRecallDirty { to: 2 }));
+        assert!(
+            fill_at.is_some() && recall_at.is_some() && fill_at < recall_at,
+            "fill must precede the migration recall: {acts:?}"
+        );
+        assert!(matches!(
+            m.transient(),
+            Transient::MigratingOut {
+                to: 1,
+                phase: MigOutPhase::Recall { .. },
+                ..
+            }
+        ));
+        // The writeback answers the recall and the transfer proceeds.
+        let acts = m.on_event(
+            2,
+            0,
+            HomeEvent::Writeback {
+                from: 2,
+                downgrade: false,
+            },
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, HomeAction::StartHomeDrain { .. })));
     }
 }

@@ -34,7 +34,7 @@ pub mod home;
 pub mod locks;
 
 pub use cache::{AfterDrain, CacheAction, CacheEvent, CacheMachine, CacheView};
-pub use home::{HomeAction, HomeEvent, HomeMachine, Transient};
+pub use home::{HomeAction, HomeEvent, HomeMachine, MigInPhase, MigOutPhase, Transient};
 pub use locks::{LockKind, LockSource, LockTable};
 
 /// A node identifier. Structurally identical to `rdma_fabric::NodeId`
@@ -127,4 +127,14 @@ pub enum Counter {
     /// the protocol acknowledged it (persist-before-ack, DESIGN.md §14).
     /// Zero unless a durability policy is configured.
     FlushPersists,
+    /// A chunk this node homed was handed to a new home: the migration
+    /// committed and the chunk departed (DESIGN.md §15).
+    MigrationsOut,
+    /// A chunk migration landed here: this node adopted the chunk as its
+    /// new authoritative home.
+    MigrationsIn,
+    /// A request that arrived during a migration fence was parked and later
+    /// replayed — forwarded to the new home by the old one, or re-serviced
+    /// from the parked queue once the fence lifted.
+    ParkedReplays,
 }

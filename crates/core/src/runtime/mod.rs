@@ -126,6 +126,9 @@ impl RuntimeThread {
             Counter::SharersPruned => &s.sharers_pruned,
             Counter::EpochsAborted => &s.epochs_aborted,
             Counter::FlushPersists => &s.flush_persists,
+            Counter::MigrationsOut => &s.migrations_out,
+            Counter::MigrationsIn => &s.migrations_in,
+            Counter::ParkedReplays => &s.parked_replays,
         });
     }
 
@@ -169,6 +172,19 @@ impl RuntimeThread {
                 }
                 RtMsg::PeerDown { node, epoch } => self.handle_peer_down(ctx, node, epoch),
                 RtMsg::PeerRestarted { node, epoch } => self.handle_peer_restart(ctx, node, epoch),
+                RtMsg::Migrate { array, chunk, to } => {
+                    // Only the chunk's current home may start a migration;
+                    // anything else (stale request racing a previous move)
+                    // is dropped here and the machine rejects the rest.
+                    let arr = self.shared.array(array);
+                    if arr.elastic
+                        && to != self.node
+                        && arr.home_on(self.node, chunk as usize) == self.node
+                        && !self.shared.is_peer_down(self.node, to)
+                    {
+                        self.home_event(ctx, array, chunk, HomeEvent::BeginMigration { to });
+                    }
+                }
             }
             self.poll_deferred();
             self.drain_ready(ctx);
@@ -246,7 +262,7 @@ impl RuntimeThread {
                     format_args!("DRAINED {after:?}"),
                 );
                 let arr = self.shared.array(aid);
-                let home = arr.layout.home_of_chunk(chunk as usize);
+                let home = arr.home_on(self.node, chunk as usize);
                 let home_down = self.shared.is_peer_down(self.node, home);
                 self.cache_event(
                     ctx,
@@ -361,7 +377,7 @@ impl RuntimeThread {
                     .as_ref()
                     .expect("durable home machine without a chunk store");
                 let words = arr.layout.chunk_size();
-                let off = arr.layout.chunk_home_offset(chunk as usize);
+                let off = arr.chunk_off(chunk as usize);
                 let data = arr.subarrays[self.node].read_vec(off, words);
                 ctx.charge(self.shared.cfg.cost.memcpy(words));
                 store
@@ -369,6 +385,130 @@ impl RuntimeThread {
                     .expect("durable chunk store persist failed");
                 self.home_event(ctx, arr.id, chunk, HomeEvent::PersistDone { seq });
             }
+            HomeAction::TransferChunk { to, mig_epoch } => {
+                // The image travels exactly like a fill: one-sided WRITE
+                // into the target's (full-size, elastic) subarray slot,
+                // then the MigrateData notification.
+                let words = arr.layout.chunk_size();
+                let off = arr.chunk_off(chunk as usize);
+                let data = arr.subarrays[self.node].read_vec(off, words);
+                ctx.charge(self.shared.cfg.cost.memcpy(words));
+                self.comm.write_send(
+                    ctx,
+                    to,
+                    &arr.subarrays[to],
+                    off,
+                    data,
+                    arr.id,
+                    Rpc::MigrateData {
+                        chunk,
+                        epoch: mig_epoch,
+                    },
+                );
+            }
+            HomeAction::SendMigrateAck { to, mig_epoch } => {
+                self.comm.send(
+                    ctx,
+                    to,
+                    arr.id,
+                    Rpc::MigrateAck {
+                        chunk,
+                        epoch: mig_epoch,
+                    },
+                );
+            }
+            HomeAction::SendMigrateCommit { to, mig_epoch } => {
+                self.comm.send(
+                    ctx,
+                    to,
+                    arr.id,
+                    Rpc::MigrateCommit {
+                        chunk,
+                        epoch: mig_epoch,
+                    },
+                );
+            }
+            HomeAction::DepartChunk { to, mig_epoch } => {
+                arr.note_home(self.node, chunk as usize, to, mig_epoch);
+                let d = &arr.per_node[self.node].dentries[chunk as usize];
+                d.promote_to(LocalState::Invalid, crate::protocol::NOTAG);
+                d.set_line(LINE_NONE);
+                self.broadcast_home_moved(ctx, arr, chunk, to, mig_epoch);
+            }
+            HomeAction::AdoptChunk { mig_epoch } => {
+                arr.note_home(self.node, chunk as usize, self.node, mig_epoch);
+                let d = &arr.per_node[self.node].dentries[chunk as usize];
+                d.set_line(LINE_HOME);
+                d.promote_to(LocalState::Exclusive, crate::protocol::NOTAG);
+                // Re-broadcast even though the source already did: if the
+                // source died right after committing, its redirects died
+                // with it; the map flip is a fetch_max, so duplicates are
+                // no-ops.
+                self.broadcast_home_moved(ctx, arr, chunk, self.node, mig_epoch);
+            }
+            HomeAction::ForwardRequest {
+                to,
+                node,
+                dst_off,
+                kind,
+            } => {
+                let (kind_u8, op) = match kind {
+                    Kind::Read => (0u8, 0u32),
+                    Kind::Write => (1, 0),
+                    Kind::Operate(op) => (2, op),
+                };
+                self.comm.send(
+                    ctx,
+                    to,
+                    arr.id,
+                    Rpc::MigrateForward {
+                        chunk,
+                        requester: node,
+                        dst_off,
+                        kind: kind_u8,
+                        op,
+                    },
+                );
+                // Redirect the requester so its next miss goes straight to
+                // the new home instead of bouncing off us again.
+                let epoch = arr.home_epoch_on(self.node, chunk as usize);
+                self.comm.send(
+                    ctx,
+                    node,
+                    arr.id,
+                    Rpc::HomeMoved {
+                        chunk,
+                        new_home: to,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Tell every live peer the chunk's home moved (stale-home redirect).
+    fn broadcast_home_moved(
+        &mut self,
+        ctx: &mut Ctx,
+        arr: &Arc<ArrayShared>,
+        chunk: ChunkId,
+        new_home: NodeId,
+        epoch: u64,
+    ) {
+        for peer in 0..self.shared.cfg.nodes {
+            if peer == self.node || self.shared.is_peer_down(self.node, peer) {
+                continue;
+            }
+            self.comm.send(
+                ctx,
+                peer,
+                arr.id,
+                Rpc::HomeMoved {
+                    chunk,
+                    new_home,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -385,7 +525,7 @@ impl RuntimeThread {
     ) {
         let words = arr.layout.chunk_size();
         debug_assert_eq!(data.len(), words);
-        let off = arr.layout.chunk_home_offset(chunk as usize);
+        let off = arr.chunk_off(chunk as usize);
         let sub = &arr.subarrays[self.node];
         let reg = &self.shared.registry;
         let opid = OpId(op);
@@ -419,7 +559,7 @@ impl RuntimeThread {
         exclusive: bool,
     ) {
         let words = arr.layout.chunk_size();
-        let off = arr.layout.chunk_home_offset(chunk as usize);
+        let off = arr.chunk_off(chunk as usize);
         let data = arr.subarrays[self.node].read_vec(off, words);
         let rpc = if exclusive {
             Rpc::FillExclusive { chunk }
@@ -476,7 +616,7 @@ impl RuntimeThread {
         actions: Vec<CacheAction>,
         mut requester: Option<WaitCell>,
     ) {
-        let home = arr.layout.home_of_chunk(chunk as usize);
+        let home = arr.home_on(self.node, chunk as usize);
         for act in actions {
             let d = &arr.per_node[self.node].dentries[chunk as usize];
             match act {
@@ -531,7 +671,7 @@ impl RuntimeThread {
                         d.set_line(LINE_NONE);
                         self.cache.free(line);
                     }
-                    let off = arr.layout.chunk_home_offset(chunk as usize);
+                    let off = arr.chunk_off(chunk as usize);
                     self.comm.write_send(
                         ctx,
                         home,
@@ -640,7 +780,7 @@ impl RuntimeThread {
             waiter.notify(ctx);
             return;
         }
-        let home = arr.layout.home_of_chunk(chunk as usize);
+        let home = arr.home_on(self.node, chunk as usize);
         if home == self.node {
             self.home_event(
                 ctx,
@@ -690,7 +830,7 @@ impl RuntimeThread {
             if nc >= num_chunks {
                 break;
             }
-            if arr.layout.home_of_chunk(nc as usize) == self.node {
+            if arr.home_on(self.node, nc as usize) == self.node {
                 continue;
             }
             if self.shared.rt_index(arr.id, nc) != self.rt_idx {
@@ -709,7 +849,7 @@ impl RuntimeThread {
             d.set_line(line);
             d.set_transient(LocalState::FillingShared);
             let dst_off = self.line_off(line) as u64;
-            let home = arr.layout.home_of_chunk(nc as usize);
+            let home = arr.home_on(self.node, nc as usize);
             self.comm
                 .send(ctx, home, arr.id, Rpc::ReadReq { chunk: nc, dst_off });
             NodeStats::bump(&self.stats().prefetches);
@@ -860,6 +1000,77 @@ impl RuntimeThread {
                 self.home_event(ctx, aid, chunk, HomeEvent::InvAck { from: src })
             }
 
+            // Chunk migration (DESIGN.md §15). Data for MigrateData already
+            // landed one-sided in our subarray slot before this notification
+            // (RC FIFO ordering, same guarantee fills rely on).
+            Rpc::MigrateData { chunk, epoch } => self.home_event(
+                ctx,
+                aid,
+                chunk,
+                HomeEvent::MigrateData {
+                    from: src,
+                    mig_epoch: epoch,
+                },
+            ),
+            Rpc::MigrateAck { chunk, epoch } => self.home_event(
+                ctx,
+                aid,
+                chunk,
+                HomeEvent::MigrateAck {
+                    from: src,
+                    mig_epoch: epoch,
+                },
+            ),
+            Rpc::MigrateCommit { chunk, epoch } => self.home_event(
+                ctx,
+                aid,
+                chunk,
+                HomeEvent::MigrateCommit {
+                    from: src,
+                    mig_epoch: epoch,
+                },
+            ),
+            Rpc::HomeMoved {
+                chunk,
+                new_home,
+                epoch,
+            } => {
+                if arr.elastic {
+                    let changed = arr.note_home(self.node, chunk as usize, new_home, epoch);
+                    if changed && new_home != self.node {
+                        // Stale grants from the departed home are unsound
+                        // against the new (cold) directory — reset, exactly
+                        // like after a home restart.
+                        self.cache_event(ctx, &arr, chunk, CacheEvent::HomeMoved, None);
+                    }
+                }
+            }
+            Rpc::MigrateForward {
+                chunk,
+                requester,
+                dst_off,
+                kind,
+                op,
+            } => {
+                let kind = match kind {
+                    0 => Kind::Read,
+                    1 => Kind::Write,
+                    _ => Kind::Operate(op),
+                };
+                self.home_event(
+                    ctx,
+                    aid,
+                    chunk,
+                    HomeEvent::Request(Request {
+                        source: Requester::Remote {
+                            node: requester,
+                            dst_off,
+                        },
+                        kind,
+                    }),
+                );
+            }
+
             // Requester side: cache machine events.
             Rpc::FillShared { chunk } => self.cache_event(
                 ctx,
@@ -938,7 +1149,7 @@ impl RuntimeThread {
                 if self.shared.rt_index(arr.id, c) != self.rt_idx {
                     continue;
                 }
-                let home = arr.layout.home_of_chunk(c as usize);
+                let home = arr.home_on(self.node, c as usize);
                 if home == dead {
                     self.cache_event(ctx, arr, c, CacheEvent::HomeDown, None);
                 } else if home == self.node {
@@ -1005,7 +1216,7 @@ impl RuntimeThread {
                 if self.shared.rt_index(arr.id, c) != self.rt_idx {
                     continue;
                 }
-                let home = arr.layout.home_of_chunk(c as usize);
+                let home = arr.home_on(self.node, c as usize);
                 if home == node {
                     self.cache_event(ctx, arr, c, CacheEvent::HomeRestarted, None);
                 } else if home == self.node {

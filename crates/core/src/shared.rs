@@ -3,7 +3,7 @@
 //! runtime layer and communication layer all reference.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dsim::{Mailbox, WaitCell};
@@ -48,20 +48,37 @@ pub(crate) struct ArrayNode {
 pub(crate) struct ArrayShared {
     pub id: ArrayId,
     pub layout: Layout,
-    /// Each node's registered subarray region (its partition, chunk-padded).
+    /// Each node's registered subarray region (its partition, chunk-padded;
+    /// in elastic mode every node materializes a full-size region so any
+    /// chunk can be re-homed anywhere).
     pub subarrays: Vec<MemoryRegion>,
     pub per_node: Vec<ArrayNode>,
+    /// Elastic mode: chunk homes may move at runtime (DESIGN.md §15).
+    pub elastic: bool,
+    /// `home_map[node][chunk]`: node's current belief about the chunk's
+    /// home, packed `(mig_epoch << 32) | home` and advanced monotonically
+    /// with `fetch_max` so duplicate / reordered `HomeMoved` notices are
+    /// harmless. Empty unless `elastic`.
+    home_map: Vec<Vec<AtomicU64>>,
 }
 
 impl ArrayShared {
     /// `durable` makes every home machine gate dirty-data acknowledgements
     /// on a durable-store persist (DESIGN.md §14); false keeps the protocol
-    /// bit-identical to the persistence-free build.
-    pub(crate) fn new(id: ArrayId, layout: Layout, durable: bool) -> Self {
+    /// bit-identical to the persistence-free build. `elastic` sizes every
+    /// subarray to hold the whole array and activates the per-node home
+    /// maps so chunks can be re-homed live.
+    pub(crate) fn new(id: ArrayId, layout: Layout, durable: bool, elastic: bool) -> Self {
         let nodes = layout.nodes();
         let chunks = layout.num_chunks();
         let subarrays: Vec<MemoryRegion> = (0..nodes)
-            .map(|n| MemoryRegion::new(layout.subarray_words(n)))
+            .map(|n| {
+                MemoryRegion::new(if elastic {
+                    chunks * layout.chunk_size()
+                } else {
+                    layout.subarray_words(n)
+                })
+            })
             .collect();
         let per_node = (0..nodes)
             .map(|n| {
@@ -90,11 +107,74 @@ impl ArrayShared {
                 }
             })
             .collect();
+        let home_map = if elastic {
+            (0..nodes)
+                .map(|_| {
+                    (0..chunks)
+                        .map(|c| AtomicU64::new(layout.home_of_chunk(c) as u64))
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             id,
             layout,
             subarrays,
             per_node,
+            elastic,
+            home_map,
+        }
+    }
+
+    /// The chunk's authoritative home as `node` currently believes it.
+    /// Static clusters answer straight from the layout.
+    #[inline]
+    pub(crate) fn home_on(&self, node: NodeId, chunk: usize) -> NodeId {
+        if self.elastic {
+            (self.home_map[node][chunk].load(Ordering::Acquire) & 0xFFFF_FFFF) as NodeId
+        } else {
+            self.layout.home_of_chunk(chunk)
+        }
+    }
+
+    /// The migration fence epoch under which `node` last saw the chunk's
+    /// home move (0 = never moved).
+    #[inline]
+    pub(crate) fn home_epoch_on(&self, node: NodeId, chunk: usize) -> u64 {
+        if self.elastic {
+            self.home_map[node][chunk].load(Ordering::Acquire) >> 32
+        } else {
+            0
+        }
+    }
+
+    /// Record on `node`'s map that the chunk's home moved to `new_home`
+    /// under migration fence `epoch`. Monotone: stale or duplicate notices
+    /// lose the `fetch_max`. Returns true iff the map actually advanced.
+    pub(crate) fn note_home(
+        &self,
+        node: NodeId,
+        chunk: usize,
+        new_home: NodeId,
+        epoch: u64,
+    ) -> bool {
+        debug_assert!(self.elastic);
+        debug_assert!(epoch < (1 << 32) && new_home < (1 << 32));
+        let packed = (epoch << 32) | new_home as u64;
+        self.home_map[node][chunk].fetch_max(packed, Ordering::AcqRel) < packed
+    }
+
+    /// Word offset of `chunk`'s slot in a subarray region. Elastic regions
+    /// are full-size, so the slot is the same on every node — which is what
+    /// lets the image move without re-registering memory.
+    #[inline]
+    pub(crate) fn chunk_off(&self, chunk: usize) -> usize {
+        if self.elastic {
+            chunk * self.layout.chunk_size()
+        } else {
+            self.layout.chunk_home_offset(chunk)
         }
     }
 }
@@ -260,10 +340,7 @@ pub(crate) fn data_location<'a>(
     offset_in_chunk: usize,
 ) -> (&'a MemoryRegion, usize) {
     if line == LINE_HOME {
-        (
-            &arr.subarrays[node],
-            arr.layout.chunk_home_offset(chunk) + offset_in_chunk,
-        )
+        (&arr.subarrays[node], arr.chunk_off(chunk) + offset_in_chunk)
     } else {
         debug_assert_ne!(line, LINE_NONE);
         (
@@ -282,7 +359,7 @@ mod tests {
     #[test]
     fn array_shared_initializes_home_rights() {
         let layout = Layout::even(2048, 2, 512);
-        let a = ArrayShared::new(0, layout, false);
+        let a = ArrayShared::new(0, layout, false, false);
         // Node 0 owns chunks 0,1; node 1 owns 2,3.
         assert_eq!(a.per_node[0].dentries[0].state(), LocalState::Exclusive);
         assert_eq!(a.per_node[0].dentries[0].line(), LINE_HOME);
@@ -290,6 +367,24 @@ mod tests {
         assert_eq!(a.per_node[1].dentries[2].state(), LocalState::Exclusive);
         assert_eq!(a.per_node[1].dentries[0].state(), LocalState::Invalid);
         assert_eq!(a.subarrays[0].len(), 1024);
+    }
+
+    #[test]
+    fn elastic_home_map_is_monotone_under_epochs() {
+        let layout = Layout::even_prefix(2048, 3, 2, 512);
+        let a = ArrayShared::new(0, layout, false, true);
+        // Full-size subarrays on every node, shared slot offsets.
+        assert_eq!(a.subarrays[2].len(), 4 * 512);
+        assert_eq!(a.chunk_off(3), 3 * 512);
+        assert_eq!(a.home_on(0, 3), 1);
+        // A move under epoch 5 wins; a stale notice under epoch 2 loses.
+        assert!(a.note_home(0, 3, 2, 5));
+        assert_eq!(a.home_on(0, 3), 2);
+        assert_eq!(a.home_epoch_on(0, 3), 5);
+        assert!(!a.note_home(0, 3, 1, 2));
+        assert_eq!(a.home_on(0, 3), 2);
+        // A duplicate of the same notice is a no-op, not an error.
+        assert!(!a.note_home(0, 3, 2, 5));
     }
 
     #[test]

@@ -82,6 +82,15 @@ pub struct NodeStats {
     /// Distinct chunk images recovered from the durable log at bring-up
     /// (latest epoch per chunk) and overlaid onto home subarrays.
     pub recovered_chunks: AtomicU64,
+    /// Chunks this node handed to a new home: migrations that committed and
+    /// departed (DESIGN.md §15). Zero outside elastic mode.
+    pub migrations_out: AtomicU64,
+    /// Chunk migrations that landed here: this node adopted the chunk as
+    /// its new authoritative home.
+    pub migrations_in: AtomicU64,
+    /// Requests parked behind a migration fence and later replayed —
+    /// forwarded to the new home or re-serviced once the fence lifted.
+    pub parked_replays: AtomicU64,
 }
 
 /// Point-in-time copy of [`NodeStats`].
@@ -116,6 +125,9 @@ pub struct NodeStatsSnapshot {
     pub flush_persists: u64,
     pub log_replays: u64,
     pub recovered_chunks: u64,
+    pub migrations_out: u64,
+    pub migrations_in: u64,
+    pub parked_replays: u64,
     /// Bytes this node's transport handed to the wire (payload plus backend
     /// framing). Filled in by `Cluster::stats` from the transport backend;
     /// always zero in a bare [`NodeStats::snapshot`].
@@ -173,6 +185,9 @@ impl NodeStats {
             flush_persists: self.flush_persists.load(Ordering::Relaxed),
             log_replays: self.log_replays.load(Ordering::Relaxed),
             recovered_chunks: self.recovered_chunks.load(Ordering::Relaxed),
+            migrations_out: self.migrations_out.load(Ordering::Relaxed),
+            migrations_in: self.migrations_in.load(Ordering::Relaxed),
+            parked_replays: self.parked_replays.load(Ordering::Relaxed),
             // Transport counters live in the backend, not in NodeStats;
             // `Cluster::stats` overlays them onto the snapshot.
             bytes_tx: 0,

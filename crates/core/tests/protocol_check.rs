@@ -1137,6 +1137,17 @@ fn run_home_event(w: &mut World, ck: &mut Ck, trace: &[String], ev: HomeEvent<u3
                 }
                 w.pending_persist = Some(seq);
             }
+            // Migration actions cannot fire in this world (no
+            // `BeginMigration` is ever injected); the elastic re-homing
+            // search in the `migration` module covers them.
+            HomeAction::TransferChunk { .. }
+            | HomeAction::SendMigrateAck { .. }
+            | HomeAction::SendMigrateCommit { .. }
+            | HomeAction::DepartChunk { .. }
+            | HomeAction::AdoptChunk { .. }
+            | HomeAction::ForwardRequest { .. } => {
+                fail(ck, trace, w, "migration action in a migration-free world")
+            }
         }
     }
 }
@@ -1936,4 +1947,1024 @@ fn crash_model_grace_window() {
         ck.pd_transients
     );
     assert!(ck.quiescent_states > 0);
+}
+
+// ===========================================================================
+// Elastic re-homing search (DESIGN.md §15): join + migrate under crashes
+// ===========================================================================
+
+/// A second, self-contained world for the chunk-migration state machine.
+///
+/// Three nodes: the **source** home (node 0), the **target** home (node 1 —
+/// a freshly joined node, so its machine starts cold exactly as
+/// `Cluster::join_peer` brings it up), and one **requester** (node 2)
+/// issuing Read/Write traffic against whichever home its home-map view
+/// names. The search drives one `BeginMigration` through every
+/// interleaving of requests, recalls, transfers, acks, commits, persists
+/// and **kills of source, target, or requester** (with every surviving
+/// prefix of the victim's in-flight messages), and checks the two §15
+/// theorems in every reachable state:
+///
+/// * **single authority** — the source (alive, not departed) and the
+///   target (alive, adopted) are never simultaneously authoritative;
+/// * **no acked write lost** (durable mode) — every value whose persist
+///   the protocol acknowledged is recoverable: it lives in a live
+///   authoritative home's image, or best-epoch-wins log replay would
+///   restore it. The migration fence (`mig_epoch` burned as a persist
+///   sequence) is exactly what makes the target's log outrank the
+///   source's here.
+mod migration {
+    use super::*;
+
+    /// Node ids: source home, target home (the joiner), requester.
+    const SRC: usize = 0;
+    const TGT: usize = 1;
+    const REQ: usize = 2;
+
+    /// One in-flight message on a migration-world link. Data-bearing
+    /// messages (`Fill`, `Writeback`, `MigData`) carry the value their
+    /// one-sided RDMA WRITE lands at delivery time — RC FIFO makes the
+    /// write visible exactly when the trailing notification is consumed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum MMsg {
+        Req { kind: Kind },
+        FwdReq { node: usize, kind: Kind },
+        Fill { exclusive: bool, val: u64 },
+        Inv,
+        RecallDirty,
+        InvAck,
+        EvictNotice,
+        Writeback { val: u64 },
+        MigData { epoch: u64, val: u64 },
+        MigAck { epoch: u64 },
+        MigCommit { epoch: u64 },
+        HomeMoved { new_home: usize, epoch: u64 },
+        Down { dead: usize },
+    }
+
+    /// One home node of the migration world.
+    #[derive(Debug, Clone)]
+    struct MHome {
+        m: HomeMachine<u32>,
+        dentry: (LocalState, u32),
+        draining: bool,
+        /// `AdoptChunk` fired: this node is the chunk's authoritative home.
+        adopted: bool,
+        /// `DepartChunk` fired: this node is a former home.
+        departed: bool,
+        knows_dead: [bool; 3],
+        view_epoch: u64,
+    }
+
+    impl MHome {
+        fn fresh() -> Self {
+            MHome {
+                m: HomeMachine::new(),
+                dentry: (LocalState::Invalid, NOTAG),
+                draining: false,
+                adopted: false,
+                departed: false,
+                knows_dead: [false; 3],
+                view_epoch: 0,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct MigWorld {
+        homes: [Option<MHome>; 2],
+        // The requester's minimal cache: one line, one app slot.
+        r_alive: bool,
+        r_state: LocalState,
+        r_val: u64,
+        r_dirty: bool,
+        /// The requester's home-map view of the chunk (`home_on`).
+        r_home: usize,
+        r_home_epoch: u64,
+        r_knows_dead: [bool; 2],
+        r_app: App,
+        /// A protocol request is outstanding: the requester's dentry is
+        /// in-flight, so the runtime parks retries on the pending fill
+        /// instead of issuing a duplicate request.
+        r_inflight: bool,
+        r_req_budget: u8,
+        r_evict_budget: u8,
+        /// Home images (the chunk's home slot per node).
+        img: [u64; 2],
+        /// Durable log per home: highest `(seq, value)` record. `(0, 0)` is
+        /// the empty log (the initial image is value 0 at epoch 0).
+        log: [(u64, u64); 2],
+        /// A `PersistChunk` accepted but not yet completed: `(seq, value
+        /// captured at emission)`.
+        pending_persist: [Option<(u64, u64)>; 2],
+        /// FIFO links, indexed by [from][to] over {SRC, TGT, REQ}; the
+        /// diagonal is unused.
+        links: [[std::collections::VecDeque<MMsg>; 3]; 3],
+        /// `BeginMigration` not yet injected.
+        mig_pending: bool,
+        kill_budget: u8,
+        durable: bool,
+        /// Monotone value generator for requester writes.
+        next_val: u64,
+        /// Highest value whose persist the protocol acknowledged.
+        acked_val: u64,
+    }
+
+    impl MigWorld {
+        fn new(req_budget: u8, evict_budget: u8, kills: u8, durable: bool) -> Self {
+            let mut src = MHome::fresh();
+            src.dentry = (LocalState::Exclusive, NOTAG);
+            let mut tgt = MHome::fresh();
+            if durable {
+                src.m.set_durable(true);
+                tgt.m.set_durable(true);
+            }
+            MigWorld {
+                homes: [Some(src), Some(tgt)],
+                r_alive: true,
+                r_state: LocalState::Invalid,
+                r_val: 0,
+                r_dirty: false,
+                r_home: SRC,
+                r_home_epoch: 0,
+                r_knows_dead: [false; 2],
+                r_app: App::Idle,
+                r_inflight: false,
+                r_req_budget: req_budget,
+                r_evict_budget: evict_budget,
+                img: [0, 0],
+                log: [(0, 0), (0, 0)],
+                pending_persist: [None, None],
+                links: Default::default(),
+                mig_pending: true,
+                kill_budget: kills,
+                durable,
+                next_val: 1,
+                acked_val: 0,
+            }
+        }
+
+        fn alive(&self, node: usize) -> bool {
+            match node {
+                REQ => self.r_alive,
+                h => self.homes[h].is_some(),
+            }
+        }
+    }
+
+    /// Coverage tallies for the migration search.
+    struct MCk {
+        max_depth: usize,
+        max_states: usize,
+        seen: HashSet<u64>,
+        quiescent: usize,
+        depth_pruned: usize,
+        /// `(victim, survivor transient name)` at each `Down` consumption.
+        kill_phases: HashSet<(&'static str, &'static str)>,
+        /// Quiescent states where the migration fully committed.
+        completed: usize,
+        /// Quiescent states where the source re-assumed after a target death.
+        aborted: usize,
+        migrations_out: usize,
+        migrations_in: usize,
+        parked_replays: usize,
+        forwards: usize,
+    }
+
+    impl MCk {
+        fn new() -> Self {
+            MCk {
+                max_depth: env_usize("DARRAY_MC_MAX_DEPTH", 96),
+                max_states: env_usize("DARRAY_MC_MAX_STATES", 5_000_000),
+                seen: HashSet::new(),
+                quiescent: 0,
+                depth_pruned: 0,
+                kill_phases: HashSet::new(),
+                completed: 0,
+                aborted: 0,
+                migrations_out: 0,
+                migrations_in: 0,
+                parked_replays: 0,
+                forwards: 0,
+            }
+        }
+    }
+
+    fn mfail(ck: &MCk, trace: &[String], w: &MigWorld, msg: &str) -> ! {
+        let mut report = String::new();
+        let _ = writeln!(report, "MIGRATION MODEL CHECK FAILED: {msg}");
+        let _ = writeln!(report, "states explored: {}", ck.seen.len());
+        let _ = writeln!(report, "counterexample trace ({} steps):", trace.len());
+        for (i, step) in trace.iter().enumerate() {
+            let _ = writeln!(report, "  {:3}. {step}", i + 1);
+        }
+        let _ = writeln!(report, "final world:\n{w:#?}");
+        let path = std::env::var("DARRAY_MC_TRACE_FILE").unwrap_or_else(|_| {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/model-check-counterexample.txt"
+            )
+            .to_string()
+        });
+        let _ = std::fs::write(&path, &report);
+        eprintln!("{report}");
+        eprintln!("(trace written to {path})");
+        panic!("migration model check failed: {msg}");
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum MTr {
+        Deliver {
+            from: usize,
+            to: usize,
+        },
+        DrainHome(usize),
+        PersistDone(usize),
+        BeginMigration,
+        AppReq(Kind),
+        /// Fast-path write on an already-Exclusive requester line.
+        WriteHit,
+        Evict,
+        Kill {
+            victim: usize,
+            keep: [usize; 2],
+            flush_disk: bool,
+        },
+    }
+
+    /// The two outgoing links of `victim`, in `keep[]` order.
+    fn out_links(victim: usize) -> [(usize, usize); 2] {
+        match victim {
+            SRC => [(SRC, TGT), (SRC, REQ)],
+            TGT => [(TGT, SRC), (TGT, REQ)],
+            _ => [(REQ, SRC), (REQ, TGT)],
+        }
+    }
+
+    fn m_internal(w: &MigWorld) -> Vec<MTr> {
+        let mut out = Vec::new();
+        for from in 0..3 {
+            for to in 0..3 {
+                if from != to && w.alive(to) && !w.links[from][to].is_empty() {
+                    out.push(MTr::Deliver { from, to });
+                }
+            }
+        }
+        for h in 0..2 {
+            if let Some(home) = &w.homes[h] {
+                if home.draining {
+                    out.push(MTr::DrainHome(h));
+                }
+                if w.pending_persist[h].is_some() {
+                    out.push(MTr::PersistDone(h));
+                }
+            }
+        }
+        out
+    }
+
+    fn m_external(w: &MigWorld) -> Vec<MTr> {
+        let mut out = Vec::new();
+        if w.mig_pending && w.homes[SRC].is_some() {
+            out.push(MTr::BeginMigration);
+        }
+        if w.r_alive
+            && w.r_app == App::Idle
+            && w.r_req_budget > 0
+            && !w.r_inflight
+            && !w.r_knows_dead[w.r_home]
+        {
+            for kind in [Kind::Read, Kind::Write] {
+                if !satisfied(w.r_state, NOTAG, kind) {
+                    out.push(MTr::AppReq(kind));
+                }
+            }
+            if w.r_state == LocalState::Exclusive {
+                out.push(MTr::WriteHit);
+            }
+        }
+        if w.r_alive
+            && w.r_evict_budget > 0
+            && matches!(w.r_state, LocalState::Shared | LocalState::Exclusive)
+        {
+            out.push(MTr::Evict);
+        }
+        if w.kill_budget > 0 {
+            for victim in 0..3 {
+                if !w.alive(victim) {
+                    continue;
+                }
+                let [l0, l1] = out_links(victim);
+                for k0 in 0..=w.links[l0.0][l0.1].len() {
+                    for k1 in 0..=w.links[l1.0][l1.1].len() {
+                        out.push(MTr::Kill {
+                            victim,
+                            keep: [k0, k1],
+                            flush_disk: false,
+                        });
+                        if victim < 2 && w.pending_persist[victim].is_some() {
+                            out.push(MTr::Kill {
+                                victim,
+                                keep: [k0, k1],
+                                flush_disk: true,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn m_label(w: &MigWorld, tr: MTr) -> String {
+        let name = |n: usize| match n {
+            SRC => "src",
+            TGT => "tgt",
+            _ => "req",
+        };
+        match tr {
+            MTr::Deliver { from, to } => format!(
+                "deliver {}->{}: {:?}",
+                name(from),
+                name(to),
+                w.links[from][to].front().unwrap()
+            ),
+            MTr::DrainHome(h) => format!("{} home drain completes", name(h)),
+            MTr::PersistDone(h) => format!(
+                "{} disk completes persist {:?}",
+                name(h),
+                w.pending_persist[h].unwrap()
+            ),
+            MTr::BeginMigration => "BeginMigration(src -> tgt) injected".to_string(),
+            MTr::AppReq(k) => format!("req app requests {k:?} from {}", name(w.r_home)),
+            MTr::WriteHit => "req fast-path write (Exclusive hit)".to_string(),
+            MTr::Evict => "eviction scan hits req".to_string(),
+            MTr::Kill {
+                victim,
+                keep,
+                flush_disk,
+            } => format!(
+                "KILL {} (kept prefixes {keep:?}, pending persist {})",
+                name(victim),
+                if flush_disk { "flushed" } else { "lost" }
+            ),
+        }
+    }
+
+    /// Feed one event to home `h`'s machine and execute its actions.
+    fn m_run_home(w: &mut MigWorld, ck: &mut MCk, trace: &[String], h: usize, ev: HomeEvent<u32>) {
+        let actions = w.homes[h].as_mut().unwrap().m.on_event(0, 0, ev);
+        for a in actions {
+            match a {
+                HomeAction::ChargeDirUpdate | HomeAction::Trace(_) => {}
+                HomeAction::Wake(_) => {
+                    mfail(ck, trace, w, "home woke a local waiter (none modeled)")
+                }
+                HomeAction::SendFill { to, exclusive, .. } => {
+                    let val = w.img[h];
+                    m_send(w, ck, trace, h, to, MMsg::Fill { exclusive, val });
+                }
+                HomeAction::SendInvalidate { to } => m_send(w, ck, trace, h, to, MMsg::Inv),
+                HomeAction::SendRecallDirty { to } => {
+                    m_send(w, ck, trace, h, to, MMsg::RecallDirty)
+                }
+                HomeAction::SendGrant { .. }
+                | HomeAction::SendDowngrade { .. }
+                | HomeAction::SendRecallOperated { .. }
+                | HomeAction::ApplyFlushData { .. } => mfail(
+                    ck,
+                    trace,
+                    w,
+                    "unreachable action for a Read/Write-only world",
+                ),
+                HomeAction::SetHomeLocal { state, tag } => {
+                    w.homes[h].as_mut().unwrap().dentry = (state, tag);
+                }
+                HomeAction::StartHomeDrain { target, tag } => {
+                    let home = w.homes[h].as_mut().unwrap();
+                    if home.draining {
+                        mfail(ck, trace, w, "overlapping home drains");
+                    }
+                    home.dentry = (target, tag);
+                    home.draining = true;
+                }
+                HomeAction::ScheduleRetry { .. } => {
+                    mfail(ck, trace, w, "grace retry scheduled with grace=0")
+                }
+                HomeAction::PersistChunk { seq } => {
+                    if !w.durable {
+                        mfail(ck, trace, w, "non-durable machine emitted PersistChunk");
+                    }
+                    if w.pending_persist[h].is_some() {
+                        mfail(ck, trace, w, "two persists pending at once");
+                    }
+                    w.pending_persist[h] = Some((seq, w.img[h]));
+                }
+                HomeAction::TransferChunk { to, mig_epoch } => {
+                    if h != SRC || to != TGT {
+                        mfail(ck, trace, w, "transfer outside the modeled migration");
+                    }
+                    let val = w.img[SRC];
+                    m_send(
+                        w,
+                        ck,
+                        trace,
+                        SRC,
+                        TGT,
+                        MMsg::MigData {
+                            epoch: mig_epoch,
+                            val,
+                        },
+                    );
+                }
+                HomeAction::SendMigrateAck { to, mig_epoch } => {
+                    // §15 persist-before-ack: a durable target may only ack
+                    // the hand-off once its log holds the transferred image
+                    // at (or past) the fence epoch.
+                    if w.durable && w.log[TGT].0 < mig_epoch {
+                        mfail(
+                            ck,
+                            trace,
+                            w,
+                            "durable target acked the hand-off before logging the image",
+                        );
+                    }
+                    m_send(w, ck, trace, h, to, MMsg::MigAck { epoch: mig_epoch });
+                }
+                HomeAction::SendMigrateCommit { to, mig_epoch } => {
+                    m_send(w, ck, trace, h, to, MMsg::MigCommit { epoch: mig_epoch });
+                }
+                HomeAction::DepartChunk { to, mig_epoch } => {
+                    if h != SRC || to != TGT {
+                        mfail(ck, trace, w, "departure outside the modeled migration");
+                    }
+                    w.homes[h].as_mut().unwrap().departed = true;
+                    // HomeMoved broadcast (the runtime's broadcast_home_moved).
+                    if w.r_alive {
+                        w.links[h][REQ].push_back(MMsg::HomeMoved {
+                            new_home: TGT,
+                            epoch: mig_epoch,
+                        });
+                    }
+                }
+                HomeAction::AdoptChunk { mig_epoch } => {
+                    if h != TGT {
+                        mfail(ck, trace, w, "adoption outside the modeled migration");
+                    }
+                    let home = w.homes[h].as_mut().unwrap();
+                    home.adopted = true;
+                    home.dentry = (LocalState::Exclusive, NOTAG);
+                    if w.r_alive {
+                        w.links[h][REQ].push_back(MMsg::HomeMoved {
+                            new_home: TGT,
+                            epoch: mig_epoch,
+                        });
+                    }
+                }
+                HomeAction::ForwardRequest { to, node, kind, .. } => {
+                    ck.forwards += 1;
+                    // Fire-and-forget: the former home forwards without a
+                    // liveness check; a forward to a corpse is lost and the
+                    // requester's timeout surfaces the unavailability.
+                    if w.alive(to) {
+                        w.links[h][to].push_back(MMsg::FwdReq { node, kind });
+                    }
+                    // HomeMoved redirect to the original requester.
+                    let (new_home, epoch) = match w.homes[h].as_ref().unwrap().m.migrated_to() {
+                        Some((n, e)) => (n, e),
+                        None => mfail(ck, trace, w, "forward from a non-departed home"),
+                    };
+                    if node == REQ && w.r_alive {
+                        w.links[h][REQ].push_back(MMsg::HomeMoved { new_home, epoch });
+                    }
+                }
+                HomeAction::Count(c) => match c {
+                    Counter::MigrationsOut => ck.migrations_out += 1,
+                    Counter::MigrationsIn => ck.migrations_in += 1,
+                    Counter::ParkedReplays => ck.parked_replays += 1,
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    /// Send a directory message from home `h`. Sends to a node the home has
+    /// already declared dead are recovery bugs (`forget_peer`'s contract).
+    fn m_send(w: &mut MigWorld, ck: &mut MCk, trace: &[String], from: usize, to: usize, msg: MMsg) {
+        if w.homes[from].as_ref().unwrap().knows_dead[to] {
+            mfail(
+                ck,
+                trace,
+                w,
+                &format!("home {from} sent {msg:?} to node {to} it knows is dead"),
+            );
+        }
+        if w.alive(to) {
+            w.links[from][to].push_back(msg);
+        }
+        // else: lost in flight; the kill's prefix truncation modeled it.
+    }
+
+    fn m_deliver_to_home(
+        w: &mut MigWorld,
+        ck: &mut MCk,
+        trace: &[String],
+        h: usize,
+        from: usize,
+        msg: MMsg,
+    ) {
+        let ev: HomeEvent<u32> = match msg {
+            MMsg::Req { kind } => HomeEvent::Request(Request {
+                source: Requester::Remote {
+                    node: from,
+                    dst_off: 0,
+                },
+                kind,
+            }),
+            MMsg::FwdReq { node, kind } => HomeEvent::Request(Request {
+                source: Requester::Remote { node, dst_off: 0 },
+                kind,
+            }),
+            MMsg::InvAck => HomeEvent::InvAck { from },
+            MMsg::EvictNotice => HomeEvent::EvictNotice { from },
+            MMsg::Writeback { val } => {
+                // The writeback's RDMA WRITE lands in the home image first.
+                w.img[h] = val;
+                HomeEvent::Writeback {
+                    from,
+                    downgrade: false,
+                }
+            }
+            MMsg::MigData { epoch, val } => {
+                w.img[h] = val;
+                HomeEvent::MigrateData {
+                    from,
+                    mig_epoch: epoch,
+                }
+            }
+            MMsg::MigAck { epoch } => HomeEvent::MigrateAck {
+                from,
+                mig_epoch: epoch,
+            },
+            MMsg::MigCommit { epoch } => HomeEvent::MigrateCommit {
+                from,
+                mig_epoch: epoch,
+            },
+            MMsg::Down { dead } => {
+                let home = w.homes[h].as_mut().unwrap();
+                home.knows_dead[dead] = true;
+                let epoch = home.view_epoch + 1;
+                home.view_epoch = epoch;
+                let survivor = if h == SRC { "src" } else { "tgt" };
+                let victim = match dead {
+                    SRC => "src",
+                    TGT => "tgt",
+                    _ => "req",
+                };
+                let phase = home.m.transient().name();
+                ck.kill_phases.insert((victim, phase));
+                let _ = survivor;
+                HomeEvent::PeerDown {
+                    dead,
+                    view_epoch: epoch,
+                }
+            }
+            MMsg::Fill { .. } | MMsg::Inv | MMsg::RecallDirty | MMsg::HomeMoved { .. } => {
+                mfail(ck, trace, w, "home received a remote-only message")
+            }
+        };
+        m_run_home(w, ck, trace, h, ev);
+    }
+
+    fn m_deliver_to_req(w: &mut MigWorld, ck: &mut MCk, trace: &[String], from: usize, msg: MMsg) {
+        match msg {
+            MMsg::Fill { exclusive, val } => {
+                w.r_inflight = false;
+                w.r_state = if exclusive {
+                    LocalState::Exclusive
+                } else {
+                    LocalState::Shared
+                };
+                w.r_val = val;
+                match w.r_app {
+                    App::Waiting(Kind::Write) => {
+                        if exclusive {
+                            w.r_val = w.next_val;
+                            w.next_val += 1;
+                            w.r_dirty = true;
+                            w.r_app = App::Idle;
+                        }
+                        // else: the stale shared completion of an aborted
+                        // earlier read (the runtime matches completions to
+                        // wait-cells); the rights are recorded, the write
+                        // keeps waiting for its exclusive fill.
+                    }
+                    App::Waiting(_) => w.r_app = App::Idle,
+                    // A fill for a request whose app already errored out
+                    // (timeout after a death): the rights are real, the
+                    // completion is spurious.
+                    App::Idle => {}
+                }
+            }
+            MMsg::Inv => {
+                // Mirrors CacheMachine::on_event(Invalidate): only a Shared
+                // copy is invalidated and acked. Any other state means the
+                // invalidate crossed with our own EvictNotice/Writeback (or
+                // with a fresh grant from the chunk's NEW home after a
+                // migration) — the in-flight notice satisfies the old
+                // home's ack set, and an extra ack here would be stale.
+                if w.r_state == LocalState::Shared {
+                    w.r_state = LocalState::Invalid;
+                    if w.alive(from) {
+                        w.links[REQ][from].push_back(MMsg::InvAck);
+                    }
+                }
+            }
+            MMsg::RecallDirty => {
+                if w.r_state == LocalState::Exclusive {
+                    let val = w.r_val;
+                    w.r_state = LocalState::Invalid;
+                    w.r_dirty = false;
+                    if w.alive(from) {
+                        w.links[REQ][from].push_back(MMsg::Writeback { val });
+                    }
+                }
+                // else: crossed with our own eviction; the in-flight
+                // writeback/evict-notice satisfies the recall.
+            }
+            MMsg::HomeMoved { new_home, epoch } => {
+                if epoch > w.r_home_epoch {
+                    w.r_home = new_home;
+                    w.r_home_epoch = epoch;
+                }
+                // The redirect names a home this node already knows is
+                // dead: the runtime's retry resolves against the updated
+                // map, sees the peer down, and surfaces NodeUnavailable
+                // instead of re-sending into the corpse.
+                if matches!(w.r_app, App::Waiting(_)) && w.r_knows_dead[w.r_home] {
+                    w.r_app = App::Idle;
+                }
+            }
+            MMsg::Down { dead } => {
+                w.r_knows_dead[dead] = true;
+                // A parked request may have been lost with the corpse (or
+                // forwarded into it); the runtime's RPC timeout surfaces
+                // the retry/unavailable path rather than hanging.
+                if matches!(w.r_app, App::Waiting(_)) {
+                    w.r_app = App::Idle;
+                }
+            }
+            other => mfail(
+                ck,
+                trace,
+                w,
+                &format!("requester received a home-only message {other:?}"),
+            ),
+        }
+    }
+
+    fn m_apply(w: &mut MigWorld, ck: &mut MCk, trace: &[String], tr: MTr) {
+        match tr {
+            MTr::Deliver { from, to } => {
+                let msg = w.links[from][to].pop_front().unwrap();
+                if to == REQ {
+                    m_deliver_to_req(w, ck, trace, from, msg);
+                } else {
+                    m_deliver_to_home(w, ck, trace, to, from, msg);
+                }
+            }
+            MTr::DrainHome(h) => {
+                w.homes[h].as_mut().unwrap().draining = false;
+                m_run_home(w, ck, trace, h, HomeEvent::Drained);
+            }
+            MTr::PersistDone(h) => {
+                let (seq, val) = w.pending_persist[h].take().unwrap();
+                if seq > w.log[h].0 {
+                    w.log[h] = (seq, val);
+                }
+                // Record the acknowledgement for the no-lost-write theorem
+                // *before* the protocol resumes, mirroring the machine's
+                // own completion checks.
+                let awaited = match w.homes[h].as_ref().unwrap().m.transient() {
+                    darray::protocol::Transient::AwaitPersist { seq: s } => seq >= *s,
+                    darray::protocol::Transient::MigratingIn {
+                        mig_epoch,
+                        phase: darray::protocol::MigInPhase::Persist,
+                        ..
+                    } => seq >= *mig_epoch,
+                    _ => false,
+                };
+                if awaited {
+                    w.acked_val = w.acked_val.max(val);
+                }
+                m_run_home(w, ck, trace, h, HomeEvent::PersistDone { seq });
+            }
+            MTr::BeginMigration => {
+                w.mig_pending = false;
+                m_run_home(w, ck, trace, SRC, HomeEvent::BeginMigration { to: TGT });
+            }
+            MTr::AppReq(kind) => {
+                w.r_app = App::Waiting(kind);
+                w.r_req_budget -= 1;
+                w.r_inflight = true;
+                let home = w.r_home;
+                if w.alive(home) {
+                    w.links[REQ][home].push_back(MMsg::Req { kind });
+                }
+            }
+            MTr::WriteHit => {
+                w.r_req_budget -= 1;
+                w.r_val = w.next_val;
+                w.next_val += 1;
+                w.r_dirty = true;
+            }
+            MTr::Evict => {
+                w.r_evict_budget -= 1;
+                let val = w.r_val;
+                let state = w.r_state;
+                w.r_state = LocalState::Invalid;
+                w.r_dirty = false;
+                // Evict notices go to the node the requester believes is
+                // home; a migration recall crossing with this is exactly
+                // the race the protocol must absorb. An Exclusive line is
+                // the directory's Dirty owner whether or not it was
+                // actually written, so its eviction is always a writeback.
+                let home = w.r_home;
+                if w.alive(home) {
+                    if state == LocalState::Exclusive {
+                        w.links[REQ][home].push_back(MMsg::Writeback { val });
+                    } else {
+                        w.links[REQ][home].push_back(MMsg::EvictNotice);
+                    }
+                }
+            }
+            MTr::Kill {
+                victim,
+                keep,
+                flush_disk,
+            } => {
+                w.kill_budget -= 1;
+                if victim < 2 {
+                    if let Some((seq, val)) = w.pending_persist[victim].take() {
+                        if flush_disk && seq > w.log[victim].0 {
+                            w.log[victim] = (seq, val);
+                        }
+                    }
+                    w.homes[victim] = None;
+                } else {
+                    w.r_alive = false;
+                    w.r_state = LocalState::Invalid;
+                    w.r_dirty = false;
+                    w.r_app = App::Idle;
+                    w.r_inflight = false;
+                    w.r_req_budget = 0;
+                    w.r_evict_budget = 0;
+                }
+                // Inbound links to the corpse are never consumed.
+                for from in 0..3 {
+                    if from != victim {
+                        w.links[from][victim].clear();
+                    }
+                }
+                // Outgoing links: an arbitrary prefix survives, then the
+                // quorum-confirmed Down marker (always last, FIFO).
+                for (i, (from, to)) in out_links(victim).into_iter().enumerate() {
+                    w.links[from][to].truncate(keep[i]);
+                    if w.alive(to) {
+                        w.links[from][to].push_back(MMsg::Down { dead: victim });
+                    } else {
+                        w.links[from][to].clear();
+                    }
+                }
+            }
+        }
+    }
+
+    /// §15 safety, checked in every reachable state.
+    fn m_check_safety(w: &MigWorld, ck: &mut MCk, trace: &[String]) {
+        let src_auth = w.homes[SRC]
+            .as_ref()
+            .is_some_and(|h| h.m.migrated_to().is_none() && !h.departed);
+        let tgt_auth = w.homes[TGT].as_ref().is_some_and(|h| h.adopted);
+        if src_auth && tgt_auth {
+            mfail(ck, trace, w, "two homes simultaneously authoritative");
+        }
+        // Executor/machine agreement on departure.
+        if let Some(h) = &w.homes[SRC] {
+            if h.departed != h.m.migrated_to().is_some() {
+                mfail(ck, trace, w, "departed flag out of sync with migrated_to");
+            }
+        }
+        // No acked write lost (durable): the newest acknowledged value is
+        // recoverable — in a live authoritative home's image, or in the
+        // log record best-epoch-wins replay would pick.
+        if w.durable {
+            let recoverable = if src_auth {
+                w.img[SRC]
+            } else if tgt_auth {
+                w.img[TGT]
+            } else if w.log[TGT].0 >= w.log[SRC].0 {
+                w.log[TGT].1
+            } else {
+                w.log[SRC].1
+            };
+            if recoverable < w.acked_val {
+                mfail(
+                    ck,
+                    trace,
+                    w,
+                    &format!(
+                        "acked write lost: acked value {} but only {recoverable} recoverable",
+                        w.acked_val
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Liveness at quiescence: nothing parked forever.
+    fn m_check_quiescence(w: &MigWorld, ck: &mut MCk, trace: &[String]) {
+        if w.r_alive && matches!(w.r_app, App::Waiting(_)) {
+            mfail(ck, trace, w, "requester app parked forever at quiescence");
+        }
+        for h in 0..2 {
+            if let Some(home) = &w.homes[h] {
+                if !home.m.transient().is_none() {
+                    mfail(
+                        ck,
+                        trace,
+                        w,
+                        &format!("home {h} transient pending at quiescence"),
+                    );
+                }
+                if home.m.pending_len() != 0 {
+                    mfail(
+                        ck,
+                        trace,
+                        w,
+                        &format!("home {h} still holds parked requests at quiescence"),
+                    );
+                }
+            }
+        }
+        let departed = w.homes[SRC].as_ref().is_some_and(|h| h.departed);
+        let adopted = w.homes[TGT].as_ref().is_some_and(|h| h.adopted);
+        if departed && adopted {
+            ck.completed += 1;
+        }
+        // A target death must leave the source authoritative again.
+        if w.homes[TGT].is_none() && !w.mig_pending {
+            if let Some(src) = &w.homes[SRC] {
+                if src.m.migrated_to().is_none() {
+                    ck.aborted += 1;
+                }
+            }
+        }
+    }
+
+    fn m_state_key(w: &MigWorld) -> u64 {
+        let mut h = std::hash::DefaultHasher::new();
+        format!("{w:?}").hash(&mut h);
+        h.finish()
+    }
+
+    fn m_dfs(w: &MigWorld, depth: usize, ck: &mut MCk, trace: &mut Vec<String>) {
+        if !ck.seen.insert(m_state_key(w)) {
+            return;
+        }
+        if ck.seen.len() > ck.max_states {
+            mfail(
+                ck,
+                trace,
+                w,
+                "state-space budget exceeded (raise DARRAY_MC_MAX_STATES)",
+            );
+        }
+        m_check_safety(w, ck, trace);
+        let internal = m_internal(w);
+        if internal.is_empty() {
+            ck.quiescent += 1;
+            m_check_quiescence(w, ck, trace);
+        }
+        if depth >= ck.max_depth {
+            ck.depth_pruned += 1;
+            return;
+        }
+        let mut all = internal;
+        all.extend(m_external(w));
+        for tr in all {
+            let mut child = w.clone();
+            trace.push(m_label(w, tr));
+            m_apply(&mut child, ck, trace, tr);
+            m_dfs(&child, depth + 1, ck, trace);
+            trace.pop();
+        }
+    }
+
+    fn m_summarize(ck: &MCk, name: &str) {
+        println!(
+            "[{name}] states={} quiescent={} depth_pruned={} completed={} aborted={} \
+             migrations_out={} migrations_in={} parked_replays={} forwards={} kill_phases={:?}",
+            ck.seen.len(),
+            ck.quiescent,
+            ck.depth_pruned,
+            ck.completed,
+            ck.aborted,
+            ck.migrations_out,
+            ck.migrations_in,
+            ck.parked_replays,
+            ck.forwards,
+            ck.kill_phases,
+        );
+    }
+
+    /// Non-durable search: one migration, a requester issuing two
+    /// Read/Write requests plus one eviction, and one kill of source,
+    /// target, or requester injected at every point (with every surviving
+    /// message prefix). Proves single authority in every reachable state
+    /// and covers kills in every non-persist migration phase.
+    #[test]
+    fn migration_model_single_authority() {
+        let mut ck = MCk::new();
+        let w = MigWorld::new(2, 1, 1, false);
+        let mut trace = Vec::new();
+        m_dfs(&w, 0, &mut ck, &mut trace);
+        m_summarize(&ck, "migration");
+
+        assert!(ck.completed > 0, "no interleaving committed the migration");
+        assert!(ck.aborted > 0, "no target death was ever absorbed by abort");
+        assert!(ck.migrations_out > 0 && ck.migrations_in > 0);
+        assert!(
+            ck.parked_replays > 0,
+            "no request was ever parked behind the fence and replayed"
+        );
+        assert!(ck.forwards > 0, "no stale-home request was ever forwarded");
+        // Kills must land in every migration phase of the survivor that
+        // observes them: the source sees target/requester deaths in every
+        // outbound phase, the target sees source deaths while awaiting the
+        // commit.
+        for phase in [
+            "MigratingOut:Recall",
+            "MigratingOut:Drain",
+            "MigratingOut:AwaitAck",
+        ] {
+            assert!(
+                ck.kill_phases.contains(&("tgt", phase)),
+                "no target kill consumed during {phase}: {:?}",
+                ck.kill_phases
+            );
+        }
+        assert!(
+            ck.kill_phases.contains(&("req", "MigratingOut:Recall")),
+            "no requester kill consumed during the migration recall: {:?}",
+            ck.kill_phases
+        );
+        assert!(
+            ck.kill_phases.contains(&("src", "MigratingIn:AwaitCommit")),
+            "no source kill consumed while the target awaited the commit: {:?}",
+            ck.kill_phases
+        );
+        let min_states = env_usize("DARRAY_MC_MIN_STATES", 2_000);
+        assert!(
+            ck.seen.len() >= min_states,
+            "explored only {} states (< {min_states}); the model lost coverage",
+            ck.seen.len()
+        );
+    }
+
+    /// Durable search: the same migration with both logs live, proving the
+    /// no-acked-write-lost theorem (best-epoch-wins recovery always holds
+    /// the newest acknowledged value) and covering source kills during the
+    /// target's persist phase.
+    #[test]
+    fn migration_model_durable_no_lost_write() {
+        let mut ck = MCk::new();
+        let w = MigWorld::new(2, 1, 1, true);
+        let mut trace = Vec::new();
+        m_dfs(&w, 0, &mut ck, &mut trace);
+        m_summarize(&ck, "migration-durable");
+
+        assert!(ck.completed > 0, "no interleaving committed the migration");
+        assert!(
+            ck.kill_phases.contains(&("src", "MigratingIn:Persist")),
+            "no source kill consumed during the target's adopt-persist: {:?}",
+            ck.kill_phases
+        );
+        assert!(
+            ck.kill_phases.contains(&("src", "MigratingIn:AwaitCommit")),
+            "no source kill consumed while the target awaited the commit: {:?}",
+            ck.kill_phases
+        );
+        for phase in [
+            "MigratingOut:Recall",
+            "MigratingOut:Drain",
+            "MigratingOut:AwaitAck",
+        ] {
+            assert!(
+                ck.kill_phases.contains(&("tgt", phase)),
+                "no target kill consumed during {phase}: {:?}",
+                ck.kill_phases
+            );
+        }
+    }
 }

@@ -174,6 +174,17 @@ impl World {
                 HomeAction::PersistChunk { seq } => {
                     self.inflight.push(Reply::PersistDone(*seq));
                 }
+                // This harness never issues BeginMigration; the migration
+                // family has its own explicit-state search
+                // (protocol_check.rs::migration).
+                HomeAction::TransferChunk { .. }
+                | HomeAction::SendMigrateAck { .. }
+                | HomeAction::SendMigrateCommit { .. }
+                | HomeAction::DepartChunk { .. }
+                | HomeAction::AdoptChunk { .. }
+                | HomeAction::ForwardRequest { .. } => {
+                    panic!("migration action in a migration-free harness: {a:?}")
+                }
             }
         }
     }

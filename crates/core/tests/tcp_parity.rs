@@ -208,6 +208,83 @@ fn tcp_matches_sim_with_durability_enabled() {
     let _ = std::fs::remove_dir_all(&tcp_dir);
 }
 
+/// Elasticity must not disturb backend parity: a node join followed by two
+/// live chunk migrations (DESIGN.md §15) is a fault-free synchronous
+/// protocol exchange, so the transition counts — including the migration
+/// counters — are identical over dsim and TCP.
+#[test]
+fn tcp_matches_sim_through_join_and_migration() {
+    let elastic = |kind| {
+        let mut cfg = parity_config(kind);
+        cfg.elastic = true;
+        cfg.initial_nodes = Some(NODES - 1);
+        cfg
+    };
+    let run = |cfg: ClusterConfig| -> Vec<NodeStatsSnapshot> {
+        Sim::new(SimConfig::default()).run(move |ctx| {
+            let cluster = Cluster::new(ctx, cfg);
+            let arr = cluster.alloc::<u64>(
+                NODES * CHUNKS_PER_NODE * DEFAULT_CHUNK_SIZE,
+                ArrayOptions::default(),
+            );
+            // Phase 1: the active prefix dirties chunk 0 of node 0's
+            // partition so the migration carries a recalled, non-pristine
+            // image.
+            let arr1 = arr.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                if env.node < NODES - 1 {
+                    let a = arr1.on(env.node);
+                    for k in 0..8 {
+                        a.set(ctx, base(0, 0) + env.node * 8 + k, 7_000 + k as u64);
+                    }
+                }
+                env.barrier(ctx);
+            });
+            // Join the spare and re-home two chunks onto it: one dirtied,
+            // one untouched.
+            assert_eq!(cluster.join_peer(ctx, NODES - 1), NODES);
+            cluster.migrate_chunk(ctx, &arr, 0, NODES - 1);
+            cluster.migrate_chunk(ctx, &arr, 1, NODES - 1);
+            // Phase 2: every node reads through the new home; the joiner
+            // writes through an adopted chunk and the old home reads it
+            // back. The final cross-reads double as the drain phase.
+            let arr2 = arr.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                let a = arr2.on(env.node);
+                for w in 0..NODES - 1 {
+                    assert_eq!(a.get(ctx, base(0, 0) + w * 8), 7_000);
+                }
+                env.barrier(ctx);
+                if env.node == NODES - 1 {
+                    a.set(ctx, base(0, 1) + 3, 42);
+                }
+                env.barrier(ctx);
+                assert_eq!(a.get(ctx, base(0, 1) + 3), 42);
+                env.barrier(ctx);
+                for d in 1..NODES {
+                    let h = (env.node + d) % NODES;
+                    assert_eq!(a.get(ctx, base(h, 5) + env.node), 0);
+                }
+                env.barrier(ctx);
+            });
+            let stats = (0..NODES).map(|n| cluster.stats(n)).collect();
+            cluster.shutdown(ctx);
+            stats
+        })
+    };
+    let sim = run(elastic(TransportKind::Sim));
+    let tcp = run(elastic(TransportKind::Tcp));
+    for node in 0..NODES {
+        assert_eq!(
+            protocol_view(sim[node]),
+            protocol_view(tcp[node]),
+            "node {node}: elastic protocol counters must not depend on the backend"
+        );
+    }
+    assert_eq!(sim[0].migrations_out, 2, "{:?}", sim[0]);
+    assert_eq!(sim[NODES - 1].migrations_in, 2, "{:?}", sim[NODES - 1]);
+}
+
 #[test]
 fn tcp_transport_counters_surface_in_stats() {
     let mut cfg = parity_config(TransportKind::Tcp);

@@ -813,6 +813,136 @@ fn kill_restart_roundtrip(runtime_threads: usize, dir_name: &str) {
     });
 }
 
+/// Kill the *target* of a live chunk migration mid-transfer, across 8
+/// seeds: the joiner is admitted, caches the chunk, and dies at a fixed
+/// instant — exactly as the re-homing of that chunk begins. The source's
+/// fence stalls against the corpse (the recall's invalidate and then the
+/// transfer land on a dead link), the migration's own retries drive the
+/// death confirmation, and the source must abort the move and re-assume
+/// the chunk with byte-identical contents, still serving reads and writes.
+#[test]
+fn kill_migration_target_source_reassumes_bit_identical() {
+    const KILL_NS: u64 = 5_000_000;
+    const CHUNK0: usize = 0; // homed on node 0 under the 2-node prefix
+    let mut golden: Option<Vec<u64>> = None;
+    for seed in [3, 5, 11, 17, 23, 31, 47, 0xC0FFEE] {
+        let (contents, snaps) = Sim::new(SimConfig::default()).run(move |ctx| {
+            let mut plan = FaultPlan::new(seed);
+            plan.jitter_ns = 600;
+            plan.stall_ppm = 2_000;
+            plan.stall_ns = (5_000, 25_000);
+            plan.crash_at = vec![(2, KILL_NS)];
+            let mut fc = FaultConfig::new(plan);
+            fc.rpc_timeout_ns = 50_000;
+            fc.max_retries = 3;
+            let mut cfg = ClusterConfig::with_nodes(NODES);
+            cfg.elastic = true;
+            cfg.initial_nodes = Some(2);
+            cfg.fault = Some(fc);
+            let cluster = Cluster::new(ctx, cfg);
+            let arr = cluster.alloc_with::<u64>(LEN, ArrayOptions::default(), |i| i as u64);
+
+            // Phase 1: node 1 dirties the soon-to-migrate chunk remotely.
+            let arr1 = arr.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                if env.node == 1 {
+                    let a = arr1.on(env.node);
+                    for k in 0..16 {
+                        a.set(ctx, CHUNK0 + k, 1_000 + k as u64);
+                    }
+                }
+            });
+
+            // Join the spare, then let it cache the chunk so the migration
+            // fence has a right to recall from the (about to die) target.
+            assert_eq!(cluster.join_peer(ctx, 2), NODES, "seed {seed}");
+            let arr2 = arr.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                if env.node == 2 {
+                    let a = arr2.on(env.node);
+                    for k in 0..16 {
+                        assert_eq!(a.get(ctx, CHUNK0 + k), 1_000 + k as u64);
+                    }
+                }
+            });
+            assert!(
+                ctx.now() < KILL_NS,
+                "seed {seed}: setup overran the kill instant ({})",
+                ctx.now()
+            );
+
+            // Start the re-homing at the kill instant: the target dies as
+            // the transfer begins, before it can possibly ack, so the only
+            // settled outcome is the abort. `migrate_chunk` observes it.
+            ctx.sleep_until(KILL_NS);
+            let moved = cluster.migrate_chunk(ctx, &arr, 0, 2);
+            assert!(
+                !moved,
+                "seed {seed}: migration to a corpse must settle as aborted"
+            );
+
+            // Phase 2: the source serves the chunk again — byte-identical
+            // contents, and fresh writes still coherent across survivors.
+            let arr3 = arr.clone();
+            let contents = Arc::new(Mutex::new(Vec::new()));
+            let out = contents.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                let a = arr3.on(env.node);
+                match env.node {
+                    0 => {
+                        for k in 0..16 {
+                            assert_eq!(
+                                a.get(ctx, CHUNK0 + k),
+                                1_000 + k as u64,
+                                "seed {seed}: re-assumed chunk lost a write"
+                            );
+                        }
+                        let mut v = Vec::with_capacity(512);
+                        for i in 0..512 {
+                            v.push(a.get(ctx, i));
+                        }
+                        *out.lock().unwrap() = v;
+                        a.set(ctx, 20, 77); // write through the re-assumed home
+                    }
+                    1 => {
+                        for k in 0..16 {
+                            assert_eq!(a.get(ctx, CHUNK0 + k), 1_000 + k as u64);
+                        }
+                        while a.get(ctx, 20) != 77 {
+                            ctx.sleep(20_000);
+                        }
+                    }
+                    _ => {} // the corpse
+                }
+            });
+            let snaps: Vec<NodeStatsSnapshot> = (0..NODES).map(|n| cluster.stats(n)).collect();
+            cluster.shutdown(ctx);
+            let v = contents.lock().unwrap().clone();
+            (v, snaps)
+        });
+        let (s0, s1) = (&snaps[0], &snaps[1]);
+        assert_eq!(
+            s0.migrations_out, 0,
+            "seed {seed}: an aborted move must not count as a migration: {s0:?}"
+        );
+        assert!(
+            s0.peers_down >= 1,
+            "seed {seed}: the stalled transfer never confirmed the death: {s0:?}"
+        );
+        // Node 1 only *votes* in the source's quorum poll; with no traffic
+        // of its own into the corpse it may never declare the death — only
+        // the source (node 0, where the fence stalled) must.
+        let _ = s1;
+        match &golden {
+            None => golden = Some(contents),
+            Some(g) => assert_eq!(
+                &contents, g,
+                "seed {seed}: re-assumed chunk contents are not bit-identical"
+            ),
+        }
+    }
+}
+
 /// Kill-then-restart, warm: a partition gets node 0 excommunicated by the
 /// majority (and the minority excommunicates everyone back); after the
 /// partition heals, `Cluster::restart_peer` re-admits each side between run
