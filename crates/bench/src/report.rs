@@ -87,6 +87,15 @@ pub struct ProtocolTraffic {
     pub log_replays: u64,
     /// Distinct chunk images recovered from the durable log at bring-up.
     pub recovered_chunks: u64,
+    /// Bytes held in the durable chunk logs, summed over nodes (zero when
+    /// `durability.policy` is `None`).
+    pub log_bytes: u64,
+    /// Bytes of the newest durable checkpoint sidecars, summed over nodes.
+    pub checkpoint_bytes: u64,
+    /// Checkpoints taken by the chunk stores (periodic + on-demand).
+    pub compactions: u64,
+    /// Log records dropped by compaction truncation, summed over nodes.
+    pub truncated_records: u64,
     /// Chunks handed to a new home by committed migrations (elastic mode).
     pub migrations_out: u64,
     /// Chunk migrations adopted as the new authoritative home.
@@ -125,6 +134,10 @@ impl ProtocolTraffic {
         self.flush_persists += s.flush_persists;
         self.log_replays += s.log_replays;
         self.recovered_chunks += s.recovered_chunks;
+        self.log_bytes += s.log_bytes;
+        self.checkpoint_bytes += s.checkpoint_bytes;
+        self.compactions += s.compactions;
+        self.truncated_records += s.truncated_records;
         self.migrations_out += s.migrations_out;
         self.migrations_in += s.migrations_in;
         self.parked_replays += s.parked_replays;
@@ -152,6 +165,8 @@ impl ProtocolTraffic {
              \"orphaned_locks_reclaimed\":{},\"suspicions\":{},\"refutations\":{},\
              \"confirmed_deaths\":{},\"membership_epoch\":{},\
              \"flush_persists\":{},\"log_replays\":{},\"recovered_chunks\":{},\
+             \"log_bytes\":{},\"checkpoint_bytes\":{},\"compactions\":{},\
+             \"truncated_records\":{},\
              \"migrations_out\":{},\"migrations_in\":{},\"parked_replays\":{},\
              \"bytes_tx\":{},\"bytes_rx\":{},\"frames\":{},\"completions\":{}}}",
             self.fills,
@@ -172,6 +187,10 @@ impl ProtocolTraffic {
             self.flush_persists,
             self.log_replays,
             self.recovered_chunks,
+            self.log_bytes,
+            self.checkpoint_bytes,
+            self.compactions,
+            self.truncated_records,
             self.migrations_out,
             self.migrations_in,
             self.parked_replays,
@@ -287,6 +306,10 @@ mod tests {
             flush_persists: 16,
             log_replays: 17,
             recovered_chunks: 18,
+            log_bytes: 26,
+            checkpoint_bytes: 27,
+            compactions: 28,
+            truncated_records: 29,
             migrations_out: 23,
             migrations_in: 24,
             parked_replays: 25,
@@ -315,6 +338,10 @@ mod tests {
             "\"flush_persists\":16",
             "\"log_replays\":17",
             "\"recovered_chunks\":18",
+            "\"log_bytes\":26",
+            "\"checkpoint_bytes\":27",
+            "\"compactions\":28",
+            "\"truncated_records\":29",
             "\"migrations_out\":23",
             "\"migrations_in\":24",
             "\"parked_replays\":25",

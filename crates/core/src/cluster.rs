@@ -216,11 +216,14 @@ impl Cluster {
                 .expect("checked by try_validate");
             let mut v: Vec<Option<Arc<dyn ChunkStore>>> = Vec::with_capacity(nodes);
             for (n, node_stats) in stats.iter().enumerate() {
-                let store =
-                    LogChunkStore::open(&dir.join(format!("node{n}.log")), cfg.durability.policy)
-                        .map_err(|e| crate::ConfigError::DurabilityBringUp {
-                        message: e.to_string(),
-                    })?;
+                let store = LogChunkStore::open_with(
+                    &dir.join(format!("node{n}.log")),
+                    cfg.durability.policy,
+                    cfg.durability.checkpoint_config(),
+                )
+                .map_err(|e| crate::ConfigError::DurabilityBringUp {
+                    message: e.to_string(),
+                })?;
                 let st = store.stats();
                 node_stats
                     .log_replays
@@ -230,14 +233,15 @@ impl Cluster {
                     .fetch_add(st.recovered_chunks, std::sync::atomic::Ordering::Relaxed);
                 v.push(Some(Arc::new(store)));
             }
-            // First incarnation binds the directory to this thread count;
+            // First incarnation binds the directory to this cluster shape;
             // `try_validate` already rejected any mismatch with an earlier
-            // record (ConfigError::RuntimeThreadsChanged).
-            crate::config::write_incarnation_meta(dir, cfg.runtime_threads).map_err(|e| {
-                crate::ConfigError::DurabilityBringUp {
+            // record (ConfigError::RuntimeThreadsChanged /
+            // ClusterNodesChanged).
+            crate::config::write_incarnation_meta(dir, cfg.runtime_threads, cfg.nodes).map_err(
+                |e| crate::ConfigError::DurabilityBringUp {
                     message: e.to_string(),
-                }
-            })?;
+                },
+            )?;
             v
         } else {
             (0..nodes).map(|_| None).collect()
@@ -419,6 +423,9 @@ impl Cluster {
                 }
             }
         }
+        // Chunks overlaid from a recovered image, with their authoritative
+        // (post-recovery) home — the input to the cold-cache warmup below.
+        let mut warm: Vec<(usize, usize)> = Vec::new();
         for n in 0..nodes {
             let elems = arr.layout.node_elems(n);
             for i in elems {
@@ -485,7 +492,43 @@ impl Cluster {
                     // otherwise a second crash's latest-epoch-wins replay
                     // would resurrect this pre-restart image.
                     arr.per_node[n].home[c].lock().resume_persist_seq(rec.epoch);
+                    warm.push((c, n));
                 }
+            }
+        }
+        // Cold-cache warmup (DESIGN.md §14): a recovered checkpoint/log
+        // image is the one copy of the chunk guaranteed fresh at bring-up;
+        // seed read-only Shared copies of it into the other nodes' caches
+        // so the first post-restart reads hit locally instead of paying one
+        // cold fill per line. Strictly an optimization — warming stops the
+        // moment it would push a pool into its eviction band, and
+        // still-joining spares are skipped. Each warmed node is registered
+        // in the home machine's sharer set, so later writes invalidate the
+        // seeded copies through the ordinary protocol.
+        for &(c, h) in &warm {
+            let line_words = self.shared.cfg.cache.line_words;
+            let img = arr.subarrays[h].read_vec(arr.chunk_off(c), chunk_size);
+            let r = self.shared.placement.rt_index(id, c as u32);
+            for m in 0..nodes {
+                if m == h || self.shared.membership[m].is_joining(m) {
+                    continue;
+                }
+                let pool = &self.shared.cache_pools[m][r];
+                let Some(line) = pool.alloc(id, c as u32) else {
+                    continue;
+                };
+                if pool.below_high() {
+                    pool.free(line);
+                    continue;
+                }
+                let dst = line as usize * line_words;
+                for (i, &word) in img.iter().enumerate() {
+                    self.shared.cache_regions[m].store(dst + i, word);
+                }
+                let d = &arr.per_node[m].dentries[c];
+                d.set_line(line);
+                d.promote_to(crate::state::LocalState::Shared, crate::protocol::NOTAG);
+                arr.per_node[h].home[c].lock().seed_sharer(m);
             }
         }
         // Subarrays are WRITE targets for evictions/writebacks: register
@@ -542,7 +585,30 @@ impl Cluster {
         snap.bytes_rx = t.bytes_rx;
         snap.frames = t.frames;
         snap.completions = t.completions;
+        if let Some(store) = &self.shared.stores[node] {
+            let st = store.stats();
+            snap.log_bytes = st.log_bytes;
+            snap.checkpoint_bytes = st.checkpoint_bytes;
+            snap.compactions = st.compactions;
+            snap.truncated_records = st.truncated_records;
+        }
         snap
+    }
+
+    /// Checkpoint barrier: snapshot every node's durable chunk store into
+    /// its checkpoint sidecar and (when `durability.compact` is on) drop
+    /// the covered log prefix — the explicit checkpoint/restore point for
+    /// an operator-driven backup, independent of the periodic
+    /// `checkpoint_every_persists` trigger. Call between [`Cluster::run`]
+    /// phases, when no application request is in flight: each store's
+    /// buffered records are flushed and synced before its image is
+    /// captured, so the sidecars jointly hold every write acknowledged
+    /// before the call. No-op (returns `Ok`) without durability.
+    pub fn checkpoint_all(&self) -> std::io::Result<()> {
+        for store in self.shared.stores.iter().flatten() {
+            store.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Per-runtime-thread cache-pool snapshots of `node`, in thread order.

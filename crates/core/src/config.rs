@@ -167,12 +167,33 @@ pub struct DurabilityConfig {
     /// Directory holding the per-node logs. Required (and created if
     /// absent) when `policy` is not `None`; ignored otherwise.
     pub dir: Option<PathBuf>,
+    /// Take a full-image checkpoint of each node's store once this many
+    /// records have been persisted since the last one (polled at the
+    /// runtime's batch points: eviction scans, epoch closes). `None`
+    /// (default) disables periodic checkpoints; explicit
+    /// `Cluster::checkpoint_all` calls still work. Requires a durable
+    /// `policy`; `Some(0)` is rejected by validation.
+    pub checkpoint_every_persists: Option<u64>,
+    /// Truncate the compacted log prefix after each successful checkpoint
+    /// (DESIGN.md §14, "Compaction and checkpointing"): reopen then
+    /// replays the checkpoint image plus the short log suffix instead of
+    /// the full persist history. `false` (default) keeps the append-only
+    /// log whole; setting it requires a durable `policy`.
+    pub compact: bool,
 }
 
 impl DurabilityConfig {
     /// Durability enabled?
     pub fn enabled(&self) -> bool {
         self.policy != DurabilityPolicy::None
+    }
+
+    /// The store-level checkpoint knobs this configuration selects.
+    pub(crate) fn checkpoint_config(&self) -> crate::store::CheckpointConfig {
+        crate::store::CheckpointConfig {
+            every_persists: self.checkpoint_every_persists,
+            compact: self.compact,
+        }
     }
 }
 
@@ -390,6 +411,16 @@ impl ClusterConfig {
                 policy: self.durability.policy.name(),
             });
         }
+        if self.durability.checkpoint_every_persists == Some(0) {
+            // A zero interval would checkpoint after every persist: each
+            // ack would pay a full-image snapshot. Degenerate, rejected.
+            return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        if !self.durability.enabled()
+            && (self.durability.checkpoint_every_persists.is_some() || self.durability.compact)
+        {
+            return Err(ConfigError::CheckpointWithoutDurability);
+        }
         if let Some(active) = self.initial_nodes {
             if !self.elastic {
                 return Err(ConfigError::InitialNodesWithoutElastic);
@@ -402,19 +433,30 @@ impl ClusterConfig {
             }
         }
         if self.durability.enabled() {
-            // Incarnation guard: the chunk→runtime-thread placement is part
-            // of the recovery contract (each replayed persist sequence is
-            // resumed by the chunk's owning thread, and the cache pools are
-            // tiled per thread), so a log directory written under one
-            // thread count must not be replayed under another. The first
-            // incarnation records its count (`Cluster::try_new`); later
-            // ones are validated against it here.
+            // Incarnation guard: both the node count and the chunk→
+            // runtime-thread placement are part of the recovery contract
+            // (the even partition tiles chunks across nodes, each replayed
+            // persist sequence is resumed by the chunk's owning thread,
+            // and the cache pools are tiled per thread), so a log
+            // directory written under one shape must not be replayed
+            // under another. The first incarnation records its shape
+            // (`Cluster::try_new`); later ones are validated against it
+            // here.
             if let Some(dir) = &self.durability.dir {
-                if let Some(recorded) = read_incarnation_meta(dir) {
+                let meta = read_incarnation_meta(dir);
+                if let Some(recorded) = meta.runtime_threads {
                     if recorded != self.runtime_threads {
                         return Err(ConfigError::RuntimeThreadsChanged {
                             recorded,
                             configured: self.runtime_threads,
+                        });
+                    }
+                }
+                if let Some(recorded) = meta.nodes {
+                    if recorded != self.nodes {
+                        return Err(ConfigError::ClusterNodesChanged {
+                            recorded,
+                            configured: self.nodes,
                         });
                     }
                 }
@@ -444,31 +486,52 @@ impl ClusterConfig {
 }
 
 /// Name of the incarnation-metadata file a durable cluster writes into its
-/// log directory, binding the directory to the thread count that produced
+/// log directory, binding the directory to the cluster shape that produced
 /// it (see the incarnation guard in [`ClusterConfig::try_validate`]).
 pub(crate) const CLUSTER_META: &str = "cluster.meta";
 
-/// Read the recorded `runtime_threads` of the incarnation that first used
-/// `dir`, if any. A missing or unparsable file means "no prior incarnation"
-/// (the guard only fires on a *recorded* mismatch, never on absence).
-pub(crate) fn read_incarnation_meta(dir: &std::path::Path) -> Option<usize> {
-    let text = std::fs::read_to_string(dir.join(CLUSTER_META)).ok()?;
-    text.lines()
-        .find_map(|l| l.strip_prefix("runtime_threads=")?.trim().parse().ok())
+/// The cluster shape recorded by the incarnation that first used a
+/// durability directory. Either field may be absent (older-format files
+/// recorded only `runtime_threads`); the guard only fires on a *recorded*
+/// mismatch, never on absence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct IncarnationMeta {
+    pub runtime_threads: Option<usize>,
+    pub nodes: Option<usize>,
 }
 
-/// Record `runtime_threads` for `dir`'s first incarnation. Later calls are
+/// Read the shape recorded by the incarnation that first used `dir`. A
+/// missing or unparsable file means "no prior incarnation".
+pub(crate) fn read_incarnation_meta(dir: &std::path::Path) -> IncarnationMeta {
+    let Ok(text) = std::fs::read_to_string(dir.join(CLUSTER_META)) else {
+        return IncarnationMeta::default();
+    };
+    IncarnationMeta {
+        runtime_threads: text
+            .lines()
+            .find_map(|l| l.strip_prefix("runtime_threads=")?.trim().parse().ok()),
+        nodes: text
+            .lines()
+            .find_map(|l| l.strip_prefix("nodes=")?.trim().parse().ok()),
+    }
+}
+
+/// Record the cluster shape for `dir`'s first incarnation. Later calls are
 /// no-ops: the original record is the contract, and `try_validate` has
 /// already checked the running configuration against it.
 pub(crate) fn write_incarnation_meta(
     dir: &std::path::Path,
     runtime_threads: usize,
+    nodes: usize,
 ) -> std::io::Result<()> {
     let path = dir.join(CLUSTER_META);
     if path.exists() {
         return Ok(());
     }
-    std::fs::write(path, format!("runtime_threads={runtime_threads}\n"))
+    std::fs::write(
+        path,
+        format!("runtime_threads={runtime_threads}\nnodes={nodes}\n"),
+    )
 }
 
 /// Per-array options passed at construction (Figure 3's constructor).
@@ -706,6 +769,95 @@ mod tests {
         c.durability.dir = Some(PathBuf::from("/tmp/darray-logs"));
         assert_eq!(c.try_validate(), Ok(()));
         assert!(!c.durability.enabled());
+    }
+
+    #[test]
+    fn checkpoint_knobs_are_validated() {
+        let durable = || {
+            let mut c = ClusterConfig::default();
+            c.durability.policy = DurabilityPolicy::Writeback;
+            c.durability.dir = Some(PathBuf::from("/tmp/darray-logs"));
+            c
+        };
+        let mut c = durable();
+        c.durability.checkpoint_every_persists = Some(64);
+        c.durability.compact = true;
+        assert_eq!(c.try_validate(), Ok(()));
+        // A zero interval would snapshot the store on every ack.
+        let mut c = durable();
+        c.durability.checkpoint_every_persists = Some(0);
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroCheckpointInterval));
+        // Checkpoint knobs without a durable policy are degenerate: there
+        // is no store to checkpoint.
+        let mut c = ClusterConfig::default();
+        c.durability.checkpoint_every_persists = Some(64);
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::CheckpointWithoutDurability)
+        );
+        let mut c = ClusterConfig::default();
+        c.durability.compact = true;
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::CheckpointWithoutDurability)
+        );
+    }
+
+    #[test]
+    fn incarnation_guard_rejects_changed_shape() {
+        let dir =
+            std::env::temp_dir().join(format!("darray-config-incarnation-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = |threads: usize, nodes: usize| {
+            let mut c = ClusterConfig {
+                nodes,
+                runtime_threads: threads,
+                ..Default::default()
+            };
+            c.durability.policy = DurabilityPolicy::Writethrough;
+            c.durability.dir = Some(dir.clone());
+            c
+        };
+        // No meta yet: any shape validates.
+        assert_eq!(base(2, 3).try_validate(), Ok(()));
+        write_incarnation_meta(&dir, 2, 3).unwrap();
+        assert_eq!(base(2, 3).try_validate(), Ok(()));
+        assert_eq!(
+            base(4, 3).try_validate(),
+            Err(ConfigError::RuntimeThreadsChanged {
+                recorded: 2,
+                configured: 4
+            })
+        );
+        assert_eq!(
+            base(2, 5).try_validate(),
+            Err(ConfigError::ClusterNodesChanged {
+                recorded: 3,
+                configured: 5
+            })
+        );
+        // Old-format meta (runtime_threads only): the node-count guard
+        // never fires on absence.
+        std::fs::write(dir.join(CLUSTER_META), "runtime_threads=2\n").unwrap();
+        assert_eq!(base(2, 7).try_validate(), Ok(()));
+        assert_eq!(
+            base(1, 7).try_validate(),
+            Err(ConfigError::RuntimeThreadsChanged {
+                recorded: 2,
+                configured: 1
+            })
+        );
+        // Later writes never clobber the first incarnation's record.
+        write_incarnation_meta(&dir, 9, 9).unwrap();
+        assert_eq!(
+            read_incarnation_meta(&dir),
+            IncarnationMeta {
+                runtime_threads: Some(2),
+                nodes: None
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

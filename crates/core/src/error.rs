@@ -172,6 +172,19 @@ pub enum ConfigError {
     /// different `runtime_threads`: chunk→thread placement is part of the
     /// recovery contract, so the log cannot be replayed under this count.
     RuntimeThreadsChanged { recorded: usize, configured: usize },
+    /// The durability directory was written by an incarnation with a
+    /// different node count: the even partition (chunk→home placement) is
+    /// part of the recovery contract, so replaying node `k`'s log into a
+    /// differently-shaped cluster would rehome every recovered chunk.
+    ClusterNodesChanged { recorded: usize, configured: usize },
+    /// `durability.checkpoint_every_persists == Some(0)`: every persist
+    /// would trigger a full-image checkpoint, turning each ack into a
+    /// snapshot of the whole store.
+    ZeroCheckpointInterval,
+    /// `durability.checkpoint_every_persists` or `durability.compact` is
+    /// set while `durability.policy` is `none`: there is no store to
+    /// checkpoint or compact.
+    CheckpointWithoutDurability,
 }
 
 impl fmt::Display for ConfigError {
@@ -275,6 +288,27 @@ impl fmt::Display for ConfigError {
                  is part of the recovery contract, so reuse the recorded count or a \
                  fresh directory"
             ),
+            ConfigError::ClusterNodesChanged {
+                recorded,
+                configured,
+            } => write!(
+                f,
+                "durability.dir was written by an incarnation with nodes = {recorded}, \
+                 but this configuration sets {configured}; the even partition is part \
+                 of the recovery contract, so reuse the recorded node count or a fresh \
+                 directory"
+            ),
+            ConfigError::ZeroCheckpointInterval => write!(
+                f,
+                "durability.checkpoint_every_persists must be nonzero: a zero interval \
+                 would snapshot the whole store on every persisted ack"
+            ),
+            ConfigError::CheckpointWithoutDurability => write!(
+                f,
+                "durability.checkpoint_every_persists / durability.compact require a \
+                 durable durability.policy: with policy = none there is no store to \
+                 checkpoint or compact"
+            ),
         }
     }
 }
@@ -358,6 +392,19 @@ mod tests {
         }
         .to_string()
         .contains("permission denied"));
+        let s = ConfigError::ClusterNodesChanged {
+            recorded: 3,
+            configured: 5,
+        }
+        .to_string();
+        assert!(s.contains("nodes = 3"), "recorded count surfaced: {s}");
+        assert!(s.contains('5'), "configured count surfaced: {s}");
+        assert!(ConfigError::ZeroCheckpointInterval
+            .to_string()
+            .contains("checkpoint_every_persists"));
+        assert!(ConfigError::CheckpointWithoutDurability
+            .to_string()
+            .contains("durability.policy"));
         let e = DArrayError::Config(ConfigError::ZeroFrameWords);
         assert!(e.to_string().contains("invalid ClusterConfig"));
         assert_eq!(

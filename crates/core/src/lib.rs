@@ -81,8 +81,8 @@ pub use array::DArray;
 pub use cache::PoolStats;
 pub use cluster::{Cluster, GlobalArray, NodeEnv};
 pub use config::{
-    default_runtime_threads, AccessPath, ArrayOptions, CacheConfig, ClusterConfig, FaultConfig,
-    TcpTransportConfig, TransportKind, DEFAULT_CHUNK_SIZE,
+    default_runtime_threads, AccessPath, ArrayOptions, CacheConfig, ClusterConfig,
+    DurabilityConfig, FaultConfig, TcpTransportConfig, TransportKind, DEFAULT_CHUNK_SIZE,
 };
 pub use element::Element;
 pub use error::{ConfigError, DArrayError, UnavailableKind};
@@ -93,7 +93,9 @@ pub use op::{OpId, OpRegistry};
 pub use pin::{PinMode, Pinned};
 pub use state::{table1_rows, DirState, LocalState, Rights, Table1Row};
 pub use stats::{NodeStats, NodeStatsSnapshot};
-pub use store::{ChunkStore, DurabilityPolicy, LogChunkStore, RecoveredChunk, StoreStats};
+pub use store::{
+    CheckpointConfig, ChunkStore, DurabilityPolicy, LogChunkStore, RecoveredChunk, StoreStats,
+};
 
 // Re-export the substrate types callers need to configure a cluster.
 pub use dsim::{Ctx, Sim, SimBarrier, SimConfig, VTime};

@@ -506,6 +506,27 @@ impl<W> HomeMachine<W> {
         self.persist_seq = self.persist_seq.max(epoch);
     }
 
+    /// Register `node` as holding a warm read-only copy of this chunk
+    /// (cold-cache warmup from a recovered checkpoint image). Legal only at
+    /// bring-up, before the machine has seen events: Unshared becomes
+    /// Shared and an existing Shared set grows; any other state is a
+    /// bring-up bug.
+    pub fn seed_sharer(&mut self, node: NodeId) {
+        match &mut self.state {
+            DirState::Unshared => {
+                self.state = DirState::Shared {
+                    sharers: vec![node],
+                };
+            }
+            DirState::Shared { sharers } => {
+                if !sharers.contains(&node) {
+                    sharers.push(node);
+                }
+            }
+            s => panic!("seed_sharer at bring-up in state {s:?}"),
+        }
+    }
+
     /// The current stable directory state.
     pub fn state(&self) -> &DirState {
         &self.state

@@ -383,6 +383,15 @@ impl RuntimeThread {
                 store
                     .persist(arr.id, chunk, seq, &data)
                     .expect("durable chunk store persist failed");
+                // Epoch-close compaction trigger (DESIGN.md §14): the
+                // persist counter just advanced, so poll the cheap
+                // threshold check. Home-heavy nodes may never run an
+                // eviction scan, so this is the trigger that actually
+                // fires for them; `maybe_checkpoint` is a no-op unless
+                // `checkpoint_every_persists` is due.
+                store
+                    .maybe_checkpoint()
+                    .expect("durable chunk store checkpoint failed");
                 self.home_event(ctx, arr.id, chunk, HomeEvent::PersistDone { seq });
             }
             HomeAction::TransferChunk { to, mig_epoch } => {
@@ -923,6 +932,13 @@ impl RuntimeThread {
             ) {
                 store.sync().expect("durable chunk store batch sync failed");
             }
+            // Eviction-scan compaction boundary: the log is now synced (or
+            // syncs per record under Writethrough), which is the cheapest
+            // moment to fold it into a checkpoint and drop the covered
+            // prefix. No-op unless the persist threshold is due.
+            store
+                .maybe_checkpoint()
+                .expect("durable chunk store checkpoint failed");
         }
     }
 

@@ -138,6 +138,20 @@ pub struct NodeStatsSnapshot {
     pub frames: u64,
     /// Completion events the transport observed for posted work.
     pub completions: u64,
+    /// Bytes currently held by this node's durable chunk log (header plus
+    /// framed records, including the not-yet-compacted suffix). Filled in
+    /// by `Cluster::stats` from the chunk store; always zero in a bare
+    /// [`NodeStats::snapshot`] and under `durability.policy = none`.
+    pub log_bytes: u64,
+    /// Bytes of this node's newest durable checkpoint sidecar (0 before
+    /// the first checkpoint).
+    pub checkpoint_bytes: u64,
+    /// Checkpoints taken by this node's chunk store (periodic trigger plus
+    /// explicit `Cluster::checkpoint_all` calls).
+    pub compactions: u64,
+    /// Log records dropped by compaction — the prefix covered by a
+    /// checkpoint generation and truncated from the log.
+    pub truncated_records: u64,
 }
 
 impl NodeStats {
@@ -194,6 +208,12 @@ impl NodeStats {
             bytes_rx: 0,
             frames: 0,
             completions: 0,
+            // Store counters live in the chunk store; `Cluster::stats`
+            // overlays them too.
+            log_bytes: 0,
+            checkpoint_bytes: 0,
+            compactions: 0,
+            truncated_records: 0,
         }
     }
 }

@@ -256,6 +256,68 @@ struct World {
     acked_seq: u64,
     /// How many node restarts may still be injected.
     restart_budget: u8,
+    /// Persist seq covered by the newest on-disk checkpoint generation
+    /// (`.ckpt`), `None` when absent. Survives home kills — it is a file.
+    ckpt: Option<u64>,
+    /// Persist seq covered by the previous generation (`.ckpt.prev`) — the
+    /// fallback a torn/CRC-bad newest checkpoint recovers from.
+    ckpt_prev: Option<u64>,
+    /// Highest seq whose log record compaction has truncated away. The
+    /// lag-by-one rule keeps `trunc_floor <= ckpt_prev`: only the prefix
+    /// covered by the *fallback* generation is ever dropped.
+    trunc_floor: u64,
+    /// An in-flight compaction: `(snapshot seq, next phase)`. Erased by a
+    /// home kill — phases already applied are on disk, the rest never run.
+    compacting: Option<(u64, CkPhase)>,
+    /// How many compaction sequences may still be started.
+    compact_budget: u8,
+}
+
+/// The crash-atomic phases of `LogChunkStore::checkpoint` (DESIGN.md §14),
+/// in execution order. Each phase is one atomic disk operation (buffered
+/// write + fsync, or a rename); the checker kills the home *between* any
+/// two of them, which — together with each operation's own atomicity — is
+/// exactly "a crash at any byte of the compaction sequence".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CkPhase {
+    /// Write the full image to `.ckpt.tmp` and fsync it. Invisible to
+    /// recovery: reopen deletes stale tmp files.
+    WriteTmp,
+    /// Rotate `.ckpt` → `.ckpt.prev`. The newest generation is momentarily
+    /// absent; recovery in this window falls back to `.prev`.
+    Rotate,
+    /// Rename `.ckpt.tmp` → `.ckpt` (atomic): the new generation lands.
+    Rename,
+    /// Truncate the log prefix covered by `.ckpt.prev` (lag-by-one).
+    Truncate,
+}
+
+impl CkPhase {
+    fn name(self) -> &'static str {
+        match self {
+            CkPhase::WriteTmp => "WriteTmp",
+            CkPhase::Rotate => "Rotate",
+            CkPhase::Rename => "Rename",
+            CkPhase::Truncate => "Truncate",
+        }
+    }
+}
+
+/// What a reopen of the modeled store recovers: the newest readable
+/// checkpoint generation (`.ckpt`, falling back to `.prev` when absent or
+/// torn — torn collapses to absent here, the CRC frame rejects it in full)
+/// overlaid with the log suffix `(trunc_floor, disk_seq]`. A sound store
+/// keeps every fallback generation ≥ `trunc_floor`, so the suffix splices
+/// onto the checkpoint with no gap; if compaction ever truncated past the
+/// fallback, the writes in the gap are gone and this returns less than
+/// `disk_seq` — which the `acked_seq` safety check then catches.
+fn recoverable(w: &World) -> u64 {
+    let best = w.ckpt.or(w.ckpt_prev).unwrap_or(0);
+    if best >= w.trunc_floor {
+        best.max(w.disk_seq)
+    } else {
+        best
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -301,6 +363,20 @@ struct Ck {
     home_restarts: usize,
     /// Remote restarts (`HomeEvent::PeerRestarted` un-fencing) injected.
     remote_restarts: usize,
+    /// Compaction sequences started (`StartCompaction` stimuli).
+    compactions_started: usize,
+    /// Compaction sequences that ran all four phases to completion.
+    compactions_completed: usize,
+    /// Phase names a home kill landed in while a compaction was in flight —
+    /// the snapshot→rename→truncate crash matrix must cover all four.
+    killed_mid_compaction: HashSet<&'static str>,
+    /// Home restarts that recovered through a checkpoint generation (not
+    /// pure log replay).
+    restarts_from_checkpoint: usize,
+    /// Simultaneous two-victim kills injected (`KillBoth`).
+    double_kills: usize,
+    /// Reachable states in which the home had confirmed BOTH remote deaths.
+    both_dead_states: usize,
 }
 
 impl Ck {
@@ -328,6 +404,12 @@ impl Ck {
             killed_mid_persist: 0,
             home_restarts: 0,
             remote_restarts: 0,
+            compactions_started: 0,
+            compactions_completed: 0,
+            killed_mid_compaction: HashSet::new(),
+            restarts_from_checkpoint: 0,
+            double_kills: 0,
+            both_dead_states: 0,
         }
     }
 }
@@ -400,6 +482,17 @@ enum Tr {
         keep: [usize; 2],
         flush_disk: bool,
     },
+    /// Kill BOTH remotes at once — two simultaneous quorum-confirmed
+    /// deaths, each with its own surviving prefix. Costs two kill budget.
+    KillBoth {
+        keep: [usize; 2],
+    },
+    /// Begin a checkpoint/compaction sequence (durable mode): snapshot the
+    /// synced log (`disk_seq`) and walk the [`CkPhase`] ladder.
+    StartCompaction,
+    /// The store executes the next compaction phase (guaranteed progress —
+    /// `checkpoint` runs synchronously under the store lock).
+    CompactStep,
     /// The modeled disk completes the pending persist: the record is in the
     /// log and `HomeEvent::PersistDone` resumes the parked acknowledgement.
     PersistDone,
@@ -461,6 +554,11 @@ fn internal_transitions(w: &World) -> Vec<Tr> {
         // resolves (crash-during-persist is the Kill branch's job).
         if w.pending_persist.is_some() {
             out.push(Tr::PersistDone);
+        }
+        // A compaction in flight always advances to its next phase
+        // (crash-mid-compaction is, again, the Kill branch's job).
+        if w.compacting.is_some() {
+            out.push(Tr::CompactStep);
         }
     }
     out
@@ -561,6 +659,31 @@ fn external_transitions(w: &World) -> Vec<Tr> {
                 });
             }
         }
+        // Double kill: the quorum confirms TWO simultaneous deaths — the
+        // membership axis a single-kill budget can never reach. Both
+        // remotes die at once, each in-flight link keeping an independent
+        // surviving prefix; the home consumes the two Down markers in
+        // either order, burning one view epoch per death.
+        if w.kill_budget >= 2 && w.home.is_some() && w.rem[0].alive && w.rem[1].alive {
+            for k0 in 0..=w.r2h[0].len() {
+                for k1 in 0..=w.r2h[1].len() {
+                    out.push(Tr::KillBoth { keep: [k0, k1] });
+                }
+            }
+        }
+    }
+    // Start a compaction at any point the store could: the runtime polls
+    // `maybe_checkpoint` after each persist and at every eviction-scan
+    // batch point, so between any two protocol steps is fair game. An
+    // empty store has nothing to snapshot (the real trigger counts
+    // persists), and the store lock serializes sequences.
+    if w.durable
+        && w.compact_budget > 0
+        && w.compacting.is_none()
+        && w.home.is_some()
+        && w.disk_seq > 0
+    {
+        out.push(Tr::StartCompaction);
     }
     if w.durable && w.restart_budget > 0 {
         // Restarts model `Cluster::restart_peer`, whose contract is a
@@ -627,6 +750,14 @@ fn label(w: &World, tr: Tr) -> String {
         } => format!(
             "KILL node {victim} (kept prefixes {keep:?}, pending persist {})",
             if flush_disk { "flushed" } else { "lost" }
+        ),
+        Tr::KillBoth { keep } => {
+            format!("KILL BOTH remotes (kept prefixes {keep:?}, two confirmed deaths)")
+        }
+        Tr::StartCompaction => format!("compaction starts (snapshot seq {})", w.disk_seq),
+        Tr::CompactStep => format!(
+            "compaction phase {} executes",
+            w.compacting.unwrap().1.name()
         ),
         Tr::Suspect(i) => format!("home SUSPECTS r{} (link parked)", i + 1),
         Tr::Refute(i) => format!("suspicion of r{} refuted (link replayed)", i + 1),
@@ -762,10 +893,64 @@ fn apply(w: &mut World, ck: &mut Ck, trace: &[String], tr: Tr) {
             }
             run_home_event(w, ck, trace, HomeEvent::PersistDone { seq });
         }
+        Tr::StartCompaction => {
+            w.compact_budget -= 1;
+            ck.compactions_started += 1;
+            // Phase zero of `checkpoint`: flush + sync the log. The model's
+            // `disk_seq` is already the synced log (persists land there via
+            // PersistDone / flush_disk), so the snapshot is just its
+            // current value.
+            w.compacting = Some((w.disk_seq, CkPhase::WriteTmp));
+        }
+        Tr::CompactStep => {
+            let (snap, phase) = w.compacting.unwrap();
+            match phase {
+                CkPhase::WriteTmp => {
+                    // `.ckpt.tmp` written + fsynced: no durable-state
+                    // change visible to recovery (reopen deletes tmps).
+                    w.compacting = Some((snap, CkPhase::Rotate));
+                }
+                CkPhase::Rotate => {
+                    // `.ckpt` → `.ckpt.prev` (skipped when no newest
+                    // generation exists, exactly like the store).
+                    if let Some(c) = w.ckpt.take() {
+                        w.ckpt_prev = Some(c);
+                    }
+                    w.compacting = Some((snap, CkPhase::Rename));
+                }
+                CkPhase::Rename => {
+                    // `.ckpt.tmp` → `.ckpt`, atomic: the new generation —
+                    // covering every persist up to the snapshot — lands.
+                    w.ckpt = Some(snap);
+                    w.compacting = Some((snap, CkPhase::Truncate));
+                }
+                CkPhase::Truncate => {
+                    // Lag-by-one: drop only the log prefix covered by the
+                    // generation just rotated to `.prev`, so a torn newest
+                    // checkpoint plus the truncated log still recovers
+                    // every record. (Truncating up to `snap` here instead
+                    // is the classic lost-window bug — the checker's
+                    // Rotate-phase kill would catch it via `recoverable`.)
+                    w.trunc_floor = w.trunc_floor.max(w.ckpt_prev.unwrap_or(0));
+                    w.compacting = None;
+                    ck.compactions_completed += 1;
+                }
+            }
+        }
         Tr::Restart { victim } => {
             w.restart_budget -= 1;
             if victim == HOME {
                 ck.home_restarts += 1;
+                if w.ckpt.or(w.ckpt_prev).is_some() {
+                    ck.restarts_from_checkpoint += 1;
+                }
+                // Reopen recovers checkpoint-then-log-suffix: the new
+                // incarnation's replay frontier is exactly what the disk
+                // yields. In a sound store this equals `disk_seq`; if
+                // compaction ever truncated a window no checkpoint covers,
+                // this drops below `acked_seq` and safety fails on the
+                // next state.
+                w.disk_seq = recoverable(w);
                 // A new incarnation: fresh machine, cold directory, persist
                 // sequence resumed from the replayed log (exactly what
                 // `LogChunkStore::open` + the allocation overlay do).
@@ -801,15 +986,17 @@ fn apply(w: &mut World, ck: &mut Ck, trace: &[String], tr: Tr) {
                 w.r2h[i].clear();
                 let h = w.home.as_mut().unwrap();
                 h.knows_dead[i] = false;
-                // The one modeled death was view epoch 1; the restart
-                // admission burns epoch 2 (`MembershipView::restart`).
+                // The restart admission burns a fresh membership epoch on
+                // top of whatever deaths the view has already applied
+                // (`MembershipView::restart`).
+                let view_epoch = h.m.view_epoch() + 1;
                 run_home_event(
                     w,
                     ck,
                     trace,
                     HomeEvent::PeerRestarted {
                         node: victim,
-                        view_epoch: 2,
+                        view_epoch,
                     },
                 );
             }
@@ -828,6 +1015,13 @@ fn apply(w: &mut World, ck: &mut Ck, trace: &[String], tr: Tr) {
                     if flush_disk {
                         w.disk_seq = w.disk_seq.max(seq);
                     }
+                }
+                // A compaction in flight dies mid-sequence: the phases
+                // already executed are durably on disk, the rest never
+                // happen — this is the snapshot→rename→truncate crash
+                // matrix. (Reopen cleans the stale tmp, not modeled.)
+                if let Some((_, phase)) = w.compacting.take() {
+                    ck.killed_mid_compaction.insert(phase.name());
                 }
                 w.home = None;
                 w.retry_at = None;
@@ -855,6 +1049,19 @@ fn apply(w: &mut World, ck: &mut Ck, trace: &[String], tr: Tr) {
                 } else {
                     w.r2h[i].clear();
                 }
+            }
+        }
+        Tr::KillBoth { keep } => {
+            w.kill_budget -= 2;
+            ck.double_kills += 1;
+            for (i, &kept) in keep.iter().enumerate() {
+                w.rem[i] = Remote::dead();
+                w.h2r[i].clear();
+                w.r2h[i].truncate(kept);
+                // Generation guards on a live home; each victim's marker
+                // rides its own FIFO, so the home learns of the two deaths
+                // in either delivery order.
+                w.r2h[i].push_back(Msg::Down { dead: i + 1 });
             }
         }
     }
@@ -1007,17 +1214,10 @@ fn deliver_to_home(w: &mut World, ck: &mut Ck, trace: &[String], i: usize, msg: 
             ck.pd_transients.insert(h.m.transient().name());
             ck.pd_states.insert(h.m.state().name());
             h.knows_dead[i] = true;
-            // Every checked world has kill_budget ≤ 1, so the one death is
-            // always membership epoch 1.
-            run_home_event(
-                w,
-                ck,
-                trace,
-                HomeEvent::PeerDown {
-                    dead,
-                    view_epoch: 1,
-                },
-            );
+            // Each confirmed death burns one membership epoch, in marker
+            // consumption order (a double kill burns 1 then 2).
+            let view_epoch = h.m.view_epoch() + 1;
+            run_home_event(w, ck, trace, HomeEvent::PeerDown { dead, view_epoch });
             let h = w.home.as_mut().unwrap();
             let purge = h.locks.forget_peer(dead);
             ck.locks_reclaimed += purge.reclaimed;
@@ -1305,6 +1505,36 @@ fn check_safety(w: &World, ck: &mut Ck, trace: &[String]) {
             ),
         );
     }
+    // Compaction lag-by-one theorem: the truncated log prefix must be
+    // covered by the FALLBACK checkpoint generation, not merely the newest
+    // one — so a torn `.ckpt` at any instant still recovers every dropped
+    // record from `.prev` + the remaining log.
+    if w.trunc_floor > w.ckpt_prev.unwrap_or(0) {
+        fail(
+            ck,
+            trace,
+            w,
+            &format!(
+                "compaction truncated the log past the fallback checkpoint \
+                 (trunc_floor {} > prev generation {:?})",
+                w.trunc_floor, w.ckpt_prev
+            ),
+        );
+    }
+    // And the full recovery theorem in every state, every phase: what a
+    // reopen would reconstruct from the disk as it is RIGHT NOW — newest
+    // readable checkpoint + log suffix — covers every acknowledged write.
+    if w.acked_seq > recoverable(w) {
+        fail(
+            ck,
+            trace,
+            w,
+            &format!(
+                "acked seq {} not recoverable from ckpt {:?}/prev {:?} + log ({}, {}]",
+                w.acked_seq, w.ckpt, w.ckpt_prev, w.trunc_floor, w.disk_seq
+            ),
+        );
+    }
     if let Some(h) = &w.home {
         // The executor's pending persist and the machine's AwaitPersist
         // transient must agree exactly.
@@ -1351,6 +1581,11 @@ fn check_safety(w: &World, ck: &mut Ck, trace: &[String]) {
                 // unwritten Dirty data — was actually reached.
                 ck.suspected_dirty_states += 1;
             }
+        }
+        if h.knows_dead.iter().all(|&d| d) {
+            // Coverage: the home survived a confirmed double death and its
+            // directory/lock sweeps ran for both victims.
+            ck.both_dead_states += 1;
         }
     }
     // A *zombie* remote consumed the home's `Down` marker (or is about to:
@@ -1709,6 +1944,11 @@ fn initial_world(
         disk_seq: 0,
         acked_seq: 0,
         restart_budget: 0,
+        ckpt: None,
+        ckpt_prev: None,
+        trunc_floor: 0,
+        compacting: None,
+        compact_budget: 0,
     }
 }
 
@@ -1721,6 +1961,15 @@ fn durable_world(mut w: World, restarts: u8) -> World {
     w
 }
 
+/// Compaction world: on top of a durable world, up to `compactions`
+/// checkpoint/compaction sequences may start at any point, each walking
+/// the snapshot→rotate→rename→truncate ladder with kills between phases.
+fn compaction_world(mut w: World, compactions: u8) -> World {
+    assert!(w.durable, "compaction requires the durable world");
+    w.compact_budget = compactions;
+    w
+}
+
 fn summarize(ck: &Ck, name: &str) {
     println!(
         "[{name}] states={} quiescent={} depth_pruned={} \
@@ -1728,7 +1977,8 @@ fn summarize(ck: &Ck, name: &str) {
          epochs_aborted={} sharers_pruned={} locks_reclaimed={} reductions={} \
          suspect_refutes={} suspect_confirms={} suspected_dirty_states={} \
          persists={} persist_acks={} killed_mid_persist={} home_restarts={} \
-         remote_restarts={}",
+         remote_restarts={} compactions={}/{} killed_mid_compaction={:?} \
+         restarts_from_checkpoint={} double_kills={} both_dead_states={}",
         ck.seen.len(),
         ck.quiescent_states,
         ck.depth_pruned,
@@ -1748,6 +1998,12 @@ fn summarize(ck: &Ck, name: &str) {
         ck.killed_mid_persist,
         ck.home_restarts,
         ck.remote_restarts,
+        ck.compactions_completed,
+        ck.compactions_started,
+        ck.killed_mid_compaction,
+        ck.restarts_from_checkpoint,
+        ck.double_kills,
+        ck.both_dead_states,
     );
 }
 
@@ -1918,6 +2174,89 @@ fn crash_model_durable_restart() {
     );
     assert!(ck.home_restarts > 0, "the home was never restarted");
     assert!(ck.remote_restarts > 0, "a remote was never restarted");
+    assert!(
+        ck.quiescent_states > 0,
+        "the search never reached quiescence"
+    );
+}
+
+/// Checkpoint/compaction crash-matrix search (DESIGN.md §14): on top of
+/// the durable world, up to two compaction sequences may start at any
+/// point, and the one kill can land *between any two phases* of the
+/// snapshot→rotate→rename→truncate ladder — every crash point of
+/// `LogChunkStore::checkpoint`. Safety carries three theorems in every
+/// reachable state: persist-before-ack (`acked_seq <= disk_seq`),
+/// lag-by-one truncation (`trunc_floor <=` the fallback generation — a
+/// torn newest checkpoint never strands a truncated record), and full
+/// recoverability (newest readable checkpoint + log suffix covers every
+/// acknowledged write, in every phase). The restart recomputes the replay
+/// frontier from the disk exactly as reopen does, so a compaction that
+/// lost a window would surface as a persist-before-ack violation on the
+/// next state. Two sequences are required so the second runs with a
+/// populated `.prev` and a non-trivial truncation.
+#[test]
+fn crash_model_durable_compaction() {
+    let mut ck = Ck::new(0);
+    let w = compaction_world(
+        durable_world(initial_world([2, 1], [0, 0], [1, 0], 1, 0, 1, 0), 1),
+        2,
+    );
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "compaction");
+
+    assert!(ck.persists > 0, "no flush was ever persisted");
+    assert!(
+        ck.compactions_completed > 0,
+        "no compaction sequence ever ran to completion"
+    );
+    for phase in ["WriteTmp", "Rotate", "Rename", "Truncate"] {
+        assert!(
+            ck.killed_mid_compaction.contains(phase),
+            "no kill landed before compaction phase {phase}: {:?}",
+            ck.killed_mid_compaction
+        );
+    }
+    assert!(
+        ck.restarts_from_checkpoint > 0,
+        "no restart ever recovered through a checkpoint generation"
+    );
+    assert!(ck.home_restarts > 0, "the home was never restarted");
+    assert!(
+        ck.quiescent_states > 0,
+        "the search never reached quiescence"
+    );
+}
+
+/// Double-kill membership search: with a kill budget of two, the quorum
+/// may confirm TWO simultaneous deaths (`KillBoth` — both remotes at once,
+/// independent surviving prefixes) as well as any two sequential kills.
+/// The home consumes the two Down markers in either order, burning one
+/// view epoch per death, and must survive with a coherent directory: both
+/// sweeps prune sharers/wait-sets/locks, no bookkeeping references either
+/// corpse, and quiescence still holds. Safety's "no live peer declared
+/// dead" covers the markers crossing in flight with the victims' last
+/// protocol messages.
+#[test]
+fn crash_model_double_kill() {
+    let mut ck = Ck::new(0);
+    let w = initial_world([1, 1], [1, 1], [1, 0], 1, 0, 2, 0);
+    let mut trace = Vec::new();
+    dfs(&w, 0, &mut ck, &mut trace);
+    summarize(&ck, "double-kill");
+
+    assert!(
+        ck.double_kills > 0,
+        "no simultaneous double kill was injected"
+    );
+    assert!(
+        ck.both_dead_states > 0,
+        "the home never survived both remote deaths confirmed"
+    );
+    assert!(
+        ck.locks_reclaimed > 0,
+        "no orphaned lock was reclaimed across the double death"
+    );
     assert!(
         ck.quiescent_states > 0,
         "the search never reached quiescence"

@@ -11,7 +11,7 @@
 //! ```
 #![cfg(feature = "chaos")]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use darray::{
@@ -808,6 +808,350 @@ fn kill_restart_roundtrip(runtime_threads: usize, dir_name: &str) {
         assert!(
             s1.log_replays >= 1 && s1.recovered_chunks >= 1,
             "node 1 replayed nothing: {s1:?}"
+        );
+        cluster.shutdown(ctx);
+    });
+}
+
+/// Compaction knob set shared by the checkpoint chaos tests: checkpoint
+/// after every persisted record (the most aggressive schedule the config
+/// allows) and truncate the covered log prefix.
+fn compaction_cfg(dir: &Path) -> ClusterConfig {
+    let mut cfg = ClusterConfig::with_nodes(2);
+    cfg.durability.policy = DurabilityPolicy::Writethrough;
+    cfg.durability.dir = Some(dir.to_path_buf());
+    cfg.durability.checkpoint_every_persists = Some(1);
+    cfg.durability.compact = true;
+    cfg
+}
+
+/// The kill instant for the compaction loop rounds: far past the commit
+/// phase (the workload below settles within ~1 ms of virtual time even
+/// under the chaotic schedules; node 0 asserts it).
+const LOOP_KILL_NS: u64 = 4_000_000;
+
+/// One incarnation of the compaction kill-restart loop: both nodes write
+/// round-stamped slices into each other's homed chunks, read them back
+/// (forcing the recall → persist-before-ack → checkpoint path on every
+/// slice), then — under a fault plan — node 1 is killed and node 0 watches
+/// the death being confirmed. Every value asserted below was *observed
+/// read*, so by persist-before-ack it is durable before the kill; rounds
+/// after the first also assert the previous round's committed values came
+/// back from checkpoint-plus-suffix recovery.
+fn compaction_round(dir: &Path, round: usize, seed: Option<u64>) -> Vec<NodeStatsSnapshot> {
+    let cfg = compaction_cfg(dir);
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let mut cfg = cfg;
+        let faulty = seed.is_some();
+        if let Some(seed) = seed {
+            let mut plan = FaultPlan::new(seed.wrapping_add(round as u64));
+            plan.jitter_ns = 300;
+            plan.drop_ppm = 10_000;
+            plan.crash_at = vec![(1, LOOP_KILL_NS)];
+            let mut fc = FaultConfig::new(plan);
+            fc.rpc_timeout_ns = 50_000;
+            fc.max_retries = 3;
+            cfg.fault = Some(fc);
+        }
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        let r = round as u64;
+        cluster.run(ctx, 1, move |ctx, env| {
+            let a = arr.on(env.node);
+            // Per-round flags, each homed on the *other* node than its
+            // writer (chunk 1 on node 0, chunk 5 on node 1): every flag
+            // write is a remote dirty write, so the observing read recalls
+            // it through the persist-before-ack path — a home-local write
+            // would reach home memory without ever being acked durable.
+            // Distinct indices each round, so a recovered flag from a
+            // previous incarnation can never satisfy this round's wait.
+            let flag_a = 512 + round * 8;
+            let flag_b = 2560 + round * 8;
+            if env.node == 1 {
+                // Chunks 3 and 4 are this node's own homes: the previous
+                // round's acked writes must have been recovered locally.
+                if round > 0 {
+                    for k in 0..16 {
+                        assert_eq!(
+                            a.get(ctx, 1536 + k),
+                            r * 2_000 + k as u64,
+                            "round {round}: acked write lost across the restart"
+                        );
+                        assert_eq!(a.get(ctx, 2048 + k), r * 2_000 + 500 + k as u64);
+                    }
+                }
+                // Dirty two chunks homed on node 0, then publish.
+                for k in 0..16 {
+                    a.set(ctx, k, (r + 1) * 1_000 + k as u64);
+                    a.set(ctx, 1024 + k, (r + 1) * 1_000 + 500 + k as u64);
+                }
+                a.set(ctx, flag_a, 1);
+                while a.get(ctx, flag_b) != 1 {
+                    ctx.sleep(20_000);
+                }
+                // Read back node 0's writes to our homed chunks: the
+                // recalls land here and WE persist them before acking.
+                for k in 0..16 {
+                    assert_eq!(a.get(ctx, 1536 + k), (r + 1) * 2_000 + k as u64);
+                    assert_eq!(a.get(ctx, 2048 + k), (r + 1) * 2_000 + 500 + k as u64);
+                }
+                if faulty {
+                    ctx.sleep(LOOP_KILL_NS + 2_000_000); // dead at the kill instant
+                }
+            } else {
+                if round > 0 {
+                    for k in 0..16 {
+                        assert_eq!(
+                            a.get(ctx, k),
+                            r * 1_000 + k as u64,
+                            "round {round}: acked write lost across the restart"
+                        );
+                        assert_eq!(a.get(ctx, 1024 + k), r * 1_000 + 500 + k as u64);
+                    }
+                }
+                for k in 0..16 {
+                    a.set(ctx, 1536 + k, (r + 1) * 2_000 + k as u64);
+                    a.set(ctx, 2048 + k, (r + 1) * 2_000 + 500 + k as u64);
+                }
+                a.set(ctx, flag_b, 1);
+                while a.get(ctx, flag_a) != 1 {
+                    ctx.sleep(20_000);
+                }
+                for k in 0..16 {
+                    assert_eq!(a.get(ctx, k), (r + 1) * 1_000 + k as u64);
+                    assert_eq!(a.get(ctx, 1024 + k), (r + 1) * 1_000 + 500 + k as u64);
+                }
+                if faulty {
+                    assert!(
+                        ctx.now() < LOOP_KILL_NS,
+                        "round {round}: commit phase overran the kill instant ({})",
+                        ctx.now()
+                    );
+                    // Outlive the crash and confirm the death: the probe
+                    // targets a never-written index of chunk 5 (homed on
+                    // the corpse; node 0's write rights on it were recalled
+                    // when node 1 observed flag_b), so it can never commit
+                    // and never perturbs contents.
+                    ctx.sleep(LOOP_KILL_NS + 1_000_000 - ctx.now());
+                    assert!(matches!(
+                        a.try_set(ctx, 3000, 9),
+                        Err(DArrayError::NodeUnavailable {
+                            node: 1,
+                            kind: UnavailableKind::ConfirmedDead,
+                            ..
+                        })
+                    ));
+                }
+            }
+        });
+        // The between-phases barrier: every store writes one more
+        // checkpoint generation before this incarnation ends.
+        cluster.checkpoint_all().expect("checkpoint_all failed");
+        let snaps = (0..2).map(|n| cluster.stats(n)).collect();
+        cluster.shutdown(ctx);
+        snaps
+    })
+}
+
+/// A final fault-free incarnation over the same store directory that reads
+/// the whole array out (recovery only — no new writes).
+fn compaction_final_read(dir: &Path) -> (Vec<u64>, Vec<NodeStatsSnapshot>) {
+    let cfg = compaction_cfg(dir);
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        let contents = Arc::new(Mutex::new(Vec::new()));
+        let out = contents.clone();
+        cluster.run(ctx, 1, move |ctx, env| {
+            if env.node == 0 {
+                let a = arr.on(env.node);
+                let mut v = Vec::with_capacity(LEN);
+                for i in 0..LEN {
+                    v.push(a.get(ctx, i));
+                }
+                *out.lock().unwrap() = v;
+            }
+        });
+        let snaps = (0..2).map(|n| cluster.stats(n)).collect();
+        cluster.shutdown(ctx);
+        let v = contents.lock().unwrap().clone();
+        (v, snaps)
+    })
+}
+
+/// What the loop must converge to: the last round's slice values plus one
+/// raised flag pair per round. Everything else stays zero — in particular
+/// the corpse-probe index.
+fn expected_loop_contents(rounds: usize) -> Vec<u64> {
+    let last = rounds as u64;
+    let mut v = vec![0u64; LEN];
+    for k in 0..16u64 {
+        v[k as usize] = last * 1_000 + k;
+        v[1024 + k as usize] = last * 1_000 + 500 + k;
+        v[1536 + k as usize] = last * 2_000 + k;
+        v[2048 + k as usize] = last * 2_000 + 500 + k;
+    }
+    for r in 0..rounds {
+        v[512 + r * 8] = 1;
+        v[2560 + r * 8] = 1;
+    }
+    v
+}
+
+/// Kill-restart *loop*: three crash-restart incarnations over one log
+/// directory with aggressive compaction, then a fault-free read-out, across
+/// 8 seeds. Contents must stay bit-identical to the fault-free baseline,
+/// and the final reopen must replay O(live chunks) — not the store's full
+/// persist history (the bounded-replay acceptance check).
+#[test]
+fn kill_restart_loop_with_compaction_matches_fault_free_baseline() {
+    const ROUNDS: usize = 3;
+    let baseline = {
+        let dir = TempStoreDir::new("ckpt-loop-baseline");
+        for round in 0..ROUNDS {
+            compaction_round(&dir.0, round, None);
+        }
+        let (contents, _) = compaction_final_read(&dir.0);
+        assert_eq!(contents, expected_loop_contents(ROUNDS));
+        contents
+    };
+    for seed in [3, 5, 11, 17, 23, 31, 47, 0xC0FFEE] {
+        let dir = TempStoreDir::new(&format!("ckpt-loop-{seed}"));
+        // Acked (persist-before-ack) flushes and truncated log records per
+        // node, accumulated across all incarnations.
+        let mut acked = [0u64; 2];
+        let mut truncated = [0u64; 2];
+        for round in 0..ROUNDS {
+            let snaps = compaction_round(&dir.0, round, Some(seed));
+            assert!(
+                snaps[0].peers_down >= 1,
+                "seed {seed} round {round}: the kill was never confirmed: {:?}",
+                snaps[0]
+            );
+            for (n, s) in snaps.iter().enumerate() {
+                assert!(
+                    s.compactions >= 1,
+                    "seed {seed} round {round}: node {n} never checkpointed: {s:?}"
+                );
+                if round > 0 {
+                    assert!(
+                        s.recovered_chunks >= 1,
+                        "seed {seed} round {round}: node {n} recovered nothing: {s:?}"
+                    );
+                }
+                acked[n] += s.flush_persists;
+                truncated[n] += s.truncated_records;
+            }
+        }
+        let (contents, snaps) = compaction_final_read(&dir.0);
+        assert_eq!(
+            contents, baseline,
+            "seed {seed}: contents diverged from the fault-free baseline"
+        );
+        for (n, s) in snaps.iter().enumerate() {
+            assert!(
+                truncated[n] >= 1,
+                "seed {seed}: node {n}'s compactions never truncated anything"
+            );
+            // Bounded replay: the reopen scans the checkpoint image plus
+            // the short uncompacted suffix — not every record ever
+            // persisted. `recovered_chunks` is exactly the live-chunk
+            // count; the slack covers the records appended since the
+            // penultimate checkpoint of the previous incarnation.
+            assert!(
+                s.log_replays <= s.recovered_chunks + 4,
+                "seed {seed}: node {n} replay is not bounded by live chunks: {s:?}"
+            );
+            assert!(
+                acked[n] > s.log_replays,
+                "seed {seed}: node {n} replayed its full persist history \
+                 ({} acked persists, {} replayed) — compaction never bit",
+                acked[n],
+                s.log_replays
+            );
+        }
+    }
+}
+
+/// Tear the newest checkpoint sidecar mid-frame (the torn-write crash
+/// shape: a prefix of the file, its CRC frame now unverifiable) and reopen:
+/// recovery must fall back to the previous checkpoint generation plus the
+/// untruncated log suffix, losing no acked write. This is the lag-by-one
+/// truncation invariant, end to end: compaction N only drops the log prefix
+/// checkpoint N-1 covers, so `ckpt.prev` + log is always complete.
+#[test]
+fn torn_checkpoint_mid_frame_falls_back_to_previous_generation() {
+    let dir = TempStoreDir::new("torn-ckpt");
+    let cfg = compaction_cfg(&dir.0);
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        // Three write→recall→checkpoint generations over the same chunk:
+        // afterwards node 0 has a newest checkpoint, a previous generation,
+        // and a log suffix — the full fallback setup.
+        for gen in 1..=3u64 {
+            let w = arr.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                if env.node == 1 {
+                    let a = w.on(env.node);
+                    for k in 0..16 {
+                        a.set(ctx, k, gen * 100 + k as u64);
+                    }
+                }
+            });
+            let rd = arr.clone();
+            cluster.run(ctx, 1, move |ctx, env| {
+                if env.node == 0 {
+                    let a = rd.on(env.node);
+                    for k in 0..16 {
+                        assert_eq!(a.get(ctx, k), gen * 100 + k as u64);
+                    }
+                }
+            });
+            cluster.checkpoint_all().expect("checkpoint_all failed");
+        }
+        let s0 = cluster.stats(0);
+        assert!(
+            s0.compactions >= 3,
+            "node 0 never rotated a checkpoint generation: {s0:?}"
+        );
+        cluster.shutdown(ctx);
+    });
+
+    let ckpt = dir.0.join("node0.ckpt");
+    let prev = dir.0.join("node0.ckpt.prev");
+    assert!(
+        prev.exists(),
+        "no previous checkpoint generation to fall back to"
+    );
+    let len = std::fs::metadata(&ckpt)
+        .expect("newest checkpoint sidecar missing")
+        .len();
+    assert!(len > 128, "checkpoint too small to tear mid-frame: {len}");
+    let f = std::fs::OpenOptions::new().write(true).open(&ckpt).unwrap();
+    f.set_len(len - 64).unwrap();
+    drop(f);
+
+    let cfg = compaction_cfg(&dir.0);
+    Sim::new(SimConfig::default()).run(move |ctx| {
+        let cluster = Cluster::new(ctx, cfg);
+        let arr = cluster.alloc::<u64>(LEN, ArrayOptions::default());
+        cluster.run(ctx, 1, move |ctx, env| {
+            if env.node == 0 {
+                let a = arr.on(env.node);
+                for k in 0..16 {
+                    assert_eq!(
+                        a.get(ctx, k),
+                        300 + k as u64,
+                        "acked write lost to the torn checkpoint"
+                    );
+                }
+            }
+        });
+        let s0 = cluster.stats(0);
+        assert!(
+            s0.recovered_chunks >= 1,
+            "node 0 recovered nothing from the fallback path: {s0:?}"
         );
         cluster.shutdown(ctx);
     });
