@@ -39,6 +39,52 @@ fn main() {
             &rows,
         );
     }
+    // Doorbell-batching sweep (DESIGN.md §13): the put-heavy cell again
+    // under explicit batching knobs, so the BENCH json records how egress
+    // coalescing responds. batch1 disables coalescing (every frame rings
+    // its own doorbell); batch16_sig8 pairs the default ring depth with
+    // selective signaling every 8th frame.
+    let sweep_t = *threads.last().unwrap();
+    let mut sweep_rows = Vec::new();
+    for (label, batch) in [
+        (
+            "batch1",
+            darray::BatchConfig {
+                send_batch_max: 1,
+                flush_every_frames: None,
+            },
+        ),
+        (
+            "batch16_sig8",
+            darray::BatchConfig {
+                send_batch_max: 16,
+                flush_every_frames: Some(8),
+            },
+        ),
+    ] {
+        darray_bench::set_batch_override(Some(batch));
+        let d = kvs_ycsb(KvSys::DArray, nodes, sweep_t, 0.5, records, ops);
+        sweep_rows.push(vec![
+            label.to_string(),
+            d.protocol.frames.to_string(),
+            d.protocol.tx_flushes.to_string(),
+            d.protocol.doorbell_batches.to_string(),
+            d.protocol.frames_coalesced.to_string(),
+        ]);
+        traffic.push((format!("{label}_get50_t{sweep_t}_{nodes}n"), d.protocol));
+    }
+    darray_bench::set_batch_override(None);
+    print_table(
+        &format!("Figure 17 — doorbell-batching sweep, get ratio 50% ({nodes} nodes)"),
+        &[
+            "batch",
+            "frames",
+            "tx_flushes",
+            "doorbell_batches",
+            "frames_coalesced",
+        ],
+        &sweep_rows,
+    );
     println!("\npaper: 20x-41x at 100% gets; 2x-3.8x under put-heavy contention; DArray-KVS also scales better intra-node (0.63-0.96 vs 0.48-0.64).");
     match write_bench_json("fig17", &traffic) {
         Ok(p) => println!("protocol traffic written to {}", p.display()),

@@ -64,6 +64,58 @@ fn main() {
             &rows,
         );
     }
+    // Doorbell-batching sweep (DESIGN.md §13): the write-thrash cell at the
+    // largest node count under explicit batching knobs, recording how the
+    // egress coalescing counters respond in BENCH json.
+    let sweep_n = *node_counts.last().unwrap();
+    let mut sweep_rows = Vec::new();
+    for (label, batch) in [
+        (
+            "batch1",
+            darray::BatchConfig {
+                send_batch_max: 1,
+                flush_every_frames: None,
+            },
+        ),
+        (
+            "batch16_sig8",
+            darray::BatchConfig {
+                send_batch_max: 16,
+                flush_every_frames: Some(8),
+            },
+        ),
+    ] {
+        darray_bench::set_batch_override(Some(batch));
+        let d = micro(
+            System::DArray,
+            Op::Write,
+            Pattern::Random,
+            sweep_n,
+            1,
+            elems_per_node,
+            ops,
+        );
+        sweep_rows.push(vec![
+            label.to_string(),
+            d.protocol.frames.to_string(),
+            d.protocol.tx_flushes.to_string(),
+            d.protocol.doorbell_batches.to_string(),
+            d.protocol.frames_coalesced.to_string(),
+        ]);
+        traffic.push((format!("{label}_write_{sweep_n}n"), d.protocol));
+    }
+    darray_bench::set_batch_override(None);
+    print_table(
+        &format!("Figure 18 — doorbell-batching sweep, random write ({sweep_n} nodes)"),
+        &[
+            "batch",
+            "frames",
+            "tx_flushes",
+            "doorbell_batches",
+            "frames_coalesced",
+        ],
+        &sweep_rows,
+    );
     println!("\npaper: DArray/GAM latency grows with nodes (coherence + eviction overhead); BCL stays ≈2 µs; random writes cost more than reads (contention).");
     match write_bench_json("fig18", &traffic) {
         Ok(p) => println!("protocol traffic written to {}", p.display()),

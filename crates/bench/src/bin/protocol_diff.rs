@@ -226,10 +226,20 @@ struct Finding {
     msg: String,
 }
 
-/// Transport-level counters measure wire traffic (payload + backend
-/// framing), not protocol transitions, so they get a symmetric tolerance
-/// band of their own instead of the exact protocol threshold.
-const TRANSPORT_COUNTERS: [&str; 4] = ["bytes_tx", "bytes_rx", "frames", "completions"];
+/// Transport-level counters measure wire traffic and egress mechanics
+/// (payload + backend framing, doorbell batching), not protocol
+/// transitions, so they get a symmetric tolerance band of their own
+/// instead of the exact protocol threshold.
+const TRANSPORT_COUNTERS: [&str; 8] = [
+    "bytes_tx",
+    "bytes_rx",
+    "frames",
+    "completions",
+    "tx_flushes",
+    "doorbell_batches",
+    "frames_coalesced",
+    "ring_hwm",
+];
 
 /// Apply the diff rules; findings in deterministic (sorted) order.
 fn diff(
@@ -588,6 +598,30 @@ mod tests {
         let mut cur2 = base.clone();
         *cur2.get_mut("w_2n").unwrap().get_mut("frames").unwrap() = 52;
         assert!(!diff(&base, &cur2, 0.0, 0, 10.0).iter().any(|f| f.fatal));
+    }
+
+    #[test]
+    fn batching_counters_ride_the_transport_band() {
+        let base = parse_bench(
+            r#"{"bench":"t","protocol_traffic":{
+                 "w_2n": {"transitions":100,"tx_flushes":40,
+                          "doorbell_batches":10,"frames_coalesced":60,
+                          "ring_hwm":20}
+               }}"#,
+        )
+        .unwrap();
+        // Small drift in either direction stays inside the ±10% band even
+        // at protocol threshold 0.
+        let mut cur = base.clone();
+        *cur.get_mut("w_2n").unwrap().get_mut("tx_flushes").unwrap() = 42;
+        *cur.get_mut("w_2n").unwrap().get_mut("ring_hwm").unwrap() = 19;
+        assert!(!diff(&base, &cur, 0.0, 0, 10.0).iter().any(|f| f.fatal));
+        // Doubling the batch count leaves the band and fails.
+        *cur.get_mut("w_2n")
+            .unwrap()
+            .get_mut("doorbell_batches")
+            .unwrap() = 20;
+        assert!(diff(&base, &cur, 0.0, 0, 10.0).iter().any(|f| f.fatal));
     }
 
     #[test]

@@ -111,6 +111,17 @@ pub struct ProtocolTraffic {
     pub frames: u64,
     /// Transport completion events observed, summed.
     pub completions: u64,
+    /// Egress flushes committed by the transports (doorbell rings; always
+    /// `frames == tx_flushes + frames_coalesced`), summed.
+    pub tx_flushes: u64,
+    /// Flushes that carried two or more frames, summed.
+    pub doorbell_batches: u64,
+    /// Frames that rode an already-open batch instead of ringing their own
+    /// doorbell, summed.
+    pub frames_coalesced: u64,
+    /// Per-link egress-ring high-water mark in frames (a gauge — taken as
+    /// the max over nodes, not a sum).
+    pub ring_hwm: u64,
 }
 
 impl ProtocolTraffic {
@@ -145,6 +156,10 @@ impl ProtocolTraffic {
         self.bytes_rx += s.bytes_rx;
         self.frames += s.frames;
         self.completions += s.completions;
+        self.tx_flushes += s.tx_flushes;
+        self.doorbell_batches += s.doorbell_batches;
+        self.frames_coalesced += s.frames_coalesced;
+        self.ring_hwm = self.ring_hwm.max(s.ring_hwm);
     }
 
     /// Sum the counters of every node in a cluster (call before shutdown).
@@ -168,7 +183,9 @@ impl ProtocolTraffic {
              \"log_bytes\":{},\"checkpoint_bytes\":{},\"compactions\":{},\
              \"truncated_records\":{},\
              \"migrations_out\":{},\"migrations_in\":{},\"parked_replays\":{},\
-             \"bytes_tx\":{},\"bytes_rx\":{},\"frames\":{},\"completions\":{}}}",
+             \"bytes_tx\":{},\"bytes_rx\":{},\"frames\":{},\"completions\":{},\
+             \"tx_flushes\":{},\"doorbell_batches\":{},\"frames_coalesced\":{},\
+             \"ring_hwm\":{}}}",
             self.fills,
             self.invalidations,
             self.recalls,
@@ -197,7 +214,11 @@ impl ProtocolTraffic {
             self.bytes_tx,
             self.bytes_rx,
             self.frames,
-            self.completions
+            self.completions,
+            self.tx_flushes,
+            self.doorbell_batches,
+            self.frames_coalesced,
+            self.ring_hwm
         )
     }
 }
@@ -317,6 +338,10 @@ mod tests {
             bytes_rx: 20,
             frames: 21,
             completions: 22,
+            tx_flushes: 30,
+            doorbell_batches: 31,
+            frames_coalesced: 32,
+            ring_hwm: 33,
         };
         let j = t.json();
         for key in [
@@ -349,6 +374,10 @@ mod tests {
             "\"bytes_rx\":20",
             "\"frames\":21",
             "\"completions\":22",
+            "\"tx_flushes\":30",
+            "\"doorbell_batches\":31",
+            "\"frames_coalesced\":32",
+            "\"ring_hwm\":33",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

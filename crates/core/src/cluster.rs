@@ -99,12 +99,26 @@ pub struct Cluster {
 fn build_transports(cfg: &ClusterConfig) -> Result<Vec<Arc<dyn Transport<NetMsg>>>, DArrayError> {
     match cfg.transport {
         TransportKind::Sim => {
+            // The selective-signaling knob maps onto the simulated NIC's
+            // native signal interval; the default `None` leaves `net`
+            // untouched (bit-identical to the pre-batching build).
+            let mut net = cfg.net.clone();
+            if let Some(n) = cfg.batch.flush_every_frames {
+                net.signal_interval = n;
+            }
+            let policy = rdma_fabric::BatchPolicy {
+                send_batch_max: cfg.batch.send_batch_max,
+                flush_every_frames: cfg.batch.flush_every_frames,
+            };
             let fabric: Fabric<NetMsg> = match &cfg.fault {
-                Some(f) => Fabric::with_faults(cfg.nodes, cfg.net.clone(), f.plan.clone()),
-                None => Fabric::new(cfg.nodes, cfg.net.clone()),
+                Some(f) => Fabric::with_faults(cfg.nodes, net, f.plan.clone()),
+                None => Fabric::new(cfg.nodes, net),
             };
             Ok((0..cfg.nodes)
-                .map(|i| Arc::new(SimTransport::new(fabric.nic(i))) as Arc<dyn Transport<NetMsg>>)
+                .map(|i| {
+                    Arc::new(SimTransport::with_policy(fabric.nic(i), policy))
+                        as Arc<dyn Transport<NetMsg>>
+                })
                 .collect())
         }
         TransportKind::Tcp => build_tcp_transports(cfg),
@@ -124,6 +138,9 @@ fn build_tcp_transports(
         max_frame_words: cfg.tcp.max_frame_words,
         poll_ns: cfg.tcp.poll_ns,
         addrs,
+        pump_threads: cfg.tcp.pump_threads,
+        send_batch_max: cfg.batch.send_batch_max,
+        flush_every_frames: cfg.batch.flush_every_frames,
     };
     let mesh = rdma_fabric::TcpFabric::new(cfg.nodes, opts).map_err(|e| {
         crate::ConfigError::TransportBringUp {
@@ -585,6 +602,10 @@ impl Cluster {
         snap.bytes_rx = t.bytes_rx;
         snap.frames = t.frames;
         snap.completions = t.completions;
+        snap.tx_flushes = t.tx_flushes;
+        snap.doorbell_batches = t.doorbell_batches;
+        snap.frames_coalesced = t.frames_coalesced;
+        snap.ring_hwm = t.ring_hwm;
         if let Some(store) = &self.shared.stores[node] {
             let st = store.stats();
             snap.log_bytes = st.log_bytes;

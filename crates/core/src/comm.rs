@@ -796,7 +796,16 @@ pub(crate) fn rx_thread_main(ctx: &mut Ctx, shared: Arc<ClusterShared>, node: No
     let transport = shared.transports[node].clone();
     let poll_cost = shared.cfg.net.cq_poll_ns;
     loop {
-        let (src, msg) = transport.recv(ctx);
+        // Opportunistic drain: take an already-delivered message without
+        // re-entering the blocking receive path (one inbox probe instead
+        // of a blocking-point setup per message of a burst). Timing is
+        // unchanged — on the simulated backend `try_recv` on a delivered
+        // message performs the same dequeue-and-bump a non-empty `recv`
+        // would — so protocol traffic stays bit-identical.
+        let (src, msg) = match transport.try_recv(ctx) {
+            Some(item) => item,
+            None => transport.recv(ctx),
+        };
         ctx.charge(poll_cost);
         if matches!(msg, NetMsg::Halt) {
             break;

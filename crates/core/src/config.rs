@@ -140,6 +140,13 @@ pub struct TcpTransportConfig {
     /// binds ephemeral loopback ports, which cannot collide across
     /// concurrently running clusters.
     pub addrs: Option<Vec<String>>,
+    /// Pump threads per node: the fixed event-loop pool that multiplexes
+    /// all of the node's links (nonblocking sockets + `poll(2)`). The pool
+    /// size is independent of cluster size — never one thread per link —
+    /// and a node never spawns more pumps than it has links. Must be at
+    /// least 1; the default of 2 splits Rx/Tx load without oversubscribing
+    /// test machines.
+    pub pump_threads: usize,
 }
 
 impl Default for TcpTransportConfig {
@@ -148,6 +155,35 @@ impl Default for TcpTransportConfig {
             max_frame_words: 4096,
             poll_ns: 200,
             addrs: None,
+            pump_threads: 2,
+        }
+    }
+}
+
+/// Doorbell-batching knobs, applied uniformly to every transport backend
+/// (DESIGN.md §13 "Async pump"). On TCP these steer the egress-ring
+/// mechanics (frames per writev-style flush, completion signaling); on the
+/// simulated backend they steer the equivalent accounting over the NIC's
+/// link-busy windows (and `flush_every_frames` overrides the simulated
+/// `NetConfig::signal_interval`), so `BENCH` json reports the same
+/// batching counters whichever backend ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most frames one egress flush may carry. 1 disables coalescing;
+    /// 0 is rejected by validation.
+    pub send_batch_max: usize,
+    /// Selective signaling: count one completion every N-th flushed frame.
+    /// `None` (default) keeps each backend's native policy — the simulated
+    /// NIC's `signal_interval`, one completion per flush on TCP. `Some(0)`
+    /// is rejected by validation.
+    pub flush_every_frames: Option<u64>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            send_batch_max: 16,
+            flush_every_frames: None,
         }
     }
 }
@@ -250,6 +286,8 @@ pub struct ClusterConfig {
     pub transport: TransportKind,
     /// TCP backend knobs (used when `transport` is [`TransportKind::Tcp`]).
     pub tcp: TcpTransportConfig,
+    /// Doorbell-batching knobs, applied uniformly to Sim and TCP.
+    pub batch: BatchConfig,
     /// Per-node durable chunk store; the default (policy `None`) keeps the
     /// protocol bit-identical to the persistence-free build.
     pub durability: DurabilityConfig,
@@ -299,6 +337,7 @@ impl Default for ClusterConfig {
             fault: None,
             transport: TransportKind::Sim,
             tcp: TcpTransportConfig::default(),
+            batch: BatchConfig::default(),
             durability: DurabilityConfig::default(),
             elastic: false,
             initial_nodes: None,
@@ -369,6 +408,12 @@ impl ClusterConfig {
                 });
             }
         }
+        if self.batch.send_batch_max == 0 {
+            return Err(ConfigError::ZeroSendBatch);
+        }
+        if self.batch.flush_every_frames == Some(0) {
+            return Err(ConfigError::ZeroFlushInterval);
+        }
         if self.transport == TransportKind::Tcp {
             if !cfg!(feature = "tcp-transport") {
                 return Err(ConfigError::TcpFeatureDisabled);
@@ -378,6 +423,9 @@ impl ClusterConfig {
             }
             if self.tcp.poll_ns == 0 {
                 return Err(ConfigError::ZeroTransportPoll);
+            }
+            if self.tcp.pump_threads == 0 {
+                return Err(ConfigError::ZeroPumpThreads);
             }
             if let Some(addrs) = &self.tcp.addrs {
                 if addrs.len() != self.nodes {
@@ -680,10 +728,30 @@ mod tests {
     }
 
     #[test]
+    fn batching_knobs_are_validated() {
+        // The batching knobs apply to every backend, so they are checked
+        // even on the simulated transport.
+        let mut c = ClusterConfig::default();
+        c.batch.send_batch_max = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroSendBatch));
+
+        let mut c = ClusterConfig::default();
+        c.batch.flush_every_frames = Some(0);
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroFlushInterval));
+
+        // 1 (no coalescing / signal every frame) is the legal minimum.
+        let mut c = ClusterConfig::default();
+        c.batch.send_batch_max = 1;
+        c.batch.flush_every_frames = Some(1);
+        assert_eq!(c.try_validate(), Ok(()));
+    }
+
+    #[test]
     fn transport_knobs_are_validated() {
         // Sim transport ignores the TCP knobs entirely.
         let mut c = ClusterConfig::default();
         c.tcp.max_frame_words = 0;
+        c.tcp.pump_threads = 0;
         assert_eq!(c.try_validate(), Ok(()));
 
         let tcp_base = || ClusterConfig {
@@ -709,6 +777,10 @@ mod tests {
         let mut c = tcp_base();
         c.tcp.poll_ns = 0;
         assert_eq!(c.try_validate(), Err(ConfigError::ZeroTransportPoll));
+
+        let mut c = tcp_base();
+        c.tcp.pump_threads = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::ZeroPumpThreads));
 
         let mut c = tcp_base();
         c.tcp.addrs = Some(vec!["127.0.0.1:9000".to_string()]);

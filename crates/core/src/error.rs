@@ -138,6 +138,15 @@ pub enum ConfigError {
     /// `tcp.poll_ns == 0`: the Rx thread would busy-poll the inbox without
     /// ever advancing virtual time, starving every simulated timer.
     ZeroTransportPoll,
+    /// `tcp.pump_threads == 0`: no event-loop thread would service the
+    /// node's links, so no frame could ever leave or arrive.
+    ZeroPumpThreads,
+    /// `batch.send_batch_max == 0`: no egress flush could ever carry a
+    /// frame, so the doorbell ring would back up forever.
+    ZeroSendBatch,
+    /// `batch.flush_every_frames == Some(0)`: the selective-signaling
+    /// interval would divide by zero (use `None` for the backend default).
+    ZeroFlushInterval,
     /// The static TCP address map has the wrong number of entries.
     TransportAddrCount { expected: usize, got: usize },
     /// An entry in the static TCP address map is not a parseable
@@ -234,6 +243,12 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::ZeroFrameWords => write!(f, "tcp.max_frame_words must be nonzero"),
             ConfigError::ZeroTransportPoll => write!(f, "tcp.poll_ns must be nonzero"),
+            ConfigError::ZeroPumpThreads => write!(f, "tcp.pump_threads must be nonzero"),
+            ConfigError::ZeroSendBatch => write!(f, "batch.send_batch_max must be nonzero"),
+            ConfigError::ZeroFlushInterval => write!(
+                f,
+                "batch.flush_every_frames must be nonzero (None selects the backend default)"
+            ),
             ConfigError::TransportAddrCount { expected, got } => write!(
                 f,
                 "tcp.addrs must list one address per node ({expected} nodes, {got} addresses)"

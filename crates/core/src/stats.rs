@@ -138,6 +138,18 @@ pub struct NodeStatsSnapshot {
     pub frames: u64,
     /// Completion events the transport observed for posted work.
     pub completions: u64,
+    /// Egress flushes the transport committed (doorbell rings; always
+    /// `frames == tx_flushes + frames_coalesced`). Overlaid by
+    /// `Cluster::stats` like the other transport counters.
+    pub tx_flushes: u64,
+    /// Flushes that carried two or more frames (one doorbell amortized
+    /// over a batch).
+    pub doorbell_batches: u64,
+    /// Frames that rode an already-open batch instead of ringing their
+    /// own doorbell.
+    pub frames_coalesced: u64,
+    /// High-water mark of the per-link egress ring, in frames.
+    pub ring_hwm: u64,
     /// Bytes currently held by this node's durable chunk log (header plus
     /// framed records, including the not-yet-compacted suffix). Filled in
     /// by `Cluster::stats` from the chunk store; always zero in a bare
@@ -208,6 +220,10 @@ impl NodeStats {
             bytes_rx: 0,
             frames: 0,
             completions: 0,
+            tx_flushes: 0,
+            doorbell_batches: 0,
+            frames_coalesced: 0,
+            ring_hwm: 0,
             // Store counters live in the chunk store; `Cluster::stats`
             // overlays them too.
             log_bytes: 0,

@@ -38,12 +38,17 @@ fn base(node: usize, c: usize) -> usize {
 }
 
 /// The protocol-level projection of a stats snapshot: transport byte/frame
-/// counters (backend-specific by design) zeroed out, everything else kept.
+/// and egress-batching counters (backend-specific by design) zeroed out,
+/// everything else kept.
 fn protocol_view(mut s: NodeStatsSnapshot) -> NodeStatsSnapshot {
     s.bytes_tx = 0;
     s.bytes_rx = 0;
     s.frames = 0;
     s.completions = 0;
+    s.tx_flushes = 0;
+    s.doorbell_batches = 0;
+    s.frames_coalesced = 0;
+    s.ring_hwm = 0;
     s
 }
 
@@ -285,6 +290,113 @@ fn tcp_matches_sim_through_join_and_migration() {
     assert_eq!(sim[NODES - 1].migrations_in, 2, "{:?}", sim[NODES - 1]);
 }
 
+/// [`parity_config`] with the async pump's batching knobs turned all the
+/// way from their defaults: a shallow 4-frame egress ring, selective
+/// signaling every 8th frame, and a single pump thread multiplexing every
+/// link.
+fn batched_config(kind: TransportKind) -> ClusterConfig {
+    let mut cfg = parity_config(kind);
+    cfg.batch.send_batch_max = 4;
+    cfg.batch.flush_every_frames = Some(8);
+    cfg.tcp.pump_threads = 1;
+    cfg
+}
+
+/// The async event-loop pump's doorbell batching (DESIGN.md §13) is egress
+/// mechanics only: under non-default batching knobs the protocol
+/// transition counts still match dsim bit-for-bit, the TCP egress rings
+/// actually coalesce, and the counter identity
+/// `frames == tx_flushes + frames_coalesced` holds on both backends.
+#[test]
+fn tcp_matches_sim_with_batching_knobs() {
+    let sim = run_workload(batched_config(TransportKind::Sim));
+    let tcp = run_workload(batched_config(TransportKind::Tcp));
+    for node in 0..NODES {
+        assert_eq!(
+            protocol_view(sim[node]),
+            protocol_view(tcp[node]),
+            "node {node}: batching knobs must not leak into the protocol"
+        );
+    }
+    for (label, stats) in [("sim", &sim), ("tcp", &tcp)] {
+        for (node, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.frames,
+                s.tx_flushes + s.frames_coalesced,
+                "{label} node {node}: every frame either rings a doorbell or rides a batch"
+            );
+        }
+    }
+    // Every write_send posts an indivisible WRITE+MSG train, so a batching
+    // backend must coalesce at least once under this workload.
+    let batches: u64 = tcp.iter().map(|s| s.doorbell_batches).sum();
+    let coalesced: u64 = tcp.iter().map(|s| s.frames_coalesced).sum();
+    assert!(batches > 0, "TCP egress rings never committed a batch");
+    assert!(coalesced > 0, "TCP egress rings never coalesced a frame");
+}
+
+/// Batching knobs and the partitioned multi-threaded runtime compose: the
+/// rt=2 protocol counts stay backend-independent under the same non-default
+/// egress-ring configuration.
+#[test]
+fn tcp_matches_sim_with_batching_knobs_rt2() {
+    let rt2 = |kind| {
+        let mut cfg = batched_config(kind);
+        cfg.runtime_threads = 2;
+        cfg
+    };
+    let sim = run_workload(rt2(TransportKind::Sim));
+    let tcp = run_workload(rt2(TransportKind::Tcp));
+    for node in 0..NODES {
+        assert_eq!(
+            protocol_view(sim[node]),
+            protocol_view(tcp[node]),
+            "node {node}: batching + rt2 must not leak into the protocol"
+        );
+    }
+    let total: u64 = sim.iter().map(|s| s.transitions).sum();
+    assert!(total > 0, "workload must drive protocol transitions");
+}
+
+/// Batching knobs and persist-before-ack durability compose the same way
+/// (the flush path rides write_send trains through the egress rings).
+#[test]
+fn tcp_matches_sim_with_batching_knobs_and_durability() {
+    use darray::DurabilityPolicy;
+    let scratch = |backend: &str| {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "darray-parity-batch-{}-{backend}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    };
+    let durable = |kind, dir: &std::path::Path| {
+        let mut cfg = batched_config(kind);
+        cfg.durability.policy = DurabilityPolicy::Writethrough;
+        cfg.durability.dir = Some(dir.to_path_buf());
+        cfg
+    };
+    let (sim_dir, tcp_dir) = (scratch("sim"), scratch("tcp"));
+    let sim = run_workload(durable(TransportKind::Sim, &sim_dir));
+    let tcp = run_workload(durable(TransportKind::Tcp, &tcp_dir));
+    for node in 0..NODES {
+        assert_eq!(
+            protocol_view(sim[node]),
+            protocol_view(tcp[node]),
+            "node {node}: batching + durability must not leak into the protocol"
+        );
+    }
+    let persists: u64 = sim.iter().map(|s| s.flush_persists).sum();
+    assert!(
+        persists > 0,
+        "workload never hit the persist-before-ack path"
+    );
+    let _ = std::fs::remove_dir_all(&sim_dir);
+    let _ = std::fs::remove_dir_all(&tcp_dir);
+}
+
 #[test]
 fn tcp_transport_counters_surface_in_stats() {
     let mut cfg = parity_config(TransportKind::Tcp);
@@ -315,6 +427,47 @@ fn sim_counters_still_surface_alongside_nic_stats() {
         assert!(cluster.nic_stats(1).sends > 0, "raw NIC view preserved");
         cluster.shutdown(ctx);
     });
+}
+
+/// Graceful shutdown: tearing a cluster down drains the egress rings and
+/// joins the fixed pump pool (the transport's `Drop` runs when the last
+/// runtime thread releases it). Repeated bring-up/tear-down must not
+/// accumulate OS threads — a leak of even one pump per round would show
+/// up here as ~30 stray threads.
+#[test]
+fn cluster_teardown_loop_drains_pumps_and_leaks_no_threads() {
+    fn os_threads() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").unwrap();
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap()
+    }
+    let before = os_threads();
+    for round in 0..5u64 {
+        let cfg = parity_config(TransportKind::Tcp);
+        Sim::new(SimConfig::default()).run(move |ctx| {
+            let cluster = Cluster::new(ctx, cfg);
+            let arr = cluster.alloc::<u64>(NODES * DEFAULT_CHUNK_SIZE, ArrayOptions::default());
+            cluster.run(ctx, 1, move |ctx, env| {
+                // A remote write per node keeps the egress rings busy right
+                // up to the tear-down.
+                let a = arr.on(env.node);
+                a.set(ctx, (env.node + 1) % NODES, round);
+                env.barrier(ctx);
+            });
+            cluster.shutdown(ctx);
+        });
+    }
+    // Generous slack: other tests in this binary run concurrently and spawn
+    // threads of their own; a real leak would add 5 rounds x 3 nodes x 2
+    // pumps = 30.
+    let after = os_threads();
+    assert!(
+        after < before + 20,
+        "pump threads leaked across teardown: {before} -> {after}"
+    );
 }
 
 #[test]

@@ -121,6 +121,14 @@ impl<M: Send + 'static> Nic<M> {
         }
     }
 
+    /// True when the outgoing link to `dst` is still serializing earlier
+    /// posted work at virtual time `now`. Pure observation (no link state
+    /// is touched): the transport layer uses it to decide whether a newly
+    /// posted frame joins the in-flight doorbell batch or opens a new one.
+    pub fn link_busy(&self, dst: NodeId, now: VTime) -> bool {
+        *self.links[dst].next_free.lock() > now
+    }
+
     /// Crash time scheduled for this node, if the fabric carries a fault
     /// plan that crashes it.
     pub fn crash_time(&self) -> Option<VTime> {

@@ -56,8 +56,47 @@ pub struct TransportStats {
     /// Frames (SENDs plus WRITEs) posted by this endpoint.
     pub frames: u64,
     /// Completion events observed for posted work (selective signaling on
-    /// the simulated NIC; per-frame flush acknowledgements on TCP).
+    /// the simulated NIC; per-flush — or every `flush_every_frames`-th
+    /// frame — on TCP).
     pub completions: u64,
+    /// Egress flushes: doorbell rings on the TCP pump (each a single
+    /// writev-style syscall train), batch openings on the simulated NIC.
+    /// Always `frames == tx_flushes + frames_coalesced`.
+    pub tx_flushes: u64,
+    /// Flushes that carried two or more frames (a doorbell amortized over
+    /// a batch rather than rung per frame).
+    pub doorbell_batches: u64,
+    /// Frames that rode an already-open batch instead of ringing their own
+    /// doorbell (`sum(batch_size - 1)` over all flushes).
+    pub frames_coalesced: u64,
+    /// High-water mark of the per-link egress ring, in frames: the deepest
+    /// any link's not-yet-flushed backlog ever got (batch depth on the
+    /// simulated NIC, queued ring depth on TCP).
+    pub ring_hwm: u64,
+}
+
+/// Doorbell-batching knobs shared by every backend (`ClusterConfig` maps
+/// its batching section here so Sim and TCP interpret one set of knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most frames one egress flush may carry. A frame posted while its
+    /// link already has a full batch open starts a new batch (and a new
+    /// flush). Must be at least 1; 1 disables coalescing entirely.
+    pub send_batch_max: usize,
+    /// Selective-signaling override: count one completion every N-th
+    /// posted frame. `None` keeps the backend default (the simulated
+    /// NIC's `NetConfig::signal_interval`; one completion per flush on
+    /// TCP).
+    pub flush_every_frames: Option<u64>,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            send_batch_max: 16,
+            flush_every_frames: None,
+        }
+    }
 }
 
 /// Backend-agnostic network endpoint for one node.
@@ -95,6 +134,14 @@ pub trait Transport<M: Wire>: Send + Sync {
     /// Block until the next message arrives; returns `(source, message)`.
     fn recv(&self, ctx: &mut Ctx) -> (NodeId, M);
 
+    /// Non-blocking receive: a message that has already been delivered, or
+    /// `None` without waiting. Lets the Rx dispatch drain a burst in one
+    /// pass before falling back to the blocking [`Transport::recv`].
+    fn try_recv(&self, ctx: &mut Ctx) -> Option<(NodeId, M)> {
+        let _ = ctx;
+        None
+    }
+
     /// Byte/frame/completion counters for this endpoint.
     fn stats(&self) -> TransportStats;
 
@@ -120,18 +167,68 @@ pub struct SimTransport<M: Send + 'static> {
     rx: Mailbox<(NodeId, M)>,
     bytes_rx: AtomicU64,
     frames_rx: AtomicU64,
+    policy: BatchPolicy,
+    /// Doorbell accounting (pure bookkeeping — never charges virtual
+    /// time): per-destination depth of the batch currently riding the
+    /// link's busy window, plus the flush/batch counters derived from it.
+    batch_depth: parking_lot::Mutex<Vec<u64>>,
+    tx_flushes: AtomicU64,
+    doorbell_batches: AtomicU64,
+    frames_coalesced: AtomicU64,
+    ring_hwm: AtomicU64,
 }
 
 impl<M: Send + 'static> SimTransport<M> {
-    /// Wrap one node's simulated NIC.
+    /// Wrap one node's simulated NIC with default batching knobs.
     pub fn new(nic: Arc<Nic<M>>) -> Self {
+        Self::with_policy(nic, BatchPolicy::default())
+    }
+
+    /// Wrap one node's simulated NIC with explicit batching knobs. The
+    /// knobs only steer *accounting* (which frames count as coalesced
+    /// into one doorbell batch); virtual-time behaviour is untouched, so
+    /// protocol traffic stays bit-identical across policies.
+    pub fn with_policy(nic: Arc<Nic<M>>, policy: BatchPolicy) -> Self {
         let rx = nic.rx();
         Self {
             nic,
             rx,
             bytes_rx: AtomicU64::new(0),
             frames_rx: AtomicU64::new(0),
+            policy,
+            batch_depth: parking_lot::Mutex::new(Vec::new()),
+            tx_flushes: AtomicU64::new(0),
+            doorbell_batches: AtomicU64::new(0),
+            frames_coalesced: AtomicU64::new(0),
+            ring_hwm: AtomicU64::new(0),
         }
+    }
+
+    /// Account one posted frame toward `dst` as either the start of a new
+    /// doorbell batch or a rider on the batch already serializing on the
+    /// link. The simulated NIC's link-busy window (`Nic::link_busy`) plays
+    /// the role the TCP backend's pending egress ring plays: a frame
+    /// posted while the link is still transmitting earlier work would, on
+    /// real hardware, be picked up by the same doorbell.
+    fn account_post(&self, ctx: &Ctx, dst: NodeId) {
+        let busy = self.nic.link_busy(dst, ctx.now());
+        let mut depths = self.batch_depth.lock();
+        if depths.len() <= dst {
+            depths.resize(dst + 1, 0);
+        }
+        let cap = self.policy.send_batch_max.max(1) as u64;
+        let depth = &mut depths[dst];
+        if busy && *depth > 0 && *depth < cap {
+            *depth += 1;
+            self.frames_coalesced.fetch_add(1, Ordering::Relaxed);
+            if *depth == 2 {
+                self.doorbell_batches.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            *depth = 1;
+            self.tx_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ring_hwm.fetch_max(*depth, Ordering::Relaxed);
     }
 }
 
@@ -146,6 +243,7 @@ impl<M: Wire> Transport<M> for SimTransport<M> {
 
     fn send(&self, ctx: &mut Ctx, dst: NodeId, msg: M) {
         let bytes = msg.payload_bytes();
+        self.account_post(ctx, dst);
         self.nic.send(ctx, dst, msg, bytes);
     }
 
@@ -159,8 +257,14 @@ impl<M: Wire> Transport<M> for SimTransport<M> {
         msg: M,
     ) {
         let bytes = msg.payload_bytes();
-        self.nic
-            .rdma_write_send(ctx, dst, region, offset, data, msg, bytes);
+        // Same two verbs `Nic::rdma_write_send` issues, decomposed so the
+        // notification SEND is accounted *after* the WRITE has claimed the
+        // link: the pair then counts as one doorbell batch, exactly like
+        // the WRITE+MSG frame train the TCP backend flushes in one writev.
+        self.account_post(ctx, dst);
+        self.nic.rdma_write(ctx, dst, region, offset, data);
+        self.account_post(ctx, dst);
+        self.nic.send(ctx, dst, msg, bytes);
     }
 
     fn recv(&self, ctx: &mut Ctx) -> (NodeId, M) {
@@ -171,6 +275,14 @@ impl<M: Wire> Transport<M> for SimTransport<M> {
         (src, msg)
     }
 
+    fn try_recv(&self, ctx: &mut Ctx) -> Option<(NodeId, M)> {
+        let (src, msg) = self.rx.try_recv(ctx)?;
+        self.bytes_rx
+            .fetch_add(msg.payload_bytes(), Ordering::Relaxed);
+        self.frames_rx.fetch_add(1, Ordering::Relaxed);
+        Some((src, msg))
+    }
+
     fn stats(&self) -> TransportStats {
         let nic = self.nic.stats();
         TransportStats {
@@ -178,6 +290,10 @@ impl<M: Wire> Transport<M> for SimTransport<M> {
             bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
             frames: nic.sends + nic.writes,
             completions: nic.signaled,
+            tx_flushes: self.tx_flushes.load(Ordering::Relaxed),
+            doorbell_batches: self.doorbell_batches.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            ring_hwm: self.ring_hwm.load(Ordering::Relaxed),
         }
     }
 

@@ -167,6 +167,44 @@ fn chaos_seed_subset_matches_baseline_with_multithreaded_runtime() {
     }
 }
 
+/// One chaos seed over the async TCP pump. Injected faults cannot be
+/// imposed on OS sockets (validation rejects non-benign plans over TCP),
+/// so the plan is benign — but `cfg.fault = Some(..)` still arms the
+/// whole reliability channel (sequence numbers, timeout/retransmit
+/// machinery, dedup), which now rides the event-loop pump's egress rings.
+/// The mixed workload must converge to the fault-free contents over real
+/// sockets, without any confirmed death, and the doorbell batching must
+/// actually engage.
+#[cfg(feature = "tcp-transport")]
+#[test]
+fn chaos_workload_over_tcp_async_pump_matches_baseline() {
+    let mut cfg = ClusterConfig::with_nodes(NODES);
+    cfg.transport = darray::TransportKind::Tcp;
+    cfg.fault = Some(FaultConfig::new(FaultPlan::new(41)));
+    let (contents, snaps) = run_workload(cfg);
+    assert_eq!(
+        contents,
+        expected_contents(),
+        "contents diverged from the fault-free baseline over TCP"
+    );
+    let confirmed: u64 = snaps.iter().map(|s| s.confirmed_deaths).sum();
+    assert_eq!(confirmed, 0, "a benign plan must never confirm a death");
+    let batches: u64 = snaps.iter().map(|s| s.doorbell_batches).sum();
+    let coalesced: u64 = snaps.iter().map(|s| s.frames_coalesced).sum();
+    assert!(
+        batches > 0 && coalesced > 0,
+        "reliability traffic never exercised the egress-ring batching \
+         (batches={batches}, coalesced={coalesced})"
+    );
+    for (node, s) in snaps.iter().enumerate() {
+        assert_eq!(
+            s.frames,
+            s.tx_flushes + s.frames_coalesced,
+            "node {node}: flush identity must hold over TCP"
+        );
+    }
+}
+
 #[test]
 fn crash_is_detected_and_degrades_gracefully() {
     Sim::new(SimConfig::default()).run(|ctx| {
